@@ -1,0 +1,68 @@
+//! Ablation benchmarks for the design choices in DESIGN.md §7: join
+//! reordering, filter pushing/substitution, and the index layout.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sp2b_core::BenchQuery;
+use sp2b_datagen::{generate_graph, Config};
+use sp2b_sparql::{Cancellation, OptimizerConfig, Prepared};
+use sp2b_store::{IndexSelection, NativeStore, TripleStore};
+
+const TRIPLES: u64 = 25_000;
+
+fn count_query(store: &dyn TripleStore, cfg: &OptimizerConfig, q: BenchQuery) -> u64 {
+    let prepared = Prepared::parse(q.text(), store, cfg).expect("benchmark query parses");
+    prepared
+        .count(store, &Cancellation::none())
+        .expect("uncancelled evaluation succeeds")
+}
+
+fn optimizer_ablation(c: &mut Criterion) {
+    let (graph, _) = generate_graph(Config::triples(TRIPLES));
+    let store = NativeStore::from_graph(&graph);
+    let configs: [(&str, OptimizerConfig); 4] = [
+        ("full", OptimizerConfig::full()),
+        (
+            "no-reorder",
+            OptimizerConfig { reorder_patterns: false, ..OptimizerConfig::full() },
+        ),
+        (
+            "no-push",
+            OptimizerConfig {
+                push_filters: false,
+                substitute_filters: false,
+                ..OptimizerConfig::full()
+            },
+        ),
+        ("naive", OptimizerConfig::default()),
+    ];
+    // Queries where the respective technique matters (Table II rows 4/5).
+    for q in [BenchQuery::Q2, BenchQuery::Q3a, BenchQuery::Q8, BenchQuery::Q11] {
+        let mut group = c.benchmark_group(format!("optimizer/{}", q.label()));
+        group.sample_size(10);
+        for (label, cfg) in &configs {
+            group.bench_with_input(BenchmarkId::from_parameter(label), cfg, |b, cfg| {
+                b.iter(|| count_query(&store, cfg, q));
+            });
+        }
+        group.finish();
+    }
+}
+
+fn index_ablation(c: &mut Criterion) {
+    let (graph, _) = generate_graph(Config::triples(TRIPLES));
+    let all = NativeStore::with_indexes(&graph, IndexSelection::all());
+    let spo = NativeStore::with_indexes(&graph, IndexSelection::spo_only());
+    let cfg = OptimizerConfig::full();
+    // Q9/Q10 exercise object-bound patterns where the index layout decides
+    // between a range scan and a residual full scan.
+    for q in [BenchQuery::Q9, BenchQuery::Q10, BenchQuery::Q11] {
+        let mut group = c.benchmark_group(format!("indexes/{}", q.label()));
+        group.sample_size(10);
+        group.bench_function("six-indexes", |b| b.iter(|| count_query(&all, &cfg, q)));
+        group.bench_function("spo-only", |b| b.iter(|| count_query(&spo, &cfg, q)));
+        group.finish();
+    }
+}
+
+criterion_group!(benches, optimizer_ablation, index_ablation);
+criterion_main!(benches);

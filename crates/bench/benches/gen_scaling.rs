@@ -1,0 +1,23 @@
+//! Criterion counterpart of Table III: raw generation throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sp2b_datagen::{Config, Generator, NullSink};
+
+fn generator_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generator");
+    group.sample_size(10);
+    for n in [10_000u64, 50_000, 250_000] {
+        group.throughput(Throughput::Elements(n));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                Generator::new(Config::triples(n))
+                    .run(&mut NullSink)
+                    .expect("null sink cannot fail")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, generator_scaling);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Loading-time benchmarks (Figure 5 bottom-left / LOADING TIME metric):
+//! hash-indexed memory store vs. six-index native store vs. SPO-only
+//! native store, plus the N-Triples parse path.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sp2b_datagen::{generate_graph, generate_to_writer, Config};
+use sp2b_store::{
+    mem_store_from_reader, native_store_from_reader, IndexSelection, MemStore, NativeStore,
+};
+
+const TRIPLES: u64 = 50_000;
+
+fn loading(c: &mut Criterion) {
+    let (graph, _) = generate_graph(Config::triples(TRIPLES));
+    let mut serialized = Vec::new();
+    generate_to_writer(Config::triples(TRIPLES), &mut serialized).expect("vec sink");
+
+    let mut group = c.benchmark_group("loading");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(TRIPLES));
+
+    group.bench_function("mem-store", |b| {
+        b.iter(|| MemStore::from_graph(&graph));
+    });
+    group.bench_function("native-six-indexes", |b| {
+        b.iter(|| NativeStore::with_indexes(&graph, IndexSelection::all()));
+    });
+    group.bench_function("native-spo-only", |b| {
+        b.iter(|| NativeStore::with_indexes(&graph, IndexSelection::spo_only()));
+    });
+    group.bench_function("parse-ntriples-into-mem", |b| {
+        b.iter(|| mem_store_from_reader(&serialized[..]).expect("valid document"));
+    });
+    group.bench_function("parse-ntriples-into-native", |b| {
+        b.iter(|| {
+            native_store_from_reader(&serialized[..], IndexSelection::all())
+                .expect("valid document")
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, loading);
+criterion_main!(benches);

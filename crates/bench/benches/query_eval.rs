@@ -1,0 +1,90 @@
+//! Criterion counterpart of Figures 5–8: per-query evaluation time on the
+//! optimized configurations. The timeout-prone queries (Q4, Q5a, Q6) run
+//! in their own group at a smaller scale so the bench suite stays fast.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sp2b_core::BenchQuery;
+use sp2b_datagen::{generate_graph, Config};
+use sp2b_sparql::{Cancellation, OptimizerConfig, Prepared};
+use sp2b_store::{MemStore, NativeStore, TripleStore};
+
+const FAST_TRIPLES: u64 = 25_000;
+const HEAVY_TRIPLES: u64 = 10_000;
+
+const FAST_QUERIES: &[BenchQuery] = &[
+    BenchQuery::Q1,
+    BenchQuery::Q2,
+    BenchQuery::Q3a,
+    BenchQuery::Q3b,
+    BenchQuery::Q3c,
+    BenchQuery::Q5b,
+    BenchQuery::Q7,
+    BenchQuery::Q8,
+    BenchQuery::Q9,
+    BenchQuery::Q10,
+    BenchQuery::Q11,
+    BenchQuery::Q12a,
+    BenchQuery::Q12b,
+    BenchQuery::Q12c,
+];
+
+const HEAVY_QUERIES: &[BenchQuery] = &[BenchQuery::Q4, BenchQuery::Q5a, BenchQuery::Q6];
+
+fn count_query(store: &dyn TripleStore, cfg: &OptimizerConfig, q: BenchQuery) -> u64 {
+    let prepared = Prepared::parse(q.text(), store, cfg).expect("benchmark query parses");
+    prepared
+        .count(store, &Cancellation::none())
+        .expect("uncancelled evaluation succeeds")
+}
+
+fn queries_native(c: &mut Criterion) {
+    let (graph, _) = generate_graph(Config::triples(FAST_TRIPLES));
+    let store = NativeStore::from_graph(&graph);
+    let cfg = OptimizerConfig::full();
+    let mut group = c.benchmark_group("native-opt");
+    group.sample_size(10);
+    for &q in FAST_QUERIES {
+        group.bench_with_input(BenchmarkId::from_parameter(q.label()), &q, |b, &q| {
+            b.iter(|| count_query(&store, &cfg, q));
+        });
+    }
+    group.finish();
+}
+
+fn queries_mem(c: &mut Criterion) {
+    let (graph, _) = generate_graph(Config::triples(FAST_TRIPLES));
+    let cfg = OptimizerConfig::heuristic();
+    let mut group = c.benchmark_group("mem-opt");
+    group.sample_size(10);
+    for &q in FAST_QUERIES {
+        group.bench_with_input(BenchmarkId::from_parameter(q.label()), &q, |b, &q| {
+            // In-memory engines reload the document per evaluation
+            // (the paper's measurement model).
+            b.iter(|| {
+                let store = MemStore::from_graph(&graph);
+                count_query(&store, &cfg, q)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn queries_heavy(c: &mut Criterion) {
+    let (graph, _) = generate_graph(Config::triples(HEAVY_TRIPLES));
+    let store = NativeStore::from_graph(&graph);
+    let cfg = OptimizerConfig::full();
+    let mut group = c.benchmark_group("native-opt-heavy");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(10));
+    for &q in HEAVY_QUERIES {
+        group.bench_with_input(BenchmarkId::from_parameter(q.label()), &q, |b, &q| {
+            b.iter(|| count_query(&store, &cfg, q));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, queries_native, queries_mem, queries_heavy);
+criterion_main!(benches);

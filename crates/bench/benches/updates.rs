@@ -1,0 +1,55 @@
+//! Update-stream benchmarks (the Section VII extension): applying the
+//! generator's year batches incrementally to the native store vs.
+//! rebuilding from scratch.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sp2b_datagen::{generate_graph, Config, UpdateStream};
+use sp2b_rdf::Graph;
+use sp2b_store::{NativeStore, TripleStore};
+
+const TRIPLES: u64 = 50_000;
+
+fn updates(c: &mut Criterion) {
+    let stream = UpdateStream::generate(Config::triples(TRIPLES));
+    let batches = stream.batches();
+    let (full_graph, _) = generate_graph(Config::triples(TRIPLES));
+
+    let mut group = c.benchmark_group("updates");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(TRIPLES));
+
+    group.bench_function("incremental-year-batches", |b| {
+        b.iter(|| {
+            let mut store = NativeStore::from_graph(&Graph::new());
+            for batch in batches {
+                store.insert_batch(&batch.triples);
+            }
+            assert_eq!(store.len() as u64, TRIPLES);
+            store
+        });
+    });
+    group.bench_function("bulk-rebuild", |b| {
+        b.iter(|| NativeStore::from_graph(&full_graph));
+    });
+    // The realistic middle ground: bulk-load history, then apply the last
+    // few years incrementally.
+    group.bench_function("bulk-plus-last-3-years", |b| {
+        let split = batches.len().saturating_sub(3);
+        let mut history = Graph::new();
+        for batch in &batches[..split] {
+            history.extend(batch.triples.iter().cloned());
+        }
+        b.iter(|| {
+            let mut store = NativeStore::from_graph(&history);
+            for batch in &batches[split..] {
+                store.insert_batch(&batch.triples);
+            }
+            assert_eq!(store.len() as u64, TRIPLES);
+            store
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, updates);
+criterion_main!(benches);

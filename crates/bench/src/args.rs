@@ -1,0 +1,103 @@
+//! A small dependency-free flag parser for the `sp2b` CLI.
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: positional arguments + `--key value` /
+/// `--flag` options.
+#[derive(Debug, Default, Clone)]
+pub struct Args {
+    /// Positional arguments in order.
+    pub positional: Vec<String>,
+    /// Options: `--key value` → key→value; bare `--flag` → key→"".
+    pub options: BTreeMap<String, String>,
+}
+
+impl Args {
+    /// Parses an iterator of arguments (excluding the program name).
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Args {
+        let mut out = Args::default();
+        let mut iter = args.into_iter().peekable();
+        while let Some(a) = iter.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                let value = match iter.peek() {
+                    Some(v) if !v.starts_with("--") => iter.next().unwrap_or_default(),
+                    _ => String::new(),
+                };
+                out.options.insert(key.to_owned(), value);
+            } else {
+                out.positional.push(a);
+            }
+        }
+        out
+    }
+
+    /// String option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// Presence of a flag (with or without value).
+    pub fn has(&self, key: &str) -> bool {
+        self.options.contains_key(key)
+    }
+
+    /// Parsed numeric option with default.
+    pub fn get_u64(&self, key: &str, default: u64) -> u64 {
+        self.get(key).and_then(parse_scaled).unwrap_or(default)
+    }
+
+    /// Comma-separated list option.
+    pub fn get_list(&self, key: &str) -> Option<Vec<String>> {
+        self.get(key)
+            .map(|v| v.split(',').map(|s| s.trim().to_owned()).filter(|s| !s.is_empty()).collect())
+    }
+}
+
+/// Parses "250k", "1M", "5m", "1000000".
+pub fn parse_scaled(s: &str) -> Option<u64> {
+    let s = s.trim();
+    if let Some(rest) = s.strip_suffix(['k', 'K']) {
+        return rest.parse::<u64>().ok().map(|v| v * 1_000);
+    }
+    if let Some(rest) = s.strip_suffix(['m', 'M']) {
+        return rest.parse::<u64>().ok().map(|v| v * 1_000_000);
+    }
+    s.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn positional_and_options() {
+        let a = args("table4 --sizes 10k,50k --timeout 30 --verbose");
+        assert_eq!(a.positional, ["table4"]);
+        assert_eq!(a.get("sizes"), Some("10k,50k"));
+        assert_eq!(a.get_u64("timeout", 5), 30);
+        assert!(a.has("verbose"));
+        assert!(!a.has("nope"));
+    }
+
+    #[test]
+    fn scaled_numbers() {
+        assert_eq!(parse_scaled("10k"), Some(10_000));
+        assert_eq!(parse_scaled("1M"), Some(1_000_000));
+        assert_eq!(parse_scaled("5m"), Some(5_000_000));
+        assert_eq!(parse_scaled("123"), Some(123));
+        assert_eq!(parse_scaled("abc"), None);
+    }
+
+    #[test]
+    fn list_option() {
+        let a = args("x --engines mem-opt, native-opt");
+        // NB: the space splits tokens; only the first lands in the value.
+        assert_eq!(a.get_list("engines").unwrap(), ["mem-opt"]);
+        let a = args("x --engines mem-opt,native-opt");
+        assert_eq!(a.get_list("engines").unwrap(), ["mem-opt", "native-opt"]);
+    }
+}

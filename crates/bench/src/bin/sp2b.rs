@@ -1,0 +1,278 @@
+//! `sp2b` — the SP²Bench command-line harness.
+//!
+//! One subcommand per paper experiment (DESIGN.md §6):
+//!
+//! ```text
+//! sp2b gen      --triples 50k [--seed N] --out doc.nt     generate a document
+//! sp2b table3   [--max-exp 7]                             generator scaling
+//! sp2b table8   [--sizes 10k,50k,250k,1M]                 document characteristics
+//! sp2b table5   [--sizes …] [--timeout 60]                query result sizes
+//! sp2b bench    [--sizes …] [--timeout 30] [--runs 3]     full protocol →
+//!               [--engines mem-naive,…] [--queries q1,…]  tables IV/V/VI/VII + figures
+//! sp2b fig2a    [--triples 250k]                          citation distribution
+//! sp2b fig2b    [--year 1980]                             class instances per year
+//! sp2b fig2c    [--year 1985] [--years 1955,1965,…]       publications power law
+//! sp2b ablation [--triples 50k] [--timeout 30]            optimizer/index ablation
+//! sp2b query    Q4 [--triples 50k] [--engine native-opt]  run one query, print rows
+//! ```
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use sp2b_bench::experiments::{self, DEFAULT_SIZES};
+use sp2b_bench::Args;
+use sp2b_core::report;
+use sp2b_core::runner::{run_benchmark, RunnerConfig};
+use sp2b_core::{BenchQuery, Engine, EngineKind, Outcome};
+use sp2b_datagen::{generate_graph, generate_to_path, Config};
+
+fn main() -> ExitCode {
+    let args = Args::parse(std::env::args().skip(1));
+    let Some(command) = args.positional.first().map(String::as_str) else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match command {
+        "gen" => cmd_gen(&args),
+        "table3" => {
+            println!("{}", experiments::table3(args.get_u64("max-exp", 7) as u32));
+            Ok(())
+        }
+        "table8" => {
+            println!("{}", experiments::table8(&sizes(&args)));
+            Ok(())
+        }
+        "table5" => {
+            println!("{}", experiments::table5(&sizes(&args), timeout(&args, 60)));
+            Ok(())
+        }
+        "bench" => cmd_bench(&args),
+        "fig2a" => {
+            println!("{}", experiments::fig2a(args.get_u64("triples", 250_000)));
+            Ok(())
+        }
+        "fig2b" => {
+            println!("{}", experiments::fig2b(args.get_u64("year", 1980) as i32));
+            Ok(())
+        }
+        "fig2c" => cmd_fig2c(&args),
+        "ablation" => {
+            println!(
+                "{}",
+                experiments::ablation(args.get_u64("triples", 50_000), timeout(&args, 30))
+            );
+            Ok(())
+        }
+        "query" => cmd_query(&args),
+        "ext" => cmd_ext(&args),
+        "run" => cmd_run(&args),
+        other => Err(format!("unknown command '{other}'\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("sp2b: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage: sp2b <gen|table3|table5|table8|bench|fig2a|fig2b|fig2c|ablation|query|ext|run> [options]
+run `sp2b bench` for the full paper protocol; see crate docs for options";
+
+fn sizes(args: &Args) -> Vec<u64> {
+    match args.get_list("sizes") {
+        Some(list) => list
+            .iter()
+            .filter_map(|s| sp2b_bench::args::parse_scaled(s))
+            .collect(),
+        None => DEFAULT_SIZES.to_vec(),
+    }
+}
+
+fn timeout(args: &Args, default_secs: u64) -> Duration {
+    Duration::from_secs(args.get_u64("timeout", default_secs))
+}
+
+fn cmd_gen(args: &Args) -> Result<(), String> {
+    let n = args.get_u64("triples", 10_000);
+    let seed = args.get_u64("seed", sp2b_datagen::Rng::DEFAULT_SEED);
+    let out = args.get("out").unwrap_or("sp2bench.nt");
+    let cfg = Config::triples(n).with_seed(seed);
+    let stats = generate_to_path(cfg, std::path::Path::new(out)).map_err(|e| e.to_string())?;
+    eprintln!(
+        "wrote {} triples ({} bytes) up to year {} to {out}",
+        stats.triples,
+        stats.bytes.unwrap_or(0),
+        stats.end_year
+    );
+    Ok(())
+}
+
+fn cmd_bench(args: &Args) -> Result<(), String> {
+    let mut cfg = RunnerConfig::paper_defaults();
+    cfg.scales = sizes(args);
+    cfg.timeout = timeout(args, 30);
+    cfg.runs = args.get_u64("runs", 3) as usize;
+    if let Some(labels) = args.get_list("engines") {
+        cfg.engines = experiments::parse_engines(&labels)?;
+    }
+    if let Some(labels) = args.get_list("queries") {
+        cfg.queries = experiments::parse_queries(&labels)?;
+    }
+    let quiet = args.has("quiet");
+    let report = run_benchmark(&cfg, |line| {
+        if !quiet {
+            eprintln!("{line}");
+        }
+    });
+    println!("{}", report::full_report(&report));
+    Ok(())
+}
+
+fn cmd_fig2c(args: &Args) -> Result<(), String> {
+    let year = args.get_u64("year", 1985) as i32;
+    let years: Vec<i32> = match args.get_list("years") {
+        Some(list) => list.iter().filter_map(|s| s.parse().ok()).collect(),
+        None => vec![1955, 1965, 1975, 1985],
+    };
+    println!("{}", experiments::fig2c(year, &years));
+    Ok(())
+}
+
+/// Runs the A1–A5 aggregate extension queries (Section VII's
+/// "aggregation support" future work) and prints their result heads.
+fn cmd_ext(args: &Args) -> Result<(), String> {
+    let n = args.get_u64("triples", 50_000);
+    let limit = args.get_u64("limit", 10) as usize;
+    let (graph, _) = generate_graph(Config::triples(n));
+    let engine = Engine::load(EngineKind::NativeOpt, &graph);
+    for q in sp2b_core::ExtQuery::ALL {
+        let (outcome, m) = engine.run_text(q.text(), Some(timeout(args, 300)), true);
+        match outcome {
+            Outcome::Success {
+                result: Some(sp2b_sparql::QueryResult::Solutions { variables, rows }),
+                ..
+            } => {
+                println!("\n{q} ({} groups, {}):", rows.len(), m.summary());
+                println!("  {}", variables.join("\t"));
+                for row in rows.iter().take(limit) {
+                    let line: Vec<String> = row
+                        .iter()
+                        .map(|t| t.as_ref().map_or("-".into(), ToString::to_string))
+                        .collect();
+                    println!("  {}", line.join("\t"));
+                }
+                if rows.len() > limit {
+                    println!("  … ({} more groups)", rows.len() - limit);
+                }
+            }
+            Outcome::Timeout => println!("\n{q}: timeout"),
+            other => return Err(format!("{q}: {other:?}")),
+        }
+    }
+    Ok(())
+}
+
+/// Runs arbitrary SPARQL (from `--query-file` or inline after `run`)
+/// against an N-Triples document (`--data FILE`) or freshly generated
+/// data (`--triples N`).
+fn cmd_run(args: &Args) -> Result<(), String> {
+    let text = match (args.get("query-file"), args.positional.get(1)) {
+        (Some(path), _) => std::fs::read_to_string(path).map_err(|e| e.to_string())?,
+        (None, Some(inline)) => inline.clone(),
+        (None, None) => return Err("provide a query: `sp2b run 'SELECT …'` or --query-file q.rq".into()),
+    };
+    let engine_kind = match args.get("engine") {
+        Some(l) => EngineKind::from_label(l).ok_or_else(|| format!("unknown engine '{l}'"))?,
+        None => EngineKind::NativeOpt,
+    };
+    let graph = match args.get("data") {
+        Some(path) => {
+            let file = std::fs::File::open(path).map_err(|e| e.to_string())?;
+            let reader = std::io::BufReader::with_capacity(1 << 16, file);
+            let triples: Result<Vec<_>, _> =
+                sp2b_rdf::ntriples::Parser::new(reader).collect();
+            triples.map_err(|e| e.to_string())?.into_iter().collect()
+        }
+        None => generate_graph(Config::triples(args.get_u64("triples", 50_000))).0,
+    };
+    let engine = Engine::load(engine_kind, &graph);
+    let limit = args.get_u64("limit", 50) as usize;
+    let (outcome, m) = engine.run_text(&text, Some(timeout(args, 300)), true);
+    match outcome {
+        Outcome::Success { count, result } => {
+            eprintln!("{count} solutions in {}", m.summary());
+            match result {
+                Some(sp2b_sparql::QueryResult::Solutions { variables, rows }) => {
+                    println!("{}", variables.join("\t"));
+                    for row in rows.iter().take(limit) {
+                        let line: Vec<String> = row
+                            .iter()
+                            .map(|t| t.as_ref().map_or("-".into(), ToString::to_string))
+                            .collect();
+                        println!("{}", line.join("\t"));
+                    }
+                    if rows.len() > limit {
+                        eprintln!("… ({} more rows; raise --limit)", rows.len() - limit);
+                    }
+                }
+                Some(r) => println!("{}", if r.as_bool() == Some(true) { "yes" } else { "no" }),
+                None => {}
+            }
+            Ok(())
+        }
+        Outcome::Timeout => Err(format!("query timed out ({})", m.summary())),
+        Outcome::Error(e) => Err(e),
+    }
+}
+
+fn cmd_query(args: &Args) -> Result<(), String> {
+    let label = args
+        .positional
+        .get(1)
+        .ok_or("query label required, e.g. `sp2b query Q4`")?;
+    let query =
+        BenchQuery::from_label(label).ok_or_else(|| format!("unknown query '{label}'"))?;
+    let n = args.get_u64("triples", 50_000);
+    let engine_kind = match args.get("engine") {
+        Some(l) => EngineKind::from_label(l).ok_or_else(|| format!("unknown engine '{l}'"))?,
+        None => EngineKind::NativeOpt,
+    };
+    let limit = args.get_u64("limit", 20);
+
+    let (graph, _) = generate_graph(Config::triples(n));
+    let engine = Engine::load(engine_kind, &graph);
+    let (outcome, m) = engine.run_text(query.text(), Some(timeout(args, 300)), true);
+    match outcome {
+        Outcome::Success { count, result } => {
+            println!(
+                "{query} on {n} triples via {engine_kind}: {count} solutions ({})",
+                m.summary()
+            );
+            match result {
+                Some(sp2b_sparql::QueryResult::Solutions { variables, rows }) => {
+                    println!("{}", variables.join("\t"));
+                    for row in rows.iter().take(limit as usize) {
+                        let line: Vec<String> = row
+                            .iter()
+                            .map(|t| t.as_ref().map_or("-".into(), ToString::to_string))
+                            .collect();
+                        println!("{}", line.join("\t"));
+                    }
+                    if rows.len() > limit as usize {
+                        println!("… ({} more rows)", rows.len() - limit as usize);
+                    }
+                }
+                Some(r) => println!(
+                    "answer: {}",
+                    if r.as_bool() == Some(true) { "yes" } else { "no" }
+                ),
+                None => {}
+            }
+            Ok(())
+        }
+        Outcome::Timeout => Err(format!("{query} timed out ({})", m.summary())),
+        Outcome::Error(e) => Err(e),
+    }
+}

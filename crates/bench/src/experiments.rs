@@ -1,0 +1,360 @@
+//! One function per paper experiment; each returns the formatted rows so
+//! the CLI can print them and tests can assert on them.
+
+use std::io;
+use std::time::{Duration, Instant};
+
+use sp2b_core::{BenchQuery, EngineKind};
+use sp2b_datagen::{
+    generate_graph, params, Config, Generator, GeneratorStats, NtriplesSink, NullSink,
+};
+use sp2b_sparql::{Cancellation, OptimizerConfig, Prepared};
+use sp2b_store::{IndexSelection, NativeStore, TripleStore};
+
+/// The paper's scales (Table VIII/V columns). The harness defaults to the
+/// first four; 5M/25M are reachable via `--sizes`.
+pub const DEFAULT_SIZES: [u64; 4] = [10_000, 50_000, 250_000, 1_000_000];
+
+// ---------------------------------------------------------------------------
+// Table III — data generator performance
+// ---------------------------------------------------------------------------
+
+/// Table III: generation wall-clock for documents of 10³ … 10^max_exp
+/// triples (the paper goes to 10⁹; every step is pure CPU + the sink).
+pub fn table3(max_exp: u32) -> String {
+    let mut out = String::from("TABLE III — DOCUMENT GENERATION (NullSink: generation cost only)\n\n");
+    out.push_str(&format!("{:>12} {:>14}\n", "#triples", "elapsed [s]"));
+    for exp in 3..=max_exp {
+        let n = 10u64.pow(exp);
+        let start = Instant::now();
+        let stats = Generator::new(Config::triples(n))
+            .run(&mut NullSink)
+            .expect("null sink cannot fail");
+        let secs = start.elapsed().as_secs_f64();
+        debug_assert_eq!(stats.triples, n);
+        out.push_str(&format!("{n:>12} {secs:>14.3}\n"));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Table VIII — document characteristics
+// ---------------------------------------------------------------------------
+
+/// Generates a document of `n` triples, counting serialized bytes without
+/// keeping them (file-size column with no disk traffic).
+pub fn generate_stats(n: u64) -> GeneratorStats {
+    let mut sink = NtriplesSink::new(io::sink());
+    Generator::new(Config::triples(n)).run(&mut sink).expect("io::sink cannot fail")
+}
+
+/// Table VIII: characteristics of generated documents per scale.
+pub fn table8(sizes: &[u64]) -> String {
+    let mut out = String::from("TABLE VIII — CHARACTERISTICS OF GENERATED DOCUMENTS\n\n");
+    let stats: Vec<GeneratorStats> = sizes.iter().map(|&n| generate_stats(n)).collect();
+    out.push_str(&format!("{:<16}", "#Triples"));
+    for &n in sizes {
+        out.push_str(&format!("{:>12}", sp2b_core::report::scale_label(n)));
+    }
+    out.push('\n');
+    let rows = stats[0].table_viii_rows();
+    for (i, (label, _)) in rows.iter().enumerate() {
+        out.push_str(&format!("{label:<16}"));
+        for s in &stats {
+            let value = &s.table_viii_rows()[i].1;
+            out.push_str(&format!("{value:>12}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Figures 2a / 2b / 2c — distribution validation
+// ---------------------------------------------------------------------------
+
+/// Figure 2a: distribution of outgoing-citation counts in a generated
+/// document vs. the paper's Gaussian fit `d_cite`.
+pub fn fig2a(triples: u64) -> String {
+    let mut sink = NullSink;
+    let stats = Generator::new(Config::triples(triples).with_detailed_stats())
+        .run(&mut sink)
+        .expect("null sink cannot fail");
+    let total: u64 = stats.citation_histogram.values().sum();
+    let mut out = format!(
+        "FIGURE 2a — CITATION COUNT DISTRIBUTION ({} citing documents in {} triples)\n\n",
+        total, stats.triples
+    );
+    out.push_str(&format!(
+        "{:>5} {:>12} {:>12}\n",
+        "x", "observed", "gauss-fit"
+    ));
+    for x in 1..=60u32 {
+        let observed =
+            *stats.citation_histogram.get(&x).unwrap_or(&0) as f64 / total.max(1) as f64;
+        let fit = params::D_CITE.pdf(x as f64);
+        out.push_str(&format!("{x:>5} {observed:>12.4} {fit:>12.4}\n"));
+    }
+    out
+}
+
+/// Figure 2b: document-class instances per year vs. the logistic fits.
+pub fn fig2b(year_limit: i32) -> String {
+    let (_, stats) =
+        generate_graph_with_years(year_limit);
+    let mut out = String::from(
+        "FIGURE 2b — DOCUMENT CLASS INSTANCES PER YEAR (observed | logistic fit)\n\n",
+    );
+    out.push_str(&format!(
+        "{:>6} {:>9} {:>9} {:>9} {:>9} {:>11} {:>11} {:>11} {:>11}\n",
+        "year", "proc", "fit", "journal", "fit", "inproc", "fit", "article", "fit"
+    ));
+    for rec in &stats.years {
+        let yr = rec.year;
+        out.push_str(&format!(
+            "{:>6} {:>9} {:>9} {:>9} {:>9} {:>11} {:>11} {:>11} {:>11}\n",
+            yr,
+            rec.class_counts[sp2b_datagen::DocClass::Proceedings.index()],
+            params::F_PROC.count(yr),
+            rec.journals,
+            params::F_JOURNAL.count(yr),
+            rec.class_counts[sp2b_datagen::DocClass::Inproceedings.index()],
+            params::F_INPROC.count(yr),
+            rec.class_counts[sp2b_datagen::DocClass::Article.index()],
+            params::F_ARTICLE.count(yr),
+        ));
+    }
+    out
+}
+
+/// Figure 2c: number of authors with exactly x publications, for selected
+/// years, against the `f_awp` power law.
+pub fn fig2c(year_limit: i32, years: &[i32]) -> String {
+    let (_, stats) = generate_graph_with_years(year_limit);
+    let mut out = String::from(
+        "FIGURE 2c — AUTHORS WITH PUBLICATION COUNT x (observed | power-law fit)\n",
+    );
+    for &yr in years {
+        let Some(rec) = stats.years.iter().find(|r| r.year == yr) else {
+            out.push_str(&format!("\nyear {yr}: not generated (limit {year_limit})\n"));
+            continue;
+        };
+        let publ: u64 = rec.publications_histogram.iter().map(|(x, n)| *x as u64 * n).sum();
+        out.push_str(&format!("\nyear {yr} ({publ} publications)\n"));
+        out.push_str(&format!("{:>5} {:>12} {:>14}\n", "x", "observed", "f_awp fit"));
+        for x in [1u32, 2, 3, 5, 8, 13, 21, 34, 55, 80] {
+            let observed = *rec.publications_histogram.get(&x).unwrap_or(&0);
+            let fit = params::f_awp(x as f64, yr, publ as f64).max(0.0);
+            out.push_str(&format!("{x:>5} {observed:>12} {fit:>14.1}\n"));
+        }
+    }
+    out
+}
+
+fn generate_graph_with_years(year_limit: i32) -> ((), GeneratorStats) {
+    let stats = Generator::new(Config::up_to_year(year_limit).with_detailed_stats())
+        .run(&mut NullSink)
+        .expect("null sink cannot fail");
+    ((), stats)
+}
+
+// ---------------------------------------------------------------------------
+// Table V — result sizes
+// ---------------------------------------------------------------------------
+
+/// Table V: result sizes via the optimized native engine only (counts are
+/// engine-independent; this is the fastest path).
+pub fn table5(sizes: &[u64], timeout: Duration) -> String {
+    let mut out = String::from("TABLE V — NUMBER OF QUERY RESULTS\n\n");
+    out.push_str(&format!("{:<9}", "scale"));
+    for q in BenchQuery::ALL {
+        out.push_str(&format!("{:>10}", q.label()));
+    }
+    out.push('\n');
+    for &n in sizes {
+        let (graph, _) = generate_graph(Config::triples(n));
+        let store = NativeStore::from_graph(&graph);
+        out.push_str(&format!("{:<9}", sp2b_core::report::scale_label(n)));
+        for q in BenchQuery::ALL {
+            let cfg = OptimizerConfig::full();
+            let prepared =
+                Prepared::parse(q.text(), &store, &cfg).expect("benchmark queries parse");
+            let cancel = Cancellation::with_deadline(Instant::now() + timeout);
+            match prepared.count(&store, &cancel) {
+                Ok(c) => out.push_str(&format!("{c:>10}")),
+                Err(_) => out.push_str(&format!("{:>10}", "T")),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Ablation — DESIGN.md §7
+// ---------------------------------------------------------------------------
+
+/// One ablation configuration.
+struct AblationConfig {
+    label: &'static str,
+    optimizer: OptimizerConfig,
+    indexes: IndexSelection,
+}
+
+/// Ablation study over the optimizer's techniques and the index layout
+/// (DESIGN.md §7): join reordering, filter pushing, filter substitution,
+/// hexastore vs. single SPO index.
+pub fn ablation(triples: u64, timeout: Duration) -> String {
+    let configs = [
+        AblationConfig {
+            label: "full",
+            optimizer: OptimizerConfig::full(),
+            indexes: IndexSelection::all(),
+        },
+        AblationConfig {
+            label: "no-reorder",
+            optimizer: OptimizerConfig {
+                reorder_patterns: false,
+                ..OptimizerConfig::full()
+            },
+            indexes: IndexSelection::all(),
+        },
+        AblationConfig {
+            label: "no-push",
+            optimizer: OptimizerConfig {
+                push_filters: false,
+                substitute_filters: false,
+                ..OptimizerConfig::full()
+            },
+            indexes: IndexSelection::all(),
+        },
+        AblationConfig {
+            label: "no-subst",
+            optimizer: OptimizerConfig {
+                substitute_filters: false,
+                ..OptimizerConfig::full()
+            },
+            indexes: IndexSelection::all(),
+        },
+        AblationConfig {
+            label: "spo-only",
+            optimizer: OptimizerConfig::full(),
+            indexes: IndexSelection::spo_only(),
+        },
+    ];
+    let queries = [
+        BenchQuery::Q2,
+        BenchQuery::Q3a,
+        BenchQuery::Q3c,
+        BenchQuery::Q4,
+        BenchQuery::Q5b,
+        BenchQuery::Q8,
+        BenchQuery::Q9,
+        BenchQuery::Q10,
+        BenchQuery::Q11,
+    ];
+
+    let (graph, _) = generate_graph(Config::triples(triples));
+    let mut out = format!(
+        "ABLATION — optimizer techniques and index layout ({} triples, timeout {:?})\n\n",
+        triples, timeout
+    );
+    out.push_str(&format!("{:<12}", "config"));
+    for q in queries {
+        out.push_str(&format!("{:>10}", q.label()));
+    }
+    out.push_str(&format!("{:>10}\n", "load[s]"));
+
+    for cfg in &configs {
+        let start = Instant::now();
+        let store = NativeStore::with_indexes(&graph, cfg.indexes);
+        let load = start.elapsed().as_secs_f64();
+        out.push_str(&format!("{:<12}", cfg.label));
+        for q in queries {
+            out.push_str(&run_cell(&store, &cfg.optimizer, q, timeout));
+        }
+        out.push_str(&format!("{load:>10.3}\n"));
+    }
+    out
+}
+
+fn run_cell(
+    store: &dyn TripleStore,
+    cfg: &OptimizerConfig,
+    q: BenchQuery,
+    timeout: Duration,
+) -> String {
+    let prepared = Prepared::parse(q.text(), store, cfg).expect("queries parse");
+    let cancel = Cancellation::with_deadline(Instant::now() + timeout);
+    let start = Instant::now();
+    match prepared.count(store, &cancel) {
+        Ok(_) => format!("{:>10.4}", start.elapsed().as_secs_f64()),
+        Err(_) => format!("{:>10}", "T"),
+    }
+}
+
+/// Parses engine labels for the CLI.
+pub fn parse_engines(labels: &[String]) -> Result<Vec<EngineKind>, String> {
+    labels
+        .iter()
+        .map(|l| EngineKind::from_label(l).ok_or_else(|| format!("unknown engine '{l}'")))
+        .collect()
+}
+
+/// Parses query labels for the CLI.
+pub fn parse_queries(labels: &[String]) -> Result<Vec<BenchQuery>, String> {
+    labels
+        .iter()
+        .map(|l| BenchQuery::from_label(l).ok_or_else(|| format!("unknown query '{l}'")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_small_exponents() {
+        let t = table3(4);
+        assert!(t.contains("1000"), "{t}");
+        assert!(t.contains("10000"));
+    }
+
+    #[test]
+    fn table8_has_all_rows() {
+        let t = table8(&[5_000, 10_000]);
+        for label in ["file size [MB]", "data up to", "#Tot.Auth.", "#Article", "#WWW"] {
+            assert!(t.contains(label), "missing {label}:\n{t}");
+        }
+    }
+
+    #[test]
+    fn fig2a_probabilities_are_plausible() {
+        let t = fig2a(120_000);
+        assert!(t.contains("gauss-fit"));
+    }
+
+    #[test]
+    fn table5_smoke() {
+        let t = table5(&[4_000], Duration::from_secs(20));
+        assert!(t.contains("Q12c"));
+        // Q1 column exists with count 1 somewhere in the row.
+        let row = t.lines().last().unwrap();
+        assert!(row.contains('1'), "{t}");
+    }
+
+    #[test]
+    fn ablation_smoke() {
+        let t = ablation(4_000, Duration::from_secs(20));
+        assert!(t.contains("no-reorder"));
+        assert!(t.contains("spo-only"));
+    }
+
+    #[test]
+    fn engine_and_query_parsing() {
+        assert!(parse_engines(&["mem-opt".into(), "native-opt".into()]).is_ok());
+        assert!(parse_engines(&["bogus".into()]).is_err());
+        assert!(parse_queries(&["q1".into(), "Q12c".into()]).is_ok());
+        assert!(parse_queries(&["q99".into()]).is_err());
+    }
+}

@@ -1,0 +1,7 @@
+//! # sp2b-bench — harness utilities shared by the `sp2b` CLI and the
+//! criterion benchmarks.
+
+pub mod args;
+pub mod experiments;
+
+pub use args::Args;

@@ -1,0 +1,28 @@
+//! # sp2b-core — the SP²Bench benchmark
+//!
+//! The paper's primary contribution, assembled: the 17 benchmark queries
+//! ([`queries`]), the engine configurations standing in for the paper's
+//! systems under test ([`engines`]), the measurement metrics of Section
+//! VI-B ([`metrics`]), the benchmark protocol ([`runner`]) and formatters
+//! that print the paper's tables and figure series ([`report`]).
+//!
+//! ```no_run
+//! use sp2b_core::runner::{run_benchmark, RunnerConfig};
+//! use sp2b_core::report::full_report;
+//!
+//! let report = run_benchmark(&RunnerConfig::quick(), |line| eprintln!("{line}"));
+//! println!("{}", full_report(&report));
+//! ```
+
+pub mod engines;
+pub mod ext_queries;
+pub mod metrics;
+pub mod queries;
+pub mod report;
+pub mod runner;
+
+pub use engines::{Engine, EngineKind, Outcome};
+pub use metrics::{measure, Measurement};
+pub use ext_queries::ExtQuery;
+pub use queries::BenchQuery;
+pub use runner::{run_benchmark, BenchmarkReport, RunnerConfig, Status};

@@ -1,0 +1,411 @@
+//! The 17 SP²Bench queries, exactly as printed in the paper's appendix.
+//!
+//! Two normalizations against the published text:
+//! * Q12c's `rfd:type` is the obvious typo for `rdf:type` (the `rfd`
+//!   prefix is declared nowhere);
+//! * prefixes are pre-declared by the parser (the appendix omits the
+//!   prologue), so the texts below start at `SELECT`/`ASK`.
+
+/// Identifies one benchmark query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BenchQuery {
+    /// Q1 — year of "Journal 1 (1940)"; 1 result, constant time on
+    /// index-backed stores.
+    Q1,
+    /// Q2 — bushy pattern over inproceedings with OPTIONAL abstract,
+    /// ORDER BY; result grows with document size.
+    Q2,
+    /// Q3a — FILTER with low selectivity (swrc:pages, ~92.6% of articles).
+    Q3a,
+    /// Q3b — FILTER with high selectivity (swrc:month, ~0.65%).
+    Q3b,
+    /// Q3c — FILTER that never matches (swrc:isbn on articles: probability 0).
+    Q3c,
+    /// Q4 — long chains + DISTINCT; quadratic in journal content.
+    Q4,
+    /// Q5a — implicit join on author names via FILTER.
+    Q5a,
+    /// Q5b — the equivalent explicit join.
+    Q5b,
+    /// Q6 — single closed-world negation (publications of authors without
+    /// earlier publications).
+    Q6,
+    /// Q7 — double negation over the citation system.
+    Q7,
+    /// Q8 — Erdős numbers 1 and 2 via UNION.
+    Q8,
+    /// Q9 — incoming/outgoing predicates of persons; result size 4.
+    Q9,
+    /// Q10 — object-bound-only access pattern (all edges to Paul Erdős).
+    Q10,
+    /// Q11 — ORDER BY + LIMIT + OFFSET over rdfs:seeAlso.
+    Q11,
+    /// Q12a — Q5a as ASK.
+    Q12a,
+    /// Q12b — Q8 as ASK.
+    Q12b,
+    /// Q12c — ASK for a person that never exists.
+    Q12c,
+}
+
+impl BenchQuery {
+    /// All queries in paper order.
+    pub const ALL: [BenchQuery; 17] = [
+        BenchQuery::Q1,
+        BenchQuery::Q2,
+        BenchQuery::Q3a,
+        BenchQuery::Q3b,
+        BenchQuery::Q3c,
+        BenchQuery::Q4,
+        BenchQuery::Q5a,
+        BenchQuery::Q5b,
+        BenchQuery::Q6,
+        BenchQuery::Q7,
+        BenchQuery::Q8,
+        BenchQuery::Q9,
+        BenchQuery::Q10,
+        BenchQuery::Q11,
+        BenchQuery::Q12a,
+        BenchQuery::Q12b,
+        BenchQuery::Q12c,
+    ];
+
+    /// The query's display label (paper numbering).
+    pub fn label(self) -> &'static str {
+        match self {
+            BenchQuery::Q1 => "Q1",
+            BenchQuery::Q2 => "Q2",
+            BenchQuery::Q3a => "Q3a",
+            BenchQuery::Q3b => "Q3b",
+            BenchQuery::Q3c => "Q3c",
+            BenchQuery::Q4 => "Q4",
+            BenchQuery::Q5a => "Q5a",
+            BenchQuery::Q5b => "Q5b",
+            BenchQuery::Q6 => "Q6",
+            BenchQuery::Q7 => "Q7",
+            BenchQuery::Q8 => "Q8",
+            BenchQuery::Q9 => "Q9",
+            BenchQuery::Q10 => "Q10",
+            BenchQuery::Q11 => "Q11",
+            BenchQuery::Q12a => "Q12a",
+            BenchQuery::Q12b => "Q12b",
+            BenchQuery::Q12c => "Q12c",
+        }
+    }
+
+    /// Parses a label like "q3a"/"Q3a".
+    pub fn from_label(s: &str) -> Option<BenchQuery> {
+        let lower = s.to_ascii_lowercase();
+        Self::ALL.into_iter().find(|q| q.label().to_ascii_lowercase() == lower)
+    }
+
+    /// The SPARQL text.
+    pub fn text(self) -> &'static str {
+        match self {
+            BenchQuery::Q1 => Q1,
+            BenchQuery::Q2 => Q2,
+            BenchQuery::Q3a => Q3A,
+            BenchQuery::Q3b => Q3B,
+            BenchQuery::Q3c => Q3C,
+            BenchQuery::Q4 => Q4,
+            BenchQuery::Q5a => Q5A,
+            BenchQuery::Q5b => Q5B,
+            BenchQuery::Q6 => Q6,
+            BenchQuery::Q7 => Q7,
+            BenchQuery::Q8 => Q8,
+            BenchQuery::Q9 => Q9,
+            BenchQuery::Q10 => Q10,
+            BenchQuery::Q11 => Q11,
+            BenchQuery::Q12a => Q12A,
+            BenchQuery::Q12b => Q12B,
+            BenchQuery::Q12c => Q12C,
+        }
+    }
+
+    /// True for the ASK queries.
+    pub fn is_ask(self) -> bool {
+        matches!(self, BenchQuery::Q12a | BenchQuery::Q12b | BenchQuery::Q12c)
+    }
+}
+
+impl std::fmt::Display for BenchQuery {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Q1: *Return the year of publication of "Journal 1 (1940)".*
+pub const Q1: &str = r#"
+SELECT ?yr
+WHERE {
+  ?journal rdf:type bench:Journal .
+  ?journal dc:title "Journal 1 (1940)"^^xsd:string .
+  ?journal dcterms:issued ?yr
+}"#;
+
+/// Q2: *Extract all inproceedings with their standard properties,
+/// optionally the abstract.*
+pub const Q2: &str = r#"
+SELECT ?inproc ?author ?booktitle ?title
+       ?proc ?ee ?page ?url ?yr ?abstract
+WHERE {
+  ?inproc rdf:type bench:Inproceedings .
+  ?inproc dc:creator ?author .
+  ?inproc bench:booktitle ?booktitle .
+  ?inproc dc:title ?title .
+  ?inproc dcterms:partOf ?proc .
+  ?inproc rdfs:seeAlso ?ee .
+  ?inproc swrc:pages ?page .
+  ?inproc foaf:homepage ?url .
+  ?inproc dcterms:issued ?yr
+  OPTIONAL { ?inproc bench:abstract ?abstract }
+} ORDER BY ?yr"#;
+
+/// Q3a: *Select all articles with property swrc:pages.*
+pub const Q3A: &str = r#"
+SELECT ?article
+WHERE {
+  ?article rdf:type bench:Article .
+  ?article ?property ?value
+  FILTER (?property = swrc:pages)
+}"#;
+
+/// Q3b: like Q3a with swrc:month.
+pub const Q3B: &str = r#"
+SELECT ?article
+WHERE {
+  ?article rdf:type bench:Article .
+  ?article ?property ?value
+  FILTER (?property = swrc:month)
+}"#;
+
+/// Q3c: like Q3a with swrc:isbn (matches nothing).
+pub const Q3C: &str = r#"
+SELECT ?article
+WHERE {
+  ?article rdf:type bench:Article .
+  ?article ?property ?value
+  FILTER (?property = swrc:isbn)
+}"#;
+
+/// Q4: *Select all distinct pairs of article author names for authors that
+/// have published in the same journal.*
+pub const Q4: &str = r#"
+SELECT DISTINCT ?name1 ?name2
+WHERE {
+  ?article1 rdf:type bench:Article .
+  ?article2 rdf:type bench:Article .
+  ?article1 dc:creator ?author1 .
+  ?author1 foaf:name ?name1 .
+  ?article2 dc:creator ?author2 .
+  ?author2 foaf:name ?name2 .
+  ?article1 swrc:journal ?journal .
+  ?article2 swrc:journal ?journal
+  FILTER (?name1 < ?name2)
+}"#;
+
+/// Q5a: *Names of persons occurring as author of at least one
+/// inproceeding and one article* — implicit join via FILTER.
+pub const Q5A: &str = r#"
+SELECT DISTINCT ?person ?name
+WHERE {
+  ?article rdf:type bench:Article .
+  ?article dc:creator ?person .
+  ?inproc rdf:type bench:Inproceedings .
+  ?inproc dc:creator ?person2 .
+  ?person foaf:name ?name .
+  ?person2 foaf:name ?name2
+  FILTER (?name = ?name2)
+}"#;
+
+/// Q5b: the explicit-join variant of Q5a.
+pub const Q5B: &str = r#"
+SELECT DISTINCT ?person ?name
+WHERE {
+  ?article rdf:type bench:Article .
+  ?article dc:creator ?person .
+  ?inproc rdf:type bench:Inproceedings .
+  ?inproc dc:creator ?person .
+  ?person foaf:name ?name
+}"#;
+
+/// Q6: *Publications, per year, of authors that have not published in
+/// years before* — closed-world negation.
+pub const Q6: &str = r#"
+SELECT ?yr ?name ?doc
+WHERE {
+  ?class rdfs:subClassOf foaf:Document .
+  ?doc rdf:type ?class .
+  ?doc dcterms:issued ?yr .
+  ?doc dc:creator ?author .
+  ?author foaf:name ?name
+  OPTIONAL {
+    ?class2 rdfs:subClassOf foaf:Document .
+    ?doc2 rdf:type ?class2 .
+    ?doc2 dcterms:issued ?yr2 .
+    ?doc2 dc:creator ?author2
+    FILTER (?author = ?author2 && ?yr2 < ?yr)
+  }
+  FILTER (!bound(?author2))
+}"#;
+
+/// Q7: *Titles of papers cited at least once, but not by any paper that
+/// has not been cited itself* — double negation.
+pub const Q7: &str = r#"
+SELECT DISTINCT ?title
+WHERE {
+  ?class rdfs:subClassOf foaf:Document .
+  ?doc rdf:type ?class .
+  ?doc dc:title ?title .
+  ?bag2 ?member2 ?doc .
+  ?doc2 dcterms:references ?bag2
+  OPTIONAL {
+    ?class3 rdfs:subClassOf foaf:Document .
+    ?doc3 rdf:type ?class3 .
+    ?doc3 dcterms:references ?bag3 .
+    ?bag3 ?member3 ?doc
+    OPTIONAL {
+      ?class4 rdfs:subClassOf foaf:Document .
+      ?doc4 rdf:type ?class4 .
+      ?doc4 dcterms:references ?bag4 .
+      ?bag4 ?member4 ?doc3
+    }
+    FILTER (!bound(?doc4))
+  }
+  FILTER (!bound(?doc3))
+}"#;
+
+/// Q8: *Authors with Erdős number 1 or 2.*
+pub const Q8: &str = r#"
+SELECT DISTINCT ?name
+WHERE {
+  ?erdoes rdf:type foaf:Person .
+  ?erdoes foaf:name "Paul Erdoes"^^xsd:string .
+  {
+    ?doc dc:creator ?erdoes .
+    ?doc dc:creator ?author .
+    ?doc2 dc:creator ?author .
+    ?doc2 dc:creator ?author2 .
+    ?author2 foaf:name ?name
+    FILTER (?author != ?erdoes &&
+            ?doc2 != ?doc &&
+            ?author2 != ?erdoes &&
+            ?author2 != ?author)
+  } UNION {
+    ?doc dc:creator ?erdoes .
+    ?doc dc:creator ?author .
+    ?author foaf:name ?name
+    FILTER (?author != ?erdoes)
+  }
+}"#;
+
+/// Q9: *Incoming and outgoing properties of persons* — schema exploration,
+/// result size exactly 4.
+pub const Q9: &str = r#"
+SELECT DISTINCT ?predicate
+WHERE {
+  {
+    ?person rdf:type foaf:Person .
+    ?subject ?predicate ?person
+  } UNION {
+    ?person rdf:type foaf:Person .
+    ?person ?predicate ?object
+  }
+}"#;
+
+/// Q10: *All subjects standing in any relation to Paul Erdős* —
+/// object-bound access pattern.
+pub const Q10: &str = r#"
+SELECT ?subj ?pred
+WHERE { ?subj ?pred person:Paul_Erdoes }"#;
+
+/// Q11: *10 electronic edition URLs starting from the 51st, in
+/// lexicographical order.*
+pub const Q11: &str = r#"
+SELECT ?ee
+WHERE { ?publication rdfs:seeAlso ?ee }
+ORDER BY ?ee LIMIT 10 OFFSET 50"#;
+
+/// Q12a: Q5a as ASK.
+pub const Q12A: &str = r#"
+ASK {
+  ?article rdf:type bench:Article .
+  ?article dc:creator ?person .
+  ?inproc rdf:type bench:Inproceedings .
+  ?inproc dc:creator ?person2 .
+  ?person foaf:name ?name .
+  ?person2 foaf:name ?name2
+  FILTER (?name = ?name2)
+}"#;
+
+/// Q12b: Q8 as ASK.
+pub const Q12B: &str = r#"
+ASK {
+  ?erdoes rdf:type foaf:Person .
+  ?erdoes foaf:name "Paul Erdoes"^^xsd:string .
+  {
+    ?doc dc:creator ?erdoes .
+    ?doc dc:creator ?author .
+    ?doc2 dc:creator ?author .
+    ?doc2 dc:creator ?author2 .
+    ?author2 foaf:name ?name
+    FILTER (?author != ?erdoes &&
+            ?doc2 != ?doc &&
+            ?author2 != ?erdoes &&
+            ?author2 != ?author)
+  } UNION {
+    ?doc dc:creator ?erdoes .
+    ?doc dc:creator ?author .
+    ?author foaf:name ?name
+    FILTER (?author != ?erdoes)
+  }
+}"#;
+
+/// Q12c: ASK for "John Q. Public" (absent by construction; `rfd:type` in
+/// the paper corrected to `rdf:type`).
+pub const Q12C: &str = r#"
+ASK { person:John_Q_Public rdf:type foaf:Person }"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sp2b_sparql::parse;
+
+    #[test]
+    fn all_queries_parse() {
+        for q in BenchQuery::ALL {
+            parse(q.text()).unwrap_or_else(|e| panic!("{q} fails to parse: {e}"));
+        }
+    }
+
+    #[test]
+    fn ask_flags_match_forms() {
+        for q in BenchQuery::ALL {
+            let parsed = parse(q.text()).unwrap();
+            assert_eq!(parsed.is_ask(), q.is_ask(), "{q}");
+        }
+    }
+
+    #[test]
+    fn labels_roundtrip() {
+        for q in BenchQuery::ALL {
+            assert_eq!(BenchQuery::from_label(q.label()), Some(q));
+            assert_eq!(BenchQuery::from_label(&q.label().to_lowercase()), Some(q));
+        }
+        assert_eq!(BenchQuery::from_label("q99"), None);
+    }
+
+    #[test]
+    fn q3_variants_differ_only_in_property() {
+        assert_eq!(Q3A.replace("swrc:pages", "swrc:month"), Q3B.to_owned());
+        assert_eq!(Q3A.replace("swrc:pages", "swrc:isbn"), Q3C.to_owned());
+    }
+
+    #[test]
+    fn q12_variants_mirror_select_counterparts() {
+        // Q12a/Q12b share the graph pattern of Q5a/Q8 (modulo form).
+        let body_of = |s: &str| s.split_once('{').unwrap().1.to_owned();
+        assert_eq!(body_of(Q12A), body_of(Q5A));
+        assert_eq!(body_of(Q12B), body_of(Q8));
+    }
+}

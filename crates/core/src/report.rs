@@ -1,0 +1,304 @@
+//! Formatters that print the paper's tables and figure data series from a
+//! [`BenchmarkReport`].
+
+use crate::metrics::{arithmetic_mean, geometric_mean};
+use crate::runner::BenchmarkReport;
+
+/// Human-readable scale label (10000 → "10k", 1000000 → "1M").
+pub fn scale_label(n: u64) -> String {
+    if n >= 1_000_000 && n.is_multiple_of(1_000_000) {
+        format!("{}M", n / 1_000_000)
+    } else if n >= 1_000 && n.is_multiple_of(1_000) {
+        format!("{}k", n / 1_000)
+    } else {
+        n.to_string()
+    }
+}
+
+/// Table IV: success-rate matrix. One row per scale per engine, one status
+/// letter per query (paper order).
+pub fn success_table(report: &BenchmarkReport) -> String {
+    let mut out = String::new();
+    out.push_str("TABLE IV — SUCCESS RATES (+ success, T timeout, M memory, E error)\n\n");
+    let queries = &report.queries;
+    out.push_str(&format!("{:<9} {:<12} ", "scale", "engine"));
+    for q in queries {
+        out.push_str(&format!("{:<5}", q.label()));
+    }
+    out.push('\n');
+    for &scale in &report.scales {
+        for &engine in &report.engines {
+            out.push_str(&format!(
+                "{:<9} {:<12} ",
+                scale_label(scale),
+                engine.label()
+            ));
+            for &q in queries {
+                let letter = report
+                    .cell(scale, engine, q)
+                    .map_or('?', |r| r.status.letter());
+                out.push_str(&format!("{letter:<5}"));
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Table V: number of query results per scale (SELECT row counts; ASK
+/// queries report 1/0 for yes/no).
+pub fn result_sizes_table(report: &BenchmarkReport) -> String {
+    let mut out = String::new();
+    out.push_str("TABLE V — NUMBER OF QUERY RESULTS\n\n");
+    out.push_str(&format!("{:<9}", "scale"));
+    for q in &report.queries {
+        out.push_str(&format!("{:>12}", q.label()));
+    }
+    out.push('\n');
+    for &scale in &report.scales {
+        out.push_str(&format!("{:<9}", scale_label(scale)));
+        for &q in &report.queries {
+            match report.result_count(scale, q) {
+                Some(c) => out.push_str(&format!("{c:>12}")),
+                None => out.push_str(&format!("{:>12}", "n/a")),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Tables VI & VII: arithmetic/geometric mean of execution time and mean
+/// memory consumption, split by engine class exactly like the paper.
+pub fn means_table(report: &BenchmarkReport) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "TABLES VI/VII — MEANS OF EXECUTION TIME (Ta/Tg, failures = 3600 s) AND MEMORY (Ma)\n\n",
+    );
+    out.push_str(&format!(
+        "{:<9} {:<12} {:>12} {:>12} {:>12}\n",
+        "scale", "engine", "Ta[s]", "Tg[s]", "Ma[MB]"
+    ));
+    for &scale in &report.scales {
+        for &engine in &report.engines {
+            let times: Vec<f64> = report
+                .records
+                .iter()
+                .filter(|r| r.scale == scale && r.engine == engine)
+                .map(|r| r.penalized_seconds())
+                .collect();
+            if times.is_empty() {
+                continue;
+            }
+            let mem: Vec<f64> = report
+                .records
+                .iter()
+                .filter(|r| r.scale == scale && r.engine == engine)
+                .filter_map(|r| r.measurement.rmem_kib)
+                .map(|k| k as f64 / 1024.0)
+                .collect();
+            let ma = if mem.is_empty() { f64::NAN } else { arithmetic_mean(&mem) };
+            out.push_str(&format!(
+                "{:<9} {:<12} {:>12.3} {:>12.3} {:>12.1}\n",
+                scale_label(scale),
+                engine.label(),
+                arithmetic_mean(&times),
+                geometric_mean(&times),
+                ma,
+            ));
+        }
+    }
+    out
+}
+
+/// Loading times (Figure 5, bottom-left; LOADING TIME metric).
+pub fn loading_table(report: &BenchmarkReport) -> String {
+    let mut out = String::new();
+    out.push_str("LOADING TIMES (dictionary encoding + index build)\n\n");
+    out.push_str(&format!(
+        "{:<9} {:<12} {:>12} {:>12} {:>12}\n",
+        "scale", "engine", "tme[s]", "usr[s]", "sys[s]"
+    ));
+    for l in &report.loads {
+        out.push_str(&format!(
+            "{:<9} {:<12} {:>12.4} {:>12.4} {:>12.4}\n",
+            scale_label(l.scale),
+            l.engine.label(),
+            l.measurement.tme.as_secs_f64(),
+            l.measurement.usr.map_or(f64::NAN, |d| d.as_secs_f64()),
+            l.measurement.sys.map_or(f64::NAN, |d| d.as_secs_f64()),
+        ));
+    }
+    out
+}
+
+/// Figures 5–8: per-query data series — for each query and engine, one
+/// line per scale with tme and usr+sys (or "Failure", as the paper plots).
+pub fn figure_series(report: &BenchmarkReport) -> String {
+    let mut out = String::new();
+    out.push_str("FIGURES 5-8 — PER-QUERY EVALUATION DATA (time in seconds, log-scale in the paper)\n");
+    for &q in &report.queries {
+        out.push_str(&format!("\n{} ", q.label()));
+        out.push_str(&"-".repeat(70 - q.label().len()));
+        out.push('\n');
+        out.push_str(&format!("{:<12}", "engine"));
+        for &scale in &report.scales {
+            out.push_str(&format!("{:>16}", scale_label(scale)));
+        }
+        out.push('\n');
+        for &engine in &report.engines {
+            // tme row.
+            out.push_str(&format!("{:<12}", engine.label()));
+            for &scale in &report.scales {
+                let cell = report.cell(scale, engine, q);
+                match cell {
+                    Some(r) if r.status == crate::runner::Status::Success => {
+                        out.push_str(&format!("{:>16.4}", r.measurement.tme.as_secs_f64()));
+                    }
+                    Some(r) => out.push_str(&format!("{:>16}", r.status.letter())),
+                    None => out.push_str(&format!("{:>16}", "-")),
+                }
+            }
+            out.push('\n');
+            // usr+sys row (indented), when available.
+            let has_cpu = report.scales.iter().any(|&s| {
+                report
+                    .cell(s, engine, q)
+                    .and_then(|r| r.measurement.usr)
+                    .is_some()
+            });
+            if has_cpu {
+                out.push_str(&format!("{:<12}", "  usr+sys"));
+                for &scale in &report.scales {
+                    let v = report.cell(scale, engine, q).and_then(|r| {
+                        Some((r.measurement.usr? + r.measurement.sys?).as_secs_f64())
+                    });
+                    match v {
+                        Some(v) => out.push_str(&format!("{v:>16.4}")),
+                        None => out.push_str(&format!("{:>16}", "-")),
+                    }
+                }
+                out.push('\n');
+            }
+        }
+    }
+    out
+}
+
+/// The full report: all tables and series.
+pub fn full_report(report: &BenchmarkReport) -> String {
+    let mut out = String::new();
+    out.push_str(&success_table(report));
+    out.push('\n');
+    out.push_str(&result_sizes_table(report));
+    out.push('\n');
+    out.push_str(&means_table(report));
+    out.push('\n');
+    out.push_str(&loading_table(report));
+    out.push('\n');
+    out.push_str(&figure_series(report));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engines::EngineKind;
+    use crate::metrics::Measurement;
+    use crate::queries::BenchQuery;
+    use crate::runner::{LoadRecord, QueryRecord, Status};
+    use std::time::Duration;
+
+    fn fake_report() -> BenchmarkReport {
+        let mut report = BenchmarkReport {
+            scales: vec![10_000, 50_000],
+            engines: vec![EngineKind::MemNaive, EngineKind::NativeOpt],
+            queries: vec![BenchQuery::Q1, BenchQuery::Q4],
+            ..Default::default()
+        };
+        for &scale in &[10_000u64, 50_000] {
+            for engine in [EngineKind::MemNaive, EngineKind::NativeOpt] {
+                report.loads.push(LoadRecord {
+                    scale,
+                    engine,
+                    measurement: Measurement {
+                        tme: Duration::from_millis(5),
+                        ..Default::default()
+                    },
+                });
+                for (query, status, count) in [
+                    (BenchQuery::Q1, Status::Success, Some(1)),
+                    (
+                        BenchQuery::Q4,
+                        if engine == EngineKind::MemNaive {
+                            Status::Timeout
+                        } else {
+                            Status::Success
+                        },
+                        if engine == EngineKind::MemNaive { None } else { Some(23_226) },
+                    ),
+                ] {
+                    report.records.push(QueryRecord {
+                        scale,
+                        engine,
+                        query,
+                        status,
+                        measurement: Measurement {
+                            tme: Duration::from_millis(12),
+                            rmem_kib: Some(2048),
+                            ..Default::default()
+                        },
+                        count,
+                    });
+                }
+            }
+        }
+        report
+    }
+
+    #[test]
+    fn scale_labels() {
+        assert_eq!(scale_label(10_000), "10k");
+        assert_eq!(scale_label(1_000_000), "1M");
+        assert_eq!(scale_label(1_234), "1234");
+    }
+
+    #[test]
+    fn success_table_shows_letters() {
+        let s = success_table(&fake_report());
+        assert!(s.contains("mem-naive"), "{s}");
+        assert!(s.contains('T'), "timeout letter missing:\n{s}");
+        assert!(s.contains('+'));
+    }
+
+    #[test]
+    fn result_sizes_prefer_successful_engines() {
+        let s = result_sizes_table(&fake_report());
+        assert!(s.contains("23226"), "{s}");
+    }
+
+    #[test]
+    fn means_apply_penalty() {
+        let s = means_table(&fake_report());
+        // mem-naive has one timeout of 3600 s and one 12 ms run →
+        // Ta ≈ 1800 s.
+        assert!(s.contains("1800."), "{s}");
+    }
+
+    #[test]
+    fn figure_series_include_failures() {
+        let s = figure_series(&fake_report());
+        assert!(s.contains("Q4"));
+        assert!(s.contains("T"), "{s}");
+    }
+
+    #[test]
+    fn full_report_concatenates_everything() {
+        let s = full_report(&fake_report());
+        assert!(s.contains("TABLE IV"));
+        assert!(s.contains("TABLE V"));
+        assert!(s.contains("TABLES VI/VII"));
+        assert!(s.contains("LOADING"));
+        assert!(s.contains("FIGURES 5-8"));
+    }
+}

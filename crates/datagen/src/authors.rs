@@ -1,0 +1,389 @@
+//! The author population model (Section III-C, Figure 4).
+//!
+//! The generator is simulation-based: persons are created once, accumulate
+//! publications over the years, and are preferentially re-selected in
+//! later years ("rich get richer"), which reproduces the publications-per-
+//! author power law of Figure 2c. Each simulated year builds a
+//! [`YearRoster`] — the set of persons publishing that year, sized by the
+//! paper's `f_dauth`/`f_new` ratio curves, with per-person publication
+//! targets drawn from the `f_awp` power law — and papers take their author
+//! lists from the roster's shuffled slot deck.
+
+use std::collections::HashSet;
+
+use crate::dist::PowerLaw;
+use crate::params;
+use crate::rng::Rng;
+
+/// Index of a person in the pool.
+pub type PersonId = u32;
+
+/// A member of the simulated author population.
+#[derive(Debug, Clone)]
+pub struct Person {
+    /// Unique full name ("names are primary keys" — Q5a/Q5b equivalence).
+    pub name: String,
+    /// Blank-node label derived from the name (`Given_Last`), or the empty
+    /// string for Paul Erdős who has a fixed URI.
+    pub label: String,
+    /// Cumulative publication count.
+    pub publications: u32,
+    /// Last year this person authored something.
+    pub last_active: i32,
+    /// Whether the `rdf:type foaf:Person` / `foaf:name` triples have been
+    /// emitted (persons are introduced on first use).
+    pub written: bool,
+}
+
+/// Paul Erdős' position in every pool.
+pub const ERDOES: PersonId = 0;
+
+/// Years of inactivity after which an author "retires" and is no longer
+/// selected (the paper assigns life times to authors; exact policy
+/// unpublished — 30 years keeps the pool realistic without starving it).
+const RETIREMENT_YEARS: i32 = 30;
+
+/// The evolving author population.
+pub struct AuthorPool {
+    persons: Vec<Person>,
+    /// Pólya urn: one entry per publication of each person (plus one at
+    /// creation), so drawing from the urn selects authors with probability
+    /// proportional to `publications + 1`.
+    urn: Vec<PersonId>,
+    used_names: HashSet<String>,
+}
+
+impl AuthorPool {
+    /// Creates a pool containing only Paul Erdős (excluded from the urn —
+    /// his activity is scripted, not sampled).
+    pub fn new() -> Self {
+        let mut used_names = HashSet::new();
+        used_names.insert("Paul Erdoes".to_owned());
+        AuthorPool {
+            persons: vec![Person {
+                name: "Paul Erdoes".to_owned(),
+                label: String::new(),
+                publications: 0,
+                last_active: params::ERDOES_FIRST_YEAR,
+                written: false,
+            }],
+            urn: Vec::new(),
+            used_names,
+        }
+    }
+
+    /// Number of persons ever created (including Erdős).
+    pub fn len(&self) -> usize {
+        self.persons.len()
+    }
+
+    /// True if only Erdős exists.
+    pub fn is_empty(&self) -> bool {
+        self.persons.len() <= 1
+    }
+
+    /// Immutable person access.
+    pub fn person(&self, id: PersonId) -> &Person {
+        &self.persons[id as usize]
+    }
+
+    /// Mutable person access.
+    pub fn person_mut(&mut self, id: PersonId) -> &mut Person {
+        &mut self.persons[id as usize]
+    }
+
+    /// Distinct persons with at least one publication (Table VIII's
+    /// `#Dist.Auth.`), counting Erdős if he published.
+    pub fn distinct_authors(&self) -> u64 {
+        self.persons.iter().filter(|p| p.publications > 0).count() as u64
+    }
+
+    /// Mints a new person with a unique name.
+    pub fn create(&mut self, rng: &mut Rng) -> PersonId {
+        let name = loop {
+            let first = *rng.pick(crate::names::FIRST_NAMES);
+            let last = *rng.pick(crate::names::LAST_NAMES);
+            let candidate = format!("{first} {last}");
+            if self.used_names.insert(candidate.clone()) {
+                break candidate;
+            }
+            // Name space exhausted around this combination: suffix a
+            // counter deterministically derived from pool size.
+            let numbered = format!("{first} {last} {:04}", self.persons.len());
+            if self.used_names.insert(numbered.clone()) {
+                break numbered;
+            }
+        };
+        let label = name.replace(' ', "_");
+        let id = self.persons.len() as PersonId;
+        self.persons.push(Person {
+            name,
+            label,
+            publications: 0,
+            last_active: 0,
+            written: false,
+        });
+        self.urn.push(id);
+        id
+    }
+
+    /// Records one publication for `id` in `year` (updates the urn so
+    /// future selection prefers productive authors).
+    pub fn record_publication(&mut self, id: PersonId, year: i32) {
+        let p = &mut self.persons[id as usize];
+        p.publications += 1;
+        p.last_active = year;
+        if id != ERDOES {
+            self.urn.push(id);
+        }
+    }
+
+    /// Samples up to `n` *distinct*, non-retired, previously created
+    /// persons, weighted by productivity. May return fewer when the pool
+    /// is small.
+    pub fn select_existing(
+        &mut self,
+        rng: &mut Rng,
+        n: usize,
+        year: i32,
+    ) -> Vec<PersonId> {
+        let mut out = Vec::with_capacity(n);
+        if self.urn.is_empty() {
+            return out;
+        }
+        let mut chosen: HashSet<PersonId> = HashSet::with_capacity(n);
+        let max_attempts = n.saturating_mul(8) + 32;
+        for _ in 0..max_attempts {
+            if out.len() >= n {
+                break;
+            }
+            let id = *rng.pick(&self.urn);
+            if chosen.contains(&id) {
+                continue;
+            }
+            let p = &self.persons[id as usize];
+            if p.publications > 0 && year - p.last_active > RETIREMENT_YEARS {
+                continue; // retired
+            }
+            chosen.insert(id);
+            out.push(id);
+        }
+        out
+    }
+
+    /// Selects `n` editors: experienced persons ("editors often have
+    /// published before"), falling back to newly created persons when the
+    /// pool cannot provide enough.
+    pub fn select_editors(
+        &mut self,
+        rng: &mut Rng,
+        n: usize,
+        year: i32,
+    ) -> Vec<PersonId> {
+        let mut editors = self.select_existing(rng, n, year);
+        while editors.len() < n {
+            editors.push(self.create(rng));
+        }
+        editors
+    }
+}
+
+impl Default for AuthorPool {
+    fn default() -> Self {
+        AuthorPool::new()
+    }
+}
+
+/// The set of persons publishing in one simulated year, with a slot deck
+/// realizing the per-author publication-count power law.
+pub struct YearRoster {
+    /// Roster members (distinct persons).
+    pub members: Vec<PersonId>,
+    /// Number of members that are new this year.
+    pub new_members: usize,
+    deck: Vec<PersonId>,
+}
+
+impl YearRoster {
+    /// Builds the roster for `year`.
+    ///
+    /// * `expected_slots` — predicted total author attributes
+    ///   (documents-with-authors × mean authors per document);
+    /// * the distinct and new counts follow `f_dauth` / `f_new`;
+    /// * per-member publication targets follow the year's `f_awp`
+    ///   power-law exponent.
+    pub fn build(
+        pool: &mut AuthorPool,
+        rng: &mut Rng,
+        year: i32,
+        expected_slots: f64,
+    ) -> Self {
+        let distinct =
+            (expected_slots * params::distinct_author_ratio(year)).round() as usize;
+        let distinct = distinct.max(1);
+        let new = ((distinct as f64) * params::new_author_ratio(year)).round() as usize;
+        let new = new.clamp(1, distinct);
+
+        let mut members = pool.select_existing(rng, distinct - new, year);
+        let existing = members.len();
+        for _ in 0..(distinct - existing) {
+            members.push(pool.create(rng));
+        }
+        let new_members = members.len() - existing;
+
+        // Publication targets: power law with the year's exponent. The cap
+        // of 80 mirrors Figure 2c's x-axis (the leading author reaches ~80
+        // publications in 2005).
+        let law = PowerLaw::new(1.0, -params::awp_exponent(year), 0.0);
+        let mut deck = Vec::with_capacity(expected_slots as usize + members.len());
+        for &m in &members {
+            let target = law.sample(rng, 80);
+            for _ in 0..target {
+                deck.push(m);
+            }
+        }
+        // Top up so the deck can cover the expected slots.
+        while (deck.len() as f64) < expected_slots {
+            let m = members[rng.below(members.len() as u64) as usize];
+            deck.push(m);
+        }
+        rng.shuffle(&mut deck);
+        YearRoster { members, new_members, deck }
+    }
+
+    /// Takes `k` distinct authors for one document. Falls back to uniform
+    /// roster draws if the deck runs dry; always returns at least one
+    /// author (unless the roster itself is empty).
+    pub fn take_authors(&mut self, rng: &mut Rng, k: usize) -> Vec<PersonId> {
+        let mut out: Vec<PersonId> = Vec::with_capacity(k);
+        let mut skipped: Vec<PersonId> = Vec::new();
+        while out.len() < k {
+            match self.deck.pop() {
+                Some(a) if out.contains(&a) => skipped.push(a),
+                Some(a) => out.push(a),
+                None => break,
+            }
+        }
+        // Duplicates set aside for this document go back for later ones.
+        self.deck.append(&mut skipped);
+        if out.len() < k && !self.members.is_empty() {
+            let mut attempts = 0;
+            while out.len() < k && attempts < 8 * k {
+                let m = self.members[rng.below(self.members.len() as u64) as usize];
+                if !out.contains(&m) {
+                    out.push(m);
+                }
+                attempts += 1;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_starts_with_erdoes_only() {
+        let pool = AuthorPool::new();
+        assert_eq!(pool.len(), 1);
+        assert!(pool.is_empty());
+        assert_eq!(pool.person(ERDOES).name, "Paul Erdoes");
+    }
+
+    #[test]
+    fn created_names_are_unique() {
+        let mut pool = AuthorPool::new();
+        let mut rng = Rng::new(1);
+        let mut names = HashSet::new();
+        for _ in 0..5_000 {
+            let id = pool.create(&mut rng);
+            assert!(names.insert(pool.person(id).name.clone()), "duplicate name");
+        }
+    }
+
+    #[test]
+    fn labels_have_no_spaces() {
+        let mut pool = AuthorPool::new();
+        let mut rng = Rng::new(2);
+        let id = pool.create(&mut rng);
+        assert!(!pool.person(id).label.contains(' '));
+    }
+
+    #[test]
+    fn selection_prefers_prolific_authors() {
+        let mut pool = AuthorPool::new();
+        let mut rng = Rng::new(3);
+        let star = pool.create(&mut rng);
+        let others: Vec<_> = (0..50).map(|_| pool.create(&mut rng)).collect();
+        for _ in 0..200 {
+            pool.record_publication(star, 1990);
+        }
+        for &o in &others {
+            pool.record_publication(o, 1990);
+        }
+        let mut star_hits = 0;
+        for _ in 0..200 {
+            let sel = pool.select_existing(&mut rng, 5, 1991);
+            if sel.contains(&star) {
+                star_hits += 1;
+            }
+        }
+        assert!(star_hits > 150, "star selected only {star_hits}/200 times");
+    }
+
+    #[test]
+    fn retired_authors_are_skipped() {
+        let mut pool = AuthorPool::new();
+        let mut rng = Rng::new(4);
+        let old = pool.create(&mut rng);
+        pool.record_publication(old, 1940);
+        let fresh = pool.create(&mut rng);
+        pool.record_publication(fresh, 2000);
+        for _ in 0..50 {
+            let sel = pool.select_existing(&mut rng, 1, 2001);
+            assert!(!sel.contains(&old), "retired author selected");
+        }
+    }
+
+    #[test]
+    fn roster_respects_distinct_and_new_counts() {
+        let mut pool = AuthorPool::new();
+        let mut rng = Rng::new(5);
+        // Seed the pool with some history.
+        for _ in 0..200 {
+            let id = pool.create(&mut rng);
+            pool.record_publication(id, 1970);
+        }
+        let roster = YearRoster::build(&mut pool, &mut rng, 1971, 300.0);
+        let distinct: HashSet<_> = roster.members.iter().collect();
+        assert_eq!(distinct.len(), roster.members.len(), "members not distinct");
+        assert!(roster.new_members >= 1);
+        assert!(roster.new_members <= roster.members.len());
+    }
+
+    #[test]
+    fn take_authors_returns_distinct() {
+        let mut pool = AuthorPool::new();
+        let mut rng = Rng::new(6);
+        for _ in 0..50 {
+            pool.create(&mut rng);
+        }
+        let mut roster = YearRoster::build(&mut pool, &mut rng, 1980, 100.0);
+        for _ in 0..40 {
+            let authors = roster.take_authors(&mut rng, 4);
+            let set: HashSet<_> = authors.iter().collect();
+            assert_eq!(set.len(), authors.len(), "duplicate author in one doc");
+            assert!(!authors.is_empty());
+        }
+    }
+
+    #[test]
+    fn editor_selection_always_delivers() {
+        let mut pool = AuthorPool::new();
+        let mut rng = Rng::new(7);
+        let editors = pool.select_editors(&mut rng, 3, 1960);
+        assert_eq!(editors.len(), 3);
+    }
+}

@@ -1,0 +1,211 @@
+//! The distribution function families of Section III.
+//!
+//! The paper approximates DBLP's social-world relations with three families:
+//! bell-shaped **Gaussian** curves (repeated attributes such as citations
+//! per paper), **logistic** curves (limited growth of venues and
+//! publications over time) and **power laws** (publications per author,
+//! incoming citations). This module implements the families; the fitted
+//! constants live in [`crate::params`].
+
+use crate::rng::Rng;
+
+/// A Gaussian (normal) probability density
+/// `p(x) = 1/(σ√(2π)) · e^(−0.5·((x−µ)/σ)²)` — Section III-A.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gaussian {
+    /// Peak position µ.
+    pub mu: f64,
+    /// Statistical spread σ (> 0).
+    pub sigma: f64,
+}
+
+impl Gaussian {
+    /// Creates the curve; `sigma` must be positive.
+    pub const fn new(mu: f64, sigma: f64) -> Self {
+        Gaussian { mu, sigma }
+    }
+
+    /// Density at `x`.
+    pub fn pdf(&self, x: f64) -> f64 {
+        let z = (x - self.mu) / self.sigma;
+        (-0.5 * z * z).exp() / (self.sigma * (2.0 * std::f64::consts::PI).sqrt())
+    }
+
+    /// Samples a positive integer count `x ≥ min` from the discretized
+    /// curve, as the generator does for repeated attributes: the paper fits
+    /// the Gaussian to the conditional distribution over documents that
+    /// have *at least one* occurrence, with left limit `x = 1`.
+    pub fn sample_count(&self, rng: &mut Rng, min: u64, max: u64) -> u64 {
+        debug_assert!(min >= 1 && max >= min);
+        // Rejection-free: draw and clamp. The paper's curves have almost
+        // all probability mass right of 1 (e.g. µ=16.82, σ=10.07), so
+        // clamping distorts the tail negligibly while keeping sampling O(1).
+        let x = rng.gaussian_with(self.mu, self.sigma).round();
+        (x as i64).clamp(min as i64, max as i64) as u64
+    }
+}
+
+/// A logistic ("limited growth") curve `f(x) = a / (1 + b·e^(−c·(x−x0)))`
+/// — Section III-B. `a` is the upper asymptote; the x-axis is the lower
+/// asymptote; the curve is S-shaped and strictly increasing for `b, c > 0`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Logistic {
+    /// Upper asymptote `a`.
+    pub a: f64,
+    /// Shape parameter `b` (> 0).
+    pub b: f64,
+    /// Growth rate `c` (> 0).
+    pub c: f64,
+    /// Reference year `x0` (the paper's formulas subtract a fixed year).
+    pub x0: f64,
+}
+
+impl Logistic {
+    /// Creates the curve.
+    pub const fn new(a: f64, b: f64, c: f64, x0: f64) -> Self {
+        Logistic { a, b, c, x0 }
+    }
+
+    /// Evaluates the curve at year `x`.
+    pub fn eval(&self, x: f64) -> f64 {
+        self.a / (1.0 + self.b * (-self.c * (x - self.x0)).exp())
+    }
+
+    /// Evaluates and rounds to a non-negative count.
+    pub fn count(&self, year: i32) -> u64 {
+        self.eval(year as f64).round().max(0.0) as u64
+    }
+}
+
+/// A shifted power law `f(x) = a·x^k + b` with `a > 0`, `k < 0`
+/// — Section III-C (publications per author).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerLaw {
+    /// Scale `a`.
+    pub a: f64,
+    /// Exponent `k` (negative: the curve decreases for x ≥ 1).
+    pub k: f64,
+    /// Vertical shift `b`.
+    pub b: f64,
+}
+
+impl PowerLaw {
+    /// Creates the curve.
+    pub const fn new(a: f64, k: f64, b: f64) -> Self {
+        PowerLaw { a, k, b }
+    }
+
+    /// Evaluates at `x` (expected number of authors with `x` publications).
+    pub fn eval(&self, x: f64) -> f64 {
+        self.a * x.powf(self.k) + self.b
+    }
+
+    /// Samples an integer `x ∈ [1, max]` with probability ∝ `x^k`
+    /// (the pure power-law part; the shift `b` only matters for the
+    /// *counting* form, not for sampling weights).
+    pub fn sample(&self, rng: &mut Rng, max: u64) -> u64 {
+        debug_assert!(max >= 1);
+        // Inverse-CDF on the continuous relaxation, then round down.
+        // For k < -1 the mass concentrates near 1, matching "lots of
+        // authors have only few publications".
+        let k1 = self.k + 1.0;
+        let u = rng.f64();
+        let x = if k1.abs() < 1e-9 {
+            // k == -1: f(x) ∝ 1/x, CDF ∝ ln x.
+            ((max as f64).ln() * u).exp()
+        } else {
+            let hi = (max as f64).powf(k1);
+            (u * (hi - 1.0) + 1.0).powf(1.0 / k1)
+        };
+        (x.floor() as u64).clamp(1, max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gaussian_pdf_integrates_to_one() {
+        let g = Gaussian::new(16.82, 10.07); // the paper's d_cite
+        let mass: f64 = (-1000..2000).map(|i| g.pdf(i as f64 * 0.1) * 0.1).sum();
+        assert!((mass - 1.0).abs() < 1e-6, "mass {mass}");
+    }
+
+    #[test]
+    fn gaussian_pdf_peaks_at_mu() {
+        let g = Gaussian::new(2.15, 1.18); // the paper's d_editor
+        assert!(g.pdf(2.15) > g.pdf(1.0));
+        assert!(g.pdf(2.15) > g.pdf(4.0));
+    }
+
+    #[test]
+    fn gaussian_sampling_matches_mean() {
+        let g = Gaussian::new(16.82, 10.07);
+        let mut rng = Rng::new(1);
+        let n = 20_000;
+        let mean: f64 = (0..n)
+            .map(|_| g.sample_count(&mut rng, 1, 100) as f64)
+            .sum::<f64>()
+            / n as f64;
+        // Clamping at 1 raises the mean slightly above µ.
+        assert!((16.0..18.5).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn logistic_is_monotone_and_bounded() {
+        // The paper's f_journal.
+        let f = Logistic::new(740.43, 426.28, 0.12, 1950.0);
+        let mut prev = 0.0;
+        for yr in 1900..2100 {
+            let v = f.eval(yr as f64);
+            assert!(v >= prev, "logistic must not decrease");
+            assert!(v <= 740.43);
+            prev = v;
+        }
+        // Approaches the asymptote.
+        assert!(f.eval(2150.0) > 0.99 * 740.43);
+    }
+
+    #[test]
+    fn logistic_count_rounds() {
+        let f = Logistic::new(740.43, 426.28, 0.12, 1950.0);
+        assert_eq!(f.count(1900), 0);
+        assert!(f.count(2005) > 400);
+    }
+
+    #[test]
+    fn power_law_eval_decreases() {
+        let p = PowerLaw::new(1.5, -2.5, -5.0);
+        assert!(p.eval(1.0) > p.eval(2.0));
+        assert!(p.eval(2.0) > p.eval(10.0));
+    }
+
+    #[test]
+    fn power_law_sampling_is_head_heavy() {
+        let p = PowerLaw::new(1.0, -2.5, 0.0);
+        let mut rng = Rng::new(2);
+        let mut ones = 0;
+        let mut big = 0;
+        for _ in 0..10_000 {
+            match p.sample(&mut rng, 80) {
+                1 => ones += 1,
+                x if x >= 10 => big += 1,
+                _ => {}
+            }
+        }
+        assert!(ones > 6_000, "power law head too light: {ones}");
+        assert!(big < 500, "power law tail too heavy: {big}");
+        assert!(big > 0, "tail must exist");
+    }
+
+    #[test]
+    fn power_law_sample_respects_bounds() {
+        let p = PowerLaw::new(1.0, -2.1, 0.0);
+        let mut rng = Rng::new(3);
+        for _ in 0..5_000 {
+            let x = p.sample(&mut rng, 17);
+            assert!((1..=17).contains(&x));
+        }
+    }
+}

@@ -1,0 +1,246 @@
+//! Word lists fed to the generator.
+//!
+//! Section IV: "we … provide lists of first and last names, publishers,
+//! and random words to our data generator". The released benchmark ships
+//! such lists as text files; we embed equivalents so the crate is
+//! self-contained and deterministic. The name pools are large enough that
+//! first×last combinations exceed any realistic author population; on
+//! exhaustion the generator suffixes a counter so author names stay unique
+//! (names act as primary keys — the Q5a/Q5b equivalence depends on it).
+//!
+//! None of the lists can produce "John Q. Public" (Q12c) or "Paul Erdoes"
+//! (the fixed special author) — asserted by tests.
+
+/// Given names.
+pub const FIRST_NAMES: &[&str] = &[
+    "Adam", "Adriana", "Agnes", "Ahmed", "Aiko", "Alan", "Albert", "Alejandro",
+    "Alexander", "Alice", "Alina", "Amar", "Amelie", "Ana", "Anders", "Andrea",
+    "Andrei", "Angela", "Anil", "Anita", "Anke", "Anna", "Anton", "Antonio",
+    "Arjun", "Astrid", "Aurelio", "Axel", "Barbara", "Bela", "Benjamin",
+    "Bernd", "Bettina", "Bianca", "Bjorn", "Boris", "Brigitte", "Bruno",
+    "Camille", "Carlos", "Carmen", "Carol", "Catherine", "Cecilia", "Chandra",
+    "Charles", "Chen", "Ching", "Christian", "Christine", "Claire", "Clara",
+    "Claudia", "Colin", "Cornelia", "Cyril", "Dagmar", "Daniel", "Daniela",
+    "David", "Dennis", "Diana", "Diego", "Dieter", "Dimitri", "Dolores",
+    "Dominik", "Dorothea", "Edgar", "Eduardo", "Edward", "Elena", "Elisabeth",
+    "Emil", "Emma", "Enrique", "Eric", "Erika", "Ernst", "Esther", "Eugene",
+    "Eva", "Fabian", "Fatima", "Felix", "Fernando", "Florian", "Frank",
+    "Frederik", "Gabriel", "Gabriele", "Georg", "George", "Gerhard", "Gisela",
+    "Giovanni", "Giulia", "Gregor", "Gudrun", "Guido", "Gunter", "Gustav",
+    "Hana", "Hannes", "Hans", "Harald", "Harold", "Heike", "Heinrich",
+    "Helena", "Helga", "Henning", "Henry", "Herbert", "Hermann", "Hiroshi",
+    "Holger", "Hugo", "Ida", "Igor", "Ilona", "Ines", "Ingrid", "Irene",
+    "Isabel", "Ivan", "Jacob", "James", "Jan", "Jana", "Janos", "Javier",
+    "Jean", "Jennifer", "Jens", "Jessica", "Jiri", "Joachim", "Joan", "Joerg",
+    "Johan", "Johanna", "Jonas", "Jorge", "Josef", "Juan", "Judith", "Julia",
+    "Julian", "Juliane", "Jun", "Jutta", "Kai", "Karin", "Karl", "Katarina",
+    "Katharina", "Kenji", "Kerstin", "Kevin", "Klaus", "Konrad", "Kurt",
+    "Lars", "Laura", "Lea", "Leila", "Lena", "Leon", "Leonard", "Linda",
+    "Lisa", "Lorenzo", "Louis", "Luca", "Lucia", "Ludwig", "Luis", "Lukas",
+    "Magdalena", "Manfred", "Manuel", "Marco", "Margarete", "Maria", "Marianne",
+    "Mario", "Marion", "Marko", "Markus", "Marta", "Martin", "Martina",
+    "Matthias", "Maximilian", "Mei", "Melanie", "Michael", "Michaela",
+    "Miguel", "Mikhail", "Milan", "Ming", "Miriam", "Mohammed", "Monica",
+    "Nadia", "Nadine", "Natalia", "Nico", "Nicolas", "Nikolai", "Nina",
+    "Norbert", "Olaf", "Oliver", "Olga", "Oscar", "Otto", "Pablo", "Paolo",
+    "Patricia", "Patrick", "Paul", "Paula", "Pedro", "Peter", "Petra",
+    "Philipp", "Pierre", "Priya", "Rafael", "Raimund", "Rainer", "Ralf",
+    "Ramona", "Raquel", "Ravi", "Rebecca", "Regina", "Reinhard", "Renate",
+    "Ricardo", "Richard", "Rita", "Robert", "Roberta", "Roland", "Rolf",
+    "Roman", "Rosa", "Rudolf", "Ruth", "Sabine", "Samuel", "Sandra", "Sara",
+    "Sebastian", "Sergei", "Silke", "Simon", "Simone", "Sofia", "Stefan",
+    "Stefanie", "Stephan", "Susanne", "Sven", "Tanja", "Tatiana", "Theodor",
+    "Thomas", "Thorsten", "Tobias", "Tomas", "Torsten", "Ulrich", "Ulrike",
+    "Ursula", "Uwe", "Valentina", "Vera", "Verena", "Victor", "Viktor",
+    "Vincent", "Viola", "Vladimir", "Walter", "Wei", "Werner", "Wilhelm",
+    "Wolfgang", "Xavier", "Xiang", "Yasmin", "Yoshiko", "Yuri", "Yvonne",
+    "Zoltan",
+];
+
+/// Family names.
+pub const LAST_NAMES: &[&str] = &[
+    "Abel", "Ackermann", "Adler", "Ahrens", "Albrecht", "Altmann", "Andersen",
+    "Arnold", "Bach", "Bader", "Baier", "Barth", "Bauer", "Baumann", "Baumgart",
+    "Beck", "Becker", "Behrens", "Bender", "Berg", "Berger", "Bergmann",
+    "Bernhardt", "Bertram", "Binder", "Bischoff", "Blank", "Blum", "Bode",
+    "Boehm", "Borchert", "Born", "Brand", "Brandt", "Braun", "Bremer",
+    "Brenner", "Breuer", "Brinkmann", "Bruckner", "Brunner", "Buchholz",
+    "Burger", "Busch", "Carstens", "Christiansen", "Clemens", "Conrad",
+    "Cramer", "Dahl", "Daume", "Decker", "Dietrich", "Dietz", "Doering",
+    "Dorn", "Drews", "Ebert", "Eckert", "Eggert", "Ehlers", "Eichler", "Engel",
+    "Engelhardt", "Erdmann", "Ernst", "Esser", "Falk", "Faust", "Fiedler",
+    "Fink", "Fischer", "Fleischer", "Frank", "Franke", "Freitag", "Frey",
+    "Fried", "Friedrich", "Fries", "Fritz", "Fuchs", "Gabriel", "Geiger",
+    "Geisler", "Gerber", "Gerlach", "Giese", "Glaser", "Goebel", "Goetz",
+    "Graf", "Grimm", "Gross", "Gruber", "Gruen", "Haas", "Haase", "Hagen",
+    "Hahn", "Hamann", "Hansen", "Hartmann", "Hartung", "Hauser", "Heck",
+    "Heider", "Heil", "Hein", "Heine", "Heinrich", "Heinz", "Heller",
+    "Helm", "Henke", "Hennig", "Henning", "Hense", "Herbst", "Hermann",
+    "Herrmann", "Hertz", "Herzog", "Hess", "Hesse", "Heuer", "Hildebrandt",
+    "Hiller", "Hinz", "Hirsch", "Hoffmann", "Hofmann", "Holm", "Holz",
+    "Hoppe", "Horn", "Huber", "Hummel", "Jaeger", "Jahn", "Jakob", "Janke",
+    "Jansen", "Janssen", "John", "Jordan", "Jung", "Junge", "Kaiser", "Kant",
+    "Karsten", "Kaufmann", "Keller", "Kern", "Kessler", "Kiefer", "Kirchner",
+    "Klein", "Kluge", "Knapp", "Knoll", "Koch", "Koehler", "Koenig", "Kohl",
+    "Kolb", "Konrad", "Kopp", "Kraft", "Kramer", "Kraus", "Krause", "Krebs",
+    "Kremer", "Kroeger", "Krueger", "Kuehn", "Kuhn", "Kunz", "Kurz", "Lang",
+    "Lange", "Langer", "Lehmann", "Leitner", "Lenz", "Lindemann", "Lindner",
+    "Link", "Loewe", "Lorenz", "Ludwig", "Lutz", "Maier", "Mann", "Marquardt",
+    "Martens", "Marx", "Mayer", "Meier", "Mende", "Menzel", "Merkel", "Mertens",
+    "Metz", "Meyer", "Michel", "Moeller", "Mohr", "Morgenstern", "Moser",
+    "Mueller", "Naumann", "Neubauer", "Neumann", "Nickel", "Niemann",
+    "Noack", "Nolte", "Obermeier", "Oswald", "Ott", "Otto", "Pape", "Paulsen",
+    "Peters", "Petersen", "Pfeiffer", "Philipp", "Pieper", "Pohl", "Prinz",
+    "Probst", "Raabe", "Rader", "Rahn", "Rau", "Rausch", "Reich", "Reichert",
+    "Reimann", "Reinhardt", "Reiter", "Renner", "Reuter", "Richter", "Riedel",
+    "Riemer", "Ritter", "Roeder", "Rose", "Rothe", "Rudolph", "Ruf", "Runge",
+    "Sauer", "Schaefer", "Scheffler", "Schenk", "Scherer", "Schiller",
+    "Schilling", "Schindler", "Schlegel", "Schmid", "Schmidt", "Schmitt",
+    "Schneider", "Scholz", "Schramm", "Schreiber", "Schroeder", "Schubert",
+    "Schulte", "Schultz", "Schulz", "Schumacher", "Schuster", "Schwab",
+    "Schwarz", "Seidel", "Seifert", "Siebert", "Simon", "Sommer", "Sonntag",
+    "Spengler", "Sprenger", "Stahl", "Stark", "Steffen", "Stein", "Steiner",
+    "Stern", "Stock", "Stolz", "Strauss", "Struck", "Thiel", "Thiele",
+    "Thomas", "Timm", "Ulrich", "Unger", "Vogel", "Vogt", "Voigt", "Volk",
+    "Wagner", "Walter", "Weber", "Wegener", "Weidner", "Weigel", "Weiss",
+    "Wendt", "Wenzel", "Werner", "Westphal", "Wiegand", "Wilke", "Winkler",
+    "Winter", "Wirth", "Witt", "Witte", "Wolf", "Wolff", "Wulf", "Zander",
+    "Ziegler", "Zimmer", "Zimmermann",
+];
+
+/// Publisher names (for `dc:publisher` / `school`).
+pub const PUBLISHERS: &[&str] = &[
+    "ACM Press", "Academic Press", "Addison-Wesley", "Akademie Verlag",
+    "Amsterdam University Press", "Birkhauser", "Blackwell", "Brill",
+    "Cambridge University Press", "Chapman and Hall", "Columbia University",
+    "Cornell University", "CRC Press", "De Gruyter", "Dover Publications",
+    "Duke University Press", "Elsevier", "ETH Zurich", "Freiburg University",
+    "Gordon and Breach", "Harvard University", "IEEE Computer Society",
+    "Imperial College Press", "IOS Press", "Kluwer", "Leipzig University",
+    "MIT Press", "Morgan Kaufmann", "North-Holland", "Noyes Publications",
+    "Oldenbourg Verlag", "Open University Press", "Oxford University Press",
+    "Pearson Education", "Pergamon Press", "Plenum Press", "Prentice Hall",
+    "Princeton University", "Routledge", "Sage Publications",
+    "Saarland University", "Springer", "Stanford University", "Teubner",
+    "Thomson", "TU Berlin", "TU Muenchen", "University of Chicago Press",
+    "University of Karlsruhe", "University of Toronto Press", "Vieweg",
+    "Wiley", "World Scientific", "Yale University",
+];
+
+/// Vocabulary for titles, abstracts and other free-text values.
+pub const WORDS: &[&str] = &[
+    "abstraction", "access", "adaptive", "aggregation", "algebra", "algorithm",
+    "allocation", "analysis", "annotation", "application", "approach",
+    "approximation", "architecture", "array", "assembly", "assertion",
+    "assignment", "asynchronous", "atomic", "automata", "automated",
+    "auxiliary", "availability", "balanced", "bandwidth", "batch", "behavior",
+    "benchmark", "binary", "binding", "bound", "boolean", "bottleneck",
+    "boundary", "branch", "broadcast", "buffer", "cache", "calculus",
+    "canonical", "capability", "cardinality", "cascade", "category", "channel",
+    "checkpoint", "circuit", "class", "classification", "cluster", "coding",
+    "cohesion", "collection", "combinatorial", "communication", "compaction",
+    "comparison", "compilation", "complexity", "component", "composition",
+    "compression", "computation", "concept", "concurrency", "condition",
+    "configuration", "conjunction", "connectivity", "consensus", "consistency",
+    "constraint", "construction", "context", "continuous", "contract",
+    "control", "convergence", "correctness", "correlation", "coupling",
+    "coverage", "criterion", "cryptography", "cursor", "cycle", "database",
+    "dataflow", "deadlock", "decision", "declarative", "decomposition",
+    "deduction", "dependency", "deployment", "derivation", "design",
+    "detection", "deterministic", "diagram", "dictionary", "dimension",
+    "directory", "discovery", "discrete", "disjunction", "dispatch",
+    "distributed", "distribution", "document", "domain", "duality", "dynamic",
+    "efficiency", "element", "embedding", "encapsulation", "encoding",
+    "encryption", "engine", "entity", "enumeration", "environment",
+    "equivalence", "estimation", "evaluation", "event", "evolution",
+    "exception", "execution", "experiment", "expression", "extension",
+    "extraction", "factorization", "failure", "fairness", "feature",
+    "federation", "feedback", "filter", "fixpoint", "formalism", "formula",
+    "fragment", "framework", "frequency", "function", "functional", "fusion",
+    "garbage", "gateway", "generation", "generic", "geometry", "grammar",
+    "granularity", "graph", "greedy", "grid", "guarantee", "hashing",
+    "heuristic", "hierarchy", "histogram", "history", "homomorphism",
+    "hybrid", "hypergraph", "identity", "implementation", "incremental",
+    "independence", "index", "induction", "inference", "information",
+    "inheritance", "injection", "instance", "instruction", "integration",
+    "integrity", "interaction", "interface", "interleaving", "interpolation",
+    "interpretation", "intersection", "invariant", "inversion", "isolation",
+    "iteration", "join", "kernel", "knowledge", "label", "lambda", "language",
+    "latency", "lattice", "layer", "learning", "lemma", "lexical", "library",
+    "lifetime", "linear", "linkage", "locality", "lock", "logic", "lookup",
+    "machine", "maintenance", "management", "mapping", "matching", "matrix",
+    "measurement", "mechanism", "mediator", "membership", "memory", "merge",
+    "metadata", "method", "metric", "migration", "minimization", "mining",
+    "mobility", "modality", "model", "modular", "monitoring", "monotone",
+    "multiplexing", "mutation", "navigation", "negotiation", "network",
+    "neural", "normalization", "notation", "notification", "numerical",
+    "object", "observation", "ontology", "operator", "optimization", "oracle",
+    "ordering", "orthogonal", "overhead", "overlay", "paradigm", "parallel",
+    "parameter", "parsing", "partition", "pattern", "performance",
+    "permutation", "persistence", "perspective", "pipeline", "placement",
+    "planning", "pointer", "polymorphism", "polynomial", "precision",
+    "predicate", "prediction", "prefetching", "preprocessing", "primitive",
+    "priority", "privacy", "probabilistic", "procedure", "process",
+    "profiling", "projection", "proof", "propagation", "property", "protocol",
+    "prototype", "proximity", "pruning", "quality", "quantification", "query",
+    "queue", "random", "ranking", "reachability", "reasoning", "recognition",
+    "reconfiguration", "recovery", "recursion", "reduction", "redundancy",
+    "refinement", "reflection", "region", "register", "regression",
+    "regularity", "relation", "relaxation", "reliability", "replication",
+    "repository", "representation", "requirement", "resolution", "resource",
+    "retrieval", "reuse", "rewriting", "robustness", "routing", "runtime",
+    "sampling", "satisfiability", "scalability", "schedule", "schema",
+    "scope", "search", "security", "segment", "selection", "semantics",
+    "sequence", "serialization", "service", "session", "signature",
+    "similarity", "simulation", "specification", "spectrum", "stability",
+    "standard", "statistics", "storage", "stream", "structure", "subsumption",
+    "summary", "symmetry", "synchronization", "synthesis", "system", "table",
+    "taxonomy", "technique", "template", "temporal", "term", "termination",
+    "testing", "theorem", "theory", "threshold", "throughput", "topology",
+    "trace", "tracking", "tradeoff", "traffic", "transaction", "transducer",
+    "transformation", "transition", "translation", "traversal", "tree",
+    "trigger", "tuple", "type", "unification", "uniform", "union",
+    "uniqueness", "update", "validation", "variable", "variance",
+    "vector", "verification", "version", "view", "virtual", "visualization",
+    "vocabulary", "workflow", "workload", "wrapper",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn assert_unique(list: &[&str], what: &str) {
+        let set: HashSet<_> = list.iter().collect();
+        assert_eq!(set.len(), list.len(), "{what} contains duplicates");
+    }
+
+    #[test]
+    fn lists_are_non_trivial_and_unique() {
+        assert!(FIRST_NAMES.len() >= 200, "{}", FIRST_NAMES.len());
+        assert!(LAST_NAMES.len() >= 250, "{}", LAST_NAMES.len());
+        assert!(PUBLISHERS.len() >= 50);
+        assert!(WORDS.len() >= 350, "{}", WORDS.len());
+        assert_unique(FIRST_NAMES, "FIRST_NAMES");
+        assert_unique(LAST_NAMES, "LAST_NAMES");
+        assert_unique(PUBLISHERS, "PUBLISHERS");
+        assert_unique(WORDS, "WORDS");
+    }
+
+    #[test]
+    fn reserved_names_cannot_be_generated() {
+        // Q12c relies on "John Q. Public" never existing; the Erdős entry
+        // point must stay unique to the fixed URI.
+        assert!(!LAST_NAMES.contains(&"Public"));
+        assert!(!LAST_NAMES.contains(&"Erdoes"));
+        assert!(!LAST_NAMES.contains(&"Erdos"));
+    }
+
+    #[test]
+    fn name_space_is_ample() {
+        // 25M-triple documents hold ~2.1M distinct authors (Table VIII);
+        // first×last must comfortably exceed that before suffixing kicks in.
+        let combos = FIRST_NAMES.len() * LAST_NAMES.len();
+        assert!(combos > 60_000, "only {combos} combinations");
+    }
+}

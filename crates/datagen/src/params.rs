@@ -1,0 +1,439 @@
+//! Every fitted constant of the paper's DBLP study (Sections III-A to
+//! III-D, Table IX), in one place.
+//!
+//! Where the arXiv rendering is ambiguous (missing `1+` in two logistic
+//! denominators, `1749.00` vs `1+749.00`) we restore the logistic form —
+//! the literal readings are unbounded exponentials or negative counts that
+//! contradict both the "limited growth" narrative and Table VIII; see
+//! DESIGN.md §4.
+
+use crate::dist::{Gaussian, Logistic, PowerLaw};
+
+/// The eight explicit DBLP document classes (the DTD's child entities).
+/// `Journal` is *not* among them: journals are implicitly defined by the
+/// `journal` attribute of articles (Section III-B) but materialize as
+/// `bench:Journal` venue resources in the RDF scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DocClass {
+    /// `<article>` — journal articles.
+    Article,
+    /// `<inproceedings>` — conference papers.
+    Inproceedings,
+    /// `<proceedings>` — conference proceedings (the paper calls instances
+    /// of this class "conferences"; all other classes are "publications").
+    Proceedings,
+    /// `<book>`.
+    Book,
+    /// `<incollection>`.
+    Incollection,
+    /// `<phdthesis>`.
+    PhdThesis,
+    /// `<mastersthesis>`.
+    MastersThesis,
+    /// `<www>`.
+    Www,
+}
+
+impl DocClass {
+    /// All classes, in Table IX column order.
+    pub const ALL: [DocClass; 8] = [
+        DocClass::Article,
+        DocClass::Inproceedings,
+        DocClass::Proceedings,
+        DocClass::Book,
+        DocClass::Incollection,
+        DocClass::PhdThesis,
+        DocClass::MastersThesis,
+        DocClass::Www,
+    ];
+
+    /// Column index into the Table IX rows.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Human-readable name (Table VIII row labels).
+    pub fn label(self) -> &'static str {
+        match self {
+            DocClass::Article => "Article",
+            DocClass::Inproceedings => "Inproceedings",
+            DocClass::Proceedings => "Proceedings",
+            DocClass::Book => "Book",
+            DocClass::Incollection => "Incollection",
+            DocClass::PhdThesis => "PhDThesis",
+            DocClass::MastersThesis => "MastersThesis",
+            DocClass::Www => "WWW",
+        }
+    }
+}
+
+/// The 22 DBLP attributes (the DTD's `%field;` entity), in Table IX order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Attribute {
+    /// `address`.
+    Address,
+    /// `author` (repeated; → `dc:creator`).
+    Author,
+    /// `booktitle`.
+    Booktitle,
+    /// `cdrom`.
+    Cdrom,
+    /// `chapter`.
+    Chapter,
+    /// `cite` (repeated; → `dcterms:references` bag).
+    Cite,
+    /// `crossref` (→ `dcterms:partOf`).
+    Crossref,
+    /// `editor` (repeated; → `swrc:editor`).
+    Editor,
+    /// `ee` (→ `rdfs:seeAlso`).
+    Ee,
+    /// `isbn`.
+    Isbn,
+    /// `journal` (→ `swrc:journal`).
+    Journal,
+    /// `month`.
+    Month,
+    /// `note`.
+    Note,
+    /// `number`.
+    Number,
+    /// `pages`.
+    Pages,
+    /// `publisher`.
+    Publisher,
+    /// `school` (→ `dc:publisher`, like `publisher`).
+    School,
+    /// `series`.
+    Series,
+    /// `title`.
+    Title,
+    /// `url` (→ `foaf:homepage`).
+    Url,
+    /// `volume`.
+    Volume,
+    /// `year` (→ `dcterms:issued`).
+    Year,
+}
+
+impl Attribute {
+    /// All attributes in Table IX row order.
+    pub const ALL: [Attribute; 22] = [
+        Attribute::Address,
+        Attribute::Author,
+        Attribute::Booktitle,
+        Attribute::Cdrom,
+        Attribute::Chapter,
+        Attribute::Cite,
+        Attribute::Crossref,
+        Attribute::Editor,
+        Attribute::Ee,
+        Attribute::Isbn,
+        Attribute::Journal,
+        Attribute::Month,
+        Attribute::Note,
+        Attribute::Number,
+        Attribute::Pages,
+        Attribute::Publisher,
+        Attribute::School,
+        Attribute::Series,
+        Attribute::Title,
+        Attribute::Url,
+        Attribute::Volume,
+        Attribute::Year,
+    ];
+
+    /// Row index into [`ATTRIBUTE_PROBABILITY`].
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Table IX — probability that an attribute describes a document of a
+/// class. Rows follow [`Attribute::ALL`], columns follow [`DocClass::ALL`]
+/// (Article, Inproc., Proc., Book, Incoll., PhDTh., MastTh., WWW).
+#[rustfmt::skip]
+pub const ATTRIBUTE_PROBABILITY: [[f64; 8]; 22] = [
+    /* address   */ [0.0000, 0.0000, 0.0004, 0.0000, 0.0000, 0.0000, 0.0000, 0.0000],
+    /* author    */ [0.9895, 0.9970, 0.0001, 0.8937, 0.8459, 1.0000, 1.0000, 0.9973],
+    /* booktitle */ [0.0006, 1.0000, 0.9579, 0.0183, 1.0000, 0.0000, 0.0000, 0.0001],
+    /* cdrom     */ [0.0112, 0.0162, 0.0000, 0.0032, 0.0138, 0.0000, 0.0000, 0.0000],
+    /* chapter   */ [0.0000, 0.0000, 0.0000, 0.0000, 0.0005, 0.0000, 0.0000, 0.0000],
+    /* cite      */ [0.0048, 0.0104, 0.0001, 0.0079, 0.0047, 0.0000, 0.0000, 0.0000],
+    /* crossref  */ [0.0006, 0.8003, 0.0016, 0.0000, 0.6951, 0.0000, 0.0000, 0.0000],
+    /* editor    */ [0.0000, 0.0000, 0.7992, 0.1040, 0.0000, 0.0000, 0.0000, 0.0004],
+    /* ee        */ [0.6781, 0.6519, 0.0019, 0.0079, 0.3610, 0.1444, 0.0000, 0.0000],
+    /* isbn      */ [0.0000, 0.0000, 0.8592, 0.9294, 0.0073, 0.0222, 0.0000, 0.0000],
+    /* journal   */ [0.9994, 0.0000, 0.0004, 0.0000, 0.0000, 0.0000, 0.0000, 0.0000],
+    /* month     */ [0.0065, 0.0000, 0.0001, 0.0008, 0.0000, 0.0333, 0.0000, 0.0000],
+    /* note      */ [0.0297, 0.0000, 0.0002, 0.0000, 0.0000, 0.0000, 0.0000, 0.0273],
+    /* number    */ [0.9224, 0.0001, 0.0009, 0.0000, 0.0000, 0.0333, 0.0000, 0.0000],
+    /* pages     */ [0.9261, 0.9489, 0.0000, 0.0000, 0.6849, 0.0000, 0.0000, 0.0000],
+    /* publisher */ [0.0006, 0.0000, 0.9737, 0.9992, 0.0237, 0.0444, 0.0000, 0.0000],
+    /* school    */ [0.0000, 0.0000, 0.0000, 0.0000, 0.0000, 1.0000, 1.0000, 0.0000],
+    /* series    */ [0.0000, 0.0000, 0.5791, 0.5365, 0.0000, 0.0222, 0.0000, 0.0000],
+    /* title     */ [1.0000, 1.0000, 1.0000, 1.0000, 1.0000, 1.0000, 1.0000, 1.0000],
+    /* url       */ [0.9986, 1.0000, 0.9860, 0.2373, 0.9992, 0.0222, 0.3750, 0.9624],
+    /* volume    */ [0.9982, 0.0000, 0.5670, 0.5024, 0.0000, 0.0111, 0.0000, 0.0000],
+    /* year      */ [1.0000, 1.0000, 1.0000, 1.0000, 1.0000, 1.0000, 1.0000, 0.0011],
+];
+
+/// Probability that `attr` describes a document of `class` (Table IX).
+pub fn attribute_probability(class: DocClass, attr: Attribute) -> f64 {
+    ATTRIBUTE_PROBABILITY[attr.index()][class.index()]
+}
+
+// ---------------------------------------------------------------------------
+// Section III-A: repeated attributes
+// ---------------------------------------------------------------------------
+
+/// `d_cite = Gauss(µ=16.82, σ=10.07)` — number of outgoing citations for
+/// documents having at least one.
+pub const D_CITE: Gaussian = Gaussian::new(16.82, 10.07);
+
+/// `d_editor = Gauss(µ=2.15, σ=1.18)` — editors per venue having editors.
+pub const D_EDITOR: Gaussian = Gaussian::new(2.15, 1.18);
+
+/// `µ_auth(yr) = 2.05/(1+17.59·e^(−0.11(yr−1975))) + 1.05`.
+pub const MU_AUTH_CURVE: Logistic = Logistic::new(2.05, 17.59, 0.11, 1975.0);
+/// Additive offset of `µ_auth`.
+pub const MU_AUTH_OFFSET: f64 = 1.05;
+
+/// `σ_auth(yr) = 1.00/(1+6.46·e^(−0.10(yr−1975))) + 0.50`.
+pub const SIGMA_AUTH_CURVE: Logistic = Logistic::new(1.00, 6.46, 0.10, 1975.0);
+/// Additive offset of `σ_auth`.
+pub const SIGMA_AUTH_OFFSET: f64 = 0.50;
+
+/// `d_auth(·, yr)`: the year-dependent Gaussian for authors per paper.
+pub fn d_auth(year: i32) -> Gaussian {
+    Gaussian::new(
+        MU_AUTH_CURVE.eval(year as f64) + MU_AUTH_OFFSET,
+        SIGMA_AUTH_CURVE.eval(year as f64) + SIGMA_AUTH_OFFSET,
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Section III-B: document class counts per year
+// ---------------------------------------------------------------------------
+
+/// `f_journal(yr) = 740.43/(1+426.28·e^(−0.12(yr−1950)))`.
+pub const F_JOURNAL: Logistic = Logistic::new(740.43, 426.28, 0.12, 1950.0);
+/// `f_article(yr) = 58519.12/(1+876.80·e^(−0.12(yr−1950)))`.
+pub const F_ARTICLE: Logistic = Logistic::new(58519.12, 876.80, 0.12, 1950.0);
+/// `f_proc(yr) = 5502.31/(1+1250.26·e^(−0.14(yr−1965)))`.
+pub const F_PROC: Logistic = Logistic::new(5502.31, 1250.26, 0.14, 1965.0);
+/// `f_inproc(yr) = 337132.34/(1+1901.05·e^(−0.15(yr−1965)))`.
+pub const F_INPROC: Logistic = Logistic::new(337132.34, 1901.05, 0.15, 1965.0);
+/// `f_incoll(yr) = 3577.31/(1+196.49·e^(−0.09(yr−1980)))` (`1+` restored).
+pub const F_INCOLL: Logistic = Logistic::new(3577.31, 196.49, 0.09, 1980.0);
+/// `f_book(yr) = 52.97/(1+40739.38·e^(−0.32(yr−1950)))` (`1+` restored).
+pub const F_BOOK: Logistic = Logistic::new(52.97, 40739.38, 0.32, 1950.0);
+
+/// `f_phd(yr) = random[0..20]` — upper bound of the uniform draw.
+pub const F_PHD_MAX: u64 = 20;
+/// `f_masters(yr) = random[0..10]`.
+pub const F_MASTERS_MAX: u64 = 10;
+/// `f_www(yr) = random[0..10]`.
+pub const F_WWW_MAX: u64 = 10;
+
+/// First year the "unsteady" random classes (PhD/Masters/WWW) appear.
+/// The paper models them as uniform draws but its Table VIII shows none
+/// of them before the 1980s ("like in the original DBLP database, in the
+/// early years instances of several document classes are missing"):
+/// 0 at 250k triples (data up to 1979), present at 1M (1989).
+pub const RANDOM_CLASSES_FIRST_YEAR: i32 = 1980;
+
+// ---------------------------------------------------------------------------
+// Section III-C: authors and editors
+// ---------------------------------------------------------------------------
+
+/// Ratio curve of `f_dauth`: distinct authors as a fraction of total author
+/// attributes, `(−0.67/(1+169.41·e^(−0.07(yr−1936))) + 0.84)`.
+pub const DAUTH_RATIO_CURVE: Logistic = Logistic::new(-0.67, 169.41, 0.07, 1936.0);
+/// Additive offset of the distinct-author ratio.
+pub const DAUTH_RATIO_OFFSET: f64 = 0.84;
+
+/// Fraction of distinct authors among all author attributes in `year`.
+pub fn distinct_author_ratio(year: i32) -> f64 {
+    (DAUTH_RATIO_CURVE.eval(year as f64) + DAUTH_RATIO_OFFSET).clamp(0.05, 1.0)
+}
+
+/// Ratio curve of `f_new`: new authors as a fraction of distinct authors,
+/// `(−0.29/(1+749.00·e^(−0.14(yr−1937))) + 0.628)`.
+pub const NEW_RATIO_CURVE: Logistic = Logistic::new(-0.29, 749.00, 0.14, 1937.0);
+/// Additive offset of the new-author ratio.
+pub const NEW_RATIO_OFFSET: f64 = 0.628;
+
+/// Fraction of first-time authors among distinct authors in `year`.
+pub fn new_author_ratio(year: i32) -> f64 {
+    (NEW_RATIO_CURVE.eval(year as f64) + NEW_RATIO_OFFSET).clamp(0.05, 1.0)
+}
+
+/// Exponent curve of the publications-per-author power law:
+/// `f'_awp(yr) = −0.60/(1+216223·e^(−0.20(yr−1936))) + 3.08`.
+pub const AWP_EXPONENT_CURVE: Logistic =
+    Logistic::new(-0.60, 216_223.0, 0.20, 1936.0);
+/// Additive offset of the exponent curve.
+pub const AWP_EXPONENT_OFFSET: f64 = 3.08;
+
+/// The power-law exponent for year `yr` (≈ 3.08 early, ≈ 2.48 in 2005 —
+/// flatter curves mean more prolific top authors, as in Figure 2c).
+pub fn awp_exponent(year: i32) -> f64 {
+    AWP_EXPONENT_CURVE.eval(year as f64) + AWP_EXPONENT_OFFSET
+}
+
+/// `f_awp(x, yr) = 1.50·f_publ(yr)·x^(−f'_awp(yr)) − 5`: expected number of
+/// authors with exactly `x` publications, given the year's publication
+/// count `publ`.
+pub fn f_awp(x: f64, year: i32, publ: f64) -> f64 {
+    PowerLaw::new(1.50 * publ, -awp_exponent(year), -5.0).eval(x)
+}
+
+/// Expected total coauthors for an author with `x` publications: `2.12·x`.
+pub const COAUTH_PER_PUBLICATION: f64 = 2.12;
+
+/// Expected distinct coauthors for an author with `x` publications:
+/// `x^0.81`.
+pub fn expected_distinct_coauthors(x: f64) -> f64 {
+    x.powf(0.81)
+}
+
+// ---------------------------------------------------------------------------
+// Section III-D / IV: citations, Erdős, abstracts
+// ---------------------------------------------------------------------------
+
+/// Exponent of the incoming-citation power law. The paper observes the
+/// power law but omits the fitted function; 2.1 follows Lotka-style
+/// citation studies (documented substitution, DESIGN.md §4).
+pub const INCOMING_CITATION_EXPONENT: f64 = 2.1;
+
+/// Probability that an outgoing citation stays untargeted (DBLP's "empty
+/// cite tags"), chosen so incoming < outgoing as Section III-D observes.
+pub const UNTARGETED_CITATION_PROBABILITY: f64 = 0.5;
+
+/// Largest outgoing-citation count the generator materializes.
+pub const MAX_OUTGOING_CITATIONS: u64 = 100;
+
+/// Paul Erdős publishes from this year …
+pub const ERDOES_FIRST_YEAR: i32 = 1940;
+/// … through this year (inclusive).
+pub const ERDOES_LAST_YEAR: i32 = 1996;
+/// Publications per year attributed to Paul Erdős.
+pub const ERDOES_PUBLICATIONS_PER_YEAR: u64 = 10;
+/// Editor activities per year attributed to Paul Erdős.
+pub const ERDOES_EDITORSHIPS_PER_YEAR: u64 = 2;
+
+/// Fraction of articles/inproceedings that carry a `bench:abstract`.
+pub const ABSTRACT_PROBABILITY: f64 = 0.01;
+/// Word-count distribution of abstracts: Gaussian(µ=150, σ=30).
+pub const ABSTRACT_WORDS: Gaussian = Gaussian::new(150.0, 30.0);
+
+/// First simulated year. DBLP's earliest meaningful data and the ratio
+/// curves' reference years sit in the mid-1930s; Table VIII's smallest
+/// document reaches 1955.
+pub const FIRST_YEAR: i32 = 1936;
+
+/// Authors-per-paper hard cap (protects against Gaussian tail draws).
+pub const MAX_AUTHORS_PER_DOC: u64 = 40;
+/// Editors-per-venue hard cap.
+pub const MAX_EDITORS_PER_DOC: u64 = 12;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_ix_selected_cells_match_table_i() {
+        // Table I is the published excerpt of Table IX; spot-check it.
+        assert_eq!(attribute_probability(DocClass::Article, Attribute::Author), 0.9895);
+        assert_eq!(attribute_probability(DocClass::Article, Attribute::Pages), 0.9261);
+        assert_eq!(attribute_probability(DocClass::Article, Attribute::Cite), 0.0048);
+        assert_eq!(attribute_probability(DocClass::Proceedings, Attribute::Editor), 0.7992);
+        assert_eq!(attribute_probability(DocClass::Book, Attribute::Isbn), 0.9294);
+        assert_eq!(attribute_probability(DocClass::Www, Attribute::Author), 0.9973);
+        assert_eq!(attribute_probability(DocClass::Article, Attribute::Journal), 0.9994);
+        assert_eq!(attribute_probability(DocClass::Article, Attribute::Month), 0.0065);
+        assert_eq!(attribute_probability(DocClass::Article, Attribute::Isbn), 0.0000);
+    }
+
+    #[test]
+    fn every_class_always_has_a_title() {
+        for c in DocClass::ALL {
+            assert_eq!(attribute_probability(c, Attribute::Title), 1.0);
+        }
+    }
+
+    #[test]
+    fn probabilities_are_valid() {
+        for row in ATTRIBUTE_PROBABILITY {
+            for p in row {
+                assert!((0.0..=1.0).contains(&p));
+            }
+        }
+    }
+
+    #[test]
+    fn authors_per_paper_grows_over_time() {
+        let early = d_auth(1950);
+        let late = d_auth(2005);
+        assert!(late.mu > early.mu, "average coauthor count must increase");
+        // Limited growth: the asymptote is 2.05 + 1.05 = 3.10.
+        assert!(d_auth(2100).mu < 3.11);
+    }
+
+    #[test]
+    fn distinct_ratio_decreases_toward_017() {
+        assert!(distinct_author_ratio(1940) > 0.80);
+        let late = distinct_author_ratio(2100);
+        assert!((0.15..0.20).contains(&late), "late ratio {late}");
+        assert!(distinct_author_ratio(1960) > distinct_author_ratio(2000));
+    }
+
+    #[test]
+    fn new_ratio_stays_positive_fraction() {
+        for yr in 1936..2100 {
+            let r = new_author_ratio(yr);
+            assert!((0.0..=1.0).contains(&r), "year {yr}: {r}");
+        }
+        // Late years: roughly a third of distinct authors are new.
+        let r2005 = new_author_ratio(2005);
+        assert!((0.3..0.45).contains(&r2005), "2005 ratio {r2005}");
+    }
+
+    #[test]
+    fn awp_exponent_flattens_over_time() {
+        assert!(awp_exponent(1950) > awp_exponent(2005));
+        assert!((2.4..2.6).contains(&awp_exponent(2005)));
+    }
+
+    #[test]
+    fn document_counts_match_paper_narrative() {
+        // "always about 50-60 times more inproceedings than proceedings".
+        for yr in [1985, 1995, 2005] {
+            let ratio = F_INPROC.eval(yr as f64) / F_PROC.eval(yr as f64);
+            assert!((40.0..70.0).contains(&ratio), "year {yr}: ratio {ratio}");
+        }
+        // Articles and inproceedings dominate.
+        assert!(F_ARTICLE.count(2005) > 10 * F_BOOK.count(2005));
+        assert!(F_INPROC.count(2005) > 10 * F_INCOLL.count(2005));
+    }
+
+    #[test]
+    fn restored_logistics_are_bounded() {
+        // The OCR-corrected curves must respect their asymptotes.
+        assert!(F_INCOLL.eval(2200.0) <= 3577.31);
+        assert!(F_BOOK.eval(2200.0) <= 52.97);
+        // And be sensible at 2005: ≈165 incollections, ≈53 books.
+        let inc = F_INCOLL.count(2005);
+        assert!((100..260).contains(&inc), "incoll 2005: {inc}");
+        let book = F_BOOK.count(2005);
+        assert!((40..60).contains(&book), "book 2005: {book}");
+    }
+
+    #[test]
+    fn f_awp_decreases_in_x() {
+        let publ = 10_000.0;
+        assert!(f_awp(1.0, 1995, publ) > f_awp(5.0, 1995, publ));
+        assert!(f_awp(5.0, 1995, publ) > f_awp(50.0, 1995, publ));
+    }
+}

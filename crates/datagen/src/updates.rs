@@ -1,0 +1,151 @@
+//! Update streams — the paper's Section VII extension.
+//!
+//! "SPARQL update … could be realized by minor extensions to our data
+//! generator." Because generation is simulation-based and strictly
+//! chronological, the natural update unit is a **year batch**: the triples
+//! a live DBLP would gain during one year. [`UpdateStream`] materializes
+//! one deterministic generation run and serves it as per-year insert
+//! batches; consistency (venues before publications, persons before
+//! references, citation targets already present) is inherited from the
+//! generator's emission order, so applying batches in order keeps the
+//! store valid at every step.
+
+use sp2b_rdf::Triple;
+
+use crate::generator::{Config, Generator, Limit};
+use crate::sink::GraphSink;
+use crate::stats::GeneratorStats;
+
+/// One year's worth of new triples.
+#[derive(Debug, Clone)]
+pub struct YearBatch {
+    /// The simulated year this batch extends the document to.
+    pub year: i32,
+    /// Insert set, in generator emission order.
+    pub triples: Vec<Triple>,
+}
+
+/// A deterministic sequence of insert batches.
+#[derive(Debug)]
+pub struct UpdateStream {
+    batches: Vec<YearBatch>,
+    stats: GeneratorStats,
+}
+
+impl UpdateStream {
+    /// Runs the generator under `config` and splits the output into year
+    /// batches. The first batch additionally carries the schema triples
+    /// (emitted before the first year).
+    pub fn generate(config: Config) -> UpdateStream {
+        let mut sink = GraphSink::new();
+        let stats = Generator::new(config)
+            .run(&mut sink)
+            .expect("in-memory sink cannot fail");
+        let triples = sink.graph.into_triples();
+
+        let mut batches = Vec::with_capacity(stats.year_offsets.len());
+        for (i, &(year, start)) in stats.year_offsets.iter().enumerate() {
+            let end = stats
+                .year_offsets
+                .get(i + 1)
+                .map_or(triples.len(), |&(_, o)| o as usize);
+            let start = if i == 0 { 0 } else { start as usize }; // schema prefix
+            if start >= end {
+                continue; // silent year (no output, e.g. truncated at limit)
+            }
+            batches.push(YearBatch { year, triples: triples[start..end].to_vec() });
+        }
+        UpdateStream { batches, stats }
+    }
+
+    /// The batches, oldest first.
+    pub fn batches(&self) -> &[YearBatch] {
+        &self.batches
+    }
+
+    /// Consumes the stream into its batches.
+    pub fn into_batches(self) -> Vec<YearBatch> {
+        self.batches
+    }
+
+    /// Statistics of the underlying generation run.
+    pub fn stats(&self) -> &GeneratorStats {
+        &self.stats
+    }
+
+    /// Total triples across all batches.
+    pub fn len(&self) -> usize {
+        self.batches.iter().map(|b| b.triples.len()).sum()
+    }
+
+    /// True if no batch was produced.
+    pub fn is_empty(&self) -> bool {
+        self.batches.is_empty()
+    }
+}
+
+/// Convenience: the year batches for a triple-limited document.
+pub fn year_batches(triples: u64) -> Vec<YearBatch> {
+    UpdateStream::generate(Config {
+        limit: Limit::Triples(triples),
+        ..Config::triples(triples)
+    })
+    .into_batches()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::generate_graph;
+
+    #[test]
+    fn batches_reassemble_the_document() {
+        let cfg = Config::triples(8_000);
+        let stream = UpdateStream::generate(cfg);
+        let (reference, _) = generate_graph(cfg);
+        let reassembled: Vec<Triple> = stream
+            .batches()
+            .iter()
+            .flat_map(|b| b.triples.iter().cloned())
+            .collect();
+        assert_eq!(reassembled, reference.into_triples());
+    }
+
+    #[test]
+    fn batches_are_chronological_and_nonempty() {
+        let stream = UpdateStream::generate(Config::triples(8_000));
+        assert!(!stream.is_empty());
+        let years: Vec<i32> = stream.batches().iter().map(|b| b.year).collect();
+        let mut sorted = years.clone();
+        sorted.sort_unstable();
+        assert_eq!(years, sorted, "batches must be chronological");
+        assert!(stream.batches().iter().all(|b| !b.triples.is_empty()));
+    }
+
+    #[test]
+    fn first_batch_contains_schema() {
+        let stream = UpdateStream::generate(Config::triples(2_000));
+        let first = &stream.batches()[0];
+        let has_schema = first.triples.iter().any(|t| {
+            t.predicate.as_str() == sp2b_rdf::vocab::rdfs::SUB_CLASS_OF
+        });
+        assert!(has_schema, "schema triples belong to the first batch");
+    }
+
+    #[test]
+    fn year_limited_stream_covers_every_year() {
+        let stream = UpdateStream::generate(Config::up_to_year(1945));
+        let first = stream.batches().first().unwrap().year;
+        let last = stream.batches().last().unwrap().year;
+        assert_eq!(first, crate::params::FIRST_YEAR);
+        assert_eq!(last, 1945);
+    }
+
+    #[test]
+    fn convenience_matches_stream() {
+        let a = year_batches(3_000);
+        let b = UpdateStream::generate(Config::triples(3_000)).into_batches();
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.last().unwrap().triples, b.last().unwrap().triples);
+    }
+}

@@ -1,0 +1,82 @@
+//! Property tests for the generator's contract: determinism,
+//! incrementality, exact triple limits, and structural invariants — for
+//! arbitrary seeds and limits, not just the defaults.
+
+use proptest::prelude::*;
+
+use sp2b_datagen::{generate_graph, Config};
+use sp2b_rdf::vocab::{dc, foaf, rdf};
+use sp2b_rdf::Term;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn triple_limit_is_exact_for_any_limit(limit in 50u64..4_000, seed in any::<u64>()) {
+        let (g, stats) = generate_graph(Config::triples(limit).with_seed(seed));
+        prop_assert_eq!(g.len() as u64, limit);
+        prop_assert_eq!(stats.triples, limit);
+    }
+
+    #[test]
+    fn same_seed_same_output(limit in 100u64..2_000, seed in any::<u64>()) {
+        let (a, _) = generate_graph(Config::triples(limit).with_seed(seed));
+        let (b, _) = generate_graph(Config::triples(limit).with_seed(seed));
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn smaller_documents_are_prefixes(seed in any::<u64>(), small in 100u64..1_000, extra in 1u64..2_000) {
+        let large_limit = small + extra;
+        let (small_doc, _) = generate_graph(Config::triples(small).with_seed(seed));
+        let (large_doc, _) = generate_graph(Config::triples(large_limit).with_seed(seed));
+        prop_assert_eq!(small_doc.as_slice(), &large_doc.as_slice()[..small as usize]);
+    }
+
+    #[test]
+    fn persons_are_introduced_before_use(seed in any::<u64>()) {
+        // Referential consistency under truncation: every dc:creator /
+        // swrc:editor object must already be typed foaf:Person earlier in
+        // the stream.
+        let (g, _) = generate_graph(Config::triples(3_000).with_seed(seed));
+        let mut persons: std::collections::HashSet<String> = std::collections::HashSet::new();
+        for t in g.iter() {
+            if t.predicate.as_str() == rdf::TYPE {
+                if let Term::Iri(class) = &t.object {
+                    if class.as_str() == foaf::PERSON {
+                        persons.insert(t.subject.to_term().to_string());
+                    }
+                }
+            }
+            if t.predicate.as_str() == dc::CREATOR {
+                prop_assert!(
+                    persons.contains(&t.object.to_string()),
+                    "creator {} referenced before introduction",
+                    t.object
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn author_names_unique_per_document(seed in any::<u64>()) {
+        let (g, _) = generate_graph(Config::triples(5_000).with_seed(seed));
+        let mut names = std::collections::HashSet::new();
+        for t in g.with_predicate(foaf::NAME) {
+            let lex = &t.object.as_literal().expect("names are literals").lexical;
+            prop_assert!(names.insert(lex.clone()), "duplicate author name {lex}");
+        }
+    }
+
+    #[test]
+    fn stats_counts_match_document_content(seed in any::<u64>(), limit in 1_000u64..6_000) {
+        let (g, stats) = generate_graph(Config::triples(limit).with_seed(seed));
+        let articles = g.instances_of(sp2b_rdf::vocab::bench::ARTICLE).count() as u64;
+        // The stats counter may exceed the typed instances by at most one
+        // (a document truncated before its rdf:type triple cannot exist —
+        // type is emitted first — so these must match exactly).
+        prop_assert_eq!(stats.count(sp2b_datagen::DocClass::Article), articles);
+        let creators = g.with_predicate(dc::CREATOR).count() as u64;
+        prop_assert_eq!(stats.total_authors, creators);
+    }
+}

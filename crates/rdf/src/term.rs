@@ -1,0 +1,380 @@
+//! RDF terms: IRIs, blank nodes and literals.
+//!
+//! Positions are typed the way the RDF abstract syntax restricts them:
+//! subjects are IRIs or blank nodes ([`Subject`]), predicates are IRIs
+//! ([`Iri`]) and objects are any [`Term`]. The benchmark only needs plain,
+//! `xsd:string`- and `xsd:integer`-typed literals, but [`Literal`] carries
+//! an arbitrary datatype IRI and an optional language tag so the model is
+//! complete.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use crate::vocab::xsd;
+
+/// An IRI (the paper calls these URIs), stored in full resolved form.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Iri(pub String);
+
+impl Iri {
+    /// Creates an IRI from anything string-like.
+    pub fn new(iri: impl Into<String>) -> Self {
+        Iri(iri.into())
+    }
+
+    /// The full IRI string.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Iri {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{}>", self.0)
+    }
+}
+
+impl From<&str> for Iri {
+    fn from(s: &str) -> Self {
+        Iri(s.to_owned())
+    }
+}
+
+impl From<String> for Iri {
+    fn from(s: String) -> Self {
+        Iri(s)
+    }
+}
+
+/// A blank node, identified by its local label (without the `_:` prefix).
+///
+/// The generator mints labels like `Givenname_Lastname` for persons and
+/// `references17` for citation bags, exactly as Section IV describes.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlankNode(pub String);
+
+impl BlankNode {
+    /// Creates a blank node with the given label.
+    pub fn new(label: impl Into<String>) -> Self {
+        BlankNode(label.into())
+    }
+
+    /// The label (without the `_:` prefix).
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for BlankNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "_:{}", self.0)
+    }
+}
+
+/// An RDF literal: a lexical form plus either a datatype IRI or a language
+/// tag (or neither, for plain literals).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Literal {
+    /// The lexical form (unescaped).
+    pub lexical: String,
+    /// Datatype IRI, if the literal is typed.
+    pub datatype: Option<Iri>,
+    /// Language tag, if the literal is language-tagged (mutually exclusive
+    /// with `datatype` in RDF 1.0, which the benchmark follows).
+    pub language: Option<String>,
+}
+
+impl Literal {
+    /// A plain (untyped, untagged) literal.
+    pub fn plain(lexical: impl Into<String>) -> Self {
+        Literal { lexical: lexical.into(), datatype: None, language: None }
+    }
+
+    /// An `xsd:string`-typed literal — the form the generator emits for
+    /// all textual attribute values.
+    pub fn string(lexical: impl Into<String>) -> Self {
+        Literal {
+            lexical: lexical.into(),
+            datatype: Some(Iri::new(xsd::STRING)),
+            language: None,
+        }
+    }
+
+    /// An `xsd:integer`-typed literal — used for years, months, volumes…
+    pub fn integer(value: i64) -> Self {
+        Literal {
+            lexical: value.to_string(),
+            datatype: Some(Iri::new(xsd::INTEGER)),
+            language: None,
+        }
+    }
+
+    /// A literal with an explicit datatype IRI.
+    pub fn typed(lexical: impl Into<String>, datatype: Iri) -> Self {
+        Literal { lexical: lexical.into(), datatype: Some(datatype), language: None }
+    }
+
+    /// True if the datatype is `xsd:integer` and the lexical form parses.
+    pub fn as_integer(&self) -> Option<i64> {
+        match &self.datatype {
+            Some(dt) if dt.as_str() == xsd::INTEGER => self.lexical.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// True if this is a plain or `xsd:string` literal.
+    pub fn is_stringish(&self) -> bool {
+        match &self.datatype {
+            None => self.language.is_none(),
+            Some(dt) => dt.as_str() == xsd::STRING,
+        }
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "\"{}\"", self.lexical)?;
+        if let Some(lang) = &self.language {
+            write!(f, "@{lang}")?;
+        } else if let Some(dt) = &self.datatype {
+            write!(f, "^^{dt}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Any RDF term: the object position of a triple.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Term {
+    /// An IRI.
+    Iri(Iri),
+    /// A blank node.
+    Blank(BlankNode),
+    /// A literal.
+    Literal(Literal),
+}
+
+impl Term {
+    /// Convenience constructor for an IRI term.
+    pub fn iri(iri: impl Into<String>) -> Self {
+        Term::Iri(Iri::new(iri))
+    }
+
+    /// Convenience constructor for a blank-node term.
+    pub fn blank(label: impl Into<String>) -> Self {
+        Term::Blank(BlankNode::new(label))
+    }
+
+    /// The IRI if this term is one.
+    pub fn as_iri(&self) -> Option<&Iri> {
+        match self {
+            Term::Iri(i) => Some(i),
+            _ => None,
+        }
+    }
+
+    /// The literal if this term is one.
+    pub fn as_literal(&self) -> Option<&Literal> {
+        match self {
+            Term::Literal(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// True for blank nodes.
+    pub fn is_blank(&self) -> bool {
+        matches!(self, Term::Blank(_))
+    }
+
+    /// Rank used for cross-kind ordering (SPARQL `ORDER BY` total order:
+    /// blank nodes < IRIs < literals).
+    fn kind_rank(&self) -> u8 {
+        match self {
+            Term::Blank(_) => 0,
+            Term::Iri(_) => 1,
+            Term::Literal(_) => 2,
+        }
+    }
+}
+
+impl PartialOrd for Term {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Total order over terms, following the SPARQL `ORDER BY` convention:
+/// blank nodes sort before IRIs, which sort before literals; within a kind
+/// the comparison is lexical. Numeric-aware literal comparison (needed for
+/// `FILTER (?yr2 < ?yr)`) lives in the SPARQL expression layer; this `Ord`
+/// exists so results can be sorted deterministically.
+impl Ord for Term {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self, other) {
+            (Term::Blank(a), Term::Blank(b)) => a.cmp(b),
+            (Term::Iri(a), Term::Iri(b)) => a.cmp(b),
+            (Term::Literal(a), Term::Literal(b)) => {
+                // Numeric literals compare by value so ORDER BY ?yr is
+                // chronological rather than lexicographic.
+                if let (Some(x), Some(y)) = (a.as_integer(), b.as_integer()) {
+                    return x.cmp(&y);
+                }
+                (&a.lexical, &a.datatype, &a.language).cmp(&(
+                    &b.lexical,
+                    &b.datatype,
+                    &b.language,
+                ))
+            }
+            _ => self.kind_rank().cmp(&other.kind_rank()),
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Iri(i) => i.fmt(f),
+            Term::Blank(b) => b.fmt(f),
+            Term::Literal(l) => l.fmt(f),
+        }
+    }
+}
+
+impl From<Iri> for Term {
+    fn from(i: Iri) -> Self {
+        Term::Iri(i)
+    }
+}
+
+impl From<BlankNode> for Term {
+    fn from(b: BlankNode) -> Self {
+        Term::Blank(b)
+    }
+}
+
+impl From<Literal> for Term {
+    fn from(l: Literal) -> Self {
+        Term::Literal(l)
+    }
+}
+
+/// The subject position of a triple: an IRI or a blank node.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Subject {
+    /// An IRI subject.
+    Iri(Iri),
+    /// A blank-node subject.
+    Blank(BlankNode),
+}
+
+impl Subject {
+    /// Convenience constructor for an IRI subject.
+    pub fn iri(iri: impl Into<String>) -> Self {
+        Subject::Iri(Iri::new(iri))
+    }
+
+    /// Convenience constructor for a blank-node subject.
+    pub fn blank(label: impl Into<String>) -> Self {
+        Subject::Blank(BlankNode::new(label))
+    }
+
+    /// Widens to a [`Term`].
+    pub fn to_term(&self) -> Term {
+        match self {
+            Subject::Iri(i) => Term::Iri(i.clone()),
+            Subject::Blank(b) => Term::Blank(b.clone()),
+        }
+    }
+}
+
+impl fmt::Display for Subject {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Subject::Iri(i) => i.fmt(f),
+            Subject::Blank(b) => b.fmt(f),
+        }
+    }
+}
+
+impl From<Iri> for Subject {
+    fn from(i: Iri) -> Self {
+        Subject::Iri(i)
+    }
+}
+
+impl From<BlankNode> for Subject {
+    fn from(b: BlankNode) -> Self {
+        Subject::Blank(b)
+    }
+}
+
+impl TryFrom<Term> for Subject {
+    type Error = Term;
+
+    fn try_from(t: Term) -> Result<Self, Term> {
+        match t {
+            Term::Iri(i) => Ok(Subject::Iri(i)),
+            Term::Blank(b) => Ok(Subject::Blank(b)),
+            other @ Term::Literal(_) => Err(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_constructors() {
+        let s = Literal::string("Journal 1 (1940)");
+        assert_eq!(s.datatype.as_ref().unwrap().as_str(), xsd::STRING);
+        assert!(s.is_stringish());
+        assert_eq!(s.as_integer(), None);
+
+        let i = Literal::integer(1940);
+        assert_eq!(i.as_integer(), Some(1940));
+        assert!(!i.is_stringish());
+
+        let p = Literal::plain("hello");
+        assert!(p.is_stringish());
+    }
+
+    #[test]
+    fn term_display_forms() {
+        assert_eq!(Term::iri("http://a/b").to_string(), "<http://a/b>");
+        assert_eq!(Term::blank("John_Due").to_string(), "_:John_Due");
+        assert_eq!(
+            Term::Literal(Literal::integer(7)).to_string(),
+            "\"7\"^^<http://www.w3.org/2001/XMLSchema#integer>"
+        );
+        assert_eq!(Term::Literal(Literal::plain("x")).to_string(), "\"x\"");
+        let mut lang = Literal::plain("chat");
+        lang.language = Some("fr".into());
+        assert_eq!(Term::Literal(lang).to_string(), "\"chat\"@fr");
+    }
+
+    #[test]
+    fn term_ordering_ranks_kinds() {
+        let b = Term::blank("a");
+        let i = Term::iri("http://a");
+        let l = Term::Literal(Literal::plain("a"));
+        assert!(b < i);
+        assert!(i < l);
+    }
+
+    #[test]
+    fn integer_literals_order_numerically() {
+        let two = Term::Literal(Literal::integer(2));
+        let ten = Term::Literal(Literal::integer(10));
+        assert!(two < ten, "2 must sort before 10 despite lexicographic order");
+    }
+
+    #[test]
+    fn subject_round_trips_through_term() {
+        let s = Subject::blank("p1");
+        let t = s.to_term();
+        assert_eq!(Subject::try_from(t).unwrap(), s);
+        let lit = Term::Literal(Literal::plain("no"));
+        assert!(Subject::try_from(lit).is_err());
+    }
+}

@@ -1,0 +1,99 @@
+//! Property tests: N-Triples serialization and parsing are inverse.
+
+use proptest::prelude::*;
+
+use sp2b_rdf::ntriples::{parse_line, triple_to_string};
+use sp2b_rdf::{Iri, Literal, Subject, Term, Triple};
+
+fn iri_strategy() -> impl Strategy<Value = Iri> {
+    // IRIs without whitespace, '<', '>', '"' (the lexical constraints the
+    // serializer assumes).
+    "[a-z]{1,8}"
+        .prop_flat_map(|scheme| {
+            ("[a-zA-Z0-9._/~#-]{1,30}").prop_map(move |path| {
+                Iri::new(format!("{scheme}://{path}"))
+            })
+        })
+}
+
+fn blank_strategy() -> impl Strategy<Value = String> {
+    "[A-Za-z0-9_]{1,16}".prop_map(|s| s)
+}
+
+fn literal_strategy() -> impl Strategy<Value = Literal> {
+    let lexical = ".{0,40}"; // arbitrary unicode, escapes exercised
+    prop_oneof![
+        lexical.prop_map(Literal::plain),
+        lexical.prop_map(Literal::string),
+        any::<i64>().prop_map(Literal::integer),
+        (lexical, "[a-z]{1,4}(-[a-z0-9]{1,4})?").prop_map(|(l, lang)| {
+            let mut lit = Literal::plain(l);
+            lit.language = Some(lang);
+            lit
+        }),
+        (lexical, iri_strategy()).prop_map(|(l, dt)| Literal::typed(l, dt)),
+    ]
+}
+
+fn term_strategy() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        iri_strategy().prop_map(Term::Iri),
+        blank_strategy().prop_map(Term::blank),
+        literal_strategy().prop_map(Term::Literal),
+    ]
+}
+
+fn subject_strategy() -> impl Strategy<Value = Subject> {
+    prop_oneof![
+        iri_strategy().prop_map(Subject::Iri),
+        blank_strategy().prop_map(Subject::blank),
+    ]
+}
+
+fn triple_strategy() -> impl Strategy<Value = Triple> {
+    (subject_strategy(), iri_strategy(), term_strategy())
+        .prop_map(|(s, p, o)| Triple { subject: s, predicate: p, object: o })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn serialize_parse_roundtrip(t in triple_strategy()) {
+        let line = triple_to_string(&t);
+        let parsed = parse_line(line.trim_end(), 1)
+            .expect("serialized triple must parse")
+            .expect("line is not blank");
+        prop_assert_eq!(parsed, t);
+    }
+
+    #[test]
+    fn serialized_form_is_single_line(t in triple_strategy()) {
+        let line = triple_to_string(&t);
+        // Embedded newlines must be escaped: exactly one trailing '\n'.
+        prop_assert_eq!(line.matches('\n').count(), 1);
+        prop_assert!(line.ends_with(" .\n"));
+    }
+
+    #[test]
+    fn document_roundtrip(triples in prop::collection::vec(triple_strategy(), 0..40)) {
+        let mut doc = Vec::new();
+        sp2b_rdf::ntriples::write_document(&mut doc, triples.iter()).expect("vec write");
+        let parsed: Vec<Triple> = sp2b_rdf::ntriples::Parser::new(&doc[..])
+            .collect::<Result<_, _>>()
+            .expect("document parses");
+        prop_assert_eq!(parsed, triples);
+    }
+
+    #[test]
+    fn term_ordering_is_total(a in term_strategy(), b in term_strategy(), c in term_strategy()) {
+        // Antisymmetry + transitivity spot checks for the ORDER BY order.
+        use std::cmp::Ordering;
+        if a.cmp(&b) == Ordering::Less {
+            prop_assert_ne!(b.cmp(&a), Ordering::Less);
+        }
+        if a.cmp(&b) != Ordering::Greater && b.cmp(&c) != Ordering::Greater {
+            prop_assert_ne!(a.cmp(&c), Ordering::Greater);
+        }
+    }
+}

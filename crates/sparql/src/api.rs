@@ -1,0 +1,489 @@
+//! The crate's high-level query API: parse → translate → optimize → bind
+//! → evaluate, with timeout support.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use sp2b_rdf::Term;
+use sp2b_store::TripleStore;
+
+use crate::algebra::{translate, Algebra, VarTable};
+use crate::ast::Query;
+use crate::eval::{Bindings, Cancellation, EvalContext};
+use crate::optimizer::{optimize, OptimizerConfig};
+use crate::parser::{parse, ParseError};
+use crate::plan::{bind, Plan};
+
+/// Everything that can go wrong running a query.
+#[derive(Debug)]
+pub enum Error {
+    /// Syntax error.
+    Parse(ParseError),
+    /// Evaluation hit the timeout / was cancelled.
+    Cancelled,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Parse(e) => e.fmt(f),
+            Error::Cancelled => f.write_str("query evaluation cancelled (timeout)"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<ParseError> for Error {
+    fn from(e: ParseError) -> Self {
+        Error::Parse(e)
+    }
+}
+
+/// A query prepared against a specific store (constants resolved,
+/// optimizations applied). Reusable across executions.
+pub struct Prepared {
+    plan: Plan,
+    vars: VarTable,
+    projection: Vec<usize>,
+    ask: bool,
+    /// Post-processing for the aggregation extension (GROUP BY + COUNT).
+    aggregation: Option<Aggregation>,
+}
+
+/// Grouping/counting specification, applied after plan evaluation.
+struct Aggregation {
+    /// Group-key variable indices (empty = one implicit group).
+    group_vars: Vec<usize>,
+    /// `(target var, distinct)` per COUNT; target `None` = `COUNT(*)`.
+    counts: Vec<(Option<usize>, bool)>,
+    /// Output column names: group-by names then aliases.
+    columns: Vec<String>,
+    /// Output-column order keys `(column, descending)`.
+    order_by: Vec<(usize, bool)>,
+    offset: u64,
+    limit: Option<u64>,
+}
+
+/// Result of a query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryResult {
+    /// SELECT: variable names + rows of optional terms.
+    Solutions {
+        /// Projected variable names.
+        variables: Vec<String>,
+        /// Result rows aligned with `variables`.
+        rows: Vec<Vec<Option<Term>>>,
+    },
+    /// ASK: yes/no.
+    Boolean(bool),
+}
+
+impl QueryResult {
+    /// Number of solutions (1 for ASK, counting the boolean itself).
+    pub fn len(&self) -> usize {
+        match self {
+            QueryResult::Solutions { rows, .. } => rows.len(),
+            QueryResult::Boolean(_) => 1,
+        }
+    }
+
+    /// True if a SELECT returned no rows (ASK is never "empty").
+    pub fn is_empty(&self) -> bool {
+        matches!(self, QueryResult::Solutions { rows, .. } if rows.is_empty())
+    }
+
+    /// The boolean of an ASK result.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            QueryResult::Boolean(b) => Some(*b),
+            QueryResult::Solutions { .. } => None,
+        }
+    }
+}
+
+impl Prepared {
+    /// Prepares a parsed query against a store.
+    pub fn new(query: &Query, store: &dyn TripleStore, cfg: &OptimizerConfig) -> Prepared {
+        if query.is_aggregate() {
+            return Self::new_aggregate(query, store, cfg);
+        }
+        let translated = translate(query);
+        let needed: Vec<usize> = translated.projection.clone();
+        let algebra: Algebra = optimize(translated.algebra, store, cfg, &needed);
+        Prepared {
+            plan: bind(&algebra, store),
+            vars: translated.vars,
+            projection: translated.projection,
+            ask: translated.ask,
+            aggregation: None,
+        }
+    }
+
+    /// Aggregation extension: evaluate the pattern with the group/target
+    /// variables projected, then group and count in a post-pass.
+    fn new_aggregate(
+        query: &Query,
+        store: &dyn TripleStore,
+        cfg: &OptimizerConfig,
+    ) -> Prepared {
+        // Inner query: same pattern, projection = group keys + count
+        // targets, no modifiers (they apply to the aggregated output).
+        let mut inner_vars: Vec<String> = query.group_by.clone();
+        for agg in &query.aggregates {
+            if let Some(v) = &agg.target {
+                if !inner_vars.contains(v) {
+                    inner_vars.push(v.clone());
+                }
+            }
+        }
+        let inner = Query {
+            form: crate::ast::QueryForm::Select { distinct: false, variables: inner_vars },
+            aggregates: Vec::new(),
+            group_by: Vec::new(),
+            pattern: query.pattern.clone(),
+            order_by: Vec::new(),
+            limit: None,
+            offset: None,
+        };
+        let translated = translate(&inner);
+        let needed: Vec<usize> = translated.projection.clone();
+        let algebra: Algebra = optimize(translated.algebra, store, cfg, &needed);
+
+        let group_vars: Vec<usize> = query
+            .group_by
+            .iter()
+            .map(|v| translated.vars.lookup(v).expect("group var in pattern"))
+            .collect();
+        let counts: Vec<(Option<usize>, bool)> = query
+            .aggregates
+            .iter()
+            .map(|a| {
+                (
+                    a.target.as_ref().map(|v| {
+                        translated.vars.lookup(v).expect("count target in pattern")
+                    }),
+                    a.distinct,
+                )
+            })
+            .collect();
+        let mut columns: Vec<String> = query.group_by.clone();
+        columns.extend(query.aggregates.iter().map(|a| a.alias.clone()));
+        // Output-column ORDER BY: keys must name a group var or an alias.
+        let order_by: Vec<(usize, bool)> = query
+            .order_by
+            .iter()
+            .filter_map(|k| match &k.expression {
+                crate::ast::Expression::Var(v) => columns
+                    .iter()
+                    .position(|c| c == v)
+                    .map(|col| (col, k.descending)),
+                _ => None,
+            })
+            .collect();
+
+        Prepared {
+            plan: bind(&algebra, store),
+            vars: translated.vars,
+            projection: translated.projection,
+            ask: false,
+            aggregation: Some(Aggregation {
+                group_vars,
+                counts,
+                columns,
+                order_by,
+                offset: query.offset.unwrap_or(0),
+                limit: query.limit,
+            }),
+        }
+    }
+
+    /// Parses and prepares in one step.
+    pub fn parse(text: &str, store: &dyn TripleStore, cfg: &OptimizerConfig) -> Result<Prepared, Error> {
+        let query = parse(text)?;
+        Ok(Prepared::new(&query, store, cfg))
+    }
+
+    /// The physical plan (diagnostics, tests).
+    pub fn plan(&self) -> &Plan {
+        &self.plan
+    }
+
+    /// Projected variable names.
+    pub fn variables(&self) -> Vec<String> {
+        self.projection.iter().map(|&i| self.vars.name(i).to_owned()).collect()
+    }
+
+    /// Executes, materializing terms. `cancel` aborts evaluation
+    /// cooperatively; on trigger the result is [`Error::Cancelled`].
+    pub fn execute(
+        &self,
+        store: &dyn TripleStore,
+        cancel: &Cancellation,
+    ) -> Result<QueryResult, Error> {
+        if let Some(agg) = &self.aggregation {
+            return self.execute_aggregate(store, cancel, agg);
+        }
+        if self.ask {
+            let found = self.raw_rows(store, cancel).next().is_some();
+            if cancel.was_triggered() {
+                return Err(Error::Cancelled);
+            }
+            return Ok(QueryResult::Boolean(found));
+        }
+        let dict = store.dictionary();
+        let mut rows: Vec<Vec<Option<Term>>> = Vec::new();
+        for row in self.raw_rows(store, cancel) {
+            rows.push(
+                self.projection
+                    .iter()
+                    .map(|&v| row.get(v).map(|id| dict.decode(id).clone()))
+                    .collect(),
+            );
+        }
+        if cancel.was_triggered() {
+            return Err(Error::Cancelled);
+        }
+        Ok(QueryResult::Solutions { variables: self.variables(), rows })
+    }
+
+    /// Executes, returning only the solution count (ASK → 0/1; aggregate
+    /// queries → number of groups). Avoids term materialization — the
+    /// Table V result-size harness uses this.
+    pub fn count(
+        &self,
+        store: &dyn TripleStore,
+        cancel: &Cancellation,
+    ) -> Result<u64, Error> {
+        if self.aggregation.is_some() {
+            return self.execute(store, cancel).map(|r| r.len() as u64);
+        }
+        let n = if self.ask {
+            u64::from(self.raw_rows(store, cancel).next().is_some())
+        } else {
+            self.raw_rows(store, cancel).count() as u64
+        };
+        if cancel.was_triggered() {
+            return Err(Error::Cancelled);
+        }
+        Ok(n)
+    }
+
+    /// Grouping/counting post-pass of the aggregation extension.
+    fn execute_aggregate(
+        &self,
+        store: &dyn TripleStore,
+        cancel: &Cancellation,
+        agg: &Aggregation,
+    ) -> Result<QueryResult, Error> {
+        use std::collections::{HashMap, HashSet};
+
+        struct GroupState {
+            plain: Vec<u64>,
+            distinct: Vec<HashSet<Option<sp2b_store::Id>>>,
+        }
+
+        let mut groups: HashMap<Vec<Option<sp2b_store::Id>>, GroupState> = HashMap::new();
+        for row in self.raw_rows(store, cancel) {
+            let key: Vec<Option<sp2b_store::Id>> =
+                agg.group_vars.iter().map(|&v| row.get(v)).collect();
+            let state = groups.entry(key).or_insert_with(|| GroupState {
+                plain: vec![0; agg.counts.len()],
+                distinct: vec![HashSet::new(); agg.counts.len()],
+            });
+            for (i, (target, distinct)) in agg.counts.iter().enumerate() {
+                let value = match target {
+                    // COUNT(?v) counts rows where ?v is bound.
+                    Some(v) => row.get(*v).map(Some),
+                    // COUNT(*) counts every row.
+                    None => Some(None),
+                };
+                if let Some(value) = value {
+                    if *distinct {
+                        state.distinct[i].insert(value);
+                    } else {
+                        state.plain[i] += 1;
+                    }
+                }
+            }
+        }
+        if cancel.was_triggered() {
+            return Err(Error::Cancelled);
+        }
+        // SPARQL 1.1: with no GROUP BY, an empty input still yields one
+        // group of zero counts.
+        if groups.is_empty() && agg.group_vars.is_empty() {
+            groups.insert(
+                Vec::new(),
+                GroupState {
+                    plain: vec![0; agg.counts.len()],
+                    distinct: vec![HashSet::new(); agg.counts.len()],
+                },
+            );
+        }
+
+        let dict = store.dictionary();
+        let mut rows: Vec<Vec<Option<Term>>> = groups
+            .into_iter()
+            .map(|(key, state)| {
+                let mut row: Vec<Option<Term>> = key
+                    .iter()
+                    .map(|id| id.map(|id| dict.decode(id).clone()))
+                    .collect();
+                for (i, (_, distinct)) in agg.counts.iter().enumerate() {
+                    let n = if *distinct {
+                        state.distinct[i].len() as u64
+                    } else {
+                        state.plain[i]
+                    };
+                    row.push(Some(Term::Literal(sp2b_rdf::Literal::integer(n as i64))));
+                }
+                row
+            })
+            .collect();
+
+        // Deterministic output: explicit ORDER BY keys first, then the
+        // full row as a tiebreaker.
+        rows.sort_by(|a, b| {
+            for &(col, desc) in &agg.order_by {
+                let ord = compare_cells(&a[col], &b[col]);
+                let ord = if desc { ord.reverse() } else { ord };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let rows: Vec<_> = rows
+            .into_iter()
+            .skip(agg.offset as usize)
+            .take(agg.limit.map_or(usize::MAX, |l| l as usize))
+            .collect();
+        Ok(QueryResult::Solutions { variables: agg.columns.clone(), rows })
+    }
+
+    fn raw_rows<'a>(
+        &'a self,
+        store: &'a dyn TripleStore,
+        cancel: &'a Cancellation,
+    ) -> impl Iterator<Item = Bindings> + 'a {
+        let ctx = EvalContext { store, cancel, width: self.vars.len() };
+        ctx.eval(&self.plan)
+    }
+}
+
+/// Orders two result cells: unbound first, integers numerically, then the
+/// term total order.
+fn compare_cells(a: &Option<Term>, b: &Option<Term>) -> std::cmp::Ordering {
+    match (a, b) {
+        (None, None) => std::cmp::Ordering::Equal,
+        (None, Some(_)) => std::cmp::Ordering::Less,
+        (Some(_), None) => std::cmp::Ordering::Greater,
+        (Some(x), Some(y)) => x.cmp(y),
+    }
+}
+
+/// One-shot convenience: parse, prepare, and execute with optional timeout.
+pub fn execute_query(
+    store: &dyn TripleStore,
+    text: &str,
+    cfg: &OptimizerConfig,
+    timeout: Option<Duration>,
+) -> Result<QueryResult, Error> {
+    let prepared = Prepared::parse(text, store, cfg)?;
+    let cancel = match timeout {
+        Some(t) => Cancellation::with_deadline(Instant::now() + t),
+        None => Cancellation::none(),
+    };
+    prepared.execute(store, &cancel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sp2b_rdf::{Graph, Iri, Literal, Subject};
+    use sp2b_store::MemStore;
+
+    fn store() -> MemStore {
+        let mut g = Graph::new();
+        for i in 0..10 {
+            g.add(
+                Subject::iri(format!("http://x/s{i}")),
+                Iri::new("http://x/value"),
+                Term::Literal(Literal::integer(i)),
+            );
+        }
+        MemStore::from_graph(&g)
+    }
+
+    #[test]
+    fn execute_select() {
+        let s = store();
+        let r = execute_query(
+            &s,
+            "SELECT ?v WHERE { ?s <http://x/value> ?v FILTER (?v >= 7) }",
+            &OptimizerConfig::full(),
+            None,
+        )
+        .unwrap();
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn execute_ask() {
+        let s = store();
+        let yes = execute_query(
+            &s,
+            "ASK { ?s <http://x/value> 5 }",
+            &OptimizerConfig::default(),
+            None,
+        )
+        .unwrap();
+        assert_eq!(yes.as_bool(), Some(true));
+        let no = execute_query(
+            &s,
+            "ASK { ?s <http://x/value> 99 }",
+            &OptimizerConfig::default(),
+            None,
+        )
+        .unwrap();
+        assert_eq!(no.as_bool(), Some(false));
+    }
+
+    #[test]
+    fn count_matches_execute() {
+        let s = store();
+        let p = Prepared::parse(
+            "SELECT ?v WHERE { ?s <http://x/value> ?v }",
+            &s,
+            &OptimizerConfig::default(),
+        )
+        .unwrap();
+        let cancel = Cancellation::none();
+        assert_eq!(p.count(&s, &cancel).unwrap(), 10);
+        assert_eq!(p.execute(&s, &cancel).unwrap().len(), 10);
+    }
+
+    #[test]
+    fn cancelled_query_errors() {
+        let s = store();
+        let p = Prepared::parse(
+            "SELECT ?a ?b WHERE { ?a <http://x/value> ?x . ?b <http://x/value> ?y }",
+            &s,
+            &OptimizerConfig::default(),
+        )
+        .unwrap();
+        let cancel = Cancellation::none();
+        cancel.cancel();
+        assert!(matches!(p.execute(&s, &cancel), Err(Error::Cancelled)));
+    }
+
+    #[test]
+    fn parse_error_surfaces() {
+        let s = store();
+        assert!(matches!(
+            execute_query(&s, "SELECT WHERE", &OptimizerConfig::default(), None),
+            Err(Error::Parse(_))
+        ));
+    }
+}

@@ -1,0 +1,293 @@
+//! Abstract syntax of the SPARQL subset the benchmark exercises.
+//!
+//! Covered: `SELECT` (with `DISTINCT`) and `ASK` forms, basic graph
+//! patterns, `OPTIONAL`, `UNION`, `FILTER` (comparisons, logical
+//! connectives, `!`, `bound`), and the solution modifiers `ORDER BY`
+//! (ASC/DESC), `LIMIT`, `OFFSET` — i.e. Table II's full operator and
+//! modifier inventory. Property paths, aggregation, nesting and named
+//! graphs are outside SPARQL 1.0's benchmark scope (Section V: "SPARQL
+//! does (currently) not support aggregation, nesting, or recursion").
+
+use std::fmt;
+
+use sp2b_rdf::Term;
+
+/// A query variable name (without the `?`/`$` sigil).
+pub type VarName = String;
+
+/// Subject/predicate/object slot of a triple pattern.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum TermOrVar {
+    /// A constant RDF term.
+    Term(Term),
+    /// A variable.
+    Var(VarName),
+}
+
+impl TermOrVar {
+    /// The variable name, if this is a variable.
+    pub fn as_var(&self) -> Option<&str> {
+        match self {
+            TermOrVar::Var(v) => Some(v),
+            TermOrVar::Term(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for TermOrVar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TermOrVar::Term(t) => t.fmt(f),
+            TermOrVar::Var(v) => write!(f, "?{v}"),
+        }
+    }
+}
+
+/// One triple pattern.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TriplePattern {
+    /// Subject slot.
+    pub subject: TermOrVar,
+    /// Predicate slot.
+    pub predicate: TermOrVar,
+    /// Object slot.
+    pub object: TermOrVar,
+}
+
+impl TriplePattern {
+    /// All variables of the pattern, in (s, p, o) order.
+    pub fn variables(&self) -> impl Iterator<Item = &str> {
+        [&self.subject, &self.predicate, &self.object]
+            .into_iter()
+            .filter_map(|t| t.as_var())
+    }
+}
+
+impl fmt::Display for TriplePattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.subject, self.predicate, self.object)
+    }
+}
+
+/// Comparison operators of FILTER expressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`.
+    Eq,
+    /// `!=`.
+    Ne,
+    /// `<`.
+    Lt,
+    /// `<=`.
+    Le,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    Ge,
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        })
+    }
+}
+
+/// A FILTER expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expression {
+    /// A variable reference.
+    Var(VarName),
+    /// A constant term (literal, IRI).
+    Constant(Term),
+    /// `bound(?v)`.
+    Bound(VarName),
+    /// Logical negation (`!e`).
+    Not(Box<Expression>),
+    /// `a && b`.
+    And(Box<Expression>, Box<Expression>),
+    /// `a || b`.
+    Or(Box<Expression>, Box<Expression>),
+    /// `a <op> b`.
+    Compare(CmpOp, Box<Expression>, Box<Expression>),
+}
+
+impl Expression {
+    /// Collects every variable mentioned, in first-occurrence order.
+    pub fn variables(&self) -> Vec<&str> {
+        fn walk<'a>(e: &'a Expression, out: &mut Vec<&'a str>) {
+            match e {
+                Expression::Var(v) | Expression::Bound(v) => {
+                    if !out.contains(&v.as_str()) {
+                        out.push(v);
+                    }
+                }
+                Expression::Constant(_) => {}
+                Expression::Not(inner) => walk(inner, out),
+                Expression::And(a, b)
+                | Expression::Or(a, b)
+                | Expression::Compare(_, a, b) => {
+                    walk(a, out);
+                    walk(b, out);
+                }
+            }
+        }
+        let mut out = Vec::new();
+        walk(self, &mut out);
+        out
+    }
+}
+
+impl fmt::Display for Expression {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expression::Var(v) => write!(f, "?{v}"),
+            Expression::Constant(t) => t.fmt(f),
+            Expression::Bound(v) => write!(f, "bound(?{v})"),
+            Expression::Not(e) => write!(f, "!({e})"),
+            Expression::And(a, b) => write!(f, "({a} && {b})"),
+            Expression::Or(a, b) => write!(f, "({a} || {b})"),
+            Expression::Compare(op, a, b) => write!(f, "({a} {op} {b})"),
+        }
+    }
+}
+
+/// One element of a group graph pattern, in syntactic order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GroupElement {
+    /// A block of triple patterns.
+    Triples(Vec<TriplePattern>),
+    /// `OPTIONAL { … }`.
+    Optional(GroupPattern),
+    /// `{ … } UNION { … } (UNION { … })*`.
+    Union(Vec<GroupPattern>),
+    /// A nested group `{ … }`.
+    Group(GroupPattern),
+    /// `FILTER (…)` — scopes over the whole enclosing group.
+    Filter(Expression),
+}
+
+/// A `{ … }` group.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct GroupPattern {
+    /// Elements in syntactic order.
+    pub elements: Vec<GroupElement>,
+}
+
+/// Query form.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryForm {
+    /// `SELECT [DISTINCT] ?v…` — `distinct` plus the projection list.
+    Select {
+        /// Whether `DISTINCT` was given.
+        distinct: bool,
+        /// Projected variables, in syntactic order.
+        variables: Vec<VarName>,
+    },
+    /// `ASK`.
+    Ask,
+}
+
+/// One `ORDER BY` key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderKey {
+    /// The sort expression (the benchmark uses plain variables).
+    pub expression: Expression,
+    /// True for `DESC(…)`.
+    pub descending: bool,
+}
+
+/// A `COUNT` aggregate in the projection — the aggregation extension the
+/// paper's conclusion anticipates ("SPARQL update and aggregation support
+/// are currently discussed as possible extensions"). SPARQL 1.0 itself
+/// has no aggregates; the syntax follows what became SPARQL 1.1:
+/// `SELECT (COUNT(DISTINCT ?x) AS ?n) … GROUP BY ?g`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Aggregate {
+    /// Counted variable; `None` for `COUNT(*)`.
+    pub target: Option<VarName>,
+    /// `COUNT(DISTINCT …)`.
+    pub distinct: bool,
+    /// The output variable (`AS ?alias`).
+    pub alias: VarName,
+}
+
+/// A parsed query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// SELECT or ASK.
+    pub form: QueryForm,
+    /// `COUNT` aggregates in the projection (aggregation extension).
+    pub aggregates: Vec<Aggregate>,
+    /// `GROUP BY` variables (aggregation extension).
+    pub group_by: Vec<VarName>,
+    /// The WHERE clause.
+    pub pattern: GroupPattern,
+    /// `ORDER BY` keys (possibly empty).
+    pub order_by: Vec<OrderKey>,
+    /// `LIMIT`, if present.
+    pub limit: Option<u64>,
+    /// `OFFSET`, if present.
+    pub offset: Option<u64>,
+}
+
+impl Query {
+    /// True if the query uses the aggregation extension.
+    pub fn is_aggregate(&self) -> bool {
+        !self.aggregates.is_empty()
+    }
+}
+
+impl Query {
+    /// True for `ASK` queries.
+    pub fn is_ask(&self) -> bool {
+        matches!(self.form, QueryForm::Ask)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pattern_variables() {
+        let p = TriplePattern {
+            subject: TermOrVar::Var("s".into()),
+            predicate: TermOrVar::Term(Term::iri("http://x/p")),
+            object: TermOrVar::Var("o".into()),
+        };
+        let vars: Vec<_> = p.variables().collect();
+        assert_eq!(vars, ["s", "o"]);
+    }
+
+    #[test]
+    fn expression_variables_deduplicate() {
+        let e = Expression::And(
+            Box::new(Expression::Compare(
+                CmpOp::Eq,
+                Box::new(Expression::Var("a".into())),
+                Box::new(Expression::Var("b".into())),
+            )),
+            Box::new(Expression::Bound("a".into())),
+        );
+        assert_eq!(e.variables(), ["a", "b"]);
+    }
+
+    #[test]
+    fn display_forms() {
+        let e = Expression::Not(Box::new(Expression::Bound("x".into())));
+        assert_eq!(e.to_string(), "!(bound(?x))");
+        let p = TriplePattern {
+            subject: TermOrVar::Var("s".into()),
+            predicate: TermOrVar::Term(Term::iri("http://x/p")),
+            object: TermOrVar::Term(Term::iri("http://x/o")),
+        };
+        assert_eq!(p.to_string(), "?s <http://x/p> <http://x/o>");
+    }
+}

@@ -1,0 +1,643 @@
+//! The pull-based plan evaluator.
+//!
+//! Solutions stream lazily wherever the algebra allows: BGPs evaluate as
+//! index-nested-loop joins (one store scan per pattern step), hash joins
+//! materialize only their build side, and `ASK` stops at the first
+//! solution ("engines should break as soon a solution has been found").
+//! Sorting and duplicate elimination materialize by nature.
+//!
+//! Every row produced passes a [`Cancellation`] check, which is how the
+//! benchmark runner enforces the paper's 30-minute query timeout without
+//! detaching runaway threads.
+
+use std::sync::atomic::{AtomicBool, Ordering as AtomicOrdering};
+use std::time::Instant;
+
+use sp2b_store::{Id, IdTriple, TripleStore};
+
+use crate::expr::BoundExpr;
+use crate::plan::{Plan, PlanOrderKey, PlanPattern, PlanSlot};
+
+use sp2b_store::hash::{FxHashMap, FxHashSet};
+
+/// One solution row: a value slot per query variable.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Bindings(Vec<Option<Id>>);
+
+impl Bindings {
+    /// All-unbound row of the given width.
+    pub fn empty(width: usize) -> Self {
+        Bindings(vec![None; width])
+    }
+
+    /// Wraps explicit values.
+    pub fn new(values: Vec<Option<Id>>) -> Self {
+        Bindings(values)
+    }
+
+    /// Value of variable `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> Option<Id> {
+        self.0.get(i).copied().flatten()
+    }
+
+    /// Binds variable `i`.
+    #[inline]
+    pub fn set(&mut self, i: usize, v: Id) {
+        self.0[i] = Some(v);
+    }
+
+    /// Number of slots.
+    pub fn width(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Raw slots.
+    pub fn as_slice(&self) -> &[Option<Id>] {
+        &self.0
+    }
+
+    /// SPARQL merge: `None` on a conflict, otherwise the union of both
+    /// rows' bindings.
+    pub fn merge_checked(&self, other: &Bindings) -> Option<Bindings> {
+        debug_assert_eq!(self.width(), other.width());
+        let mut out = self.clone();
+        for (slot, &theirs) in out.0.iter_mut().zip(other.0.iter()) {
+            match (&slot, theirs) {
+                (Some(a), Some(b)) if *a != b => return None,
+                (None, Some(b)) => *slot = Some(b),
+                _ => {}
+            }
+        }
+        Some(out)
+    }
+}
+
+/// Cooperative cancellation: a deadline and/or an external flag.
+#[derive(Debug, Default)]
+pub struct Cancellation {
+    deadline: Option<Instant>,
+    flag: AtomicBool,
+    triggered: AtomicBool,
+}
+
+impl Cancellation {
+    /// Never cancels.
+    pub fn none() -> Self {
+        Cancellation::default()
+    }
+
+    /// Cancels when `deadline` passes.
+    pub fn with_deadline(deadline: Instant) -> Self {
+        Cancellation { deadline: Some(deadline), ..Default::default() }
+    }
+
+    /// Requests cancellation from another thread.
+    pub fn cancel(&self) {
+        self.flag.store(true, AtomicOrdering::Relaxed);
+    }
+
+    /// Checks whether evaluation should stop (records the trigger).
+    #[inline]
+    pub fn should_stop(&self) -> bool {
+        if self.triggered.load(AtomicOrdering::Relaxed) {
+            return true;
+        }
+        let hit = self.flag.load(AtomicOrdering::Relaxed)
+            || self.deadline.is_some_and(|d| Instant::now() >= d);
+        if hit {
+            self.triggered.store(true, AtomicOrdering::Relaxed);
+        }
+        hit
+    }
+
+    /// Whether a stop was ever triggered (distinguishes "stream ended"
+    /// from "stream aborted" after evaluation).
+    pub fn was_triggered(&self) -> bool {
+        self.triggered.load(AtomicOrdering::Relaxed)
+    }
+}
+
+/// Evaluation context: store + cancellation + row width. `Copy` so the
+/// lazy iterators capture it by value.
+#[derive(Clone, Copy)]
+pub struct EvalContext<'a> {
+    /// The store being queried.
+    pub store: &'a dyn TripleStore,
+    /// Cancellation control.
+    pub cancel: &'a Cancellation,
+    /// Number of variables (row width).
+    pub width: usize,
+}
+
+/// A stream of solutions.
+pub type RowIter<'a> = Box<dyn Iterator<Item = Bindings> + 'a>;
+
+impl<'a> EvalContext<'a> {
+    /// Evaluates a plan to a lazy solution stream.
+    pub fn eval(self, plan: &'a Plan) -> RowIter<'a> {
+        match plan {
+            Plan::Bgp { patterns, filters } => self.eval_bgp(patterns, filters),
+            Plan::Join { left, right, key, check } => {
+                self.eval_join(left, right, key, check)
+            }
+            Plan::LeftJoin { left, right, key, check, condition } => {
+                self.eval_left_join(left, right, key, check, condition.as_ref())
+            }
+            Plan::Union(a, b) => {
+                let left = self.eval(a);
+                // Defer building the right side until the left is drained.
+                let this = self;
+                let mut right: Option<RowIter<'a>> = None;
+                let mut left = Some(left);
+                Box::new(std::iter::from_fn(move || loop {
+                    if let Some(l) = left.as_mut() {
+                        match l.next() {
+                            Some(row) => return Some(row),
+                            None => left = None,
+                        }
+                    } else {
+                        let r = right.get_or_insert_with(|| this.eval(b));
+                        return r.next();
+                    }
+                }))
+            }
+            Plan::Filter(expr, inner) => {
+                let input = self.eval(inner);
+                let store = self.store;
+                Box::new(input.filter(move |row| expr.evaluate(row, store) == Ok(true)))
+            }
+            Plan::Distinct(inner) => {
+                let input = self.eval(inner);
+                let mut seen: FxHashSet<Bindings> = FxHashSet::default();
+                Box::new(input.filter(move |row| seen.insert(row.clone())))
+            }
+            Plan::Project(vars, inner) => {
+                let input = self.eval(inner);
+                let width = self.width;
+                let vars = vars.clone();
+                Box::new(input.map(move |row| {
+                    let mut out = Bindings::empty(width);
+                    for &v in &vars {
+                        if let Some(val) = row.get(v) {
+                            out.set(v, val);
+                        }
+                    }
+                    out
+                }))
+            }
+            Plan::OrderBy(keys, inner) => {
+                let mut rows: Vec<Bindings> = Vec::new();
+                for row in self.eval(inner) {
+                    if self.cancel.should_stop() {
+                        break;
+                    }
+                    rows.push(row);
+                }
+                rows.sort_by(|a, b| self.compare_rows(keys, a, b));
+                Box::new(rows.into_iter())
+            }
+            Plan::Slice { offset, limit, input } => {
+                let it = self.eval(input).skip(*offset as usize);
+                match limit {
+                    Some(n) => Box::new(it.take(*n as usize)),
+                    None => Box::new(it),
+                }
+            }
+        }
+    }
+
+    // -- BGP ---------------------------------------------------------------
+
+    fn eval_bgp(
+        self,
+        patterns: &'a [PlanPattern],
+        filters: &'a [(usize, BoundExpr)],
+    ) -> RowIter<'a> {
+        let mut iter: RowIter<'a> =
+            Box::new(std::iter::once(Bindings::empty(self.width)));
+        for (pos, pattern) in patterns.iter().enumerate() {
+            let this = self;
+            iter = Box::new(
+                iter.flat_map(move |row| PatternBind::new(this, pattern, row)),
+            );
+            for (fpos, filter) in filters {
+                if *fpos == pos {
+                    let store = self.store;
+                    iter = Box::new(
+                        iter.filter(move |row| filter.evaluate(row, store) == Ok(true)),
+                    );
+                }
+            }
+        }
+        iter
+    }
+
+    // -- joins ---------------------------------------------------------
+
+    /// Materializes a side into a key-indexed map (plus a flat list when
+    /// the key is empty).
+    fn build_side(
+        self,
+        plan: &'a Plan,
+        key: &[usize],
+    ) -> (FxHashMap<Vec<Id>, Vec<Bindings>>, Vec<Bindings>) {
+        let mut map: FxHashMap<Vec<Id>, Vec<Bindings>> = FxHashMap::default();
+        let mut flat: Vec<Bindings> = Vec::new();
+        for row in self.eval(plan) {
+            if self.cancel.should_stop() {
+                break;
+            }
+            if key.is_empty() {
+                flat.push(row);
+            } else {
+                let k: Option<Vec<Id>> = key.iter().map(|&v| row.get(v)).collect();
+                match k {
+                    Some(k) => map.entry(k).or_default().push(row),
+                    // A key var unbound on the build side (possible under
+                    // partial optional results): falls back to the flat
+                    // list so no match is lost.
+                    None => flat.push(row),
+                }
+            }
+        }
+        (map, flat)
+    }
+
+    fn eval_join(
+        self,
+        left: &'a Plan,
+        right: &'a Plan,
+        key: &'a [usize],
+        _check: &'a [usize],
+    ) -> RowIter<'a> {
+        let (map, flat) = self.build_side(right, key);
+        let probe = self.eval(left);
+        let this = self;
+        Box::new(probe.flat_map(move |l| {
+            let mut out: Vec<Bindings> = Vec::new();
+            if this.cancel.should_stop() {
+                return out.into_iter();
+            }
+            let candidates = lookup(&map, &flat, key, &l);
+            for r in candidates {
+                if let Some(m) = l.merge_checked(r) {
+                    out.push(m);
+                }
+            }
+            out.into_iter()
+        }))
+    }
+
+    fn eval_left_join(
+        self,
+        left: &'a Plan,
+        right: &'a Plan,
+        key: &'a [usize],
+        _check: &'a [usize],
+        condition: Option<&'a BoundExpr>,
+    ) -> RowIter<'a> {
+        let (map, flat) = self.build_side(right, key);
+        let probe = self.eval(left);
+        let this = self;
+        Box::new(probe.flat_map(move |l| {
+            let mut out: Vec<Bindings> = Vec::new();
+            if this.cancel.should_stop() {
+                return out.into_iter();
+            }
+            let candidates = lookup(&map, &flat, key, &l);
+            let mut matched = false;
+            for r in candidates {
+                if this.cancel.should_stop() {
+                    break;
+                }
+                if let Some(m) = l.merge_checked(r) {
+                    let pass = match condition {
+                        Some(c) => c.evaluate(&m, this.store) == Ok(true),
+                        None => true,
+                    };
+                    if pass {
+                        matched = true;
+                        out.push(m);
+                    }
+                }
+            }
+            if !matched {
+                out.push(l);
+            }
+            out.into_iter()
+        }))
+    }
+
+    // -- ordering ------------------------------------------------------
+
+    fn compare_rows(
+        &self,
+        keys: &[PlanOrderKey],
+        a: &Bindings,
+        b: &Bindings,
+    ) -> std::cmp::Ordering {
+        use std::cmp::Ordering;
+        for k in keys {
+            let (ord, desc) = match k {
+                PlanOrderKey::Var { var, descending } => {
+                    let ta = a.get(*var);
+                    let tb = b.get(*var);
+                    let ord = match (ta, tb) {
+                        (None, None) => Ordering::Equal,
+                        (None, Some(_)) => Ordering::Less, // unbound first
+                        (Some(_), None) => Ordering::Greater,
+                        (Some(x), Some(y)) => {
+                            if x == y {
+                                Ordering::Equal
+                            } else {
+                                let dict = self.store.dictionary();
+                                dict.decode(x).cmp(dict.decode(y))
+                            }
+                        }
+                    };
+                    (ord, *descending)
+                }
+                PlanOrderKey::Expr { expr, descending } => {
+                    let va = expr.evaluate(a, self.store).unwrap_or(false);
+                    let vb = expr.evaluate(b, self.store).unwrap_or(false);
+                    (va.cmp(&vb), *descending)
+                }
+            };
+            let ord = if desc { ord.reverse() } else { ord };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    }
+}
+
+/// Candidate rows for a probe row: the hash bucket plus the flat overflow
+/// list (rows that could not be keyed).
+fn lookup<'m>(
+    map: &'m FxHashMap<Vec<Id>, Vec<Bindings>>,
+    flat: &'m [Bindings],
+    key: &[usize],
+    probe: &Bindings,
+) -> impl Iterator<Item = &'m Bindings> {
+    let bucket: &[Bindings] = if key.is_empty() {
+        &[]
+    } else {
+        let k: Option<Vec<Id>> = key.iter().map(|&v| probe.get(v)).collect();
+        match k.and_then(|k| map.get(&k)) {
+            Some(rows) => rows.as_slice(),
+            None => &[],
+        }
+    };
+    bucket.iter().chain(flat.iter())
+}
+
+/// One pattern step of the index-nested-loop BGP evaluation: scans the
+/// store with the pattern's constants plus the input row's bindings, and
+/// extends the row for each match.
+struct PatternBind<'a> {
+    ctx: EvalContext<'a>,
+    scan: Box<dyn Iterator<Item = IdTriple> + 'a>,
+    pattern: &'a PlanPattern,
+    base: Bindings,
+    dead: bool,
+}
+
+impl<'a> PatternBind<'a> {
+    fn new(ctx: EvalContext<'a>, pattern: &'a PlanPattern, base: Bindings) -> Self {
+        let mut store_pattern: sp2b_store::Pattern = [None, None, None];
+        let mut dead = false;
+        for (i, slot) in pattern.slots.iter().enumerate() {
+            match slot {
+                PlanSlot::Const(Some(id)) => store_pattern[i] = Some(*id),
+                PlanSlot::Const(None) => dead = true,
+                PlanSlot::Var(v) => store_pattern[i] = base.get(*v),
+            }
+        }
+        let scan: Box<dyn Iterator<Item = IdTriple> + 'a> = if dead {
+            Box::new(std::iter::empty())
+        } else {
+            ctx.store.scan(store_pattern)
+        };
+        PatternBind { ctx, scan, pattern, base, dead }
+    }
+}
+
+impl Iterator for PatternBind<'_> {
+    type Item = Bindings;
+
+    fn next(&mut self) -> Option<Bindings> {
+        if self.dead {
+            return None;
+        }
+        loop {
+            if self.ctx.cancel.should_stop() {
+                return None;
+            }
+            let triple = self.scan.next()?;
+            // Extend the row; repeated variables within the pattern
+            // (e.g. `?x ?p ?x`) must agree across positions.
+            let mut row = self.base.clone();
+            let mut ok = true;
+            for (i, slot) in self.pattern.slots.iter().enumerate() {
+                if let PlanSlot::Var(v) = slot {
+                    match row.get(*v) {
+                        Some(existing) if existing != triple[i] => {
+                            ok = false;
+                            break;
+                        }
+                        Some(_) => {}
+                        None => row.set(*v, triple[i]),
+                    }
+                }
+            }
+            if ok {
+                return Some(row);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebra::translate;
+    use crate::parser::parse;
+    use crate::plan::bind;
+    use sp2b_rdf::{Graph, Iri, Literal, Subject, Term};
+    use sp2b_store::{MemStore, NativeStore};
+
+    fn graph() -> Graph {
+        let mut g = Graph::new();
+        let p = |s: &str| Subject::iri(format!("http://x/{s}"));
+        let i = |s: &str| Iri::new(format!("http://x/{s}"));
+        let t = |s: &str| Term::iri(format!("http://x/{s}"));
+        g.add(p("alice"), i("knows"), t("bob"));
+        g.add(p("bob"), i("knows"), t("carol"));
+        g.add(p("carol"), i("knows"), t("alice"));
+        g.add(p("alice"), i("age"), Term::Literal(Literal::integer(30)));
+        g.add(p("bob"), i("age"), Term::Literal(Literal::integer(40)));
+        g.add(p("alice"), i("name"), Term::Literal(Literal::string("Alice")));
+        g
+    }
+
+    fn run(query: &str) -> Vec<Vec<Option<String>>> {
+        run_on(&MemStore::from_graph(&graph()), query)
+    }
+
+    fn run_on(store: &dyn TripleStore, query: &str) -> Vec<Vec<Option<String>>> {
+        let t = translate(&parse(query).unwrap());
+        let plan = bind(&t.algebra, store);
+        let cancel = Cancellation::none();
+        let ctx = EvalContext { store, cancel: &cancel, width: t.vars.len() };
+        ctx.eval(&plan)
+            .map(|row| {
+                t.projection
+                    .iter()
+                    .map(|&v| row.get(v).map(|id| store.dictionary().decode(id).to_string()))
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn single_pattern() {
+        let rows = run("SELECT ?o WHERE { <http://x/alice> <http://x/knows> ?o }");
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][0].as_deref(), Some("<http://x/bob>"));
+    }
+
+    #[test]
+    fn two_pattern_chain() {
+        let rows =
+            run("SELECT ?c WHERE { <http://x/alice> <http://x/knows> ?b . ?b <http://x/knows> ?c }");
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][0].as_deref(), Some("<http://x/carol>"));
+    }
+
+    #[test]
+    fn filter_on_integer() {
+        let rows = run("SELECT ?p WHERE { ?p <http://x/age> ?a FILTER (?a > 35) }");
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][0].as_deref(), Some("<http://x/bob>"));
+    }
+
+    #[test]
+    fn optional_keeps_unmatched_rows() {
+        let rows = run(
+            "SELECT ?p ?n WHERE { ?p <http://x/age> ?a OPTIONAL { ?p <http://x/name> ?n } }",
+        );
+        assert_eq!(rows.len(), 2);
+        let with_name = rows.iter().filter(|r| r[1].is_some()).count();
+        assert_eq!(with_name, 1, "only alice has a name");
+    }
+
+    #[test]
+    fn optional_filter_condition_scopes_outer_vars() {
+        // The LeftJoin condition references ?a from the outer group: only
+        // persons older than 35 get the name joined (nobody, since only
+        // alice has a name and she is 30) — all rows survive unmatched.
+        let rows = run(
+            "SELECT ?p ?n WHERE { ?p <http://x/age> ?a OPTIONAL { ?p <http://x/name> ?n FILTER (?a > 35) } }",
+        );
+        assert_eq!(rows.len(), 2);
+        assert!(rows.iter().all(|r| r[1].is_none()));
+    }
+
+    #[test]
+    fn closed_world_negation() {
+        // Persons with age but no name: bob.
+        let rows = run(
+            "SELECT ?p WHERE { ?p <http://x/age> ?x OPTIONAL { ?p <http://x/name> ?n } FILTER (!bound(?n)) }",
+        );
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][0].as_deref(), Some("<http://x/bob>"));
+    }
+
+    #[test]
+    fn union_concatenates() {
+        let rows = run(
+            "SELECT ?x WHERE { { ?x <http://x/age> ?y } UNION { ?x <http://x/name> ?y } }",
+        );
+        assert_eq!(rows.len(), 3);
+    }
+
+    #[test]
+    fn distinct_deduplicates() {
+        let rows = run("SELECT DISTINCT ?p WHERE { ?s ?p ?o }");
+        assert_eq!(rows.len(), 3); // knows, age, name
+    }
+
+    #[test]
+    fn order_by_with_limit_offset() {
+        let rows = run(
+            "SELECT ?s WHERE { ?s <http://x/knows> ?o } ORDER BY ?s LIMIT 2 OFFSET 1",
+        );
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0][0].as_deref(), Some("<http://x/bob>"));
+        assert_eq!(rows[1][0].as_deref(), Some("<http://x/carol>"));
+    }
+
+    #[test]
+    fn order_by_desc() {
+        let rows = run("SELECT ?a WHERE { ?p <http://x/age> ?a } ORDER BY DESC(?a)");
+        assert_eq!(rows[0][0].as_deref(), Some("\"40\"^^<http://www.w3.org/2001/XMLSchema#integer>"));
+    }
+
+    #[test]
+    fn repeated_variable_in_pattern() {
+        // ?x knows ?x — nobody knows themselves.
+        let rows = run("SELECT ?x WHERE { ?x <http://x/knows> ?x }");
+        assert!(rows.is_empty());
+    }
+
+    #[test]
+    fn cross_product_when_no_shared_vars() {
+        let rows = run(
+            "SELECT ?a ?b WHERE { { ?a <http://x/age> ?x } { ?b <http://x/name> ?y } }",
+        );
+        assert_eq!(rows.len(), 2); // 2 ages × 1 name
+    }
+
+    #[test]
+    fn native_store_agrees_with_mem_store() {
+        let g = graph();
+        let mem = MemStore::from_graph(&g);
+        let native = NativeStore::from_graph(&g);
+        for q in [
+            "SELECT ?s ?o WHERE { ?s <http://x/knows> ?o }",
+            "SELECT ?p WHERE { ?p <http://x/age> ?a FILTER (?a > 35) }",
+            "SELECT DISTINCT ?p WHERE { ?s ?p ?o }",
+            "SELECT ?p ?n WHERE { ?p <http://x/age> ?a OPTIONAL { ?p <http://x/name> ?n } }",
+        ] {
+            let mut a = run_on(&mem, q);
+            let mut b = run_on(&native, q);
+            a.sort();
+            b.sort();
+            assert_eq!(a, b, "query {q}");
+        }
+    }
+
+    #[test]
+    fn cancellation_stops_evaluation() {
+        let store = MemStore::from_graph(&graph());
+        let t = translate(&parse("SELECT ?s ?p ?o WHERE { ?s ?p ?o . ?s2 ?p2 ?o2 }").unwrap());
+        let plan = bind(&t.algebra, &store);
+        let cancel = Cancellation::none();
+        cancel.cancel();
+        let ctx = EvalContext { store: &store, cancel: &cancel, width: t.vars.len() };
+        assert_eq!(ctx.eval(&plan).count(), 0);
+        assert!(cancel.was_triggered());
+    }
+
+    #[test]
+    fn unbound_rows_sort_first() {
+        let rows = run(
+            "SELECT ?p ?n WHERE { ?p <http://x/age> ?a OPTIONAL { ?p <http://x/name> ?n } } ORDER BY ?n",
+        );
+        assert_eq!(rows.len(), 2);
+        assert!(rows[0][1].is_none());
+        assert!(rows[1][1].is_some());
+    }
+}

@@ -1,0 +1,457 @@
+//! FILTER expression evaluation with SPARQL error semantics.
+//!
+//! SPARQL expression evaluation is three-valued: an expression yields
+//! `true`, `false` or a *type error* (e.g. comparing an unbound variable,
+//! or ordering incomparable terms). Errors eliminate solutions at FILTER
+//! and LeftJoin-condition boundaries, but `!`, `&&` and `||` propagate
+//! them per the spec's partial truth tables — `false && error = false`,
+//! `true || error = true`. Getting this right matters for the benchmark's
+//! negation queries: `!bound(?v)` must be `true` (not an error) when `?v`
+//! is unbound.
+
+use std::cmp::Ordering;
+
+use sp2b_rdf::vocab::xsd;
+use sp2b_rdf::{Literal, Term};
+use sp2b_store::{Id, TripleStore};
+
+use crate::algebra::Expr;
+use crate::ast::CmpOp;
+use crate::eval::Bindings;
+
+/// A SPARQL expression type error (its only payload is *that* it errored;
+/// the spec does not distinguish error kinds observably).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TypeError;
+
+/// Expression result: `Ok(bool)` or a type error.
+pub type ExprResult = Result<bool, TypeError>;
+
+/// A term operand during evaluation: either interned (fast id comparisons
+/// possible) or a plan constant that may not occur in the store at all.
+#[derive(Debug, Clone, Copy)]
+enum Operand<'a> {
+    /// Bound variable value: dictionary id + decoded term.
+    Interned(Id, &'a Term),
+    /// Expression constant (with its dictionary id if the term occurs).
+    Constant(Option<Id>, &'a Term),
+}
+
+impl<'a> Operand<'a> {
+    fn term(&self) -> &'a Term {
+        match self {
+            Operand::Interned(_, t) | Operand::Constant(_, t) => t,
+        }
+    }
+
+    fn id(&self) -> Option<Id> {
+        match self {
+            Operand::Interned(id, _) => Some(*id),
+            Operand::Constant(id, _) => *id,
+        }
+    }
+}
+
+/// A compiled expression bound to a store: constants carry their
+/// (optional) dictionary ids so equality tests can use id comparison.
+#[derive(Debug, Clone)]
+pub enum BoundExpr {
+    /// Variable by index.
+    Var(usize),
+    /// Constant with pre-resolved id.
+    Const(Option<Id>, Term),
+    /// `bound(?v)`.
+    Bound(usize),
+    /// `!e`.
+    Not(Box<BoundExpr>),
+    /// `a && b`.
+    And(Box<BoundExpr>, Box<BoundExpr>),
+    /// `a || b`.
+    Or(Box<BoundExpr>, Box<BoundExpr>),
+    /// Comparison.
+    Compare(CmpOp, Box<BoundExpr>, Box<BoundExpr>),
+}
+
+impl BoundExpr {
+    /// Resolves constants of `expr` against `store`'s dictionary.
+    pub fn bind(expr: &Expr, store: &dyn TripleStore) -> BoundExpr {
+        match expr {
+            Expr::Var(i) => BoundExpr::Var(*i),
+            Expr::Const(t) => BoundExpr::Const(store.resolve(t), t.clone()),
+            Expr::Bound(i) => BoundExpr::Bound(*i),
+            Expr::Not(a) => BoundExpr::Not(Box::new(Self::bind(a, store))),
+            Expr::And(a, b) => BoundExpr::And(
+                Box::new(Self::bind(a, store)),
+                Box::new(Self::bind(b, store)),
+            ),
+            Expr::Or(a, b) => BoundExpr::Or(
+                Box::new(Self::bind(a, store)),
+                Box::new(Self::bind(b, store)),
+            ),
+            Expr::Compare(op, a, b) => BoundExpr::Compare(
+                *op,
+                Box::new(Self::bind(a, store)),
+                Box::new(Self::bind(b, store)),
+            ),
+        }
+    }
+
+    /// Evaluates to the expression's effective boolean value.
+    pub fn evaluate(&self, bindings: &Bindings, store: &dyn TripleStore) -> ExprResult {
+        match self {
+            BoundExpr::Bound(i) => Ok(bindings.get(*i).is_some()),
+            BoundExpr::Not(a) => a.evaluate(bindings, store).map(|b| !b),
+            BoundExpr::And(a, b) => {
+                // Kleene AND: false dominates errors.
+                match (a.evaluate(bindings, store), b.evaluate(bindings, store)) {
+                    (Ok(false), _) | (_, Ok(false)) => Ok(false),
+                    (Ok(true), Ok(true)) => Ok(true),
+                    _ => Err(TypeError),
+                }
+            }
+            BoundExpr::Or(a, b) => {
+                // Kleene OR: true dominates errors.
+                match (a.evaluate(bindings, store), b.evaluate(bindings, store)) {
+                    (Ok(true), _) | (_, Ok(true)) => Ok(true),
+                    (Ok(false), Ok(false)) => Ok(false),
+                    _ => Err(TypeError),
+                }
+            }
+            BoundExpr::Compare(op, a, b) => {
+                let left = a.operand(bindings, store).ok_or(TypeError)?;
+                let right = b.operand(bindings, store).ok_or(TypeError)?;
+                compare(*op, left, right)
+            }
+            // A bare variable/constant in boolean position: its EBV.
+            BoundExpr::Var(_) | BoundExpr::Const(..) => {
+                let v = self.operand(bindings, store).ok_or(TypeError)?;
+                effective_boolean_value(v.term())
+            }
+        }
+    }
+
+    /// Resolves this node to a term operand (only Var/Const can).
+    fn operand<'a>(
+        &'a self,
+        bindings: &Bindings,
+        store: &'a dyn TripleStore,
+    ) -> Option<Operand<'a>> {
+        match self {
+            BoundExpr::Var(i) => {
+                let id = bindings.get(*i)?;
+                Some(Operand::Interned(id, store.dictionary().decode(id)))
+            }
+            BoundExpr::Const(id, t) => Some(Operand::Constant(*id, t)),
+            _ => None,
+        }
+    }
+
+    /// Variable indices referenced by this expression.
+    pub fn variables(&self) -> Vec<usize> {
+        fn walk(e: &BoundExpr, out: &mut Vec<usize>) {
+            match e {
+                BoundExpr::Var(i) | BoundExpr::Bound(i) => {
+                    if !out.contains(i) {
+                        out.push(*i);
+                    }
+                }
+                BoundExpr::Const(..) => {}
+                BoundExpr::Not(a) => walk(a, out),
+                BoundExpr::And(a, b)
+                | BoundExpr::Or(a, b)
+                | BoundExpr::Compare(_, a, b) => {
+                    walk(a, out);
+                    walk(b, out);
+                }
+            }
+        }
+        let mut out = Vec::new();
+        walk(self, &mut out);
+        out
+    }
+}
+
+/// Numeric / string / boolean view of a literal for value comparisons.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum LitValue<'a> {
+    Int(i64),
+    Str(&'a str),
+    Bool(bool),
+    /// Typed literal we have no value mapping for.
+    Opaque(&'a Literal),
+}
+
+fn literal_value(l: &Literal) -> LitValue<'_> {
+    if let Some(i) = l.as_integer() {
+        return LitValue::Int(i);
+    }
+    if l.is_stringish() {
+        return LitValue::Str(&l.lexical);
+    }
+    if let Some(dt) = &l.datatype {
+        if dt.as_str() == format!("{}boolean", xsd::NS) {
+            match l.lexical.as_str() {
+                "true" | "1" => return LitValue::Bool(true),
+                "false" | "0" => return LitValue::Bool(false),
+                _ => {}
+            }
+        }
+    }
+    LitValue::Opaque(l)
+}
+
+/// SPARQL `=` / `!=` / ordering over two operands.
+fn compare(op: CmpOp, a: Operand<'_>, b: Operand<'_>) -> ExprResult {
+    // Fast path: identical interned ids are RDFterm-equal — sufficient for
+    // `=`/`!=` truth, and consistent for orderings (equal terms).
+    if let (Some(x), Some(y)) = (a.id(), b.id()) {
+        if x == y {
+            return Ok(matches!(op, CmpOp::Eq | CmpOp::Le | CmpOp::Ge));
+        }
+    }
+    let (ta, tb) = (a.term(), b.term());
+    match op {
+        CmpOp::Eq => term_equal(ta, tb),
+        CmpOp::Ne => term_equal(ta, tb).map(|b| !b),
+        _ => {
+            let ord = value_order(ta, tb).ok_or(TypeError)?;
+            Ok(match op {
+                CmpOp::Lt => ord == Ordering::Less,
+                CmpOp::Le => ord != Ordering::Greater,
+                CmpOp::Gt => ord == Ordering::Greater,
+                CmpOp::Ge => ord != Ordering::Less,
+                CmpOp::Eq | CmpOp::Ne => unreachable!("handled above"),
+            })
+        }
+    }
+}
+
+/// RDFterm-equal with value semantics for known literal types.
+fn term_equal(a: &Term, b: &Term) -> ExprResult {
+    match (a, b) {
+        (Term::Iri(x), Term::Iri(y)) => Ok(x == y),
+        (Term::Blank(x), Term::Blank(y)) => Ok(x == y),
+        (Term::Literal(x), Term::Literal(y)) => match (literal_value(x), literal_value(y)) {
+            (LitValue::Int(i), LitValue::Int(j)) => Ok(i == j),
+            (LitValue::Str(s), LitValue::Str(t)) => Ok(s == t),
+            (LitValue::Bool(p), LitValue::Bool(q)) => Ok(p == q),
+            (LitValue::Opaque(p), LitValue::Opaque(q)) => {
+                if p == q {
+                    Ok(true)
+                } else if p.datatype == q.datatype {
+                    Ok(false)
+                } else {
+                    // Incomparable typed literals: per spec, an error.
+                    Err(TypeError)
+                }
+            }
+            // Mixed value spaces (e.g. int vs string): unequal values.
+            _ => Ok(false),
+        },
+        // Different term kinds are never RDFterm-equal.
+        _ => Ok(false),
+    }
+}
+
+/// Value ordering for `<`-family operators. `None` = incomparable (error).
+fn value_order(a: &Term, b: &Term) -> Option<Ordering> {
+    match (a, b) {
+        (Term::Literal(x), Term::Literal(y)) => match (literal_value(x), literal_value(y)) {
+            (LitValue::Int(i), LitValue::Int(j)) => Some(i.cmp(&j)),
+            (LitValue::Str(s), LitValue::Str(t)) => Some(s.cmp(t)),
+            (LitValue::Bool(p), LitValue::Bool(q)) => Some(p.cmp(&q)),
+            _ => None,
+        },
+        // IRIs and blanks have no `<` ordering in SPARQL 1.0 filters.
+        _ => None,
+    }
+}
+
+/// SPARQL effective boolean value of a term.
+fn effective_boolean_value(t: &Term) -> ExprResult {
+    match t {
+        Term::Literal(l) => match literal_value(l) {
+            LitValue::Bool(b) => Ok(b),
+            LitValue::Int(i) => Ok(i != 0),
+            LitValue::Str(s) => Ok(!s.is_empty()),
+            LitValue::Opaque(_) => Err(TypeError),
+        },
+        _ => Err(TypeError),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sp2b_rdf::Graph;
+    use sp2b_store::MemStore;
+
+    fn store_with(terms: &[Term]) -> MemStore {
+        // Materialize terms by inserting dummy triples mentioning them.
+        let mut g = Graph::new();
+        for (i, t) in terms.iter().enumerate() {
+            g.add(
+                sp2b_rdf::Subject::iri(format!("http://dummy/{i}")),
+                sp2b_rdf::Iri::new("http://dummy/p"),
+                t.clone(),
+            );
+        }
+        MemStore::from_graph(&g)
+    }
+
+    fn bindings_for(store: &MemStore, values: &[Option<&Term>]) -> Bindings {
+        Bindings::new(
+            values
+                .iter()
+                .map(|v| v.map(|t| store.resolve(t).expect("term interned")))
+                .collect(),
+        )
+    }
+
+    fn int(i: i64) -> Term {
+        Term::Literal(Literal::integer(i))
+    }
+
+    fn s(v: &str) -> Term {
+        Term::Literal(Literal::string(v))
+    }
+
+    #[test]
+    fn bound_semantics() {
+        let store = store_with(&[int(1)]);
+        let b = bindings_for(&store, &[Some(&int(1)), None]);
+        let e = BoundExpr::Bound(0);
+        assert_eq!(e.evaluate(&b, &store), Ok(true));
+        let e = BoundExpr::Bound(1);
+        assert_eq!(e.evaluate(&b, &store), Ok(false));
+        // !bound(unbound var) is TRUE, not an error — Q6/Q7 depend on it.
+        let e = BoundExpr::Not(Box::new(BoundExpr::Bound(1)));
+        assert_eq!(e.evaluate(&b, &store), Ok(true));
+    }
+
+    #[test]
+    fn numeric_comparisons() {
+        let store = store_with(&[int(1940), int(1965)]);
+        let b = bindings_for(&store, &[Some(&int(1940)), Some(&int(1965))]);
+        let lt = BoundExpr::Compare(
+            CmpOp::Lt,
+            Box::new(BoundExpr::Var(0)),
+            Box::new(BoundExpr::Var(1)),
+        );
+        assert_eq!(lt.evaluate(&b, &store), Ok(true));
+        let ge = BoundExpr::Compare(
+            CmpOp::Ge,
+            Box::new(BoundExpr::Var(0)),
+            Box::new(BoundExpr::Var(1)),
+        );
+        assert_eq!(ge.evaluate(&b, &store), Ok(false));
+    }
+
+    #[test]
+    fn numeric_compare_is_by_value_not_lexical() {
+        let store = store_with(&[int(2), int(10)]);
+        let b = bindings_for(&store, &[Some(&int(2)), Some(&int(10))]);
+        let lt = BoundExpr::Compare(
+            CmpOp::Lt,
+            Box::new(BoundExpr::Var(0)),
+            Box::new(BoundExpr::Var(1)),
+        );
+        assert_eq!(lt.evaluate(&b, &store), Ok(true), "2 < 10 numerically");
+    }
+
+    #[test]
+    fn string_comparisons() {
+        let store = store_with(&[s("Anna Alpha"), s("Bert Beta")]);
+        let b = bindings_for(&store, &[Some(&s("Anna Alpha")), Some(&s("Bert Beta"))]);
+        let lt = BoundExpr::Compare(
+            CmpOp::Lt,
+            Box::new(BoundExpr::Var(0)),
+            Box::new(BoundExpr::Var(1)),
+        );
+        assert_eq!(lt.evaluate(&b, &store), Ok(true));
+    }
+
+    #[test]
+    fn equality_between_term_kinds_is_false_not_error() {
+        let store = store_with(&[Term::iri("http://x"), s("http://x")]);
+        let b = bindings_for(
+            &store,
+            &[Some(&Term::iri("http://x")), Some(&s("http://x"))],
+        );
+        let eq = BoundExpr::Compare(
+            CmpOp::Eq,
+            Box::new(BoundExpr::Var(0)),
+            Box::new(BoundExpr::Var(1)),
+        );
+        assert_eq!(eq.evaluate(&b, &store), Ok(false));
+    }
+
+    #[test]
+    fn unbound_comparison_is_error_and_kleene_tables() {
+        let store = store_with(&[int(1)]);
+        let b = bindings_for(&store, &[Some(&int(1)), None]);
+        let err = BoundExpr::Compare(
+            CmpOp::Eq,
+            Box::new(BoundExpr::Var(0)),
+            Box::new(BoundExpr::Var(1)),
+        );
+        assert_eq!(err.evaluate(&b, &store), Err(TypeError));
+        // false && error = false.
+        let f = BoundExpr::Compare(
+            CmpOp::Ne,
+            Box::new(BoundExpr::Var(0)),
+            Box::new(BoundExpr::Var(0)),
+        );
+        let and = BoundExpr::And(Box::new(f.clone()), Box::new(err.clone()));
+        assert_eq!(and.evaluate(&b, &store), Ok(false));
+        // true || error = true.
+        let t = BoundExpr::Compare(
+            CmpOp::Eq,
+            Box::new(BoundExpr::Var(0)),
+            Box::new(BoundExpr::Var(0)),
+        );
+        let or = BoundExpr::Or(Box::new(t.clone()), Box::new(err.clone()));
+        assert_eq!(or.evaluate(&b, &store), Ok(true));
+        // true && error = error; false || error = error.
+        let and = BoundExpr::And(Box::new(t), Box::new(err.clone()));
+        assert_eq!(and.evaluate(&b, &store), Err(TypeError));
+        let or = BoundExpr::Or(Box::new(f), Box::new(err));
+        assert_eq!(or.evaluate(&b, &store), Err(TypeError));
+    }
+
+    #[test]
+    fn constant_not_in_store_still_compares_by_value() {
+        let store = store_with(&[int(1940)]);
+        let b = bindings_for(&store, &[Some(&int(1940))]);
+        // 2000 does not occur in the data.
+        let e = BoundExpr::Compare(
+            CmpOp::Lt,
+            Box::new(BoundExpr::Var(0)),
+            Box::new(BoundExpr::Const(None, int(2000))),
+        );
+        assert_eq!(e.evaluate(&b, &store), Ok(true));
+    }
+
+    #[test]
+    fn iri_ordering_is_error() {
+        let store = store_with(&[Term::iri("http://a"), Term::iri("http://b")]);
+        let b = bindings_for(
+            &store,
+            &[Some(&Term::iri("http://a")), Some(&Term::iri("http://b"))],
+        );
+        let lt = BoundExpr::Compare(
+            CmpOp::Lt,
+            Box::new(BoundExpr::Var(0)),
+            Box::new(BoundExpr::Var(1)),
+        );
+        assert_eq!(lt.evaluate(&b, &store), Err(TypeError));
+    }
+
+    #[test]
+    fn ebv_of_plain_string() {
+        let store = store_with(&[s("x"), s("")]);
+        let b = bindings_for(&store, &[Some(&s("x")), Some(&s(""))]);
+        assert_eq!(BoundExpr::Var(0).evaluate(&b, &store), Ok(true));
+        assert_eq!(BoundExpr::Var(1).evaluate(&b, &store), Ok(false));
+    }
+}

@@ -1,0 +1,45 @@
+//! # sp2b-sparql — SPARQL query engine substrate
+//!
+//! A from-scratch SPARQL engine covering the operator inventory of the
+//! SP²Bench queries (Table II): `SELECT`/`ASK`, basic graph patterns,
+//! `AND` (joins), `OPTIONAL` (left joins with conditions — the
+//! closed-world-negation encoding of Q6/Q7), `UNION`, `FILTER`
+//! (comparisons, boolean connectives, `bound`) and the solution modifiers
+//! `DISTINCT`, `ORDER BY`, `LIMIT`, `OFFSET`.
+//!
+//! Pipeline: [`parser::parse`] → [`algebra::translate`] →
+//! [`optimizer::optimize`] → [`plan::bind`] → [`eval::EvalContext::eval`].
+//! The [`api`] module wraps it into [`Prepared`] / [`execute_query`].
+//!
+//! ```
+//! use sp2b_rdf::{Graph, Iri, Subject, Term};
+//! use sp2b_store::MemStore;
+//! use sp2b_sparql::{execute_query, OptimizerConfig};
+//!
+//! let mut g = Graph::new();
+//! g.add(Subject::iri("http://x/s"), Iri::new("http://x/p"), Term::iri("http://x/o"));
+//! let store = MemStore::from_graph(&g);
+//! let result = execute_query(
+//!     &store,
+//!     "SELECT ?s WHERE { ?s <http://x/p> ?o }",
+//!     &OptimizerConfig::full(),
+//!     None,
+//! ).unwrap();
+//! assert_eq!(result.len(), 1);
+//! ```
+
+pub mod algebra;
+pub mod api;
+pub mod ast;
+pub mod eval;
+pub mod expr;
+pub mod lexer;
+pub mod optimizer;
+pub mod parser;
+pub mod plan;
+
+pub use api::{execute_query, Error, Prepared, QueryResult};
+pub use ast::Query;
+pub use eval::{Bindings, Cancellation, EvalContext};
+pub use optimizer::OptimizerConfig;
+pub use parser::{parse, ParseError};

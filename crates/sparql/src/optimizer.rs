@@ -1,0 +1,531 @@
+//! The query optimizer: the three techniques Section V singles out.
+//!
+//! 1. **Triple-pattern reordering by selectivity estimation** (the paper's
+//!    reference 5, akin to relational join reordering): within each BGP, a greedy
+//!    ordering picks the cheapest next pattern given the variables bound
+//!    so far, using [`sp2b_store::TripleStore::estimate`] — exact counts
+//!    on the native store, posting-list heuristics on the memory store.
+//!    Disconnected patterns (cartesian products) are heavily penalized.
+//! 2. **Filter pushing**: conjuncts of a group filter move into the BGP
+//!    and run as soon as their variables are bound, shrinking
+//!    intermediate results; filters over a join/left-join distribute into
+//!    the branch that certainly binds their variables.
+//! 3. **Filter substitution** (constant propagation): an equality conjunct
+//!    `?v = <const>` whose variable is otherwise unobserved is folded into
+//!    the patterns, turning Q3-style "attribute test" filters into
+//!    indexable constants.
+//!
+//! Every rewrite is result-preserving; the property tests in
+//! `tests/optimizer_equivalence.rs` check optimized vs. naive evaluation
+//! on randomized data.
+
+use sp2b_rdf::Term;
+use sp2b_store::TripleStore;
+
+use crate::algebra::{Algebra, Expr, ResolvedPattern, Slot};
+use crate::ast::CmpOp;
+
+/// Which optimizations to apply. `Default` is all-off (the naive engine
+/// configurations); [`OptimizerConfig::full`] enables everything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OptimizerConfig {
+    /// Greedy selectivity-based reordering of BGP patterns.
+    pub reorder_patterns: bool,
+    /// Push filter conjuncts down to their earliest application point.
+    pub push_filters: bool,
+    /// Fold `?v = const` equalities into pattern constants.
+    pub substitute_filters: bool,
+}
+
+impl OptimizerConfig {
+    /// Everything on (the `native-opt` engine configuration).
+    pub fn full() -> Self {
+        OptimizerConfig {
+            reorder_patterns: true,
+            push_filters: true,
+            substitute_filters: true,
+        }
+    }
+
+    /// Reordering and pushing, no substitution (the `mem-opt`
+    /// configuration: heuristic engines reorder but do not rewrite).
+    pub fn heuristic() -> Self {
+        OptimizerConfig {
+            reorder_patterns: true,
+            push_filters: true,
+            substitute_filters: false,
+        }
+    }
+}
+
+/// Optimizes an algebra tree for a store. `needed` carries the variables
+/// observable above the root (projection + order keys).
+pub fn optimize(
+    algebra: Algebra,
+    store: &dyn TripleStore,
+    cfg: &OptimizerConfig,
+    needed: &[usize],
+) -> Algebra {
+    let mut needed: Vec<usize> = needed.to_vec();
+    rewrite(algebra, store, cfg, &mut needed)
+}
+
+fn rewrite(
+    algebra: Algebra,
+    store: &dyn TripleStore,
+    cfg: &OptimizerConfig,
+    needed: &mut Vec<usize>,
+) -> Algebra {
+    match algebra {
+        Algebra::Filter(expr, inner) => rewrite_filter(expr, *inner, store, cfg, needed),
+        Algebra::Bgp { patterns, inline_filters } => finish_bgp(
+            patterns,
+            inline_filters.into_iter().map(|(_, e)| e).collect(),
+            store,
+            cfg,
+            needed,
+        ),
+        Algebra::Join(a, b) => {
+            let a = rewrite(*a, store, cfg, needed);
+            let b = rewrite(*b, store, cfg, needed);
+            Algebra::Join(Box::new(a), Box::new(b))
+        }
+        Algebra::LeftJoin(a, b, cond) => {
+            // The condition's variables must stay observable in both sides.
+            if let Some(c) = &cond {
+                extend(needed, c.variables());
+            }
+            let a = rewrite(*a, store, cfg, needed);
+            let b = rewrite(*b, store, cfg, needed);
+            Algebra::LeftJoin(Box::new(a), Box::new(b), cond)
+        }
+        Algebra::Union(a, b) => {
+            let a = rewrite(*a, store, cfg, needed);
+            let b = rewrite(*b, store, cfg, needed);
+            Algebra::Union(Box::new(a), Box::new(b))
+        }
+        Algebra::Distinct(inner) => {
+            Algebra::Distinct(Box::new(rewrite(*inner, store, cfg, needed)))
+        }
+        Algebra::Project(vars, inner) => {
+            extend(needed, vars.iter().copied());
+            Algebra::Project(vars, Box::new(rewrite(*inner, store, cfg, needed)))
+        }
+        Algebra::OrderBy(keys, inner) => {
+            for k in &keys {
+                extend(needed, k.expr.variables());
+            }
+            Algebra::OrderBy(keys, Box::new(rewrite(*inner, store, cfg, needed)))
+        }
+        Algebra::Slice { offset, limit, input } => Algebra::Slice {
+            offset,
+            limit,
+            input: Box::new(rewrite(*input, store, cfg, needed)),
+        },
+    }
+}
+
+fn extend(needed: &mut Vec<usize>, vars: impl IntoIterator<Item = usize>) {
+    for v in vars {
+        if !needed.contains(&v) {
+            needed.push(v);
+        }
+    }
+}
+
+/// Handles `Filter(e, inner)`: distributes/pushes conjuncts where the
+/// configuration allows, recursing into `inner`.
+fn rewrite_filter(
+    expr: Expr,
+    inner: Algebra,
+    store: &dyn TripleStore,
+    cfg: &OptimizerConfig,
+    needed: &mut Vec<usize>,
+) -> Algebra {
+    if !cfg.push_filters {
+        // Still recurse below the filter.
+        for v in expr.variables() {
+            extend(needed, [v]);
+        }
+        let inner = rewrite(inner, store, cfg, needed);
+        return Algebra::Filter(expr, Box::new(inner));
+    }
+
+    match inner {
+        Algebra::Bgp { patterns, inline_filters } => {
+            let mut filters: Vec<Expr> =
+                inline_filters.into_iter().map(|(_, e)| e).collect();
+            filters.extend(expr.conjuncts());
+            finish_bgp(patterns, filters, store, cfg, needed)
+        }
+        Algebra::Join(a, b) => {
+            let (into_a, into_b, stay) = distribute(expr, &a, &b, /*left_only=*/ false);
+            let mut left = *a;
+            let mut right = *b;
+            if let Some(e) = into_a {
+                left = Algebra::Filter(e, Box::new(left));
+            }
+            if let Some(e) = into_b {
+                right = Algebra::Filter(e, Box::new(right));
+            }
+            let joined = Algebra::Join(
+                Box::new(rewrite(left, store, cfg, needed)),
+                Box::new(rewrite(right, store, cfg, needed)),
+            );
+            match stay {
+                Some(e) => Algebra::Filter(e, Box::new(joined)),
+                None => joined,
+            }
+        }
+        Algebra::LeftJoin(a, b, cond) => {
+            // Only the preserved side may absorb filters.
+            let (into_a, _, stay) = distribute(expr, &a, &b, /*left_only=*/ true);
+            let mut left = *a;
+            if let Some(e) = into_a {
+                left = Algebra::Filter(e, Box::new(left));
+            }
+            if let Some(c) = &cond {
+                extend(needed, c.variables());
+            }
+            let lj = Algebra::LeftJoin(
+                Box::new(rewrite(left, store, cfg, needed)),
+                Box::new(rewrite(*b, store, cfg, needed)),
+                cond,
+            );
+            match stay {
+                Some(e) => Algebra::Filter(e, Box::new(lj)),
+                None => lj,
+            }
+        }
+        other => {
+            for v in expr.variables() {
+                extend(needed, [v]);
+            }
+            Algebra::Filter(expr, Box::new(rewrite(other, store, cfg, needed)))
+        }
+    }
+}
+
+/// Splits `expr`'s conjuncts into (into-left, into-right, stay) by
+/// certain-variable coverage. With `left_only`, the right side never
+/// absorbs (LeftJoin safety).
+fn distribute(
+    expr: Expr,
+    a: &Algebra,
+    b: &Algebra,
+    left_only: bool,
+) -> (Option<Expr>, Option<Expr>, Option<Expr>) {
+    let ca = a.certain_vars();
+    let cb = b.certain_vars();
+    let mut into_a = Vec::new();
+    let mut into_b = Vec::new();
+    let mut stay = Vec::new();
+    for c in expr.conjuncts() {
+        let vars = c.variables();
+        if vars.iter().all(|v| ca.contains(v)) {
+            into_a.push(c);
+        } else if !left_only && vars.iter().all(|v| cb.contains(v)) {
+            into_b.push(c);
+        } else {
+            stay.push(c);
+        }
+    }
+    (Expr::fold_and(into_a), Expr::fold_and(into_b), Expr::fold_and(stay))
+}
+
+/// Applies substitution, reordering and inline-filter placement to a BGP
+/// whose candidate filters are `filters` (conjuncts that may or may not
+/// reference only BGP variables).
+fn finish_bgp(
+    mut patterns: Vec<ResolvedPattern>,
+    filters: Vec<Expr>,
+    store: &dyn TripleStore,
+    cfg: &OptimizerConfig,
+    needed: &[usize],
+) -> Algebra {
+    let mut residual: Vec<Expr> = Vec::new();
+    let mut pushable: Vec<Expr> = Vec::new();
+
+    // Which variables does the BGP bind?
+    let bgp_vars: Vec<usize> = patterns.iter().flat_map(|p| p.variables()).collect();
+
+    let mut remaining = filters;
+    if cfg.substitute_filters {
+        // Substituting `?v = const` is only safe when dropping ?v's
+        // binding is unobservable: ?v not needed above, and mentioned by
+        // no other filter conjunct.
+        let mut kept: Vec<Expr> = Vec::new();
+        for (idx, c) in remaining.iter().enumerate() {
+            let substitutable = as_var_eq_const(c).filter(|(v, _)| {
+                bgp_vars.contains(v)
+                    && !needed.contains(v)
+                    && !remaining
+                        .iter()
+                        .enumerate()
+                        .any(|(j, other)| j != idx && other.variables().contains(v))
+            });
+            if let Some((v, term)) = substitutable {
+                for p in &mut patterns {
+                    for slot in [&mut p.s, &mut p.p, &mut p.o] {
+                        if slot.as_var() == Some(v) {
+                            *slot = Slot::Const(term.clone());
+                        }
+                    }
+                }
+            } else {
+                kept.push(c.clone());
+            }
+        }
+        remaining = kept;
+    }
+
+    for c in remaining {
+        let vars = c.variables();
+        let current_vars: Vec<usize> =
+            patterns.iter().flat_map(|p| p.variables()).collect();
+        if cfg.push_filters && vars.iter().all(|v| current_vars.contains(v)) {
+            pushable.push(c);
+        } else {
+            residual.push(c);
+        }
+    }
+
+    if cfg.reorder_patterns {
+        patterns = reorder(patterns, store);
+    }
+
+    // Attach pushable filters at the earliest position where all their
+    // variables are bound.
+    let mut inline: Vec<(usize, Expr)> = Vec::new();
+    for c in pushable {
+        let vars = c.variables();
+        let mut bound: Vec<usize> = Vec::new();
+        let mut pos = patterns.len().saturating_sub(1);
+        for (i, p) in patterns.iter().enumerate() {
+            bound.extend(p.variables());
+            if vars.iter().all(|v| bound.contains(v)) {
+                pos = i;
+                break;
+            }
+        }
+        inline.push((pos, c));
+    }
+
+    let bgp = Algebra::Bgp { patterns, inline_filters: inline };
+    match Expr::fold_and(residual) {
+        Some(e) => Algebra::Filter(e, Box::new(bgp)),
+        None => bgp,
+    }
+}
+
+/// Recognizes `?v = const` / `const = ?v`.
+fn as_var_eq_const(e: &Expr) -> Option<(usize, Term)> {
+    if let Expr::Compare(CmpOp::Eq, a, b) = e {
+        match (a.as_ref(), b.as_ref()) {
+            (Expr::Var(v), Expr::Const(t)) | (Expr::Const(t), Expr::Var(v)) => {
+                // Only IRIs are safe to substitute: literal equality is
+                // value-based (e.g. "01"^^xsd:integer = "1"^^xsd:integer),
+                // which pattern matching by id cannot capture.
+                if matches!(t, Term::Iri(_)) {
+                    return Some((*v, t.clone()));
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Greedy selectivity ordering: repeatedly pick the cheapest pattern given
+/// already-bound variables; unconnected patterns pay a cartesian penalty.
+fn reorder(patterns: Vec<ResolvedPattern>, store: &dyn TripleStore) -> Vec<ResolvedPattern> {
+    let n = patterns.len();
+    if n <= 1 {
+        return patterns;
+    }
+    let base_costs: Vec<f64> = patterns.iter().map(|p| base_estimate(p, store)).collect();
+
+    let mut remaining: Vec<usize> = (0..n).collect();
+    let mut ordered: Vec<ResolvedPattern> = Vec::with_capacity(n);
+    let mut bound: Vec<usize> = Vec::new();
+
+    while !remaining.is_empty() {
+        let mut best_pos = 0;
+        let mut best_score = f64::INFINITY;
+        for (pos, &idx) in remaining.iter().enumerate() {
+            let p = &patterns[idx];
+            let vars: Vec<usize> = p.variables().collect();
+            let bound_vars = vars.iter().filter(|v| bound.contains(v)).count();
+            let connected = bound.is_empty() || bound_vars > 0;
+            let mut score = base_costs[idx] / 8f64.powi(bound_vars as i32);
+            if !connected {
+                score *= 1e9; // cartesian product: only as a last resort
+            }
+            if score < best_score {
+                best_score = score;
+                best_pos = pos;
+            }
+        }
+        let idx = remaining.remove(best_pos);
+        bound.extend(patterns[idx].variables());
+        ordered.push(patterns[idx].clone());
+    }
+    ordered
+}
+
+/// Store estimate for the pattern's constant positions. An unresolvable
+/// constant means zero matches — such patterns order first and cut the
+/// plan immediately (the paper's "Q3c in constant time via statistics").
+fn base_estimate(p: &ResolvedPattern, store: &dyn TripleStore) -> f64 {
+    let mut pattern: sp2b_store::Pattern = [None, None, None];
+    for (i, slot) in p.slots().into_iter().enumerate() {
+        if let Slot::Const(t) = slot {
+            match store.resolve(t) {
+                Some(id) => pattern[i] = Some(id),
+                None => return 0.0,
+            }
+        }
+    }
+    store.estimate(pattern) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebra::translate;
+    use crate::parser::parse;
+    use sp2b_rdf::{Graph, Iri, Subject};
+    use sp2b_store::NativeStore;
+
+    fn store() -> NativeStore {
+        let mut g = Graph::new();
+        // 100 "common" triples, 2 "rare" ones.
+        for i in 0..100 {
+            g.add(
+                Subject::iri(format!("http://x/s{i}")),
+                Iri::new("http://x/common"),
+                Term::iri("http://x/o"),
+            );
+        }
+        for i in 0..2 {
+            g.add(
+                Subject::iri(format!("http://x/s{i}")),
+                Iri::new("http://x/rare"),
+                Term::iri(format!("http://x/val{i}")),
+            );
+        }
+        NativeStore::from_graph(&g)
+    }
+
+    fn bgp_of(alg: &Algebra) -> (&Vec<ResolvedPattern>, &Vec<(usize, Expr)>) {
+        match alg {
+            Algebra::Project(_, inner) | Algebra::Distinct(inner) => bgp_of(inner),
+            Algebra::Filter(_, inner) => bgp_of(inner),
+            Algebra::Bgp { patterns, inline_filters } => (patterns, inline_filters),
+            other => panic!("no BGP in {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reorders_rare_pattern_first() {
+        let t = translate(
+            &parse(
+                "SELECT ?s WHERE { ?s <http://x/common> ?o . ?s <http://x/rare> ?v }",
+            )
+            .unwrap(),
+        );
+        let s = store();
+        let optimized =
+            optimize(t.algebra.clone(), &s, &OptimizerConfig::full(), &t.projection);
+        let (patterns, _) = bgp_of(&optimized);
+        // The rare pattern must come first now.
+        assert_eq!(
+            patterns[0].p,
+            Slot::Const(Term::iri("http://x/rare")),
+            "{patterns:?}"
+        );
+    }
+
+    #[test]
+    fn no_reorder_when_disabled() {
+        let t = translate(
+            &parse(
+                "SELECT ?s WHERE { ?s <http://x/common> ?o . ?s <http://x/rare> ?v }",
+            )
+            .unwrap(),
+        );
+        let s = store();
+        let optimized =
+            optimize(t.algebra.clone(), &s, &OptimizerConfig::default(), &t.projection);
+        let (patterns, _) = bgp_of(&optimized);
+        assert_eq!(patterns[0].p, Slot::Const(Term::iri("http://x/common")));
+    }
+
+    #[test]
+    fn pushes_filter_inline() {
+        let t = translate(
+            &parse(
+                "SELECT ?s WHERE { ?s <http://x/common> ?o . ?s <http://x/rare> ?v FILTER (?v != <http://x/val0>) }",
+            )
+            .unwrap(),
+        );
+        let s = store();
+        let optimized =
+            optimize(t.algebra.clone(), &s, &OptimizerConfig::full(), &t.projection);
+        let (_, inline) = bgp_of(&optimized);
+        assert_eq!(inline.len(), 1, "filter must be inlined");
+        // And no residual Filter node above the BGP.
+        let Algebra::Project(_, inner) = &optimized else { panic!() };
+        assert!(matches!(inner.as_ref(), Algebra::Bgp { .. }));
+    }
+
+    #[test]
+    fn substitutes_iri_equality() {
+        let t = translate(
+            &parse(
+                "SELECT ?s WHERE { ?s ?p ?v FILTER (?p = <http://x/rare>) }",
+            )
+            .unwrap(),
+        );
+        let s = store();
+        let optimized =
+            optimize(t.algebra.clone(), &s, &OptimizerConfig::full(), &t.projection);
+        let (patterns, inline) = bgp_of(&optimized);
+        assert_eq!(patterns[0].p, Slot::Const(Term::iri("http://x/rare")));
+        assert!(inline.is_empty(), "equality folded away");
+    }
+
+    #[test]
+    fn does_not_substitute_projected_variable() {
+        let t = translate(
+            &parse("SELECT ?p WHERE { ?s ?p ?v FILTER (?p = <http://x/rare>) }").unwrap(),
+        );
+        let s = store();
+        let optimized =
+            optimize(t.algebra.clone(), &s, &OptimizerConfig::full(), &t.projection);
+        // ?p is projected: substituting would lose its binding. The filter
+        // must survive in some form (inline or residual).
+        let (patterns, inline) = bgp_of(&optimized);
+        let still_var = patterns[0].p == Slot::Var(t.vars.lookup("p").unwrap());
+        assert!(still_var || !inline.is_empty());
+    }
+
+    #[test]
+    fn filter_distributes_into_join_branches() {
+        let t = translate(
+            &parse(
+                "SELECT ?a WHERE { { ?a <http://x/common> ?x } { ?b <http://x/rare> ?y } FILTER (?y != <http://x/val0>) }",
+            )
+            .unwrap(),
+        );
+        let s = store();
+        let optimized =
+            optimize(t.algebra.clone(), &s, &OptimizerConfig::full(), &t.projection);
+        // The filter must not remain at the top.
+        let Algebra::Project(_, inner) = &optimized else { panic!() };
+        assert!(
+            matches!(inner.as_ref(), Algebra::Join(..)),
+            "filter should be absorbed by a branch: {inner:?}"
+        );
+    }
+}

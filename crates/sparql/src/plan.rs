@@ -1,0 +1,266 @@
+//! Physical plans: the algebra bound to a concrete store.
+//!
+//! Binding resolves every constant term to its dictionary id (or `None`
+//! when the term does not occur in the data — such a pattern matches
+//! nothing, which is how Q3c/Q12c become constant-time on any store), and
+//! precomputes hash-join keys (shared *certain* variables) plus residual
+//! compatibility-check variables for every Join/LeftJoin.
+
+use sp2b_store::{Id, TripleStore};
+
+use crate::algebra::{Algebra, ResolvedPattern, Slot};
+use crate::expr::BoundExpr;
+
+/// A pattern slot bound to the store.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PlanSlot {
+    /// Constant term: its id, or `None` if absent from the data.
+    Const(Option<Id>),
+    /// Variable by index.
+    Var(usize),
+}
+
+/// A store-bound triple pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanPattern {
+    /// (s, p, o) slots.
+    pub slots: [PlanSlot; 3],
+}
+
+impl PlanPattern {
+    fn bind(p: &ResolvedPattern, store: &dyn TripleStore) -> Self {
+        let bind_slot = |s: &Slot| match s {
+            Slot::Const(t) => PlanSlot::Const(store.resolve(t)),
+            Slot::Var(i) => PlanSlot::Var(*i),
+        };
+        PlanPattern { slots: [bind_slot(&p.s), bind_slot(&p.p), bind_slot(&p.o)] }
+    }
+
+    /// True if a constant failed to resolve (pattern can never match).
+    pub fn is_unsatisfiable(&self) -> bool {
+        self.slots.iter().any(|s| matches!(s, PlanSlot::Const(None)))
+    }
+}
+
+/// ORDER BY key in the plan.
+#[derive(Debug, Clone)]
+pub enum PlanOrderKey {
+    /// Order by a variable's term value (the common case).
+    Var {
+        /// Variable index.
+        var: usize,
+        /// Descending?
+        descending: bool,
+    },
+    /// Order by an expression's effective boolean value (rare).
+    Expr {
+        /// The expression.
+        expr: BoundExpr,
+        /// Descending?
+        descending: bool,
+    },
+}
+
+/// The physical plan tree.
+#[derive(Debug, Clone)]
+pub enum Plan {
+    /// Index-nested-loop BGP with optionally pushed-down filters.
+    Bgp {
+        /// Patterns in execution order.
+        patterns: Vec<PlanPattern>,
+        /// `(position, filter)`: run `filter` once `patterns[position]`
+        /// has bound its variables.
+        filters: Vec<(usize, BoundExpr)>,
+    },
+    /// Hash join.
+    Join {
+        /// Probe side (streamed).
+        left: Box<Plan>,
+        /// Build side (materialized).
+        right: Box<Plan>,
+        /// Hash-key variables (certainly bound on both sides).
+        key: Vec<usize>,
+        /// Additional possibly-shared variables needing a merge check.
+        check: Vec<usize>,
+    },
+    /// Left outer join with optional condition.
+    LeftJoin {
+        /// Preserved side (streamed).
+        left: Box<Plan>,
+        /// Optional side (materialized).
+        right: Box<Plan>,
+        /// Hash-key variables.
+        key: Vec<usize>,
+        /// Residual shared variables.
+        check: Vec<usize>,
+        /// The OPTIONAL filter condition, if any.
+        condition: Option<BoundExpr>,
+    },
+    /// Concatenation.
+    Union(Box<Plan>, Box<Plan>),
+    /// Row filter.
+    Filter(BoundExpr, Box<Plan>),
+    /// Order-preserving duplicate elimination.
+    Distinct(Box<Plan>),
+    /// Keep only the given variables bound.
+    Project(Vec<usize>, Box<Plan>),
+    /// Materializing sort.
+    OrderBy(Vec<PlanOrderKey>, Box<Plan>),
+    /// OFFSET/LIMIT.
+    Slice {
+        /// Rows to skip.
+        offset: u64,
+        /// Max rows.
+        limit: Option<u64>,
+        /// Input plan.
+        input: Box<Plan>,
+    },
+}
+
+/// Binds an algebra tree to a store.
+pub fn bind(algebra: &Algebra, store: &dyn TripleStore) -> Plan {
+    match algebra {
+        Algebra::Bgp { patterns, inline_filters } => Plan::Bgp {
+            patterns: patterns.iter().map(|p| PlanPattern::bind(p, store)).collect(),
+            filters: inline_filters
+                .iter()
+                .map(|(pos, e)| (*pos, BoundExpr::bind(e, store)))
+                .collect(),
+        },
+        Algebra::Join(a, b) => {
+            let (key, check) = join_vars(a, b);
+            Plan::Join {
+                left: Box::new(bind(a, store)),
+                right: Box::new(bind(b, store)),
+                key,
+                check,
+            }
+        }
+        Algebra::LeftJoin(a, b, cond) => {
+            let (key, check) = join_vars(a, b);
+            Plan::LeftJoin {
+                left: Box::new(bind(a, store)),
+                right: Box::new(bind(b, store)),
+                key,
+                check,
+                condition: cond.as_ref().map(|c| BoundExpr::bind(c, store)),
+            }
+        }
+        Algebra::Union(a, b) => {
+            Plan::Union(Box::new(bind(a, store)), Box::new(bind(b, store)))
+        }
+        Algebra::Filter(e, inner) => {
+            Plan::Filter(BoundExpr::bind(e, store), Box::new(bind(inner, store)))
+        }
+        Algebra::Distinct(inner) => Plan::Distinct(Box::new(bind(inner, store))),
+        Algebra::Project(vars, inner) => {
+            Plan::Project(vars.clone(), Box::new(bind(inner, store)))
+        }
+        Algebra::OrderBy(keys, inner) => Plan::OrderBy(
+            keys.iter()
+                .map(|k| match &k.expr {
+                    crate::algebra::Expr::Var(i) => {
+                        PlanOrderKey::Var { var: *i, descending: k.descending }
+                    }
+                    other => PlanOrderKey::Expr {
+                        expr: BoundExpr::bind(other, store),
+                        descending: k.descending,
+                    },
+                })
+                .collect(),
+            Box::new(bind(inner, store)),
+        ),
+        Algebra::Slice { offset, limit, input } => Plan::Slice {
+            offset: *offset,
+            limit: *limit,
+            input: Box::new(bind(input, store)),
+        },
+    }
+}
+
+/// Hash-join key (shared certain vars) and residual check vars (shared
+/// possible vars not in the key).
+fn join_vars(a: &Algebra, b: &Algebra) -> (Vec<usize>, Vec<usize>) {
+    let ca = a.certain_vars();
+    let cb = b.certain_vars();
+    let key: Vec<usize> = ca.iter().copied().filter(|v| cb.contains(v)).collect();
+    let aa = a.all_vars();
+    let ab = b.all_vars();
+    let check: Vec<usize> = aa
+        .iter()
+        .copied()
+        .filter(|v| ab.contains(v) && !key.contains(v))
+        .collect();
+    (key, check)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebra::translate;
+    use crate::parser::parse;
+    use sp2b_rdf::{Graph, Iri, Subject, Term};
+    use sp2b_store::MemStore;
+
+    fn store() -> MemStore {
+        let mut g = Graph::new();
+        g.add(Subject::iri("http://x/s"), Iri::new("http://x/p"), Term::iri("http://x/o"));
+        MemStore::from_graph(&g)
+    }
+
+    #[test]
+    fn binding_resolves_constants() {
+        let t = translate(&parse("SELECT ?s WHERE { ?s <http://x/p> <http://x/o> }").unwrap());
+        let plan = bind(&t.algebra, &store());
+        let Plan::Project(_, inner) = plan else { panic!() };
+        let Plan::Bgp { patterns, .. } = *inner else { panic!() };
+        assert!(!patterns[0].is_unsatisfiable());
+        assert!(matches!(patterns[0].slots[1], PlanSlot::Const(Some(_))));
+    }
+
+    #[test]
+    fn missing_constant_marks_unsatisfiable() {
+        let t = translate(&parse("SELECT ?s WHERE { ?s <http://x/nope> ?o }").unwrap());
+        let plan = bind(&t.algebra, &store());
+        let Plan::Project(_, inner) = plan else { panic!() };
+        let Plan::Bgp { patterns, .. } = *inner else { panic!() };
+        assert!(patterns[0].is_unsatisfiable());
+    }
+
+    #[test]
+    fn join_keys_are_shared_certain_vars() {
+        let t = translate(
+            &parse(
+                "SELECT ?x WHERE { { ?x <http://x/p> ?y } { ?x <http://x/p> ?z } }",
+            )
+            .unwrap(),
+        );
+        let plan = bind(&t.algebra, &store());
+        let Plan::Project(_, inner) = plan else { panic!() };
+        let Plan::Join { key, check, .. } = *inner else { panic!("{inner:?}") };
+        assert_eq!(key, vec![t.vars.lookup("x").unwrap()]);
+        assert!(check.is_empty());
+    }
+
+    #[test]
+    fn leftjoin_with_optional_var_gets_check() {
+        // ?c appears in both branches but is only certain in neither-left:
+        // left = {a p b}, right = LeftJoin-translated optional with ?c.
+        let t = translate(
+            &parse(
+                "SELECT ?a WHERE {
+                    { ?a <http://x/p> ?b OPTIONAL { ?b <http://x/q> ?c } }
+                    { ?a <http://x/r> ?c }
+                 }",
+            )
+            .unwrap(),
+        );
+        let plan = bind(&t.algebra, &store());
+        let Plan::Project(_, inner) = plan else { panic!() };
+        let Plan::Join { key, check, .. } = *inner else { panic!("{inner:?}") };
+        let a = t.vars.lookup("a").unwrap();
+        let c = t.vars.lookup("c").unwrap();
+        assert_eq!(key, vec![a]);
+        assert_eq!(check, vec![c], "?c is shared but not certain on the left");
+    }
+}

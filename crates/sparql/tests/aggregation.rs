@@ -1,0 +1,177 @@
+//! Tests for the aggregation extension (GROUP BY + COUNT) — the paper's
+//! Section VII: "Concerning aggregations, the detailed knowledge of the
+//! document class counts and distributions facilitates the design of
+//! challenging aggregate queries."
+
+use sp2b_rdf::{Graph, Iri, Literal, Subject, Term};
+use sp2b_sparql::{execute_query, OptimizerConfig, QueryResult};
+use sp2b_store::MemStore;
+
+fn store() -> MemStore {
+    let mut g = Graph::new();
+    // Three classes with 3, 2, 1 instances; persons with names.
+    for (i, class) in [(0, "A"), (1, "A"), (2, "A"), (3, "B"), (4, "B"), (5, "C")] {
+        g.add(
+            Subject::iri(format!("http://x/d{i}")),
+            Iri::new("http://x/type"),
+            Term::iri(format!("http://x/{class}")),
+        );
+    }
+    // d0 has two creators; d1 one; d2 none.
+    for (d, p) in [(0, "alice"), (0, "bob"), (1, "alice")] {
+        g.add(
+            Subject::iri(format!("http://x/d{d}")),
+            Iri::new("http://x/creator"),
+            Term::iri(format!("http://x/{p}")),
+        );
+    }
+    g.add(
+        Subject::iri("http://x/alice"),
+        Iri::new("http://x/age"),
+        Term::Literal(Literal::integer(30)),
+    );
+    MemStore::from_graph(&g)
+}
+
+fn rows(query: &str) -> (Vec<String>, Vec<Vec<Option<Term>>>) {
+    let store = store();
+    match execute_query(&store, query, &OptimizerConfig::full(), None).unwrap() {
+        QueryResult::Solutions { variables, rows } => (variables, rows),
+        other => panic!("{other:?}"),
+    }
+}
+
+fn int(t: &Option<Term>) -> i64 {
+    match t {
+        Some(Term::Literal(l)) => l.as_integer().expect("integer literal"),
+        other => panic!("expected integer, got {other:?}"),
+    }
+}
+
+#[test]
+fn count_star_grouped_by_class() {
+    let (vars, rows) = rows(
+        "SELECT ?class (COUNT(*) AS ?n) WHERE { ?d <http://x/type> ?class } \
+         GROUP BY ?class ORDER BY DESC(?n)",
+    );
+    assert_eq!(vars, ["class", "n"]);
+    assert_eq!(rows.len(), 3);
+    let counts: Vec<i64> = rows.iter().map(|r| int(&r[1])).collect();
+    assert_eq!(counts, [3, 2, 1], "ordered by descending count");
+}
+
+#[test]
+fn count_variable_skips_unbound() {
+    // d2 has a class but no creator: COUNT(?p) must not count its row.
+    let (_, rows) = rows(
+        "SELECT ?d (COUNT(?p) AS ?n) WHERE { ?d <http://x/type> <http://x/A> \
+         OPTIONAL { ?d <http://x/creator> ?p } } GROUP BY ?d",
+    );
+    assert_eq!(rows.len(), 3);
+    let mut counts: Vec<i64> = rows.iter().map(|r| int(&r[1])).collect();
+    counts.sort_unstable();
+    assert_eq!(counts, [0, 1, 2]);
+}
+
+#[test]
+fn count_distinct() {
+    // alice creates d0 and d1 → plain count 3 creator edges, distinct
+    // creators = 2.
+    let (_, plain) =
+        rows("SELECT (COUNT(?p) AS ?n) WHERE { ?d <http://x/creator> ?p }");
+    assert_eq!(int(&plain[0][0]), 3);
+    let (_, distinct) =
+        rows("SELECT (COUNT(DISTINCT ?p) AS ?n) WHERE { ?d <http://x/creator> ?p }");
+    assert_eq!(int(&distinct[0][0]), 2);
+}
+
+#[test]
+fn global_count_over_empty_pattern_is_zero_row() {
+    // SPARQL 1.1: implicit group over an empty solution set yields one
+    // row with count 0.
+    let (_, rows) =
+        rows("SELECT (COUNT(*) AS ?n) WHERE { ?d <http://x/nonexistent> ?x }");
+    assert_eq!(rows.len(), 1);
+    assert_eq!(int(&rows[0][0]), 0);
+}
+
+#[test]
+fn grouped_count_over_empty_pattern_is_empty() {
+    let (_, rows) = rows(
+        "SELECT ?d (COUNT(*) AS ?n) WHERE { ?d <http://x/nonexistent> ?x } GROUP BY ?d",
+    );
+    assert!(rows.is_empty());
+}
+
+#[test]
+fn limit_and_offset_apply_to_groups() {
+    let (_, rows) = rows(
+        "SELECT ?class (COUNT(*) AS ?n) WHERE { ?d <http://x/type> ?class } \
+         GROUP BY ?class ORDER BY DESC(?n) LIMIT 1 OFFSET 1",
+    );
+    assert_eq!(rows.len(), 1);
+    assert_eq!(int(&rows[0][1]), 2, "second-largest group");
+}
+
+#[test]
+fn multiple_aggregates_in_one_query() {
+    let (vars, rows) = rows(
+        "SELECT ?d (COUNT(?p) AS ?edges) (COUNT(DISTINCT ?p) AS ?people) \
+         WHERE { ?d <http://x/creator> ?p } GROUP BY ?d",
+    );
+    assert_eq!(vars, ["d", "edges", "people"]);
+    // d0: 2 edges 2 people; d1: 1 edge 1 person.
+    let d0 = rows
+        .iter()
+        .find(|r| r[0].as_ref().unwrap().to_string().contains("d0"))
+        .expect("d0 group");
+    assert_eq!(int(&d0[1]), 2);
+    assert_eq!(int(&d0[2]), 2);
+}
+
+#[test]
+fn projection_restriction_enforced() {
+    // ?d projected next to an aggregate but not grouped → parse error.
+    let store = store();
+    let result = execute_query(
+        &store,
+        "SELECT ?d (COUNT(*) AS ?n) WHERE { ?d <http://x/type> ?c }",
+        &OptimizerConfig::default(),
+        None,
+    );
+    assert!(result.is_err());
+}
+
+#[test]
+fn group_by_without_aggregate_rejected() {
+    let store = store();
+    let result = execute_query(
+        &store,
+        "SELECT ?c WHERE { ?d <http://x/type> ?c } GROUP BY ?c",
+        &OptimizerConfig::default(),
+        None,
+    );
+    assert!(result.is_err());
+}
+
+#[test]
+fn aggregate_count_method_returns_group_count() {
+    use sp2b_sparql::{Cancellation, Prepared};
+    let store = store();
+    let p = Prepared::parse(
+        "SELECT ?class (COUNT(*) AS ?n) WHERE { ?d <http://x/type> ?class } GROUP BY ?class",
+        &store,
+        &OptimizerConfig::default(),
+    )
+    .unwrap();
+    assert_eq!(p.count(&store, &Cancellation::none()).unwrap(), 3);
+}
+
+#[test]
+fn deterministic_output_order_without_order_by() {
+    // Grouped results sort by the full row when no ORDER BY is given.
+    let q = "SELECT ?class (COUNT(*) AS ?n) WHERE { ?d <http://x/type> ?class } GROUP BY ?class";
+    let (_, a) = rows(q);
+    let (_, b) = rows(q);
+    assert_eq!(a, b);
+}

@@ -1,0 +1,143 @@
+//! Dictionary encoding: RDF terms ↔ dense integer ids.
+//!
+//! Both stores map every distinct term to a `u32` id at load time and
+//! evaluate queries entirely over ids; terms are materialized again only
+//! when rendering results or comparing literal *values* (ORDER BY,
+//! value-based FILTER). This is the standard RDF storage technique the
+//! paper's "native engines" rely on, and the ablation benchmark
+//! (`DESIGN.md` §7.4) quantifies what it buys.
+
+use sp2b_rdf::{Term, Triple};
+
+use crate::hash::FxHashMap;
+
+/// A dictionary-encoded term identifier.
+pub type Id = u32;
+
+/// An encoded triple in (s, p, o) id order.
+pub type IdTriple = [Id; 3];
+
+/// Bidirectional term↔id mapping. Ids are dense and allocation order is
+/// first-seen order, so encoding the same document always yields the same
+/// ids (determinism end to end).
+#[derive(Debug, Default, Clone)]
+pub struct Dictionary {
+    terms: Vec<Term>,
+    ids: FxHashMap<Term, Id>,
+}
+
+impl Dictionary {
+    /// An empty dictionary.
+    pub fn new() -> Self {
+        Dictionary::default()
+    }
+
+    /// Number of distinct terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True if no term has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Interns a term, returning its id (existing or fresh).
+    pub fn encode(&mut self, term: &Term) -> Id {
+        if let Some(&id) = self.ids.get(term) {
+            return id;
+        }
+        let id = Id::try_from(self.terms.len()).expect("dictionary overflow (> 4G terms)");
+        self.terms.push(term.clone());
+        self.ids.insert(term.clone(), id);
+        id
+    }
+
+    /// Encodes a whole triple.
+    pub fn encode_triple(&mut self, t: &Triple) -> IdTriple {
+        let [s, p, o] = t.to_terms();
+        [self.encode(&s), self.encode(&p), self.encode(&o)]
+    }
+
+    /// Looks up a term's id without interning.
+    pub fn lookup(&self, term: &Term) -> Option<Id> {
+        self.ids.get(term).copied()
+    }
+
+    /// Decodes an id back to its term. Panics on a foreign id (ids are
+    /// only ever produced by this dictionary).
+    pub fn decode(&self, id: Id) -> &Term {
+        &self.terms[id as usize]
+    }
+
+    /// Iterates over `(id, term)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (Id, &Term)> {
+        self.terms.iter().enumerate().map(|(i, t)| (i as Id, t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sp2b_rdf::{Iri, Literal, Subject};
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let mut d = Dictionary::new();
+        let terms = [Term::iri("http://a/x"),
+            Term::blank("b1"),
+            Term::Literal(Literal::string("hello")),
+            Term::Literal(Literal::integer(42))];
+        let ids: Vec<Id> = terms.iter().map(|t| d.encode(t)).collect();
+        for (t, &id) in terms.iter().zip(&ids) {
+            assert_eq!(d.decode(id), t);
+            assert_eq!(d.lookup(t), Some(id));
+        }
+    }
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut d = Dictionary::new();
+        let t = Term::iri("http://a/x");
+        let a = d.encode(&t);
+        let b = d.encode(&t);
+        assert_eq!(a, b);
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn ids_are_dense_and_first_seen_ordered() {
+        let mut d = Dictionary::new();
+        assert_eq!(d.encode(&Term::iri("http://a/1")), 0);
+        assert_eq!(d.encode(&Term::iri("http://a/2")), 1);
+        assert_eq!(d.encode(&Term::iri("http://a/1")), 0);
+        assert_eq!(d.encode(&Term::iri("http://a/3")), 2);
+    }
+
+    #[test]
+    fn distinct_literal_datatypes_get_distinct_ids() {
+        let mut d = Dictionary::new();
+        let plain = d.encode(&Term::Literal(Literal::plain("7")));
+        let typed = d.encode(&Term::Literal(Literal::integer(7)));
+        assert_ne!(plain, typed);
+    }
+
+    #[test]
+    fn encode_triple_encodes_positions() {
+        let mut d = Dictionary::new();
+        let t = Triple::new(
+            Subject::iri("http://a/s"),
+            Iri::new("http://a/p"),
+            Term::iri("http://a/s"),
+        );
+        let [s, p, o] = d.encode_triple(&t);
+        assert_eq!(s, o, "same term must get the same id in any position");
+        assert_ne!(s, p);
+    }
+
+    #[test]
+    fn lookup_missing_is_none() {
+        let d = Dictionary::new();
+        assert_eq!(d.lookup(&Term::iri("http://nowhere")), None);
+    }
+}

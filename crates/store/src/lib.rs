@@ -1,0 +1,29 @@
+//! # sp2b-store — RDF storage substrate
+//!
+//! Two storage engines occupying the design points the paper benchmarks:
+//!
+//! * [`MemStore`] — a flat, unindexed triple list answering every pattern
+//!   by linear scan (the "in-memory engine" class: ARQ, Sesame-Memory);
+//! * [`NativeStore`] — dictionary-encoded triples sorted into up to six
+//!   permutation indexes (SPO/SOP/PSO/POS/OSP/OPS) with binary-searched
+//!   range scans and exact cardinality estimates (the "native engine"
+//!   class: Sesame-DB, Virtuoso).
+//!
+//! Both implement [`TripleStore`], which the SPARQL engine evaluates
+//! against; [`Dictionary`] provides the term↔id mapping.
+
+pub mod dictionary;
+pub mod hash;
+pub mod load;
+pub mod mem;
+pub mod native;
+pub mod traits;
+
+pub use dictionary::{Dictionary, Id, IdTriple};
+pub use load::{
+    mem_store_from_path, mem_store_from_reader, native_store_from_path,
+    native_store_from_reader,
+};
+pub use mem::MemStore;
+pub use native::{IndexOrder, IndexSelection, NativeStore};
+pub use traits::{Pattern, TripleStore};

@@ -1,0 +1,190 @@
+//! The hash-indexed in-memory store.
+//!
+//! Models the paper's "in-memory engines" (ARQ/Jena, Sesame-Memory):
+//! the document lives as a flat triple list plus per-term **hash adjacency
+//! lists** for each position (Jena's memory model keeps exactly such S/P/O
+//! hash indexes). Loading is cheap (hash inserts, no sorting) and pattern
+//! scans walk the shortest applicable posting list with residual
+//! filtering. Unlike [`crate::NativeStore`] there are no sorted range
+//! indexes and no exact statistics — cardinality estimates are posting-
+//! list heuristics, which is precisely the gap the `native-opt`
+//! configuration's cost-based reordering exploits.
+
+use sp2b_rdf::{Graph, Triple};
+
+use crate::dictionary::{Dictionary, Id, IdTriple};
+use crate::hash::FxHashMap;
+use crate::traits::{matches, Pattern, TripleStore};
+
+/// Posting lists for one triple position.
+#[derive(Debug, Default)]
+struct PositionIndex {
+    lists: FxHashMap<Id, Vec<u32>>,
+}
+
+impl PositionIndex {
+    fn push(&mut self, id: Id, row: u32) {
+        self.lists.entry(id).or_default().push(row);
+    }
+
+    fn get(&self, id: Id) -> &[u32] {
+        self.lists.get(&id).map_or(&[], Vec::as_slice)
+    }
+}
+
+/// In-memory store with hash adjacency lists per position.
+#[derive(Debug, Default)]
+pub struct MemStore {
+    dict: Dictionary,
+    triples: Vec<IdTriple>,
+    by_subject: PositionIndex,
+    by_predicate: PositionIndex,
+    by_object: PositionIndex,
+}
+
+impl MemStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        MemStore::default()
+    }
+
+    /// Loads every triple of a graph.
+    pub fn from_graph(graph: &Graph) -> Self {
+        let mut store = MemStore::new();
+        store.extend(graph.iter());
+        store
+    }
+
+    /// Inserts one triple.
+    pub fn insert(&mut self, triple: &Triple) {
+        let t = self.dict.encode_triple(triple);
+        let row = u32::try_from(self.triples.len()).expect("mem store row overflow");
+        self.by_subject.push(t[0], row);
+        self.by_predicate.push(t[1], row);
+        self.by_object.push(t[2], row);
+        self.triples.push(t);
+    }
+
+    /// Inserts many triples.
+    pub fn extend<'a>(&mut self, triples: impl IntoIterator<Item = &'a Triple>) {
+        for t in triples {
+            self.insert(t);
+        }
+    }
+
+    /// The encoded triples (tests, diagnostics).
+    pub fn id_triples(&self) -> &[IdTriple] {
+        &self.triples
+    }
+
+    /// The shortest posting list applicable to `pattern`, if any position
+    /// is bound. `None` means a full scan is required.
+    fn best_list(&self, pattern: &Pattern) -> Option<&[u32]> {
+        let candidates = [
+            pattern[0].map(|id| self.by_subject.get(id)),
+            pattern[1].map(|id| self.by_predicate.get(id)),
+            pattern[2].map(|id| self.by_object.get(id)),
+        ];
+        candidates
+            .into_iter()
+            .flatten()
+            .min_by_key(|list| list.len())
+    }
+}
+
+impl TripleStore for MemStore {
+    fn dictionary(&self) -> &Dictionary {
+        &self.dict
+    }
+
+    fn len(&self) -> usize {
+        self.triples.len()
+    }
+
+    fn scan<'a>(&'a self, pattern: Pattern) -> Box<dyn Iterator<Item = IdTriple> + 'a> {
+        match self.best_list(&pattern) {
+            Some(list) => Box::new(
+                list.iter()
+                    .map(move |&row| self.triples[row as usize])
+                    .filter(move |t| matches(t, &pattern)),
+            ),
+            None => Box::new(
+                self.triples
+                    .iter()
+                    .filter(move |t| matches(t, &pattern))
+                    .copied(),
+            ),
+        }
+    }
+
+    /// Heuristic estimate: the shortest applicable posting-list length —
+    /// an upper bound that ignores residual positions (in-memory engines
+    /// keep no multi-column statistics).
+    fn estimate(&self, pattern: Pattern) -> u64 {
+        match self.best_list(&pattern) {
+            Some(list) => list.len() as u64,
+            None => self.triples.len() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sp2b_rdf::{Iri, Literal, Subject, Term};
+
+    fn store() -> MemStore {
+        let mut g = Graph::new();
+        g.add(Subject::iri("http://x/s1"), Iri::new("http://x/p1"), Term::iri("http://x/o1"));
+        g.add(Subject::iri("http://x/s1"), Iri::new("http://x/p2"), Term::Literal(Literal::integer(5)));
+        g.add(Subject::iri("http://x/s2"), Iri::new("http://x/p1"), Term::iri("http://x/o1"));
+        MemStore::from_graph(&g)
+    }
+
+    #[test]
+    fn scan_all() {
+        let s = store();
+        assert_eq!(s.scan([None, None, None]).count(), 3);
+    }
+
+    #[test]
+    fn scan_by_positions() {
+        let s = store();
+        let p1 = s.resolve(&Term::iri("http://x/p1")).unwrap();
+        let s1 = s.resolve(&Term::iri("http://x/s1")).unwrap();
+        let o1 = s.resolve(&Term::iri("http://x/o1")).unwrap();
+        assert_eq!(s.scan([None, Some(p1), None]).count(), 2);
+        assert_eq!(s.scan([Some(s1), None, None]).count(), 2);
+        assert_eq!(s.scan([None, None, Some(o1)]).count(), 2);
+        assert_eq!(s.scan([Some(s1), Some(p1), Some(o1)]).count(), 1);
+        assert_eq!(s.scan([Some(s1), Some(p1), Some(s1)]).count(), 0);
+    }
+
+    #[test]
+    fn missing_term_resolves_to_none() {
+        let s = store();
+        assert!(s.resolve(&Term::iri("http://x/absent")).is_none());
+    }
+
+    #[test]
+    fn estimates_use_shortest_posting_list() {
+        let s = store();
+        let p1 = s.resolve(&Term::iri("http://x/p1")).unwrap();
+        let p2 = s.resolve(&Term::iri("http://x/p2")).unwrap();
+        let s1 = s.resolve(&Term::iri("http://x/s1")).unwrap();
+        assert_eq!(s.estimate([None, Some(p1), None]), 2);
+        assert_eq!(s.estimate([None, Some(p2), None]), 1);
+        assert_eq!(s.estimate([None, None, None]), 3);
+        // s1 has 2 triples, p1 has 2: min is 2 either way.
+        assert_eq!(s.estimate([Some(s1), Some(p1), None]), 2);
+        assert!(!s.has_exact_estimates());
+    }
+
+    #[test]
+    fn contains_point_lookup() {
+        let s = store();
+        let s1 = s.resolve(&Term::iri("http://x/s1")).unwrap();
+        assert!(s.contains([Some(s1), None, None]));
+        assert!(!s.contains([Some(s1), Some(s1), None]));
+    }
+}

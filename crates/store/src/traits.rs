@@ -1,0 +1,77 @@
+//! The store abstraction the SPARQL engine evaluates against.
+
+use sp2b_rdf::Term;
+
+use crate::dictionary::{Dictionary, Id, IdTriple};
+
+/// A triple-scan pattern: `None` means "any" (a variable position),
+/// `Some(id)` a bound term, in (s, p, o) order.
+pub type Pattern = [Option<Id>; 3];
+
+/// Common interface of the two storage engines.
+///
+/// The engine asks for matching triples ([`TripleStore::scan`]) and for
+/// cardinality estimates ([`TripleStore::estimate`], driving the
+/// selectivity-based join reordering of Section V). Implementations must
+/// be `Send + Sync` so the benchmark runner can enforce timeouts from a
+/// watchdog thread.
+pub trait TripleStore: Send + Sync {
+    /// The term dictionary backing this store.
+    fn dictionary(&self) -> &Dictionary;
+
+    /// Total number of stored triples.
+    fn len(&self) -> usize;
+
+    /// True if the store holds no triples.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterates all triples matching `pattern`, in store order.
+    fn scan<'a>(&'a self, pattern: Pattern) -> Box<dyn Iterator<Item = IdTriple> + 'a>;
+
+    /// Estimated number of triples matching `pattern`. Index-backed stores
+    /// return exact counts; scan stores return heuristics.
+    fn estimate(&self, pattern: Pattern) -> u64;
+
+    /// Whether [`TripleStore::estimate`] is exact.
+    fn has_exact_estimates(&self) -> bool {
+        false
+    }
+
+    /// True if at least one triple matches.
+    fn contains(&self, pattern: Pattern) -> bool {
+        self.scan(pattern).next().is_some()
+    }
+
+    /// Convenience: encodes a term against the dictionary (read-only).
+    /// `None` means the term does not occur in the data, so any pattern
+    /// containing it yields no matches.
+    fn resolve(&self, term: &Term) -> Option<Id> {
+        self.dictionary().lookup(term)
+    }
+}
+
+/// Does `triple` match `pattern`?
+#[inline]
+pub fn matches(triple: &IdTriple, pattern: &Pattern) -> bool {
+    pattern
+        .iter()
+        .zip(triple.iter())
+        .all(|(p, v)| p.is_none_or(|id| id == *v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_respects_bound_positions() {
+        let t: IdTriple = [1, 2, 3];
+        assert!(matches(&t, &[None, None, None]));
+        assert!(matches(&t, &[Some(1), None, None]));
+        assert!(matches(&t, &[Some(1), Some(2), Some(3)]));
+        assert!(!matches(&t, &[Some(9), None, None]));
+        assert!(!matches(&t, &[None, None, Some(9)]));
+    }
+}

@@ -1,0 +1,52 @@
+//! A miniature of the paper's evaluation (Figures 5–8): the same queries
+//! on all four engine configurations over two document sizes, printed as
+//! a comparison matrix.
+//!
+//! ```sh
+//! cargo run --release --example engine_comparison
+//! ```
+
+use sp2bench::core::{BenchQuery, Engine, EngineKind};
+use sp2bench::datagen::{generate_graph, Config};
+use std::time::Duration;
+
+fn main() {
+    let queries = [
+        BenchQuery::Q1,   // point lookup: native engines ~constant
+        BenchQuery::Q3a,  // low-selectivity filter
+        BenchQuery::Q5a,  // implicit join (the paper's problem child)
+        BenchQuery::Q5b,  // equivalent explicit join
+        BenchQuery::Q10,  // object-bound pattern
+        BenchQuery::Q12c, // ASK for a missing triple
+    ];
+    let timeout = Some(Duration::from_secs(15));
+
+    for scale in [10_000u64, 40_000] {
+        println!("\n=== {scale} triples ===");
+        let (graph, _) = generate_graph(Config::triples(scale));
+        print!("{:<12}", "engine");
+        for q in queries {
+            print!("{:>12}", q.label());
+        }
+        println!();
+        for kind in EngineKind::ALL {
+            let engine = Engine::load(kind, &graph);
+            print!("{:<12}", kind.label());
+            for q in queries {
+                let (outcome, m) = engine.run(q, timeout);
+                match outcome.count() {
+                    Some(_) => print!("{:>11.4}s", m.tme.as_secs_f64()),
+                    None => print!("{:>12}", "timeout"),
+                }
+            }
+            println!("   (role: {})", kind.paper_role());
+        }
+    }
+
+    println!(
+        "\nreadings: native engines answer Q1/Q10/Q12c in ~constant time \
+         (index lookups);\nin-memory engines pay the document load on every query; \
+         Q5a degrades on\nevery engine while the equivalent Q5b stays cheap — the \
+         paper's key Q5 finding."
+    );
+}

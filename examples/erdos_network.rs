@@ -1,0 +1,94 @@
+//! The Erdős scenario: the generator scripts Paul Erdős with 10
+//! publications and 2 editor activities per year (1940–1996), giving
+//! queries a person with fixed characteristics as an entry point.
+//!
+//! This example reproduces Q8 (Erdős numbers 1 and 2) and Q10 (everything
+//! related to Erdős), then walks the coauthor graph with custom queries.
+//!
+//! ```sh
+//! cargo run --release --example erdos_network
+//! ```
+
+use sp2bench::core::{BenchQuery, Engine, EngineKind, Outcome};
+use sp2bench::datagen::{generate_graph, Config};
+use sp2bench::sparql::QueryResult;
+
+fn rows_of(outcome: Outcome) -> Vec<Vec<Option<sp2bench::rdf::Term>>> {
+    match outcome {
+        Outcome::Success { result: Some(QueryResult::Solutions { rows, .. }), .. } => rows,
+        other => panic!("expected solutions, got {other:?}"),
+    }
+}
+
+fn main() {
+    let (graph, _) = generate_graph(Config::triples(100_000));
+    let engine = Engine::load(EngineKind::NativeOpt, &graph);
+
+    // Q8: names of authors with Erdős number 1 or 2.
+    let (outcome, m) = engine.run(BenchQuery::Q8, None);
+    println!(
+        "Q8 — authors with Erdős number 1 or 2: {} [{}]",
+        outcome.count().expect("succeeds"),
+        m.summary()
+    );
+
+    // Q10: all edges pointing at Paul Erdős, by predicate.
+    let (outcome, _) = engine.run_text(BenchQuery::Q10.text(), None, true);
+    let rows = rows_of(outcome);
+    let mut by_predicate: std::collections::BTreeMap<String, usize> =
+        std::collections::BTreeMap::new();
+    for row in &rows {
+        let pred = row[1].as_ref().expect("predicate bound");
+        if let sp2bench::rdf::Term::Iri(iri) = pred {
+            let label = sp2bench::rdf::vocab::compact(iri.as_str())
+                .unwrap_or_else(|| iri.as_str().to_owned());
+            *by_predicate.entry(label).or_insert(0) += 1;
+        }
+    }
+    println!("\nQ10 — relations to Paul Erdős ({} total):", rows.len());
+    for (pred, n) in by_predicate {
+        println!("  {pred:<16} {n}");
+    }
+
+    // Custom: Erdős number 1 — direct coauthors only.
+    let direct = r#"
+        SELECT DISTINCT ?name
+        WHERE {
+            ?doc dc:creator person:Paul_Erdoes .
+            ?doc dc:creator ?author .
+            ?author foaf:name ?name
+            FILTER (?author != person:Paul_Erdoes)
+        }
+    "#;
+    let (outcome, _) = engine.run_text(direct, None, true);
+    let coauthors = rows_of(outcome);
+    println!("\nErdős number 1 (direct coauthors): {}", coauthors.len());
+    for row in coauthors.iter().take(8) {
+        println!("  {}", row[0].as_ref().expect("name bound"));
+    }
+    if coauthors.len() > 8 {
+        println!("  … and {} more", coauthors.len() - 8);
+    }
+
+    // Custom: in which years was Erdős most productive here?
+    let per_year = r#"
+        SELECT ?yr ?doc
+        WHERE {
+            ?doc dc:creator person:Paul_Erdoes .
+            ?doc dcterms:issued ?yr
+        }
+    "#;
+    let (outcome, _) = engine.run_text(per_year, None, true);
+    let rows = rows_of(outcome);
+    let mut per_year_counts: std::collections::BTreeMap<String, usize> =
+        std::collections::BTreeMap::new();
+    for row in &rows {
+        if let Some(sp2bench::rdf::Term::Literal(l)) = &row[0] {
+            *per_year_counts.entry(l.lexical.clone()).or_insert(0) += 1;
+        }
+    }
+    println!("\npublications per year (first 10 active years):");
+    for (yr, n) in per_year_counts.iter().take(10) {
+        println!("  {yr}: {n}  (the generator scripts 10/year, 1940–1996)");
+    }
+}

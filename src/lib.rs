@@ -1,0 +1,48 @@
+//! # sp2bench — SP²Bench: A SPARQL Performance Benchmark, in Rust
+//!
+//! A full-stack, from-scratch reproduction of *Schmidt, Hornung, Lausen,
+//! Pinkel: "SP²Bench: A SPARQL Performance Benchmark" (ICDE 2009)*:
+//!
+//! * [`datagen`] — the deterministic DBLP-like RDF data generator with the
+//!   paper's fitted distributions (Sections III/IV);
+//! * [`rdf`] — the RDF data model and N-Triples I/O;
+//! * [`store`] — two storage engines: a hash-indexed in-memory store and a
+//!   six-index ("hexastore") native store;
+//! * [`sparql`] — a SPARQL engine: parser, algebra (spec-faithful
+//!   `OPTIONAL`/`FILTER` translation), optimizer and iterator evaluator;
+//! * [`core`] — the 17 benchmark queries, the four engine configurations,
+//!   metrics, the benchmark runner and the table/figure formatters.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use sp2bench::datagen::{generate_graph, Config};
+//! use sp2bench::core::{BenchQuery, Engine, EngineKind};
+//!
+//! // 1. Generate a DBLP-like document of exactly 10k triples.
+//! let (graph, stats) = generate_graph(Config::triples(10_000));
+//! assert_eq!(stats.triples, 10_000);
+//!
+//! // 2. Load it into the optimized native engine.
+//! let engine = Engine::load(EngineKind::NativeOpt, &graph);
+//!
+//! // 3. Run benchmark query Q1 — exactly one solution, per the paper.
+//! let (outcome, measurement) = engine.run(BenchQuery::Q1, None);
+//! assert_eq!(outcome.count(), Some(1));
+//! println!("Q1: {}", measurement.summary());
+//! ```
+//!
+//! The `sp2b` binary (crate `sp2b-bench`) regenerates every table and
+//! figure of the paper's evaluation section; see README.md.
+
+pub use sp2b_core as core;
+pub use sp2b_datagen as datagen;
+pub use sp2b_rdf as rdf;
+pub use sp2b_sparql as sparql;
+pub use sp2b_store as store;
+
+// Convenience re-exports of the most common entry points.
+pub use sp2b_core::{BenchQuery, Engine, EngineKind, RunnerConfig};
+pub use sp2b_datagen::{generate_graph, generate_to_path, Config};
+pub use sp2b_sparql::{execute_query, OptimizerConfig, QueryResult};
+pub use sp2b_store::{MemStore, NativeStore, TripleStore};

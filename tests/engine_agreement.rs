@@ -1,0 +1,112 @@
+//! All four engine configurations must agree on every benchmark query:
+//! the optimizations and storage layouts are performance choices, never
+//! semantic ones.
+
+use std::time::Duration;
+
+use sp2bench::core::{BenchQuery, Engine, EngineKind};
+use sp2bench::datagen::{generate_graph, Config};
+
+const TRIPLES: u64 = 6_000;
+const TIMEOUT: Duration = Duration::from_secs(300);
+
+#[test]
+fn all_engines_agree_on_all_17_queries() {
+    let (graph, _) = generate_graph(Config::triples(TRIPLES));
+    let engines: Vec<Engine> = EngineKind::ALL
+        .iter()
+        .map(|&k| Engine::load(k, &graph))
+        .collect();
+
+    for query in BenchQuery::ALL {
+        let counts: Vec<(EngineKind, u64)> = engines
+            .iter()
+            .map(|e| {
+                let (outcome, _) = e.run(query, Some(TIMEOUT));
+                (
+                    e.kind(),
+                    outcome
+                        .count()
+                        .unwrap_or_else(|| panic!("{query} failed on {}", e.kind())),
+                )
+            })
+            .collect();
+        let reference = counts[0].1;
+        for (kind, count) in &counts {
+            assert_eq!(
+                *count, reference,
+                "{query}: {kind} disagrees ({counts:?})"
+            );
+        }
+    }
+}
+
+#[test]
+fn materialized_results_agree_not_just_counts() {
+    // Counts could coincide while rows differ; compare sorted row sets for
+    // the SELECT queries that stay small.
+    let (graph, _) = generate_graph(Config::triples(6_000));
+    let reference = Engine::load(EngineKind::MemNaive, &graph);
+    let optimized = Engine::load(EngineKind::NativeOpt, &graph);
+
+    for query in [
+        BenchQuery::Q1,
+        BenchQuery::Q2,
+        BenchQuery::Q3b,
+        BenchQuery::Q7,
+        BenchQuery::Q8,
+        BenchQuery::Q9,
+        BenchQuery::Q10,
+        BenchQuery::Q11,
+    ] {
+        let rows = |e: &Engine| -> Vec<String> {
+            let (outcome, _) = e.run_text(query.text(), Some(TIMEOUT), true);
+            let sp2bench::core::Outcome::Success {
+                result: Some(sp2bench::sparql::QueryResult::Solutions { rows, .. }),
+                ..
+            } = outcome
+            else {
+                panic!("{query} failed")
+            };
+            let mut rendered: Vec<String> = rows
+                .iter()
+                .map(|row| {
+                    row.iter()
+                        .map(|t| t.as_ref().map_or("-".to_owned(), ToString::to_string))
+                        .collect::<Vec<_>>()
+                        .join("\t")
+                })
+                .collect();
+            rendered.sort();
+            rendered
+        };
+        assert_eq!(rows(&reference), rows(&optimized), "{query} rows differ");
+    }
+}
+
+#[test]
+fn ordered_results_keep_order_across_engines() {
+    // Q11 is ORDER BY + LIMIT/OFFSET: the *sequence* must match, not just
+    // the set.
+    let (graph, _) = generate_graph(Config::triples(6_000));
+    let mut sequences: Vec<Vec<String>> = Vec::new();
+    for kind in EngineKind::ALL {
+        let e = Engine::load(kind, &graph);
+        let (outcome, _) = e.run_text(BenchQuery::Q11.text(), Some(TIMEOUT), true);
+        let sp2bench::core::Outcome::Success {
+            result: Some(sp2bench::sparql::QueryResult::Solutions { rows, .. }),
+            ..
+        } = outcome
+        else {
+            panic!("Q11 failed on {kind}")
+        };
+        sequences.push(
+            rows.iter()
+                .map(|r| r[0].as_ref().expect("?ee bound").to_string())
+                .collect(),
+        );
+    }
+    for s in &sequences[1..] {
+        assert_eq!(s, &sequences[0]);
+    }
+}

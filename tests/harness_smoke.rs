@@ -1,0 +1,100 @@
+//! End-to-end smoke tests of the experiment harness: every paper
+//! table/figure formatter produces plausible output at toy scale.
+
+use std::time::Duration;
+
+use sp2b_bench::experiments;
+use sp2bench::core::report::{
+    figure_series, full_report, loading_table, means_table, result_sizes_table,
+    success_table,
+};
+use sp2bench::core::runner::{run_benchmark, RunnerConfig};
+use sp2bench::core::{BenchQuery, EngineKind};
+
+fn toy_report() -> sp2bench::core::BenchmarkReport {
+    let cfg = RunnerConfig {
+        scales: vec![2_000, 6_000],
+        engines: vec![EngineKind::MemOpt, EngineKind::NativeOpt],
+        queries: vec![
+            BenchQuery::Q1,
+            BenchQuery::Q3c,
+            BenchQuery::Q9,
+            BenchQuery::Q11,
+            BenchQuery::Q12c,
+        ],
+        timeout: Duration::from_secs(30),
+        runs: 1,
+        seed: sp2bench::datagen::Rng::DEFAULT_SEED,
+    };
+    run_benchmark(&cfg, |_| {})
+}
+
+#[test]
+fn full_protocol_renders_every_artifact() {
+    let report = toy_report();
+    let success = success_table(&report);
+    assert!(success.contains("TABLE IV"));
+    // Count cell letters only (the legend line also contains a '+').
+    let cell_plusses: usize = success
+        .lines()
+        .filter(|l| !l.contains("TABLE"))
+        .map(|l| l.matches('+').count())
+        .sum();
+    assert_eq!(cell_plusses, 2 * 2 * 5, "all cells succeed");
+
+    let sizes = result_sizes_table(&report);
+    assert!(sizes.contains("TABLE V"));
+    for q in ["Q1", "Q3c", "Q9", "Q11", "Q12c"] {
+        assert!(sizes.contains(q), "missing {q} column");
+    }
+
+    let means = means_table(&report);
+    assert!(means.contains("Ta[s]") && means.contains("Tg[s]"));
+
+    let loading = loading_table(&report);
+    assert!(loading.lines().count() >= 2 + 4, "one row per (scale, engine)");
+
+    let figures = figure_series(&report);
+    assert!(figures.contains("Q11"));
+
+    let full = full_report(&report);
+    assert!(full.len() > success.len());
+}
+
+#[test]
+fn scaling_shows_result_growth() {
+    // Q9/Q11 stay constant while scales grow; Q1 stays at one row.
+    let report = toy_report();
+    assert_eq!(report.result_count(2_000, BenchQuery::Q1), Some(1));
+    assert_eq!(report.result_count(6_000, BenchQuery::Q1), Some(1));
+    assert_eq!(report.result_count(6_000, BenchQuery::Q9), Some(4));
+    assert_eq!(report.result_count(6_000, BenchQuery::Q11), Some(10));
+}
+
+#[test]
+fn generator_experiments_render() {
+    let t3 = experiments::table3(4);
+    assert!(t3.lines().count() >= 4, "{t3}");
+
+    let t8 = experiments::table8(&[3_000, 8_000]);
+    assert!(t8.contains("#Journals") || t8.contains("#Tot.Auth."), "{t8}");
+
+    let f2a = experiments::fig2a(60_000);
+    assert!(f2a.contains("observed"));
+
+    let f2b = experiments::fig2b(1950);
+    assert!(f2b.lines().count() > 10, "one row per simulated year");
+
+    let f2c = experiments::fig2c(1950, &[1945, 1950]);
+    assert!(f2c.contains("year 1945"));
+    assert!(f2c.contains("year 1950"));
+}
+
+#[test]
+fn table5_and_ablation_render() {
+    let t5 = experiments::table5(&[3_000], Duration::from_secs(30));
+    assert!(t5.contains("Q12c"));
+    let ab = experiments::ablation(3_000, Duration::from_secs(30));
+    assert!(ab.contains("no-push"));
+    assert!(ab.contains("spo-only"));
+}

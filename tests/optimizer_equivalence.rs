@@ -1,0 +1,117 @@
+//! Property tests: every optimizer rewrite must preserve query semantics.
+//!
+//! Randomized RDF graphs + a pool of query shapes covering the rewrite
+//! rules (BGP reordering, filter pushing into BGPs/joins, IRI-equality
+//! substitution, left-join handling); naive and fully-optimized plans
+//! must return identical result multisets on both stores.
+
+use proptest::prelude::*;
+
+use sp2bench::rdf::{Graph, Iri, Literal, Subject, Term};
+use sp2bench::sparql::{Cancellation, OptimizerConfig, Prepared};
+use sp2bench::store::{MemStore, NativeStore, TripleStore};
+
+/// Random small graph: subjects s0..s5, predicates p0..p3, objects mix of
+/// IRIs and integers.
+fn graph_strategy() -> impl Strategy<Value = Graph> {
+    prop::collection::vec((0u8..6, 0u8..4, 0u8..8), 1..60).prop_map(|triples| {
+        let mut g = Graph::new();
+        for (s, p, o) in triples {
+            let object: Term = if o < 4 {
+                Term::iri(format!("http://t/o{o}"))
+            } else {
+                Term::Literal(Literal::integer(o as i64))
+            };
+            g.add(
+                Subject::iri(format!("http://t/s{s}")),
+                Iri::new(format!("http://t/p{p}")),
+                object,
+            );
+        }
+        g
+    })
+}
+
+/// Query shapes exercising each rewrite rule.
+const QUERY_POOL: &[&str] = &[
+    // Plain BGP (reordering).
+    "SELECT ?a ?b WHERE { ?a <http://t/p0> ?b . ?b ?p ?c . ?a <http://t/p1> ?c }",
+    // Filter pushing into a BGP.
+    "SELECT ?a WHERE { ?a <http://t/p0> ?b . ?a <http://t/p1> ?c FILTER (?b != ?c) }",
+    // IRI-equality substitution (var not projected).
+    "SELECT ?a WHERE { ?a ?p ?v FILTER (?p = <http://t/p2>) }",
+    // Substitution must NOT fire (var projected).
+    "SELECT ?p WHERE { ?a ?p ?v FILTER (?p = <http://t/p2>) }",
+    // Filter distribution into join branches.
+    "SELECT ?a ?x WHERE { { ?a <http://t/p0> ?b } { ?x <http://t/p1> ?y } FILTER (?y != <http://t/o1>) }",
+    // Left join with condition (OPTIONAL-FILTER).
+    "SELECT ?a ?c WHERE { ?a <http://t/p0> ?b OPTIONAL { ?a <http://t/p1> ?c FILTER (?c != ?b) } }",
+    // Closed-world negation.
+    "SELECT ?a WHERE { ?a <http://t/p0> ?b OPTIONAL { ?a <http://t/p1> ?c } FILTER (!bound(?c)) }",
+    // Union + filter.
+    "SELECT ?a WHERE { { ?a <http://t/p0> ?b } UNION { ?a <http://t/p1> ?b } FILTER (?a != <http://t/s0>) }",
+    // Modifiers on top.
+    "SELECT DISTINCT ?a WHERE { ?a ?p ?b . ?b ?q ?c } ORDER BY ?a LIMIT 7 OFFSET 2",
+    // Numeric comparison filter.
+    "SELECT ?a ?v WHERE { ?a <http://t/p1> ?v FILTER (?v >= 5) }",
+];
+
+fn run_sorted(store: &dyn TripleStore, query: &str, cfg: &OptimizerConfig) -> Vec<String> {
+    let prepared = Prepared::parse(query, store, cfg).expect("pool query parses");
+    let result = prepared
+        .execute(store, &Cancellation::none())
+        .expect("evaluation succeeds");
+    let sp2bench::sparql::QueryResult::Solutions { rows, .. } = result else {
+        panic!("SELECT query")
+    };
+    let mut rendered: Vec<String> = rows
+        .iter()
+        .map(|row| {
+            row.iter()
+                .map(|t| t.as_ref().map_or("-".to_owned(), ToString::to_string))
+                .collect::<Vec<_>>()
+                .join("|")
+        })
+        .collect();
+    rendered.sort();
+    rendered
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn optimized_equals_naive_on_mem_store(g in graph_strategy(), qi in 0..QUERY_POOL.len()) {
+        let store = MemStore::from_graph(&g);
+        let naive = run_sorted(&store, QUERY_POOL[qi], &OptimizerConfig::default());
+        let full = run_sorted(&store, QUERY_POOL[qi], &OptimizerConfig::full());
+        prop_assert_eq!(naive, full);
+    }
+
+    #[test]
+    fn optimized_equals_naive_on_native_store(g in graph_strategy(), qi in 0..QUERY_POOL.len()) {
+        let store = NativeStore::from_graph(&g);
+        let naive = run_sorted(&store, QUERY_POOL[qi], &OptimizerConfig::default());
+        let full = run_sorted(&store, QUERY_POOL[qi], &OptimizerConfig::full());
+        prop_assert_eq!(naive, full);
+    }
+
+    #[test]
+    fn stores_agree_under_full_optimization(g in graph_strategy(), qi in 0..QUERY_POOL.len()) {
+        let mem = MemStore::from_graph(&g);
+        let native = NativeStore::from_graph(&g);
+        let cfg = OptimizerConfig::full();
+        prop_assert_eq!(
+            run_sorted(&mem, QUERY_POOL[qi], &cfg),
+            run_sorted(&native, QUERY_POOL[qi], &cfg)
+        );
+    }
+
+    #[test]
+    fn heuristic_config_equivalent_too(g in graph_strategy(), qi in 0..QUERY_POOL.len()) {
+        let store = MemStore::from_graph(&g);
+        let naive = run_sorted(&store, QUERY_POOL[qi], &OptimizerConfig::default());
+        let heur = run_sorted(&store, QUERY_POOL[qi], &OptimizerConfig::heuristic());
+        prop_assert_eq!(naive, heur);
+    }
+}

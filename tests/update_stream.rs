@@ -1,0 +1,83 @@
+//! Cross-crate test of the update-stream extension: a store maintained
+//! through incremental year batches answers every benchmark query exactly
+//! like a store bulk-loaded from the full document.
+
+use std::time::Duration;
+
+use sp2bench::core::BenchQuery;
+use sp2bench::datagen::{generate_graph, Config, UpdateStream};
+use sp2bench::rdf::Graph;
+use sp2bench::sparql::{Cancellation, OptimizerConfig, Prepared};
+use sp2bench::store::{NativeStore, TripleStore};
+
+const TRIPLES: u64 = 10_000;
+const TIMEOUT: Duration = Duration::from_secs(120);
+
+fn count(store: &NativeStore, q: BenchQuery) -> u64 {
+    let prepared =
+        Prepared::parse(q.text(), store, &OptimizerConfig::full()).expect("query parses");
+    let cancel = Cancellation::with_deadline(std::time::Instant::now() + TIMEOUT);
+    prepared.count(store, &cancel).unwrap_or_else(|e| panic!("{q}: {e}"))
+}
+
+#[test]
+fn incremental_store_answers_like_bulk_store() {
+    let cfg = Config::triples(TRIPLES);
+    let (graph, _) = generate_graph(cfg);
+    let bulk = NativeStore::from_graph(&graph);
+
+    let mut incremental = NativeStore::from_graph(&Graph::new());
+    for batch in UpdateStream::generate(cfg).batches() {
+        incremental.insert_batch(&batch.triples);
+    }
+    assert_eq!(incremental.len(), bulk.len());
+
+    for q in BenchQuery::ALL {
+        assert_eq!(count(&incremental, q), count(&bulk, q), "{q} disagrees");
+    }
+}
+
+#[test]
+fn mid_stream_store_is_consistent() {
+    // Apply only half the batches: the store must be a valid smaller
+    // document — every invariant query still holds.
+    let stream = UpdateStream::generate(Config::triples(TRIPLES));
+    let batches = stream.batches();
+    let mut store = NativeStore::from_graph(&Graph::new());
+    for batch in &batches[..batches.len() / 2] {
+        store.insert_batch(&batch.triples);
+    }
+    // Structural invariants (referential consistency) — no dangling
+    // partOf targets.
+    let dangling = Prepared::parse(
+        "SELECT ?d WHERE { ?d dcterms:partOf ?venue OPTIONAL { ?venue rdf:type ?c } FILTER (!bound(?c)) }",
+        &store,
+        &OptimizerConfig::full(),
+    )
+    .expect("parses");
+    let n = dangling
+        .count(&store, &Cancellation::none())
+        .expect("evaluates");
+    assert_eq!(n, 0, "partOf targets must exist at every stream point");
+}
+
+#[test]
+fn queries_evolve_monotonically_across_batches() {
+    // Applying more years never shrinks Q2-style result sets (documents
+    // are only added, never removed).
+    let stream = UpdateStream::generate(Config::triples(TRIPLES));
+    let batches = stream.batches();
+    let mut store = NativeStore::from_graph(&Graph::new());
+    let mut last = 0u64;
+    let checkpoints = [batches.len() / 3, 2 * batches.len() / 3, batches.len()];
+    let mut applied = 0;
+    for &until in &checkpoints {
+        while applied < until {
+            store.insert_batch(&batches[applied].triples);
+            applied += 1;
+        }
+        let n = count(&store, BenchQuery::Q2);
+        assert!(n >= last, "Q2 shrank from {last} to {n}");
+        last = n;
+    }
+}
