@@ -4,16 +4,15 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sp2b_core::BenchQuery;
 use sp2b_datagen::{generate_graph, Config};
-use sp2b_sparql::{Cancellation, OptimizerConfig, Prepared};
+use sp2b_sparql::{OptimizerConfig, QueryEngine};
 use sp2b_store::{IndexSelection, NativeStore, TripleStore};
 
 const TRIPLES: u64 = 25_000;
 
 fn count_query(store: &dyn TripleStore, cfg: &OptimizerConfig, q: BenchQuery) -> u64 {
-    let prepared = Prepared::parse(q.text(), store, cfg).expect("benchmark query parses");
-    prepared
-        .count(store, &Cancellation::none())
-        .expect("uncancelled evaluation succeeds")
+    let engine = QueryEngine::new(store).optimizer(*cfg);
+    let prepared = engine.prepare(q.text()).expect("benchmark query parses");
+    engine.count(&prepared).expect("uncancelled evaluation succeeds")
 }
 
 fn optimizer_ablation(c: &mut Criterion) {

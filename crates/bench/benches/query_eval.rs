@@ -7,7 +7,7 @@ use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sp2b_core::BenchQuery;
 use sp2b_datagen::{generate_graph, Config};
-use sp2b_sparql::{Cancellation, OptimizerConfig, Prepared};
+use sp2b_sparql::{OptimizerConfig, QueryEngine};
 use sp2b_store::{MemStore, NativeStore, TripleStore};
 
 const FAST_TRIPLES: u64 = 25_000;
@@ -33,10 +33,9 @@ const FAST_QUERIES: &[BenchQuery] = &[
 const HEAVY_QUERIES: &[BenchQuery] = &[BenchQuery::Q4, BenchQuery::Q5a, BenchQuery::Q6];
 
 fn count_query(store: &dyn TripleStore, cfg: &OptimizerConfig, q: BenchQuery) -> u64 {
-    let prepared = Prepared::parse(q.text(), store, cfg).expect("benchmark query parses");
-    prepared
-        .count(store, &Cancellation::none())
-        .expect("uncancelled evaluation succeeds")
+    let engine = QueryEngine::new(store).optimizer(*cfg);
+    let prepared = engine.prepare(q.text()).expect("benchmark query parses");
+    engine.count(&prepared).expect("uncancelled evaluation succeeds")
 }
 
 fn queries_native(c: &mut Criterion) {

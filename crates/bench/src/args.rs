@@ -48,8 +48,12 @@ impl Args {
 
     /// Comma-separated list option.
     pub fn get_list(&self, key: &str) -> Option<Vec<String>> {
-        self.get(key)
-            .map(|v| v.split(',').map(|s| s.trim().to_owned()).filter(|s| !s.is_empty()).collect())
+        self.get(key).map(|v| {
+            v.split(',')
+                .map(|s| s.trim().to_owned())
+                .filter(|s| !s.is_empty())
+                .collect()
+        })
     }
 }
 

@@ -23,8 +23,9 @@ use sp2b_bench::experiments::{self, DEFAULT_SIZES};
 use sp2b_bench::Args;
 use sp2b_core::report;
 use sp2b_core::runner::{run_benchmark, RunnerConfig};
-use sp2b_core::{BenchQuery, Engine, EngineKind, Outcome};
+use sp2b_core::{measure, BenchQuery, Engine, EngineKind};
 use sp2b_datagen::{generate_graph, generate_to_path, Config};
+use sp2b_sparql::{Error as SparqlError, Prepared, QueryEngine};
 
 fn main() -> ExitCode {
     let args = Args::parse(std::env::args().skip(1));
@@ -140,6 +141,32 @@ fn cmd_fig2c(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Streams a prepared query through `engine`, printing up to `limit` rows
+/// (indented by `indent`) while the remainder is only counted — the tail
+/// never decodes a term. Returns `(total, shown)`.
+fn stream_rows(
+    engine: &QueryEngine<'_>,
+    prepared: &Prepared,
+    limit: usize,
+    indent: &str,
+) -> Result<(u64, usize), SparqlError> {
+    println!("{indent}{}", prepared.variables().join("\t"));
+    let mut total: u64 = 0;
+    let mut shown = 0usize;
+    for solution in engine.solutions(prepared) {
+        let solution = solution?;
+        total += 1;
+        if shown < limit {
+            let line: Vec<String> = (0..solution.len())
+                .map(|i| solution.get(i).map_or("-".into(), |t| t.to_string()))
+                .collect();
+            println!("{indent}{}", line.join("\t"));
+            shown += 1;
+        }
+    }
+    Ok((total, shown))
+}
+
 /// Runs the A1–A5 aggregate extension queries (Section VII's
 /// "aggregation support" future work) and prints their result heads.
 fn cmd_ext(args: &Args) -> Result<(), String> {
@@ -147,28 +174,20 @@ fn cmd_ext(args: &Args) -> Result<(), String> {
     let limit = args.get_u64("limit", 10) as usize;
     let (graph, _) = generate_graph(Config::triples(n));
     let engine = Engine::load(EngineKind::NativeOpt, &graph);
+    let qe = engine.query_engine(Some(timeout(args, 300)));
     for q in sp2b_core::ExtQuery::ALL {
-        let (outcome, m) = engine.run_text(q.text(), Some(timeout(args, 300)), true);
-        match outcome {
-            Outcome::Success {
-                result: Some(sp2b_sparql::QueryResult::Solutions { variables, rows }),
-                ..
-            } => {
-                println!("\n{q} ({} groups, {}):", rows.len(), m.summary());
-                println!("  {}", variables.join("\t"));
-                for row in rows.iter().take(limit) {
-                    let line: Vec<String> = row
-                        .iter()
-                        .map(|t| t.as_ref().map_or("-".into(), ToString::to_string))
-                        .collect();
-                    println!("  {}", line.join("\t"));
-                }
-                if rows.len() > limit {
-                    println!("  … ({} more groups)", rows.len() - limit);
+        let prepared = qe.prepare(q.text()).map_err(|e| format!("{q}: {e}"))?;
+        println!("\n{q}:");
+        let (streamed, m) = measure(|| stream_rows(&qe, &prepared, limit, "  "));
+        match streamed {
+            Ok((total, shown)) => {
+                println!("  {total} groups ({})", m.summary());
+                if total > shown as u64 {
+                    println!("  … ({} more groups)", total - shown as u64);
                 }
             }
-            Outcome::Timeout => println!("\n{q}: timeout"),
-            other => return Err(format!("{q}: {other:?}")),
+            Err(SparqlError::Cancelled) => println!("{q}: timeout"),
+            Err(e) => return Err(format!("{q}: {e}")),
         }
     }
     Ok(())
@@ -181,7 +200,9 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     let text = match (args.get("query-file"), args.positional.get(1)) {
         (Some(path), _) => std::fs::read_to_string(path).map_err(|e| e.to_string())?,
         (None, Some(inline)) => inline.clone(),
-        (None, None) => return Err("provide a query: `sp2b run 'SELECT …'` or --query-file q.rq".into()),
+        (None, None) => {
+            return Err("provide a query: `sp2b run 'SELECT …'` or --query-file q.rq".into())
+        }
     };
     let engine_kind = match args.get("engine") {
         Some(l) => EngineKind::from_label(l).ok_or_else(|| format!("unknown engine '{l}'"))?,
@@ -191,39 +212,44 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         Some(path) => {
             let file = std::fs::File::open(path).map_err(|e| e.to_string())?;
             let reader = std::io::BufReader::with_capacity(1 << 16, file);
-            let triples: Result<Vec<_>, _> =
-                sp2b_rdf::ntriples::Parser::new(reader).collect();
+            let triples: Result<Vec<_>, _> = sp2b_rdf::ntriples::Parser::new(reader).collect();
             triples.map_err(|e| e.to_string())?.into_iter().collect()
         }
         None => generate_graph(Config::triples(args.get_u64("triples", 50_000))).0,
     };
     let engine = Engine::load(engine_kind, &graph);
     let limit = args.get_u64("limit", 50) as usize;
-    let (outcome, m) = engine.run_text(&text, Some(timeout(args, 300)), true);
-    match outcome {
-        Outcome::Success { count, result } => {
-            eprintln!("{count} solutions in {}", m.summary());
-            match result {
-                Some(sp2b_sparql::QueryResult::Solutions { variables, rows }) => {
-                    println!("{}", variables.join("\t"));
-                    for row in rows.iter().take(limit) {
-                        let line: Vec<String> = row
-                            .iter()
-                            .map(|t| t.as_ref().map_or("-".into(), ToString::to_string))
-                            .collect();
-                        println!("{}", line.join("\t"));
-                    }
-                    if rows.len() > limit {
-                        eprintln!("… ({} more rows; raise --limit)", rows.len() - limit);
-                    }
-                }
-                Some(r) => println!("{}", if r.as_bool() == Some(true) { "yes" } else { "no" }),
-                None => {}
+    let qe = engine.query_engine(Some(timeout(args, 300)));
+    let prepared = qe.prepare(&text).map_err(|e| e.to_string())?;
+    if prepared.is_ask() {
+        let (result, m) = measure(|| qe.execute(&prepared));
+        let r = result.map_err(|e| format!("{e} ({})", m.summary()))?;
+        println!(
+            "{}",
+            if r.as_bool() == Some(true) {
+                "yes"
+            } else {
+                "no"
             }
-            Ok(())
-        }
-        Outcome::Timeout => Err(format!("query timed out ({})", m.summary())),
-        Outcome::Error(e) => Err(e),
+        );
+        return Ok(());
+    }
+    // Stream: the first `limit` rows decode and print; the rest are only
+    // counted (no materialization, memory stays flat).
+    let (streamed, m) = measure(|| stream_rows(&qe, &prepared, limit, ""));
+    let (total, shown) = streamed.map_err(|e| format!("{} ({})", describe(e), m.summary()))?;
+    eprintln!("{total} solutions in {}", m.summary());
+    if total > shown as u64 {
+        eprintln!("… ({} more rows; raise --limit)", total - shown as u64);
+    }
+    Ok(())
+}
+
+/// Human phrasing for streaming errors on the CLI.
+fn describe(e: SparqlError) -> String {
+    match e {
+        SparqlError::Cancelled => "query timed out".to_owned(),
+        other => other.to_string(),
     }
 }
 
@@ -232,8 +258,7 @@ fn cmd_query(args: &Args) -> Result<(), String> {
         .positional
         .get(1)
         .ok_or("query label required, e.g. `sp2b query Q4`")?;
-    let query =
-        BenchQuery::from_label(label).ok_or_else(|| format!("unknown query '{label}'"))?;
+    let query = BenchQuery::from_label(label).ok_or_else(|| format!("unknown query '{label}'"))?;
     let n = args.get_u64("triples", 50_000);
     let engine_kind = match args.get("engine") {
         Some(l) => EngineKind::from_label(l).ok_or_else(|| format!("unknown engine '{l}'"))?,
@@ -243,36 +268,31 @@ fn cmd_query(args: &Args) -> Result<(), String> {
 
     let (graph, _) = generate_graph(Config::triples(n));
     let engine = Engine::load(engine_kind, &graph);
-    let (outcome, m) = engine.run_text(query.text(), Some(timeout(args, 300)), true);
-    match outcome {
-        Outcome::Success { count, result } => {
-            println!(
-                "{query} on {n} triples via {engine_kind}: {count} solutions ({})",
-                m.summary()
-            );
-            match result {
-                Some(sp2b_sparql::QueryResult::Solutions { variables, rows }) => {
-                    println!("{}", variables.join("\t"));
-                    for row in rows.iter().take(limit as usize) {
-                        let line: Vec<String> = row
-                            .iter()
-                            .map(|t| t.as_ref().map_or("-".into(), ToString::to_string))
-                            .collect();
-                        println!("{}", line.join("\t"));
-                    }
-                    if rows.len() > limit as usize {
-                        println!("… ({} more rows)", rows.len() - limit as usize);
-                    }
-                }
-                Some(r) => println!(
-                    "answer: {}",
-                    if r.as_bool() == Some(true) { "yes" } else { "no" }
-                ),
-                None => {}
-            }
-            Ok(())
-        }
-        Outcome::Timeout => Err(format!("{query} timed out ({})", m.summary())),
-        Outcome::Error(e) => Err(e),
+    let qe = engine.query_engine(Some(timeout(args, 300)));
+    let prepared = qe.prepare(query.text()).map_err(|e| e.to_string())?;
+    if prepared.is_ask() {
+        let (result, m) = measure(|| qe.execute(&prepared));
+        let r = result.map_err(|e| format!("{query}: {e} ({})", m.summary()))?;
+        println!(
+            "{query} on {n} triples via {engine_kind}: answer {} ({})",
+            if r.as_bool() == Some(true) {
+                "yes"
+            } else {
+                "no"
+            },
+            m.summary()
+        );
+        return Ok(());
     }
+    let (streamed, m) = measure(|| stream_rows(&qe, &prepared, limit as usize, ""));
+    let (total, shown) =
+        streamed.map_err(|e| format!("{query}: {} ({})", describe(e), m.summary()))?;
+    println!(
+        "{query} on {n} triples via {engine_kind}: {total} solutions ({})",
+        m.summary()
+    );
+    if total > shown as u64 {
+        println!("… ({} more rows)", total - shown as u64);
+    }
+    Ok(())
 }

@@ -8,7 +8,7 @@ use sp2b_core::{BenchQuery, EngineKind};
 use sp2b_datagen::{
     generate_graph, params, Config, Generator, GeneratorStats, NtriplesSink, NullSink,
 };
-use sp2b_sparql::{Cancellation, OptimizerConfig, Prepared};
+use sp2b_sparql::{OptimizerConfig, QueryEngine};
 use sp2b_store::{IndexSelection, NativeStore, TripleStore};
 
 /// The paper's scales (Table VIII/V columns). The harness defaults to the
@@ -22,7 +22,8 @@ pub const DEFAULT_SIZES: [u64; 4] = [10_000, 50_000, 250_000, 1_000_000];
 /// Table III: generation wall-clock for documents of 10³ … 10^max_exp
 /// triples (the paper goes to 10⁹; every step is pure CPU + the sink).
 pub fn table3(max_exp: u32) -> String {
-    let mut out = String::from("TABLE III — DOCUMENT GENERATION (NullSink: generation cost only)\n\n");
+    let mut out =
+        String::from("TABLE III — DOCUMENT GENERATION (NullSink: generation cost only)\n\n");
     out.push_str(&format!("{:>12} {:>14}\n", "#triples", "elapsed [s]"));
     for exp in 3..=max_exp {
         let n = 10u64.pow(exp);
@@ -45,7 +46,9 @@ pub fn table3(max_exp: u32) -> String {
 /// keeping them (file-size column with no disk traffic).
 pub fn generate_stats(n: u64) -> GeneratorStats {
     let mut sink = NtriplesSink::new(io::sink());
-    Generator::new(Config::triples(n)).run(&mut sink).expect("io::sink cannot fail")
+    Generator::new(Config::triples(n))
+        .run(&mut sink)
+        .expect("io::sink cannot fail")
 }
 
 /// Table VIII: characteristics of generated documents per scale.
@@ -90,8 +93,7 @@ pub fn fig2a(triples: u64) -> String {
         "x", "observed", "gauss-fit"
     ));
     for x in 1..=60u32 {
-        let observed =
-            *stats.citation_histogram.get(&x).unwrap_or(&0) as f64 / total.max(1) as f64;
+        let observed = *stats.citation_histogram.get(&x).unwrap_or(&0) as f64 / total.max(1) as f64;
         let fit = params::D_CITE.pdf(x as f64);
         out.push_str(&format!("{x:>5} {observed:>12.4} {fit:>12.4}\n"));
     }
@@ -100,11 +102,9 @@ pub fn fig2a(triples: u64) -> String {
 
 /// Figure 2b: document-class instances per year vs. the logistic fits.
 pub fn fig2b(year_limit: i32) -> String {
-    let (_, stats) =
-        generate_graph_with_years(year_limit);
-    let mut out = String::from(
-        "FIGURE 2b — DOCUMENT CLASS INSTANCES PER YEAR (observed | logistic fit)\n\n",
-    );
+    let (_, stats) = generate_graph_with_years(year_limit);
+    let mut out =
+        String::from("FIGURE 2b — DOCUMENT CLASS INSTANCES PER YEAR (observed | logistic fit)\n\n");
     out.push_str(&format!(
         "{:>6} {:>9} {:>9} {:>9} {:>9} {:>11} {:>11} {:>11} {:>11}\n",
         "year", "proc", "fit", "journal", "fit", "inproc", "fit", "article", "fit"
@@ -131,17 +131,25 @@ pub fn fig2b(year_limit: i32) -> String {
 /// years, against the `f_awp` power law.
 pub fn fig2c(year_limit: i32, years: &[i32]) -> String {
     let (_, stats) = generate_graph_with_years(year_limit);
-    let mut out = String::from(
-        "FIGURE 2c — AUTHORS WITH PUBLICATION COUNT x (observed | power-law fit)\n",
-    );
+    let mut out =
+        String::from("FIGURE 2c — AUTHORS WITH PUBLICATION COUNT x (observed | power-law fit)\n");
     for &yr in years {
         let Some(rec) = stats.years.iter().find(|r| r.year == yr) else {
-            out.push_str(&format!("\nyear {yr}: not generated (limit {year_limit})\n"));
+            out.push_str(&format!(
+                "\nyear {yr}: not generated (limit {year_limit})\n"
+            ));
             continue;
         };
-        let publ: u64 = rec.publications_histogram.iter().map(|(x, n)| *x as u64 * n).sum();
+        let publ: u64 = rec
+            .publications_histogram
+            .iter()
+            .map(|(x, n)| *x as u64 * n)
+            .sum();
         out.push_str(&format!("\nyear {yr} ({publ} publications)\n"));
-        out.push_str(&format!("{:>5} {:>12} {:>14}\n", "x", "observed", "f_awp fit"));
+        out.push_str(&format!(
+            "{:>5} {:>12} {:>14}\n",
+            "x", "observed", "f_awp fit"
+        ));
         for x in [1u32, 2, 3, 5, 8, 13, 21, 34, 55, 80] {
             let observed = *rec.publications_histogram.get(&x).unwrap_or(&0);
             let fit = params::f_awp(x as f64, yr, publ as f64).max(0.0);
@@ -174,13 +182,14 @@ pub fn table5(sizes: &[u64], timeout: Duration) -> String {
     for &n in sizes {
         let (graph, _) = generate_graph(Config::triples(n));
         let store = NativeStore::from_graph(&graph);
+        let engine = QueryEngine::new(&store).timeout(timeout);
         out.push_str(&format!("{:<9}", sp2b_core::report::scale_label(n)));
         for q in BenchQuery::ALL {
-            let cfg = OptimizerConfig::full();
-            let prepared =
-                Prepared::parse(q.text(), &store, &cfg).expect("benchmark queries parse");
-            let cancel = Cancellation::with_deadline(Instant::now() + timeout);
-            match prepared.count(&store, &cancel) {
+            // The streaming count path: no term ever decodes.
+            let counted = engine
+                .prepare(q.text())
+                .and_then(|prepared| engine.count(&prepared));
+            match counted {
                 Ok(c) => out.push_str(&format!("{c:>10}")),
                 Err(_) => out.push_str(&format!("{:>10}", "T")),
             }
@@ -284,10 +293,10 @@ fn run_cell(
     q: BenchQuery,
     timeout: Duration,
 ) -> String {
-    let prepared = Prepared::parse(q.text(), store, cfg).expect("queries parse");
-    let cancel = Cancellation::with_deadline(Instant::now() + timeout);
+    let engine = QueryEngine::new(store).optimizer(*cfg).timeout(timeout);
+    let prepared = engine.prepare(q.text()).expect("queries parse");
     let start = Instant::now();
-    match prepared.count(store, &cancel) {
+    match engine.count(&prepared) {
         Ok(_) => format!("{:>10.4}", start.elapsed().as_secs_f64()),
         Err(_) => format!("{:>10}", "T"),
     }
@@ -323,7 +332,13 @@ mod tests {
     #[test]
     fn table8_has_all_rows() {
         let t = table8(&[5_000, 10_000]);
-        for label in ["file size [MB]", "data up to", "#Tot.Auth.", "#Article", "#WWW"] {
+        for label in [
+            "file size [MB]",
+            "data up to",
+            "#Tot.Auth.",
+            "#Article",
+            "#WWW",
+        ] {
             assert!(t.contains(label), "missing {label}:\n{t}");
         }
     }

@@ -15,7 +15,7 @@
 use std::time::Duration;
 
 use sp2b_rdf::Graph;
-use sp2b_sparql::{Cancellation, Error as SparqlError, OptimizerConfig, Prepared, QueryResult};
+use sp2b_sparql::{Error as SparqlError, OptimizerConfig, QueryEngine, QueryResult};
 use sp2b_store::{IndexSelection, MemStore, NativeStore, TripleStore};
 
 use crate::metrics::{measure, Measurement};
@@ -108,7 +108,8 @@ pub struct Engine {
 pub enum Outcome {
     /// Completed with this many solutions.
     Success {
-        /// Solution count (ASK → 1).
+        /// Solution count (ASK → 1 for `true`, 0 for `false` — consistent
+        /// between the counting and materializing paths).
         count: u64,
         /// The materialized result (only kept when requested).
         result: Option<QueryResult>,
@@ -150,7 +151,11 @@ impl Engine {
                 StoreImpl::Native(NativeStore::with_indexes(graph, IndexSelection::all()))
             }
         });
-        Engine { kind, store, loading }
+        Engine {
+            kind,
+            store,
+            loading,
+        }
     }
 
     /// The configuration.
@@ -170,44 +175,50 @@ impl Engine {
     /// materializing terms. For in-memory engines the reported time
     /// includes the (already measured) loading share, mirroring the
     /// paper's measurement model.
-    pub fn run(
-        &self,
-        query: BenchQuery,
-        timeout: Option<Duration>,
-    ) -> (Outcome, Measurement) {
+    pub fn run(&self, query: BenchQuery, timeout: Option<Duration>) -> (Outcome, Measurement) {
         self.run_text(query.text(), timeout, false)
     }
 
+    /// A [`QueryEngine`] facade over this engine's store, carrying its
+    /// optimizer configuration and the given timeout.
+    pub fn query_engine(&self, timeout: Option<Duration>) -> QueryEngine<'_> {
+        let mut engine = QueryEngine::new(self.store()).optimizer(self.kind.optimizer());
+        if let Some(t) = timeout {
+            engine = engine.timeout(t);
+        }
+        engine
+    }
+
     /// Runs arbitrary SPARQL text. With `materialize`, terms are decoded
-    /// and returned.
+    /// and returned; otherwise only the streaming count path runs (no term
+    /// decoding at all — the Table V result-size model).
     pub fn run_text(
         &self,
         text: &str,
         timeout: Option<Duration>,
         materialize: bool,
     ) -> (Outcome, Measurement) {
-        let store = self.store();
-        let cfg = self.kind.optimizer();
+        let engine = self.query_engine(timeout);
         let (outcome, mut m) = measure(|| {
-            let prepared = match Prepared::parse(text, store, &cfg) {
+            let prepared = match engine.prepare(text) {
                 Ok(p) => p,
                 Err(e) => return Outcome::Error(e.to_string()),
             };
-            let cancel = match timeout {
-                Some(t) => Cancellation::with_deadline(std::time::Instant::now() + t),
-                None => Cancellation::none(),
-            };
             if materialize {
-                match prepared.execute(store, &cancel) {
-                    Ok(r) => {
-                        Outcome::Success { count: r.len() as u64, result: Some(r) }
-                    }
+                match engine.execute(&prepared) {
+                    Ok(r) => Outcome::Success {
+                        count: r.row_count() as u64,
+                        result: Some(r),
+                    },
                     Err(SparqlError::Cancelled) => Outcome::Timeout,
                     Err(e) => Outcome::Error(e.to_string()),
                 }
             } else {
-                match prepared.count(store, &cancel) {
-                    Ok(count) => Outcome::Success { count, result: None },
+                match engine.count(&prepared) {
+                    Ok(count) => Outcome::Success {
+                        count,
+                        result: None,
+                    },
                     Err(SparqlError::Cancelled) => Outcome::Timeout,
                     Err(e) => Outcome::Error(e.to_string()),
                 }
@@ -253,12 +264,11 @@ mod tests {
     fn ask_queries_return_single_answer() {
         let g = tiny_graph();
         let engine = Engine::load(EngineKind::NativeOpt, &g);
-        let (outcome, _) = engine.run_text(
-            crate::queries::Q12C,
-            None,
-            true,
-        );
-        let Outcome::Success { result: Some(r), .. } = outcome else {
+        let (outcome, _) = engine.run_text(crate::queries::Q12C, None, true);
+        let Outcome::Success {
+            result: Some(r), ..
+        } = outcome
+        else {
             panic!("Q12c must succeed")
         };
         assert_eq!(r.as_bool(), Some(false), "John Q. Public must not exist");
@@ -287,6 +297,9 @@ mod tests {
         let g = tiny_graph();
         let mem = Engine::load(EngineKind::MemNaive, &g);
         let (_, m) = mem.run(BenchQuery::Q1, None);
-        assert!(m.tme >= mem.loading.tme, "load share missing from query time");
+        assert!(
+            m.tme >= mem.loading.tme,
+            "load share missing from query time"
+        );
     }
 }

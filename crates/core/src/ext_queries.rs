@@ -25,8 +25,13 @@ pub enum ExtQuery {
 
 impl ExtQuery {
     /// All extension queries.
-    pub const ALL: [ExtQuery; 5] =
-        [ExtQuery::A1, ExtQuery::A2, ExtQuery::A3, ExtQuery::A4, ExtQuery::A5];
+    pub const ALL: [ExtQuery; 5] = [
+        ExtQuery::A1,
+        ExtQuery::A2,
+        ExtQuery::A3,
+        ExtQuery::A4,
+        ExtQuery::A5,
+    ];
 
     /// Display label.
     pub fn label(self) -> &'static str {
@@ -106,9 +111,10 @@ mod tests {
         let engine = Engine::load(EngineKind::NativeOpt, &graph);
         let (outcome, _) = engine.run_text(q.text(), None, true);
         match outcome {
-            Outcome::Success { result: Some(QueryResult::Solutions { variables, rows }), .. } => {
-                (variables, rows)
-            }
+            Outcome::Success {
+                result: Some(QueryResult::Solutions { variables, rows }),
+                ..
+            } => (variables, rows),
             other => panic!("{q} failed: {other:?}"),
         }
     }
@@ -133,7 +139,8 @@ mod tests {
         let engine = Engine::load(EngineKind::NativeOpt, &graph);
         let (outcome, _) = engine.run_text(ExtQuery::A1.text(), None, true);
         let Outcome::Success {
-            result: Some(QueryResult::Solutions { rows, .. }), ..
+            result: Some(QueryResult::Solutions { rows, .. }),
+            ..
         } = outcome
         else {
             panic!("A1 failed")
@@ -200,7 +207,8 @@ mod tests {
         let engine = Engine::load(EngineKind::NativeOpt, &graph);
         let (outcome, _) = engine.run_text(ExtQuery::A5.text(), None, true);
         let Outcome::Success {
-            result: Some(QueryResult::Solutions { rows, .. }), ..
+            result: Some(QueryResult::Solutions { rows, .. }),
+            ..
         } = outcome
         else {
             panic!("A5 failed")

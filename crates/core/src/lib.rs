@@ -22,7 +22,7 @@ pub mod report;
 pub mod runner;
 
 pub use engines::{Engine, EngineKind, Outcome};
-pub use metrics::{measure, Measurement};
 pub use ext_queries::ExtQuery;
+pub use metrics::{measure, Measurement};
 pub use queries::BenchQuery;
 pub use runner::{run_benchmark, BenchmarkReport, RunnerConfig, Status};

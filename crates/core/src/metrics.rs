@@ -121,7 +121,10 @@ pub fn measure<T>(f: impl FnOnce() -> T) -> (T, Measurement) {
             // closest observable proxy for the watermark then.
             rmem_kib: a.vm_hwm_kib.or(a.vm_rss_kib),
         },
-        _ => Measurement { tme, ..Default::default() },
+        _ => Measurement {
+            tme,
+            ..Default::default()
+        },
     };
     (value, m)
 }

@@ -96,7 +96,9 @@ impl BenchQuery {
     /// Parses a label like "q3a"/"Q3a".
     pub fn from_label(s: &str) -> Option<BenchQuery> {
         let lower = s.to_ascii_lowercase();
-        Self::ALL.into_iter().find(|q| q.label().to_ascii_lowercase() == lower)
+        Self::ALL
+            .into_iter()
+            .find(|q| q.label().to_ascii_lowercase() == lower)
     }
 
     /// The SPARQL text.

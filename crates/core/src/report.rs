@@ -97,7 +97,11 @@ pub fn means_table(report: &BenchmarkReport) -> String {
                 .filter_map(|r| r.measurement.rmem_kib)
                 .map(|k| k as f64 / 1024.0)
                 .collect();
-            let ma = if mem.is_empty() { f64::NAN } else { arithmetic_mean(&mem) };
+            let ma = if mem.is_empty() {
+                f64::NAN
+            } else {
+                arithmetic_mean(&mem)
+            };
             out.push_str(&format!(
                 "{:<9} {:<12} {:>12.3} {:>12.3} {:>12.1}\n",
                 scale_label(scale),
@@ -136,7 +140,9 @@ pub fn loading_table(report: &BenchmarkReport) -> String {
 /// line per scale with tme and usr+sys (or "Failure", as the paper plots).
 pub fn figure_series(report: &BenchmarkReport) -> String {
     let mut out = String::new();
-    out.push_str("FIGURES 5-8 — PER-QUERY EVALUATION DATA (time in seconds, log-scale in the paper)\n");
+    out.push_str(
+        "FIGURES 5-8 — PER-QUERY EVALUATION DATA (time in seconds, log-scale in the paper)\n",
+    );
     for &q in &report.queries {
         out.push_str(&format!("\n{} ", q.label()));
         out.push_str(&"-".repeat(70 - q.label().len()));
@@ -235,7 +241,11 @@ mod tests {
                         } else {
                             Status::Success
                         },
-                        if engine == EngineKind::MemNaive { None } else { Some(23_226) },
+                        if engine == EngineKind::MemNaive {
+                            None
+                        } else {
+                            Some(23_226)
+                        },
                     ),
                 ] {
                     report.records.push(QueryRecord {

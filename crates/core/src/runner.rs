@@ -145,12 +145,7 @@ pub struct BenchmarkReport {
 
 impl BenchmarkReport {
     /// The record for a cell.
-    pub fn cell(
-        &self,
-        scale: u64,
-        engine: EngineKind,
-        query: BenchQuery,
-    ) -> Option<&QueryRecord> {
+    pub fn cell(&self, scale: u64, engine: EngineKind, query: BenchQuery) -> Option<&QueryRecord> {
         self.records
             .iter()
             .find(|r| r.scale == scale && r.engine == engine && r.query == query)
@@ -174,10 +169,7 @@ impl BenchmarkReport {
 }
 
 /// Runs the benchmark. `progress` receives one line per completed cell.
-pub fn run_benchmark(
-    cfg: &RunnerConfig,
-    mut progress: impl FnMut(&str),
-) -> BenchmarkReport {
+pub fn run_benchmark(cfg: &RunnerConfig, mut progress: impl FnMut(&str)) -> BenchmarkReport {
     let mut report = BenchmarkReport {
         scales: cfg.scales.clone(),
         engines: cfg.engines.clone(),
@@ -187,9 +179,7 @@ pub fn run_benchmark(
 
     for &scale in &cfg.scales {
         progress(&format!("generating {scale} triples…"));
-        let (graph, _) = generate_graph(
-            Config::triples(scale).with_seed(cfg.seed),
-        );
+        let (graph, _) = generate_graph(Config::triples(scale).with_seed(cfg.seed));
         for &kind in &cfg.engines {
             run_engine(cfg, &graph, scale, kind, &mut report, &mut progress);
         }
@@ -245,7 +235,14 @@ fn run_engine(
             status.letter(),
             measurement.summary()
         ));
-        report.records.push(QueryRecord { scale, engine: kind, query, status, measurement, count });
+        report.records.push(QueryRecord {
+            scale,
+            engine: kind,
+            query,
+            status,
+            measurement,
+            count,
+        });
     }
 }
 
@@ -279,7 +276,12 @@ mod tests {
         RunnerConfig {
             scales: vec![3_000],
             engines: vec![EngineKind::MemOpt, EngineKind::NativeOpt],
-            queries: vec![BenchQuery::Q1, BenchQuery::Q3c, BenchQuery::Q9, BenchQuery::Q12c],
+            queries: vec![
+                BenchQuery::Q1,
+                BenchQuery::Q3c,
+                BenchQuery::Q9,
+                BenchQuery::Q12c,
+            ],
             timeout: Duration::from_secs(10),
             runs: 2,
             seed: sp2b_datagen::Rng::DEFAULT_SEED,

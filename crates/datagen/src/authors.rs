@@ -141,12 +141,7 @@ impl AuthorPool {
     /// Samples up to `n` *distinct*, non-retired, previously created
     /// persons, weighted by productivity. May return fewer when the pool
     /// is small.
-    pub fn select_existing(
-        &mut self,
-        rng: &mut Rng,
-        n: usize,
-        year: i32,
-    ) -> Vec<PersonId> {
+    pub fn select_existing(&mut self, rng: &mut Rng, n: usize, year: i32) -> Vec<PersonId> {
         let mut out = Vec::with_capacity(n);
         if self.urn.is_empty() {
             return out;
@@ -174,12 +169,7 @@ impl AuthorPool {
     /// Selects `n` editors: experienced persons ("editors often have
     /// published before"), falling back to newly created persons when the
     /// pool cannot provide enough.
-    pub fn select_editors(
-        &mut self,
-        rng: &mut Rng,
-        n: usize,
-        year: i32,
-    ) -> Vec<PersonId> {
+    pub fn select_editors(&mut self, rng: &mut Rng, n: usize, year: i32) -> Vec<PersonId> {
         let mut editors = self.select_existing(rng, n, year);
         while editors.len() < n {
             editors.push(self.create(rng));
@@ -212,14 +202,8 @@ impl YearRoster {
     /// * the distinct and new counts follow `f_dauth` / `f_new`;
     /// * per-member publication targets follow the year's `f_awp`
     ///   power-law exponent.
-    pub fn build(
-        pool: &mut AuthorPool,
-        rng: &mut Rng,
-        year: i32,
-        expected_slots: f64,
-    ) -> Self {
-        let distinct =
-            (expected_slots * params::distinct_author_ratio(year)).round() as usize;
+    pub fn build(pool: &mut AuthorPool, rng: &mut Rng, year: i32, expected_slots: f64) -> Self {
+        let distinct = (expected_slots * params::distinct_author_ratio(year)).round() as usize;
         let distinct = distinct.max(1);
         let new = ((distinct as f64) * params::new_author_ratio(year)).round() as usize;
         let new = new.clamp(1, distinct);
@@ -248,7 +232,11 @@ impl YearRoster {
             deck.push(m);
         }
         rng.shuffle(&mut deck);
-        YearRoster { members, new_members, deck }
+        YearRoster {
+            members,
+            new_members,
+            deck,
+        }
     }
 
     /// Takes `k` distinct authors for one document. Falls back to uniform

@@ -58,12 +58,20 @@ pub struct Config {
 impl Config {
     /// A triple-limited configuration with the default seed.
     pub fn triples(n: u64) -> Self {
-        Config { seed: Rng::DEFAULT_SEED, limit: Limit::Triples(n), detailed_stats: false }
+        Config {
+            seed: Rng::DEFAULT_SEED,
+            limit: Limit::Triples(n),
+            detailed_stats: false,
+        }
     }
 
     /// A year-limited configuration with the default seed.
     pub fn up_to_year(year: i32) -> Self {
-        Config { seed: Rng::DEFAULT_SEED, limit: Limit::Year(year), detailed_stats: false }
+        Config {
+            seed: Rng::DEFAULT_SEED,
+            limit: Limit::Year(year),
+            detailed_stats: false,
+        }
     }
 
     /// Enables detailed per-year statistics.
@@ -171,8 +179,8 @@ pub struct Generator {
     bag_seq: u64,
     /// Venues of the current year.
     year_journals: Vec<(u64, String)>, // (journal number, title)
-    year_procs: Vec<(u64, String)>,    // (proceedings seq, conference title)
-    year_books: Vec<u64>,              // book seqs
+    year_procs: Vec<(u64, String)>, // (proceedings seq, conference title)
+    year_books: Vec<u64>,           // book seqs
     /// Erdős activity counters for the current year.
     erdoes_pubs_left: u64,
     erdoes_edits_left: u64,
@@ -248,7 +256,11 @@ impl Generator {
         for class in classes {
             self.emit(
                 sink,
-                Triple::new(Subject::iri(class), Iri::new(rdfs::SUB_CLASS_OF), Term::iri(foaf::DOCUMENT)),
+                Triple::new(
+                    Subject::iri(class),
+                    Iri::new(rdfs::SUB_CLASS_OF),
+                    Term::iri(foaf::DOCUMENT),
+                ),
             )?;
         }
         Ok(())
@@ -262,7 +274,10 @@ impl Generator {
         self.year_books.clear();
         self.year_author_counts.clear();
         if self.cfg.detailed_stats {
-            self.year_record = YearRecord { year, ..Default::default() };
+            self.year_record = YearRecord {
+                year,
+                ..Default::default()
+            };
         }
 
         // Class counts for this year (Section III-B).
@@ -304,12 +319,17 @@ impl Generator {
         }
 
         // Erdős' scripted activity (Section IV).
-        let erdoes_active =
-            (params::ERDOES_FIRST_YEAR..=params::ERDOES_LAST_YEAR).contains(&year);
-        self.erdoes_pubs_left =
-            if erdoes_active { params::ERDOES_PUBLICATIONS_PER_YEAR } else { 0 };
-        self.erdoes_edits_left =
-            if erdoes_active { params::ERDOES_EDITORSHIPS_PER_YEAR } else { 0 };
+        let erdoes_active = (params::ERDOES_FIRST_YEAR..=params::ERDOES_LAST_YEAR).contains(&year);
+        self.erdoes_pubs_left = if erdoes_active {
+            params::ERDOES_PUBLICATIONS_PER_YEAR
+        } else {
+            0
+        };
+        self.erdoes_edits_left = if erdoes_active {
+            params::ERDOES_EDITORSHIPS_PER_YEAR
+        } else {
+            0
+        };
 
         // Author roster sized from the expected author-attribute count.
         let publication_counts = [
@@ -327,13 +347,17 @@ impl Generator {
             .sum();
         let expected_slots = docs_with_authors * params::d_auth(year).mu;
         let mut roster = if expected_slots >= 1.0 {
-            Some(YearRoster::build(&mut self.pool, &mut self.rng, year, expected_slots))
+            Some(YearRoster::build(
+                &mut self.pool,
+                &mut self.rng,
+                year,
+                expected_slots,
+            ))
         } else {
             None
         };
         if self.cfg.detailed_stats {
-            self.year_record.new_authors =
-                roster.as_ref().map_or(0, |r| r.new_members as u64);
+            self.year_record.new_authors = roster.as_ref().map_or(0, |r| r.new_members as u64);
         }
 
         // Venues first (consistency), then publications.
@@ -389,12 +413,7 @@ impl Generator {
         Ok(())
     }
 
-    fn emit_journal<S: TripleSink>(
-        &mut self,
-        sink: &mut S,
-        number: u64,
-        year: i32,
-    ) -> GenResult {
+    fn emit_journal<S: TripleSink>(&mut self, sink: &mut S, number: u64, year: i32) -> GenResult {
         let uri = journal_uri(number, year);
         let title = format!("Journal {number} ({year})");
         self.stats.journals += 1;
@@ -405,14 +424,25 @@ impl Generator {
         // still a counted journal.
         self.year_journals.push((number, title.clone()));
         let s = Subject::iri(uri);
-        self.emit(sink, Triple::new(s.clone(), Iri::new(rdf::TYPE), Term::iri(bench::JOURNAL)))?;
         self.emit(
             sink,
-            Triple::new(s.clone(), Iri::new(dc::TITLE), Term::Literal(Literal::string(title))),
+            Triple::new(s.clone(), Iri::new(rdf::TYPE), Term::iri(bench::JOURNAL)),
         )?;
         self.emit(
             sink,
-            Triple::new(s, Iri::new(dcterms::ISSUED), Term::Literal(Literal::integer(year as i64))),
+            Triple::new(
+                s.clone(),
+                Iri::new(dc::TITLE),
+                Term::Literal(Literal::string(title)),
+            ),
+        )?;
+        self.emit(
+            sink,
+            Triple::new(
+                s,
+                Iri::new(dcterms::ISSUED),
+                Term::Literal(Literal::integer(year as i64)),
+            ),
         )?;
         Ok(())
     }
@@ -424,10 +454,21 @@ impl Generator {
         }
         self.pool.person_mut(id).written = true;
         let (subject, name) = self.person_subject_and_name(id);
-        self.emit(sink, Triple::new(subject.clone(), Iri::new(rdf::TYPE), Term::iri(foaf::PERSON)))?;
         self.emit(
             sink,
-            Triple::new(subject, Iri::new(foaf::NAME), Term::Literal(Literal::string(name))),
+            Triple::new(
+                subject.clone(),
+                Iri::new(rdf::TYPE),
+                Term::iri(foaf::PERSON),
+            ),
+        )?;
+        self.emit(
+            sink,
+            Triple::new(
+                subject,
+                Iri::new(foaf::NAME),
+                Term::Literal(Literal::string(name)),
+            ),
         )?;
         Ok(())
     }
@@ -461,10 +502,7 @@ impl Generator {
         // Venue bookkeeping for later documents of this year.
         let conference: Option<(u64, String)> = match class {
             DocClass::Proceedings => {
-                let title = format!(
-                    "Conference {} ({year})",
-                    self.year_procs.len() as u64 + 1
-                );
+                let title = format!("Conference {} ({year})", self.year_procs.len() as u64 + 1);
                 self.year_procs.push((seq, title.clone()));
                 Some((seq, title))
             }
@@ -475,25 +513,40 @@ impl Generator {
             _ => None,
         };
 
-        self.emit(sink, Triple::new(subject.clone(), Iri::new(rdf::TYPE), Term::iri(class_iri(class))))?;
+        self.emit(
+            sink,
+            Triple::new(
+                subject.clone(),
+                Iri::new(rdf::TYPE),
+                Term::iri(class_iri(class)),
+            ),
+        )?;
 
         // Pre-draw per-document venue assignment so booktitle and crossref
         // agree (an inproceedings' booktitle is its conference).
-        let assigned_proc: Option<(u64, String)> = if class == DocClass::Inproceedings
-            && !self.year_procs.is_empty()
-        {
-            let pick = self.rng.below(self.year_procs.len() as u64) as usize;
-            Some(self.year_procs[pick].clone())
-        } else {
-            None
-        };
+        let assigned_proc: Option<(u64, String)> =
+            if class == DocClass::Inproceedings && !self.year_procs.is_empty() {
+                let pick = self.rng.below(self.year_procs.len() as u64) as usize;
+                Some(self.year_procs[pick].clone())
+            } else {
+                None
+            };
 
         for attr in Attribute::ALL {
             let p = params::attribute_probability(class, attr);
             if p <= 0.0 || !self.rng.chance(p) {
                 continue;
             }
-            self.emit_attribute(sink, &subject, class, attr, year, roster, &conference, &assigned_proc)?;
+            self.emit_attribute(
+                sink,
+                &subject,
+                class,
+                attr,
+                year,
+                roster,
+                &conference,
+                &assigned_proc,
+            )?;
         }
 
         // The optional abstract enrichment (Section IV).
@@ -506,7 +559,11 @@ impl Generator {
             let text = self.random_words(words as usize);
             self.emit(
                 sink,
-                Triple::new(subject.clone(), Iri::new(bench::ABSTRACT), Term::Literal(Literal::string(text))),
+                Triple::new(
+                    subject.clone(),
+                    Iri::new(bench::ABSTRACT),
+                    Term::Literal(Literal::string(text)),
+                ),
             )?;
         }
 
@@ -543,7 +600,11 @@ impl Generator {
             }
             Attribute::Year => self.emit(
                 sink,
-                Triple::new(subject.clone(), Iri::new(dcterms::ISSUED), Term::Literal(Literal::integer(year as i64))),
+                Triple::new(
+                    subject.clone(),
+                    Iri::new(dcterms::ISSUED),
+                    Term::Literal(Literal::integer(year as i64)),
+                ),
             ),
             Attribute::Author => self.emit_authors(sink, subject, year, roster),
             Attribute::Editor => self.emit_editors(sink, subject, year),
@@ -657,7 +718,11 @@ impl Generator {
     ) -> GenResult {
         self.emit(
             sink,
-            Triple::new(subject.clone(), Iri::new(predicate), Term::Literal(Literal::string(value))),
+            Triple::new(
+                subject.clone(),
+                Iri::new(predicate),
+                Term::Literal(Literal::string(value)),
+            ),
         )
     }
 
@@ -670,7 +735,11 @@ impl Generator {
     ) -> GenResult {
         self.emit(
             sink,
-            Triple::new(subject.clone(), Iri::new(predicate), Term::Literal(Literal::integer(value))),
+            Triple::new(
+                subject.clone(),
+                Iri::new(predicate),
+                Term::Literal(Literal::integer(value)),
+            ),
         )
     }
 
@@ -681,9 +750,10 @@ impl Generator {
         year: i32,
         roster: &mut Option<YearRoster>,
     ) -> GenResult {
-        let Some(roster) = roster.as_mut() else { return Ok(()) };
-        let k = params::d_auth(year)
-            .sample_count(&mut self.rng, 1, params::MAX_AUTHORS_PER_DOC)
+        let Some(roster) = roster.as_mut() else {
+            return Ok(());
+        };
+        let k = params::d_auth(year).sample_count(&mut self.rng, 1, params::MAX_AUTHORS_PER_DOC)
             as usize;
         let mut authors = roster.take_authors(&mut self.rng, k);
         // Erdős joins the first documents of each of his active years as
@@ -718,9 +788,8 @@ impl Generator {
         subject: &Subject,
         year: i32,
     ) -> GenResult {
-        let k = params::D_EDITOR
-            .sample_count(&mut self.rng, 1, params::MAX_EDITORS_PER_DOC)
-            as usize;
+        let k =
+            params::D_EDITOR.sample_count(&mut self.rng, 1, params::MAX_EDITORS_PER_DOC) as usize;
         let mut editors = self.pool.select_editors(&mut self.rng, k, year);
         if self.erdoes_edits_left > 0 {
             self.erdoes_edits_left -= 1;
@@ -737,13 +806,8 @@ impl Generator {
         Ok(())
     }
 
-    fn emit_citations<S: TripleSink>(
-        &mut self,
-        sink: &mut S,
-        subject: &Subject,
-    ) -> GenResult {
-        let planned =
-            params::D_CITE.sample_count(&mut self.rng, 1, params::MAX_OUTGOING_CITATIONS);
+    fn emit_citations<S: TripleSink>(&mut self, sink: &mut S, subject: &Subject) -> GenResult {
+        let planned = params::D_CITE.sample_count(&mut self.rng, 1, params::MAX_OUTGOING_CITATIONS);
         self.stats.citations_planned += planned;
         *self
             .stats
@@ -755,16 +819,22 @@ impl Generator {
         let bag = Subject::blank(format!("references{}", self.bag_seq));
         self.emit(
             sink,
-            Triple::new(subject.clone(), Iri::new(dcterms::REFERENCES), bag.to_term()),
+            Triple::new(
+                subject.clone(),
+                Iri::new(dcterms::REFERENCES),
+                bag.to_term(),
+            ),
         )?;
-        self.emit(sink, Triple::new(bag.clone(), Iri::new(rdf::TYPE), Term::iri(rdf::BAG)))?;
+        self.emit(
+            sink,
+            Triple::new(bag.clone(), Iri::new(rdf::TYPE), Term::iri(rdf::BAG)),
+        )?;
 
         let mut member = 0usize;
         for _ in 0..planned {
             // DBLP's citation system is incomplete: a fraction of the
             // planned citations stays untargeted (Section III-D).
-            if self.registry.is_empty()
-                || self.rng.chance(params::UNTARGETED_CITATION_PROBABILITY)
+            if self.registry.is_empty() || self.rng.chance(params::UNTARGETED_CITATION_PROBABILITY)
             {
                 continue;
             }
@@ -804,8 +874,7 @@ impl Generator {
                 .as_ref()
                 .map(|(seq, _)| document_uri(DocClass::Proceedings, *seq)),
             DocClass::Incollection if !self.year_books.is_empty() => {
-                let seq =
-                    self.year_books[self.rng.below(self.year_books.len() as u64) as usize];
+                let seq = self.year_books[self.rng.below(self.year_books.len() as u64) as usize];
                 Some(document_uri(DocClass::Book, seq))
             }
             // Other classes have no natural container in our scheme; their
@@ -848,15 +917,14 @@ impl Generator {
 /// Generates into memory; for tests, examples and direct store loading.
 pub fn generate_graph(cfg: Config) -> (Graph, GeneratorStats) {
     let mut sink = GraphSink::new();
-    let stats = Generator::new(cfg).run(&mut sink).expect("in-memory sink cannot fail");
+    let stats = Generator::new(cfg)
+        .run(&mut sink)
+        .expect("in-memory sink cannot fail");
     (sink.graph, stats)
 }
 
 /// Generates N-Triples into any writer.
-pub fn generate_to_writer<W: io::Write>(
-    cfg: Config,
-    writer: W,
-) -> io::Result<GeneratorStats> {
+pub fn generate_to_writer<W: io::Write>(cfg: Config, writer: W) -> io::Result<GeneratorStats> {
     let mut sink = NtriplesSink::new(writer);
     Generator::new(cfg).run(&mut sink)
 }
@@ -960,14 +1028,19 @@ mod tests {
                 assert!(t.subject.to_term().is_blank(), "person not a blank node");
             }
         }
-        assert!(!names.contains("John Q. Public"), "Q12c witness must not exist");
+        assert!(
+            !names.contains("John Q. Public"),
+            "Q12c witness must not exist"
+        );
     }
 
     #[test]
     fn reference_bags_are_typed_and_consistent() {
         let (g, stats) = generate_graph(Config::triples(150_000));
-        let bags: HashSet<Term> =
-            g.with_predicate(dcterms::REFERENCES).map(|t| t.object.clone()).collect();
+        let bags: HashSet<Term> = g
+            .with_predicate(dcterms::REFERENCES)
+            .map(|t| t.object.clone())
+            .collect();
         assert!(!bags.is_empty(), "no citation bags in 150k triples");
         // Every bag is typed rdf:Bag.
         let typed: HashSet<Term> = g
@@ -1013,7 +1086,11 @@ mod tests {
         let mut seen = 0;
         for t in g.with_predicate(dcterms::PART_OF) {
             seen += 1;
-            assert!(docs.contains(&t.object.to_string()), "dangling partOf {}", t.object);
+            assert!(
+                docs.contains(&t.object.to_string()),
+                "dangling partOf {}",
+                t.object
+            );
         }
         assert!(seen > 0, "no crossrefs generated");
     }

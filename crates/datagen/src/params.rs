@@ -271,8 +271,7 @@ pub fn new_author_ratio(year: i32) -> f64 {
 
 /// Exponent curve of the publications-per-author power law:
 /// `f'_awp(yr) = −0.60/(1+216223·e^(−0.20(yr−1936))) + 3.08`.
-pub const AWP_EXPONENT_CURVE: Logistic =
-    Logistic::new(-0.60, 216_223.0, 0.20, 1936.0);
+pub const AWP_EXPONENT_CURVE: Logistic = Logistic::new(-0.60, 216_223.0, 0.20, 1936.0);
 /// Additive offset of the exponent curve.
 pub const AWP_EXPONENT_OFFSET: f64 = 3.08;
 
@@ -345,15 +344,42 @@ mod tests {
     #[test]
     fn table_ix_selected_cells_match_table_i() {
         // Table I is the published excerpt of Table IX; spot-check it.
-        assert_eq!(attribute_probability(DocClass::Article, Attribute::Author), 0.9895);
-        assert_eq!(attribute_probability(DocClass::Article, Attribute::Pages), 0.9261);
-        assert_eq!(attribute_probability(DocClass::Article, Attribute::Cite), 0.0048);
-        assert_eq!(attribute_probability(DocClass::Proceedings, Attribute::Editor), 0.7992);
-        assert_eq!(attribute_probability(DocClass::Book, Attribute::Isbn), 0.9294);
-        assert_eq!(attribute_probability(DocClass::Www, Attribute::Author), 0.9973);
-        assert_eq!(attribute_probability(DocClass::Article, Attribute::Journal), 0.9994);
-        assert_eq!(attribute_probability(DocClass::Article, Attribute::Month), 0.0065);
-        assert_eq!(attribute_probability(DocClass::Article, Attribute::Isbn), 0.0000);
+        assert_eq!(
+            attribute_probability(DocClass::Article, Attribute::Author),
+            0.9895
+        );
+        assert_eq!(
+            attribute_probability(DocClass::Article, Attribute::Pages),
+            0.9261
+        );
+        assert_eq!(
+            attribute_probability(DocClass::Article, Attribute::Cite),
+            0.0048
+        );
+        assert_eq!(
+            attribute_probability(DocClass::Proceedings, Attribute::Editor),
+            0.7992
+        );
+        assert_eq!(
+            attribute_probability(DocClass::Book, Attribute::Isbn),
+            0.9294
+        );
+        assert_eq!(
+            attribute_probability(DocClass::Www, Attribute::Author),
+            0.9973
+        );
+        assert_eq!(
+            attribute_probability(DocClass::Article, Attribute::Journal),
+            0.9994
+        );
+        assert_eq!(
+            attribute_probability(DocClass::Article, Attribute::Month),
+            0.0065
+        );
+        assert_eq!(
+            attribute_probability(DocClass::Article, Attribute::Isbn),
+            0.0000
+        );
     }
 
     #[test]

@@ -200,8 +200,7 @@ mod tests {
         let n = 50_000;
         let samples: Vec<f64> = (0..n).map(|_| r.gaussian()).collect();
         let mean = samples.iter().sum::<f64>() / n as f64;
-        let var =
-            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
         assert!(mean.abs() < 0.02, "mean {mean}");
         assert!((var - 1.0).abs() < 0.05, "var {var}");
     }

@@ -41,7 +41,10 @@ impl<W: Write> NtriplesSink<W> {
         NtriplesSink {
             out: io::BufWriter::with_capacity(
                 1 << 16,
-                CountingWriter { inner: writer, bytes: 0 },
+                CountingWriter {
+                    inner: writer,
+                    bytes: 0,
+                },
             ),
         }
     }
@@ -184,7 +187,10 @@ mod tests {
         let mut a = GraphSink::new();
         let mut b = GraphSink::new();
         {
-            let mut tee = TeeSink { a: &mut a, b: &mut b };
+            let mut tee = TeeSink {
+                a: &mut a,
+                b: &mut b,
+            };
             tee.triple(&t(1)).unwrap();
             tee.finish().unwrap();
         }

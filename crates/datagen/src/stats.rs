@@ -83,10 +83,7 @@ impl GeneratorStats {
             ("#Journals".to_owned(), self.journals.to_string()),
         ];
         for class in DocClass::ALL {
-            rows.push((
-                format!("#{}", class.label()),
-                self.count(class).to_string(),
-            ));
+            rows.push((format!("#{}", class.label()), self.count(class).to_string()));
         }
         rows
     }
@@ -98,7 +95,10 @@ mod tests {
 
     #[test]
     fn table_viii_has_all_rows() {
-        let stats = GeneratorStats { end_year: 1955, ..Default::default() };
+        let stats = GeneratorStats {
+            end_year: 1955,
+            ..Default::default()
+        };
         let rows = stats.table_viii_rows();
         assert_eq!(rows.len(), 5 + 8);
         assert!(rows.iter().any(|(k, v)| k == "data up to" && v == "1955"));

@@ -53,7 +53,10 @@ impl UpdateStream {
             if start >= end {
                 continue; // silent year (no output, e.g. truncated at limit)
             }
-            batches.push(YearBatch { year, triples: triples[start..end].to_vec() });
+            batches.push(YearBatch {
+                year,
+                triples: triples[start..end].to_vec(),
+            });
         }
         UpdateStream { batches, stats }
     }
@@ -126,9 +129,10 @@ mod tests {
     fn first_batch_contains_schema() {
         let stream = UpdateStream::generate(Config::triples(2_000));
         let first = &stream.batches()[0];
-        let has_schema = first.triples.iter().any(|t| {
-            t.predicate.as_str() == sp2b_rdf::vocab::rdfs::SUB_CLASS_OF
-        });
+        let has_schema = first
+            .triples
+            .iter()
+            .any(|t| t.predicate.as_str() == sp2b_rdf::vocab::rdfs::SUB_CLASS_OF);
         assert!(has_schema, "schema triples belong to the first batch");
     }
 

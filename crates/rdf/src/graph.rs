@@ -24,7 +24,9 @@ impl Graph {
 
     /// An empty graph with reserved capacity.
     pub fn with_capacity(cap: usize) -> Self {
-        Graph { triples: Vec::with_capacity(cap) }
+        Graph {
+            triples: Vec::with_capacity(cap),
+        }
     }
 
     /// Appends a triple.
@@ -33,12 +35,7 @@ impl Graph {
     }
 
     /// Appends a triple built from its components.
-    pub fn add(
-        &mut self,
-        s: impl Into<Subject>,
-        p: impl Into<Iri>,
-        o: impl Into<Term>,
-    ) {
+    pub fn add(&mut self, s: impl Into<Subject>, p: impl Into<Iri>, o: impl Into<Term>) {
         self.triples.push(Triple::new(s, p, o));
     }
 
@@ -78,10 +75,7 @@ impl Graph {
     }
 
     /// All distinct subjects that have `rdf:type == class` (linear scan).
-    pub fn instances_of<'a>(
-        &'a self,
-        class: &'a str,
-    ) -> impl Iterator<Item = &'a Subject> + 'a {
+    pub fn instances_of<'a>(&'a self, class: &'a str) -> impl Iterator<Item = &'a Subject> + 'a {
         self.triples.iter().filter_map(move |t| {
             if t.predicate.as_str() == crate::vocab::rdf::TYPE
                 && matches!(&t.object, Term::Iri(i) if i.as_str() == class)
@@ -96,7 +90,9 @@ impl Graph {
 
 impl FromIterator<Triple> for Graph {
     fn from_iter<I: IntoIterator<Item = Triple>>(iter: I) -> Self {
-        Graph { triples: iter.into_iter().collect() }
+        Graph {
+            triples: iter.into_iter().collect(),
+        }
     }
 }
 

@@ -127,7 +127,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "N-Triples parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "N-Triples parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -174,7 +178,10 @@ struct Cursor<'a> {
 
 impl<'a> Cursor<'a> {
     fn err(&self, message: impl Into<String>) -> ParseError {
-        ParseError { line: self.line, message: message.into() }
+        ParseError {
+            line: self.line,
+            message: message.into(),
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -212,8 +219,8 @@ impl<'a> Cursor<'a> {
             match self.bump() {
                 Some(b'>') => {
                     let s = &self.bytes[start..self.pos - 1];
-                    let s = std::str::from_utf8(s)
-                        .map_err(|_| self.err("IRI is not valid UTF-8"))?;
+                    let s =
+                        std::str::from_utf8(s).map_err(|_| self.err("IRI is not valid UTF-8"))?;
                     return Ok(Iri::new(s));
                 }
                 Some(_) => {}
@@ -254,17 +261,15 @@ impl<'a> Cursor<'a> {
                     Some(b'u') => lexical.push(self.unicode_escape(4)?),
                     Some(b'U') => lexical.push(self.unicode_escape(8)?),
                     other => {
-                        return Err(self.err(format!(
-                            "invalid escape \\{:?}",
-                            other.map(|c| c as char)
-                        )))
+                        return Err(
+                            self.err(format!("invalid escape \\{:?}", other.map(|c| c as char)))
+                        )
                     }
                 },
                 Some(b) if b < 0x80 => lexical.push(b as char),
                 Some(b) => {
                     // Re-assemble a multi-byte UTF-8 sequence.
-                    let len = utf8_len(b)
-                        .ok_or_else(|| self.err("invalid UTF-8 in literal"))?;
+                    let len = utf8_len(b).ok_or_else(|| self.err("invalid UTF-8 in literal"))?;
                     let start = self.pos - 1;
                     for _ in 1..len {
                         self.bump()
@@ -281,8 +286,7 @@ impl<'a> Cursor<'a> {
             Some(b'@') => {
                 self.pos += 1;
                 let start = self.pos;
-                while matches!(self.peek(), Some(b) if b.is_ascii_alphanumeric() || b == b'-')
-                {
+                while matches!(self.peek(), Some(b) if b.is_ascii_alphanumeric() || b == b'-') {
                     self.pos += 1;
                 }
                 if self.pos == start {
@@ -291,15 +295,27 @@ impl<'a> Cursor<'a> {
                 let lang = std::str::from_utf8(&self.bytes[start..self.pos])
                     .expect("ASCII checked")
                     .to_owned();
-                Ok(Literal { lexical, datatype: None, language: Some(lang) })
+                Ok(Literal {
+                    lexical,
+                    datatype: None,
+                    language: Some(lang),
+                })
             }
             Some(b'^') => {
                 self.pos += 1;
                 self.expect(b'^')?;
                 let dt = self.iri()?;
-                Ok(Literal { lexical, datatype: Some(dt), language: None })
+                Ok(Literal {
+                    lexical,
+                    datatype: Some(dt),
+                    language: None,
+                })
             }
-            _ => Ok(Literal { lexical, datatype: None, language: None }),
+            _ => Ok(Literal {
+                lexical,
+                datatype: None,
+                language: None,
+            }),
         }
     }
 
@@ -341,7 +357,11 @@ fn utf8_len(first: u8) -> Option<usize> {
 
 /// Parses one N-Triples line. Returns `Ok(None)` for blank/comment lines.
 pub fn parse_line(line: &str, line_no: u64) -> Result<Option<Triple>, ParseError> {
-    let mut c = Cursor { bytes: line.as_bytes(), pos: 0, line: line_no };
+    let mut c = Cursor {
+        bytes: line.as_bytes(),
+        pos: 0,
+        line: line_no,
+    };
     c.skip_ws();
     match c.peek() {
         None | Some(b'#') => return Ok(None),
@@ -367,7 +387,11 @@ pub fn parse_line(line: &str, line_no: u64) -> Result<Option<Triple>, ParseError
     if c.peek().is_some() {
         return Err(c.err("trailing content after '.'"));
     }
-    Ok(Some(Triple { subject, predicate, object }))
+    Ok(Some(Triple {
+        subject,
+        predicate,
+        object,
+    }))
 }
 
 /// Streaming N-Triples parser over any [`BufRead`].
@@ -384,7 +408,11 @@ pub struct Parser<R> {
 impl<R: BufRead> Parser<R> {
     /// Wraps a buffered reader.
     pub fn new(input: R) -> Self {
-        Parser { input, buf: String::with_capacity(256), line_no: 0 }
+        Parser {
+            input,
+            buf: String::with_capacity(256),
+            line_no: 0,
+        }
     }
 
     /// Reads the next triple, skipping comments and blank lines.
@@ -526,8 +554,9 @@ mod tests {
         for i in 0..10 {
             doc.push_str(&format!("<http://a/s{i}> <http://a/p> \"v{i}\" .\n"));
         }
-        let triples: Vec<_> =
-            Parser::new(doc.as_bytes()).collect::<Result<_, _>>().unwrap();
+        let triples: Vec<_> = Parser::new(doc.as_bytes())
+            .collect::<Result<_, _>>()
+            .unwrap();
         assert_eq!(triples.len(), 10);
     }
 }

@@ -87,7 +87,11 @@ pub struct Literal {
 impl Literal {
     /// A plain (untyped, untagged) literal.
     pub fn plain(lexical: impl Into<String>) -> Self {
-        Literal { lexical: lexical.into(), datatype: None, language: None }
+        Literal {
+            lexical: lexical.into(),
+            datatype: None,
+            language: None,
+        }
     }
 
     /// An `xsd:string`-typed literal — the form the generator emits for
@@ -111,7 +115,11 @@ impl Literal {
 
     /// A literal with an explicit datatype IRI.
     pub fn typed(lexical: impl Into<String>, datatype: Iri) -> Self {
-        Literal { lexical: lexical.into(), datatype: Some(datatype), language: None }
+        Literal {
+            lexical: lexical.into(),
+            datatype: Some(datatype),
+            language: None,
+        }
     }
 
     /// True if the datatype is `xsd:integer` and the lexical form parses.
@@ -219,11 +227,7 @@ impl Ord for Term {
                 if let (Some(x), Some(y)) = (a.as_integer(), b.as_integer()) {
                     return x.cmp(&y);
                 }
-                (&a.lexical, &a.datatype, &a.language).cmp(&(
-                    &b.lexical,
-                    &b.datatype,
-                    &b.language,
-                ))
+                (&a.lexical, &a.datatype, &a.language).cmp(&(&b.lexical, &b.datatype, &b.language))
             }
             _ => self.kind_rank().cmp(&other.kind_rank()),
         }
@@ -366,7 +370,10 @@ mod tests {
     fn integer_literals_order_numerically() {
         let two = Term::Literal(Literal::integer(2));
         let ten = Term::Literal(Literal::integer(10));
-        assert!(two < ten, "2 must sort before 10 despite lexicographic order");
+        assert!(
+            two < ten,
+            "2 must sort before 10 despite lexicographic order"
+        );
     }
 
     #[test]

@@ -193,10 +193,7 @@ mod tests {
 
     #[test]
     fn expand_known_prefixes() {
-        assert_eq!(
-            expand("bench", "Article").as_deref(),
-            Some(bench::ARTICLE)
-        );
+        assert_eq!(expand("bench", "Article").as_deref(), Some(bench::ARTICLE));
         assert_eq!(expand("dc", "creator").as_deref(), Some(dc::CREATOR));
         assert_eq!(expand("nope", "x"), None);
     }

@@ -14,8 +14,7 @@
 use sp2b_rdf::Term;
 
 use crate::ast::{
-    CmpOp, Expression, GroupElement, GroupPattern, Query, QueryForm, TermOrVar,
-    TriplePattern,
+    CmpOp, Expression, GroupElement, GroupPattern, Query, QueryForm, TermOrVar, TriplePattern,
 };
 
 /// Maps variable names to dense indices.
@@ -175,6 +174,37 @@ pub struct ResolvedOrderKey {
     pub descending: bool,
 }
 
+/// One COUNT column of the aggregation extension.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CountSpec {
+    /// Counted variable; `None` for `COUNT(*)`.
+    pub target: Option<usize>,
+    /// `COUNT(DISTINCT …)`.
+    pub distinct: bool,
+}
+
+/// Grouping/counting specification of [`Algebra::Group`]. Store-
+/// independent, so [`crate::plan::Plan::GroupAggregate`] reuses it as-is.
+///
+/// Output ordering and OFFSET/LIMIT live here rather than as outer
+/// operators because they apply to *output columns* (group keys and
+/// count aliases), which have no variable indices in the pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupSpec {
+    /// Group-key variable indices (empty = one implicit group).
+    pub group_vars: Vec<usize>,
+    /// COUNT columns, in projection order.
+    pub counts: Vec<CountSpec>,
+    /// Output column names: group-by names then aliases.
+    pub columns: Vec<String>,
+    /// Output-column order keys `(column, descending)`.
+    pub order_by: Vec<(usize, bool)>,
+    /// Aggregated rows to skip.
+    pub offset: u64,
+    /// Max aggregated rows.
+    pub limit: Option<u64>,
+}
+
 /// The SPARQL algebra, over resolved patterns and expressions.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Algebra {
@@ -210,12 +240,19 @@ pub enum Algebra {
         /// Input.
         input: Box<Algebra>,
     },
+    /// GROUP BY + COUNT over the input (aggregation extension). Always the
+    /// root of an aggregate query's algebra; the optimizer rewrites its
+    /// input with the group/count variables as the observable set.
+    Group(GroupSpec, Box<Algebra>),
 }
 
 impl Algebra {
     /// The empty BGP (the algebra's unit element).
     pub fn unit() -> Algebra {
-        Algebra::Bgp { patterns: Vec::new(), inline_filters: Vec::new() }
+        Algebra::Bgp {
+            patterns: Vec::new(),
+            inline_filters: Vec::new(),
+        }
     }
 
     /// True for the unit element.
@@ -251,7 +288,10 @@ impl Algebra {
             Algebra::LeftJoin(a, _, _) => a.certain_vars(),
             Algebra::Union(a, b) => {
                 let bv = b.certain_vars();
-                a.certain_vars().into_iter().filter(|v| bv.contains(v)).collect()
+                a.certain_vars()
+                    .into_iter()
+                    .filter(|v| bv.contains(v))
+                    .collect()
             }
             Algebra::Filter(_, inner)
             | Algebra::Distinct(inner)
@@ -259,7 +299,18 @@ impl Algebra {
             | Algebra::Slice { input: inner, .. } => inner.certain_vars(),
             Algebra::Project(vars, inner) => {
                 let inner_vars = inner.certain_vars();
-                vars.iter().copied().filter(|v| inner_vars.contains(v)).collect()
+                vars.iter()
+                    .copied()
+                    .filter(|v| inner_vars.contains(v))
+                    .collect()
+            }
+            Algebra::Group(spec, inner) => {
+                let inner_vars = inner.certain_vars();
+                spec.group_vars
+                    .iter()
+                    .copied()
+                    .filter(|v| inner_vars.contains(v))
+                    .collect()
             }
         }
     }
@@ -291,6 +342,7 @@ impl Algebra {
             | Algebra::OrderBy(_, inner)
             | Algebra::Slice { input: inner, .. } => inner.all_vars(),
             Algebra::Project(vars, _) => vars.clone(),
+            Algebra::Group(spec, _) => spec.group_vars.clone(),
         }
     }
 }
@@ -302,23 +354,70 @@ pub struct Translated {
     pub algebra: Algebra,
     /// The variable table.
     pub vars: VarTable,
-    /// Projected variable indices (empty for ASK).
+    /// Projected variable indices (empty for ASK and aggregate queries,
+    /// whose output columns are not pattern variables).
     pub projection: Vec<usize>,
+    /// Output column names (empty for ASK). For aggregate queries these
+    /// are the group-by names followed by the COUNT aliases.
+    pub columns: Vec<String>,
     /// True for ASK.
     pub ask: bool,
 }
 
-/// Translates a parsed query.
+/// What can go wrong turning an AST into algebra (aggregation extension;
+/// plain SPARQL 1.0 queries always translate).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TranslateError {
+    /// A GROUP BY or COUNT variable does not occur in the WHERE pattern.
+    UnboundVariable(String),
+    /// A construct the algebra cannot express.
+    Unsupported(String),
+}
+
+impl std::fmt::Display for TranslateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TranslateError::UnboundVariable(v) => {
+                write!(f, "variable ?{v} is not bound in the query pattern")
+            }
+            TranslateError::Unsupported(what) => write!(f, "unsupported: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for TranslateError {}
+
+/// Translates a parsed query. Infallible convenience for non-aggregate
+/// queries (the benchmark set); aggregate queries go through
+/// [`translate_query`], which can reject unbound group/count variables.
 pub fn translate(query: &Query) -> Translated {
+    translate_query(query).expect("non-aggregate queries always translate")
+}
+
+/// Translates a parsed query, surfacing aggregation errors.
+pub fn translate_query(query: &Query) -> Result<Translated, TranslateError> {
+    if query.is_aggregate() {
+        return translate_aggregate(query);
+    }
     let mut vars = VarTable::default();
     let pattern = translate_group(&query.pattern, &mut vars);
 
     let ask = query.is_ask();
     if ask {
-        return Translated { algebra: pattern, vars, projection: Vec::new(), ask };
+        return Ok(Translated {
+            algebra: pattern,
+            vars,
+            projection: Vec::new(),
+            columns: Vec::new(),
+            ask,
+        });
     }
 
-    let QueryForm::Select { distinct, variables } = &query.form else {
+    let QueryForm::Select {
+        distinct,
+        variables,
+    } = &query.form
+    else {
         unreachable!("non-ASK is SELECT")
     };
     let projection: Vec<usize> = if variables.is_empty() {
@@ -350,7 +449,89 @@ pub fn translate(query: &Query) -> Translated {
             input: Box::new(algebra),
         };
     }
-    Translated { algebra, vars, projection, ask }
+    let columns = projection
+        .iter()
+        .map(|&i| vars.name(i).to_owned())
+        .collect();
+    Ok(Translated {
+        algebra,
+        vars,
+        projection,
+        columns,
+        ask,
+    })
+}
+
+/// Aggregation extension: the pattern algebra wrapped in
+/// [`Algebra::Group`]. Group/count variables must occur in the pattern —
+/// an absent one is a preparation error, not a panic.
+fn translate_aggregate(query: &Query) -> Result<Translated, TranslateError> {
+    let mut vars = VarTable::default();
+    let pattern = translate_group(&query.pattern, &mut vars);
+
+    let group_vars: Vec<usize> = query
+        .group_by
+        .iter()
+        .map(|v| {
+            vars.lookup(v)
+                .ok_or_else(|| TranslateError::UnboundVariable(v.clone()))
+        })
+        .collect::<Result<_, _>>()?;
+    let counts: Vec<CountSpec> = query
+        .aggregates
+        .iter()
+        .map(|a| {
+            let target = match &a.target {
+                Some(v) => Some(
+                    vars.lookup(v)
+                        .ok_or_else(|| TranslateError::UnboundVariable(v.clone()))?,
+                ),
+                None => None,
+            };
+            Ok(CountSpec {
+                target,
+                distinct: a.distinct,
+            })
+        })
+        .collect::<Result<_, _>>()?;
+
+    let mut columns: Vec<String> = query.group_by.clone();
+    columns.extend(query.aggregates.iter().map(|a| a.alias.clone()));
+    // Output-column ORDER BY: keys must name a group var or an alias.
+    let order_by: Vec<(usize, bool)> = query
+        .order_by
+        .iter()
+        .map(|k| match &k.expression {
+            Expression::Var(v) => columns
+                .iter()
+                .position(|c| c == v)
+                .map(|col| (col, k.descending))
+                .ok_or_else(|| {
+                    TranslateError::Unsupported(format!(
+                        "ORDER BY ?{v} must name a GROUP BY variable or aggregate alias"
+                    ))
+                }),
+            other => Err(TranslateError::Unsupported(format!(
+                "aggregate ORDER BY supports plain variables, got {other}"
+            ))),
+        })
+        .collect::<Result<_, _>>()?;
+
+    let spec = GroupSpec {
+        group_vars,
+        counts,
+        columns: columns.clone(),
+        order_by,
+        offset: query.offset.unwrap_or(0),
+        limit: query.limit,
+    };
+    Ok(Translated {
+        algebra: Algebra::Group(spec, Box::new(pattern)),
+        vars,
+        projection: Vec::new(),
+        columns,
+        ask: false,
+    })
 }
 
 /// Spec §12.2.1: group translation. Filters scope over the whole group and
@@ -463,9 +644,13 @@ mod tests {
     fn simple_bgp_translation() {
         let t = translated("SELECT ?x WHERE { ?x <http://p> ?y . ?y <http://q> ?z }");
         // Project(Bgp).
-        let Algebra::Project(proj, inner) = &t.algebra else { panic!() };
+        let Algebra::Project(proj, inner) = &t.algebra else {
+            panic!()
+        };
         assert_eq!(proj.len(), 1);
-        let Algebra::Bgp { patterns, .. } = inner.as_ref() else { panic!() };
+        let Algebra::Bgp { patterns, .. } = inner.as_ref() else {
+            panic!()
+        };
         assert_eq!(patterns.len(), 2);
     }
 
@@ -474,30 +659,38 @@ mod tests {
         let t = translated(
             "SELECT ?a WHERE { ?a <http://p> ?b OPTIONAL { ?b <http://q> ?c FILTER (?c = ?a) } }",
         );
-        let Algebra::Project(_, inner) = &t.algebra else { panic!() };
+        let Algebra::Project(_, inner) = &t.algebra else {
+            panic!()
+        };
         let Algebra::LeftJoin(_, _, cond) = inner.as_ref() else {
             panic!("expected LeftJoin, got {inner:?}")
         };
-        assert!(cond.is_some(), "inner FILTER must become the join condition");
+        assert!(
+            cond.is_some(),
+            "inner FILTER must become the join condition"
+        );
     }
 
     #[test]
     fn plain_optional_has_no_condition() {
-        let t = translated(
-            "SELECT ?a WHERE { ?a <http://p> ?b OPTIONAL { ?b <http://q> ?c } }",
-        );
-        let Algebra::Project(_, inner) = &t.algebra else { panic!() };
-        let Algebra::LeftJoin(_, _, cond) = inner.as_ref() else { panic!() };
+        let t = translated("SELECT ?a WHERE { ?a <http://p> ?b OPTIONAL { ?b <http://q> ?c } }");
+        let Algebra::Project(_, inner) = &t.algebra else {
+            panic!()
+        };
+        let Algebra::LeftJoin(_, _, cond) = inner.as_ref() else {
+            panic!()
+        };
         assert!(cond.is_none());
     }
 
     #[test]
     fn group_filters_scope_over_whole_group() {
         // Filter placed syntactically in the middle still applies last.
-        let t = translated(
-            "SELECT ?a WHERE { ?a <http://p> ?b FILTER (?b = ?c) ?a <http://q> ?c }",
-        );
-        let Algebra::Project(_, inner) = &t.algebra else { panic!() };
+        let t =
+            translated("SELECT ?a WHERE { ?a <http://p> ?b FILTER (?b = ?c) ?a <http://q> ?c }");
+        let Algebra::Project(_, inner) = &t.algebra else {
+            panic!()
+        };
         let Algebra::Filter(_, filtered) = inner.as_ref() else {
             panic!("expected group-level filter, got {inner:?}")
         };
@@ -513,9 +706,16 @@ mod tests {
         let t = translated(
             "SELECT ?x WHERE { { ?x <http://a> ?y } UNION { ?x <http://b> ?y } UNION { ?x <http://c> ?y } }",
         );
-        let Algebra::Project(_, inner) = &t.algebra else { panic!() };
-        let Algebra::Union(left, _) = inner.as_ref() else { panic!("{inner:?}") };
-        assert!(matches!(left.as_ref(), Algebra::Union(..)), "left-deep union chain");
+        let Algebra::Project(_, inner) = &t.algebra else {
+            panic!()
+        };
+        let Algebra::Union(left, _) = inner.as_ref() else {
+            panic!("{inner:?}")
+        };
+        assert!(
+            matches!(left.as_ref(), Algebra::Union(..)),
+            "left-deep union chain"
+        );
     }
 
     #[test]
@@ -524,19 +724,30 @@ mod tests {
             "SELECT DISTINCT ?x WHERE { ?x <http://p> ?y } ORDER BY ?x LIMIT 10 OFFSET 5",
         );
         // Slice(Distinct(Project(OrderBy(Bgp)))).
-        let Algebra::Slice { offset, limit, input } = &t.algebra else { panic!() };
+        let Algebra::Slice {
+            offset,
+            limit,
+            input,
+        } = &t.algebra
+        else {
+            panic!()
+        };
         assert_eq!((*offset, *limit), (5, Some(10)));
-        let Algebra::Distinct(inner) = input.as_ref() else { panic!() };
-        let Algebra::Project(_, inner) = inner.as_ref() else { panic!() };
+        let Algebra::Distinct(inner) = input.as_ref() else {
+            panic!()
+        };
+        let Algebra::Project(_, inner) = inner.as_ref() else {
+            panic!()
+        };
         assert!(matches!(inner.as_ref(), Algebra::OrderBy(..)));
     }
 
     #[test]
     fn certain_vars_of_leftjoin_is_left_side() {
-        let t = translated(
-            "SELECT ?a WHERE { ?a <http://p> ?b OPTIONAL { ?b <http://q> ?c } }",
-        );
-        let Algebra::Project(_, inner) = &t.algebra else { panic!() };
+        let t = translated("SELECT ?a WHERE { ?a <http://p> ?b OPTIONAL { ?b <http://q> ?c } }");
+        let Algebra::Project(_, inner) = &t.algebra else {
+            panic!()
+        };
         let certain = inner.certain_vars();
         let a = t.vars.lookup("a").unwrap();
         let b = t.vars.lookup("b").unwrap();
@@ -549,10 +760,10 @@ mod tests {
 
     #[test]
     fn union_certain_vars_is_intersection() {
-        let t = translated(
-            "SELECT ?x WHERE { { ?x <http://a> ?y } UNION { ?x <http://b> ?z } }",
-        );
-        let Algebra::Project(_, inner) = &t.algebra else { panic!() };
+        let t = translated("SELECT ?x WHERE { { ?x <http://a> ?y } UNION { ?x <http://b> ?z } }");
+        let Algebra::Project(_, inner) = &t.algebra else {
+            panic!()
+        };
         let certain = inner.certain_vars();
         assert_eq!(certain, vec![t.vars.lookup("x").unwrap()]);
     }
@@ -569,12 +780,14 @@ mod tests {
     fn conjunct_split_and_fold() {
         let mut vars = VarTable::default();
         let e = compile_expr(
-            &parse("SELECT ?a WHERE { ?a <http://p> ?b FILTER (?a != ?b && bound(?a) && ?b != ?a) }")
-                .map(|q| match &q.pattern.elements[1] {
-                    GroupElement::Filter(f) => f.clone(),
-                    _ => panic!(),
-                })
-                .unwrap(),
+            &parse(
+                "SELECT ?a WHERE { ?a <http://p> ?b FILTER (?a != ?b && bound(?a) && ?b != ?a) }",
+            )
+            .map(|q| match &q.pattern.elements[1] {
+                GroupElement::Filter(f) => f.clone(),
+                _ => panic!(),
+            })
+            .unwrap(),
             &mut vars,
         );
         let parts = e.clone().conjuncts();

@@ -1,33 +1,58 @@
-//! The crate's high-level query API: parse → translate → optimize → bind
-//! → evaluate, with timeout support.
+//! The crate's high-level query API.
+//!
+//! [`QueryEngine`] is the facade: it owns the store reference and a
+//! [`QueryOptions`] policy bundle (optimizer configuration, timeout,
+//! row-limit), prepares queries into reusable [`Prepared`] statements and
+//! executes them three ways off one evaluation path:
+//!
+//! * [`QueryEngine::solutions`] — a streaming [`Solutions`] iterator whose
+//!   items are lazy [`Solution`] row handles that decode terms against the
+//!   dictionary *on demand*;
+//! * [`QueryEngine::execute`] — the materialized [`QueryResult`] (every
+//!   term decoded), for callers that want plain rows;
+//! * [`QueryEngine::count`] — the solution count alone, decoding nothing
+//!   (the Table V result-size harness path).
+//!
+//! Aggregation (`GROUP BY` + `COUNT`) is a first-class plan operator
+//! ([`crate::plan::Plan::GroupAggregate`]), not an api-layer post-pass, so
+//! it participates in optimization and cancellation like every other
+//! operator and all three consumers above agree by construction.
 
 use std::fmt;
 use std::time::{Duration, Instant};
 
 use sp2b_rdf::Term;
-use sp2b_store::TripleStore;
+use sp2b_store::{Dictionary, Id, TripleStore};
 
-use crate::algebra::{translate, Algebra, VarTable};
+use crate::algebra::{translate_query, GroupSpec, TranslateError};
 use crate::ast::Query;
-use crate::eval::{Bindings, Cancellation, EvalContext};
+use crate::eval::{AggCell, AggRow, Bindings, Cancellation, EvalContext, RowIter};
 use crate::optimizer::{optimize, OptimizerConfig};
 use crate::parser::{parse, ParseError};
 use crate::plan::{bind, Plan};
 
-/// Everything that can go wrong running a query.
+/// Everything that can go wrong preparing or running a query.
 #[derive(Debug)]
 pub enum Error {
     /// Syntax error.
     Parse(ParseError),
+    /// A GROUP BY or COUNT variable is not bound in the query pattern.
+    UnboundVariable(String),
     /// Evaluation hit the timeout / was cancelled.
     Cancelled,
+    /// A construct the engine does not support.
+    Unsupported(String),
 }
 
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Error::Parse(e) => e.fmt(f),
+            Error::UnboundVariable(v) => {
+                write!(f, "variable ?{v} is not bound in the query pattern")
+            }
             Error::Cancelled => f.write_str("query evaluation cancelled (timeout)"),
+            Error::Unsupported(what) => write!(f, "unsupported: {what}"),
         }
     }
 }
@@ -40,37 +65,371 @@ impl From<ParseError> for Error {
     }
 }
 
+impl From<TranslateError> for Error {
+    fn from(e: TranslateError) -> Self {
+        match e {
+            TranslateError::UnboundVariable(v) => Error::UnboundVariable(v),
+            TranslateError::Unsupported(s) => Error::Unsupported(s),
+        }
+    }
+}
+
+/// Execution policy of a [`QueryEngine`]: optimizer configuration, the
+/// per-execution timeout, and the row-limit applied to delivered results
+/// (`execute` and `solutions`; `count` always reports the true
+/// cardinality).
+#[derive(Debug, Clone)]
+pub struct QueryOptions {
+    optimizer: OptimizerConfig,
+    timeout: Option<Duration>,
+    row_limit: Option<u64>,
+}
+
+impl Default for QueryOptions {
+    /// Full optimization, no timeout, no row limit.
+    fn default() -> Self {
+        QueryOptions {
+            optimizer: OptimizerConfig::full(),
+            timeout: None,
+            row_limit: None,
+        }
+    }
+}
+
+impl QueryOptions {
+    /// The default policy (full optimization, no timeout, no row limit).
+    pub fn new() -> Self {
+        QueryOptions::default()
+    }
+
+    /// Sets the optimizer configuration.
+    pub fn optimizer(mut self, cfg: OptimizerConfig) -> Self {
+        self.optimizer = cfg;
+        self
+    }
+
+    /// Sets the per-execution timeout.
+    pub fn timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = Some(timeout);
+        self
+    }
+
+    /// Caps the number of rows `execute`/`solutions` deliver. Counting is
+    /// unaffected — `count` reports the true cardinality.
+    pub fn row_limit(mut self, rows: u64) -> Self {
+        self.row_limit = Some(rows);
+        self
+    }
+
+    /// The configured optimizer.
+    pub fn optimizer_config(&self) -> &OptimizerConfig {
+        &self.optimizer
+    }
+
+    /// The configured timeout, if any.
+    pub fn timeout_duration(&self) -> Option<Duration> {
+        self.timeout
+    }
+
+    /// The configured row limit, if any.
+    pub fn row_limit_rows(&self) -> Option<u64> {
+        self.row_limit
+    }
+}
+
+/// The query facade: a store reference plus a [`QueryOptions`] policy.
+///
+/// ```
+/// use sp2b_rdf::{Graph, Iri, Subject, Term};
+/// use sp2b_store::MemStore;
+/// use sp2b_sparql::QueryEngine;
+///
+/// let mut g = Graph::new();
+/// g.add(Subject::iri("http://x/s"), Iri::new("http://x/p"), Term::iri("http://x/o"));
+/// let store = MemStore::from_graph(&g);
+///
+/// let engine = QueryEngine::new(&store);
+/// let prepared = engine.prepare("SELECT ?s WHERE { ?s <http://x/p> ?o }").unwrap();
+/// // Stream rows lazily…
+/// for solution in engine.solutions(&prepared) {
+///     let row = solution.unwrap();
+///     assert!(row.get(0).is_some());
+/// }
+/// // …or just count, which decodes nothing.
+/// assert_eq!(engine.count(&prepared).unwrap(), 1);
+/// ```
+pub struct QueryEngine<'s> {
+    store: &'s dyn TripleStore,
+    options: QueryOptions,
+}
+
+impl<'s> QueryEngine<'s> {
+    /// An engine over `store` with default options (full optimization, no
+    /// timeout, no row limit).
+    pub fn new(store: &'s dyn TripleStore) -> Self {
+        QueryEngine {
+            store,
+            options: QueryOptions::default(),
+        }
+    }
+
+    /// An engine with an explicit policy.
+    pub fn with_options(store: &'s dyn TripleStore, options: QueryOptions) -> Self {
+        QueryEngine { store, options }
+    }
+
+    /// Replaces the optimizer configuration.
+    pub fn optimizer(mut self, cfg: OptimizerConfig) -> Self {
+        self.options.optimizer = cfg;
+        self
+    }
+
+    /// Sets the per-execution timeout.
+    pub fn timeout(mut self, timeout: Duration) -> Self {
+        self.options.timeout = Some(timeout);
+        self
+    }
+
+    /// Caps delivered rows (see [`QueryOptions::row_limit`]).
+    pub fn row_limit(mut self, rows: u64) -> Self {
+        self.options.row_limit = Some(rows);
+        self
+    }
+
+    /// The store this engine queries.
+    pub fn store(&self) -> &'s dyn TripleStore {
+        self.store
+    }
+
+    /// The active policy.
+    pub fn options(&self) -> &QueryOptions {
+        &self.options
+    }
+
+    /// Parses and prepares a query. Preparation resolves constants against
+    /// the store, applies the optimizer and binds the physical plan; the
+    /// result is reusable across executions.
+    pub fn prepare(&self, text: &str) -> Result<Prepared, Error> {
+        let query = parse(text)?;
+        self.prepare_query(&query)
+    }
+
+    /// Prepares an already-parsed query.
+    pub fn prepare_query(&self, query: &Query) -> Result<Prepared, Error> {
+        let translated = translate_query(query)?;
+        let needed: Vec<usize> = translated.projection.clone();
+        let algebra = optimize(
+            translated.algebra,
+            self.store,
+            &self.options.optimizer,
+            &needed,
+        );
+        Ok(Prepared {
+            plan: bind(&algebra, self.store),
+            width: translated.vars.len(),
+            projection: translated.projection,
+            columns: translated.columns,
+            ask: translated.ask,
+        })
+    }
+
+    /// A fresh cancellation handle honouring the configured timeout.
+    pub fn cancellation(&self) -> Cancellation {
+        match self.options.timeout {
+            Some(t) => Cancellation::with_deadline(Instant::now() + t),
+            None => Cancellation::none(),
+        }
+    }
+
+    fn context(&self, prepared: &Prepared, cancel: &Cancellation) -> EvalContext<'s> {
+        EvalContext {
+            store: self.store,
+            cancel: cancel.clone(),
+            width: prepared.width,
+        }
+    }
+
+    /// Streams solutions lazily; terms decode only when a [`Solution`]
+    /// column is read. Cancellation (from the configured timeout) surfaces
+    /// as an `Err(Error::Cancelled)` item.
+    pub fn solutions<'p>(&'p self, prepared: &'p Prepared) -> Solutions<'p> {
+        let cancel = self.cancellation();
+        self.solutions_with(prepared, &cancel)
+    }
+
+    /// Like [`QueryEngine::solutions`] with an externally owned
+    /// cancellation handle (e.g. shared with a watchdog thread).
+    pub fn solutions_with<'p>(
+        &'p self,
+        prepared: &'p Prepared,
+        cancel: &Cancellation,
+    ) -> Solutions<'p> {
+        let cancel = cancel.clone();
+        let ctx = self.context(prepared, &cancel);
+        let state = if let Plan::GroupAggregate { spec, input } = &prepared.plan {
+            StreamState::PendingGroups { ctx, spec, input }
+        } else if prepared.ask {
+            StreamState::Ask(Some(ctx.eval(&prepared.plan)))
+        } else {
+            StreamState::Rows {
+                iter: ctx.eval(&prepared.plan),
+                projection: &prepared.projection,
+            }
+        };
+        Solutions {
+            dict: self.store.dictionary(),
+            cancel,
+            columns: &prepared.columns,
+            remaining: self.options.row_limit,
+            state,
+        }
+    }
+
+    /// Executes, materializing every term. Respects the row limit.
+    pub fn execute(&self, prepared: &Prepared) -> Result<QueryResult, Error> {
+        let cancel = self.cancellation();
+        self.execute_with(prepared, &cancel)
+    }
+
+    /// Like [`QueryEngine::execute`] with an external cancellation handle.
+    pub fn execute_with(
+        &self,
+        prepared: &Prepared,
+        cancel: &Cancellation,
+    ) -> Result<QueryResult, Error> {
+        if cancel.should_stop() {
+            return Err(Error::Cancelled);
+        }
+        let ctx = self.context(prepared, cancel);
+        if let Plan::GroupAggregate { spec, input } = &prepared.plan {
+            let rows = ctx.eval_groups(spec, input);
+            if cancel.was_triggered() {
+                return Err(Error::Cancelled);
+            }
+            let mut rows = ctx.sort_and_slice_groups(spec, rows);
+            // Apply the row limit before decoding: discarded rows must not
+            // pay decode cost (the streaming path never decodes them).
+            if let Some(limit) = self.options.row_limit {
+                rows.truncate(limit as usize);
+            }
+            let dict = self.store.dictionary();
+            let rows: Vec<Vec<Option<Term>>> = rows
+                .iter()
+                .map(|row| row.iter().map(|cell| cell.decode(dict)).collect())
+                .collect();
+            return Ok(QueryResult::Solutions {
+                variables: prepared.columns.clone(),
+                rows,
+            });
+        }
+        if prepared.ask {
+            let found = ctx.clone().eval(&prepared.plan).next().is_some();
+            if cancel.was_triggered() {
+                return Err(Error::Cancelled);
+            }
+            return Ok(QueryResult::Boolean(found));
+        }
+        let dict = self.store.dictionary();
+        let limit = self.options.row_limit.map_or(usize::MAX, |l| l as usize);
+        let mut rows: Vec<Vec<Option<Term>>> = Vec::new();
+        for row in ctx.clone().eval(&prepared.plan) {
+            if rows.len() >= limit {
+                break;
+            }
+            rows.push(
+                prepared
+                    .projection
+                    .iter()
+                    .map(|&v| row.get(v).map(|id| dict.decode(id).clone()))
+                    .collect(),
+            );
+        }
+        if cancel.was_triggered() {
+            return Err(Error::Cancelled);
+        }
+        Ok(QueryResult::Solutions {
+            variables: prepared.columns.clone(),
+            rows,
+        })
+    }
+
+    /// Executes, returning only the solution count (ASK → 0/1; aggregate
+    /// queries → number of groups). This path never decodes a term: ORDER
+    /// BY is skipped (sorting preserves cardinality), OFFSET/LIMIT become
+    /// arithmetic, and grouping runs over raw dictionary ids.
+    pub fn count(&self, prepared: &Prepared) -> Result<u64, Error> {
+        let cancel = self.cancellation();
+        self.count_with(prepared, &cancel)
+    }
+
+    /// Like [`QueryEngine::count`] with an external cancellation handle.
+    pub fn count_with(&self, prepared: &Prepared, cancel: &Cancellation) -> Result<u64, Error> {
+        if cancel.should_stop() {
+            return Err(Error::Cancelled);
+        }
+        let ctx = self.context(prepared, cancel);
+        let n = if prepared.ask {
+            u64::from(ctx.clone().eval(&prepared.plan).next().is_some())
+        } else {
+            ctx.count_rows(&prepared.plan)
+        };
+        if cancel.was_triggered() {
+            return Err(Error::Cancelled);
+        }
+        Ok(n)
+    }
+
+    /// One-shot convenience: parse, prepare and execute.
+    pub fn run(&self, text: &str) -> Result<QueryResult, Error> {
+        let prepared = self.prepare(text)?;
+        self.execute(&prepared)
+    }
+}
+
 /// A query prepared against a specific store (constants resolved,
-/// optimizations applied). Reusable across executions.
+/// optimizations applied, physical plan bound). Reusable across
+/// executions of the [`QueryEngine`] that prepared it.
+#[derive(Debug)]
 pub struct Prepared {
     plan: Plan,
-    vars: VarTable,
+    /// Number of pattern variables (the bindings row width).
+    width: usize,
+    /// Projected variable indices (empty for ASK/aggregate).
     projection: Vec<usize>,
-    ask: bool,
-    /// Post-processing for the aggregation extension (GROUP BY + COUNT).
-    aggregation: Option<Aggregation>,
-}
-
-/// Grouping/counting specification, applied after plan evaluation.
-struct Aggregation {
-    /// Group-key variable indices (empty = one implicit group).
-    group_vars: Vec<usize>,
-    /// `(target var, distinct)` per COUNT; target `None` = `COUNT(*)`.
-    counts: Vec<(Option<usize>, bool)>,
-    /// Output column names: group-by names then aliases.
+    /// Output column names.
     columns: Vec<String>,
-    /// Output-column order keys `(column, descending)`.
-    order_by: Vec<(usize, bool)>,
-    offset: u64,
-    limit: Option<u64>,
+    ask: bool,
 }
 
-/// Result of a query.
+impl Prepared {
+    /// The physical plan (diagnostics, tests).
+    pub fn plan(&self) -> &Plan {
+        &self.plan
+    }
+
+    /// Output column names (projected variables, or group keys followed by
+    /// aggregate aliases; empty for ASK).
+    pub fn variables(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// True for ASK queries.
+    pub fn is_ask(&self) -> bool {
+        self.ask
+    }
+
+    /// True when the plan root is the GroupAggregate operator.
+    pub fn is_aggregate(&self) -> bool {
+        matches!(self.plan, Plan::GroupAggregate { .. })
+    }
+}
+
+/// Result of a materializing execution.
 #[derive(Debug, Clone, PartialEq)]
 pub enum QueryResult {
-    /// SELECT: variable names + rows of optional terms.
+    /// SELECT (or aggregate): column names + rows of optional terms.
     Solutions {
-        /// Projected variable names.
+        /// Output column names.
         variables: Vec<String>,
         /// Result rows aligned with `variables`.
         rows: Vec<Vec<Option<Term>>>,
@@ -80,11 +439,25 @@ pub enum QueryResult {
 }
 
 impl QueryResult {
-    /// Number of solutions (1 for ASK, counting the boolean itself).
+    /// Number of solutions, *counting an ASK boolean as one solution* —
+    /// even `Boolean(false)` has `len() == 1`, because the answer itself
+    /// is the solution. Use [`QueryResult::row_count`] for the value that
+    /// agrees with [`QueryEngine::count`], and [`QueryResult::as_bool`]
+    /// for the ASK answer.
     pub fn len(&self) -> usize {
         match self {
             QueryResult::Solutions { rows, .. } => rows.len(),
             QueryResult::Boolean(_) => 1,
+        }
+    }
+
+    /// Number of result rows: SELECT row count; ASK → 1 if `true`, else 0.
+    /// Always equals what [`QueryEngine::count`] reports for the same
+    /// query (absent a row limit).
+    pub fn row_count(&self) -> usize {
+        match self {
+            QueryResult::Solutions { rows, .. } => rows.len(),
+            QueryResult::Boolean(b) => usize::from(*b),
         }
     }
 
@@ -102,300 +475,204 @@ impl QueryResult {
     }
 }
 
-impl Prepared {
-    /// Prepares a parsed query against a store.
-    pub fn new(query: &Query, store: &dyn TripleStore, cfg: &OptimizerConfig) -> Prepared {
-        if query.is_aggregate() {
-            return Self::new_aggregate(query, store, cfg);
-        }
-        let translated = translate(query);
-        let needed: Vec<usize> = translated.projection.clone();
-        let algebra: Algebra = optimize(translated.algebra, store, cfg, &needed);
-        Prepared {
-            plan: bind(&algebra, store),
-            vars: translated.vars,
-            projection: translated.projection,
-            ask: translated.ask,
-            aggregation: None,
-        }
+/// A streaming result set: pulls rows out of the evaluator one at a time.
+/// Memory stays bounded by the plan (no result-set materialization), and
+/// a triggered cancellation surfaces as a single `Err(Error::Cancelled)`
+/// item followed by end-of-stream.
+pub struct Solutions<'a> {
+    dict: &'a Dictionary,
+    cancel: Cancellation,
+    columns: &'a [String],
+    remaining: Option<u64>,
+    state: StreamState<'a>,
+}
+
+enum StreamState<'a> {
+    /// SELECT: lazy bindings stream + projection map.
+    Rows {
+        iter: RowIter<'a>,
+        projection: &'a [usize],
+    },
+    /// Aggregate: grouping deferred until the first pull.
+    PendingGroups {
+        ctx: EvalContext<'a>,
+        spec: &'a GroupSpec,
+        input: &'a Plan,
+    },
+    /// Aggregate: ordered output rows.
+    Groups(std::vec::IntoIter<AggRow>),
+    /// ASK: pending probe — yields one empty solution when `true`.
+    Ask(Option<RowIter<'a>>),
+    /// Exhausted (end of stream, row limit hit, or error delivered).
+    Done,
+}
+
+impl<'a> Solutions<'a> {
+    /// Output column names.
+    pub fn variables(&self) -> &'a [String] {
+        self.columns
     }
 
-    /// Aggregation extension: evaluate the pattern with the group/target
-    /// variables projected, then group and count in a post-pass.
-    fn new_aggregate(
-        query: &Query,
-        store: &dyn TripleStore,
-        cfg: &OptimizerConfig,
-    ) -> Prepared {
-        // Inner query: same pattern, projection = group keys + count
-        // targets, no modifiers (they apply to the aggregated output).
-        let mut inner_vars: Vec<String> = query.group_by.clone();
-        for agg in &query.aggregates {
-            if let Some(v) = &agg.target {
-                if !inner_vars.contains(v) {
-                    inner_vars.push(v.clone());
-                }
+    /// The cancellation handle driving this stream (e.g. to hand to a
+    /// watchdog thread).
+    pub fn cancellation(&self) -> &Cancellation {
+        &self.cancel
+    }
+}
+
+impl<'a> Iterator for Solutions<'a> {
+    type Item = Result<Solution<'a>, Error>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if matches!(self.state, StreamState::Done) {
+            return None;
+        }
+        if self.remaining == Some(0) {
+            self.state = StreamState::Done;
+            return None;
+        }
+        // Cooperative stop between rows (evaluation also checks inside
+        // operators; this catches pre-triggered handles and deadlines that
+        // pass while the consumer holds the stream).
+        if self.cancel.should_stop() {
+            self.state = StreamState::Done;
+            return Some(Err(Error::Cancelled));
+        }
+        // ASK: a single probe decides everything.
+        if matches!(self.state, StreamState::Ask(_)) {
+            let StreamState::Ask(iter) = std::mem::replace(&mut self.state, StreamState::Done)
+            else {
+                unreachable!()
+            };
+            let found = iter.into_iter().flatten().next().is_some();
+            if self.cancel.was_triggered() {
+                return Some(Err(Error::Cancelled));
             }
+            return found.then_some(Ok(Solution {
+                dict: self.dict,
+                row: SolutionRow::Empty,
+            }));
         }
-        let inner = Query {
-            form: crate::ast::QueryForm::Select { distinct: false, variables: inner_vars },
-            aggregates: Vec::new(),
-            group_by: Vec::new(),
-            pattern: query.pattern.clone(),
-            order_by: Vec::new(),
-            limit: None,
-            offset: None,
-        };
-        let translated = translate(&inner);
-        let needed: Vec<usize> = translated.projection.clone();
-        let algebra: Algebra = optimize(translated.algebra, store, cfg, &needed);
-
-        let group_vars: Vec<usize> = query
-            .group_by
-            .iter()
-            .map(|v| translated.vars.lookup(v).expect("group var in pattern"))
-            .collect();
-        let counts: Vec<(Option<usize>, bool)> = query
-            .aggregates
-            .iter()
-            .map(|a| {
-                (
-                    a.target.as_ref().map(|v| {
-                        translated.vars.lookup(v).expect("count target in pattern")
-                    }),
-                    a.distinct,
-                )
-            })
-            .collect();
-        let mut columns: Vec<String> = query.group_by.clone();
-        columns.extend(query.aggregates.iter().map(|a| a.alias.clone()));
-        // Output-column ORDER BY: keys must name a group var or an alias.
-        let order_by: Vec<(usize, bool)> = query
-            .order_by
-            .iter()
-            .filter_map(|k| match &k.expression {
-                crate::ast::Expression::Var(v) => columns
-                    .iter()
-                    .position(|c| c == v)
-                    .map(|col| (col, k.descending)),
-                _ => None,
-            })
-            .collect();
-
-        Prepared {
-            plan: bind(&algebra, store),
-            vars: translated.vars,
-            projection: translated.projection,
-            ask: false,
-            aggregation: Some(Aggregation {
-                group_vars,
-                counts,
-                columns,
-                order_by,
-                offset: query.offset.unwrap_or(0),
-                limit: query.limit,
-            }),
-        }
-    }
-
-    /// Parses and prepares in one step.
-    pub fn parse(text: &str, store: &dyn TripleStore, cfg: &OptimizerConfig) -> Result<Prepared, Error> {
-        let query = parse(text)?;
-        Ok(Prepared::new(&query, store, cfg))
-    }
-
-    /// The physical plan (diagnostics, tests).
-    pub fn plan(&self) -> &Plan {
-        &self.plan
-    }
-
-    /// Projected variable names.
-    pub fn variables(&self) -> Vec<String> {
-        self.projection.iter().map(|&i| self.vars.name(i).to_owned()).collect()
-    }
-
-    /// Executes, materializing terms. `cancel` aborts evaluation
-    /// cooperatively; on trigger the result is [`Error::Cancelled`].
-    pub fn execute(
-        &self,
-        store: &dyn TripleStore,
-        cancel: &Cancellation,
-    ) -> Result<QueryResult, Error> {
-        if let Some(agg) = &self.aggregation {
-            return self.execute_aggregate(store, cancel, agg);
-        }
-        if self.ask {
-            let found = self.raw_rows(store, cancel).next().is_some();
-            if cancel.was_triggered() {
-                return Err(Error::Cancelled);
+        // Aggregates group on the first pull (cancellation-checked per
+        // input row inside the operator).
+        if matches!(self.state, StreamState::PendingGroups { .. }) {
+            let StreamState::PendingGroups { ctx, spec, input } =
+                std::mem::replace(&mut self.state, StreamState::Done)
+            else {
+                unreachable!()
+            };
+            let rows = ctx.eval_groups(spec, input);
+            if self.cancel.was_triggered() {
+                return Some(Err(Error::Cancelled));
             }
-            return Ok(QueryResult::Boolean(found));
+            let rows = ctx.sort_and_slice_groups(spec, rows);
+            self.state = StreamState::Groups(rows.into_iter());
         }
-        let dict = store.dictionary();
-        let mut rows: Vec<Vec<Option<Term>>> = Vec::new();
-        for row in self.raw_rows(store, cancel) {
-            rows.push(
-                self.projection
-                    .iter()
-                    .map(|&v| row.get(v).map(|id| dict.decode(id).clone()))
-                    .collect(),
-            );
-        }
-        if cancel.was_triggered() {
-            return Err(Error::Cancelled);
-        }
-        Ok(QueryResult::Solutions { variables: self.variables(), rows })
-    }
-
-    /// Executes, returning only the solution count (ASK → 0/1; aggregate
-    /// queries → number of groups). Avoids term materialization — the
-    /// Table V result-size harness uses this.
-    pub fn count(
-        &self,
-        store: &dyn TripleStore,
-        cancel: &Cancellation,
-    ) -> Result<u64, Error> {
-        if self.aggregation.is_some() {
-            return self.execute(store, cancel).map(|r| r.len() as u64);
-        }
-        let n = if self.ask {
-            u64::from(self.raw_rows(store, cancel).next().is_some())
-        } else {
-            self.raw_rows(store, cancel).count() as u64
-        };
-        if cancel.was_triggered() {
-            return Err(Error::Cancelled);
-        }
-        Ok(n)
-    }
-
-    /// Grouping/counting post-pass of the aggregation extension.
-    fn execute_aggregate(
-        &self,
-        store: &dyn TripleStore,
-        cancel: &Cancellation,
-        agg: &Aggregation,
-    ) -> Result<QueryResult, Error> {
-        use std::collections::{HashMap, HashSet};
-
-        struct GroupState {
-            plain: Vec<u64>,
-            distinct: Vec<HashSet<Option<sp2b_store::Id>>>,
-        }
-
-        let mut groups: HashMap<Vec<Option<sp2b_store::Id>>, GroupState> = HashMap::new();
-        for row in self.raw_rows(store, cancel) {
-            let key: Vec<Option<sp2b_store::Id>> =
-                agg.group_vars.iter().map(|&v| row.get(v)).collect();
-            let state = groups.entry(key).or_insert_with(|| GroupState {
-                plain: vec![0; agg.counts.len()],
-                distinct: vec![HashSet::new(); agg.counts.len()],
-            });
-            for (i, (target, distinct)) in agg.counts.iter().enumerate() {
-                let value = match target {
-                    // COUNT(?v) counts rows where ?v is bound.
-                    Some(v) => row.get(*v).map(Some),
-                    // COUNT(*) counts every row.
-                    None => Some(None),
-                };
-                if let Some(value) = value {
-                    if *distinct {
-                        state.distinct[i].insert(value);
-                    } else {
-                        state.plain[i] += 1;
-                    }
-                }
-            }
-        }
-        if cancel.was_triggered() {
-            return Err(Error::Cancelled);
-        }
-        // SPARQL 1.1: with no GROUP BY, an empty input still yields one
-        // group of zero counts.
-        if groups.is_empty() && agg.group_vars.is_empty() {
-            groups.insert(
-                Vec::new(),
-                GroupState {
-                    plain: vec![0; agg.counts.len()],
-                    distinct: vec![HashSet::new(); agg.counts.len()],
+        let item = match &mut self.state {
+            StreamState::Rows { iter, projection } => iter.next().map(|bindings| Solution {
+                dict: self.dict,
+                row: SolutionRow::Bindings {
+                    bindings,
+                    projection,
                 },
-            );
-        }
-
-        let dict = store.dictionary();
-        let mut rows: Vec<Vec<Option<Term>>> = groups
-            .into_iter()
-            .map(|(key, state)| {
-                let mut row: Vec<Option<Term>> = key
-                    .iter()
-                    .map(|id| id.map(|id| dict.decode(id).clone()))
-                    .collect();
-                for (i, (_, distinct)) in agg.counts.iter().enumerate() {
-                    let n = if *distinct {
-                        state.distinct[i].len() as u64
-                    } else {
-                        state.plain[i]
-                    };
-                    row.push(Some(Term::Literal(sp2b_rdf::Literal::integer(n as i64))));
-                }
-                row
-            })
-            .collect();
-
-        // Deterministic output: explicit ORDER BY keys first, then the
-        // full row as a tiebreaker.
-        rows.sort_by(|a, b| {
-            for &(col, desc) in &agg.order_by {
-                let ord = compare_cells(&a[col], &b[col]);
-                let ord = if desc { ord.reverse() } else { ord };
-                if ord != std::cmp::Ordering::Equal {
-                    return ord;
-                }
+            }),
+            StreamState::Groups(rows) => rows.next().map(|cells| Solution {
+                dict: self.dict,
+                row: SolutionRow::Cells(cells),
+            }),
+            StreamState::Done | StreamState::Ask(_) | StreamState::PendingGroups { .. } => {
+                unreachable!()
             }
-            a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal)
-        });
-        let rows: Vec<_> = rows
-            .into_iter()
-            .skip(agg.offset as usize)
-            .take(agg.limit.map_or(usize::MAX, |l| l as usize))
-            .collect();
-        Ok(QueryResult::Solutions { variables: agg.columns.clone(), rows })
-    }
-
-    fn raw_rows<'a>(
-        &'a self,
-        store: &'a dyn TripleStore,
-        cancel: &'a Cancellation,
-    ) -> impl Iterator<Item = Bindings> + 'a {
-        let ctx = EvalContext { store, cancel, width: self.vars.len() };
-        ctx.eval(&self.plan)
-    }
-}
-
-/// Orders two result cells: unbound first, integers numerically, then the
-/// term total order.
-fn compare_cells(a: &Option<Term>, b: &Option<Term>) -> std::cmp::Ordering {
-    match (a, b) {
-        (None, None) => std::cmp::Ordering::Equal,
-        (None, Some(_)) => std::cmp::Ordering::Less,
-        (Some(_), None) => std::cmp::Ordering::Greater,
-        (Some(x), Some(y)) => x.cmp(y),
+        };
+        if self.cancel.was_triggered() {
+            self.state = StreamState::Done;
+            return Some(Err(Error::Cancelled));
+        }
+        match item {
+            Some(solution) => {
+                if let Some(r) = &mut self.remaining {
+                    *r -= 1;
+                }
+                Some(Ok(solution))
+            }
+            None => {
+                self.state = StreamState::Done;
+                None
+            }
+        }
     }
 }
 
-/// One-shot convenience: parse, prepare, and execute with optional timeout.
-pub fn execute_query(
-    store: &dyn TripleStore,
-    text: &str,
-    cfg: &OptimizerConfig,
-    timeout: Option<Duration>,
-) -> Result<QueryResult, Error> {
-    let prepared = Prepared::parse(text, store, cfg)?;
-    let cancel = match timeout {
-        Some(t) => Cancellation::with_deadline(Instant::now() + t),
-        None => Cancellation::none(),
-    };
-    prepared.execute(store, &cancel)
+/// One solution row, decoded lazily: reading a column decodes exactly that
+/// column. Consumers that never read a column never pay for its term.
+pub struct Solution<'a> {
+    dict: &'a Dictionary,
+    row: SolutionRow<'a>,
+}
+
+enum SolutionRow<'a> {
+    /// A projected pattern row (terms still dictionary ids).
+    Bindings {
+        bindings: Bindings,
+        projection: &'a [usize],
+    },
+    /// An aggregated row (group keys as ids, counts as computed values).
+    Cells(AggRow),
+    /// The ASK witness (no columns).
+    Empty,
+}
+
+impl Solution<'_> {
+    /// Number of output columns.
+    pub fn len(&self) -> usize {
+        match &self.row {
+            SolutionRow::Bindings { projection, .. } => projection.len(),
+            SolutionRow::Cells(cells) => cells.len(),
+            SolutionRow::Empty => 0,
+        }
+    }
+
+    /// True for a zero-column row (the ASK witness).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Decodes column `i` (`None` when unbound or out of range).
+    pub fn get(&self, i: usize) -> Option<Term> {
+        match &self.row {
+            SolutionRow::Bindings {
+                bindings,
+                projection,
+            } => projection
+                .get(i)
+                .and_then(|&v| bindings.get(v))
+                .map(|id| self.dict.decode(id).clone()),
+            SolutionRow::Cells(cells) => cells.get(i)?.decode(self.dict),
+            SolutionRow::Empty => None,
+        }
+    }
+
+    /// The dictionary id of column `i` without decoding — `None` when
+    /// unbound, out of range, or a computed value (COUNT columns have no
+    /// dictionary id).
+    pub fn id(&self, i: usize) -> Option<Id> {
+        match &self.row {
+            SolutionRow::Bindings {
+                bindings,
+                projection,
+            } => projection.get(i).and_then(|&v| bindings.get(v)),
+            SolutionRow::Cells(cells) => match cells.get(i) {
+                Some(AggCell::Key(id)) => Some(*id),
+                _ => None,
+            },
+            SolutionRow::Empty => None,
+        }
+    }
+
+    /// Decodes the whole row.
+    pub fn materialize(&self) -> Vec<Option<Term>> {
+        (0..self.len()).map(|i| self.get(i)).collect()
+    }
 }
 
 #[cfg(test)]
@@ -419,71 +696,167 @@ mod tests {
     #[test]
     fn execute_select() {
         let s = store();
-        let r = execute_query(
-            &s,
-            "SELECT ?v WHERE { ?s <http://x/value> ?v FILTER (?v >= 7) }",
-            &OptimizerConfig::full(),
-            None,
-        )
-        .unwrap();
+        let r = QueryEngine::new(&s)
+            .run("SELECT ?v WHERE { ?s <http://x/value> ?v FILTER (?v >= 7) }")
+            .unwrap();
         assert_eq!(r.len(), 3);
     }
 
     #[test]
     fn execute_ask() {
         let s = store();
-        let yes = execute_query(
-            &s,
-            "ASK { ?s <http://x/value> 5 }",
-            &OptimizerConfig::default(),
-            None,
-        )
-        .unwrap();
+        let engine = QueryEngine::new(&s).optimizer(OptimizerConfig::default());
+        let yes = engine.run("ASK { ?s <http://x/value> 5 }").unwrap();
         assert_eq!(yes.as_bool(), Some(true));
-        let no = execute_query(
-            &s,
-            "ASK { ?s <http://x/value> 99 }",
-            &OptimizerConfig::default(),
-            None,
-        )
-        .unwrap();
+        let no = engine.run("ASK { ?s <http://x/value> 99 }").unwrap();
         assert_eq!(no.as_bool(), Some(false));
     }
 
     #[test]
-    fn count_matches_execute() {
+    fn ask_len_vs_row_count() {
+        // The historical surprise, now documented and split: `len()`
+        // counts the boolean itself (always 1), `row_count()` agrees with
+        // `count()` (1 for yes, 0 for no).
         let s = store();
-        let p = Prepared::parse(
-            "SELECT ?v WHERE { ?s <http://x/value> ?v }",
-            &s,
-            &OptimizerConfig::default(),
-        )
-        .unwrap();
-        let cancel = Cancellation::none();
-        assert_eq!(p.count(&s, &cancel).unwrap(), 10);
-        assert_eq!(p.execute(&s, &cancel).unwrap().len(), 10);
+        let engine = QueryEngine::new(&s);
+        let no = engine.run("ASK { ?s <http://x/value> 99 }").unwrap();
+        assert_eq!(no.len(), 1);
+        assert_eq!(no.row_count(), 0);
+        let p = engine.prepare("ASK { ?s <http://x/value> 99 }").unwrap();
+        assert_eq!(engine.count(&p).unwrap(), 0);
+        let yes = engine.run("ASK { ?s <http://x/value> 5 }").unwrap();
+        assert_eq!(yes.len(), 1);
+        assert_eq!(yes.row_count(), 1);
+    }
+
+    #[test]
+    fn count_matches_execute_and_stream() {
+        let s = store();
+        let engine = QueryEngine::new(&s).optimizer(OptimizerConfig::default());
+        let p = engine
+            .prepare("SELECT ?v WHERE { ?s <http://x/value> ?v }")
+            .unwrap();
+        assert_eq!(engine.count(&p).unwrap(), 10);
+        assert_eq!(engine.execute(&p).unwrap().len(), 10);
+        assert_eq!(engine.solutions(&p).count(), 10);
+    }
+
+    #[test]
+    fn streaming_rows_decode_lazily() {
+        let s = store();
+        let engine = QueryEngine::new(&s);
+        let p = engine
+            .prepare("SELECT ?s ?v WHERE { ?s <http://x/value> ?v FILTER (?v = 3) }")
+            .unwrap();
+        let mut stream = engine.solutions(&p);
+        let row = stream.next().unwrap().unwrap();
+        assert_eq!(row.len(), 2);
+        assert_eq!(row.get(0), Some(Term::iri("http://x/s3")));
+        assert!(row.id(0).is_some(), "ids are readable without decoding");
+        assert!(stream.next().is_none());
+    }
+
+    #[test]
+    fn row_limit_caps_delivery_not_count() {
+        let s = store();
+        let engine = QueryEngine::new(&s).row_limit(4);
+        let p = engine
+            .prepare("SELECT ?v WHERE { ?s <http://x/value> ?v }")
+            .unwrap();
+        assert_eq!(engine.execute(&p).unwrap().len(), 4);
+        assert_eq!(engine.solutions(&p).count(), 4);
+        assert_eq!(
+            engine.count(&p).unwrap(),
+            10,
+            "count reports true cardinality"
+        );
     }
 
     #[test]
     fn cancelled_query_errors() {
         let s = store();
-        let p = Prepared::parse(
-            "SELECT ?a ?b WHERE { ?a <http://x/value> ?x . ?b <http://x/value> ?y }",
-            &s,
-            &OptimizerConfig::default(),
-        )
-        .unwrap();
+        let engine = QueryEngine::new(&s).optimizer(OptimizerConfig::default());
+        let p = engine
+            .prepare("SELECT ?a ?b WHERE { ?a <http://x/value> ?x . ?b <http://x/value> ?y }")
+            .unwrap();
         let cancel = Cancellation::none();
         cancel.cancel();
-        assert!(matches!(p.execute(&s, &cancel), Err(Error::Cancelled)));
+        assert!(matches!(
+            engine.execute_with(&p, &cancel),
+            Err(Error::Cancelled)
+        ));
+        assert!(matches!(
+            engine.count_with(&p, &cancel),
+            Err(Error::Cancelled)
+        ));
+        let mut stream = engine.solutions_with(&p, &cancel);
+        assert!(matches!(stream.next(), Some(Err(Error::Cancelled))));
+        assert!(stream.next().is_none(), "error terminates the stream");
     }
 
     #[test]
     fn parse_error_surfaces() {
         let s = store();
         assert!(matches!(
-            execute_query(&s, "SELECT WHERE", &OptimizerConfig::default(), None),
+            QueryEngine::new(&s).run("SELECT WHERE"),
             Err(Error::Parse(_))
         ));
+    }
+
+    #[test]
+    fn unbound_group_variable_is_an_error_not_a_panic() {
+        let s = store();
+        let engine = QueryEngine::new(&s);
+        // ?g never occurs in the pattern.
+        let err = engine
+            .prepare("SELECT ?g (COUNT(*) AS ?n) WHERE { ?s <http://x/value> ?v } GROUP BY ?g")
+            .unwrap_err();
+        assert!(
+            matches!(err, Error::UnboundVariable(ref v) if v == "g"),
+            "{err}"
+        );
+        // Same for a COUNT target.
+        let err = engine
+            .prepare("SELECT (COUNT(?nope) AS ?n) WHERE { ?s <http://x/value> ?v }")
+            .unwrap_err();
+        assert!(
+            matches!(err, Error::UnboundVariable(ref v) if v == "nope"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn aggregate_runs_through_plan_operator() {
+        let s = store();
+        let engine = QueryEngine::new(&s);
+        let p = engine
+            .prepare("SELECT (COUNT(*) AS ?n) WHERE { ?s <http://x/value> ?v }")
+            .unwrap();
+        assert!(p.is_aggregate(), "plan root must be GroupAggregate");
+        let QueryResult::Solutions { rows, .. } = engine.execute(&p).unwrap() else {
+            panic!()
+        };
+        assert_eq!(rows, vec![vec![Some(Term::Literal(Literal::integer(10)))]]);
+        assert_eq!(engine.count(&p).unwrap(), 1, "one group");
+        let streamed: Vec<_> = engine
+            .solutions(&p)
+            .map(|s| s.unwrap().materialize())
+            .collect();
+        assert_eq!(
+            streamed,
+            vec![vec![Some(Term::Literal(Literal::integer(10)))]]
+        );
+    }
+
+    #[test]
+    fn timeout_in_options_cancels() {
+        let s = store();
+        let engine = QueryEngine::new(&s)
+            .optimizer(OptimizerConfig::default())
+            .timeout(Duration::ZERO);
+        let p = engine
+            .prepare("SELECT ?a ?b WHERE { ?a <http://x/value> ?x . ?b <http://x/value> ?y }")
+            .unwrap();
+        assert!(matches!(engine.execute(&p), Err(Error::Cancelled)));
     }
 }

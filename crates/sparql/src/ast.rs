@@ -130,9 +130,7 @@ impl Expression {
                 }
                 Expression::Constant(_) => {}
                 Expression::Not(inner) => walk(inner, out),
-                Expression::And(a, b)
-                | Expression::Or(a, b)
-                | Expression::Compare(_, a, b) => {
+                Expression::And(a, b) | Expression::Or(a, b) | Expression::Compare(_, a, b) => {
                     walk(a, out);
                     walk(b, out);
                 }

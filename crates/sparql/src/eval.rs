@@ -11,10 +11,13 @@
 //! detaching runaway threads.
 
 use std::sync::atomic::{AtomicBool, Ordering as AtomicOrdering};
+use std::sync::Arc;
 use std::time::Instant;
 
-use sp2b_store::{Id, IdTriple, TripleStore};
+use sp2b_rdf::{Literal, Term};
+use sp2b_store::{Dictionary, Id, IdTriple, TripleStore};
 
+use crate::algebra::GroupSpec;
 use crate::expr::BoundExpr;
 use crate::plan::{Plan, PlanOrderKey, PlanPattern, PlanSlot};
 
@@ -74,8 +77,17 @@ impl Bindings {
 }
 
 /// Cooperative cancellation: a deadline and/or an external flag.
-#[derive(Debug, Default)]
+///
+/// Clones share one state (`Clone` is an `Arc` bump), so a streaming
+/// [`crate::Solutions`] iterator can *own* its cancellation handle while a
+/// watchdog thread holds another — no scoped borrows required.
+#[derive(Debug, Clone, Default)]
 pub struct Cancellation {
+    state: Arc<CancelState>,
+}
+
+#[derive(Debug, Default)]
+struct CancelState {
     deadline: Option<Instant>,
     flag: AtomicBool,
     triggered: AtomicBool,
@@ -89,24 +101,29 @@ impl Cancellation {
 
     /// Cancels when `deadline` passes.
     pub fn with_deadline(deadline: Instant) -> Self {
-        Cancellation { deadline: Some(deadline), ..Default::default() }
+        Cancellation {
+            state: Arc::new(CancelState {
+                deadline: Some(deadline),
+                ..Default::default()
+            }),
+        }
     }
 
-    /// Requests cancellation from another thread.
+    /// Requests cancellation (observed by every clone).
     pub fn cancel(&self) {
-        self.flag.store(true, AtomicOrdering::Relaxed);
+        self.state.flag.store(true, AtomicOrdering::Relaxed);
     }
 
     /// Checks whether evaluation should stop (records the trigger).
     #[inline]
     pub fn should_stop(&self) -> bool {
-        if self.triggered.load(AtomicOrdering::Relaxed) {
+        if self.state.triggered.load(AtomicOrdering::Relaxed) {
             return true;
         }
-        let hit = self.flag.load(AtomicOrdering::Relaxed)
-            || self.deadline.is_some_and(|d| Instant::now() >= d);
+        let hit = self.state.flag.load(AtomicOrdering::Relaxed)
+            || self.state.deadline.is_some_and(|d| Instant::now() >= d);
         if hit {
-            self.triggered.store(true, AtomicOrdering::Relaxed);
+            self.state.triggered.store(true, AtomicOrdering::Relaxed);
         }
         hit
     }
@@ -114,18 +131,19 @@ impl Cancellation {
     /// Whether a stop was ever triggered (distinguishes "stream ended"
     /// from "stream aborted" after evaluation).
     pub fn was_triggered(&self) -> bool {
-        self.triggered.load(AtomicOrdering::Relaxed)
+        self.state.triggered.load(AtomicOrdering::Relaxed)
     }
 }
 
-/// Evaluation context: store + cancellation + row width. `Copy` so the
-/// lazy iterators capture it by value.
-#[derive(Clone, Copy)]
+/// Evaluation context: store + cancellation + row width. Cloning is cheap
+/// (a reference copy plus an `Arc` bump), so the lazy iterators capture it
+/// by value.
+#[derive(Clone)]
 pub struct EvalContext<'a> {
     /// The store being queried.
     pub store: &'a dyn TripleStore,
     /// Cancellation control.
-    pub cancel: &'a Cancellation,
+    pub cancel: Cancellation,
     /// Number of variables (row width).
     pub width: usize,
 }
@@ -138,16 +156,23 @@ impl<'a> EvalContext<'a> {
     pub fn eval(self, plan: &'a Plan) -> RowIter<'a> {
         match plan {
             Plan::Bgp { patterns, filters } => self.eval_bgp(patterns, filters),
-            Plan::Join { left, right, key, check } => {
-                self.eval_join(left, right, key, check)
-            }
-            Plan::LeftJoin { left, right, key, check, condition } => {
-                self.eval_left_join(left, right, key, check, condition.as_ref())
-            }
+            Plan::Join {
+                left,
+                right,
+                key,
+                check,
+            } => self.eval_join(left, right, key, check),
+            Plan::LeftJoin {
+                left,
+                right,
+                key,
+                check,
+                condition,
+            } => self.eval_left_join(left, right, key, check, condition.as_ref()),
             Plan::Union(a, b) => {
+                let this = self.clone();
                 let left = self.eval(a);
                 // Defer building the right side until the left is drained.
-                let this = self;
                 let mut right: Option<RowIter<'a>> = None;
                 let mut left = Some(left);
                 Box::new(std::iter::from_fn(move || loop {
@@ -157,14 +182,14 @@ impl<'a> EvalContext<'a> {
                             None => left = None,
                         }
                     } else {
-                        let r = right.get_or_insert_with(|| this.eval(b));
+                        let r = right.get_or_insert_with(|| this.clone().eval(b));
                         return r.next();
                     }
                 }))
             }
             Plan::Filter(expr, inner) => {
-                let input = self.eval(inner);
                 let store = self.store;
+                let input = self.eval(inner);
                 Box::new(input.filter(move |row| expr.evaluate(row, store) == Ok(true)))
             }
             Plan::Distinct(inner) => {
@@ -173,37 +198,113 @@ impl<'a> EvalContext<'a> {
                 Box::new(input.filter(move |row| seen.insert(row.clone())))
             }
             Plan::Project(vars, inner) => {
-                let input = self.eval(inner);
                 let width = self.width;
-                let vars = vars.clone();
-                Box::new(input.map(move |row| {
-                    let mut out = Bindings::empty(width);
-                    for &v in &vars {
-                        if let Some(val) = row.get(v) {
-                            out.set(v, val);
-                        }
-                    }
-                    out
-                }))
+                let input = self.eval(inner);
+                project_rows(input, vars, width)
             }
             Plan::OrderBy(keys, inner) => {
+                let this = self.clone();
                 let mut rows: Vec<Bindings> = Vec::new();
                 for row in self.eval(inner) {
-                    if self.cancel.should_stop() {
+                    if this.cancel.should_stop() {
                         break;
                     }
                     rows.push(row);
                 }
-                rows.sort_by(|a, b| self.compare_rows(keys, a, b));
+                rows.sort_by(|a, b| this.compare_rows(keys, a, b));
                 Box::new(rows.into_iter())
             }
-            Plan::Slice { offset, limit, input } => {
+            Plan::Slice {
+                offset,
+                limit,
+                input,
+            } => {
                 let it = self.eval(input).skip(*offset as usize);
                 match limit {
                     Some(n) => Box::new(it.take(*n as usize)),
                     None => Box::new(it),
                 }
             }
+            // Aggregation is not a bindings stream: the api layer evaluates
+            // it via [`EvalContext::eval_groups`]. `bind` only ever places
+            // it at the plan root, so a bindings consumer cannot reach it.
+            Plan::GroupAggregate { .. } => {
+                unreachable!("GroupAggregate is evaluated via eval_groups")
+            }
+        }
+    }
+
+    /// Like [`EvalContext::eval`], but elides `ORDER BY` nodes: sorting
+    /// cannot change which rows exist, so order-insensitive consumers
+    /// (counting, DISTINCT-counting) skip the materializing sort — and with
+    /// it every term decode the comparisons would perform.
+    fn eval_unordered(self, plan: &'a Plan) -> RowIter<'a> {
+        match plan {
+            Plan::OrderBy(_, inner) => self.eval_unordered(inner),
+            Plan::Project(vars, inner) => {
+                let width = self.width;
+                project_rows(self.eval_unordered(inner), vars, width)
+            }
+            // The distinct *set* is order-independent, so deduplication
+            // composes with the elided sort.
+            Plan::Distinct(inner) => {
+                let input = self.eval_unordered(inner);
+                let mut seen: FxHashSet<Bindings> = FxHashSet::default();
+                Box::new(input.filter(move |row| seen.insert(row.clone())))
+            }
+            other => self.eval(other),
+        }
+    }
+
+    /// Counts a plan's solutions without materializing or decoding terms:
+    /// `ORDER BY` is skipped (sorting preserves cardinality), `OFFSET` /
+    /// `LIMIT` become arithmetic, and `DISTINCT` deduplicates over raw id
+    /// rows. This is the engine behind [`crate::QueryEngine::count`] and
+    /// the Table V result-size harness.
+    pub fn count_rows(&self, plan: &'a Plan) -> u64 {
+        match plan {
+            Plan::OrderBy(_, inner) | Plan::Project(_, inner) => self.count_rows(inner),
+            Plan::Slice {
+                offset,
+                limit,
+                input,
+            } => {
+                let n = match limit {
+                    // Bounded: pull at most offset+limit rows, exactly like
+                    // the lazy skip/take execution path would — a LIMIT
+                    // query's count must not enumerate the full input.
+                    Some(l) => {
+                        let cap = offset.saturating_add(*l);
+                        self.clone()
+                            .eval_unordered(input)
+                            .take(cap as usize)
+                            .count() as u64
+                    }
+                    None => self.count_rows(input),
+                };
+                n.saturating_sub(*offset)
+            }
+            Plan::Distinct(inner) => {
+                let mut seen: FxHashSet<Bindings> = FxHashSet::default();
+                let mut n = 0;
+                for row in self.clone().eval_unordered(inner) {
+                    if self.cancel.should_stop() {
+                        break;
+                    }
+                    if seen.insert(row) {
+                        n += 1;
+                    }
+                }
+                n
+            }
+            Plan::GroupAggregate { spec, input } => {
+                let n = (self.eval_groups(spec, input).len() as u64).saturating_sub(spec.offset);
+                match spec.limit {
+                    Some(l) => n.min(l),
+                    None => n,
+                }
+            }
+            _ => self.clone().eval(plan).count() as u64,
         }
     }
 
@@ -214,19 +315,15 @@ impl<'a> EvalContext<'a> {
         patterns: &'a [PlanPattern],
         filters: &'a [(usize, BoundExpr)],
     ) -> RowIter<'a> {
-        let mut iter: RowIter<'a> =
-            Box::new(std::iter::once(Bindings::empty(self.width)));
+        let mut iter: RowIter<'a> = Box::new(std::iter::once(Bindings::empty(self.width)));
         for (pos, pattern) in patterns.iter().enumerate() {
-            let this = self;
-            iter = Box::new(
-                iter.flat_map(move |row| PatternBind::new(this, pattern, row)),
-            );
+            let this = self.clone();
+            iter = Box::new(iter.flat_map(move |row| PatternBind::new(this.clone(), pattern, row)));
             for (fpos, filter) in filters {
                 if *fpos == pos {
                     let store = self.store;
-                    iter = Box::new(
-                        iter.filter(move |row| filter.evaluate(row, store) == Ok(true)),
-                    );
+                    iter =
+                        Box::new(iter.filter(move |row| filter.evaluate(row, store) == Ok(true)));
                 }
             }
         }
@@ -238,13 +335,13 @@ impl<'a> EvalContext<'a> {
     /// Materializes a side into a key-indexed map (plus a flat list when
     /// the key is empty).
     fn build_side(
-        self,
+        &self,
         plan: &'a Plan,
         key: &[usize],
     ) -> (FxHashMap<Vec<Id>, Vec<Bindings>>, Vec<Bindings>) {
         let mut map: FxHashMap<Vec<Id>, Vec<Bindings>> = FxHashMap::default();
         let mut flat: Vec<Bindings> = Vec::new();
-        for row in self.eval(plan) {
+        for row in self.clone().eval(plan) {
             if self.cancel.should_stop() {
                 break;
             }
@@ -272,8 +369,8 @@ impl<'a> EvalContext<'a> {
         _check: &'a [usize],
     ) -> RowIter<'a> {
         let (map, flat) = self.build_side(right, key);
+        let this = self.clone();
         let probe = self.eval(left);
-        let this = self;
         Box::new(probe.flat_map(move |l| {
             let mut out: Vec<Bindings> = Vec::new();
             if this.cancel.should_stop() {
@@ -298,8 +395,8 @@ impl<'a> EvalContext<'a> {
         condition: Option<&'a BoundExpr>,
     ) -> RowIter<'a> {
         let (map, flat) = self.build_side(right, key);
+        let this = self.clone();
         let probe = self.eval(left);
-        let this = self;
         Box::new(probe.flat_map(move |l| {
             let mut out: Vec<Bindings> = Vec::new();
             if this.cancel.should_stop() {
@@ -371,6 +468,171 @@ impl<'a> EvalContext<'a> {
         }
         std::cmp::Ordering::Equal
     }
+
+    // -- aggregation ---------------------------------------------------
+
+    /// Evaluates a [`Plan::GroupAggregate`]: streams the input, groups by
+    /// the key variables and computes every COUNT column, checking
+    /// cancellation per input row like every other operator. The output is
+    /// unordered and unsliced — counting consumers need only `len()` plus
+    /// slice arithmetic (no sort, no term decoding), while result delivery
+    /// finishes with [`EvalContext::sort_and_slice_groups`].
+    pub fn eval_groups(&self, spec: &GroupSpec, input: &'a Plan) -> Vec<AggRow> {
+        struct GroupState {
+            plain: Vec<u64>,
+            distinct: Vec<FxHashSet<Option<Id>>>,
+        }
+
+        let mut groups: FxHashMap<Vec<Option<Id>>, GroupState> = FxHashMap::default();
+        for row in self.clone().eval_unordered(input) {
+            if self.cancel.should_stop() {
+                break;
+            }
+            let key: Vec<Option<Id>> = spec.group_vars.iter().map(|&v| row.get(v)).collect();
+            let state = groups.entry(key).or_insert_with(|| GroupState {
+                plain: vec![0; spec.counts.len()],
+                distinct: vec![FxHashSet::default(); spec.counts.len()],
+            });
+            for (i, count) in spec.counts.iter().enumerate() {
+                let value = match count.target {
+                    // COUNT(?v) counts rows where ?v is bound.
+                    Some(v) => row.get(v).map(Some),
+                    // COUNT(*) counts every row.
+                    None => Some(None),
+                };
+                if let Some(value) = value {
+                    if count.distinct {
+                        state.distinct[i].insert(value);
+                    } else {
+                        state.plain[i] += 1;
+                    }
+                }
+            }
+        }
+        // SPARQL 1.1: with no GROUP BY, an empty input still yields one
+        // group of zero counts.
+        if groups.is_empty() && spec.group_vars.is_empty() {
+            groups.insert(
+                Vec::new(),
+                GroupState {
+                    plain: vec![0; spec.counts.len()],
+                    distinct: vec![FxHashSet::default(); spec.counts.len()],
+                },
+            );
+        }
+        groups
+            .into_iter()
+            .map(|(key, state)| {
+                let mut row: AggRow = key
+                    .iter()
+                    .map(|id| match id {
+                        Some(id) => AggCell::Key(*id),
+                        None => AggCell::Unbound,
+                    })
+                    .collect();
+                for (i, count) in spec.counts.iter().enumerate() {
+                    let n = if count.distinct {
+                        state.distinct[i].len() as u64
+                    } else {
+                        state.plain[i]
+                    };
+                    row.push(AggCell::Count(n));
+                }
+                row
+            })
+            .collect()
+    }
+
+    /// Deterministic aggregate output: explicit ORDER BY keys first (term
+    /// values compared through the dictionary, counts numerically), the
+    /// full row as a tiebreaker; then OFFSET/LIMIT.
+    pub fn sort_and_slice_groups(&self, spec: &GroupSpec, mut rows: Vec<AggRow>) -> Vec<AggRow> {
+        let dict = self.store.dictionary();
+        rows.sort_by(|a, b| {
+            for &(col, desc) in &spec.order_by {
+                let ord = compare_agg_cells(dict, &a[col], &b[col]);
+                let ord = if desc { ord.reverse() } else { ord };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            for (x, y) in a.iter().zip(b.iter()) {
+                let ord = compare_agg_cells(dict, x, y);
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        rows.into_iter()
+            .skip(spec.offset as usize)
+            .take(spec.limit.map_or(usize::MAX, |l| l as usize))
+            .collect()
+    }
+}
+
+/// One cell of an aggregated output row (see [`Plan::GroupAggregate`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AggCell {
+    /// Unbound group key.
+    Unbound,
+    /// Bound group-key term, by dictionary id.
+    Key(Id),
+    /// A computed COUNT — a value the dictionary has no id for.
+    Count(u64),
+}
+
+impl AggCell {
+    /// Materializes the cell against a dictionary.
+    pub fn decode(&self, dict: &Dictionary) -> Option<Term> {
+        match self {
+            AggCell::Unbound => None,
+            AggCell::Key(id) => Some(dict.decode(*id).clone()),
+            AggCell::Count(n) => Some(Term::Literal(Literal::integer(*n as i64))),
+        }
+    }
+}
+
+/// An aggregated output row: group keys then counts, in output-column
+/// order.
+pub type AggRow = Vec<AggCell>;
+
+/// Orders two aggregate cells: unbound first, then decoded term order
+/// (counts compare as integer literals, i.e. numerically).
+fn compare_agg_cells(dict: &Dictionary, a: &AggCell, b: &AggCell) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    match (a, b) {
+        (AggCell::Unbound, AggCell::Unbound) => Ordering::Equal,
+        (AggCell::Unbound, _) => Ordering::Less,
+        (_, AggCell::Unbound) => Ordering::Greater,
+        (AggCell::Count(x), AggCell::Count(y)) => x.cmp(y),
+        (AggCell::Key(x), AggCell::Key(y)) => {
+            if x == y {
+                Ordering::Equal
+            } else {
+                dict.decode(*x).cmp(dict.decode(*y))
+            }
+        }
+        (AggCell::Key(x), AggCell::Count(n)) => dict
+            .decode(*x)
+            .cmp(&Term::Literal(Literal::integer(*n as i64))),
+        (AggCell::Count(n), AggCell::Key(y)) => {
+            Term::Literal(Literal::integer(*n as i64)).cmp(dict.decode(*y))
+        }
+    }
+}
+
+/// Keeps only `vars` bound in each row (the Project operator's mapping).
+fn project_rows<'a>(input: RowIter<'a>, vars: &'a [usize], width: usize) -> RowIter<'a> {
+    Box::new(input.map(move |row| {
+        let mut out = Bindings::empty(width);
+        for &v in vars {
+            if let Some(val) = row.get(v) {
+                out.set(v, val);
+            }
+        }
+        out
+    }))
 }
 
 /// Candidate rows for a probe row: the hash bucket plus the flat overflow
@@ -420,7 +682,13 @@ impl<'a> PatternBind<'a> {
         } else {
             ctx.store.scan(store_pattern)
         };
-        PatternBind { ctx, scan, pattern, base, dead }
+        PatternBind {
+            ctx,
+            scan,
+            pattern,
+            base,
+            dead,
+        }
     }
 }
 
@@ -478,7 +746,11 @@ mod tests {
         g.add(p("carol"), i("knows"), t("alice"));
         g.add(p("alice"), i("age"), Term::Literal(Literal::integer(30)));
         g.add(p("bob"), i("age"), Term::Literal(Literal::integer(40)));
-        g.add(p("alice"), i("name"), Term::Literal(Literal::string("Alice")));
+        g.add(
+            p("alice"),
+            i("name"),
+            Term::Literal(Literal::string("Alice")),
+        );
         g
     }
 
@@ -490,12 +762,19 @@ mod tests {
         let t = translate(&parse(query).unwrap());
         let plan = bind(&t.algebra, store);
         let cancel = Cancellation::none();
-        let ctx = EvalContext { store, cancel: &cancel, width: t.vars.len() };
+        let ctx = EvalContext {
+            store,
+            cancel: cancel.clone(),
+            width: t.vars.len(),
+        };
         ctx.eval(&plan)
             .map(|row| {
                 t.projection
                     .iter()
-                    .map(|&v| row.get(v).map(|id| store.dictionary().decode(id).to_string()))
+                    .map(|&v| {
+                        row.get(v)
+                            .map(|id| store.dictionary().decode(id).to_string())
+                    })
                     .collect()
             })
             .collect()
@@ -510,8 +789,9 @@ mod tests {
 
     #[test]
     fn two_pattern_chain() {
-        let rows =
-            run("SELECT ?c WHERE { <http://x/alice> <http://x/knows> ?b . ?b <http://x/knows> ?c }");
+        let rows = run(
+            "SELECT ?c WHERE { <http://x/alice> <http://x/knows> ?b . ?b <http://x/knows> ?c }",
+        );
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0][0].as_deref(), Some("<http://x/carol>"));
     }
@@ -525,9 +805,8 @@ mod tests {
 
     #[test]
     fn optional_keeps_unmatched_rows() {
-        let rows = run(
-            "SELECT ?p ?n WHERE { ?p <http://x/age> ?a OPTIONAL { ?p <http://x/name> ?n } }",
-        );
+        let rows =
+            run("SELECT ?p ?n WHERE { ?p <http://x/age> ?a OPTIONAL { ?p <http://x/name> ?n } }");
         assert_eq!(rows.len(), 2);
         let with_name = rows.iter().filter(|r| r[1].is_some()).count();
         assert_eq!(with_name, 1, "only alice has a name");
@@ -557,9 +836,8 @@ mod tests {
 
     #[test]
     fn union_concatenates() {
-        let rows = run(
-            "SELECT ?x WHERE { { ?x <http://x/age> ?y } UNION { ?x <http://x/name> ?y } }",
-        );
+        let rows =
+            run("SELECT ?x WHERE { { ?x <http://x/age> ?y } UNION { ?x <http://x/name> ?y } }");
         assert_eq!(rows.len(), 3);
     }
 
@@ -571,9 +849,7 @@ mod tests {
 
     #[test]
     fn order_by_with_limit_offset() {
-        let rows = run(
-            "SELECT ?s WHERE { ?s <http://x/knows> ?o } ORDER BY ?s LIMIT 2 OFFSET 1",
-        );
+        let rows = run("SELECT ?s WHERE { ?s <http://x/knows> ?o } ORDER BY ?s LIMIT 2 OFFSET 1");
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0][0].as_deref(), Some("<http://x/bob>"));
         assert_eq!(rows[1][0].as_deref(), Some("<http://x/carol>"));
@@ -582,7 +858,10 @@ mod tests {
     #[test]
     fn order_by_desc() {
         let rows = run("SELECT ?a WHERE { ?p <http://x/age> ?a } ORDER BY DESC(?a)");
-        assert_eq!(rows[0][0].as_deref(), Some("\"40\"^^<http://www.w3.org/2001/XMLSchema#integer>"));
+        assert_eq!(
+            rows[0][0].as_deref(),
+            Some("\"40\"^^<http://www.w3.org/2001/XMLSchema#integer>")
+        );
     }
 
     #[test]
@@ -594,9 +873,7 @@ mod tests {
 
     #[test]
     fn cross_product_when_no_shared_vars() {
-        let rows = run(
-            "SELECT ?a ?b WHERE { { ?a <http://x/age> ?x } { ?b <http://x/name> ?y } }",
-        );
+        let rows = run("SELECT ?a ?b WHERE { { ?a <http://x/age> ?x } { ?b <http://x/name> ?y } }");
         assert_eq!(rows.len(), 2); // 2 ages × 1 name
     }
 
@@ -626,7 +903,11 @@ mod tests {
         let plan = bind(&t.algebra, &store);
         let cancel = Cancellation::none();
         cancel.cancel();
-        let ctx = EvalContext { store: &store, cancel: &cancel, width: t.vars.len() };
+        let ctx = EvalContext {
+            store: &store,
+            cancel: cancel.clone(),
+            width: t.vars.len(),
+        };
         assert_eq!(ctx.eval(&plan).count(), 0);
         assert!(cancel.was_triggered());
     }

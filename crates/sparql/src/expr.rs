@@ -157,9 +157,7 @@ impl BoundExpr {
                 }
                 BoundExpr::Const(..) => {}
                 BoundExpr::Not(a) => walk(a, out),
-                BoundExpr::And(a, b)
-                | BoundExpr::Or(a, b)
-                | BoundExpr::Compare(_, a, b) => {
+                BoundExpr::And(a, b) | BoundExpr::Or(a, b) | BoundExpr::Compare(_, a, b) => {
                     walk(a, out);
                     walk(b, out);
                 }

@@ -86,9 +86,8 @@ pub enum Punct {
 }
 
 const KEYWORDS: &[&str] = &[
-    "SELECT", "ASK", "WHERE", "PREFIX", "DISTINCT", "FILTER", "OPTIONAL", "UNION",
-    "ORDER", "BY", "LIMIT", "OFFSET", "ASC", "DESC", "BOUND", "TRUE", "FALSE",
-    "COUNT", "AS", "GROUP",
+    "SELECT", "ASK", "WHERE", "PREFIX", "DISTINCT", "FILTER", "OPTIONAL", "UNION", "ORDER", "BY",
+    "LIMIT", "OFFSET", "ASC", "DESC", "BOUND", "TRUE", "FALSE", "COUNT", "AS", "GROUP",
 ];
 
 /// Tokenizes a query string.
@@ -97,7 +96,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
     let mut tokens = Vec::new();
     let mut i = 0;
 
-    let err = |offset: usize, message: &str| LexError { offset, message: message.into() };
+    let err = |offset: usize, message: &str| LexError {
+        offset,
+        message: message.into(),
+    };
 
     while i < bytes.len() {
         let b = bytes[i];
@@ -108,14 +110,38 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
                     i += 1;
                 }
             }
-            b'{' => { tokens.push(Token::Punct(Punct::LBrace)); i += 1; }
-            b'}' => { tokens.push(Token::Punct(Punct::RBrace)); i += 1; }
-            b'(' => { tokens.push(Token::Punct(Punct::LParen)); i += 1; }
-            b')' => { tokens.push(Token::Punct(Punct::RParen)); i += 1; }
-            b'.' => { tokens.push(Token::Punct(Punct::Dot)); i += 1; }
-            b';' => { tokens.push(Token::Punct(Punct::Semicolon)); i += 1; }
-            b',' => { tokens.push(Token::Punct(Punct::Comma)); i += 1; }
-            b'*' => { tokens.push(Token::Punct(Punct::Star)); i += 1; }
+            b'{' => {
+                tokens.push(Token::Punct(Punct::LBrace));
+                i += 1;
+            }
+            b'}' => {
+                tokens.push(Token::Punct(Punct::RBrace));
+                i += 1;
+            }
+            b'(' => {
+                tokens.push(Token::Punct(Punct::LParen));
+                i += 1;
+            }
+            b')' => {
+                tokens.push(Token::Punct(Punct::RParen));
+                i += 1;
+            }
+            b'.' => {
+                tokens.push(Token::Punct(Punct::Dot));
+                i += 1;
+            }
+            b';' => {
+                tokens.push(Token::Punct(Punct::Semicolon));
+                i += 1;
+            }
+            b',' => {
+                tokens.push(Token::Punct(Punct::Comma));
+                i += 1;
+            }
+            b'*' => {
+                tokens.push(Token::Punct(Punct::Star));
+                i += 1;
+            }
             b'&' => {
                 if bytes.get(i + 1) == Some(&b'&') {
                     tokens.push(Token::Punct(Punct::AndAnd));
@@ -141,7 +167,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
                     i += 1;
                 }
             }
-            b'=' => { tokens.push(Token::Punct(Punct::Eq)); i += 1; }
+            b'=' => {
+                tokens.push(Token::Punct(Punct::Eq));
+                i += 1;
+            }
             b'<' => {
                 // `<` starts either an IRI ref or a comparison. An IRI ref
                 // contains no whitespace and closes with `>` before any
@@ -258,7 +287,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
                 // Default-prefix name `:local`.
                 let lstart = i + 1;
                 let lend = scan_name(bytes, lstart);
-                tokens.push(Token::PrefixedName(String::new(), input[lstart..lend].to_owned()));
+                tokens.push(Token::PrefixedName(
+                    String::new(),
+                    input[lstart..lend].to_owned(),
+                ));
                 i = lend;
             }
             _ => return Err(err(i, &format!("unexpected byte 0x{b:02x}"))),
@@ -325,7 +357,10 @@ fn scan_string(input: &str, bytes: &[u8], i: usize) -> Result<(String, usize), L
             }
         }
     }
-    Err(LexError { offset: i, message: "unterminated string".into() })
+    Err(LexError {
+        offset: i,
+        message: "unterminated string".into(),
+    })
 }
 
 #[cfg(test)]
@@ -369,8 +404,9 @@ mod tests {
     fn operators_and_logicals() {
         let toks = tokenize("!= && || ! = >= <=").unwrap();
         use Punct::*;
-        let expect: Vec<Token> =
-            [Ne, AndAnd, OrOr, Bang, Eq, Ge, Le].map(Token::Punct).to_vec();
+        let expect: Vec<Token> = [Ne, AndAnd, OrOr, Bang, Eq, Ge, Le]
+            .map(Token::Punct)
+            .to_vec();
         assert_eq!(toks, expect);
     }
 
@@ -396,7 +432,10 @@ mod tests {
     #[test]
     fn comments_are_skipped() {
         let toks = tokenize("SELECT # comment ?x\n?y").unwrap();
-        assert_eq!(toks, vec![Token::Keyword("SELECT".into()), Token::Var("y".into())]);
+        assert_eq!(
+            toks,
+            vec![Token::Keyword("SELECT".into()), Token::Var("y".into())]
+        );
     }
 
     #[test]

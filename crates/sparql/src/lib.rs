@@ -4,28 +4,38 @@
 //! SP²Bench queries (Table II): `SELECT`/`ASK`, basic graph patterns,
 //! `AND` (joins), `OPTIONAL` (left joins with conditions — the
 //! closed-world-negation encoding of Q6/Q7), `UNION`, `FILTER`
-//! (comparisons, boolean connectives, `bound`) and the solution modifiers
-//! `DISTINCT`, `ORDER BY`, `LIMIT`, `OFFSET`.
+//! (comparisons, boolean connectives, `bound`), the solution modifiers
+//! `DISTINCT`, `ORDER BY`, `LIMIT`, `OFFSET`, and the `GROUP BY`/`COUNT`
+//! aggregation extension as a first-class plan operator.
 //!
-//! Pipeline: [`parser::parse`] → [`algebra::translate`] →
-//! [`optimizer::optimize`] → [`plan::bind`] → [`eval::EvalContext::eval`].
-//! The [`api`] module wraps it into [`Prepared`] / [`execute_query`].
+//! Pipeline: [`parser::parse`] → [`algebra::translate_query`] →
+//! [`optimizer::optimize`] → [`plan::bind`] → [`eval::EvalContext`].
+//!
+//! The [`api`] module wraps it into the [`QueryEngine`] facade: prepare a
+//! query once, then stream it ([`QueryEngine::solutions`] yields lazy
+//! [`Solution`] rows that decode terms on demand), materialize it
+//! ([`QueryEngine::execute`]) or count it ([`QueryEngine::count`], which
+//! never decodes a term — the result-size-harness path).
 //!
 //! ```
 //! use sp2b_rdf::{Graph, Iri, Subject, Term};
 //! use sp2b_store::MemStore;
-//! use sp2b_sparql::{execute_query, OptimizerConfig};
+//! use sp2b_sparql::QueryEngine;
 //!
 //! let mut g = Graph::new();
 //! g.add(Subject::iri("http://x/s"), Iri::new("http://x/p"), Term::iri("http://x/o"));
 //! let store = MemStore::from_graph(&g);
-//! let result = execute_query(
-//!     &store,
-//!     "SELECT ?s WHERE { ?s <http://x/p> ?o }",
-//!     &OptimizerConfig::full(),
-//!     None,
-//! ).unwrap();
-//! assert_eq!(result.len(), 1);
+//!
+//! let engine = QueryEngine::new(&store);
+//! let prepared = engine.prepare("SELECT ?s WHERE { ?s <http://x/p> ?o }").unwrap();
+//!
+//! // Counting decodes nothing…
+//! assert_eq!(engine.count(&prepared).unwrap(), 1);
+//! // …streaming decodes only the columns you read…
+//! let first = engine.solutions(&prepared).next().unwrap().unwrap();
+//! assert_eq!(first.get(0), Some(Term::iri("http://x/s")));
+//! // …and execute materializes everything.
+//! assert_eq!(engine.execute(&prepared).unwrap().row_count(), 1);
 //! ```
 
 pub mod algebra;
@@ -38,7 +48,7 @@ pub mod optimizer;
 pub mod parser;
 pub mod plan;
 
-pub use api::{execute_query, Error, Prepared, QueryResult};
+pub use api::{Error, Prepared, QueryEngine, QueryOptions, QueryResult, Solution, Solutions};
 pub use ast::Query;
 pub use eval::{Bindings, Cancellation, EvalContext};
 pub use optimizer::OptimizerConfig;

@@ -78,7 +78,10 @@ fn rewrite(
 ) -> Algebra {
     match algebra {
         Algebra::Filter(expr, inner) => rewrite_filter(expr, *inner, store, cfg, needed),
-        Algebra::Bgp { patterns, inline_filters } => finish_bgp(
+        Algebra::Bgp {
+            patterns,
+            inline_filters,
+        } => finish_bgp(
             patterns,
             inline_filters.into_iter().map(|(_, e)| e).collect(),
             store,
@@ -117,11 +120,23 @@ fn rewrite(
             }
             Algebra::OrderBy(keys, Box::new(rewrite(*inner, store, cfg, needed)))
         }
-        Algebra::Slice { offset, limit, input } => Algebra::Slice {
+        Algebra::Slice {
+            offset,
+            limit,
+            input,
+        } => Algebra::Slice {
             offset,
             limit,
             input: Box::new(rewrite(*input, store, cfg, needed)),
         },
+        Algebra::Group(spec, input) => {
+            // The group keys and count targets are the only variables
+            // observable above the aggregation.
+            extend(needed, spec.group_vars.iter().copied());
+            extend(needed, spec.counts.iter().filter_map(|c| c.target));
+            let input = rewrite(*input, store, cfg, needed);
+            Algebra::Group(spec, Box::new(input))
+        }
     }
 }
 
@@ -152,9 +167,11 @@ fn rewrite_filter(
     }
 
     match inner {
-        Algebra::Bgp { patterns, inline_filters } => {
-            let mut filters: Vec<Expr> =
-                inline_filters.into_iter().map(|(_, e)| e).collect();
+        Algebra::Bgp {
+            patterns,
+            inline_filters,
+        } => {
+            let mut filters: Vec<Expr> = inline_filters.into_iter().map(|(_, e)| e).collect();
             filters.extend(expr.conjuncts());
             finish_bgp(patterns, filters, store, cfg, needed)
         }
@@ -230,7 +247,11 @@ fn distribute(
             stay.push(c);
         }
     }
-    (Expr::fold_and(into_a), Expr::fold_and(into_b), Expr::fold_and(stay))
+    (
+        Expr::fold_and(into_a),
+        Expr::fold_and(into_b),
+        Expr::fold_and(stay),
+    )
 }
 
 /// Applies substitution, reordering and inline-filter placement to a BGP
@@ -281,8 +302,7 @@ fn finish_bgp(
 
     for c in remaining {
         let vars = c.variables();
-        let current_vars: Vec<usize> =
-            patterns.iter().flat_map(|p| p.variables()).collect();
+        let current_vars: Vec<usize> = patterns.iter().flat_map(|p| p.variables()).collect();
         if cfg.push_filters && vars.iter().all(|v| current_vars.contains(v)) {
             pushable.push(c);
         } else {
@@ -311,7 +331,10 @@ fn finish_bgp(
         inline.push((pos, c));
     }
 
-    let bgp = Algebra::Bgp { patterns, inline_filters: inline };
+    let bgp = Algebra::Bgp {
+        patterns,
+        inline_filters: inline,
+    };
     match Expr::fold_and(residual) {
         Some(e) => Algebra::Filter(e, Box::new(bgp)),
         None => bgp,
@@ -421,7 +444,10 @@ mod tests {
         match alg {
             Algebra::Project(_, inner) | Algebra::Distinct(inner) => bgp_of(inner),
             Algebra::Filter(_, inner) => bgp_of(inner),
-            Algebra::Bgp { patterns, inline_filters } => (patterns, inline_filters),
+            Algebra::Bgp {
+                patterns,
+                inline_filters,
+            } => (patterns, inline_filters),
             other => panic!("no BGP in {other:?}"),
         }
     }
@@ -429,14 +455,15 @@ mod tests {
     #[test]
     fn reorders_rare_pattern_first() {
         let t = translate(
-            &parse(
-                "SELECT ?s WHERE { ?s <http://x/common> ?o . ?s <http://x/rare> ?v }",
-            )
-            .unwrap(),
+            &parse("SELECT ?s WHERE { ?s <http://x/common> ?o . ?s <http://x/rare> ?v }").unwrap(),
         );
         let s = store();
-        let optimized =
-            optimize(t.algebra.clone(), &s, &OptimizerConfig::full(), &t.projection);
+        let optimized = optimize(
+            t.algebra.clone(),
+            &s,
+            &OptimizerConfig::full(),
+            &t.projection,
+        );
         let (patterns, _) = bgp_of(&optimized);
         // The rare pattern must come first now.
         assert_eq!(
@@ -449,14 +476,15 @@ mod tests {
     #[test]
     fn no_reorder_when_disabled() {
         let t = translate(
-            &parse(
-                "SELECT ?s WHERE { ?s <http://x/common> ?o . ?s <http://x/rare> ?v }",
-            )
-            .unwrap(),
+            &parse("SELECT ?s WHERE { ?s <http://x/common> ?o . ?s <http://x/rare> ?v }").unwrap(),
         );
         let s = store();
-        let optimized =
-            optimize(t.algebra.clone(), &s, &OptimizerConfig::default(), &t.projection);
+        let optimized = optimize(
+            t.algebra.clone(),
+            &s,
+            &OptimizerConfig::default(),
+            &t.projection,
+        );
         let (patterns, _) = bgp_of(&optimized);
         assert_eq!(patterns[0].p, Slot::Const(Term::iri("http://x/common")));
     }
@@ -470,26 +498,33 @@ mod tests {
             .unwrap(),
         );
         let s = store();
-        let optimized =
-            optimize(t.algebra.clone(), &s, &OptimizerConfig::full(), &t.projection);
+        let optimized = optimize(
+            t.algebra.clone(),
+            &s,
+            &OptimizerConfig::full(),
+            &t.projection,
+        );
         let (_, inline) = bgp_of(&optimized);
         assert_eq!(inline.len(), 1, "filter must be inlined");
         // And no residual Filter node above the BGP.
-        let Algebra::Project(_, inner) = &optimized else { panic!() };
+        let Algebra::Project(_, inner) = &optimized else {
+            panic!()
+        };
         assert!(matches!(inner.as_ref(), Algebra::Bgp { .. }));
     }
 
     #[test]
     fn substitutes_iri_equality() {
         let t = translate(
-            &parse(
-                "SELECT ?s WHERE { ?s ?p ?v FILTER (?p = <http://x/rare>) }",
-            )
-            .unwrap(),
+            &parse("SELECT ?s WHERE { ?s ?p ?v FILTER (?p = <http://x/rare>) }").unwrap(),
         );
         let s = store();
-        let optimized =
-            optimize(t.algebra.clone(), &s, &OptimizerConfig::full(), &t.projection);
+        let optimized = optimize(
+            t.algebra.clone(),
+            &s,
+            &OptimizerConfig::full(),
+            &t.projection,
+        );
         let (patterns, inline) = bgp_of(&optimized);
         assert_eq!(patterns[0].p, Slot::Const(Term::iri("http://x/rare")));
         assert!(inline.is_empty(), "equality folded away");
@@ -501,8 +536,12 @@ mod tests {
             &parse("SELECT ?p WHERE { ?s ?p ?v FILTER (?p = <http://x/rare>) }").unwrap(),
         );
         let s = store();
-        let optimized =
-            optimize(t.algebra.clone(), &s, &OptimizerConfig::full(), &t.projection);
+        let optimized = optimize(
+            t.algebra.clone(),
+            &s,
+            &OptimizerConfig::full(),
+            &t.projection,
+        );
         // ?p is projected: substituting would lose its binding. The filter
         // must survive in some form (inline or residual).
         let (patterns, inline) = bgp_of(&optimized);
@@ -519,10 +558,16 @@ mod tests {
             .unwrap(),
         );
         let s = store();
-        let optimized =
-            optimize(t.algebra.clone(), &s, &OptimizerConfig::full(), &t.projection);
+        let optimized = optimize(
+            t.algebra.clone(),
+            &s,
+            &OptimizerConfig::full(),
+            &t.projection,
+        );
         // The filter must not remain at the top.
-        let Algebra::Project(_, inner) = &optimized else { panic!() };
+        let Algebra::Project(_, inner) = &optimized else {
+            panic!()
+        };
         assert!(
             matches!(inner.as_ref(), Algebra::Join(..)),
             "filter should be absorbed by a branch: {inner:?}"

@@ -47,7 +47,9 @@ impl std::error::Error for ParseError {}
 
 impl From<LexError> for ParseError {
     fn from(e: LexError) -> Self {
-        ParseError { message: e.to_string() }
+        ParseError {
+            message: e.to_string(),
+        }
     }
 }
 
@@ -61,7 +63,11 @@ type Modifiers = (Vec<OrderKey>, Option<u64>, Option<u64>);
 /// `PREFIX` clauses in the query extend/override them.
 pub fn parse(input: &str) -> Result<Query, ParseError> {
     let tokens = tokenize(input)?;
-    let mut p = Parser { tokens, pos: 0, prefixes: default_prefixes() };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        prefixes: default_prefixes(),
+    };
     let q = p.query()?;
     if p.pos != p.tokens.len() {
         return Err(p.err("trailing tokens after query"));
@@ -88,7 +94,9 @@ impl Parser {
             Some(t) => format!(" near token #{} ({t:?})", self.pos),
             None => " at end of input".to_owned(),
         };
-        ParseError { message: format!("{}{}", message.into(), near) }
+        ParseError {
+            message: format!("{}{}", message.into(), near),
+        }
     }
 
     fn peek(&self) -> Option<&Token> {
@@ -173,9 +181,7 @@ impl Parser {
         while self.eat_keyword("PREFIX") {
             let prefix = match self.bump() {
                 Some(Token::PrefixedName(p, local)) if local.is_empty() => p,
-                other => {
-                    return Err(self.err(format!("expected prefix name, got {other:?}")))
-                }
+                other => return Err(self.err(format!("expected prefix name, got {other:?}"))),
             };
             let ns = match self.bump() {
                 Some(Token::IriRef(iri)) => iri,
@@ -227,7 +233,10 @@ impl Parser {
             return Err(self.err("GROUP BY without an aggregate in the projection"));
         }
         Ok(Query {
-            form: QueryForm::Select { distinct, variables },
+            form: QueryForm::Select {
+                distinct,
+                variables,
+            },
             aggregates,
             group_by,
             pattern,
@@ -260,7 +269,11 @@ impl Parser {
             other => return Err(self.err(format!("AS expects a variable, got {other:?}"))),
         };
         self.expect_punct(Punct::RParen)?;
-        Ok(crate::ast::Aggregate { target, distinct, alias })
+        Ok(crate::ast::Aggregate {
+            target,
+            distinct,
+            alias,
+        })
     }
 
     /// `GROUP BY ?v+`, if present.
@@ -309,7 +322,10 @@ impl Parser {
                         self.expect_punct(Punct::LParen)?;
                         let expression = self.expression()?;
                         self.expect_punct(Punct::RParen)?;
-                        order_by.push(OrderKey { expression, descending });
+                        order_by.push(OrderKey {
+                            expression,
+                            descending,
+                        });
                     }
                     _ => break,
                 }
@@ -427,7 +443,10 @@ impl Parser {
                 return Ok(());
             }
             // Allow a dangling ';' before '.'.
-            if matches!(self.peek(), Some(Token::Punct(Punct::Dot) | Token::Punct(Punct::RBrace))) {
+            if matches!(
+                self.peek(),
+                Some(Token::Punct(Punct::Dot) | Token::Punct(Punct::RBrace))
+            ) {
                 return Ok(());
             }
         }
@@ -445,9 +464,9 @@ impl Parser {
         match self.bump() {
             Some(Token::Var(v)) => Ok(TermOrVar::Var(v)),
             Some(Token::IriRef(iri)) => Ok(TermOrVar::Term(Term::Iri(Iri::new(iri)))),
-            Some(Token::PrefixedName(p, l)) => {
-                Ok(TermOrVar::Term(Term::Iri(Iri::new(self.expand_prefixed(&p, &l)?))))
-            }
+            Some(Token::PrefixedName(p, l)) => Ok(TermOrVar::Term(Term::Iri(Iri::new(
+                self.expand_prefixed(&p, &l)?,
+            )))),
             Some(Token::BlankNode(label)) => Ok(TermOrVar::Term(Term::blank(label))),
             Some(Token::String(s)) => Ok(TermOrVar::Term(self.literal_rest(s)?)),
             Some(Token::Integer(n)) => Ok(TermOrVar::Term(Term::Literal(Literal::integer(n)))),
@@ -555,7 +574,9 @@ impl Parser {
                 self.expect_punct(Punct::LParen)?;
                 let v = match self.bump() {
                     Some(Token::Var(v)) => v,
-                    other => return Err(self.err(format!("bound() needs a variable, got {other:?}"))),
+                    other => {
+                        return Err(self.err(format!("bound() needs a variable, got {other:?}")))
+                    }
                 };
                 self.expect_punct(Punct::RParen)?;
                 Ok(Expression::Bound(v))
@@ -607,7 +628,9 @@ mod tests {
             }"#,
         )
         .unwrap();
-        assert!(matches!(q.form, QueryForm::Select { distinct: false, ref variables } if variables == &["yr"]));
+        assert!(
+            matches!(q.form, QueryForm::Select { distinct: false, ref variables } if variables == &["yr"])
+        );
         match &q.pattern.elements[0] {
             GroupElement::Triples(ps) => {
                 assert_eq!(ps.len(), 3);
@@ -630,10 +653,8 @@ mod tests {
 
     #[test]
     fn parses_union() {
-        let q = parse(
-            "SELECT ?x WHERE { { ?x <http://a> ?y } UNION { ?x <http://b> ?y } }",
-        )
-        .unwrap();
+        let q =
+            parse("SELECT ?x WHERE { { ?x <http://a> ?y } UNION { ?x <http://b> ?y } }").unwrap();
         match &q.pattern.elements[0] {
             GroupElement::Union(branches) => assert_eq!(branches.len(), 2),
             other => panic!("expected union, got {other:?}"),
@@ -642,10 +663,8 @@ mod tests {
 
     #[test]
     fn parses_modifiers() {
-        let q = parse(
-            "SELECT ?ee WHERE { ?p rdfs:seeAlso ?ee } ORDER BY ?ee LIMIT 10 OFFSET 50",
-        )
-        .unwrap();
+        let q = parse("SELECT ?ee WHERE { ?p rdfs:seeAlso ?ee } ORDER BY ?ee LIMIT 10 OFFSET 50")
+            .unwrap();
         assert_eq!(q.order_by.len(), 1);
         assert_eq!(q.limit, Some(10));
         assert_eq!(q.offset, Some(50));
@@ -667,10 +686,7 @@ mod tests {
 
     #[test]
     fn parses_prefix_declarations() {
-        let q = parse(
-            "PREFIX ex: <http://example.org/> SELECT ?x WHERE { ?x ex:p ex:o }",
-        )
-        .unwrap();
+        let q = parse("PREFIX ex: <http://example.org/> SELECT ?x WHERE { ?x ex:p ex:o }").unwrap();
         match &q.pattern.elements[0] {
             GroupElement::Triples(ps) => {
                 assert_eq!(
@@ -689,10 +705,8 @@ mod tests {
 
     #[test]
     fn property_list_sugar() {
-        let q = parse(
-            "SELECT ?t WHERE { ?d rdf:type bench:Article ; dc:title ?t , ?t2 . }",
-        )
-        .unwrap();
+        let q =
+            parse("SELECT ?t WHERE { ?d rdf:type bench:Article ; dc:title ?t , ?t2 . }").unwrap();
         match &q.pattern.elements[0] {
             GroupElement::Triples(ps) => {
                 assert_eq!(ps.len(), 3);
@@ -749,8 +763,6 @@ mod tests {
     #[test]
     fn select_star() {
         let q = parse("SELECT * WHERE { ?x <http://p> ?y }").unwrap();
-        assert!(
-            matches!(q.form, QueryForm::Select { ref variables, .. } if variables.is_empty())
-        );
+        assert!(matches!(q.form, QueryForm::Select { ref variables, .. } if variables.is_empty()));
     }
 }

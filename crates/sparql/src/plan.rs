@@ -8,7 +8,7 @@
 
 use sp2b_store::{Id, TripleStore};
 
-use crate::algebra::{Algebra, ResolvedPattern, Slot};
+use crate::algebra::{Algebra, GroupSpec, ResolvedPattern, Slot};
 use crate::expr::BoundExpr;
 
 /// A pattern slot bound to the store.
@@ -33,12 +33,16 @@ impl PlanPattern {
             Slot::Const(t) => PlanSlot::Const(store.resolve(t)),
             Slot::Var(i) => PlanSlot::Var(*i),
         };
-        PlanPattern { slots: [bind_slot(&p.s), bind_slot(&p.p), bind_slot(&p.o)] }
+        PlanPattern {
+            slots: [bind_slot(&p.s), bind_slot(&p.p), bind_slot(&p.o)],
+        }
     }
 
     /// True if a constant failed to resolve (pattern can never match).
     pub fn is_unsatisfiable(&self) -> bool {
-        self.slots.iter().any(|s| matches!(s, PlanSlot::Const(None)))
+        self.slots
+            .iter()
+            .any(|s| matches!(s, PlanSlot::Const(None)))
     }
 }
 
@@ -115,13 +119,31 @@ pub enum Plan {
         /// Input plan.
         input: Box<Plan>,
     },
+    /// GROUP BY + COUNT over the input stream (the aggregation
+    /// extension). Always the plan root: its output rows carry computed
+    /// counts the dictionary has no ids for, so they leave the
+    /// [`crate::eval::Bindings`] representation (see
+    /// [`crate::eval::AggRow`]). Output ordering and OFFSET/LIMIT are part
+    /// of the spec because they apply to aggregated rows.
+    GroupAggregate {
+        /// Grouping, counting and output-modifier specification.
+        spec: GroupSpec,
+        /// The pattern producing the rows to aggregate.
+        input: Box<Plan>,
+    },
 }
 
 /// Binds an algebra tree to a store.
 pub fn bind(algebra: &Algebra, store: &dyn TripleStore) -> Plan {
     match algebra {
-        Algebra::Bgp { patterns, inline_filters } => Plan::Bgp {
-            patterns: patterns.iter().map(|p| PlanPattern::bind(p, store)).collect(),
+        Algebra::Bgp {
+            patterns,
+            inline_filters,
+        } => Plan::Bgp {
+            patterns: patterns
+                .iter()
+                .map(|p| PlanPattern::bind(p, store))
+                .collect(),
             filters: inline_filters
                 .iter()
                 .map(|(pos, e)| (*pos, BoundExpr::bind(e, store)))
@@ -146,22 +168,19 @@ pub fn bind(algebra: &Algebra, store: &dyn TripleStore) -> Plan {
                 condition: cond.as_ref().map(|c| BoundExpr::bind(c, store)),
             }
         }
-        Algebra::Union(a, b) => {
-            Plan::Union(Box::new(bind(a, store)), Box::new(bind(b, store)))
-        }
+        Algebra::Union(a, b) => Plan::Union(Box::new(bind(a, store)), Box::new(bind(b, store))),
         Algebra::Filter(e, inner) => {
             Plan::Filter(BoundExpr::bind(e, store), Box::new(bind(inner, store)))
         }
         Algebra::Distinct(inner) => Plan::Distinct(Box::new(bind(inner, store))),
-        Algebra::Project(vars, inner) => {
-            Plan::Project(vars.clone(), Box::new(bind(inner, store)))
-        }
+        Algebra::Project(vars, inner) => Plan::Project(vars.clone(), Box::new(bind(inner, store))),
         Algebra::OrderBy(keys, inner) => Plan::OrderBy(
             keys.iter()
                 .map(|k| match &k.expr {
-                    crate::algebra::Expr::Var(i) => {
-                        PlanOrderKey::Var { var: *i, descending: k.descending }
-                    }
+                    crate::algebra::Expr::Var(i) => PlanOrderKey::Var {
+                        var: *i,
+                        descending: k.descending,
+                    },
                     other => PlanOrderKey::Expr {
                         expr: BoundExpr::bind(other, store),
                         descending: k.descending,
@@ -170,9 +189,17 @@ pub fn bind(algebra: &Algebra, store: &dyn TripleStore) -> Plan {
                 .collect(),
             Box::new(bind(inner, store)),
         ),
-        Algebra::Slice { offset, limit, input } => Plan::Slice {
+        Algebra::Slice {
+            offset,
+            limit,
+            input,
+        } => Plan::Slice {
             offset: *offset,
             limit: *limit,
+            input: Box::new(bind(input, store)),
+        },
+        Algebra::Group(spec, input) => Plan::GroupAggregate {
+            spec: spec.clone(),
             input: Box::new(bind(input, store)),
         },
     }
@@ -204,7 +231,11 @@ mod tests {
 
     fn store() -> MemStore {
         let mut g = Graph::new();
-        g.add(Subject::iri("http://x/s"), Iri::new("http://x/p"), Term::iri("http://x/o"));
+        g.add(
+            Subject::iri("http://x/s"),
+            Iri::new("http://x/p"),
+            Term::iri("http://x/o"),
+        );
         MemStore::from_graph(&g)
     }
 
@@ -212,8 +243,12 @@ mod tests {
     fn binding_resolves_constants() {
         let t = translate(&parse("SELECT ?s WHERE { ?s <http://x/p> <http://x/o> }").unwrap());
         let plan = bind(&t.algebra, &store());
-        let Plan::Project(_, inner) = plan else { panic!() };
-        let Plan::Bgp { patterns, .. } = *inner else { panic!() };
+        let Plan::Project(_, inner) = plan else {
+            panic!()
+        };
+        let Plan::Bgp { patterns, .. } = *inner else {
+            panic!()
+        };
         assert!(!patterns[0].is_unsatisfiable());
         assert!(matches!(patterns[0].slots[1], PlanSlot::Const(Some(_))));
     }
@@ -222,22 +257,27 @@ mod tests {
     fn missing_constant_marks_unsatisfiable() {
         let t = translate(&parse("SELECT ?s WHERE { ?s <http://x/nope> ?o }").unwrap());
         let plan = bind(&t.algebra, &store());
-        let Plan::Project(_, inner) = plan else { panic!() };
-        let Plan::Bgp { patterns, .. } = *inner else { panic!() };
+        let Plan::Project(_, inner) = plan else {
+            panic!()
+        };
+        let Plan::Bgp { patterns, .. } = *inner else {
+            panic!()
+        };
         assert!(patterns[0].is_unsatisfiable());
     }
 
     #[test]
     fn join_keys_are_shared_certain_vars() {
         let t = translate(
-            &parse(
-                "SELECT ?x WHERE { { ?x <http://x/p> ?y } { ?x <http://x/p> ?z } }",
-            )
-            .unwrap(),
+            &parse("SELECT ?x WHERE { { ?x <http://x/p> ?y } { ?x <http://x/p> ?z } }").unwrap(),
         );
         let plan = bind(&t.algebra, &store());
-        let Plan::Project(_, inner) = plan else { panic!() };
-        let Plan::Join { key, check, .. } = *inner else { panic!("{inner:?}") };
+        let Plan::Project(_, inner) = plan else {
+            panic!()
+        };
+        let Plan::Join { key, check, .. } = *inner else {
+            panic!("{inner:?}")
+        };
         assert_eq!(key, vec![t.vars.lookup("x").unwrap()]);
         assert!(check.is_empty());
     }
@@ -256,8 +296,12 @@ mod tests {
             .unwrap(),
         );
         let plan = bind(&t.algebra, &store());
-        let Plan::Project(_, inner) = plan else { panic!() };
-        let Plan::Join { key, check, .. } = *inner else { panic!("{inner:?}") };
+        let Plan::Project(_, inner) = plan else {
+            panic!()
+        };
+        let Plan::Join { key, check, .. } = *inner else {
+            panic!("{inner:?}")
+        };
         let a = t.vars.lookup("a").unwrap();
         let c = t.vars.lookup("c").unwrap();
         assert_eq!(key, vec![a]);

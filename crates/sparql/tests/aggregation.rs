@@ -4,7 +4,7 @@
 //! challenging aggregate queries."
 
 use sp2b_rdf::{Graph, Iri, Literal, Subject, Term};
-use sp2b_sparql::{execute_query, OptimizerConfig, QueryResult};
+use sp2b_sparql::{QueryEngine, QueryResult};
 use sp2b_store::MemStore;
 
 fn store() -> MemStore {
@@ -35,7 +35,7 @@ fn store() -> MemStore {
 
 fn rows(query: &str) -> (Vec<String>, Vec<Vec<Option<Term>>>) {
     let store = store();
-    match execute_query(&store, query, &OptimizerConfig::full(), None).unwrap() {
+    match QueryEngine::new(&store).run(query).unwrap() {
         QueryResult::Solutions { variables, rows } => (variables, rows),
         other => panic!("{other:?}"),
     }
@@ -77,8 +77,7 @@ fn count_variable_skips_unbound() {
 fn count_distinct() {
     // alice creates d0 and d1 → plain count 3 creator edges, distinct
     // creators = 2.
-    let (_, plain) =
-        rows("SELECT (COUNT(?p) AS ?n) WHERE { ?d <http://x/creator> ?p }");
+    let (_, plain) = rows("SELECT (COUNT(?p) AS ?n) WHERE { ?d <http://x/creator> ?p }");
     assert_eq!(int(&plain[0][0]), 3);
     let (_, distinct) =
         rows("SELECT (COUNT(DISTINCT ?p) AS ?n) WHERE { ?d <http://x/creator> ?p }");
@@ -89,17 +88,15 @@ fn count_distinct() {
 fn global_count_over_empty_pattern_is_zero_row() {
     // SPARQL 1.1: implicit group over an empty solution set yields one
     // row with count 0.
-    let (_, rows) =
-        rows("SELECT (COUNT(*) AS ?n) WHERE { ?d <http://x/nonexistent> ?x }");
+    let (_, rows) = rows("SELECT (COUNT(*) AS ?n) WHERE { ?d <http://x/nonexistent> ?x }");
     assert_eq!(rows.len(), 1);
     assert_eq!(int(&rows[0][0]), 0);
 }
 
 #[test]
 fn grouped_count_over_empty_pattern_is_empty() {
-    let (_, rows) = rows(
-        "SELECT ?d (COUNT(*) AS ?n) WHERE { ?d <http://x/nonexistent> ?x } GROUP BY ?d",
-    );
+    let (_, rows) =
+        rows("SELECT ?d (COUNT(*) AS ?n) WHERE { ?d <http://x/nonexistent> ?x } GROUP BY ?d");
     assert!(rows.is_empty());
 }
 
@@ -133,38 +130,29 @@ fn multiple_aggregates_in_one_query() {
 fn projection_restriction_enforced() {
     // ?d projected next to an aggregate but not grouped → parse error.
     let store = store();
-    let result = execute_query(
-        &store,
-        "SELECT ?d (COUNT(*) AS ?n) WHERE { ?d <http://x/type> ?c }",
-        &OptimizerConfig::default(),
-        None,
-    );
+    let result =
+        QueryEngine::new(&store).run("SELECT ?d (COUNT(*) AS ?n) WHERE { ?d <http://x/type> ?c }");
     assert!(result.is_err());
 }
 
 #[test]
 fn group_by_without_aggregate_rejected() {
     let store = store();
-    let result = execute_query(
-        &store,
-        "SELECT ?c WHERE { ?d <http://x/type> ?c } GROUP BY ?c",
-        &OptimizerConfig::default(),
-        None,
-    );
+    let result =
+        QueryEngine::new(&store).run("SELECT ?c WHERE { ?d <http://x/type> ?c } GROUP BY ?c");
     assert!(result.is_err());
 }
 
 #[test]
 fn aggregate_count_method_returns_group_count() {
-    use sp2b_sparql::{Cancellation, Prepared};
     let store = store();
-    let p = Prepared::parse(
-        "SELECT ?class (COUNT(*) AS ?n) WHERE { ?d <http://x/type> ?class } GROUP BY ?class",
-        &store,
-        &OptimizerConfig::default(),
-    )
-    .unwrap();
-    assert_eq!(p.count(&store, &Cancellation::none()).unwrap(), 3);
+    let engine = QueryEngine::new(&store);
+    let p = engine
+        .prepare(
+            "SELECT ?class (COUNT(*) AS ?n) WHERE { ?d <http://x/type> ?class } GROUP BY ?class",
+        )
+        .unwrap();
+    assert_eq!(engine.count(&p).unwrap(), 3);
 }
 
 #[test]

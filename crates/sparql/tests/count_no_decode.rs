@@ -1,0 +1,87 @@
+//! Acceptance check for the streaming count path: `QueryEngine::count`
+//! must perform **no term decoding** — counting is pure id-space work
+//! (ORDER BY skipped, OFFSET/LIMIT arithmetic, DISTINCT and GROUP BY over
+//! raw ids).
+//!
+//! Uses the debug-build-only `DECODE_CALLS` counter in `sp2b_store`. This
+//! file holds a single test so the process-wide counter sees no
+//! interference from parallel tests (integration test files run as
+//! separate processes).
+
+#![cfg(debug_assertions)]
+
+use sp2b_rdf::{Graph, Iri, Literal, Subject, Term};
+use sp2b_sparql::QueryEngine;
+use sp2b_store::{dictionary::DECODE_CALLS, NativeStore};
+use std::sync::atomic::Ordering;
+
+fn store() -> NativeStore {
+    let mut g = Graph::new();
+    for i in 0..50 {
+        let s = Subject::iri(format!("http://x/doc{i}"));
+        g.add(
+            s.clone(),
+            Iri::new("http://x/type"),
+            Term::iri(format!("http://x/class{}", i % 3)),
+        );
+        g.add(
+            s.clone(),
+            Iri::new("http://x/year"),
+            Term::Literal(Literal::integer(1990 + (i % 7) as i64)),
+        );
+        if i % 2 == 0 {
+            g.add(
+                s,
+                Iri::new("http://x/cites"),
+                Term::iri(format!("http://x/doc{}", (i + 1) % 50)),
+            );
+        }
+    }
+    NativeStore::from_graph(&g)
+}
+
+#[test]
+fn count_never_decodes_terms() {
+    let s = store();
+    let engine = QueryEngine::new(&s);
+
+    // A deliberately operator-rich, filter-free workload: BGP + OPTIONAL +
+    // DISTINCT + ORDER BY + LIMIT/OFFSET, plus a GROUP BY aggregate. (Value
+    // FILTERs are excluded: comparing literal *values* legitimately decodes
+    // during matching on any path.)
+    let queries = [
+        "SELECT ?d WHERE { ?d <http://x/type> ?c } ORDER BY ?d",
+        "SELECT DISTINCT ?c WHERE { ?d <http://x/type> ?c } ORDER BY ?c LIMIT 2 OFFSET 1",
+        "SELECT ?d ?o WHERE { ?d <http://x/year> ?y OPTIONAL { ?d <http://x/cites> ?o } } ORDER BY ?y",
+        "SELECT ?c (COUNT(*) AS ?n) WHERE { ?d <http://x/type> ?c } GROUP BY ?c",
+        "ASK { ?d <http://x/type> <http://x/class1> }",
+    ];
+
+    for q in queries {
+        let prepared = engine.prepare(q).expect("query prepares");
+        let before = DECODE_CALLS.load(Ordering::Relaxed);
+        let n = engine.count(&prepared).expect("count succeeds");
+        let after = DECODE_CALLS.load(Ordering::Relaxed);
+        assert_eq!(
+            after,
+            before,
+            "count path decoded {} terms for {q}",
+            after - before
+        );
+
+        // Sanity: execute agrees on cardinality and *does* decode.
+        let result = engine.execute(&prepared).expect("execute succeeds");
+        assert_eq!(n, result.row_count() as u64, "count vs execute for {q}");
+    }
+
+    // Sanity for the counter itself: materializing decodes something.
+    let prepared = engine
+        .prepare("SELECT ?d WHERE { ?d <http://x/type> ?c }")
+        .unwrap();
+    let before = DECODE_CALLS.load(Ordering::Relaxed);
+    let _ = engine.execute(&prepared).unwrap();
+    assert!(
+        DECODE_CALLS.load(Ordering::Relaxed) > before,
+        "execute must decode"
+    );
+}

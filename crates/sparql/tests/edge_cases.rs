@@ -1,20 +1,37 @@
 //! Evaluator edge cases beyond the benchmark queries' shapes.
 
 use sp2b_rdf::{Graph, Iri, Literal, Subject, Term};
-use sp2b_sparql::{execute_query, OptimizerConfig, QueryResult};
+use sp2b_sparql::{OptimizerConfig, QueryEngine, QueryResult};
 use sp2b_store::{MemStore, NativeStore};
 
 fn store() -> MemStore {
     let mut g = Graph::new();
-    g.add(Subject::iri("http://x/a"), Iri::new("http://x/p"), Term::iri("http://x/b"));
-    g.add(Subject::iri("http://x/b"), Iri::new("http://x/p"), Term::iri("http://x/c"));
-    g.add(Subject::iri("http://x/a"), Iri::new("http://x/q"), Term::Literal(Literal::integer(1)));
-    g.add(Subject::iri("http://x/b"), Iri::new("http://x/q"), Term::Literal(Literal::integer(2)));
+    g.add(
+        Subject::iri("http://x/a"),
+        Iri::new("http://x/p"),
+        Term::iri("http://x/b"),
+    );
+    g.add(
+        Subject::iri("http://x/b"),
+        Iri::new("http://x/p"),
+        Term::iri("http://x/c"),
+    );
+    g.add(
+        Subject::iri("http://x/a"),
+        Iri::new("http://x/q"),
+        Term::Literal(Literal::integer(1)),
+    );
+    g.add(
+        Subject::iri("http://x/b"),
+        Iri::new("http://x/q"),
+        Term::Literal(Literal::integer(2)),
+    );
     MemStore::from_graph(&g)
 }
 
 fn rows(q: &str) -> Vec<Vec<Option<Term>>> {
-    match execute_query(&store(), q, &OptimizerConfig::full(), None).unwrap() {
+    let store = store();
+    match QueryEngine::new(&store).run(q).unwrap() {
         QueryResult::Solutions { rows, .. } => rows,
         other => panic!("{other:?}"),
     }
@@ -22,7 +39,10 @@ fn rows(q: &str) -> Vec<Vec<Option<Term>>> {
 
 #[test]
 fn constant_true_filter_keeps_all() {
-    assert_eq!(rows("SELECT ?s WHERE { ?s <http://x/p> ?o FILTER (1 < 2) }").len(), 2);
+    assert_eq!(
+        rows("SELECT ?s WHERE { ?s <http://x/p> ?o FILTER (1 < 2) }").len(),
+        2
+    );
 }
 
 #[test]
@@ -32,20 +52,23 @@ fn constant_false_filter_drops_all() {
 
 #[test]
 fn boolean_literal_filters() {
-    assert_eq!(rows("SELECT ?s WHERE { ?s <http://x/p> ?o FILTER (true) }").len(), 2);
+    assert_eq!(
+        rows("SELECT ?s WHERE { ?s <http://x/p> ?o FILTER (true) }").len(),
+        2
+    );
     assert!(rows("SELECT ?s WHERE { ?s <http://x/p> ?o FILTER (false) }").is_empty());
 }
 
 #[test]
 fn select_star_includes_optional_vars() {
-    let r = execute_query(
-        &store(),
-        "SELECT * WHERE { ?s <http://x/p> ?o OPTIONAL { ?o <http://x/q> ?v } }",
-        &OptimizerConfig::default(),
-        None,
-    )
-    .unwrap();
-    let QueryResult::Solutions { variables, rows } = r else { panic!() };
+    let store = store();
+    let r = QueryEngine::new(&store)
+        .optimizer(OptimizerConfig::default())
+        .run("SELECT * WHERE { ?s <http://x/p> ?o OPTIONAL { ?o <http://x/q> ?v } }")
+        .unwrap();
+    let QueryResult::Solutions { variables, rows } = r else {
+        panic!()
+    };
     assert_eq!(variables, ["s", "o", "v"]);
     assert_eq!(rows.len(), 2);
     // ?v bound only where it joins (b has q, c does not).
@@ -103,24 +126,21 @@ fn filter_referencing_never_bound_variable_drops_rows() {
 fn duplicate_triples_produce_duplicate_solutions() {
     let mut g = Graph::new();
     for _ in 0..3 {
-        g.add(Subject::iri("http://x/s"), Iri::new("http://x/p"), Term::iri("http://x/o"));
+        g.add(
+            Subject::iri("http://x/s"),
+            Iri::new("http://x/p"),
+            Term::iri("http://x/o"),
+        );
     }
     let store = MemStore::from_graph(&g);
-    let r = execute_query(
-        &store,
-        "SELECT ?s WHERE { ?s <http://x/p> ?o }",
-        &OptimizerConfig::default(),
-        None,
-    )
-    .unwrap();
+    let engine = QueryEngine::new(&store).optimizer(OptimizerConfig::default());
+    let r = engine
+        .run("SELECT ?s WHERE { ?s <http://x/p> ?o }")
+        .unwrap();
     assert_eq!(r.len(), 3, "bag semantics before DISTINCT");
-    let d = execute_query(
-        &store,
-        "SELECT DISTINCT ?s WHERE { ?s <http://x/p> ?o }",
-        &OptimizerConfig::default(),
-        None,
-    )
-    .unwrap();
+    let d = engine
+        .run("SELECT DISTINCT ?s WHERE { ?s <http://x/p> ?o }")
+        .unwrap();
     assert_eq!(d.len(), 1);
 }
 
@@ -143,26 +163,32 @@ fn deeply_nested_optionals() {
 
 #[test]
 fn ask_with_optional() {
-    let r = execute_query(
-        &store(),
-        "ASK { ?s <http://x/p> ?o OPTIONAL { ?o <http://x/q> ?v } }",
-        &OptimizerConfig::default(),
-        None,
-    )
-    .unwrap();
+    let store = store();
+    let r = QueryEngine::new(&store)
+        .optimizer(OptimizerConfig::default())
+        .run("ASK { ?s <http://x/p> ?o OPTIONAL { ?o <http://x/q> ?v } }")
+        .unwrap();
     assert_eq!(r.as_bool(), Some(true));
 }
 
 #[test]
 fn stores_agree_on_variable_predicate_queries() {
     let mut g = Graph::new();
-    g.add(Subject::iri("http://x/s"), Iri::new("http://x/p1"), Term::iri("http://x/o"));
-    g.add(Subject::iri("http://x/s"), Iri::new("http://x/p2"), Term::iri("http://x/o"));
+    g.add(
+        Subject::iri("http://x/s"),
+        Iri::new("http://x/p1"),
+        Term::iri("http://x/o"),
+    );
+    g.add(
+        Subject::iri("http://x/s"),
+        Iri::new("http://x/p2"),
+        Term::iri("http://x/o"),
+    );
     let mem = MemStore::from_graph(&g);
     let native = NativeStore::from_graph(&g);
     let q = "SELECT DISTINCT ?p WHERE { <http://x/s> ?p <http://x/o> }";
-    let a = execute_query(&mem, q, &OptimizerConfig::full(), None).unwrap().len();
-    let b = execute_query(&native, q, &OptimizerConfig::full(), None).unwrap().len();
+    let a = QueryEngine::new(&mem).run(q).unwrap().len();
+    let b = QueryEngine::new(&native).run(q).unwrap().len();
     assert_eq!(a, 2);
     assert_eq!(a, b);
 }

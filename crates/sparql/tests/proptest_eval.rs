@@ -6,7 +6,7 @@
 use proptest::prelude::*;
 
 use sp2b_rdf::{Graph, Iri, Subject, Term};
-use sp2b_sparql::{Cancellation, OptimizerConfig, Prepared, QueryResult};
+use sp2b_sparql::{OptimizerConfig, QueryEngine, QueryResult};
 use sp2b_store::MemStore;
 
 fn graph_strategy() -> impl Strategy<Value = Graph> {
@@ -33,10 +33,10 @@ fn scan_pairs(store: &MemStore, predicate: &str) -> Vec<(String, String)> {
 }
 
 fn rows(store: &MemStore, query: &str) -> Vec<Vec<String>> {
-    let prepared =
-        Prepared::parse(query, store, &OptimizerConfig::default()).expect("query parses");
+    let engine = QueryEngine::new(store).optimizer(OptimizerConfig::default());
+    let prepared = engine.prepare(query).expect("query parses");
     let QueryResult::Solutions { rows, .. } =
-        prepared.execute(store, &Cancellation::none()).expect("evaluation succeeds")
+        engine.execute(&prepared).expect("evaluation succeeds")
     else {
         panic!("SELECT query")
     };

@@ -14,6 +14,12 @@ use crate::hash::FxHashMap;
 /// A dictionary-encoded term identifier.
 pub type Id = u32;
 
+/// Debug-build-only process-wide count of [`Dictionary::decode`] calls.
+/// Lets tests assert that counting paths never materialize terms; release
+/// builds (the benchmarks) pay nothing.
+#[cfg(debug_assertions)]
+pub static DECODE_CALLS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
 /// An encoded triple in (s, p, o) id order.
 pub type IdTriple = [Id; 3];
 
@@ -67,6 +73,8 @@ impl Dictionary {
     /// Decodes an id back to its term. Panics on a foreign id (ids are
     /// only ever produced by this dictionary).
     pub fn decode(&self, id: Id) -> &Term {
+        #[cfg(debug_assertions)]
+        DECODE_CALLS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         &self.terms[id as usize]
     }
 
@@ -84,10 +92,12 @@ mod tests {
     #[test]
     fn encode_decode_roundtrip() {
         let mut d = Dictionary::new();
-        let terms = [Term::iri("http://a/x"),
+        let terms = [
+            Term::iri("http://a/x"),
             Term::blank("b1"),
             Term::Literal(Literal::string("hello")),
-            Term::Literal(Literal::integer(42))];
+            Term::Literal(Literal::integer(42)),
+        ];
         let ids: Vec<Id> = terms.iter().map(|t| d.encode(t)).collect();
         for (t, &id) in terms.iter().zip(&ids) {
             assert_eq!(d.decode(id), t);

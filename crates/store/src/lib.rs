@@ -21,8 +21,7 @@ pub mod traits;
 
 pub use dictionary::{Dictionary, Id, IdTriple};
 pub use load::{
-    mem_store_from_path, mem_store_from_reader, native_store_from_path,
-    native_store_from_reader,
+    mem_store_from_path, mem_store_from_reader, native_store_from_path, native_store_from_reader,
 };
 pub use mem::MemStore;
 pub use native::{IndexOrder, IndexSelection, NativeStore};

@@ -68,8 +68,7 @@ _:b1 <http://x/p> <http://x/o1> .
 
     #[test]
     fn native_store_loads_ntriples() {
-        let store =
-            native_store_from_reader(DOC.as_bytes(), IndexSelection::all()).unwrap();
+        let store = native_store_from_reader(DOC.as_bytes(), IndexSelection::all()).unwrap();
         assert_eq!(store.len(), 3);
         let p = store.resolve(&sp2b_rdf::Term::iri("http://x/p")).unwrap();
         assert_eq!(store.scan([None, Some(p), None]).count(), 3);

@@ -135,9 +135,21 @@ mod tests {
 
     fn store() -> MemStore {
         let mut g = Graph::new();
-        g.add(Subject::iri("http://x/s1"), Iri::new("http://x/p1"), Term::iri("http://x/o1"));
-        g.add(Subject::iri("http://x/s1"), Iri::new("http://x/p2"), Term::Literal(Literal::integer(5)));
-        g.add(Subject::iri("http://x/s2"), Iri::new("http://x/p1"), Term::iri("http://x/o1"));
+        g.add(
+            Subject::iri("http://x/s1"),
+            Iri::new("http://x/p1"),
+            Term::iri("http://x/o1"),
+        );
+        g.add(
+            Subject::iri("http://x/s1"),
+            Iri::new("http://x/p2"),
+            Term::Literal(Literal::integer(5)),
+        );
+        g.add(
+            Subject::iri("http://x/s2"),
+            Iri::new("http://x/p1"),
+            Term::iri("http://x/o1"),
+        );
         MemStore::from_graph(&g)
     }
 

@@ -175,8 +175,7 @@ impl NativeStore {
         selection: IndexSelection,
     ) -> Self {
         let mut dict = Dictionary::new();
-        let encoded: Vec<IdTriple> =
-            triples.into_iter().map(|t| dict.encode_triple(t)).collect();
+        let encoded: Vec<IdTriple> = triples.into_iter().map(|t| dict.encode_triple(t)).collect();
         Self::from_encoded(dict, encoded, selection)
     }
 
@@ -196,7 +195,9 @@ impl NativeStore {
         }
         self.len += encoded.len();
         for order in IndexOrder::ALL {
-            let Some(index) = self.indexes[order.slot()].take() else { continue };
+            let Some(index) = self.indexes[order.slot()].take() else {
+                continue;
+            };
             let perm = order.permutation();
             let mut batch = encoded.clone();
             batch.sort_unstable_by_key(|t| key(t, perm));
@@ -208,7 +209,11 @@ impl NativeStore {
     /// bound positions first. Returns the order plus the prefix length
     /// usable for range narrowing.
     fn best_index(&self, pattern: &Pattern) -> (IndexOrder, usize) {
-        let bound = [pattern[0].is_some(), pattern[1].is_some(), pattern[2].is_some()];
+        let bound = [
+            pattern[0].is_some(),
+            pattern[1].is_some(),
+            pattern[2].is_some(),
+        ];
         let mut best = (IndexOrder::Spo, 0usize);
         for order in IndexOrder::ALL {
             if self.indexes[order.slot()].is_none() {
@@ -255,8 +260,11 @@ impl NativeStore {
         let lo = index.partition_point(|t| key(t, perm) < lo_key);
         let hi = index.partition_point(|t| {
             let k = key(t, perm);
-            (k.0, if prefix_len > 1 { k.1 } else { hi_key.1 }, if prefix_len > 2 { k.2 } else { hi_key.2 })
-                <= hi_key
+            (
+                k.0,
+                if prefix_len > 1 { k.1 } else { hi_key.1 },
+                if prefix_len > 2 { k.2 } else { hi_key.2 },
+            ) <= hi_key
         });
         &index[lo..hi]
     }
@@ -274,8 +282,7 @@ impl TripleStore for NativeStore {
     fn scan<'a>(&'a self, pattern: Pattern) -> Box<dyn Iterator<Item = IdTriple> + 'a> {
         let (order, prefix_len) = self.best_index(&pattern);
         let range = self.range(order, prefix_len, &pattern);
-        let bound_count =
-            pattern.iter().filter(|p| p.is_some()).count();
+        let bound_count = pattern.iter().filter(|p| p.is_some()).count();
         if prefix_len == bound_count {
             // The range is exact; no residual filtering needed.
             Box::new(range.iter().copied())

@@ -41,6 +41,22 @@ fn main() {
             }
             println!("   (role: {})", kind.paper_role());
         }
+
+        // Reference cardinalities via the streaming facade: one engine,
+        // each query prepared once and counted without decoding a term.
+        let reference = Engine::load(EngineKind::NativeOpt, &graph);
+        let qe = reference.query_engine(timeout);
+        print!("{:<12}", "#results");
+        for q in queries {
+            let counted = qe
+                .prepare(q.text())
+                .and_then(|prepared| qe.count(&prepared));
+            match counted {
+                Ok(n) => print!("{n:>12}"),
+                Err(_) => print!("{:>12}", "timeout"),
+            }
+        }
+        println!("   (native-opt count path)");
     }
 
     println!(

@@ -3,26 +3,23 @@
 //! queries a person with fixed characteristics as an entry point.
 //!
 //! This example reproduces Q8 (Erdős numbers 1 and 2) and Q10 (everything
-//! related to Erdős), then walks the coauthor graph with custom queries.
+//! related to Erdős), then walks the coauthor graph with custom queries —
+//! all through the streaming `QueryEngine` facade, so no result set is
+//! ever materialized in full.
 //!
 //! ```sh
 //! cargo run --release --example erdos_network
 //! ```
 
-use sp2bench::core::{BenchQuery, Engine, EngineKind, Outcome};
+use sp2bench::core::{BenchQuery, Engine, EngineKind};
 use sp2bench::datagen::{generate_graph, Config};
-use sp2bench::sparql::QueryResult;
-
-fn rows_of(outcome: Outcome) -> Vec<Vec<Option<sp2bench::rdf::Term>>> {
-    match outcome {
-        Outcome::Success { result: Some(QueryResult::Solutions { rows, .. }), .. } => rows,
-        other => panic!("expected solutions, got {other:?}"),
-    }
-}
+use sp2bench::rdf::Term;
+use sp2bench::sparql::QueryEngine;
 
 fn main() {
     let (graph, _) = generate_graph(Config::triples(100_000));
     let engine = Engine::load(EngineKind::NativeOpt, &graph);
+    let qe = QueryEngine::new(engine.store());
 
     // Q8: names of authors with Erdős number 1 or 2.
     let (outcome, m) = engine.run(BenchQuery::Q8, None);
@@ -32,26 +29,31 @@ fn main() {
         m.summary()
     );
 
-    // Q10: all edges pointing at Paul Erdős, by predicate.
-    let (outcome, _) = engine.run_text(BenchQuery::Q10.text(), None, true);
-    let rows = rows_of(outcome);
+    // Q10: all edges pointing at Paul Erdős, tallied by predicate while
+    // the rows stream past (only the predicate column ever decodes).
+    let q10 = qe.prepare(BenchQuery::Q10.text()).expect("Q10 prepares");
     let mut by_predicate: std::collections::BTreeMap<String, usize> =
         std::collections::BTreeMap::new();
-    for row in &rows {
-        let pred = row[1].as_ref().expect("predicate bound");
-        if let sp2bench::rdf::Term::Iri(iri) = pred {
+    let mut total = 0usize;
+    for solution in qe.solutions(&q10) {
+        let row = solution.expect("Q10 evaluates");
+        total += 1;
+        if let Some(Term::Iri(iri)) = row.get(1) {
             let label = sp2bench::rdf::vocab::compact(iri.as_str())
                 .unwrap_or_else(|| iri.as_str().to_owned());
             *by_predicate.entry(label).or_insert(0) += 1;
         }
     }
-    println!("\nQ10 — relations to Paul Erdős ({} total):", rows.len());
+    println!("\nQ10 — relations to Paul Erdős ({total} total):");
     for (pred, n) in by_predicate {
         println!("  {pred:<16} {n}");
     }
 
-    // Custom: Erdős number 1 — direct coauthors only.
-    let direct = r#"
+    // Custom: Erdős number 1 — direct coauthors only, streamed with an
+    // early print cutoff (the stream keeps counting cheaply).
+    let direct = qe
+        .prepare(
+            r#"
         SELECT DISTINCT ?name
         WHERE {
             ?doc dc:creator person:Paul_Erdoes .
@@ -59,31 +61,35 @@ fn main() {
             ?author foaf:name ?name
             FILTER (?author != person:Paul_Erdoes)
         }
-    "#;
-    let (outcome, _) = engine.run_text(direct, None, true);
-    let coauthors = rows_of(outcome);
-    println!("\nErdős number 1 (direct coauthors): {}", coauthors.len());
-    for row in coauthors.iter().take(8) {
-        println!("  {}", row[0].as_ref().expect("name bound"));
-    }
-    if coauthors.len() > 8 {
-        println!("  … and {} more", coauthors.len() - 8);
+    "#,
+        )
+        .expect("coauthor query prepares");
+    println!(
+        "\nErdős number 1 (direct coauthors): {}",
+        qe.count(&direct).expect("counts")
+    );
+    for solution in qe.solutions(&direct).take(8) {
+        let row = solution.expect("evaluates");
+        println!("  {}", row.get(0).expect("name bound"));
     }
 
     // Custom: in which years was Erdős most productive here?
-    let per_year = r#"
+    let per_year = qe
+        .prepare(
+            r#"
         SELECT ?yr ?doc
         WHERE {
             ?doc dc:creator person:Paul_Erdoes .
             ?doc dcterms:issued ?yr
         }
-    "#;
-    let (outcome, _) = engine.run_text(per_year, None, true);
-    let rows = rows_of(outcome);
+    "#,
+        )
+        .expect("per-year query prepares");
     let mut per_year_counts: std::collections::BTreeMap<String, usize> =
         std::collections::BTreeMap::new();
-    for row in &rows {
-        if let Some(sp2bench::rdf::Term::Literal(l)) = &row[0] {
+    for solution in qe.solutions(&per_year) {
+        let row = solution.expect("evaluates");
+        if let Some(Term::Literal(l)) = row.get(0) {
             *per_year_counts.entry(l.lexical.clone()).or_insert(0) += 1;
         }
     }

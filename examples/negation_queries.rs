@@ -5,15 +5,15 @@
 //! a counter-witness, and the outer filter keeps rows where none was
 //! found. This example runs Q6 (authors' debut publications) and Q7
 //! (double negation over the citation system), then a custom negation:
-//! venues without any editor.
+//! venues without any editor — cross-checked against the positive count
+//! with the `QueryEngine` facade's decode-free counting path.
 //!
 //! ```sh
 //! cargo run --release --example negation_queries
 //! ```
 
-use sp2bench::core::{BenchQuery, Engine, EngineKind, Outcome};
+use sp2bench::core::{BenchQuery, Engine, EngineKind};
 use sp2bench::datagen::{generate_graph, Config};
-use sp2bench::sparql::QueryResult;
 use std::time::Duration;
 
 fn main() {
@@ -40,38 +40,33 @@ fn main() {
     );
 
     // Custom negation with the same encoding: proceedings without any
-    // editor (Table IX gives editors to ~80% of proceedings).
-    let no_editor = r#"
+    // editor (Table IX gives editors to ~80% of proceedings). One facade,
+    // three prepared statements, counting only — nothing materializes.
+    let qe = engine.query_engine(timeout);
+    let count = |q: &str| -> u64 {
+        let prepared = qe.prepare(q).expect("query prepares");
+        qe.count(&prepared).expect("succeeds")
+    };
+    let without = count(
+        r#"
         SELECT ?proc
         WHERE {
             ?proc rdf:type bench:Proceedings
             OPTIONAL { ?proc swrc:editor ?e }
             FILTER (!bound(?e))
         }
-    "#;
-    let (outcome, _) = engine.run_text(no_editor, timeout, true);
-    let Outcome::Success { result: Some(QueryResult::Solutions { rows, .. }), .. } = outcome
-    else {
-        panic!("custom negation must succeed on 60k triples")
-    };
-    // Cross-check with the positive count.
-    let all = r#"SELECT ?proc WHERE { ?proc rdf:type bench:Proceedings }"#;
-    let with_editor = r#"
+    "#,
+    );
+    let total = count(r#"SELECT ?proc WHERE { ?proc rdf:type bench:Proceedings }"#);
+    let with = count(
+        r#"
         SELECT DISTINCT ?proc
         WHERE { ?proc rdf:type bench:Proceedings . ?proc swrc:editor ?e }
-    "#;
-    let count = |q: &str| -> u64 {
-        let (o, _) = engine.run_text(q, timeout, false);
-        o.count().expect("succeeds")
-    };
-    let total = count(all);
-    let with = count(with_editor);
-    println!(
-        "\nproceedings without editors: {} of {} (complement of {} with editors)",
-        rows.len(),
-        total,
-        with
+    "#,
     );
-    assert_eq!(rows.len() as u64 + with, total, "negation must complement");
+    println!(
+        "\nproceedings without editors: {without} of {total} (complement of {with} with editors)"
+    );
+    assert_eq!(without + with, total, "negation must complement");
     println!("negation complements the positive query — closed-world semantics hold");
 }

@@ -7,7 +7,7 @@
 
 use sp2bench::core::{BenchQuery, Engine, EngineKind};
 use sp2bench::datagen::{generate_graph, Config};
-use sp2bench::sparql::QueryResult;
+use sp2bench::sparql::QueryEngine;
 
 fn main() {
     // 1. Generate a document of exactly 25k triples (deterministic: the
@@ -27,7 +27,12 @@ fn main() {
     println!("loaded in {}", engine.loading.summary());
 
     // 3. Run a few benchmark queries.
-    for query in [BenchQuery::Q1, BenchQuery::Q5b, BenchQuery::Q8, BenchQuery::Q10] {
+    for query in [
+        BenchQuery::Q1,
+        BenchQuery::Q5b,
+        BenchQuery::Q8,
+        BenchQuery::Q10,
+    ] {
         let (outcome, m) = engine.run(query, None);
         println!(
             "{:<4} -> {:>8} solutions  [{}]",
@@ -37,8 +42,8 @@ fn main() {
         );
     }
 
-    // 4. Run a custom SPARQL query through the same engine: the five most
-    //    recent journals, by title.
+    // 4. Run a custom SPARQL query through the streaming facade: prepare
+    //    once, then pull rows lazily — terms decode only when read.
     let custom = r#"
         SELECT ?title ?yr
         WHERE {
@@ -49,15 +54,22 @@ fn main() {
         ORDER BY DESC(?yr) ?title
         LIMIT 5
     "#;
-    let (outcome, _) = engine.run_text(custom, None, true);
-    if let sp2bench::core::Outcome::Success { result: Some(QueryResult::Solutions { rows, .. }), .. } =
-        outcome
-    {
-        println!("\nfive journals with the latest issue years:");
-        for row in rows {
-            let title = row[0].as_ref().expect("title bound");
-            let yr = row[1].as_ref().expect("year bound");
-            println!("  {title} issued {yr}");
-        }
+    let qe = QueryEngine::new(engine.store());
+    let prepared = qe.prepare(custom).expect("custom query prepares");
+    println!("\nfive journals with the latest issue years:");
+    for solution in qe.solutions(&prepared) {
+        let row = solution.expect("small document, no timeout");
+        let title = row.get(0).expect("title bound");
+        let yr = row.get(1).expect("year bound");
+        println!("  {title} issued {yr}");
     }
+
+    // 5. Counting reuses the same prepared statement and decodes nothing.
+    let journals = qe
+        .prepare("SELECT ?j WHERE { ?j rdf:type bench:Journal }")
+        .expect("count query prepares");
+    println!(
+        "\n{} journal issues in total",
+        qe.count(&journals).expect("counts")
+    );
 }

@@ -9,7 +9,8 @@
 //! * [`store`] — two storage engines: a hash-indexed in-memory store and a
 //!   six-index ("hexastore") native store;
 //! * [`sparql`] — a SPARQL engine: parser, algebra (spec-faithful
-//!   `OPTIONAL`/`FILTER` translation), optimizer and iterator evaluator;
+//!   `OPTIONAL`/`FILTER` translation), optimizer, streaming evaluator and
+//!   the [`QueryEngine`] facade with lazy result rows;
 //! * [`core`] — the 17 benchmark queries, the four engine configurations,
 //!   metrics, the benchmark runner and the table/figure formatters.
 //!
@@ -30,6 +31,17 @@
 //! let (outcome, measurement) = engine.run(BenchQuery::Q1, None);
 //! assert_eq!(outcome.count(), Some(1));
 //! println!("Q1: {}", measurement.summary());
+//!
+//! // 4. Or query directly through the streaming facade: prepare once,
+//! //    then stream, materialize or count off one evaluation path.
+//! use sp2bench::sparql::QueryEngine;
+//! let qe = QueryEngine::new(engine.store());
+//! let prepared = qe.prepare(BenchQuery::Q1.text()).unwrap();
+//! assert_eq!(qe.count(&prepared).unwrap(), 1); // decodes no terms
+//! for solution in qe.solutions(&prepared) {
+//!     let row = solution.unwrap(); // lazy: columns decode on access
+//!     assert!(row.get(0).is_some());
+//! }
 //! ```
 //!
 //! The `sp2b` binary (crate `sp2b-bench`) regenerates every table and
@@ -44,5 +56,5 @@ pub use sp2b_store as store;
 // Convenience re-exports of the most common entry points.
 pub use sp2b_core::{BenchQuery, Engine, EngineKind, RunnerConfig};
 pub use sp2b_datagen::{generate_graph, generate_to_path, Config};
-pub use sp2b_sparql::{execute_query, OptimizerConfig, QueryResult};
+pub use sp2b_sparql::{OptimizerConfig, QueryEngine, QueryOptions, QueryResult};
 pub use sp2b_store::{MemStore, NativeStore, TripleStore};

@@ -33,11 +33,16 @@ fn q1_returns_exactly_one_row() {
 fn q1_result_is_1940() {
     let e = engine();
     let (outcome, _) = e.run_text(BenchQuery::Q1.text(), Some(TIMEOUT), true);
-    let Outcome::Success { result: Some(QueryResult::Solutions { rows, .. }), .. } = outcome
+    let Outcome::Success {
+        result: Some(QueryResult::Solutions { rows, .. }),
+        ..
+    } = outcome
     else {
         panic!("Q1 must succeed");
     };
-    let Some(Term::Literal(yr)) = &rows[0][0] else { panic!("?yr must be a literal") };
+    let Some(Term::Literal(yr)) = &rows[0][0] else {
+        panic!("?yr must be a literal")
+    };
     assert_eq!(yr.as_integer(), Some(1940));
 }
 
@@ -63,7 +68,10 @@ fn q3_selectivities_are_ordered() {
 fn q4_pairs_are_ordered_and_irreflexive() {
     let e = engine();
     let (outcome, _) = e.run_text(BenchQuery::Q4.text(), Some(TIMEOUT), true);
-    let Outcome::Success { result: Some(QueryResult::Solutions { rows, .. }), .. } = outcome
+    let Outcome::Success {
+        result: Some(QueryResult::Solutions { rows, .. }),
+        ..
+    } = outcome
     else {
         panic!("Q4 must succeed at 12k triples");
     };
@@ -126,7 +134,10 @@ fn q8_includes_direct_coauthors() {
         );
         o.count().expect("direct coauthors query succeeds")
     };
-    assert!(q8 >= direct, "Erdős-1 ∪ Erdős-2 ⊇ Erdős-1: {q8} vs {direct}");
+    assert!(
+        q8 >= direct,
+        "Erdős-1 ∪ Erdős-2 ⊇ Erdős-1: {q8} vs {direct}"
+    );
     assert!(direct > 0, "Erdős has coauthors from 1940 on");
 }
 
@@ -136,7 +147,10 @@ fn q9_returns_exactly_four_predicates() {
     let e = engine();
     assert_eq!(count(&e, BenchQuery::Q9), 4);
     let (outcome, _) = e.run_text(BenchQuery::Q9.text(), Some(TIMEOUT), true);
-    let Outcome::Success { result: Some(QueryResult::Solutions { rows, .. }), .. } = outcome
+    let Outcome::Success {
+        result: Some(QueryResult::Solutions { rows, .. }),
+        ..
+    } = outcome
     else {
         panic!()
     };
@@ -173,7 +187,10 @@ fn q11_returns_exactly_ten() {
 fn q11_is_sorted_lexicographically() {
     let e = engine();
     let (outcome, _) = e.run_text(BenchQuery::Q11.text(), Some(TIMEOUT), true);
-    let Outcome::Success { result: Some(QueryResult::Solutions { rows, .. }), .. } = outcome
+    let Outcome::Success {
+        result: Some(QueryResult::Solutions { rows, .. }),
+        ..
+    } = outcome
     else {
         panic!()
     };
@@ -200,7 +217,10 @@ fn ask_queries_answer_as_the_paper_states() {
         (BenchQuery::Q12c, false),
     ] {
         let (outcome, _) = e.run_text(q.text(), Some(TIMEOUT), true);
-        let Outcome::Success { result: Some(r), .. } = outcome else {
+        let Outcome::Success {
+            result: Some(r), ..
+        } = outcome
+        else {
             panic!("{q} must succeed")
         };
         assert_eq!(r.as_bool(), Some(expected), "{q}");

@@ -33,10 +33,7 @@ fn all_engines_agree_on_all_17_queries() {
             .collect();
         let reference = counts[0].1;
         for (kind, count) in &counts {
-            assert_eq!(
-                *count, reference,
-                "{query}: {kind} disagrees ({counts:?})"
-            );
+            assert_eq!(*count, reference, "{query}: {kind} disagrees ({counts:?})");
         }
     }
 }

@@ -5,8 +5,7 @@ use std::time::Duration;
 
 use sp2b_bench::experiments;
 use sp2bench::core::report::{
-    figure_series, full_report, loading_table, means_table, result_sizes_table,
-    success_table,
+    figure_series, full_report, loading_table, means_table, result_sizes_table, success_table,
 };
 use sp2bench::core::runner::{run_benchmark, RunnerConfig};
 use sp2bench::core::{BenchQuery, EngineKind};
@@ -52,7 +51,10 @@ fn full_protocol_renders_every_artifact() {
     assert!(means.contains("Ta[s]") && means.contains("Tg[s]"));
 
     let loading = loading_table(&report);
-    assert!(loading.lines().count() >= 2 + 4, "one row per (scale, engine)");
+    assert!(
+        loading.lines().count() >= 2 + 4,
+        "one row per (scale, engine)"
+    );
 
     let figures = figure_series(&report);
     assert!(figures.contains("Q11"));
@@ -77,7 +79,10 @@ fn generator_experiments_render() {
     assert!(t3.lines().count() >= 4, "{t3}");
 
     let t8 = experiments::table8(&[3_000, 8_000]);
-    assert!(t8.contains("#Journals") || t8.contains("#Tot.Auth."), "{t8}");
+    assert!(
+        t8.contains("#Journals") || t8.contains("#Tot.Auth."),
+        "{t8}"
+    );
 
     let f2a = experiments::fig2a(60_000);
     assert!(f2a.contains("observed"));

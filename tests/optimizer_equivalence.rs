@@ -8,7 +8,7 @@
 use proptest::prelude::*;
 
 use sp2bench::rdf::{Graph, Iri, Literal, Subject, Term};
-use sp2bench::sparql::{Cancellation, OptimizerConfig, Prepared};
+use sp2bench::sparql::{OptimizerConfig, QueryEngine};
 use sp2bench::store::{MemStore, NativeStore, TripleStore};
 
 /// Random small graph: subjects s0..s5, predicates p0..p3, objects mix of
@@ -57,10 +57,9 @@ const QUERY_POOL: &[&str] = &[
 ];
 
 fn run_sorted(store: &dyn TripleStore, query: &str, cfg: &OptimizerConfig) -> Vec<String> {
-    let prepared = Prepared::parse(query, store, cfg).expect("pool query parses");
-    let result = prepared
-        .execute(store, &Cancellation::none())
-        .expect("evaluation succeeds");
+    let engine = QueryEngine::new(store).optimizer(*cfg);
+    let prepared = engine.prepare(query).expect("pool query parses");
+    let result = engine.execute(&prepared).expect("evaluation succeeds");
     let sp2bench::sparql::QueryResult::Solutions { rows, .. } = result else {
         panic!("SELECT query")
     };

@@ -63,7 +63,10 @@ fn timeouts_fire_and_report_as_timeout() {
     let elapsed = start.elapsed();
     assert!(matches!(outcome, Outcome::Timeout), "{outcome:?}");
     // Cooperative cancellation reacts promptly (well under a second).
-    assert!(elapsed < Duration::from_secs(5), "cancellation too slow: {elapsed:?}");
+    assert!(
+        elapsed < Duration::from_secs(5),
+        "cancellation too slow: {elapsed:?}"
+    );
 }
 
 #[test]

@@ -7,17 +7,18 @@ use std::time::Duration;
 use sp2bench::core::BenchQuery;
 use sp2bench::datagen::{generate_graph, Config, UpdateStream};
 use sp2bench::rdf::Graph;
-use sp2bench::sparql::{Cancellation, OptimizerConfig, Prepared};
+use sp2bench::sparql::QueryEngine;
 use sp2bench::store::{NativeStore, TripleStore};
 
 const TRIPLES: u64 = 10_000;
 const TIMEOUT: Duration = Duration::from_secs(120);
 
 fn count(store: &NativeStore, q: BenchQuery) -> u64 {
-    let prepared =
-        Prepared::parse(q.text(), store, &OptimizerConfig::full()).expect("query parses");
-    let cancel = Cancellation::with_deadline(std::time::Instant::now() + TIMEOUT);
-    prepared.count(store, &cancel).unwrap_or_else(|e| panic!("{q}: {e}"))
+    let engine = QueryEngine::new(store).timeout(TIMEOUT);
+    let prepared = engine.prepare(q.text()).expect("query parses");
+    engine
+        .count(&prepared)
+        .unwrap_or_else(|e| panic!("{q}: {e}"))
 }
 
 #[test]
@@ -49,15 +50,13 @@ fn mid_stream_store_is_consistent() {
     }
     // Structural invariants (referential consistency) — no dangling
     // partOf targets.
-    let dangling = Prepared::parse(
-        "SELECT ?d WHERE { ?d dcterms:partOf ?venue OPTIONAL { ?venue rdf:type ?c } FILTER (!bound(?c)) }",
-        &store,
-        &OptimizerConfig::full(),
-    )
-    .expect("parses");
-    let n = dangling
-        .count(&store, &Cancellation::none())
-        .expect("evaluates");
+    let engine = QueryEngine::new(&store);
+    let dangling = engine
+        .prepare(
+            "SELECT ?d WHERE { ?d dcterms:partOf ?venue OPTIONAL { ?venue rdf:type ?c } FILTER (!bound(?c)) }",
+        )
+        .expect("parses");
+    let n = engine.count(&dangling).expect("evaluates");
     assert_eq!(n, 0, "partOf targets must exist at every stream point");
 }
 
