@@ -13,8 +13,14 @@
 //! sp2b fig2b    [--year 1980]                             class instances per year
 //! sp2b fig2c    [--year 1985] [--years 1955,1965,…]       publications power law
 //! sp2b ablation [--triples 50k] [--timeout 30]            optimizer/index ablation
+//! sp2b scaling  [--triples 50k] [--threads 1,2,4,8]       thread-scaling speedups
+//! sp2b smoke    [--triples 5k] [--threads 4]              generate → load → all queries
 //! sp2b query    Q4 [--triples 50k] [--engine native-opt]  run one query, print rows
 //! ```
+//!
+//! `run`, `query`, `smoke` and the experiments accept `--threads N` to
+//! pin the degree of morsel-driven parallelism (default: all cores;
+//! `--threads 1` is strictly single-threaded evaluation).
 
 use std::process::ExitCode;
 use std::time::Duration;
@@ -64,6 +70,8 @@ fn main() -> ExitCode {
             );
             Ok(())
         }
+        "scaling" => cmd_scaling(&args),
+        "smoke" => cmd_smoke(&args),
         "query" => cmd_query(&args),
         "ext" => cmd_ext(&args),
         "run" => cmd_run(&args),
@@ -78,7 +86,7 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: sp2b <gen|table3|table5|table8|bench|fig2a|fig2b|fig2c|ablation|query|ext|run> [options]
+const USAGE: &str = "usage: sp2b <gen|table3|table5|table8|bench|fig2a|fig2b|fig2c|ablation|scaling|smoke|query|ext|run> [options]
 run `sp2b bench` for the full paper protocol; see crate docs for options";
 
 fn sizes(args: &Args) -> Vec<u64> {
@@ -93,6 +101,18 @@ fn sizes(args: &Args) -> Vec<u64> {
 
 fn timeout(args: &Args, default_secs: u64) -> Duration {
     Duration::from_secs(args.get_u64("timeout", default_secs))
+}
+
+/// The `--threads` flag: `Ok(None)` keeps the engine default (all
+/// cores); a malformed value is an error, not a silent fallback.
+fn threads(args: &Args) -> Result<Option<usize>, String> {
+    match args.get("threads") {
+        None => Ok(None),
+        Some(t) => t
+            .parse::<usize>()
+            .map(Some)
+            .map_err(|_| format!("invalid --threads value '{t}' (expected a number)")),
+    }
 }
 
 fn cmd_gen(args: &Args) -> Result<(), String> {
@@ -167,6 +187,66 @@ fn stream_rows(
     Ok((total, shown))
 }
 
+/// Thread-scaling experiment: speedup per query as `--threads` grows.
+fn cmd_scaling(args: &Args) -> Result<(), String> {
+    let n = args.get_u64("triples", 50_000);
+    let thread_counts: Vec<usize> = match args.get_list("threads") {
+        Some(list) => list
+            .iter()
+            .map(|s| {
+                s.parse()
+                    .map_err(|_| format!("invalid --threads value '{s}' (expected a number)"))
+            })
+            .collect::<Result<_, String>>()?,
+        None => vec![1, 2, 4, 8],
+    };
+    if thread_counts.is_empty() {
+        return Err("provide at least one thread count, e.g. --threads 1,2,4".into());
+    }
+    let queries = match args.get_list("queries") {
+        Some(labels) => experiments::parse_queries(&labels)?,
+        None => BenchQuery::ALL.to_vec(),
+    };
+    println!(
+        "{}",
+        experiments::thread_scaling(n, &thread_counts, timeout(args, 60), &queries)
+    );
+    Ok(())
+}
+
+/// Tiny end-to-end smoke: generate → load → execute (count) every
+/// benchmark and extension query at the requested thread count. Exits
+/// nonzero on any parse error, evaluation error or timeout — the CI job
+/// runs this at `--threads 1` and `--threads 4` so both the sequential
+/// and the morsel-parallel paths are exercised on every push.
+fn cmd_smoke(args: &Args) -> Result<(), String> {
+    let n = args.get_u64("triples", 5_000);
+    let t = threads(args)?;
+    let (graph, _) = generate_graph(Config::triples(n));
+    let engine = Engine::load(EngineKind::NativeOpt, &graph);
+    let qe = engine.query_engine_with(Some(timeout(args, 120)), t);
+    let mut texts: Vec<(&'static str, &'static str)> = BenchQuery::ALL
+        .iter()
+        .map(|q| (q.label(), q.text()))
+        .collect();
+    texts.extend(
+        sp2b_core::ExtQuery::ALL
+            .iter()
+            .map(|q| (q.label(), q.text())),
+    );
+    println!(
+        "smoke: {n} triples, threads = {}",
+        t.map_or("default".to_owned(), |t| t.to_string())
+    );
+    for (label, text) in texts {
+        let prepared = qe.prepare(text).map_err(|e| format!("{label}: {e}"))?;
+        let (counted, m) = measure(|| qe.count(&prepared));
+        let count = counted.map_err(|e| format!("{label}: {e}"))?;
+        println!("  {label:<5} {count:>10} solutions ({})", m.summary());
+    }
+    Ok(())
+}
+
 /// Runs the A1–A5 aggregate extension queries (Section VII's
 /// "aggregation support" future work) and prints their result heads.
 fn cmd_ext(args: &Args) -> Result<(), String> {
@@ -174,7 +254,7 @@ fn cmd_ext(args: &Args) -> Result<(), String> {
     let limit = args.get_u64("limit", 10) as usize;
     let (graph, _) = generate_graph(Config::triples(n));
     let engine = Engine::load(EngineKind::NativeOpt, &graph);
-    let qe = engine.query_engine(Some(timeout(args, 300)));
+    let qe = engine.query_engine_with(Some(timeout(args, 300)), threads(args)?);
     for q in sp2b_core::ExtQuery::ALL {
         let prepared = qe.prepare(q.text()).map_err(|e| format!("{q}: {e}"))?;
         println!("\n{q}:");
@@ -219,7 +299,7 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     };
     let engine = Engine::load(engine_kind, &graph);
     let limit = args.get_u64("limit", 50) as usize;
-    let qe = engine.query_engine(Some(timeout(args, 300)));
+    let qe = engine.query_engine_with(Some(timeout(args, 300)), threads(args)?);
     let prepared = qe.prepare(&text).map_err(|e| e.to_string())?;
     if prepared.is_ask() {
         let (result, m) = measure(|| qe.execute(&prepared));
@@ -268,7 +348,7 @@ fn cmd_query(args: &Args) -> Result<(), String> {
 
     let (graph, _) = generate_graph(Config::triples(n));
     let engine = Engine::load(engine_kind, &graph);
-    let qe = engine.query_engine(Some(timeout(args, 300)));
+    let qe = engine.query_engine_with(Some(timeout(args, 300)), threads(args)?);
     let prepared = qe.prepare(query.text()).map_err(|e| e.to_string())?;
     if prepared.is_ask() {
         let (result, m) = measure(|| qe.execute(&prepared));

@@ -302,6 +302,71 @@ fn run_cell(
     }
 }
 
+// ---------------------------------------------------------------------------
+// Thread scaling — morsel-driven parallel execution
+// ---------------------------------------------------------------------------
+
+/// Thread-scaling experiment (behind `sp2b scaling`): wall-clock of the
+/// decode-free counting path per query on a single native store (loaded
+/// once, full optimization) at each requested thread count, with speedup
+/// relative to the *first* configured count — conventionally 1, making
+/// the column a plain parallel speedup. Timed-out cells print `T` and
+/// earn no speedup.
+pub fn thread_scaling(
+    triples: u64,
+    threads: &[usize],
+    timeout: Duration,
+    queries: &[BenchQuery],
+) -> String {
+    let (graph, _) = generate_graph(Config::triples(triples));
+    let store = NativeStore::from_graph(&graph);
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let mut out = format!(
+        "THREAD SCALING — morsel-driven parallel execution \
+         ({triples} triples, native store, timeout {timeout:?})\n\
+         host reports {cores} available core(s); thread counts beyond that \
+         time-slice and cannot improve wall-clock\n\n"
+    );
+    out.push_str(&format!("{:<6}", "query"));
+    for &t in threads {
+        out.push_str(&format!("{:>12}{:>9}", format!("t={t} [s]"), "speedup"));
+    }
+    out.push('\n');
+    for &q in queries {
+        out.push_str(&format!("{:<6}", q.label()));
+        let mut baseline: Option<f64> = None;
+        for (pos, &t) in threads.iter().enumerate() {
+            let engine = QueryEngine::new(&store)
+                .optimizer(OptimizerConfig::full())
+                .timeout(timeout)
+                .parallelism(t);
+            let prepared = engine.prepare(q.text()).expect("queries parse");
+            let start = Instant::now();
+            let counted = engine.count(&prepared);
+            let secs = start.elapsed().as_secs_f64();
+            match counted {
+                Ok(_) => {
+                    // The baseline is strictly the first configured
+                    // count; if that one timed out, later cells show no
+                    // speedup rather than silently rebasing.
+                    if pos == 0 {
+                        baseline = Some(secs);
+                    }
+                    match baseline {
+                        Some(base) => {
+                            out.push_str(&format!("{secs:>12.4}{:>8.2}x", base / secs.max(1e-9)))
+                        }
+                        None => out.push_str(&format!("{secs:>12.4}{:>9}", "-")),
+                    }
+                }
+                Err(_) => out.push_str(&format!("{:>12}{:>9}", "T", "-")),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
 /// Parses engine labels for the CLI.
 pub fn parse_engines(labels: &[String]) -> Result<Vec<EngineKind>, String> {
     labels
@@ -347,6 +412,19 @@ mod tests {
     fn fig2a_probabilities_are_plausible() {
         let t = fig2a(120_000);
         assert!(t.contains("gauss-fit"));
+    }
+
+    #[test]
+    fn thread_scaling_smoke() {
+        let t = thread_scaling(
+            4_000,
+            &[1, 2],
+            Duration::from_secs(60),
+            &[BenchQuery::Q1, BenchQuery::Q9],
+        );
+        assert!(t.contains("Q9"), "{t}");
+        assert!(t.contains("t=2"), "{t}");
+        assert!(t.contains("speedup"), "{t}");
     }
 
     #[test]

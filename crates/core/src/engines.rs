@@ -180,11 +180,28 @@ impl Engine {
     }
 
     /// A [`QueryEngine`] facade over this engine's store, carrying its
-    /// optimizer configuration and the given timeout.
+    /// optimizer configuration and the given timeout. Parallelism is the
+    /// facade default (all available cores); use
+    /// [`Engine::query_engine_with`] to pin a thread count.
     pub fn query_engine(&self, timeout: Option<Duration>) -> QueryEngine<'_> {
+        self.query_engine_with(timeout, None)
+    }
+
+    /// Like [`Engine::query_engine`] with an explicit degree of
+    /// parallelism (`Some(1)` forces single-threaded evaluation; `None`
+    /// keeps the default of all available cores). This is what the CLI's
+    /// `--threads` flag and the thread-scaling experiment drive.
+    pub fn query_engine_with(
+        &self,
+        timeout: Option<Duration>,
+        parallelism: Option<usize>,
+    ) -> QueryEngine<'_> {
         let mut engine = QueryEngine::new(self.store()).optimizer(self.kind.optimizer());
         if let Some(t) = timeout {
             engine = engine.timeout(t);
+        }
+        if let Some(p) = parallelism {
+            engine = engine.parallelism(p);
         }
         engine
     }

@@ -29,7 +29,7 @@ use crate::ast::Query;
 use crate::eval::{AggCell, AggRow, Bindings, Cancellation, EvalContext, RowIter};
 use crate::optimizer::{optimize, OptimizerConfig};
 use crate::parser::{parse, ParseError};
-use crate::plan::{bind, Plan};
+use crate::plan::{bind, parallelize, Plan};
 
 /// Everything that can go wrong preparing or running a query.
 #[derive(Debug)]
@@ -75,29 +75,39 @@ impl From<TranslateError> for Error {
 }
 
 /// Execution policy of a [`QueryEngine`]: optimizer configuration, the
-/// per-execution timeout, and the row-limit applied to delivered results
+/// per-execution timeout, the row-limit applied to delivered results
 /// (`execute` and `solutions`; `count` always reports the true
-/// cardinality).
+/// cardinality), and the degree of intra-query parallelism.
 #[derive(Debug, Clone)]
 pub struct QueryOptions {
     optimizer: OptimizerConfig,
     timeout: Option<Duration>,
     row_limit: Option<u64>,
+    parallelism: usize,
 }
 
 impl Default for QueryOptions {
-    /// Full optimization, no timeout, no row limit.
+    /// Full optimization, no timeout, no row limit, parallelism = number
+    /// of available cores.
     fn default() -> Self {
         QueryOptions {
             optimizer: OptimizerConfig::full(),
             timeout: None,
             row_limit: None,
+            parallelism: default_parallelism(),
         }
     }
 }
 
+/// The default execution parallelism: every available core (1 when the
+/// platform cannot report a count).
+pub fn default_parallelism() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
 impl QueryOptions {
-    /// The default policy (full optimization, no timeout, no row limit).
+    /// The default policy (full optimization, no timeout, no row limit,
+    /// parallelism = available cores).
     pub fn new() -> Self {
         QueryOptions::default()
     }
@@ -121,6 +131,22 @@ impl QueryOptions {
         self
     }
 
+    /// Sets the degree of intra-query parallelism: the number of worker
+    /// threads morsel-driven execution may use for large driving scans
+    /// (see [`crate::plan::parallelize`]). `1` reproduces strictly
+    /// single-threaded evaluation; `0` is treated as `1`. The default is
+    /// the number of available cores.
+    ///
+    /// Parallel execution preserves result *multisets* for every query,
+    /// and the current merge preserves row order too; deterministic
+    /// ordering is only *guaranteed* when the query has `ORDER BY` (or
+    /// consumers are order-insensitive, e.g. `DISTINCT` sets and counts)
+    /// — otherwise treat the order as unspecified, like SPARQL does.
+    pub fn parallelism(mut self, degree: usize) -> Self {
+        self.parallelism = degree.max(1);
+        self
+    }
+
     /// The configured optimizer.
     pub fn optimizer_config(&self) -> &OptimizerConfig {
         &self.optimizer
@@ -134,6 +160,11 @@ impl QueryOptions {
     /// The configured row limit, if any.
     pub fn row_limit_rows(&self) -> Option<u64> {
         self.row_limit
+    }
+
+    /// The configured degree of parallelism (≥ 1).
+    pub fn parallelism_degree(&self) -> usize {
+        self.parallelism
     }
 }
 
@@ -196,6 +227,15 @@ impl<'s> QueryEngine<'s> {
         self
     }
 
+    /// Sets the degree of intra-query parallelism (see
+    /// [`QueryOptions::parallelism`]). Affects plans produced by
+    /// subsequent [`QueryEngine::prepare`] calls — `stream`, `execute`
+    /// and `count` all run whatever the prepared plan contains.
+    pub fn parallelism(mut self, degree: usize) -> Self {
+        self.options = self.options.parallelism(degree);
+        self
+    }
+
     /// The store this engine queries.
     pub fn store(&self) -> &'s dyn TripleStore {
         self.store
@@ -207,8 +247,11 @@ impl<'s> QueryEngine<'s> {
     }
 
     /// Parses and prepares a query. Preparation resolves constants against
-    /// the store, applies the optimizer and binds the physical plan; the
-    /// result is reusable across executions.
+    /// the store, applies the optimizer, binds the physical plan and —
+    /// when the configured [`QueryOptions::parallelism`] exceeds 1 —
+    /// inserts morsel-driven [`Plan::Exchange`] operators above driving
+    /// scans large enough to pay for fan-out. The result is reusable
+    /// across executions.
     pub fn prepare(&self, text: &str) -> Result<Prepared, Error> {
         let query = parse(text)?;
         self.prepare_query(&query)
@@ -224,8 +267,10 @@ impl<'s> QueryEngine<'s> {
             &self.options.optimizer,
             &needed,
         );
+        let plan = bind(&algebra, self.store);
+        let plan = parallelize(plan, self.store, self.options.parallelism);
         Ok(Prepared {
-            plan: bind(&algebra, self.store),
+            plan,
             width: translated.vars.len(),
             projection: translated.projection,
             columns: translated.columns,

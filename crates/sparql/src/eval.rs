@@ -156,19 +156,14 @@ impl<'a> EvalContext<'a> {
     pub fn eval(self, plan: &'a Plan) -> RowIter<'a> {
         match plan {
             Plan::Bgp { patterns, filters } => self.eval_bgp(patterns, filters),
-            Plan::Join {
-                left,
-                right,
-                key,
-                check,
-            } => self.eval_join(left, right, key, check),
+            Plan::Join { left, right, key } => self.eval_join(left, right, key),
             Plan::LeftJoin {
                 left,
                 right,
                 key,
-                check,
                 condition,
-            } => self.eval_left_join(left, right, key, check, condition.as_ref()),
+            } => self.eval_left_join(left, right, key, condition.as_ref()),
+            Plan::Exchange { degree, input } => crate::par::eval_exchange(self, *degree, input),
             Plan::Union(a, b) => {
                 let this = self.clone();
                 let left = self.eval(a);
@@ -240,7 +235,14 @@ impl<'a> EvalContext<'a> {
     /// it every term decode the comparisons would perform.
     fn eval_unordered(self, plan: &'a Plan) -> RowIter<'a> {
         match plan {
-            Plan::OrderBy(_, inner) => self.eval_unordered(inner),
+            // When the sort is elided, an Exchange placed directly under
+            // it loses its purpose as well: the exchange merge
+            // materializes, which would defeat bounded consumers (the
+            // count path's `take(offset+limit)`), so unwrap it too.
+            Plan::OrderBy(_, inner) => match inner.as_ref() {
+                Plan::Exchange { input, .. } => self.eval_unordered(input),
+                other => self.eval_unordered(other),
+            },
             Plan::Project(vars, inner) => {
                 let width = self.width;
                 project_rows(self.eval_unordered(inner), vars, width)
@@ -315,8 +317,32 @@ impl<'a> EvalContext<'a> {
         patterns: &'a [PlanPattern],
         filters: &'a [(usize, BoundExpr)],
     ) -> RowIter<'a> {
-        let mut iter: RowIter<'a> = Box::new(std::iter::once(Bindings::empty(self.width)));
-        for (pos, pattern) in patterns.iter().enumerate() {
+        let seed: RowIter<'a> = Box::new(std::iter::once(Bindings::empty(self.width)));
+        self.eval_bgp_from(seed, patterns, filters, 0)
+    }
+
+    /// The index-nested-loop BGP pipeline from pattern `start` onward,
+    /// fed by already-extended `seed` rows. Inline filters positioned
+    /// before `start` apply to the seed rows (their variables are bound
+    /// there); later filters attach after their pattern as usual. The
+    /// sequential [`EvalContext::eval_bgp`] seeds with one empty row and
+    /// `start = 0`; the morsel driver ([`crate::par`]) seeds with a
+    /// chunk's pattern-0 rows and `start = 1`.
+    pub(crate) fn eval_bgp_from(
+        self,
+        seed: RowIter<'a>,
+        patterns: &'a [PlanPattern],
+        filters: &'a [(usize, BoundExpr)],
+        start: usize,
+    ) -> RowIter<'a> {
+        let mut iter = seed;
+        for (fpos, filter) in filters {
+            if *fpos < start {
+                let store = self.store;
+                iter = Box::new(iter.filter(move |row| filter.evaluate(row, store) == Ok(true)));
+            }
+        }
+        for (pos, pattern) in patterns.iter().enumerate().skip(start) {
             let this = self.clone();
             iter = Box::new(iter.flat_map(move |row| PatternBind::new(this.clone(), pattern, row)));
             for (fpos, filter) in filters {
@@ -333,8 +359,9 @@ impl<'a> EvalContext<'a> {
     // -- joins ---------------------------------------------------------
 
     /// Materializes a side into a key-indexed map (plus a flat list when
-    /// the key is empty).
-    fn build_side(
+    /// the key is empty). The parallel driver ([`crate::par`]) builds the
+    /// same structure once per join and shares it across workers.
+    pub(crate) fn build_side(
         &self,
         plan: &'a Plan,
         key: &[usize],
@@ -361,28 +388,15 @@ impl<'a> EvalContext<'a> {
         (map, flat)
     }
 
-    fn eval_join(
-        self,
-        left: &'a Plan,
-        right: &'a Plan,
-        key: &'a [usize],
-        _check: &'a [usize],
-    ) -> RowIter<'a> {
+    fn eval_join(self, left: &'a Plan, right: &'a Plan, key: &'a [usize]) -> RowIter<'a> {
         let (map, flat) = self.build_side(right, key);
         let this = self.clone();
         let probe = self.eval(left);
         Box::new(probe.flat_map(move |l| {
-            let mut out: Vec<Bindings> = Vec::new();
             if this.cancel.should_stop() {
-                return out.into_iter();
+                return Vec::new().into_iter();
             }
-            let candidates = lookup(&map, &flat, key, &l);
-            for r in candidates {
-                if let Some(m) = l.merge_checked(r) {
-                    out.push(m);
-                }
-            }
-            out.into_iter()
+            probe_inner(&map, &flat, key, l).into_iter()
         }))
     }
 
@@ -391,38 +405,16 @@ impl<'a> EvalContext<'a> {
         left: &'a Plan,
         right: &'a Plan,
         key: &'a [usize],
-        _check: &'a [usize],
         condition: Option<&'a BoundExpr>,
     ) -> RowIter<'a> {
         let (map, flat) = self.build_side(right, key);
         let this = self.clone();
         let probe = self.eval(left);
         Box::new(probe.flat_map(move |l| {
-            let mut out: Vec<Bindings> = Vec::new();
             if this.cancel.should_stop() {
-                return out.into_iter();
+                return Vec::new().into_iter();
             }
-            let candidates = lookup(&map, &flat, key, &l);
-            let mut matched = false;
-            for r in candidates {
-                if this.cancel.should_stop() {
-                    break;
-                }
-                if let Some(m) = l.merge_checked(r) {
-                    let pass = match condition {
-                        Some(c) => c.evaluate(&m, this.store) == Ok(true),
-                        None => true,
-                    };
-                    if pass {
-                        matched = true;
-                        out.push(m);
-                    }
-                }
-            }
-            if !matched {
-                out.push(l);
-            }
-            out.into_iter()
+            probe_left(&this, &map, &flat, key, condition, l).into_iter()
         }))
     }
 
@@ -635,6 +627,60 @@ fn project_rows<'a>(input: RowIter<'a>, vars: &'a [usize], width: usize) -> RowI
     }))
 }
 
+/// Inner-join probe of one row: merges `l` with every compatible build
+/// row (the residual check of possibly-shared variables happens inside
+/// [`Bindings::merge_checked`]). Shared between the sequential
+/// [`EvalContext::eval`] and the morsel driver ([`crate::par`]) so join
+/// semantics live in exactly one place.
+pub(crate) fn probe_inner(
+    map: &FxHashMap<Vec<Id>, Vec<Bindings>>,
+    flat: &[Bindings],
+    key: &[usize],
+    l: Bindings,
+) -> Vec<Bindings> {
+    let mut out: Vec<Bindings> = Vec::new();
+    for r in lookup(map, flat, key, &l) {
+        if let Some(m) = l.merge_checked(r) {
+            out.push(m);
+        }
+    }
+    out
+}
+
+/// Left-join probe of one row: like [`probe_inner`] with the OPTIONAL
+/// condition applied per merged row, preserving `l` itself when nothing
+/// matched. Shared between sequential and parallel evaluation.
+pub(crate) fn probe_left(
+    ctx: &EvalContext<'_>,
+    map: &FxHashMap<Vec<Id>, Vec<Bindings>>,
+    flat: &[Bindings],
+    key: &[usize],
+    condition: Option<&BoundExpr>,
+    l: Bindings,
+) -> Vec<Bindings> {
+    let mut out: Vec<Bindings> = Vec::new();
+    let mut matched = false;
+    for r in lookup(map, flat, key, &l) {
+        if ctx.cancel.should_stop() {
+            break;
+        }
+        if let Some(m) = l.merge_checked(r) {
+            let pass = match condition {
+                Some(c) => c.evaluate(&m, ctx.store) == Ok(true),
+                None => true,
+            };
+            if pass {
+                matched = true;
+                out.push(m);
+            }
+        }
+    }
+    if !matched {
+        out.push(l);
+    }
+    out
+}
+
 /// Candidate rows for a probe row: the hash bucket plus the flat overflow
 /// list (rows that could not be keyed).
 fn lookup<'m>(
@@ -658,7 +704,7 @@ fn lookup<'m>(
 /// One pattern step of the index-nested-loop BGP evaluation: scans the
 /// store with the pattern's constants plus the input row's bindings, and
 /// extends the row for each match.
-struct PatternBind<'a> {
+pub(crate) struct PatternBind<'a> {
     ctx: EvalContext<'a>,
     scan: Box<dyn Iterator<Item = IdTriple> + 'a>,
     pattern: &'a PlanPattern,
@@ -667,7 +713,7 @@ struct PatternBind<'a> {
 }
 
 impl<'a> PatternBind<'a> {
-    fn new(ctx: EvalContext<'a>, pattern: &'a PlanPattern, base: Bindings) -> Self {
+    pub(crate) fn new(ctx: EvalContext<'a>, pattern: &'a PlanPattern, base: Bindings) -> Self {
         let mut store_pattern: sp2b_store::Pattern = [None, None, None];
         let mut dead = false;
         for (i, slot) in pattern.slots.iter().enumerate() {
@@ -704,27 +750,32 @@ impl Iterator for PatternBind<'_> {
                 return None;
             }
             let triple = self.scan.next()?;
-            // Extend the row; repeated variables within the pattern
-            // (e.g. `?x ?p ?x`) must agree across positions.
-            let mut row = self.base.clone();
-            let mut ok = true;
-            for (i, slot) in self.pattern.slots.iter().enumerate() {
-                if let PlanSlot::Var(v) = slot {
-                    match row.get(*v) {
-                        Some(existing) if existing != triple[i] => {
-                            ok = false;
-                            break;
-                        }
-                        Some(_) => {}
-                        None => row.set(*v, triple[i]),
-                    }
-                }
-            }
-            if ok {
+            if let Some(row) = extend_row(&self.base, self.pattern, &triple) {
                 return Some(row);
             }
         }
     }
+}
+
+/// Extends `base` with the variable bindings `pattern` takes from
+/// `triple`; `None` when a variable disagrees across positions — either
+/// with the base row or repeated within the pattern (e.g. `?x ?p ?x`).
+pub(crate) fn extend_row(
+    base: &Bindings,
+    pattern: &PlanPattern,
+    triple: &IdTriple,
+) -> Option<Bindings> {
+    let mut row = base.clone();
+    for (i, slot) in pattern.slots.iter().enumerate() {
+        if let PlanSlot::Var(v) = slot {
+            match row.get(*v) {
+                Some(existing) if existing != triple[i] => return None,
+                Some(_) => {}
+                None => row.set(*v, triple[i]),
+            }
+        }
+    }
+    Some(row)
 }
 
 #[cfg(test)]
@@ -869,6 +920,119 @@ mod tests {
         // ?x knows ?x — nobody knows themselves.
         let rows = run("SELECT ?x WHERE { ?x <http://x/knows> ?x }");
         assert!(rows.is_empty());
+    }
+
+    #[test]
+    fn join_merges_possibly_bound_shared_variable() {
+        // ?c is shared between the two join sides but only *possibly*
+        // bound on the left (inside an OPTIONAL): it cannot be part of
+        // the hash key, so the residual compatibility must come from the
+        // full-row merge. alice's left row carries ?c = "Alice"; her
+        // right rows bind ?c = "Alice" (compatible → merges) and
+        // ?c = "Wonderland" (conflict → dropped). bob's left row leaves
+        // ?c unbound, so it merges with his right binding.
+        let mut g = graph();
+        let p = |s: &str| Subject::iri(format!("http://x/{s}"));
+        let i = |s: &str| Iri::new(format!("http://x/{s}"));
+        g.add(
+            p("alice"),
+            i("likes"),
+            Term::Literal(Literal::string("Alice")),
+        );
+        g.add(
+            p("alice"),
+            i("likes"),
+            Term::Literal(Literal::string("Wonderland")),
+        );
+        g.add(p("bob"), i("likes"), Term::Literal(Literal::string("Math")));
+        let store = MemStore::from_graph(&g);
+        let mut rows = run_on(
+            &store,
+            "SELECT ?p ?c WHERE {
+                { ?p <http://x/age> ?a OPTIONAL { ?p <http://x/name> ?c } }
+                { ?p <http://x/likes> ?c }
+             }",
+        );
+        rows.sort();
+        let string_lit = |s: &str| format!("\"{s}\"^^<http://www.w3.org/2001/XMLSchema#string>");
+        assert_eq!(
+            rows,
+            vec![
+                vec![
+                    Some("<http://x/alice>".to_owned()),
+                    Some(string_lit("Alice"))
+                ],
+                vec![Some("<http://x/bob>".to_owned()), Some(string_lit("Math"))],
+            ],
+            "conflicting ?c must be rejected, unbound ?c must merge"
+        );
+    }
+
+    #[test]
+    fn exchange_matches_sequential_order_exactly() {
+        // A store big enough for several morsels; the Exchange output
+        // must equal the sequential rows in the same order.
+        let mut g = Graph::new();
+        for i in 0..3000 {
+            g.add(
+                Subject::iri(format!("http://x/s{i:04}")),
+                Iri::new("http://x/p"),
+                Term::Literal(Literal::integer(i)),
+            );
+        }
+        let store = NativeStore::from_graph(&g);
+        let t = translate(&parse("SELECT ?s ?v WHERE { ?s <http://x/p> ?v }").unwrap());
+        let plan = bind(&t.algebra, &store);
+        let Plan::Project(vars, inner) = plan else {
+            panic!()
+        };
+        let parallel = Plan::Project(
+            vars.clone(),
+            Box::new(Plan::Exchange {
+                degree: 4,
+                input: inner.clone(),
+            }),
+        );
+        let sequential = Plan::Project(vars, inner);
+        let ctx = || EvalContext {
+            store: &store,
+            cancel: Cancellation::none(),
+            width: t.vars.len(),
+        };
+        let seq: Vec<Bindings> = ctx().eval(&sequential).collect();
+        let par: Vec<Bindings> = ctx().eval(&parallel).collect();
+        assert_eq!(seq.len(), 3000);
+        assert_eq!(seq, par, "parallel merge must preserve sequential order");
+    }
+
+    #[test]
+    fn exchange_honours_pre_triggered_cancellation() {
+        let mut g = Graph::new();
+        for i in 0..2000 {
+            g.add(
+                Subject::iri(format!("http://x/s{i}")),
+                Iri::new("http://x/p"),
+                Term::Literal(Literal::integer(i)),
+            );
+        }
+        let store = NativeStore::from_graph(&g);
+        let t = translate(&parse("SELECT ?s WHERE { ?s <http://x/p> ?v }").unwrap());
+        let Plan::Project(_, inner) = bind(&t.algebra, &store) else {
+            panic!()
+        };
+        let plan = Plan::Exchange {
+            degree: 4,
+            input: inner,
+        };
+        let cancel = Cancellation::none();
+        cancel.cancel();
+        let ctx = EvalContext {
+            store: &store,
+            cancel: cancel.clone(),
+            width: t.vars.len(),
+        };
+        assert_eq!(ctx.eval(&plan).count(), 0);
+        assert!(cancel.was_triggered());
     }
 
     #[test]

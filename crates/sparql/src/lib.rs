@@ -17,6 +17,12 @@
 //! ([`QueryEngine::execute`]) or count it ([`QueryEngine::count`], which
 //! never decodes a term — the result-size-harness path).
 //!
+//! Execution is morsel-driven parallel by default
+//! ([`QueryOptions::parallelism`], default = available cores): large
+//! driving scans are split into chunks and fanned out to worker threads
+//! via the [`plan::Plan::Exchange`] operator (see [`par`]), with
+//! identical results to sequential evaluation.
+//!
 //! ```
 //! use sp2b_rdf::{Graph, Iri, Subject, Term};
 //! use sp2b_store::MemStore;
@@ -45,6 +51,7 @@ pub mod eval;
 pub mod expr;
 pub mod lexer;
 pub mod optimizer;
+pub mod par;
 pub mod parser;
 pub mod plan;
 

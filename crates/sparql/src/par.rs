@@ -1,0 +1,271 @@
+//! Morsel-driven parallel evaluation of [`Plan::Exchange`].
+//!
+//! The driving scan (first pattern of the leftmost BGP under the
+//! exchange) is partitioned into disjoint chunks via
+//! [`sp2b_store::TripleStore::scan_chunks`] — more chunks than workers,
+//! so fast workers keep pulling morsels from a shared atomic counter
+//! while slow ones finish (the classic morsel-driven load-balancing of
+//! Leis et al.). Each worker runs the *existing* per-morsel iterator
+//! pipeline: the remaining BGP patterns as index-nested-loop steps,
+//! hash-join probes against build sides materialized **once** and shared
+//! read-only via [`Arc`], filters in place. Results flow through a
+//! bounded channel (backpressure: workers cannot run unboundedly ahead
+//! of the merger) and are merged **in morsel order**, so the output
+//! order equals sequential evaluation exactly — parallel and sequential
+//! runs are indistinguishable to every consumer, including `ORDER BY`
+//! and `DISTINCT` above the exchange.
+//!
+//! The merge materializes (like `OrderBy`): `std::thread::scope` workers
+//! cannot outlive this call, so the rows are collected before the
+//! iterator is returned. Cancellation and timeout semantics are
+//! preserved — every worker checks the shared [`Cancellation`] per row,
+//! and a pre-triggered handle yields no rows at all, exactly like the
+//! sequential evaluator.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::sync_channel;
+use std::sync::Arc;
+
+use sp2b_store::hash::FxHashMap;
+use sp2b_store::{Id, ScanChunk};
+
+use crate::eval::{extend_row, probe_inner, probe_left, Bindings, EvalContext, RowIter};
+use crate::expr::BoundExpr;
+use crate::plan::{const_pattern, Plan, PlanPattern};
+
+/// Morsels per worker: enough over-partitioning that an unlucky skewed
+/// morsel cannot serialize the whole query.
+const MORSELS_PER_WORKER: usize = 4;
+
+/// Rows per merge-channel message: batches amortize channel overhead
+/// while keeping worker-side buffering bounded.
+const BATCH_ROWS: usize = 4096;
+
+/// In-flight batches per worker the bounded channel admits.
+const BATCHES_IN_FLIGHT_PER_WORKER: usize = 2;
+
+/// A hash-join build side materialized once and shared read-only by
+/// every worker.
+struct Build {
+    map: FxHashMap<Vec<Id>, Vec<Bindings>>,
+    flat: Vec<Bindings>,
+}
+
+/// The compiled per-morsel pipeline: the exchange input with every build
+/// side pre-materialized. Shapes the parallel driver cannot run (union,
+/// nested exchange, …) fail compilation and fall back to sequential
+/// evaluation — [`Plan::Exchange`] is a performance hint, never a
+/// semantic obligation.
+enum Pipeline<'a> {
+    /// The driving BGP: pattern 0 is replaced by the morsel's chunk.
+    Driving {
+        patterns: &'a [PlanPattern],
+        filters: &'a [(usize, BoundExpr)],
+    },
+    Join {
+        probe: Box<Pipeline<'a>>,
+        build: Arc<Build>,
+        key: &'a [usize],
+    },
+    LeftJoin {
+        probe: Box<Pipeline<'a>>,
+        build: Arc<Build>,
+        key: &'a [usize],
+        condition: Option<&'a BoundExpr>,
+    },
+    Filter(&'a BoundExpr, Box<Pipeline<'a>>),
+}
+
+fn compile<'a>(ctx: &EvalContext<'a>, plan: &'a Plan) -> Option<Pipeline<'a>> {
+    match plan {
+        Plan::Bgp { patterns, filters } if !patterns.is_empty() => {
+            Some(Pipeline::Driving { patterns, filters })
+        }
+        Plan::Join { left, right, key } => {
+            let probe = Box::new(compile(ctx, left)?);
+            let (map, flat) = ctx.build_side(right, key);
+            Some(Pipeline::Join {
+                probe,
+                build: Arc::new(Build { map, flat }),
+                key,
+            })
+        }
+        Plan::LeftJoin {
+            left,
+            right,
+            key,
+            condition,
+        } => {
+            let probe = Box::new(compile(ctx, left)?);
+            let (map, flat) = ctx.build_side(right, key);
+            Some(Pipeline::LeftJoin {
+                probe,
+                build: Arc::new(Build { map, flat }),
+                key,
+                condition: condition.as_ref(),
+            })
+        }
+        Plan::Filter(expr, inner) => Some(Pipeline::Filter(expr, Box::new(compile(ctx, inner)?))),
+        _ => None,
+    }
+}
+
+/// The rows one morsel produces: the chunk's triples feed pattern 0, the
+/// rest of the pipeline is identical to sequential evaluation (same
+/// operators, same per-row order), so concatenating morsel outputs in
+/// chunk order reproduces the sequential row order.
+fn morsel_rows<'a>(
+    ctx: &EvalContext<'a>,
+    pipe: &Pipeline<'a>,
+    chunk: ScanChunk<'a>,
+) -> RowIter<'a> {
+    match pipe {
+        Pipeline::Driving { patterns, filters } => {
+            let patterns: &'a [PlanPattern] = patterns;
+            let filters: &'a [(usize, BoundExpr)] = filters;
+            let pattern0: &'a PlanPattern = &patterns[0];
+            if pattern0.is_unsatisfiable() {
+                return Box::new(std::iter::empty());
+            }
+            let width = ctx.width;
+            let cancel = ctx.cancel.clone();
+            let mut scan = chunk.iter(const_pattern(pattern0));
+            let empty = Bindings::empty(width);
+            let seed: RowIter<'a> = Box::new(std::iter::from_fn(move || loop {
+                if cancel.should_stop() {
+                    return None;
+                }
+                let triple = scan.next()?;
+                if let Some(row) = extend_row(&empty, pattern0, &triple) {
+                    return Some(row);
+                }
+            }));
+            ctx.clone().eval_bgp_from(seed, patterns, filters, 1)
+        }
+        Pipeline::Filter(expr, inner) => {
+            let expr: &'a BoundExpr = expr;
+            let store = ctx.store;
+            let input = morsel_rows(ctx, inner, chunk);
+            Box::new(input.filter(move |row| expr.evaluate(row, store) == Ok(true)))
+        }
+        // Both join arms delegate the per-row probe to the helpers shared
+        // with the sequential evaluator, so join semantics (residual
+        // merge check, OPTIONAL condition, unmatched-left preservation)
+        // live in exactly one place: crate::eval.
+        Pipeline::Join { probe, build, key } => {
+            let input = morsel_rows(ctx, probe, chunk);
+            let build = Arc::clone(build);
+            let key: &'a [usize] = key;
+            let this = ctx.clone();
+            Box::new(input.flat_map(move |l| {
+                if this.cancel.should_stop() {
+                    return Vec::new().into_iter();
+                }
+                probe_inner(&build.map, &build.flat, key, l).into_iter()
+            }))
+        }
+        Pipeline::LeftJoin {
+            probe,
+            build,
+            key,
+            condition,
+        } => {
+            let input = morsel_rows(ctx, probe, chunk);
+            let build = Arc::clone(build);
+            let key: &'a [usize] = key;
+            let condition: Option<&'a BoundExpr> = *condition;
+            let this = ctx.clone();
+            Box::new(input.flat_map(move |l| {
+                if this.cancel.should_stop() {
+                    return Vec::new().into_iter();
+                }
+                probe_left(&this, &build.map, &build.flat, key, condition, l).into_iter()
+            }))
+        }
+    }
+}
+
+/// Evaluates an [`Plan::Exchange`]: fans morsels out to a scoped worker
+/// pool and merges in morsel order. Falls back to sequential evaluation
+/// whenever parallelism cannot pay off (degree ≤ 1, an uncompilable
+/// pipeline shape, or a scan the store cannot partition into ≥ 2
+/// chunks).
+pub(crate) fn eval_exchange<'a>(
+    ctx: EvalContext<'a>,
+    degree: usize,
+    input: &'a Plan,
+) -> RowIter<'a> {
+    if degree <= 1 {
+        return ctx.eval(input);
+    }
+    // Check partitionability *before* compiling: compile() materializes
+    // every hash-join build side, which the sequential fallback would
+    // otherwise rebuild — paying that cost twice.
+    let Some(pattern0) = crate::plan::driving_scan(input) else {
+        return ctx.eval(input);
+    };
+    if pattern0.is_unsatisfiable() {
+        return Box::new(std::iter::empty());
+    }
+    let chunks = ctx
+        .store
+        .scan_chunks(const_pattern(pattern0), degree * MORSELS_PER_WORKER);
+    if chunks.len() <= 1 {
+        // Unpartitionable (default trait impl) or trivially small:
+        // sequential evaluation avoids the thread machinery.
+        return ctx.eval(input);
+    }
+    // Build sides materialize here, once, before any thread spawns.
+    let Some(pipe) = compile(&ctx, input) else {
+        return ctx.eval(input);
+    };
+
+    let workers = degree.min(chunks.len());
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = sync_channel::<(usize, Vec<Bindings>)>(workers * BATCHES_IN_FLIGHT_PER_WORKER);
+    // Per-morsel buffers, concatenated in morsel order after the scope —
+    // this is what makes parallel output order equal sequential order.
+    let mut merged: Vec<Vec<Bindings>> = vec![Vec::new(); chunks.len()];
+
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let ctx = ctx.clone();
+            let next = &next;
+            let chunks = &chunks;
+            let pipe = &pipe;
+            s.spawn(move || {
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= chunks.len() || ctx.cancel.should_stop() {
+                        return;
+                    }
+                    let mut batch: Vec<Bindings> = Vec::new();
+                    for row in morsel_rows(&ctx, pipe, chunks[i]) {
+                        batch.push(row);
+                        if batch.len() >= BATCH_ROWS
+                            && tx.send((i, std::mem::take(&mut batch))).is_err()
+                        {
+                            return; // merger gone — stop producing
+                        }
+                    }
+                    if !batch.is_empty() && tx.send((i, batch)).is_err() {
+                        return;
+                    }
+                }
+            });
+        }
+        drop(tx); // workers hold the only senders: recv ends when they do
+        while let Ok((i, batch)) = rx.recv() {
+            // On cancellation keep draining (cheaply discarding) so
+            // workers blocked on the bounded channel wake up and observe
+            // the stop themselves.
+            if !ctx.cancel.should_stop() {
+                merged[i].extend(batch);
+            }
+        }
+    });
+
+    // Lazy in-order flatten: no second copy of the result rows.
+    Box::new(merged.into_iter().flatten())
+}

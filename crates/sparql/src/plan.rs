@@ -2,9 +2,16 @@
 //!
 //! Binding resolves every constant term to its dictionary id (or `None`
 //! when the term does not occur in the data — such a pattern matches
-//! nothing, which is how Q3c/Q12c become constant-time on any store), and
-//! precomputes hash-join keys (shared *certain* variables) plus residual
-//! compatibility-check variables for every Join/LeftJoin.
+//! nothing, which is how Q3c/Q12c become constant-time on any store) and
+//! precomputes hash-join keys (shared *certain* variables). Residual
+//! possibly-shared variables need no plan field: the evaluator's
+//! [`crate::eval::Bindings::merge_checked`] verifies *every* position at
+//! merge time, which subsumes any explicit check list.
+//!
+//! [`parallelize`] is the physical optimization pass behind
+//! [`crate::QueryOptions::parallelism`]: it inserts [`Plan::Exchange`]
+//! above pipelines whose driving scan is estimated large enough to be
+//! worth splitting into morsels (see [`crate::par`]).
 
 use sp2b_store::{Id, TripleStore};
 
@@ -76,7 +83,9 @@ pub enum Plan {
         /// has bound its variables.
         filters: Vec<(usize, BoundExpr)>,
     },
-    /// Hash join.
+    /// Hash join. Variables shared but only *possibly* bound on a side
+    /// are not part of the key; they are enforced by the evaluator's
+    /// full-row merge ([`crate::eval::Bindings::merge_checked`]).
     Join {
         /// Probe side (streamed).
         left: Box<Plan>,
@@ -84,8 +93,6 @@ pub enum Plan {
         right: Box<Plan>,
         /// Hash-key variables (certainly bound on both sides).
         key: Vec<usize>,
-        /// Additional possibly-shared variables needing a merge check.
-        check: Vec<usize>,
     },
     /// Left outer join with optional condition.
     LeftJoin {
@@ -95,8 +102,6 @@ pub enum Plan {
         right: Box<Plan>,
         /// Hash-key variables.
         key: Vec<usize>,
-        /// Residual shared variables.
-        check: Vec<usize>,
         /// The OPTIONAL filter condition, if any.
         condition: Option<BoundExpr>,
     },
@@ -131,6 +136,21 @@ pub enum Plan {
         /// The pattern producing the rows to aggregate.
         input: Box<Plan>,
     },
+    /// Morsel-driven parallel execution (inserted by [`parallelize`]):
+    /// the driving scan of `input` — the first pattern of the leftmost
+    /// BGP, reached through join probe sides and filters — is split into
+    /// disjoint chunks via [`sp2b_store::TripleStore::scan_chunks`] and
+    /// fanned out to `degree` worker threads, hash-join build sides
+    /// shared read-only. Per-morsel results merge in morsel order, so the
+    /// output order equals sequential evaluation; the merge materializes
+    /// (like `OrderBy`). See [`crate::par`].
+    Exchange {
+        /// Worker-thread count (always ≥ 2; a degree of 1 is never
+        /// planned — sequential plans simply omit the operator).
+        degree: usize,
+        /// The pipeline each worker runs per morsel.
+        input: Box<Plan>,
+    },
 }
 
 /// Binds an algebra tree to a store.
@@ -149,25 +169,17 @@ pub fn bind(algebra: &Algebra, store: &dyn TripleStore) -> Plan {
                 .map(|(pos, e)| (*pos, BoundExpr::bind(e, store)))
                 .collect(),
         },
-        Algebra::Join(a, b) => {
-            let (key, check) = join_vars(a, b);
-            Plan::Join {
-                left: Box::new(bind(a, store)),
-                right: Box::new(bind(b, store)),
-                key,
-                check,
-            }
-        }
-        Algebra::LeftJoin(a, b, cond) => {
-            let (key, check) = join_vars(a, b);
-            Plan::LeftJoin {
-                left: Box::new(bind(a, store)),
-                right: Box::new(bind(b, store)),
-                key,
-                check,
-                condition: cond.as_ref().map(|c| BoundExpr::bind(c, store)),
-            }
-        }
+        Algebra::Join(a, b) => Plan::Join {
+            left: Box::new(bind(a, store)),
+            right: Box::new(bind(b, store)),
+            key: join_key(a, b),
+        },
+        Algebra::LeftJoin(a, b, cond) => Plan::LeftJoin {
+            left: Box::new(bind(a, store)),
+            right: Box::new(bind(b, store)),
+            key: join_key(a, b),
+            condition: cond.as_ref().map(|c| BoundExpr::bind(c, store)),
+        },
         Algebra::Union(a, b) => Plan::Union(Box::new(bind(a, store)), Box::new(bind(b, store))),
         Algebra::Filter(e, inner) => {
             Plan::Filter(BoundExpr::bind(e, store), Box::new(bind(inner, store)))
@@ -205,20 +217,135 @@ pub fn bind(algebra: &Algebra, store: &dyn TripleStore) -> Plan {
     }
 }
 
-/// Hash-join key (shared certain vars) and residual check vars (shared
-/// possible vars not in the key).
-fn join_vars(a: &Algebra, b: &Algebra) -> (Vec<usize>, Vec<usize>) {
+/// Hash-join key: the variables certainly bound on both sides. Shared
+/// variables that are only *possibly* bound on a side (e.g. bound inside
+/// an OPTIONAL) must not key the hash table — they are enforced at merge
+/// time by [`crate::eval::Bindings::merge_checked`], which compares every
+/// position of both rows.
+fn join_key(a: &Algebra, b: &Algebra) -> Vec<usize> {
     let ca = a.certain_vars();
     let cb = b.certain_vars();
-    let key: Vec<usize> = ca.iter().copied().filter(|v| cb.contains(v)).collect();
-    let aa = a.all_vars();
-    let ab = b.all_vars();
-    let check: Vec<usize> = aa
-        .iter()
-        .copied()
-        .filter(|v| ab.contains(v) && !key.contains(v))
-        .collect();
-    (key, check)
+    ca.iter().copied().filter(|v| cb.contains(v)).collect()
+}
+
+// ---------------------------------------------------------------------------
+// Parallelization (the physical pass behind QueryOptions::parallelism)
+// ---------------------------------------------------------------------------
+
+/// Estimated driving-scan cardinality below which an [`Plan::Exchange`] is
+/// not worth its thread-spawn and merge overhead.
+pub const PARALLEL_THRESHOLD: u64 = 512;
+
+/// Inserts [`Plan::Exchange`] operators for a target `degree` of
+/// parallelism. The pass descends through merge-side operators (project,
+/// sort, distinct, aggregation, union branches) and wraps each pipeline
+/// segment — BGP, join probe chain, filter — whose driving scan the
+/// store estimates at [`PARALLEL_THRESHOLD`] rows or more. With
+/// `degree <= 1` the plan is returned unchanged (today's sequential
+/// behavior).
+///
+/// `Slice` is a barrier: LIMIT/OFFSET execute as a lazy skip/take, and
+/// an exchange below them would materialize the *full* input to deliver
+/// a handful of rows. The pass only crosses a `Slice` when a
+/// materializing sort sits directly beneath it (the `ORDER BY … LIMIT`
+/// shape, e.g. Q11), where laziness is already gone.
+pub fn parallelize(plan: Plan, store: &dyn TripleStore, degree: usize) -> Plan {
+    if degree <= 1 {
+        return plan;
+    }
+    match plan {
+        Plan::Project(vars, inner) => {
+            Plan::Project(vars, Box::new(parallelize(*inner, store, degree)))
+        }
+        Plan::OrderBy(keys, inner) => {
+            Plan::OrderBy(keys, Box::new(parallelize(*inner, store, degree)))
+        }
+        Plan::Distinct(inner) => Plan::Distinct(Box::new(parallelize(*inner, store, degree))),
+        Plan::Slice {
+            offset,
+            limit,
+            input,
+        } => {
+            let input = if materializes_anyway(&input) {
+                Box::new(parallelize(*input, store, degree))
+            } else {
+                input // keep the skip/take lazy: no exchange below
+            };
+            Plan::Slice {
+                offset,
+                limit,
+                input,
+            }
+        }
+        Plan::GroupAggregate { spec, input } => Plan::GroupAggregate {
+            spec,
+            input: Box::new(parallelize(*input, store, degree)),
+        },
+        Plan::Union(a, b) => Plan::Union(
+            Box::new(parallelize(*a, store, degree)),
+            Box::new(parallelize(*b, store, degree)),
+        ),
+        // Pipeline segments the parallel driver can run per-morsel.
+        other @ (Plan::Bgp { .. }
+        | Plan::Join { .. }
+        | Plan::LeftJoin { .. }
+        | Plan::Filter(..)) => maybe_exchange(other, store, degree),
+        // Already parallel (idempotence) — leave as is.
+        other @ Plan::Exchange { .. } => other,
+    }
+}
+
+/// True when a `Slice` input materializes regardless of parallelism — a
+/// sort somewhere beneath its streaming wrappers (the `ORDER BY … LIMIT`
+/// shape binds as `Slice(Project(OrderBy(…)))`). Only then is an
+/// exchange below the slice free of a laziness cost.
+fn materializes_anyway(plan: &Plan) -> bool {
+    match plan {
+        Plan::OrderBy(..) => true,
+        Plan::Project(_, inner) | Plan::Distinct(inner) => materializes_anyway(inner),
+        _ => false,
+    }
+}
+
+/// Wraps `plan` in an Exchange when its driving scan clears the
+/// cardinality threshold.
+fn maybe_exchange(plan: Plan, store: &dyn TripleStore, degree: usize) -> Plan {
+    let worthwhile = driving_scan(&plan).is_some_and(|p| {
+        !p.is_unsatisfiable() && store.estimate(const_pattern(p)) >= PARALLEL_THRESHOLD
+    });
+    if worthwhile {
+        Plan::Exchange {
+            degree,
+            input: Box::new(plan),
+        }
+    } else {
+        plan
+    }
+}
+
+/// The driving scan of a pipeline: the first pattern of the leftmost BGP,
+/// reached through join probe (streamed) sides and filters. `None` when
+/// the pipeline has no partitionable driving scan (e.g. a union).
+pub(crate) fn driving_scan(plan: &Plan) -> Option<&PlanPattern> {
+    match plan {
+        Plan::Bgp { patterns, .. } => patterns.first(),
+        Plan::Join { left, .. } | Plan::LeftJoin { left, .. } => driving_scan(left),
+        Plan::Filter(_, inner) => driving_scan(inner),
+        _ => None,
+    }
+}
+
+/// The store pattern of a plan pattern's constant slots — exactly the
+/// pattern the driving scan issues for an empty input row (variables
+/// unbound).
+pub(crate) fn const_pattern(p: &PlanPattern) -> sp2b_store::Pattern {
+    let mut out: sp2b_store::Pattern = [None, None, None];
+    for (i, slot) in p.slots.iter().enumerate() {
+        if let PlanSlot::Const(Some(id)) = slot {
+            out[i] = Some(*id);
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -275,17 +402,18 @@ mod tests {
         let Plan::Project(_, inner) = plan else {
             panic!()
         };
-        let Plan::Join { key, check, .. } = *inner else {
+        let Plan::Join { key, .. } = *inner else {
             panic!("{inner:?}")
         };
         assert_eq!(key, vec![t.vars.lookup("x").unwrap()]);
-        assert!(check.is_empty());
     }
 
     #[test]
-    fn leftjoin_with_optional_var_gets_check() {
-        // ?c appears in both branches but is only certain in neither-left:
-        // left = {a p b}, right = LeftJoin-translated optional with ?c.
+    fn possibly_bound_shared_var_stays_out_of_key() {
+        // ?c appears in both branches but is only *possibly* bound on the
+        // left (inside an OPTIONAL): it must not enter the hash key — the
+        // evaluator's full-row merge enforces it instead (see
+        // eval::tests::join_merges_possibly_bound_shared_variable).
         let t = translate(
             &parse(
                 "SELECT ?a WHERE {
@@ -299,12 +427,90 @@ mod tests {
         let Plan::Project(_, inner) = plan else {
             panic!()
         };
-        let Plan::Join { key, check, .. } = *inner else {
+        let Plan::Join { key, .. } = *inner else {
             panic!("{inner:?}")
         };
         let a = t.vars.lookup("a").unwrap();
         let c = t.vars.lookup("c").unwrap();
-        assert_eq!(key, vec![a]);
-        assert_eq!(check, vec![c], "?c is shared but not certain on the left");
+        assert_eq!(key, vec![a], "only the certainly-shared var keys the join");
+        assert!(!key.contains(&c), "?c is not certain on the left");
+    }
+
+    fn big_store() -> MemStore {
+        let mut g = Graph::new();
+        for i in 0..(PARALLEL_THRESHOLD * 2) {
+            g.add(
+                Subject::iri(format!("http://x/s{i}")),
+                Iri::new("http://x/p"),
+                Term::iri(format!("http://x/o{i}")),
+            );
+        }
+        MemStore::from_graph(&g)
+    }
+
+    #[test]
+    fn parallelize_wraps_large_driving_scan() {
+        let t = translate(&parse("SELECT ?s WHERE { ?s <http://x/p> ?o } ORDER BY ?s").unwrap());
+        let plan = parallelize(bind(&t.algebra, &big_store()), &big_store(), 4);
+        // Exchange sits below the merge-side operators, above the BGP.
+        let Plan::Project(_, inner) = plan else {
+            panic!()
+        };
+        let Plan::OrderBy(_, inner) = *inner else {
+            panic!("{inner:?}")
+        };
+        let Plan::Exchange { degree, input } = *inner else {
+            panic!("{inner:?}")
+        };
+        assert_eq!(degree, 4);
+        assert!(matches!(*input, Plan::Bgp { .. }));
+    }
+
+    #[test]
+    fn parallelize_does_not_cross_a_lazy_slice() {
+        let big = big_store();
+        // LIMIT without ORDER BY: the skip/take stays lazy — an exchange
+        // below it would materialize the full input for a handful of rows.
+        let t = translate(&parse("SELECT ?s WHERE { ?s <http://x/p> ?o } LIMIT 3").unwrap());
+        let plan = parallelize(bind(&t.algebra, &big), &big, 4);
+        assert!(!plan_has_exchange(&plan), "{plan:?}");
+        // ORDER BY + LIMIT: the sort materializes anyway, so the exchange
+        // below it is fair game.
+        let t = translate(
+            &parse("SELECT ?s WHERE { ?s <http://x/p> ?o } ORDER BY ?s LIMIT 3").unwrap(),
+        );
+        let plan = parallelize(bind(&t.algebra, &big), &big, 4);
+        assert!(plan_has_exchange(&plan), "{plan:?}");
+    }
+
+    #[test]
+    fn parallelize_skips_small_scans_and_degree_one() {
+        let t = translate(&parse("SELECT ?s WHERE { ?s <http://x/p> ?o }").unwrap());
+        // Tiny store: below the threshold, no Exchange.
+        let small = store();
+        let plan = parallelize(bind(&t.algebra, &small), &small, 4);
+        assert!(!plan_has_exchange(&plan), "{plan:?}");
+        // Large store but degree 1: sequential plan unchanged.
+        let big = big_store();
+        let plan = parallelize(bind(&t.algebra, &big), &big, 1);
+        assert!(!plan_has_exchange(&plan), "{plan:?}");
+    }
+
+    fn plan_has_exchange(plan: &Plan) -> bool {
+        match plan {
+            Plan::Exchange { .. } => true,
+            Plan::Bgp { .. } => false,
+            Plan::Join { left, right, .. } | Plan::LeftJoin { left, right, .. } => {
+                plan_has_exchange(left) || plan_has_exchange(right)
+            }
+            Plan::Union(a, b) => plan_has_exchange(a) || plan_has_exchange(b),
+            Plan::Filter(_, inner)
+            | Plan::Distinct(inner)
+            | Plan::Project(_, inner)
+            | Plan::OrderBy(_, inner) => plan_has_exchange(inner),
+            Plan::Slice { input, .. } | Plan::GroupAggregate { input, .. } => {
+                plan_has_exchange(input)
+            }
+        }
     }
 }

@@ -14,7 +14,12 @@ use sp2b_rdf::{Graph, Triple};
 
 use crate::dictionary::{Dictionary, Id, IdTriple};
 use crate::hash::FxHashMap;
-use crate::traits::{matches, Pattern, TripleStore};
+use crate::traits::{matches, split_ranges, Pattern, ScanChunk, TripleStore};
+
+/// Posting-list walks for multi-bound estimates are capped at this many
+/// candidates; longer lists fall back to the list-length upper bound so
+/// [`MemStore::estimate`] stays cheap for the optimizer's repeated probes.
+const EXACT_ESTIMATE_CAP: usize = 1 << 10;
 
 /// Posting lists for one triple position.
 #[derive(Debug, Default)]
@@ -117,11 +122,40 @@ impl TripleStore for MemStore {
         }
     }
 
-    /// Heuristic estimate: the shortest applicable posting-list length —
-    /// an upper bound that ignores residual positions (in-memory engines
-    /// keep no multi-column statistics).
-    fn estimate(&self, pattern: Pattern) -> u64 {
+    /// Partitioned scan: the shortest applicable posting list (or the flat
+    /// triple span when nothing is bound) is split into at most `n`
+    /// contiguous sub-spans, concatenating to [`MemStore::scan`]'s order.
+    fn scan_chunks(&self, pattern: Pattern, n: usize) -> Vec<ScanChunk<'_>> {
         match self.best_list(&pattern) {
+            Some(list) => split_ranges(list.len(), n)
+                .into_iter()
+                .map(|r| ScanChunk::Rows {
+                    rows: &list[r],
+                    table: &self.triples,
+                })
+                .collect(),
+            None => split_ranges(self.triples.len(), n)
+                .into_iter()
+                .map(|r| ScanChunk::Triples(&self.triples[r]))
+                .collect(),
+        }
+    }
+
+    /// Heuristic estimate: the minimum over the posting lists of *all*
+    /// bound positions. When two or more positions are bound and the
+    /// shortest list is small (≤ [`EXACT_ESTIMATE_CAP`] candidates), the
+    /// list is walked with residual filtering for an exact count —
+    /// tightening doubly-bound patterns whose positions are individually
+    /// frequent but jointly rare. Longer lists keep the length upper
+    /// bound (in-memory engines hold no multi-column statistics).
+    fn estimate(&self, pattern: Pattern) -> u64 {
+        let bound = pattern.iter().filter(|p| p.is_some()).count();
+        match self.best_list(&pattern) {
+            Some(list) if bound >= 2 && list.len() <= EXACT_ESTIMATE_CAP => {
+                list.iter()
+                    .filter(|&&row| matches(&self.triples[row as usize], &pattern))
+                    .count() as u64
+            }
             Some(list) => list.len() as u64,
             None => self.triples.len() as u64,
         }
@@ -183,13 +217,47 @@ mod tests {
         let s = store();
         let p1 = s.resolve(&Term::iri("http://x/p1")).unwrap();
         let p2 = s.resolve(&Term::iri("http://x/p2")).unwrap();
-        let s1 = s.resolve(&Term::iri("http://x/s1")).unwrap();
         assert_eq!(s.estimate([None, Some(p1), None]), 2);
         assert_eq!(s.estimate([None, Some(p2), None]), 1);
         assert_eq!(s.estimate([None, None, None]), 3);
-        // s1 has 2 triples, p1 has 2: min is 2 either way.
-        assert_eq!(s.estimate([Some(s1), Some(p1), None]), 2);
         assert!(!s.has_exact_estimates());
+    }
+
+    #[test]
+    fn doubly_bound_estimates_are_tightened_by_a_list_walk() {
+        let s = store();
+        let s1 = s.resolve(&Term::iri("http://x/s1")).unwrap();
+        let p1 = s.resolve(&Term::iri("http://x/p1")).unwrap();
+        let o1 = s.resolve(&Term::iri("http://x/o1")).unwrap();
+        // s1 and p1 both have 2 triples, but only one triple carries both:
+        // the walked estimate is 1, not the posting-list minimum of 2.
+        assert_eq!(s.estimate([Some(s1), Some(p1), None]), 1);
+        // A jointly impossible combination estimates to exactly zero.
+        assert_eq!(s.estimate([Some(s1), Some(p1), Some(s1)]), 0);
+        // Fully bound point lookups are exact too.
+        assert_eq!(s.estimate([Some(s1), Some(p1), Some(o1)]), 1);
+    }
+
+    #[test]
+    fn scan_chunks_concatenate_to_scan_order() {
+        let s = store();
+        let s1 = s.resolve(&Term::iri("http://x/s1"));
+        let p1 = s.resolve(&Term::iri("http://x/p1"));
+        for pattern in [
+            [None, None, None],
+            [None, p1, None],
+            [s1, p1, None], // residual filtering over the posting list
+        ] {
+            let sequential: Vec<IdTriple> = s.scan(pattern).collect();
+            for n in [1, 2, 5] {
+                let chunked: Vec<IdTriple> = s
+                    .scan_chunks(pattern, n)
+                    .into_iter()
+                    .flat_map(|c| c.iter(pattern))
+                    .collect();
+                assert_eq!(chunked, sequential, "pattern {pattern:?} n {n}");
+            }
+        }
     }
 
     #[test]

@@ -13,7 +13,7 @@
 use sp2b_rdf::{Graph, Triple};
 
 use crate::dictionary::{Dictionary, Id, IdTriple};
-use crate::traits::{matches, Pattern, TripleStore};
+use crate::traits::{matches, split_ranges, Pattern, ScanChunk, TripleStore};
 
 /// One of the six orderings.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -291,6 +291,18 @@ impl TripleStore for NativeStore {
         }
     }
 
+    /// Partitioned scan: the binary-searched index range is split into at
+    /// most `n` contiguous sub-ranges, so their concatenation is exactly
+    /// the range [`NativeStore::scan`] walks, in the same index order.
+    fn scan_chunks(&self, pattern: Pattern, n: usize) -> Vec<ScanChunk<'_>> {
+        let (order, prefix_len) = self.best_index(&pattern);
+        let range = self.range(order, prefix_len, &pattern);
+        split_ranges(range.len(), n)
+            .into_iter()
+            .map(|r| ScanChunk::Triples(&range[r]))
+            .collect()
+    }
+
     /// Exact estimates via index-range width — the "statistics" that let
     /// native engines answer Q3c in constant time and drive cost-based
     /// join ordering. With a partial index set (ablation) estimates fall
@@ -489,6 +501,39 @@ mod tests {
         let g = graph();
         s.insert_batch(g.as_slice());
         assert_eq!(s.len(), g.len());
+    }
+
+    #[test]
+    fn scan_chunks_concatenate_to_scan_order() {
+        let g = graph();
+        let s = NativeStore::from_graph(&g);
+        let p1 = s.resolve(&Term::iri("http://x/p1"));
+        let o2 = s.resolve(&Term::iri("http://x/o2"));
+        for pattern in [
+            [None, None, None],
+            [None, p1, None],
+            [None, p1, o2], // full prefix on a POS-style index
+            [s.resolve(&Term::iri("http://x/s1")), None, o2],
+        ] {
+            let sequential: Vec<IdTriple> = s.scan(pattern).collect();
+            for n in [1, 2, 3, 7, 64] {
+                let chunks = s.scan_chunks(pattern, n);
+                assert!(chunks.len() <= n.max(1), "at most n chunks");
+                let chunked: Vec<IdTriple> =
+                    chunks.into_iter().flat_map(|c| c.iter(pattern)).collect();
+                assert_eq!(chunked, sequential, "pattern {pattern:?} n {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn scan_chunks_of_empty_range_are_empty() {
+        let g = graph();
+        let s = NativeStore::from_graph(&g);
+        // An id that exists only as an object never matches as predicate:
+        // the range is empty, so there is nothing to partition.
+        let o1 = s.resolve(&Term::iri("http://x/o1"));
+        assert!(s.scan_chunks([None, o1, None], 4).is_empty());
     }
 
     #[test]

@@ -30,6 +30,21 @@ pub trait TripleStore: Send + Sync {
     /// Iterates all triples matching `pattern`, in store order.
     fn scan<'a>(&'a self, pattern: Pattern) -> Box<dyn Iterator<Item = IdTriple> + 'a>;
 
+    /// Splits the scan of `pattern` into at most `n` disjoint chunks whose
+    /// concatenation, in chunk order, yields exactly the triples of
+    /// [`TripleStore::scan`] in scan order. The chunk handles are `Send`,
+    /// so a morsel-driven driver can fan them out to worker threads.
+    ///
+    /// The default returns an empty vector, meaning "this store cannot
+    /// partition the scan" — callers must fall back to [`TripleStore::scan`].
+    /// [`crate::NativeStore`] splits the binary-searched index range,
+    /// [`crate::MemStore`] splits the posting list (or the row span of a
+    /// full scan).
+    fn scan_chunks(&self, pattern: Pattern, n: usize) -> Vec<ScanChunk<'_>> {
+        let _ = (pattern, n);
+        Vec::new()
+    }
+
     /// Estimated number of triples matching `pattern`. Index-backed stores
     /// return exact counts; scan stores return heuristics.
     fn estimate(&self, pattern: Pattern) -> u64;
@@ -52,6 +67,75 @@ pub trait TripleStore: Send + Sync {
     }
 }
 
+/// One disjoint portion of a partitioned scan (see
+/// [`TripleStore::scan_chunks`]): a cheap `Copy` handle over borrowed
+/// store data that each worker thread turns into triples with
+/// [`ScanChunk::iter`]. Both variants still apply residual pattern
+/// filtering, so chunks are safe for partial-prefix index ranges and
+/// posting lists alike.
+#[derive(Debug, Clone, Copy)]
+pub enum ScanChunk<'a> {
+    /// A contiguous run of candidate triples (an index-range or
+    /// triple-table span).
+    Triples(&'a [IdTriple]),
+    /// Candidate row numbers (a posting-list span) into a triple table.
+    Rows {
+        /// Indices into `table`.
+        rows: &'a [u32],
+        /// The full triple table the rows point into.
+        table: &'a [IdTriple],
+    },
+}
+
+impl<'a> ScanChunk<'a> {
+    /// Number of candidate triples (before residual filtering).
+    pub fn len(&self) -> usize {
+        match self {
+            ScanChunk::Triples(t) => t.len(),
+            ScanChunk::Rows { rows, .. } => rows.len(),
+        }
+    }
+
+    /// True if the chunk holds no candidates.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterates the chunk's triples matching `pattern`, in chunk order.
+    pub fn iter(self, pattern: Pattern) -> Box<dyn Iterator<Item = IdTriple> + 'a> {
+        match self {
+            ScanChunk::Triples(triples) => Box::new(
+                triples
+                    .iter()
+                    .filter(move |t| matches(t, &pattern))
+                    .copied(),
+            ),
+            ScanChunk::Rows { rows, table } => Box::new(
+                rows.iter()
+                    .map(move |&r| table[r as usize])
+                    .filter(move |t| matches(t, &pattern)),
+            ),
+        }
+    }
+}
+
+/// Splits `0..len` into at most `n` contiguous near-even ranges (empty for
+/// `len == 0`; fewer than `n` ranges when `len < n`). Shared by the store
+/// implementations of [`TripleStore::scan_chunks`].
+pub fn split_ranges(len: usize, n: usize) -> Vec<std::ops::Range<usize>> {
+    let n = n.max(1).min(len);
+    let mut out = Vec::with_capacity(n);
+    let mut start = 0;
+    for i in 0..n {
+        // Distribute the remainder over the first `len % n` ranges.
+        let end = start + len / n + usize::from(i < len % n);
+        out.push(start..end);
+        start = end;
+    }
+    debug_assert_eq!(start, len);
+    out
+}
+
 /// Does `triple` match `pattern`?
 #[inline]
 pub fn matches(triple: &IdTriple, pattern: &Pattern) -> bool {
@@ -64,6 +148,33 @@ pub fn matches(triple: &IdTriple, pattern: &Pattern) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn split_ranges_covers_exactly() {
+        assert!(split_ranges(0, 4).is_empty());
+        assert_eq!(split_ranges(3, 8), vec![0..1, 1..2, 2..3]);
+        assert_eq!(split_ranges(10, 3), vec![0..4, 4..7, 7..10]);
+        assert_eq!(split_ranges(5, 1), vec![0..5]);
+        // n = 0 is treated as 1.
+        assert_eq!(split_ranges(5, 0), vec![0..5]);
+    }
+
+    #[test]
+    fn scan_chunk_iter_filters_residually() {
+        let table: Vec<IdTriple> = vec![[1, 2, 3], [1, 9, 3], [4, 2, 3]];
+        let chunk = ScanChunk::Triples(&table);
+        assert_eq!(chunk.len(), 3);
+        let hits: Vec<IdTriple> = chunk.iter([None, Some(2), None]).collect();
+        assert_eq!(hits, vec![[1, 2, 3], [4, 2, 3]]);
+
+        let rows: Vec<u32> = vec![2, 0];
+        let chunk = ScanChunk::Rows {
+            rows: &rows,
+            table: &table,
+        };
+        let hits: Vec<IdTriple> = chunk.iter([None, None, Some(3)]).collect();
+        assert_eq!(hits, vec![[4, 2, 3], [1, 2, 3]], "chunk order is row order");
+    }
 
     #[test]
     fn matches_respects_bound_positions() {

@@ -1,0 +1,218 @@
+//! Parallel-vs-sequential equivalence: morsel-driven execution is a
+//! performance choice, never a semantic one. For every benchmark query
+//! (Q1–Q12 and the A1–A5 aggregation extension) on a generated document,
+//! execution at parallelism 2, 4 and 8 must produce the same result
+//! multiset (and count) as strictly sequential execution — including
+//! under a pre-triggered cancellation and with a row limit applied.
+
+use sp2bench::core::{BenchQuery, ExtQuery};
+use sp2bench::datagen::{generate_graph, Config};
+use sp2bench::sparql::{Cancellation, Error, QueryEngine, QueryOptions, QueryResult};
+use sp2bench::store::{MemStore, NativeStore, TripleStore};
+
+const TRIPLES: u64 = 8_000;
+const PARALLEL_DEGREES: [usize; 3] = [2, 4, 8];
+
+fn all_query_texts() -> Vec<(&'static str, &'static str)> {
+    let mut queries: Vec<(&'static str, &'static str)> = BenchQuery::ALL
+        .iter()
+        .map(|q| (q.label(), q.text()))
+        .collect();
+    queries.extend(ExtQuery::ALL.iter().map(|q| (q.label(), q.text())));
+    queries
+}
+
+fn engine(store: &dyn TripleStore, parallelism: usize) -> QueryEngine<'_> {
+    QueryEngine::with_options(store, QueryOptions::new().parallelism(parallelism))
+}
+
+/// A result as a sorted multiset of stringified rows (ASK → its answer).
+fn multiset(result: &QueryResult) -> Vec<String> {
+    match result {
+        QueryResult::Solutions { rows, .. } => {
+            let mut out: Vec<String> = rows
+                .iter()
+                .map(|row| {
+                    row.iter()
+                        .map(|t| t.as_ref().map_or("-".to_owned(), |t| t.to_string()))
+                        .collect::<Vec<_>>()
+                        .join("\t")
+                })
+                .collect();
+            out.sort();
+            out
+        }
+        QueryResult::Boolean(b) => vec![format!("ask:{b}")],
+    }
+}
+
+#[test]
+fn parallel_and_sequential_agree_on_all_queries() {
+    let (graph, _) = generate_graph(Config::triples(TRIPLES));
+    let store = NativeStore::from_graph(&graph);
+    let sequential = engine(&store, 1);
+
+    for (label, text) in all_query_texts() {
+        let prepared = sequential
+            .prepare(text)
+            .unwrap_or_else(|e| panic!("{label}: {e}"));
+        let reference = multiset(
+            &sequential
+                .execute(&prepared)
+                .unwrap_or_else(|e| panic!("{label}: {e}")),
+        );
+        let reference_count = sequential
+            .count(&prepared)
+            .unwrap_or_else(|e| panic!("{label}: {e}"));
+
+        for degree in PARALLEL_DEGREES {
+            let parallel = engine(&store, degree);
+            let prepared = parallel
+                .prepare(text)
+                .unwrap_or_else(|e| panic!("{label}@{degree}: {e}"));
+            let result = parallel
+                .execute(&prepared)
+                .unwrap_or_else(|e| panic!("{label}@{degree}: {e}"));
+            assert_eq!(
+                multiset(&result),
+                reference,
+                "{label}: parallelism {degree} changed the result multiset"
+            );
+            assert_eq!(
+                parallel.count(&prepared).unwrap(),
+                reference_count,
+                "{label}: parallelism {degree} changed the count"
+            );
+            let mut streamed = 0u64;
+            for s in parallel.solutions(&prepared) {
+                s.unwrap_or_else(|e| panic!("{label}@{degree}: {e}"));
+                streamed += 1;
+            }
+            assert_eq!(
+                streamed, reference_count,
+                "{label}: parallelism {degree} changed the streamed row count"
+            );
+        }
+    }
+}
+
+#[test]
+fn mem_store_agrees_too() {
+    // The memory store partitions posting lists instead of index ranges;
+    // a representative subset keeps the runtime modest.
+    let (graph, _) = generate_graph(Config::triples(TRIPLES));
+    let store = MemStore::from_graph(&graph);
+    let sequential = engine(&store, 1);
+    for q in [
+        BenchQuery::Q2,
+        BenchQuery::Q5b,
+        BenchQuery::Q9,
+        BenchQuery::Q11,
+    ] {
+        let prepared = sequential.prepare(q.text()).unwrap();
+        let reference = multiset(&sequential.execute(&prepared).unwrap());
+        for degree in PARALLEL_DEGREES {
+            let parallel = engine(&store, degree);
+            let prepared = parallel.prepare(q.text()).unwrap();
+            assert_eq!(
+                multiset(&parallel.execute(&prepared).unwrap()),
+                reference,
+                "{q}: MemStore parallelism {degree}"
+            );
+        }
+    }
+}
+
+#[test]
+fn pre_triggered_cancellation_cancels_parallel_execution() {
+    let (graph, _) = generate_graph(Config::triples(4_000));
+    let store = NativeStore::from_graph(&graph);
+    for degree in [2, 4] {
+        let parallel = engine(&store, degree);
+        for (label, text) in all_query_texts() {
+            let prepared = parallel
+                .prepare(text)
+                .unwrap_or_else(|e| panic!("{label}: {e}"));
+            let cancel = Cancellation::none();
+            cancel.cancel();
+            assert!(
+                matches!(
+                    parallel.execute_with(&prepared, &cancel),
+                    Err(Error::Cancelled)
+                ),
+                "{label}@{degree}: execute must cancel"
+            );
+            assert!(
+                matches!(
+                    parallel.count_with(&prepared, &cancel),
+                    Err(Error::Cancelled)
+                ),
+                "{label}@{degree}: count must cancel"
+            );
+            let mut stream = parallel.solutions_with(&prepared, &cancel);
+            assert!(
+                matches!(stream.next(), Some(Err(Error::Cancelled))),
+                "{label}@{degree}: stream must cancel"
+            );
+            assert!(stream.next().is_none(), "{label}@{degree}: stream ends");
+        }
+    }
+}
+
+#[test]
+fn row_limit_respected_under_parallelism() {
+    let (graph, _) = generate_graph(Config::triples(TRIPLES));
+    let store = NativeStore::from_graph(&graph);
+    for q in [BenchQuery::Q2, BenchQuery::Q3a, BenchQuery::Q5b] {
+        let full = engine(&store, 1);
+        let prepared = full.prepare(q.text()).unwrap();
+        let total = full.count(&prepared).unwrap();
+        let limit = 5u64.min(total);
+        for degree in [1, 4] {
+            let limited =
+                QueryEngine::with_options(&store, QueryOptions::new().parallelism(degree))
+                    .row_limit(5);
+            let prepared = limited.prepare(q.text()).unwrap();
+            assert_eq!(
+                limited.execute(&prepared).unwrap().row_count() as u64,
+                limit,
+                "{q}@{degree}: execute row limit"
+            );
+            assert_eq!(
+                limited.solutions(&prepared).count() as u64,
+                limit,
+                "{q}@{degree}: streamed row limit"
+            );
+            assert_eq!(
+                limited.count(&prepared).unwrap(),
+                total,
+                "{q}@{degree}: count reports true cardinality"
+            );
+        }
+    }
+}
+
+#[test]
+fn queries_with_limit_modifiers_agree_in_order() {
+    // LIMIT/OFFSET queries with ORDER BY have fully deterministic output:
+    // parallel and sequential rows must match *in order*, not just as
+    // multisets (Q11 is ORDER BY + LIMIT + OFFSET).
+    let (graph, _) = generate_graph(Config::triples(TRIPLES));
+    let store = NativeStore::from_graph(&graph);
+    let sequential = engine(&store, 1);
+    let prepared = sequential.prepare(BenchQuery::Q11.text()).unwrap();
+    let QueryResult::Solutions {
+        rows: reference, ..
+    } = sequential.execute(&prepared).unwrap()
+    else {
+        panic!("Q11 is a SELECT")
+    };
+    for degree in PARALLEL_DEGREES {
+        let parallel = engine(&store, degree);
+        let prepared = parallel.prepare(BenchQuery::Q11.text()).unwrap();
+        let QueryResult::Solutions { rows, .. } = parallel.execute(&prepared).unwrap() else {
+            panic!()
+        };
+        assert_eq!(rows, reference, "Q11@{degree}: ordered rows must match");
+    }
+}
