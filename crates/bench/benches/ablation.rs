@@ -5,19 +5,19 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sp2b_core::BenchQuery;
 use sp2b_datagen::{generate_graph, Config};
 use sp2b_sparql::{OptimizerConfig, QueryEngine};
-use sp2b_store::{IndexSelection, NativeStore, TripleStore};
+use sp2b_store::{IndexSelection, NativeStore, SharedStore, TripleStore};
 
 const TRIPLES: u64 = 25_000;
 
-fn count_query(store: &dyn TripleStore, cfg: &OptimizerConfig, q: BenchQuery) -> u64 {
-    let engine = QueryEngine::new(store).optimizer(*cfg);
+fn count_query(store: &SharedStore, cfg: &OptimizerConfig, q: BenchQuery) -> u64 {
+    let engine = QueryEngine::new(store.clone()).optimizer(*cfg);
     let prepared = engine.prepare(q.text()).expect("benchmark query parses");
     engine.count(&prepared).expect("uncancelled evaluation succeeds")
 }
 
 fn optimizer_ablation(c: &mut Criterion) {
     let (graph, _) = generate_graph(Config::triples(TRIPLES));
-    let store = NativeStore::from_graph(&graph);
+    let store = NativeStore::from_graph(&graph).into_shared();
     let configs: [(&str, OptimizerConfig); 4] = [
         ("full", OptimizerConfig::full()),
         (
@@ -49,8 +49,8 @@ fn optimizer_ablation(c: &mut Criterion) {
 
 fn index_ablation(c: &mut Criterion) {
     let (graph, _) = generate_graph(Config::triples(TRIPLES));
-    let all = NativeStore::with_indexes(&graph, IndexSelection::all());
-    let spo = NativeStore::with_indexes(&graph, IndexSelection::spo_only());
+    let all = NativeStore::with_indexes(&graph, IndexSelection::all()).into_shared();
+    let spo = NativeStore::with_indexes(&graph, IndexSelection::spo_only()).into_shared();
     let cfg = OptimizerConfig::full();
     // Q9/Q10 exercise object-bound patterns where the index layout decides
     // between a range scan and a residual full scan.

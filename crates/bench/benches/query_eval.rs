@@ -8,7 +8,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sp2b_core::BenchQuery;
 use sp2b_datagen::{generate_graph, Config};
 use sp2b_sparql::{OptimizerConfig, QueryEngine};
-use sp2b_store::{MemStore, NativeStore, TripleStore};
+use sp2b_store::{MemStore, NativeStore, SharedStore, TripleStore};
 
 const FAST_TRIPLES: u64 = 25_000;
 const HEAVY_TRIPLES: u64 = 10_000;
@@ -32,15 +32,15 @@ const FAST_QUERIES: &[BenchQuery] = &[
 
 const HEAVY_QUERIES: &[BenchQuery] = &[BenchQuery::Q4, BenchQuery::Q5a, BenchQuery::Q6];
 
-fn count_query(store: &dyn TripleStore, cfg: &OptimizerConfig, q: BenchQuery) -> u64 {
-    let engine = QueryEngine::new(store).optimizer(*cfg);
+fn count_query(store: &SharedStore, cfg: &OptimizerConfig, q: BenchQuery) -> u64 {
+    let engine = QueryEngine::new(store.clone()).optimizer(*cfg);
     let prepared = engine.prepare(q.text()).expect("benchmark query parses");
     engine.count(&prepared).expect("uncancelled evaluation succeeds")
 }
 
 fn queries_native(c: &mut Criterion) {
     let (graph, _) = generate_graph(Config::triples(FAST_TRIPLES));
-    let store = NativeStore::from_graph(&graph);
+    let store = NativeStore::from_graph(&graph).into_shared();
     let cfg = OptimizerConfig::full();
     let mut group = c.benchmark_group("native-opt");
     group.sample_size(10);
@@ -62,7 +62,7 @@ fn queries_mem(c: &mut Criterion) {
             // In-memory engines reload the document per evaluation
             // (the paper's measurement model).
             b.iter(|| {
-                let store = MemStore::from_graph(&graph);
+                let store = MemStore::from_graph(&graph).into_shared();
                 count_query(&store, &cfg, q)
             });
         });
@@ -72,7 +72,7 @@ fn queries_mem(c: &mut Criterion) {
 
 fn queries_heavy(c: &mut Criterion) {
     let (graph, _) = generate_graph(Config::triples(HEAVY_TRIPLES));
-    let store = NativeStore::from_graph(&graph);
+    let store = NativeStore::from_graph(&graph).into_shared();
     let cfg = OptimizerConfig::full();
     let mut group = c.benchmark_group("native-opt-heavy");
     group.sample_size(10);

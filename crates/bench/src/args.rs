@@ -46,6 +46,28 @@ impl Args {
         self.get(key).and_then(parse_scaled).unwrap_or(default)
     }
 
+    /// Strictly validated positive-integer option: absent → `Ok(None)`;
+    /// present but malformed **or zero** → `Err` with a usage message.
+    /// This is the contract shared by `--threads`- and `--clients`-style
+    /// options, where a silent fallback would quietly benchmark the
+    /// wrong configuration.
+    pub fn get_positive_opt(&self, key: &str) -> Result<Option<usize>, String> {
+        match self.get(key) {
+            None => Ok(None),
+            Some(v) => match v.trim().parse::<usize>() {
+                Ok(n) if n > 0 => Ok(Some(n)),
+                _ => Err(format!(
+                    "invalid --{key} value '{v}'\nusage: --{key} N  (a positive integer)"
+                )),
+            },
+        }
+    }
+
+    /// Like [`Args::get_positive_opt`] with a default for the absent case.
+    pub fn get_positive(&self, key: &str, default: usize) -> Result<usize, String> {
+        Ok(self.get_positive_opt(key)?.unwrap_or(default))
+    }
+
     /// Comma-separated list option.
     pub fn get_list(&self, key: &str) -> Option<Vec<String>> {
         self.get(key).map(|v| {
@@ -94,6 +116,28 @@ mod tests {
         assert_eq!(parse_scaled("5m"), Some(5_000_000));
         assert_eq!(parse_scaled("123"), Some(123));
         assert_eq!(parse_scaled("abc"), None);
+    }
+
+    #[test]
+    fn positive_options_hard_error_on_malformed_and_zero() {
+        let a = args("multiuser --clients 4 --threads 2");
+        assert_eq!(a.get_positive("clients", 1), Ok(4));
+        assert_eq!(a.get_positive_opt("threads"), Ok(Some(2)));
+        // Absent: default / None.
+        assert_eq!(a.get_positive("duration", 30), Ok(30));
+        assert_eq!(a.get_positive_opt("duration"), Ok(None));
+        // Zero is a hard error, not "treated as 1".
+        let zero = args("multiuser --clients 0");
+        let err = zero.get_positive("clients", 4).unwrap_err();
+        assert!(err.contains("invalid --clients value '0'"), "{err}");
+        assert!(err.contains("usage:"), "{err}");
+        // Malformed is a hard error, not a silent default.
+        let bad = args("multiuser --threads four");
+        let err = bad.get_positive_opt("threads").unwrap_err();
+        assert!(err.contains("invalid --threads value 'four'"), "{err}");
+        // Negative numbers don't parse as usize either.
+        let neg = args("multiuser --clients -3");
+        assert!(neg.get_positive("clients", 4).is_err());
     }
 
     #[test]

@@ -15,6 +15,8 @@
 //! sp2b ablation [--triples 50k] [--timeout 30]            optimizer/index ablation
 //! sp2b scaling  [--triples 50k] [--threads 1,2,4,8]       thread-scaling speedups
 //! sp2b smoke    [--triples 5k] [--threads 4]              generate → load → all queries
+//! sp2b multiuser --clients 8 [--threads 2] [--duration 30] N concurrent clients, mixed
+//!               [--triples 50k] [--queries q1,a1,…]       workload → latency/throughput
 //! sp2b query    Q4 [--triples 50k] [--engine native-opt]  run one query, print rows
 //! ```
 //!
@@ -27,8 +29,9 @@ use std::time::Duration;
 
 use sp2b_bench::experiments::{self, DEFAULT_SIZES};
 use sp2b_bench::Args;
+use sp2b_core::multiuser::StopCondition;
 use sp2b_core::report;
-use sp2b_core::runner::{run_benchmark, RunnerConfig};
+use sp2b_core::runner::{run_benchmark, MixedWorkloadConfig, RunnerConfig};
 use sp2b_core::{measure, BenchQuery, Engine, EngineKind};
 use sp2b_datagen::{generate_graph, generate_to_path, Config};
 use sp2b_sparql::{Error as SparqlError, Prepared, QueryEngine};
@@ -72,6 +75,7 @@ fn main() -> ExitCode {
         }
         "scaling" => cmd_scaling(&args),
         "smoke" => cmd_smoke(&args),
+        "multiuser" => cmd_multiuser(&args),
         "query" => cmd_query(&args),
         "ext" => cmd_ext(&args),
         "run" => cmd_run(&args),
@@ -86,8 +90,9 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: sp2b <gen|table3|table5|table8|bench|fig2a|fig2b|fig2c|ablation|scaling|smoke|query|ext|run> [options]
-run `sp2b bench` for the full paper protocol; see crate docs for options";
+const USAGE: &str = "usage: sp2b <gen|table3|table5|table8|bench|fig2a|fig2b|fig2c|ablation|scaling|smoke|multiuser|query|ext|run> [options]
+run `sp2b bench` for the full paper protocol, `sp2b multiuser --clients N --threads K --duration S`
+for the concurrent-client workload; see crate docs for options";
 
 fn sizes(args: &Args) -> Vec<u64> {
     match args.get_list("sizes") {
@@ -104,15 +109,10 @@ fn timeout(args: &Args, default_secs: u64) -> Duration {
 }
 
 /// The `--threads` flag: `Ok(None)` keeps the engine default (all
-/// cores); a malformed value is an error, not a silent fallback.
+/// cores); a malformed or zero value is a hard error with a usage
+/// message, never a silent fallback (see `Args::get_positive_opt`).
 fn threads(args: &Args) -> Result<Option<usize>, String> {
-    match args.get("threads") {
-        None => Ok(None),
-        Some(t) => t
-            .parse::<usize>()
-            .map(Some)
-            .map_err(|_| format!("invalid --threads value '{t}' (expected a number)")),
-    }
+    args.get_positive_opt("threads")
 }
 
 fn cmd_gen(args: &Args) -> Result<(), String> {
@@ -165,7 +165,7 @@ fn cmd_fig2c(args: &Args) -> Result<(), String> {
 /// (indented by `indent`) while the remainder is only counted — the tail
 /// never decodes a term. Returns `(total, shown)`.
 fn stream_rows(
-    engine: &QueryEngine<'_>,
+    engine: &QueryEngine,
     prepared: &Prepared,
     limit: usize,
     indent: &str,
@@ -244,6 +244,42 @@ fn cmd_smoke(args: &Args) -> Result<(), String> {
         let count = counted.map_err(|e| format!("{label}: {e}"))?;
         println!("  {label:<5} {count:>10} solutions ({})", m.summary());
     }
+    Ok(())
+}
+
+/// The multi-user mixed workload (paper Section VII's "multi-user
+/// scenario"): N client threads share one loaded store, each cycling a
+/// mix of Q1–Q12/A1–A5 at its own rotation offset, reporting per-client
+/// p50/p95/p99 latency and aggregate queries/sec. `--clients`,
+/// `--threads` (per-query parallelism) and `--duration`/`--rounds` are
+/// strictly validated: malformed or zero values are hard errors.
+fn cmd_multiuser(args: &Args) -> Result<(), String> {
+    let clients = args.get_positive("clients", 4)?;
+    let parallelism = args.get_positive("threads", 1)?;
+    let stop = match args.get_positive_opt("rounds")? {
+        Some(rounds) => StopCondition::Rounds(rounds as u32),
+        None => StopCondition::Duration(Duration::from_secs(
+            args.get_positive("duration", 30)? as u64
+        )),
+    };
+    let triples = args.get_u64("triples", 50_000);
+    let mut cfg = MixedWorkloadConfig::new(triples, clients, stop);
+    if let Some(label) = args.get("engine") {
+        cfg.engine =
+            EngineKind::from_label(label).ok_or_else(|| format!("unknown engine '{label}'"))?;
+    }
+    cfg.multiuser.parallelism = parallelism;
+    cfg.multiuser.timeout = timeout(args, 30);
+    if let Some(labels) = args.get_list("queries") {
+        cfg.multiuser.mix = experiments::parse_mix(&labels)?;
+    }
+    let quiet = args.has("quiet");
+    let report = sp2b_core::run_mixed_workload(&cfg, |line| {
+        if !quiet {
+            eprintln!("{line}");
+        }
+    });
+    println!("{}", report::mixed_workload_report(&report));
     Ok(())
 }
 

@@ -4,12 +4,13 @@
 use std::io;
 use std::time::{Duration, Instant};
 
-use sp2b_core::{BenchQuery, EngineKind};
+use sp2b_core::multiuser::WorkItem;
+use sp2b_core::{BenchQuery, EngineKind, ExtQuery};
 use sp2b_datagen::{
     generate_graph, params, Config, Generator, GeneratorStats, NtriplesSink, NullSink,
 };
 use sp2b_sparql::{OptimizerConfig, QueryEngine};
-use sp2b_store::{IndexSelection, NativeStore, TripleStore};
+use sp2b_store::{IndexSelection, NativeStore, SharedStore, TripleStore};
 
 /// The paper's scales (Table VIII/V columns). The harness defaults to the
 /// first four; 5M/25M are reachable via `--sizes`.
@@ -181,8 +182,8 @@ pub fn table5(sizes: &[u64], timeout: Duration) -> String {
     out.push('\n');
     for &n in sizes {
         let (graph, _) = generate_graph(Config::triples(n));
-        let store = NativeStore::from_graph(&graph);
-        let engine = QueryEngine::new(&store).timeout(timeout);
+        let engine =
+            QueryEngine::new(NativeStore::from_graph(&graph).into_shared()).timeout(timeout);
         out.push_str(&format!("{:<9}", sp2b_core::report::scale_label(n)));
         for q in BenchQuery::ALL {
             // The streaming count path: no term ever decodes.
@@ -276,7 +277,7 @@ pub fn ablation(triples: u64, timeout: Duration) -> String {
 
     for cfg in &configs {
         let start = Instant::now();
-        let store = NativeStore::with_indexes(&graph, cfg.indexes);
+        let store = NativeStore::with_indexes(&graph, cfg.indexes).into_shared();
         let load = start.elapsed().as_secs_f64();
         out.push_str(&format!("{:<12}", cfg.label));
         for q in queries {
@@ -288,12 +289,14 @@ pub fn ablation(triples: u64, timeout: Duration) -> String {
 }
 
 fn run_cell(
-    store: &dyn TripleStore,
+    store: &SharedStore,
     cfg: &OptimizerConfig,
     q: BenchQuery,
     timeout: Duration,
 ) -> String {
-    let engine = QueryEngine::new(store).optimizer(*cfg).timeout(timeout);
+    let engine = QueryEngine::new(store.clone())
+        .optimizer(*cfg)
+        .timeout(timeout);
     let prepared = engine.prepare(q.text()).expect("queries parse");
     let start = Instant::now();
     match engine.count(&prepared) {
@@ -319,7 +322,7 @@ pub fn thread_scaling(
     queries: &[BenchQuery],
 ) -> String {
     let (graph, _) = generate_graph(Config::triples(triples));
-    let store = NativeStore::from_graph(&graph);
+    let store = NativeStore::from_graph(&graph).into_shared();
     let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let mut out = format!(
         "THREAD SCALING — morsel-driven parallel execution \
@@ -336,7 +339,7 @@ pub fn thread_scaling(
         out.push_str(&format!("{:<6}", q.label()));
         let mut baseline: Option<f64> = None;
         for (pos, &t) in threads.iter().enumerate() {
-            let engine = QueryEngine::new(&store)
+            let engine = QueryEngine::new(store.clone())
                 .optimizer(OptimizerConfig::full())
                 .timeout(timeout)
                 .parallelism(t);
@@ -380,6 +383,24 @@ pub fn parse_queries(labels: &[String]) -> Result<Vec<BenchQuery>, String> {
     labels
         .iter()
         .map(|l| BenchQuery::from_label(l).ok_or_else(|| format!("unknown query '{l}'")))
+        .collect()
+}
+
+/// Parses a multi-user mix: each label may name a benchmark query
+/// (Q1…Q12c) or an aggregation extension query (A1…A5).
+pub fn parse_mix(labels: &[String]) -> Result<Vec<WorkItem>, String> {
+    labels
+        .iter()
+        .map(|l| {
+            if let Some(q) = BenchQuery::from_label(l) {
+                return Ok(WorkItem::bench(q));
+            }
+            ExtQuery::ALL
+                .iter()
+                .find(|q| q.label().eq_ignore_ascii_case(l))
+                .map(|&q| WorkItem::ext(q))
+                .ok_or_else(|| format!("unknown query '{l}'"))
+        })
         .collect()
 }
 
@@ -449,5 +470,13 @@ mod tests {
         assert!(parse_engines(&["bogus".into()]).is_err());
         assert!(parse_queries(&["q1".into(), "Q12c".into()]).is_ok());
         assert!(parse_queries(&["q99".into()]).is_err());
+    }
+
+    #[test]
+    fn mix_parsing_accepts_bench_and_ext_labels() {
+        let mix = parse_mix(&["q1".into(), "A3".into(), "Q12c".into()]).unwrap();
+        assert_eq!(mix.len(), 3);
+        assert_eq!(mix[1].label, "A3");
+        assert!(parse_mix(&["a9".into()]).is_err());
     }
 }

@@ -16,7 +16,7 @@ use std::time::Duration;
 
 use sp2b_rdf::Graph;
 use sp2b_sparql::{Error as SparqlError, OptimizerConfig, QueryEngine, QueryResult};
-use sp2b_store::{IndexSelection, MemStore, NativeStore, TripleStore};
+use sp2b_store::{IndexSelection, MemStore, NativeStore, SharedStore, TripleStore};
 
 use crate::metrics::{measure, Measurement};
 use crate::queries::BenchQuery;
@@ -89,15 +89,12 @@ impl std::fmt::Display for EngineKind {
     }
 }
 
-enum StoreImpl {
-    Mem(MemStore),
-    Native(NativeStore),
-}
-
-/// A loaded engine: a store plus its optimizer settings.
+/// A loaded engine: a shared store handle plus its optimizer settings.
+/// The store lives behind an `Arc`, so one `Engine` can back any number
+/// of concurrent [`QueryEngine`]s and multi-user client threads.
 pub struct Engine {
     kind: EngineKind,
-    store: StoreImpl,
+    store: SharedStore,
     /// Loading measurement (dictionary encode + index build). For
     /// in-memory engines this is also re-charged per query.
     pub loading: Measurement,
@@ -143,12 +140,14 @@ impl Engine {
     /// Loads a document (as a parsed graph) into this engine
     /// configuration, timing the load.
     pub fn load(kind: EngineKind, graph: &Graph) -> Engine {
-        let (store, loading) = measure(|| match kind {
-            EngineKind::MemNaive | EngineKind::MemOpt => {
-                StoreImpl::Mem(MemStore::from_graph(graph))
-            }
-            EngineKind::NativeBase | EngineKind::NativeOpt => {
-                StoreImpl::Native(NativeStore::with_indexes(graph, IndexSelection::all()))
+        let (store, loading) = measure(|| -> SharedStore {
+            match kind {
+                EngineKind::MemNaive | EngineKind::MemOpt => {
+                    MemStore::from_graph(graph).into_shared()
+                }
+                EngineKind::NativeBase | EngineKind::NativeOpt => {
+                    NativeStore::with_indexes(graph, IndexSelection::all()).into_shared()
+                }
             }
         });
         Engine {
@@ -165,10 +164,13 @@ impl Engine {
 
     /// The underlying store.
     pub fn store(&self) -> &dyn TripleStore {
-        match &self.store {
-            StoreImpl::Mem(s) => s,
-            StoreImpl::Native(s) => s,
-        }
+        &*self.store
+    }
+
+    /// An owning handle to the store — what the multi-user driver hands
+    /// to each client thread.
+    pub fn shared_store(&self) -> SharedStore {
+        self.store.clone()
     }
 
     /// Runs one benchmark query with a timeout; counts solutions without
@@ -179,11 +181,11 @@ impl Engine {
         self.run_text(query.text(), timeout, false)
     }
 
-    /// A [`QueryEngine`] facade over this engine's store, carrying its
-    /// optimizer configuration and the given timeout. Parallelism is the
-    /// facade default (all available cores); use
+    /// A [`QueryEngine`] facade owning a handle to this engine's store,
+    /// carrying its optimizer configuration and the given timeout.
+    /// Parallelism is the facade default (all available cores); use
     /// [`Engine::query_engine_with`] to pin a thread count.
-    pub fn query_engine(&self, timeout: Option<Duration>) -> QueryEngine<'_> {
+    pub fn query_engine(&self, timeout: Option<Duration>) -> QueryEngine {
         self.query_engine_with(timeout, None)
     }
 
@@ -195,8 +197,8 @@ impl Engine {
         &self,
         timeout: Option<Duration>,
         parallelism: Option<usize>,
-    ) -> QueryEngine<'_> {
-        let mut engine = QueryEngine::new(self.store()).optimizer(self.kind.optimizer());
+    ) -> QueryEngine {
+        let mut engine = QueryEngine::new(self.shared_store()).optimizer(self.kind.optimizer());
         if let Some(t) = timeout {
             engine = engine.timeout(t);
         }

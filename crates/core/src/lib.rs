@@ -3,8 +3,10 @@
 //! The paper's primary contribution, assembled: the 17 benchmark queries
 //! ([`queries`]), the engine configurations standing in for the paper's
 //! systems under test ([`engines`]), the measurement metrics of Section
-//! VI-B ([`metrics`]), the benchmark protocol ([`runner`]) and formatters
-//! that print the paper's tables and figure series ([`report`]).
+//! VI-B ([`metrics`]), the benchmark protocol ([`runner`]), the
+//! multi-client mixed-workload driver of the Section VII multi-user
+//! scenario ([`multiuser`]) and formatters that print the paper's tables
+//! and figure series ([`report`]).
 //!
 //! ```no_run
 //! use sp2b_core::runner::{run_benchmark, RunnerConfig};
@@ -17,6 +19,7 @@
 pub mod engines;
 pub mod ext_queries;
 pub mod metrics;
+pub mod multiuser;
 pub mod queries;
 pub mod report;
 pub mod runner;
@@ -24,5 +27,11 @@ pub mod runner;
 pub use engines::{Engine, EngineKind, Outcome};
 pub use ext_queries::ExtQuery;
 pub use metrics::{measure, Measurement};
+pub use multiuser::{
+    run_multiuser, LatencyHistogram, MultiuserConfig, MultiuserReport, StopCondition, WorkItem,
+};
 pub use queries::BenchQuery;
-pub use runner::{run_benchmark, BenchmarkReport, RunnerConfig, Status};
+pub use runner::{
+    run_benchmark, run_mixed_workload, BenchmarkReport, MixedWorkloadConfig, MixedWorkloadReport,
+    RunnerConfig, Status,
+};

@@ -1,0 +1,511 @@
+//! The multi-client mixed-workload driver — the paper's Section VII
+//! "multi-user scenario": many clients issuing a mix of cheap and
+//! expensive queries against **one shared store**, which real-world
+//! query-log studies (Bonifati et al.) show is what production engines
+//! actually face.
+//!
+//! [`run_multiuser`] spawns `clients` threads, each holding its own
+//! [`QueryEngine`] over a clone of the same [`SharedStore`] handle (the
+//! owned-store engine makes this an `Arc` bump per client). Every client
+//! prepares its query mix once, then cycles through it — each client
+//! starting at a different rotation offset so the store sees genuinely
+//! mixed traffic — recording per-query latency into a log-bucketed
+//! [`LatencyHistogram`] and the observed result cardinalities, until the
+//! configured [`StopCondition`] is met. The driver reports per-client
+//! p50/p95/p99 latency and aggregate throughput
+//! ([`MultiuserReport::throughput`]).
+//!
+//! Result counts are tracked per query label and checked for stability
+//! across executions ([`ClientReport::inconsistent`]): a read-only store
+//! must answer every client identically every time, no matter how many
+//! other clients are hammering it — the concurrency acceptance test pins
+//! this against single-client runs.
+
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+use sp2b_sparql::{Cancellation, Error as SparqlError, QueryEngine, QueryOptions};
+use sp2b_store::SharedStore;
+
+use crate::ext_queries::ExtQuery;
+use crate::queries::BenchQuery;
+
+// ---------------------------------------------------------------------------
+// Latency histogram
+// ---------------------------------------------------------------------------
+
+/// Histogram resolution: buckets per factor-of-ten of latency. Eight per
+/// decade puts neighbouring bucket edges ~33 % apart — coarse enough to
+/// stay tiny, fine enough for meaningful p95/p99.
+const BUCKETS_PER_DECADE: usize = 8;
+/// Bucketed range: 1 µs (index 0) to 1000 s; anything above clamps into
+/// the last bucket (exact min/max are tracked separately).
+const DECADES: usize = 9;
+const NUM_BUCKETS: usize = BUCKETS_PER_DECADE * DECADES;
+
+/// A fixed-size, log-bucketed latency histogram (1 µs … 1000 s range,
+/// ~33 % bucket width). Recording is O(1) and allocation-free after
+/// construction; quantiles resolve to the upper edge of the covering
+/// bucket, clamped to the exact observed min/max.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: Duration,
+    min: Option<Duration>,
+    max: Duration,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: vec![0; NUM_BUCKETS],
+            count: 0,
+            sum: Duration::ZERO,
+            min: None,
+            max: Duration::ZERO,
+        }
+    }
+
+    fn bucket_index(latency: Duration) -> usize {
+        let micros = latency.as_secs_f64() * 1e6;
+        if micros < 1.0 {
+            return 0;
+        }
+        let index = (micros.log10() * BUCKETS_PER_DECADE as f64).floor() as usize;
+        index.min(NUM_BUCKETS - 1)
+    }
+
+    /// Upper latency edge of bucket `index`.
+    fn bucket_edge(index: usize) -> Duration {
+        let micros = 10f64.powf((index + 1) as f64 / BUCKETS_PER_DECADE as f64);
+        Duration::from_secs_f64(micros / 1e6)
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, latency: Duration) {
+        self.buckets[Self::bucket_index(latency)] += 1;
+        self.count += 1;
+        self.sum += latency;
+        self.min = Some(self.min.map_or(latency, |m| m.min(latency)));
+        self.max = self.max.max(latency);
+    }
+
+    /// Folds another histogram into this one (the aggregate row).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = match (self.min, other.min) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency (zero when empty).
+    pub fn mean(&self) -> Duration {
+        if self.count == 0 {
+            Duration::ZERO
+        } else {
+            self.sum / self.count as u32
+        }
+    }
+
+    /// Exact fastest observation.
+    pub fn min(&self) -> Duration {
+        self.min.unwrap_or(Duration::ZERO)
+    }
+
+    /// Exact slowest observation.
+    pub fn max(&self) -> Duration {
+        self.max
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`), resolved to bucket precision and
+    /// clamped to the exact observed range. Zero when empty.
+    pub fn quantile(&self, q: f64) -> Duration {
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                // The last bucket collects every overflow observation;
+                // its edge under-reports, so answer with the exact max.
+                let edge = if i == NUM_BUCKETS - 1 {
+                    self.max
+                } else {
+                    Self::bucket_edge(i)
+                };
+                return edge.clamp(self.min(), self.max);
+            }
+        }
+        self.max
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Workload configuration
+// ---------------------------------------------------------------------------
+
+/// One entry of a client's query mix.
+#[derive(Debug, Clone)]
+pub struct WorkItem {
+    /// Display label (Q1…Q12c, A1…A5, or caller-chosen).
+    pub label: String,
+    /// SPARQL text.
+    pub text: String,
+}
+
+impl WorkItem {
+    /// A benchmark query as a mix entry.
+    pub fn bench(q: BenchQuery) -> WorkItem {
+        WorkItem {
+            label: q.label().to_owned(),
+            text: q.text().to_owned(),
+        }
+    }
+
+    /// An aggregation extension query as a mix entry.
+    pub fn ext(q: ExtQuery) -> WorkItem {
+        WorkItem {
+            label: q.label().to_owned(),
+            text: q.text().to_owned(),
+        }
+    }
+}
+
+/// The default mix: all of Q1–Q12 plus the A1–A5 aggregation extension —
+/// the full cheap-to-expensive spread of the benchmark.
+pub fn default_mix() -> Vec<WorkItem> {
+    BenchQuery::ALL
+        .iter()
+        .map(|&q| WorkItem::bench(q))
+        .chain(ExtQuery::ALL.iter().map(|&q| WorkItem::ext(q)))
+        .collect()
+}
+
+/// When a multi-user run ends.
+#[derive(Debug, Clone, Copy)]
+pub enum StopCondition {
+    /// Wall-clock bound (the CLI's `--duration`). Queries still in flight
+    /// at the deadline are cancelled and not recorded.
+    Duration(Duration),
+    /// Every client performs exactly this many passes over its mix —
+    /// deterministic, for tests and apples-to-apples comparisons.
+    Rounds(u32),
+}
+
+/// Multi-user workload configuration.
+#[derive(Debug, Clone)]
+pub struct MultiuserConfig {
+    /// Number of concurrent client threads.
+    pub clients: usize,
+    /// Intra-query parallelism per client (`QueryOptions::parallelism`) —
+    /// the CLI's `--threads`.
+    pub parallelism: usize,
+    /// When to stop.
+    pub stop: StopCondition,
+    /// Per-query timeout (counted as a timeout, not an error).
+    pub timeout: Duration,
+    /// The query mix every client cycles through (each client starts at
+    /// its own rotation offset). Must not be empty.
+    pub mix: Vec<WorkItem>,
+    /// Rotation seed, so reruns are comparable.
+    pub seed: u64,
+}
+
+impl MultiuserConfig {
+    /// `clients` clients over the default mix: 30 s per-query timeout,
+    /// per-query parallelism 1 (concurrency comes from the clients).
+    pub fn new(clients: usize, stop: StopCondition) -> Self {
+        MultiuserConfig {
+            clients: clients.max(1),
+            parallelism: 1,
+            stop,
+            timeout: Duration::from_secs(30),
+            mix: default_mix(),
+            seed: 0,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reports
+// ---------------------------------------------------------------------------
+
+/// What one client experienced.
+#[derive(Debug, Clone)]
+pub struct ClientReport {
+    /// Client index (0-based).
+    pub client: usize,
+    /// Successfully completed queries.
+    pub completed: u64,
+    /// Executions that hit the per-query timeout.
+    pub timeouts: u64,
+    /// Executions that errored (prepare or evaluation).
+    pub errors: u64,
+    /// Latency of completed queries.
+    pub latency: LatencyHistogram,
+    /// Result cardinality per query label, from the first completed
+    /// execution.
+    pub counts: BTreeMap<String, u64>,
+    /// Labels whose result count *changed* between two executions by this
+    /// client — always empty over a read-only store; the concurrency test
+    /// asserts it.
+    pub inconsistent: Vec<String>,
+}
+
+/// A completed multi-user run.
+#[derive(Debug, Clone)]
+pub struct MultiuserReport {
+    /// Per-client outcomes, in client order.
+    pub clients: Vec<ClientReport>,
+    /// Wall-clock of the whole run (spawn to last join).
+    pub wall: Duration,
+}
+
+impl MultiuserReport {
+    /// Total completed queries across clients.
+    pub fn total_completed(&self) -> u64 {
+        self.clients.iter().map(|c| c.completed).sum()
+    }
+
+    /// Aggregate throughput in queries per second.
+    pub fn throughput(&self) -> f64 {
+        self.total_completed() as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    /// All clients' latencies merged.
+    pub fn aggregate_latency(&self) -> LatencyHistogram {
+        let mut all = LatencyHistogram::new();
+        for c in &self.clients {
+            all.merge(&c.latency);
+        }
+        all
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The driver
+// ---------------------------------------------------------------------------
+
+/// Drives `cfg.clients` concurrent client threads against one shared
+/// store and collects their reports. Blocks until every client finished.
+pub fn run_multiuser(store: SharedStore, cfg: &MultiuserConfig) -> MultiuserReport {
+    assert!(!cfg.mix.is_empty(), "the query mix must not be empty");
+    let clients = cfg.clients.max(1);
+    let started = Instant::now();
+    let deadline = match cfg.stop {
+        StopCondition::Duration(d) => Some(started + d),
+        StopCondition::Rounds(_) => None,
+    };
+    let reports = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|client| {
+                let engine = QueryEngine::with_options(
+                    store.clone(),
+                    QueryOptions::new().parallelism(cfg.parallelism.max(1)),
+                );
+                s.spawn(move || client_loop(client, engine, cfg, deadline))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread panicked"))
+            .collect::<Vec<_>>()
+    });
+    MultiuserReport {
+        clients: reports,
+        wall: started.elapsed(),
+    }
+}
+
+fn client_loop(
+    client: usize,
+    engine: QueryEngine,
+    cfg: &MultiuserConfig,
+    deadline: Option<Instant>,
+) -> ClientReport {
+    let mut report = ClientReport {
+        client,
+        completed: 0,
+        timeouts: 0,
+        errors: 0,
+        latency: LatencyHistogram::new(),
+        counts: BTreeMap::new(),
+        inconsistent: Vec::new(),
+    };
+    // Prepare the whole mix once — the long-lived-server execution model:
+    // plans are reused across every execution of this client.
+    let mut prepared = Vec::with_capacity(cfg.mix.len());
+    for item in &cfg.mix {
+        match engine.prepare(&item.text) {
+            Ok(p) => prepared.push((item.label.as_str(), p)),
+            Err(_) => report.errors += 1,
+        }
+    }
+    if prepared.is_empty() {
+        return report;
+    }
+    // Each client walks the mix at its own rotation offset, so at any
+    // instant the store serves a genuine mix of query shapes.
+    let offset = (cfg.seed as usize).wrapping_add(client) % prepared.len();
+    let total: Option<u64> = match cfg.stop {
+        StopCondition::Rounds(r) => Some(r as u64 * prepared.len() as u64),
+        StopCondition::Duration(_) => None,
+    };
+    let mut executed = 0u64;
+    loop {
+        if total.is_some_and(|t| executed >= t) {
+            break;
+        }
+        let now = Instant::now();
+        if deadline.is_some_and(|d| now >= d) {
+            break;
+        }
+        let (label, p) = &prepared[(offset + executed as usize) % prepared.len()];
+        // The cancellation deadline is the earlier of the per-query
+        // timeout and the wall deadline, so a run overshoots its
+        // configured duration by at most one cancellation latency.
+        let mut stop_at = now + cfg.timeout;
+        if let Some(d) = deadline {
+            stop_at = stop_at.min(d);
+        }
+        let cancel = Cancellation::with_deadline(stop_at);
+        let t0 = Instant::now();
+        match engine.count_with(p, &cancel) {
+            Ok(count) => {
+                report.latency.record(t0.elapsed());
+                report.completed += 1;
+                let label = (*label).to_owned();
+                match report.counts.get(&label) {
+                    Some(&previous) if previous != count => {
+                        // Record each unstable label once, however many
+                        // times it keeps shifting.
+                        if !report.inconsistent.contains(&label) {
+                            report.inconsistent.push(label);
+                        }
+                    }
+                    Some(_) => {}
+                    None => {
+                        report.counts.insert(label, count);
+                    }
+                }
+            }
+            Err(SparqlError::Cancelled) => {
+                if deadline.is_some_and(|d| Instant::now() >= d) {
+                    break; // wall deadline, not a per-query timeout
+                }
+                report.timeouts += 1;
+            }
+            Err(_) => report.errors += 1,
+        }
+        executed += 1;
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sp2b_datagen::{generate_graph, Config};
+    use sp2b_store::{NativeStore, TripleStore};
+
+    #[test]
+    fn histogram_quantiles_bracket_observations() {
+        let mut h = LatencyHistogram::new();
+        for ms in [1u64, 2, 3, 4, 5, 6, 7, 8, 9, 100] {
+            h.record(Duration::from_millis(ms));
+        }
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.max(), Duration::from_millis(100));
+        assert_eq!(h.min(), Duration::from_millis(1));
+        let p50 = h.quantile(0.5);
+        assert!(
+            p50 >= Duration::from_millis(4) && p50 <= Duration::from_millis(8),
+            "p50 {p50:?}"
+        );
+        assert_eq!(h.quantile(1.0), Duration::from_millis(100));
+        // Bucket precision: the p99 lands in the top observation's bucket.
+        assert!(h.quantile(0.99) > Duration::from_millis(50));
+    }
+
+    #[test]
+    fn histogram_merge_accumulates() {
+        let mut a = LatencyHistogram::new();
+        a.record(Duration::from_millis(1));
+        let mut b = LatencyHistogram::new();
+        b.record(Duration::from_millis(10));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), Duration::from_millis(1));
+        assert_eq!(a.max(), Duration::from_millis(10));
+    }
+
+    #[test]
+    fn extreme_latencies_clamp_into_range() {
+        let mut h = LatencyHistogram::new();
+        h.record(Duration::ZERO);
+        h.record(Duration::from_secs(10_000)); // beyond the last bucket
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.quantile(1.0), Duration::from_secs(10_000));
+    }
+
+    #[test]
+    fn rounds_mode_is_deterministic_and_consistent() {
+        let (graph, _) = generate_graph(Config::triples(2_000));
+        let store = NativeStore::from_graph(&graph).into_shared();
+        let mut cfg = MultiuserConfig::new(3, StopCondition::Rounds(2));
+        cfg.mix = vec![
+            WorkItem::bench(BenchQuery::Q1),
+            WorkItem::bench(BenchQuery::Q3a),
+            WorkItem::ext(ExtQuery::A1),
+        ];
+        let report = run_multiuser(store, &cfg);
+        assert_eq!(report.clients.len(), 3);
+        for c in &report.clients {
+            assert_eq!(c.completed, 6, "2 rounds × 3 queries");
+            assert_eq!(c.errors, 0);
+            assert_eq!(c.timeouts, 0);
+            assert!(c.inconsistent.is_empty());
+            assert_eq!(c.counts.len(), 3);
+        }
+        // All clients observe identical result counts over the shared store.
+        let first = &report.clients[0].counts;
+        for c in &report.clients[1..] {
+            assert_eq!(&c.counts, first);
+        }
+        assert_eq!(report.total_completed(), 18);
+        assert!(report.throughput() > 0.0);
+    }
+
+    #[test]
+    fn duration_mode_stops() {
+        let (graph, _) = generate_graph(Config::triples(1_000));
+        let store = NativeStore::from_graph(&graph).into_shared();
+        let mut cfg = MultiuserConfig::new(2, StopCondition::Duration(Duration::from_millis(200)));
+        cfg.mix = vec![WorkItem::bench(BenchQuery::Q1)];
+        let report = run_multiuser(store, &cfg);
+        assert!(report.total_completed() > 0, "something must complete");
+        // The run must not overshoot the wall by more than a cancellation.
+        assert!(report.wall < Duration::from_secs(30), "{:?}", report.wall);
+    }
+}

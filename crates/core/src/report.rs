@@ -1,8 +1,10 @@
 //! Formatters that print the paper's tables and figure data series from a
-//! [`BenchmarkReport`].
+//! [`BenchmarkReport`], plus the multi-user workload section from a
+//! [`MixedWorkloadReport`].
 
 use crate::metrics::{arithmetic_mean, geometric_mean};
-use crate::runner::BenchmarkReport;
+use crate::multiuser::MultiuserReport;
+use crate::runner::{BenchmarkReport, MixedWorkloadReport};
 
 /// Human-readable scale label (10000 → "10k", 1000000 → "1M").
 pub fn scale_label(n: u64) -> String {
@@ -191,6 +193,73 @@ pub fn figure_series(report: &BenchmarkReport) -> String {
     out
 }
 
+/// The multi-user workload table: one row per client with completed
+/// query count, per-client throughput, p50/p95/p99/max latency and
+/// timeout/error tallies, then the aggregate row (merged histogram,
+/// whole-run queries/sec).
+pub fn multiuser_table(report: &MultiuserReport) -> String {
+    let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
+    let mut out = format!(
+        "MULTI-USER WORKLOAD — {} client(s), wall {:.2} s\n\n",
+        report.clients.len(),
+        report.wall.as_secs_f64()
+    );
+    out.push_str(&format!(
+        "{:<8} {:>9} {:>9} {:>10} {:>10} {:>10} {:>10} {:>9} {:>7}\n",
+        "client",
+        "queries",
+        "q/s",
+        "p50[ms]",
+        "p95[ms]",
+        "p99[ms]",
+        "max[ms]",
+        "timeouts",
+        "errors"
+    ));
+    let wall = report.wall.as_secs_f64().max(1e-9);
+    for c in &report.clients {
+        out.push_str(&format!(
+            "{:<8} {:>9} {:>9.1} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>9} {:>7}\n",
+            c.client,
+            c.completed,
+            c.completed as f64 / wall,
+            ms(c.latency.quantile(0.50)),
+            ms(c.latency.quantile(0.95)),
+            ms(c.latency.quantile(0.99)),
+            ms(c.latency.max()),
+            c.timeouts,
+            c.errors,
+        ));
+    }
+    let all = report.aggregate_latency();
+    out.push_str(&format!(
+        "{:<8} {:>9} {:>9.1} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>9} {:>7}\n",
+        "all",
+        report.total_completed(),
+        report.throughput(),
+        ms(all.quantile(0.50)),
+        ms(all.quantile(0.95)),
+        ms(all.quantile(0.99)),
+        ms(all.max()),
+        report.clients.iter().map(|c| c.timeouts).sum::<u64>(),
+        report.clients.iter().map(|c| c.errors).sum::<u64>(),
+    ));
+    out
+}
+
+/// The full mixed-workload report: run header (scale, engine, load time)
+/// plus the [`multiuser_table`].
+pub fn mixed_workload_report(report: &MixedWorkloadReport) -> String {
+    let mut out = format!(
+        "MIXED WORKLOAD — {} triples on {} (loaded in {})\n\n",
+        scale_label(report.scale),
+        report.engine.label(),
+        report.load.summary()
+    );
+    out.push_str(&multiuser_table(&report.multiuser));
+    out
+}
+
 /// The full report: all tables and series.
 pub fn full_report(report: &BenchmarkReport) -> String {
     let mut out = String::new();
@@ -310,5 +379,46 @@ mod tests {
         assert!(s.contains("TABLES VI/VII"));
         assert!(s.contains("LOADING"));
         assert!(s.contains("FIGURES 5-8"));
+    }
+
+    #[test]
+    fn multiuser_table_has_per_client_and_aggregate_rows() {
+        use crate::multiuser::{ClientReport, LatencyHistogram, MultiuserReport};
+        let client = |i: usize, queries: u64| {
+            let mut latency = LatencyHistogram::new();
+            for q in 0..queries {
+                latency.record(Duration::from_millis(1 + q));
+            }
+            ClientReport {
+                client: i,
+                completed: queries,
+                timeouts: 0,
+                errors: 0,
+                latency,
+                counts: Default::default(),
+                inconsistent: Vec::new(),
+            }
+        };
+        let report = MixedWorkloadReport {
+            scale: 10_000,
+            engine: EngineKind::NativeOpt,
+            load: Measurement {
+                tme: Duration::from_millis(7),
+                ..Default::default()
+            },
+            multiuser: MultiuserReport {
+                clients: vec![client(0, 10), client(1, 20)],
+                wall: Duration::from_secs(2),
+            },
+        };
+        let s = mixed_workload_report(&report);
+        assert!(s.contains("MIXED WORKLOAD"), "{s}");
+        assert!(s.contains("10k"), "{s}");
+        assert!(s.contains("p99[ms]"), "{s}");
+        assert!(
+            s.lines().filter(|l| l.starts_with("all")).count() == 1,
+            "{s}"
+        );
+        assert!(s.contains("15.0"), "aggregate throughput 30/2s:\n{s}");
     }
 }

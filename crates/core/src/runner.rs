@@ -15,6 +15,7 @@ use sp2b_rdf::Graph;
 
 use crate::engines::{Engine, EngineKind, Outcome};
 use crate::metrics::{Measurement, PENALTY_SECONDS};
+use crate::multiuser::{run_multiuser, MultiuserConfig, MultiuserReport, StopCondition};
 use crate::queries::BenchQuery;
 
 /// Execution status of one query cell, as lettered in Table IV.
@@ -168,6 +169,85 @@ impl BenchmarkReport {
     }
 }
 
+/// Mixed-workload (multi-user) benchmark mode: one generated document,
+/// one engine configuration, N concurrent client threads sharing the
+/// loaded store — the paper's Section VII multi-user scenario. This is
+/// the protocol behind `sp2b multiuser`.
+#[derive(Debug, Clone)]
+pub struct MixedWorkloadConfig {
+    /// Document scale in triples.
+    pub scale: u64,
+    /// Engine configuration to load the document into.
+    pub engine: EngineKind,
+    /// Generator seed.
+    pub seed: u64,
+    /// Client count, per-query parallelism, stop condition, timeout, mix.
+    pub multiuser: MultiuserConfig,
+}
+
+impl MixedWorkloadConfig {
+    /// `clients` clients against a `scale`-triple document on the
+    /// optimized native engine, default mix and timeout.
+    pub fn new(scale: u64, clients: usize, stop: StopCondition) -> Self {
+        MixedWorkloadConfig {
+            scale,
+            engine: EngineKind::NativeOpt,
+            seed: sp2b_datagen::Rng::DEFAULT_SEED,
+            multiuser: MultiuserConfig::new(clients, stop),
+        }
+    }
+}
+
+/// A completed mixed-workload run: the load measurement plus the
+/// per-client driver report (formatted by
+/// [`crate::report::mixed_workload_report`]).
+#[derive(Debug, Clone)]
+pub struct MixedWorkloadReport {
+    /// Document scale in triples.
+    pub scale: u64,
+    /// Engine configuration driven.
+    pub engine: EngineKind,
+    /// Loading measurement of the shared store.
+    pub load: Measurement,
+    /// The multi-user driver's outcome.
+    pub multiuser: MultiuserReport,
+}
+
+/// Runs the mixed workload: generate the document once, load it into the
+/// configured engine, then drive the concurrent clients against the
+/// shared store. `progress` receives one line per phase.
+pub fn run_mixed_workload(
+    cfg: &MixedWorkloadConfig,
+    mut progress: impl FnMut(&str),
+) -> MixedWorkloadReport {
+    progress(&format!("generating {} triples…", cfg.scale));
+    let (graph, _) = generate_graph(Config::triples(cfg.scale).with_seed(cfg.seed));
+    let engine = Engine::load(cfg.engine, &graph);
+    progress(&format!(
+        "loaded {} triples into {} ({})",
+        cfg.scale,
+        cfg.engine,
+        engine.loading.summary()
+    ));
+    progress(&format!(
+        "driving {} client(s), per-query parallelism {}…",
+        cfg.multiuser.clients, cfg.multiuser.parallelism
+    ));
+    let multiuser = run_multiuser(engine.shared_store(), &cfg.multiuser);
+    progress(&format!(
+        "{} queries completed in {:.2?} ({:.1} q/s)",
+        multiuser.total_completed(),
+        multiuser.wall,
+        multiuser.throughput()
+    ));
+    MixedWorkloadReport {
+        scale: cfg.scale,
+        engine: cfg.engine,
+        load: engine.loading,
+        multiuser,
+    }
+}
+
 /// Runs the benchmark. `progress` receives one line per completed cell.
 pub fn run_benchmark(cfg: &RunnerConfig, mut progress: impl FnMut(&str)) -> BenchmarkReport {
     let mut report = BenchmarkReport {
@@ -307,6 +387,25 @@ mod tests {
         assert_eq!(report.result_count(3_000, BenchQuery::Q9), Some(4));
         // ASK counts one solution (the boolean).
         assert_eq!(report.result_count(3_000, BenchQuery::Q12c), Some(0));
+    }
+
+    #[test]
+    fn mixed_workload_mode_reports_clients() {
+        let mut cfg = MixedWorkloadConfig::new(2_000, 2, StopCondition::Rounds(1));
+        cfg.multiuser.mix = vec![
+            crate::multiuser::WorkItem::bench(BenchQuery::Q1),
+            crate::multiuser::WorkItem::bench(BenchQuery::Q3c),
+        ];
+        let mut lines = Vec::new();
+        let report = run_mixed_workload(&cfg, |l| lines.push(l.to_owned()));
+        assert_eq!(report.multiuser.clients.len(), 2);
+        assert_eq!(
+            report.multiuser.total_completed(),
+            4,
+            "1 round × 2 queries × 2 clients"
+        );
+        assert!(report.multiuser.clients.iter().all(|c| c.errors == 0));
+        assert!(lines.iter().any(|l| l.contains("driving 2 client(s)")));
     }
 
     #[test]

@@ -1,9 +1,10 @@
 //! The crate's high-level query API.
 //!
-//! [`QueryEngine`] is the facade: it owns the store reference and a
-//! [`QueryOptions`] policy bundle (optimizer configuration, timeout,
-//! row-limit), prepares queries into reusable [`Prepared`] statements and
-//! executes them three ways off one evaluation path:
+//! [`QueryEngine`] is the facade: it **owns** its store (a
+//! [`SharedStore`], i.e. `Arc<dyn TripleStore>`) and a [`QueryOptions`]
+//! policy bundle (optimizer configuration, timeout, row-limit), prepares
+//! queries into reusable [`Prepared`] statements and executes them three
+//! ways off one evaluation path:
 //!
 //! * [`QueryEngine::solutions`] — a streaming [`Solutions`] iterator whose
 //!   items are lazy [`Solution`] row handles that decode terms against the
@@ -17,12 +18,22 @@
 //! ([`crate::plan::Plan::GroupAggregate`]), not an api-layer post-pass, so
 //! it participates in optimization and cancellation like every other
 //! operator and all three consumers above agree by construction.
+//!
+//! Owning the store (rather than borrowing it, as the engine did before
+//! this redesign) is what enables the two concurrent workloads the
+//! benchmark targets: detached exchange worker threads that stream
+//! morsel results past the lifetime of the `eval` call ([`crate::par`]),
+//! and any number of client threads sharing one store through cheap
+//! engine clones — the long-lived-server prerequisite. Migration:
+//! `QueryEngine::new(&store)` becomes
+//! `QueryEngine::new(store.into_shared())` (or `Arc::new(store)`), and
+//! engines handed to other threads take an `Arc` clone.
 
 use std::fmt;
 use std::time::{Duration, Instant};
 
 use sp2b_rdf::Term;
-use sp2b_store::{Dictionary, Id, TripleStore};
+use sp2b_store::{Dictionary, Id, SharedStore, TripleStore};
 
 use crate::algebra::{translate_query, GroupSpec, TranslateError};
 use crate::ast::Query;
@@ -168,18 +179,20 @@ impl QueryOptions {
     }
 }
 
-/// The query facade: a store reference plus a [`QueryOptions`] policy.
+/// The query facade: an **owned** store handle plus a [`QueryOptions`]
+/// policy. Cloning an engine is an `Arc` bump — hand clones to as many
+/// client threads as the workload needs; they all query the one store.
 ///
 /// ```
 /// use sp2b_rdf::{Graph, Iri, Subject, Term};
-/// use sp2b_store::MemStore;
+/// use sp2b_store::{MemStore, TripleStore};
 /// use sp2b_sparql::QueryEngine;
 ///
 /// let mut g = Graph::new();
 /// g.add(Subject::iri("http://x/s"), Iri::new("http://x/p"), Term::iri("http://x/o"));
 /// let store = MemStore::from_graph(&g);
 ///
-/// let engine = QueryEngine::new(&store);
+/// let engine = QueryEngine::new(store.into_shared());
 /// let prepared = engine.prepare("SELECT ?s WHERE { ?s <http://x/p> ?o }").unwrap();
 /// // Stream rows lazily…
 /// for solution in engine.solutions(&prepared) {
@@ -189,15 +202,17 @@ impl QueryOptions {
 /// // …or just count, which decodes nothing.
 /// assert_eq!(engine.count(&prepared).unwrap(), 1);
 /// ```
-pub struct QueryEngine<'s> {
-    store: &'s dyn TripleStore,
+#[derive(Clone)]
+pub struct QueryEngine {
+    store: SharedStore,
     options: QueryOptions,
 }
 
-impl<'s> QueryEngine<'s> {
-    /// An engine over `store` with default options (full optimization, no
-    /// timeout, no row limit).
-    pub fn new(store: &'s dyn TripleStore) -> Self {
+impl QueryEngine {
+    /// An engine owning `store`, with default options (full optimization,
+    /// no timeout, no row limit). Build the handle with
+    /// [`TripleStore::into_shared`] or `Arc::new`.
+    pub fn new(store: SharedStore) -> Self {
         QueryEngine {
             store,
             options: QueryOptions::default(),
@@ -205,7 +220,7 @@ impl<'s> QueryEngine<'s> {
     }
 
     /// An engine with an explicit policy.
-    pub fn with_options(store: &'s dyn TripleStore, options: QueryOptions) -> Self {
+    pub fn with_options(store: SharedStore, options: QueryOptions) -> Self {
         QueryEngine { store, options }
     }
 
@@ -237,8 +252,14 @@ impl<'s> QueryEngine<'s> {
     }
 
     /// The store this engine queries.
-    pub fn store(&self) -> &'s dyn TripleStore {
-        self.store
+    pub fn store(&self) -> &dyn TripleStore {
+        &*self.store
+    }
+
+    /// An owning handle to the store — e.g. to build another engine with
+    /// different options over the same data.
+    pub fn shared_store(&self) -> SharedStore {
+        self.store.clone()
     }
 
     /// The active policy.
@@ -263,12 +284,12 @@ impl<'s> QueryEngine<'s> {
         let needed: Vec<usize> = translated.projection.clone();
         let algebra = optimize(
             translated.algebra,
-            self.store,
+            self.store(),
             &self.options.optimizer,
             &needed,
         );
-        let plan = bind(&algebra, self.store);
-        let plan = parallelize(plan, self.store, self.options.parallelism);
+        let plan = bind(&algebra, self.store());
+        let plan = parallelize(plan, self.store(), self.options.parallelism);
         Ok(Prepared {
             plan,
             width: translated.vars.len(),
@@ -286,9 +307,11 @@ impl<'s> QueryEngine<'s> {
         }
     }
 
-    fn context(&self, prepared: &Prepared, cancel: &Cancellation) -> EvalContext<'s> {
+    fn context(&self, prepared: &Prepared, cancel: &Cancellation) -> EvalContext<'_> {
         EvalContext {
-            store: self.store,
+            store: &*self.store,
+            // The owning handle detached exchange workers hold on to.
+            shared: Some(self.store.clone()),
             cancel: cancel.clone(),
             width: prepared.width,
         }
@@ -740,8 +763,7 @@ mod tests {
 
     #[test]
     fn execute_select() {
-        let s = store();
-        let r = QueryEngine::new(&s)
+        let r = QueryEngine::new(store().into_shared())
             .run("SELECT ?v WHERE { ?s <http://x/value> ?v FILTER (?v >= 7) }")
             .unwrap();
         assert_eq!(r.len(), 3);
@@ -749,8 +771,7 @@ mod tests {
 
     #[test]
     fn execute_ask() {
-        let s = store();
-        let engine = QueryEngine::new(&s).optimizer(OptimizerConfig::default());
+        let engine = QueryEngine::new(store().into_shared()).optimizer(OptimizerConfig::default());
         let yes = engine.run("ASK { ?s <http://x/value> 5 }").unwrap();
         assert_eq!(yes.as_bool(), Some(true));
         let no = engine.run("ASK { ?s <http://x/value> 99 }").unwrap();
@@ -762,8 +783,7 @@ mod tests {
         // The historical surprise, now documented and split: `len()`
         // counts the boolean itself (always 1), `row_count()` agrees with
         // `count()` (1 for yes, 0 for no).
-        let s = store();
-        let engine = QueryEngine::new(&s);
+        let engine = QueryEngine::new(store().into_shared());
         let no = engine.run("ASK { ?s <http://x/value> 99 }").unwrap();
         assert_eq!(no.len(), 1);
         assert_eq!(no.row_count(), 0);
@@ -776,8 +796,7 @@ mod tests {
 
     #[test]
     fn count_matches_execute_and_stream() {
-        let s = store();
-        let engine = QueryEngine::new(&s).optimizer(OptimizerConfig::default());
+        let engine = QueryEngine::new(store().into_shared()).optimizer(OptimizerConfig::default());
         let p = engine
             .prepare("SELECT ?v WHERE { ?s <http://x/value> ?v }")
             .unwrap();
@@ -788,8 +807,7 @@ mod tests {
 
     #[test]
     fn streaming_rows_decode_lazily() {
-        let s = store();
-        let engine = QueryEngine::new(&s);
+        let engine = QueryEngine::new(store().into_shared());
         let p = engine
             .prepare("SELECT ?s ?v WHERE { ?s <http://x/value> ?v FILTER (?v = 3) }")
             .unwrap();
@@ -803,8 +821,7 @@ mod tests {
 
     #[test]
     fn row_limit_caps_delivery_not_count() {
-        let s = store();
-        let engine = QueryEngine::new(&s).row_limit(4);
+        let engine = QueryEngine::new(store().into_shared()).row_limit(4);
         let p = engine
             .prepare("SELECT ?v WHERE { ?s <http://x/value> ?v }")
             .unwrap();
@@ -819,8 +836,7 @@ mod tests {
 
     #[test]
     fn cancelled_query_errors() {
-        let s = store();
-        let engine = QueryEngine::new(&s).optimizer(OptimizerConfig::default());
+        let engine = QueryEngine::new(store().into_shared()).optimizer(OptimizerConfig::default());
         let p = engine
             .prepare("SELECT ?a ?b WHERE { ?a <http://x/value> ?x . ?b <http://x/value> ?y }")
             .unwrap();
@@ -841,17 +857,15 @@ mod tests {
 
     #[test]
     fn parse_error_surfaces() {
-        let s = store();
         assert!(matches!(
-            QueryEngine::new(&s).run("SELECT WHERE"),
+            QueryEngine::new(store().into_shared()).run("SELECT WHERE"),
             Err(Error::Parse(_))
         ));
     }
 
     #[test]
     fn unbound_group_variable_is_an_error_not_a_panic() {
-        let s = store();
-        let engine = QueryEngine::new(&s);
+        let engine = QueryEngine::new(store().into_shared());
         // ?g never occurs in the pattern.
         let err = engine
             .prepare("SELECT ?g (COUNT(*) AS ?n) WHERE { ?s <http://x/value> ?v } GROUP BY ?g")
@@ -872,8 +886,7 @@ mod tests {
 
     #[test]
     fn aggregate_runs_through_plan_operator() {
-        let s = store();
-        let engine = QueryEngine::new(&s);
+        let engine = QueryEngine::new(store().into_shared());
         let p = engine
             .prepare("SELECT (COUNT(*) AS ?n) WHERE { ?s <http://x/value> ?v }")
             .unwrap();
@@ -895,8 +908,7 @@ mod tests {
 
     #[test]
     fn timeout_in_options_cancels() {
-        let s = store();
-        let engine = QueryEngine::new(&s)
+        let engine = QueryEngine::new(store().into_shared())
             .optimizer(OptimizerConfig::default())
             .timeout(Duration::ZERO);
         let p = engine

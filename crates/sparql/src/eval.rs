@@ -15,7 +15,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use sp2b_rdf::{Literal, Term};
-use sp2b_store::{Dictionary, Id, IdTriple, TripleStore};
+use sp2b_store::{Dictionary, Id, IdTriple, SharedStore, TripleStore};
 
 use crate::algebra::GroupSpec;
 use crate::expr::BoundExpr;
@@ -140,8 +140,16 @@ impl Cancellation {
 /// by value.
 #[derive(Clone)]
 pub struct EvalContext<'a> {
-    /// The store being queried.
+    /// The store being queried (the borrow every lazy scan iterator ties
+    /// its lifetime to).
     pub store: &'a dyn TripleStore,
+    /// An *owning* handle to the same store, when the caller has one.
+    /// This is what [`crate::par`] hands to detached exchange worker
+    /// threads — they cannot borrow `store` because they outlive the call
+    /// that spawned them. `None` (a raw, borrow-only context) disables
+    /// detached parallelism: `Plan::Exchange` then degrades to sequential
+    /// evaluation, never to unsoundness.
+    pub shared: Option<SharedStore>,
     /// Cancellation control.
     pub cancel: Cancellation,
     /// Number of variables (row width).
@@ -236,9 +244,10 @@ impl<'a> EvalContext<'a> {
     fn eval_unordered(self, plan: &'a Plan) -> RowIter<'a> {
         match plan {
             // When the sort is elided, an Exchange placed directly under
-            // it loses its purpose as well: the exchange merge
-            // materializes, which would defeat bounded consumers (the
-            // count path's `take(offset+limit)`), so unwrap it too.
+            // it loses its purpose as well: bounded consumers (the count
+            // path's `take(offset+limit)`) stop after a handful of rows,
+            // and spinning up detached workers that race ahead of a
+            // consumer about to hang up is pure overhead — unwrap it too.
             Plan::OrderBy(_, inner) => match inner.as_ref() {
                 Plan::Exchange { input, .. } => self.eval_unordered(input),
                 other => self.eval_unordered(other),
@@ -372,18 +381,7 @@ impl<'a> EvalContext<'a> {
             if self.cancel.should_stop() {
                 break;
             }
-            if key.is_empty() {
-                flat.push(row);
-            } else {
-                let k: Option<Vec<Id>> = key.iter().map(|&v| row.get(v)).collect();
-                match k {
-                    Some(k) => map.entry(k).or_default().push(row),
-                    // A key var unbound on the build side (possible under
-                    // partial optional results): falls back to the flat
-                    // list so no match is lost.
-                    None => flat.push(row),
-                }
-            }
+            insert_build_row(&mut map, &mut flat, key, row);
         }
         (map, flat)
     }
@@ -627,6 +625,29 @@ fn project_rows<'a>(input: RowIter<'a>, vars: &'a [usize], width: usize) -> RowI
     }))
 }
 
+/// Files one build-side row into the hash map (or the flat overflow list
+/// when the key is empty or a key variable is unbound — possible under
+/// partial optional results — so no match is lost). Shared between the
+/// sequential [`EvalContext::build_side`] and the parallel partitioned
+/// build in [`crate::par`], which feeds rows in chunk order so bucket
+/// insertion order equals sequential evaluation order.
+pub(crate) fn insert_build_row(
+    map: &mut FxHashMap<Vec<Id>, Vec<Bindings>>,
+    flat: &mut Vec<Bindings>,
+    key: &[usize],
+    row: Bindings,
+) {
+    if key.is_empty() {
+        flat.push(row);
+        return;
+    }
+    let k: Option<Vec<Id>> = key.iter().map(|&v| row.get(v)).collect();
+    match k {
+        Some(k) => map.entry(k).or_default().push(row),
+        None => flat.push(row),
+    }
+}
+
 /// Inner-join probe of one row: merges `l` with every compatible build
 /// row (the residual check of possibly-shared variables happens inside
 /// [`Bindings::merge_checked`]). Shared between the sequential
@@ -815,6 +836,7 @@ mod tests {
         let cancel = Cancellation::none();
         let ctx = EvalContext {
             store,
+            shared: None,
             cancel: cancel.clone(),
             width: t.vars.len(),
         };
@@ -980,9 +1002,9 @@ mod tests {
                 Term::Literal(Literal::integer(i)),
             );
         }
-        let store = NativeStore::from_graph(&g);
+        let store: SharedStore = NativeStore::from_graph(&g).into_shared();
         let t = translate(&parse("SELECT ?s ?v WHERE { ?s <http://x/p> ?v }").unwrap());
-        let plan = bind(&t.algebra, &store);
+        let plan = bind(&t.algebra, &*store);
         let Plan::Project(vars, inner) = plan else {
             panic!()
         };
@@ -995,7 +1017,8 @@ mod tests {
         );
         let sequential = Plan::Project(vars, inner);
         let ctx = || EvalContext {
-            store: &store,
+            store: &*store,
+            shared: Some(store.clone()),
             cancel: Cancellation::none(),
             width: t.vars.len(),
         };
@@ -1015,9 +1038,9 @@ mod tests {
                 Term::Literal(Literal::integer(i)),
             );
         }
-        let store = NativeStore::from_graph(&g);
+        let store: SharedStore = NativeStore::from_graph(&g).into_shared();
         let t = translate(&parse("SELECT ?s WHERE { ?s <http://x/p> ?v }").unwrap());
-        let Plan::Project(_, inner) = bind(&t.algebra, &store) else {
+        let Plan::Project(_, inner) = bind(&t.algebra, &*store) else {
             panic!()
         };
         let plan = Plan::Exchange {
@@ -1027,7 +1050,8 @@ mod tests {
         let cancel = Cancellation::none();
         cancel.cancel();
         let ctx = EvalContext {
-            store: &store,
+            store: &*store,
+            shared: Some(store.clone()),
             cancel: cancel.clone(),
             width: t.vars.len(),
         };
@@ -1069,6 +1093,7 @@ mod tests {
         cancel.cancel();
         let ctx = EvalContext {
             store: &store,
+            shared: None,
             cancel: cancel.clone(),
             width: t.vars.len(),
         };

@@ -19,20 +19,24 @@
 //!
 //! Execution is morsel-driven parallel by default
 //! ([`QueryOptions::parallelism`], default = available cores): large
-//! driving scans are split into chunks and fanned out to worker threads
-//! via the [`plan::Plan::Exchange`] operator (see [`par`]), with
-//! identical results to sequential evaluation.
+//! driving scans are split into chunks and fanned out to **detached**
+//! worker threads via the [`plan::Plan::Exchange`] operator (see
+//! [`par`]), which stream their results through a bounded channel —
+//! identical results (and order) to sequential evaluation, flat memory
+//! at the merge. The engine *owns* its store
+//! (`Arc<dyn TripleStore>`), so engines are cheap to clone and share
+//! across client threads — the long-lived-server shape.
 //!
 //! ```
 //! use sp2b_rdf::{Graph, Iri, Subject, Term};
-//! use sp2b_store::MemStore;
+//! use sp2b_store::{MemStore, TripleStore};
 //! use sp2b_sparql::QueryEngine;
 //!
 //! let mut g = Graph::new();
 //! g.add(Subject::iri("http://x/s"), Iri::new("http://x/p"), Term::iri("http://x/o"));
 //! let store = MemStore::from_graph(&g);
 //!
-//! let engine = QueryEngine::new(&store);
+//! let engine = QueryEngine::new(store.into_shared());
 //! let prepared = engine.prepare("SELECT ?s WHERE { ?s <http://x/p> ?o }").unwrap();
 //!
 //! // Counting decodes nothing…

@@ -1,4 +1,5 @@
-//! Morsel-driven parallel evaluation of [`Plan::Exchange`].
+//! Morsel-driven parallel evaluation of [`Plan::Exchange`] with
+//! **detached, streaming** worker threads.
 //!
 //! The driving scan (first pattern of the leftmost BGP under the
 //! exchange) is partitioned into disjoint chunks via
@@ -8,30 +9,53 @@
 //! Leis et al.). Each worker runs the *existing* per-morsel iterator
 //! pipeline: the remaining BGP patterns as index-nested-loop steps,
 //! hash-join probes against build sides materialized **once** and shared
-//! read-only via [`Arc`], filters in place. Results flow through a
-//! bounded channel (backpressure: workers cannot run unboundedly ahead
-//! of the merger) and are merged **in morsel order**, so the output
-//! order equals sequential evaluation exactly — parallel and sequential
-//! runs are indistinguishable to every consumer, including `ORDER BY`
-//! and `DISTINCT` above the exchange.
+//! read-only via [`Arc`], filters in place.
 //!
-//! The merge materializes (like `OrderBy`): `std::thread::scope` workers
-//! cannot outlive this call, so the rows are collected before the
-//! iterator is returned. Cancellation and timeout semantics are
-//! preserved — every worker checks the shared [`Cancellation`] per row,
-//! and a pre-triggered handle yields no rows at all, exactly like the
-//! sequential evaluator.
+//! Unlike the original scoped-thread design, workers are **detached**
+//! threads holding an owning [`SharedStore`] handle (plus an owned copy
+//! of the compiled pipeline), so they can outlive the `eval_exchange`
+//! call. Results therefore *stream*: batches flow through a bounded
+//! channel (backpressure — workers cannot run unboundedly ahead of the
+//! consumer) into [`ExchangeMerge`], a pull-based iterator that reorders
+//! batches **by morsel index**, so the output order equals sequential
+//! evaluation exactly while memory stays bounded by the channel for
+//! balanced morsels. (Morsel skew is the one escape valve: batches of a
+//! later morsel that arrive while an earlier one is still open are
+//! buffered at the merger to preserve order.)
+//!
+//! Lifecycle guarantees, enforced by [`ExchangeMerge::shutdown`] (run on
+//! exhaustion, on cancellation, and from `Drop`):
+//!
+//! * cancellation/timeout propagate per row — every worker checks the
+//!   shared [`Cancellation`], and a pre-triggered handle yields no rows
+//!   and spawns no threads, exactly like the sequential evaluator;
+//! * dropping the iterator early (a `LIMIT`-style consumer hanging up)
+//!   closes the sink flag and disconnects the channel, which wakes
+//!   workers blocked on `send`; the drop then **joins** every worker, so
+//!   no detached thread outlives its stream — verified in debug builds
+//!   by [`diag::live_workers`].
+//!
+//! Hash-join build sides large enough to clear their own
+//! [`crate::plan::parallel_threshold`] are themselves built from
+//! `scan_chunks` partitions on a scoped worker pool (the build is a
+//! blocking materialization, so scoped threads suffice there), with rows
+//! filed in chunk order to preserve bucket ordering.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc::sync_channel;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::Arc;
+use std::thread::JoinHandle;
 
 use sp2b_store::hash::FxHashMap;
-use sp2b_store::{Id, ScanChunk};
+use sp2b_store::{Id, Pattern, ScanChunk, SharedStore, TripleStore};
 
-use crate::eval::{extend_row, probe_inner, probe_left, Bindings, EvalContext, RowIter};
+use crate::eval::{
+    extend_row, insert_build_row, probe_inner, probe_left, Bindings, Cancellation, EvalContext,
+    RowIter,
+};
 use crate::expr::BoundExpr;
-use crate::plan::{const_pattern, Plan, PlanPattern};
+use crate::plan::{const_pattern, parallel_threshold, Plan, PlanPattern};
 
 /// Morsels per worker: enough over-partitioning that an unlucky skewed
 /// morsel cannot serialize the whole query.
@@ -51,43 +75,44 @@ struct Build {
     flat: Vec<Bindings>,
 }
 
-/// The compiled per-morsel pipeline: the exchange input with every build
-/// side pre-materialized. Shapes the parallel driver cannot run (union,
-/// nested exchange, …) fail compilation and fall back to sequential
-/// evaluation — [`Plan::Exchange`] is a performance hint, never a
-/// semantic obligation.
-enum Pipeline<'a> {
+/// The compiled per-morsel pipeline: an **owned** copy of the exchange
+/// input (detached workers cannot borrow the prepared plan) with every
+/// build side pre-materialized. Shapes the parallel driver cannot run
+/// (union, nested exchange, …) fail compilation and fall back to
+/// sequential evaluation — [`Plan::Exchange`] is a performance hint,
+/// never a semantic obligation.
+enum Pipeline {
     /// The driving BGP: pattern 0 is replaced by the morsel's chunk.
     Driving {
-        patterns: &'a [PlanPattern],
-        filters: &'a [(usize, BoundExpr)],
+        patterns: Vec<PlanPattern>,
+        filters: Vec<(usize, BoundExpr)>,
     },
     Join {
-        probe: Box<Pipeline<'a>>,
+        probe: Box<Pipeline>,
         build: Arc<Build>,
-        key: &'a [usize],
+        key: Vec<usize>,
     },
     LeftJoin {
-        probe: Box<Pipeline<'a>>,
+        probe: Box<Pipeline>,
         build: Arc<Build>,
-        key: &'a [usize],
-        condition: Option<&'a BoundExpr>,
+        key: Vec<usize>,
+        condition: Option<BoundExpr>,
     },
-    Filter(&'a BoundExpr, Box<Pipeline<'a>>),
+    Filter(BoundExpr, Box<Pipeline>),
 }
 
-fn compile<'a>(ctx: &EvalContext<'a>, plan: &'a Plan) -> Option<Pipeline<'a>> {
+fn compile<'a>(ctx: &EvalContext<'a>, plan: &'a Plan, degree: usize) -> Option<Pipeline> {
     match plan {
-        Plan::Bgp { patterns, filters } if !patterns.is_empty() => {
-            Some(Pipeline::Driving { patterns, filters })
-        }
+        Plan::Bgp { patterns, filters } if !patterns.is_empty() => Some(Pipeline::Driving {
+            patterns: patterns.clone(),
+            filters: filters.clone(),
+        }),
         Plan::Join { left, right, key } => {
-            let probe = Box::new(compile(ctx, left)?);
-            let (map, flat) = ctx.build_side(right, key);
+            let probe = Box::new(compile(ctx, left, degree)?);
             Some(Pipeline::Join {
                 probe,
-                build: Arc::new(Build { map, flat }),
-                key,
+                build: Arc::new(build_side(ctx, right, key, degree)),
+                key: key.clone(),
             })
         }
         Plan::LeftJoin {
@@ -96,52 +121,137 @@ fn compile<'a>(ctx: &EvalContext<'a>, plan: &'a Plan) -> Option<Pipeline<'a>> {
             key,
             condition,
         } => {
-            let probe = Box::new(compile(ctx, left)?);
-            let (map, flat) = ctx.build_side(right, key);
+            let probe = Box::new(compile(ctx, left, degree)?);
             Some(Pipeline::LeftJoin {
                 probe,
-                build: Arc::new(Build { map, flat }),
-                key,
-                condition: condition.as_ref(),
+                build: Arc::new(build_side(ctx, right, key, degree)),
+                key: key.clone(),
+                condition: condition.clone(),
             })
         }
-        Plan::Filter(expr, inner) => Some(Pipeline::Filter(expr, Box::new(compile(ctx, inner)?))),
+        Plan::Filter(expr, inner) => Some(Pipeline::Filter(
+            expr.clone(),
+            Box::new(compile(ctx, inner, degree)?),
+        )),
         _ => None,
     }
 }
 
-/// The rows one morsel produces: the chunk's triples feed pattern 0, the
-/// rest of the pipeline is identical to sequential evaluation (same
-/// operators, same per-row order), so concatenating morsel outputs in
-/// chunk order reproduces the sequential row order.
-fn morsel_rows<'a>(
+/// Materializes a hash-join build side, partitioning the evaluation of a
+/// large chunkable BGP across `degree` scoped threads (Q6/Q7-style
+/// negation plans carry corpus-sized build sides). Rows are filed in
+/// chunk order, so bucket insertion order — and with it probe output
+/// order — equals sequential evaluation.
+fn build_side<'a>(ctx: &EvalContext<'a>, plan: &'a Plan, key: &[usize], degree: usize) -> Build {
+    let mut map: FxHashMap<Vec<Id>, Vec<Bindings>> = FxHashMap::default();
+    let mut flat: Vec<Bindings> = Vec::new();
+    if let Some(rows) = parallel_build_rows(ctx, plan, degree) {
+        for row in rows {
+            insert_build_row(&mut map, &mut flat, key, row);
+        }
+    } else {
+        (map, flat) = ctx.build_side(plan, key);
+    }
+    Build { map, flat }
+}
+
+/// Evaluates a build-side BGP in parallel partitions of its driving scan,
+/// returning rows in sequential scan order. `None` when the shape, size
+/// or degree does not warrant it — the caller falls back to the
+/// sequential build.
+fn parallel_build_rows<'a>(
     ctx: &EvalContext<'a>,
-    pipe: &Pipeline<'a>,
+    plan: &'a Plan,
+    degree: usize,
+) -> Option<Vec<Bindings>> {
+    if degree < 2 {
+        return None;
+    }
+    let Plan::Bgp { patterns, filters } = plan else {
+        return None;
+    };
+    let pattern0 = patterns.first()?;
+    if pattern0.is_unsatisfiable() {
+        return None;
+    }
+    let scan_pattern = const_pattern(pattern0);
+    if ctx.store.estimate(scan_pattern) < parallel_threshold(plan, ctx.store) {
+        return None;
+    }
+    let chunks = ctx
+        .store
+        .scan_chunks(scan_pattern, degree * MORSELS_PER_WORKER);
+    if chunks.len() < 2 {
+        return None;
+    }
+    let workers = degree.min(chunks.len());
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, Vec<Bindings>)>();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let ctx = ctx.clone();
+            let next = &next;
+            let chunks = &chunks;
+            s.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= chunks.len() || ctx.cancel.should_stop() {
+                    return;
+                }
+                let rows: Vec<Bindings> =
+                    bgp_chunk_rows(&ctx, patterns, filters, chunks[i]).collect();
+                if tx.send((i, rows)).is_err() {
+                    return;
+                }
+            });
+        }
+    });
+    drop(tx);
+    // The build materializes by nature, so collecting per-chunk results
+    // and concatenating in chunk order costs no extra copy of the rows.
+    let mut per_chunk: Vec<Vec<Bindings>> = (0..chunks.len()).map(|_| Vec::new()).collect();
+    while let Ok((i, rows)) = rx.try_recv() {
+        per_chunk[i] = rows;
+    }
+    Some(per_chunk.into_iter().flatten().collect())
+}
+
+/// The driving-BGP rows of one chunk: the chunk's triples feed pattern 0,
+/// the rest of the pipeline is identical to sequential evaluation (same
+/// operators, same per-row order), so concatenating chunk outputs in
+/// chunk order reproduces the sequential row order. Shared between the
+/// morsel driver and the parallel build.
+fn bgp_chunk_rows<'a>(
+    ctx: &EvalContext<'a>,
+    patterns: &'a [PlanPattern],
+    filters: &'a [(usize, BoundExpr)],
     chunk: ScanChunk<'a>,
 ) -> RowIter<'a> {
-    match pipe {
-        Pipeline::Driving { patterns, filters } => {
-            let patterns: &'a [PlanPattern] = patterns;
-            let filters: &'a [(usize, BoundExpr)] = filters;
-            let pattern0: &'a PlanPattern = &patterns[0];
-            if pattern0.is_unsatisfiable() {
-                return Box::new(std::iter::empty());
-            }
-            let width = ctx.width;
-            let cancel = ctx.cancel.clone();
-            let mut scan = chunk.iter(const_pattern(pattern0));
-            let empty = Bindings::empty(width);
-            let seed: RowIter<'a> = Box::new(std::iter::from_fn(move || loop {
-                if cancel.should_stop() {
-                    return None;
-                }
-                let triple = scan.next()?;
-                if let Some(row) = extend_row(&empty, pattern0, &triple) {
-                    return Some(row);
-                }
-            }));
-            ctx.clone().eval_bgp_from(seed, patterns, filters, 1)
+    let pattern0: &'a PlanPattern = &patterns[0];
+    if pattern0.is_unsatisfiable() {
+        return Box::new(std::iter::empty());
+    }
+    let width = ctx.width;
+    let cancel = ctx.cancel.clone();
+    let mut scan = chunk.iter(const_pattern(pattern0));
+    let empty = Bindings::empty(width);
+    let seed: RowIter<'a> = Box::new(std::iter::from_fn(move || loop {
+        if cancel.should_stop() {
+            return None;
         }
+        let triple = scan.next()?;
+        if let Some(row) = extend_row(&empty, pattern0, &triple) {
+            return Some(row);
+        }
+    }));
+    ctx.clone().eval_bgp_from(seed, patterns, filters, 1)
+}
+
+/// The rows one morsel produces (see [`bgp_chunk_rows`] for the ordering
+/// argument).
+fn morsel_rows<'a>(ctx: &EvalContext<'a>, pipe: &'a Pipeline, chunk: ScanChunk<'a>) -> RowIter<'a> {
+    match pipe {
+        Pipeline::Driving { patterns, filters } => bgp_chunk_rows(ctx, patterns, filters, chunk),
         Pipeline::Filter(expr, inner) => {
             let expr: &'a BoundExpr = expr;
             let store = ctx.store;
@@ -173,7 +283,7 @@ fn morsel_rows<'a>(
             let input = morsel_rows(ctx, probe, chunk);
             let build = Arc::clone(build);
             let key: &'a [usize] = key;
-            let condition: Option<&'a BoundExpr> = *condition;
+            let condition: Option<&'a BoundExpr> = condition.as_ref();
             let this = ctx.clone();
             Box::new(input.flat_map(move |l| {
                 if this.cancel.should_stop() {
@@ -185,11 +295,11 @@ fn morsel_rows<'a>(
     }
 }
 
-/// Evaluates an [`Plan::Exchange`]: fans morsels out to a scoped worker
-/// pool and merges in morsel order. Falls back to sequential evaluation
-/// whenever parallelism cannot pay off (degree ≤ 1, an uncompilable
-/// pipeline shape, or a scan the store cannot partition into ≥ 2
-/// chunks).
+/// Evaluates an [`Plan::Exchange`]: fans morsels out to detached worker
+/// threads and streams the merge in morsel order. Falls back to
+/// sequential evaluation whenever parallelism cannot pay off (degree ≤ 1,
+/// no owning store handle in the context, an uncompilable pipeline shape,
+/// or a scan the store cannot partition into ≥ 2 chunks).
 pub(crate) fn eval_exchange<'a>(
     ctx: EvalContext<'a>,
     degree: usize,
@@ -198,6 +308,11 @@ pub(crate) fn eval_exchange<'a>(
     if degree <= 1 {
         return ctx.eval(input);
     }
+    // Detached workers need to *own* the store; a borrow-only context
+    // evaluates sequentially instead.
+    let Some(store) = ctx.shared.clone() else {
+        return ctx.eval(input);
+    };
     // Check partitionability *before* compiling: compile() materializes
     // every hash-join build side, which the sequential fallback would
     // otherwise rebuild — paying that cost twice.
@@ -207,65 +322,330 @@ pub(crate) fn eval_exchange<'a>(
     if pattern0.is_unsatisfiable() {
         return Box::new(std::iter::empty());
     }
-    let chunks = ctx
-        .store
-        .scan_chunks(const_pattern(pattern0), degree * MORSELS_PER_WORKER);
-    if chunks.len() <= 1 {
+    let scan_pattern = const_pattern(pattern0);
+    let chunk_target = degree * MORSELS_PER_WORKER;
+    let n_morsels = ctx.store.scan_chunks(scan_pattern, chunk_target).len();
+    if n_morsels <= 1 {
         // Unpartitionable (default trait impl) or trivially small:
         // sequential evaluation avoids the thread machinery.
         return ctx.eval(input);
     }
-    // Build sides materialize here, once, before any thread spawns.
-    let Some(pipe) = compile(&ctx, input) else {
+    // Build sides materialize here, once, before any thread spawns —
+    // themselves partition-parallel when large (see build_side).
+    let Some(pipe) = compile(&ctx, input, degree) else {
         return ctx.eval(input);
     };
+    if ctx.cancel.should_stop() {
+        // Pre-triggered (or triggered during the build): yield nothing
+        // and spawn nothing, like the sequential evaluator.
+        return Box::new(std::iter::empty());
+    }
 
-    let workers = degree.min(chunks.len());
-    let next = AtomicUsize::new(0);
-    let (tx, rx) = sync_channel::<(usize, Vec<Bindings>)>(workers * BATCHES_IN_FLIGHT_PER_WORKER);
-    // Per-morsel buffers, concatenated in morsel order after the scope —
-    // this is what makes parallel output order equal sequential order.
-    let mut merged: Vec<Vec<Bindings>> = vec![Vec::new(); chunks.len()];
+    let pipe = Arc::new(pipe);
+    let workers = degree.min(n_morsels);
+    let capacity = workers * BATCHES_IN_FLIGHT_PER_WORKER;
+    #[cfg(debug_assertions)]
+    diag::note_capacity(capacity);
+    let (tx, rx) = sync_channel::<Msg>(capacity);
+    let sink_open = Arc::new(AtomicBool::new(true));
+    let next = Arc::new(AtomicUsize::new(0));
+    let mut handles = Vec::with_capacity(workers);
+    for _ in 0..workers {
+        #[cfg(debug_assertions)]
+        diag::LIVE_WORKERS.fetch_add(1, Ordering::SeqCst);
+        let worker = Worker {
+            store: store.clone(),
+            pipe: Arc::clone(&pipe),
+            cancel: ctx.cancel.clone(),
+            sink_open: Arc::clone(&sink_open),
+            next: Arc::clone(&next),
+            tx: tx.clone(),
+            scan_pattern,
+            chunk_target,
+            n_morsels,
+            width: ctx.width,
+        };
+        handles.push(
+            std::thread::Builder::new()
+                .name("sp2b-exchange".into())
+                .spawn(move || worker.run())
+                .expect("spawn exchange worker"),
+        );
+    }
+    drop(tx); // workers hold the only senders: recv ends when they do
 
-    std::thread::scope(|s| {
-        for _ in 0..workers {
-            let tx = tx.clone();
-            let ctx = ctx.clone();
-            let next = &next;
-            let chunks = &chunks;
-            let pipe = &pipe;
-            s.spawn(move || {
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= chunks.len() || ctx.cancel.should_stop() {
-                        return;
-                    }
-                    let mut batch: Vec<Bindings> = Vec::new();
-                    for row in morsel_rows(&ctx, pipe, chunks[i]) {
-                        batch.push(row);
-                        if batch.len() >= BATCH_ROWS
-                            && tx.send((i, std::mem::take(&mut batch))).is_err()
-                        {
-                            return; // merger gone — stop producing
-                        }
-                    }
-                    if !batch.is_empty() && tx.send((i, batch)).is_err() {
-                        return;
-                    }
-                }
-            });
+    Box::new(ExchangeMerge {
+        rx: Some(rx),
+        handles,
+        sink_open,
+        cancel: ctx.cancel.clone(),
+        pending: BTreeMap::new(),
+        next_morsel: 0,
+        n_morsels,
+        current: Vec::new().into_iter(),
+    })
+}
+
+/// One merge-channel message: a batch of rows from one morsel. `last`
+/// marks the morsel complete — every claimed morsel sends exactly one
+/// final message (possibly with an empty batch), which is what lets the
+/// merger advance past it.
+struct Msg {
+    morsel: usize,
+    rows: Vec<Bindings>,
+    last: bool,
+}
+
+/// A detached exchange worker: owns its store handle and pipeline copy,
+/// re-derives the (deterministic) chunk list, and claims morsel indices
+/// from the shared counter until they run out or the query stops.
+struct Worker {
+    store: SharedStore,
+    pipe: Arc<Pipeline>,
+    cancel: Cancellation,
+    sink_open: Arc<AtomicBool>,
+    next: Arc<AtomicUsize>,
+    tx: SyncSender<Msg>,
+    scan_pattern: Pattern,
+    chunk_target: usize,
+    n_morsels: usize,
+    width: usize,
+}
+
+impl Worker {
+    fn run(self) {
+        #[cfg(debug_assertions)]
+        let _live = diag::WorkerGuard;
+        let store: &dyn TripleStore = &*self.store;
+        let ctx = EvalContext {
+            store,
+            // Morsel pipelines never contain a nested exchange (compile
+            // rejects them), so workers need no owning handle of their
+            // own.
+            shared: None,
+            cancel: self.cancel.clone(),
+            width: self.width,
+        };
+        let chunks = store.scan_chunks(self.scan_pattern, self.chunk_target);
+        debug_assert_eq!(
+            chunks.len(),
+            self.n_morsels,
+            "scan_chunks must be deterministic (see TripleStore::scan_chunks)"
+        );
+        if chunks.len() != self.n_morsels {
+            return; // a nondeterministic store must not corrupt the merge
         }
-        drop(tx); // workers hold the only senders: recv ends when they do
-        while let Ok((i, batch)) = rx.recv() {
-            // On cancellation keep draining (cheaply discarding) so
-            // workers blocked on the bounded channel wake up and observe
-            // the stop themselves.
-            if !ctx.cancel.should_stop() {
-                merged[i].extend(batch);
+        loop {
+            if self.stopped() {
+                return;
+            }
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= chunks.len() {
+                return;
+            }
+            let mut batch: Vec<Bindings> = Vec::new();
+            for row in morsel_rows(&ctx, &self.pipe, chunks[i]) {
+                if self.stopped() {
+                    // No completion marker: the merger learns of the
+                    // abort from the channel disconnecting once every
+                    // worker has exited.
+                    return;
+                }
+                batch.push(row);
+                if batch.len() >= BATCH_ROWS
+                    && !self.send(Msg {
+                        morsel: i,
+                        rows: std::mem::take(&mut batch),
+                        last: false,
+                    })
+                {
+                    return; // merger hung up — stop producing
+                }
+            }
+            if !self.send(Msg {
+                morsel: i,
+                rows: batch,
+                last: true,
+            }) {
+                return;
             }
         }
-    });
+    }
 
-    // Lazy in-order flatten: no second copy of the result rows.
-    Box::new(merged.into_iter().flatten())
+    /// True when the query was cancelled (timeout/explicit) or the
+    /// consumer dropped the stream.
+    fn stopped(&self) -> bool {
+        !self.sink_open.load(Ordering::Relaxed) || self.cancel.should_stop()
+    }
+
+    /// Sends one message, blocking on channel backpressure; `false` when
+    /// the merger is gone.
+    fn send(&self, msg: Msg) -> bool {
+        match self.tx.send(msg) {
+            Ok(()) => {
+                #[cfg(debug_assertions)]
+                diag::note_send();
+                true
+            }
+            Err(_) => false,
+        }
+    }
+}
+
+/// Buffered batches of one morsel at the merger.
+#[derive(Default)]
+struct MorselBuf {
+    batches: VecDeque<Vec<Bindings>>,
+    done: bool,
+}
+
+/// The streaming, order-restoring merge: pulls batches off the bounded
+/// channel on demand and yields morsels strictly in index order. Batches
+/// of later morsels that arrive while an earlier morsel is still open
+/// are parked in `pending` (the price of deterministic order under
+/// skew). Exhaustion, cancellation and early drop all funnel into
+/// [`ExchangeMerge::shutdown`], which wakes and joins every worker.
+struct ExchangeMerge {
+    rx: Option<Receiver<Msg>>,
+    handles: Vec<JoinHandle<()>>,
+    sink_open: Arc<AtomicBool>,
+    cancel: Cancellation,
+    pending: BTreeMap<usize, MorselBuf>,
+    next_morsel: usize,
+    n_morsels: usize,
+    current: std::vec::IntoIter<Bindings>,
+}
+
+impl ExchangeMerge {
+    /// Stops the exchange: closes the sink flag, disconnects the channel
+    /// (waking workers blocked on `send`) and joins every worker thread.
+    /// Idempotent; runs on stream exhaustion, cancellation, and drop.
+    fn shutdown(&mut self) {
+        self.sink_open.store(false, Ordering::Relaxed);
+        self.rx = None;
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Iterator for ExchangeMerge {
+    type Item = Bindings;
+
+    fn next(&mut self) -> Option<Bindings> {
+        loop {
+            if let Some(row) = self.current.next() {
+                return Some(row);
+            }
+            if self.cancel.should_stop() {
+                self.shutdown();
+                return None;
+            }
+            if self.next_morsel >= self.n_morsels {
+                self.shutdown();
+                return None;
+            }
+            if let Some(buf) = self.pending.get_mut(&self.next_morsel) {
+                if let Some(batch) = buf.batches.pop_front() {
+                    self.current = batch.into_iter();
+                    continue;
+                }
+                if buf.done {
+                    self.pending.remove(&self.next_morsel);
+                    self.next_morsel += 1;
+                    continue;
+                }
+            }
+            let Some(rx) = &self.rx else {
+                // Workers exited without completing the expected morsel
+                // (cancellation or a worker-side stop): end the stream.
+                self.shutdown();
+                return None;
+            };
+            match rx.recv() {
+                Ok(msg) => {
+                    #[cfg(debug_assertions)]
+                    diag::note_recv();
+                    let buf = self.pending.entry(msg.morsel).or_default();
+                    if !msg.rows.is_empty() {
+                        buf.batches.push_back(msg.rows);
+                    }
+                    buf.done |= msg.last;
+                }
+                // All senders gone. On normal completion every completion
+                // marker was queued before the disconnect, so the loop
+                // keeps draining `pending`; after an abort the next pass
+                // ends the stream above.
+                Err(_) => self.rx = None,
+            }
+        }
+    }
+}
+
+impl Drop for ExchangeMerge {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Debug-only exchange observability (compiled out in release builds):
+/// the live-worker gauge behind the no-thread-leak test and the
+/// in-flight-batch high-water mark behind the flat-memory test.
+#[cfg(debug_assertions)]
+pub mod diag {
+    use std::sync::atomic::{AtomicI64, AtomicUsize, Ordering};
+
+    pub(super) static LIVE_WORKERS: AtomicUsize = AtomicUsize::new(0);
+    static IN_FLIGHT: AtomicI64 = AtomicI64::new(0);
+    static PEAK_IN_FLIGHT: AtomicI64 = AtomicI64::new(0);
+    static BOUND: AtomicI64 = AtomicI64::new(0);
+
+    /// Decrements the live-worker gauge when a worker exits, however it
+    /// exits.
+    pub(super) struct WorkerGuard;
+
+    impl Drop for WorkerGuard {
+        fn drop(&mut self) {
+            LIVE_WORKERS.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    /// Number of exchange workers currently alive (spawned, not yet
+    /// joined). Zero once every solution stream has been dropped —
+    /// [`super::ExchangeMerge`] joins its workers on drop.
+    pub fn live_workers() -> usize {
+        LIVE_WORKERS.load(Ordering::SeqCst)
+    }
+
+    /// Clears the channel counters. Call before the query under test;
+    /// meaningless while exchanges run concurrently.
+    pub fn reset_channel_stats() {
+        IN_FLIGHT.store(0, Ordering::SeqCst);
+        PEAK_IN_FLIGHT.store(0, Ordering::SeqCst);
+        BOUND.store(0, Ordering::SeqCst);
+    }
+
+    /// `(peak, bound)` — the high-water mark of in-flight merge batches
+    /// since the last reset, and the limit it must never exceed: the
+    /// bounded channel's capacity plus the one batch the merger holds
+    /// between receiving and accounting.
+    pub fn channel_stats() -> (i64, i64) {
+        (
+            PEAK_IN_FLIGHT.load(Ordering::SeqCst),
+            BOUND.load(Ordering::SeqCst),
+        )
+    }
+
+    pub(super) fn note_capacity(capacity: usize) {
+        BOUND.fetch_max(capacity as i64 + 1, Ordering::SeqCst);
+    }
+
+    pub(super) fn note_send() {
+        let now = IN_FLIGHT.fetch_add(1, Ordering::SeqCst) + 1;
+        PEAK_IN_FLIGHT.fetch_max(now, Ordering::SeqCst);
+    }
+
+    pub(super) fn note_recv() {
+        IN_FLIGHT.fetch_sub(1, Ordering::SeqCst);
+    }
 }

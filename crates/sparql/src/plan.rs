@@ -232,15 +232,84 @@ fn join_key(a: &Algebra, b: &Algebra) -> Vec<usize> {
 // Parallelization (the physical pass behind QueryOptions::parallelism)
 // ---------------------------------------------------------------------------
 
-/// Estimated driving-scan cardinality below which an [`Plan::Exchange`] is
-/// not worth its thread-spawn and merge overhead.
-pub const PARALLEL_THRESHOLD: u64 = 512;
+/// Driving-scan cardinality at which an [`Plan::Exchange`] pays off for a
+/// pipeline of [`REFERENCE_PIPELINE_COST`] per driving row. Pipelines
+/// cheaper per row need proportionally larger scans to amortize the
+/// fan-out overhead; more expensive ones fan out earlier — see
+/// [`parallel_threshold`].
+pub const PARALLEL_BASE_THRESHOLD: u64 = 512;
+
+/// Lower clamp of [`parallel_threshold`]: below this many driving rows,
+/// thread-spawn and merge overhead dominates no matter how expensive the
+/// per-row pipeline is.
+pub const PARALLEL_MIN_THRESHOLD: u64 = 128;
+
+/// Upper clamp of [`parallel_threshold`]: above this many driving rows,
+/// even the cheapest scan-and-emit pipeline amortizes the fan-out.
+pub const PARALLEL_MAX_THRESHOLD: u64 = 4096;
+
+/// The per-driving-row pipeline cost that earns exactly the base
+/// threshold: a moderate BGP chain of half a dozen index probes.
+const REFERENCE_PIPELINE_COST: f64 = 8.0;
+
+/// Heuristic cost of running one driving row through the rest of the
+/// pipeline, in "index probe" units (the morsel driver's unit of work):
+///
+/// * emitting the row itself: ½ probe;
+/// * each subsequent BGP pattern: one binary-searched index probe (the
+///   log factor of its candidate-list size contributes mildly);
+/// * each hash-join probe: one bucket lookup plus the expected per-probe
+///   fan-out, approximated from the build side's driving-scan estimate —
+///   this is what makes Q4-style quadratic joins "expensive" and fan out
+///   early;
+/// * filters: ¼ probe each.
+///
+/// Shapes the morsel driver cannot run per-morsel score the reference
+/// cost (their threshold is the base — moot, since [`maybe_exchange`]
+/// only wraps runnable segments).
+pub fn pipeline_cost_per_row(plan: &Plan, store: &dyn TripleStore) -> f64 {
+    match plan {
+        Plan::Bgp { patterns, filters } => {
+            let mut cost = 0.5 + 0.25 * filters.len() as f64;
+            for p in patterns.iter().skip(1) {
+                let est = store.estimate(const_pattern(p)).max(2) as f64;
+                cost += 1.0 + est.log2() / 16.0;
+            }
+            cost
+        }
+        Plan::Join { left, right, .. } | Plan::LeftJoin { left, right, .. } => {
+            // Expected matches per probe: the build side's size relative
+            // to a nominal key-diversity of 256 — crude, but it separates
+            // "probe a small negation table" from "self-join the corpus".
+            let build = driving_scan(right)
+                .filter(|p| !p.is_unsatisfiable())
+                .map_or(64.0, |p| store.estimate(const_pattern(p)).max(2) as f64);
+            let fanout = (build / 256.0).clamp(1.0, 64.0);
+            pipeline_cost_per_row(left, store) + 1.0 + fanout
+        }
+        Plan::Filter(_, inner) => 0.25 + pipeline_cost_per_row(inner, store),
+        _ => REFERENCE_PIPELINE_COST,
+    }
+}
+
+/// The per-plan exchange threshold (replacing the old constant
+/// `PARALLEL_THRESHOLD`): the base threshold scaled inversely by the
+/// pipeline's estimated per-row cost and clamped to
+/// [[`PARALLEL_MIN_THRESHOLD`], [`PARALLEL_MAX_THRESHOLD`]]. A
+/// scan-and-emit pipeline (Q2-style cheap rows) must clear
+/// [`PARALLEL_MAX_THRESHOLD`] driving rows before fanning out; a
+/// join-heavy pipeline (Q4-style quadratic) fans out near the minimum.
+pub fn parallel_threshold(plan: &Plan, store: &dyn TripleStore) -> u64 {
+    let cost = pipeline_cost_per_row(plan, store).max(0.25);
+    let scaled = PARALLEL_BASE_THRESHOLD as f64 * (REFERENCE_PIPELINE_COST / cost);
+    (scaled.round() as u64).clamp(PARALLEL_MIN_THRESHOLD, PARALLEL_MAX_THRESHOLD)
+}
 
 /// Inserts [`Plan::Exchange`] operators for a target `degree` of
 /// parallelism. The pass descends through merge-side operators (project,
 /// sort, distinct, aggregation, union branches) and wraps each pipeline
 /// segment — BGP, join probe chain, filter — whose driving scan the
-/// store estimates at [`PARALLEL_THRESHOLD`] rows or more. With
+/// store estimates at that segment's [`parallel_threshold`] or more. With
 /// `degree <= 1` the plan is returned unchanged (today's sequential
 /// behavior).
 ///
@@ -308,10 +377,11 @@ fn materializes_anyway(plan: &Plan) -> bool {
 }
 
 /// Wraps `plan` in an Exchange when its driving scan clears the
-/// cardinality threshold.
+/// pipeline's cost-scaled cardinality threshold.
 fn maybe_exchange(plan: Plan, store: &dyn TripleStore, degree: usize) -> Plan {
     let worthwhile = driving_scan(&plan).is_some_and(|p| {
-        !p.is_unsatisfiable() && store.estimate(const_pattern(p)) >= PARALLEL_THRESHOLD
+        !p.is_unsatisfiable()
+            && store.estimate(const_pattern(p)) >= parallel_threshold(&plan, store)
     });
     if worthwhile {
         Plan::Exchange {
@@ -438,7 +508,8 @@ mod tests {
 
     fn big_store() -> MemStore {
         let mut g = Graph::new();
-        for i in 0..(PARALLEL_THRESHOLD * 2) {
+        // Clears even the cheap-pipeline (max) threshold.
+        for i in 0..(PARALLEL_MAX_THRESHOLD * 2) {
             g.add(
                 Subject::iri(format!("http://x/s{i}")),
                 Iri::new("http://x/p"),
@@ -494,6 +565,40 @@ mod tests {
         let big = big_store();
         let plan = parallelize(bind(&t.algebra, &big), &big, 1);
         assert!(!plan_has_exchange(&plan), "{plan:?}");
+    }
+
+    #[test]
+    fn adaptive_threshold_scales_with_pipeline_cost() {
+        let big = big_store();
+        let plan_for = |q: &str| {
+            let t = translate(&parse(q).unwrap());
+            let Plan::Project(_, inner) = bind(&t.algebra, &big) else {
+                panic!()
+            };
+            *inner
+        };
+        // Cheapest possible pipeline: scan and emit.
+        let scan = plan_for("SELECT ?s WHERE { ?s <http://x/p> ?o }");
+        // A BGP chain: several index probes per driving row.
+        let chain = plan_for(
+            "SELECT ?s WHERE { ?s <http://x/p> ?a . ?a <http://x/p> ?b . ?b <http://x/p> ?c . ?c <http://x/p> ?d }",
+        );
+        // A join against a large build side: per-probe fan-out dominates.
+        let join = plan_for("SELECT ?s WHERE { { ?s <http://x/p> ?o } { ?t <http://x/p> ?o } }");
+        let t_scan = parallel_threshold(&scan, &big);
+        let t_chain = parallel_threshold(&chain, &big);
+        let t_join = parallel_threshold(&join, &big);
+        assert!(
+            t_scan > t_chain && t_chain > t_join,
+            "thresholds must order by per-row cost: scan {t_scan} > chain {t_chain} > join {t_join}"
+        );
+        for t in [t_scan, t_chain, t_join] {
+            assert!((PARALLEL_MIN_THRESHOLD..=PARALLEL_MAX_THRESHOLD).contains(&t));
+        }
+        assert_eq!(
+            t_scan, PARALLEL_MAX_THRESHOLD,
+            "scan-and-emit clamps to the max threshold"
+        );
     }
 
     fn plan_has_exchange(plan: &Plan) -> bool {

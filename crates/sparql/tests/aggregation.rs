@@ -5,7 +5,7 @@
 
 use sp2b_rdf::{Graph, Iri, Literal, Subject, Term};
 use sp2b_sparql::{QueryEngine, QueryResult};
-use sp2b_store::MemStore;
+use sp2b_store::{MemStore, TripleStore};
 
 fn store() -> MemStore {
     let mut g = Graph::new();
@@ -34,8 +34,7 @@ fn store() -> MemStore {
 }
 
 fn rows(query: &str) -> (Vec<String>, Vec<Vec<Option<Term>>>) {
-    let store = store();
-    match QueryEngine::new(&store).run(query).unwrap() {
+    match QueryEngine::new(store().into_shared()).run(query).unwrap() {
         QueryResult::Solutions { variables, rows } => (variables, rows),
         other => panic!("{other:?}"),
     }
@@ -129,24 +128,21 @@ fn multiple_aggregates_in_one_query() {
 #[test]
 fn projection_restriction_enforced() {
     // ?d projected next to an aggregate but not grouped → parse error.
-    let store = store();
-    let result =
-        QueryEngine::new(&store).run("SELECT ?d (COUNT(*) AS ?n) WHERE { ?d <http://x/type> ?c }");
+    let result = QueryEngine::new(store().into_shared())
+        .run("SELECT ?d (COUNT(*) AS ?n) WHERE { ?d <http://x/type> ?c }");
     assert!(result.is_err());
 }
 
 #[test]
 fn group_by_without_aggregate_rejected() {
-    let store = store();
-    let result =
-        QueryEngine::new(&store).run("SELECT ?c WHERE { ?d <http://x/type> ?c } GROUP BY ?c");
+    let result = QueryEngine::new(store().into_shared())
+        .run("SELECT ?c WHERE { ?d <http://x/type> ?c } GROUP BY ?c");
     assert!(result.is_err());
 }
 
 #[test]
 fn aggregate_count_method_returns_group_count() {
-    let store = store();
-    let engine = QueryEngine::new(&store);
+    let engine = QueryEngine::new(store().into_shared());
     let p = engine
         .prepare(
             "SELECT ?class (COUNT(*) AS ?n) WHERE { ?d <http://x/type> ?class } GROUP BY ?class",

@@ -12,7 +12,7 @@
 
 use sp2b_rdf::{Graph, Iri, Literal, Subject, Term};
 use sp2b_sparql::QueryEngine;
-use sp2b_store::{dictionary::DECODE_CALLS, NativeStore};
+use sp2b_store::{dictionary::DECODE_CALLS, NativeStore, TripleStore};
 use std::sync::atomic::Ordering;
 
 fn store() -> NativeStore {
@@ -42,8 +42,7 @@ fn store() -> NativeStore {
 
 #[test]
 fn count_never_decodes_terms() {
-    let s = store();
-    let engine = QueryEngine::new(&s);
+    let engine = QueryEngine::new(store().into_shared());
 
     // A deliberately operator-rich, filter-free workload: BGP + OPTIONAL +
     // DISTINCT + ORDER BY + LIMIT/OFFSET, plus a GROUP BY aggregate. (Value

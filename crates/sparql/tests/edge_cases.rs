@@ -2,7 +2,7 @@
 
 use sp2b_rdf::{Graph, Iri, Literal, Subject, Term};
 use sp2b_sparql::{OptimizerConfig, QueryEngine, QueryResult};
-use sp2b_store::{MemStore, NativeStore};
+use sp2b_store::{MemStore, NativeStore, TripleStore};
 
 fn store() -> MemStore {
     let mut g = Graph::new();
@@ -30,8 +30,7 @@ fn store() -> MemStore {
 }
 
 fn rows(q: &str) -> Vec<Vec<Option<Term>>> {
-    let store = store();
-    match QueryEngine::new(&store).run(q).unwrap() {
+    match QueryEngine::new(store().into_shared()).run(q).unwrap() {
         QueryResult::Solutions { rows, .. } => rows,
         other => panic!("{other:?}"),
     }
@@ -61,8 +60,7 @@ fn boolean_literal_filters() {
 
 #[test]
 fn select_star_includes_optional_vars() {
-    let store = store();
-    let r = QueryEngine::new(&store)
+    let r = QueryEngine::new(store().into_shared())
         .optimizer(OptimizerConfig::default())
         .run("SELECT * WHERE { ?s <http://x/p> ?o OPTIONAL { ?o <http://x/q> ?v } }")
         .unwrap();
@@ -132,8 +130,8 @@ fn duplicate_triples_produce_duplicate_solutions() {
             Term::iri("http://x/o"),
         );
     }
-    let store = MemStore::from_graph(&g);
-    let engine = QueryEngine::new(&store).optimizer(OptimizerConfig::default());
+    let engine = QueryEngine::new(MemStore::from_graph(&g).into_shared())
+        .optimizer(OptimizerConfig::default());
     let r = engine
         .run("SELECT ?s WHERE { ?s <http://x/p> ?o }")
         .unwrap();
@@ -163,8 +161,7 @@ fn deeply_nested_optionals() {
 
 #[test]
 fn ask_with_optional() {
-    let store = store();
-    let r = QueryEngine::new(&store)
+    let r = QueryEngine::new(store().into_shared())
         .optimizer(OptimizerConfig::default())
         .run("ASK { ?s <http://x/p> ?o OPTIONAL { ?o <http://x/q> ?v } }")
         .unwrap();
@@ -184,11 +181,15 @@ fn stores_agree_on_variable_predicate_queries() {
         Iri::new("http://x/p2"),
         Term::iri("http://x/o"),
     );
-    let mem = MemStore::from_graph(&g);
-    let native = NativeStore::from_graph(&g);
     let q = "SELECT DISTINCT ?p WHERE { <http://x/s> ?p <http://x/o> }";
-    let a = QueryEngine::new(&mem).run(q).unwrap().len();
-    let b = QueryEngine::new(&native).run(q).unwrap().len();
+    let a = QueryEngine::new(MemStore::from_graph(&g).into_shared())
+        .run(q)
+        .unwrap()
+        .len();
+    let b = QueryEngine::new(NativeStore::from_graph(&g).into_shared())
+        .run(q)
+        .unwrap()
+        .len();
     assert_eq!(a, 2);
     assert_eq!(a, b);
 }

@@ -7,7 +7,7 @@ use proptest::prelude::*;
 
 use sp2b_rdf::{Graph, Iri, Subject, Term};
 use sp2b_sparql::{OptimizerConfig, QueryEngine, QueryResult};
-use sp2b_store::MemStore;
+use sp2b_store::{MemStore, SharedStore, TripleStore};
 
 fn graph_strategy() -> impl Strategy<Value = Graph> {
     prop::collection::vec((0u8..5, 0u8..3, 0u8..5), 0..40).prop_map(|v| {
@@ -24,7 +24,7 @@ fn graph_strategy() -> impl Strategy<Value = Graph> {
 }
 
 /// Materializes a single-pattern query as (subject, object) pairs.
-fn scan_pairs(store: &MemStore, predicate: &str) -> Vec<(String, String)> {
+fn scan_pairs(store: &SharedStore, predicate: &str) -> Vec<(String, String)> {
     let q = format!("SELECT ?s ?o WHERE {{ ?s <{predicate}> ?o }}");
     rows(store, &q)
         .into_iter()
@@ -32,8 +32,8 @@ fn scan_pairs(store: &MemStore, predicate: &str) -> Vec<(String, String)> {
         .collect()
 }
 
-fn rows(store: &MemStore, query: &str) -> Vec<Vec<String>> {
-    let engine = QueryEngine::new(store).optimizer(OptimizerConfig::default());
+fn rows(store: &SharedStore, query: &str) -> Vec<Vec<String>> {
+    let engine = QueryEngine::new(store.clone()).optimizer(OptimizerConfig::default());
     let prepared = engine.prepare(query).expect("query parses");
     let QueryResult::Solutions { rows, .. } =
         engine.execute(&prepared).expect("evaluation succeeds")
@@ -60,7 +60,7 @@ proptest! {
     /// Join(p0, p1) on the shared subject == reference nested loop.
     #[test]
     fn join_matches_reference(g in graph_strategy()) {
-        let store = MemStore::from_graph(&g);
+        let store = MemStore::from_graph(&g).into_shared();
         let engine_rows = sorted(rows(
             &store,
             "SELECT ?s ?a ?b WHERE { ?s <http://j/p0> ?a . ?s <http://j/p1> ?b }",
@@ -82,7 +82,7 @@ proptest! {
     /// LeftJoin == matched join rows plus unmatched left rows.
     #[test]
     fn left_join_matches_reference(g in graph_strategy()) {
-        let store = MemStore::from_graph(&g);
+        let store = MemStore::from_graph(&g).into_shared();
         let engine_rows = sorted(rows(
             &store,
             "SELECT ?s ?a ?b WHERE { ?s <http://j/p0> ?a OPTIONAL { ?s <http://j/p1> ?b } }",
@@ -108,7 +108,7 @@ proptest! {
     /// passing partner.
     #[test]
     fn conditional_left_join_matches_reference(g in graph_strategy()) {
-        let store = MemStore::from_graph(&g);
+        let store = MemStore::from_graph(&g).into_shared();
         let engine_rows = sorted(rows(
             &store,
             "SELECT ?s ?a ?b WHERE { ?s <http://j/p0> ?a \
@@ -136,7 +136,7 @@ proptest! {
     /// !bound() negation == set difference of the two scans.
     #[test]
     fn negation_matches_set_difference(g in graph_strategy()) {
-        let store = MemStore::from_graph(&g);
+        let store = MemStore::from_graph(&g).into_shared();
         let engine_rows = sorted(rows(
             &store,
             "SELECT ?s ?a WHERE { ?s <http://j/p0> ?a \
@@ -156,7 +156,7 @@ proptest! {
     /// UNION == concatenation (multiset semantics, before DISTINCT).
     #[test]
     fn union_is_multiset_concatenation(g in graph_strategy()) {
-        let store = MemStore::from_graph(&g);
+        let store = MemStore::from_graph(&g).into_shared();
         let union_rows = rows(
             &store,
             "SELECT ?s ?o WHERE { { ?s <http://j/p0> ?o } UNION { ?s <http://j/p1> ?o } }",
@@ -169,7 +169,7 @@ proptest! {
     /// DISTINCT never increases and dedups exactly.
     #[test]
     fn distinct_semantics(g in graph_strategy()) {
-        let store = MemStore::from_graph(&g);
+        let store = MemStore::from_graph(&g).into_shared();
         let all = rows(&store, "SELECT ?s WHERE { ?s ?p ?o }");
         let distinct = rows(&store, "SELECT DISTINCT ?s WHERE { ?s ?p ?o }");
         let unique: std::collections::HashSet<_> = all.iter().cloned().collect();
@@ -179,7 +179,7 @@ proptest! {
     /// OFFSET/LIMIT slice the ordered stream exactly.
     #[test]
     fn slice_windows_ordered_results(g in graph_strategy(), offset in 0u64..10, limit in 1u64..10) {
-        let store = MemStore::from_graph(&g);
+        let store = MemStore::from_graph(&g).into_shared();
         let all = rows(&store, "SELECT ?s ?p ?o WHERE { ?s ?p ?o } ORDER BY ?s ?p ?o");
         let q = format!(
             "SELECT ?s ?p ?o WHERE {{ ?s ?p ?o }} ORDER BY ?s ?p ?o LIMIT {limit} OFFSET {offset}"

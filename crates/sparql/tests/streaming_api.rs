@@ -6,7 +6,7 @@ use std::time::{Duration, Instant};
 
 use sp2b_rdf::{Graph, Iri, Literal, Subject, Term};
 use sp2b_sparql::{Cancellation, Error, QueryEngine, QueryOptions, QueryResult};
-use sp2b_store::{MemStore, NativeStore};
+use sp2b_store::{MemStore, NativeStore, TripleStore};
 
 fn graph() -> Graph {
     let mut g = Graph::new();
@@ -42,9 +42,10 @@ fn streaming_equals_execute_on_both_stores() {
         "SELECT ?d ?t WHERE { ?d <http://x/rank> ?r OPTIONAL { ?d <http://x/tag> ?t } } ORDER BY ?r LIMIT 7 OFFSET 2",
         "SELECT ?c (COUNT(*) AS ?n) WHERE { ?d <http://x/type> ?c } GROUP BY ?c ORDER BY DESC(?n)",
     ];
-    let mem = MemStore::from_graph(&g);
-    let native = NativeStore::from_graph(&g);
-    let stores: [&dyn sp2b_store::TripleStore; 2] = [&mem, &native];
+    let stores: [sp2b_store::SharedStore; 2] = [
+        MemStore::from_graph(&g).into_shared(),
+        NativeStore::from_graph(&g).into_shared(),
+    ];
     for store in stores {
         let engine = QueryEngine::new(store);
         for q in queries {
@@ -64,8 +65,7 @@ fn streaming_equals_execute_on_both_stores() {
 
 #[test]
 fn ask_streams_zero_or_one_empty_solution() {
-    let store = MemStore::from_graph(&graph());
-    let engine = QueryEngine::new(&store);
+    let engine = QueryEngine::new(MemStore::from_graph(&graph()).into_shared());
     let yes = engine
         .prepare("ASK { ?d <http://x/type> <http://x/c1> }")
         .unwrap();
@@ -80,8 +80,8 @@ fn ask_streams_zero_or_one_empty_solution() {
 
 #[test]
 fn row_limit_policy_applies_to_streams() {
-    let store = MemStore::from_graph(&graph());
-    let engine = QueryEngine::with_options(&store, QueryOptions::new().row_limit(3));
+    let store = MemStore::from_graph(&graph()).into_shared();
+    let engine = QueryEngine::with_options(store, QueryOptions::new().row_limit(3));
     let p = engine
         .prepare("SELECT ?d WHERE { ?d <http://x/type> ?c }")
         .unwrap();
@@ -92,8 +92,7 @@ fn row_limit_policy_applies_to_streams() {
 
 #[test]
 fn cancellation_mid_stream_surfaces_once() {
-    let store = MemStore::from_graph(&graph());
-    let engine = QueryEngine::new(&store);
+    let engine = QueryEngine::new(MemStore::from_graph(&graph()).into_shared());
     let p = engine
         .prepare("SELECT ?a ?b WHERE { ?a <http://x/type> ?x . ?b <http://x/type> ?y }")
         .unwrap();
@@ -107,8 +106,7 @@ fn cancellation_mid_stream_surfaces_once() {
 
 #[test]
 fn deadline_cancels_a_stream() {
-    let store = MemStore::from_graph(&graph());
-    let engine = QueryEngine::new(&store);
+    let engine = QueryEngine::new(MemStore::from_graph(&graph()).into_shared());
     let p = engine
         .prepare("SELECT ?a ?b WHERE { ?a <http://x/type> ?x . ?b <http://x/type> ?y }")
         .unwrap();
@@ -120,8 +118,7 @@ fn deadline_cancels_a_stream() {
 
 #[test]
 fn aggregate_streams_lazily_too() {
-    let store = NativeStore::from_graph(&graph());
-    let engine = QueryEngine::new(&store);
+    let engine = QueryEngine::new(NativeStore::from_graph(&graph()).into_shared());
     let p = engine
         .prepare(
             "SELECT ?c (COUNT(?d) AS ?n) WHERE { ?d <http://x/type> ?c } \
@@ -143,8 +140,7 @@ fn aggregate_streams_lazily_too() {
 
 #[test]
 fn prepared_exposes_columns() {
-    let store = MemStore::from_graph(&graph());
-    let engine = QueryEngine::new(&store);
+    let engine = QueryEngine::new(MemStore::from_graph(&graph()).into_shared());
     let p = engine
         .prepare("SELECT ?c (COUNT(*) AS ?n) WHERE { ?d <http://x/type> ?c } GROUP BY ?c")
         .unwrap();

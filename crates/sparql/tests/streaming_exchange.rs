@@ -1,0 +1,100 @@
+//! Lifecycle tests for the detached streaming exchange, built on the
+//! debug-only counters in `sp2b_sparql::par::diag`:
+//!
+//! * **flat memory** — the high-water mark of in-flight merge batches
+//!   during a full-scan query never exceeds the bounded channel's
+//!   capacity (plus the single batch the merger holds while accounting);
+//! * **no thread leak** — dropping a `Solutions` stream early (after one
+//!   row) or exhausting it joins every detached worker thread.
+//!
+//! The counters are process-wide, so the tests serialize on a mutex.
+
+#![cfg(debug_assertions)]
+
+use std::sync::Mutex;
+
+use sp2b_rdf::{Graph, Iri, Literal, Subject, Term};
+use sp2b_sparql::par::diag;
+use sp2b_sparql::{Cancellation, Error, QueryEngine, QueryOptions};
+use sp2b_store::{NativeStore, SharedStore, TripleStore};
+
+/// Counter serialization: one exchange under observation at a time.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+const TRIPLES: i64 = 12_000;
+
+fn big_store() -> SharedStore {
+    let mut g = Graph::new();
+    for i in 0..TRIPLES {
+        g.add(
+            Subject::iri(format!("http://x/s{i:05}")),
+            Iri::new("http://x/p"),
+            Term::Literal(Literal::integer(i)),
+        );
+    }
+    NativeStore::from_graph(&g).into_shared()
+}
+
+fn engine(parallelism: usize) -> QueryEngine {
+    QueryEngine::with_options(big_store(), QueryOptions::new().parallelism(parallelism))
+}
+
+const FULL_SCAN: &str = "SELECT ?s ?v WHERE { ?s <http://x/p> ?v }";
+
+#[test]
+fn full_scan_stays_within_the_channel_bound() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let engine = engine(4);
+    let prepared = engine.prepare(FULL_SCAN).unwrap();
+    diag::reset_channel_stats();
+    let mut rows = 0i64;
+    for solution in engine.solutions(&prepared) {
+        solution.unwrap();
+        rows += 1;
+    }
+    assert_eq!(rows, TRIPLES);
+    let (peak, bound) = diag::channel_stats();
+    assert!(
+        peak > 0,
+        "the exchange must actually run (plan: {:?})",
+        prepared.plan()
+    );
+    assert!(
+        peak <= bound,
+        "peak in-flight batches {peak} exceeded the channel bound {bound}"
+    );
+    assert_eq!(diag::live_workers(), 0, "exhaustion joins every worker");
+}
+
+#[test]
+fn dropping_a_stream_after_one_row_joins_every_worker() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let engine = engine(4);
+    let prepared = engine.prepare(FULL_SCAN).unwrap();
+    {
+        let mut stream = engine.solutions(&prepared);
+        let first = stream.next().expect("at least one row").unwrap();
+        assert!(first.get(0).is_some());
+        // Dropped here, TRIPLES - 1 rows early.
+    }
+    assert_eq!(
+        diag::live_workers(),
+        0,
+        "dropping Solutions must terminate and join every detached worker"
+    );
+}
+
+#[test]
+fn cancellation_mid_stream_stops_and_joins_workers() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let engine = engine(4);
+    let prepared = engine.prepare(FULL_SCAN).unwrap();
+    let cancel = Cancellation::none();
+    let mut stream = engine.solutions_with(&prepared, &cancel);
+    assert!(stream.next().unwrap().is_ok(), "stream starts fine");
+    cancel.cancel();
+    assert!(matches!(stream.next(), Some(Err(Error::Cancelled))));
+    assert!(stream.next().is_none(), "error terminates the stream");
+    drop(stream);
+    assert_eq!(diag::live_workers(), 0, "cancellation joins every worker");
+}

@@ -25,4 +25,4 @@ pub use load::{
 };
 pub use mem::MemStore;
 pub use native::{IndexOrder, IndexSelection, NativeStore};
-pub use traits::{split_ranges, Pattern, ScanChunk, TripleStore};
+pub use traits::{split_ranges, Pattern, ScanChunk, SharedStore, TripleStore};

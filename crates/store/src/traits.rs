@@ -1,8 +1,18 @@
 //! The store abstraction the SPARQL engine evaluates against.
 
+use std::sync::Arc;
+
 use sp2b_rdf::Term;
 
 use crate::dictionary::{Dictionary, Id, IdTriple};
+
+/// A shared, owning store handle: what a long-lived query engine holds.
+///
+/// [`TripleStore`] implementations are immutable once loaded (the update
+/// stream mutates through `&mut` before sharing), so one `Arc` can back
+/// any number of concurrent query engines, detached exchange worker
+/// threads, and benchmark client threads at once.
+pub type SharedStore = Arc<dyn TripleStore>;
 
 /// A triple-scan pattern: `None` means "any" (a variable position),
 /// `Some(id)` a bound term, in (s, p, o) order.
@@ -35,6 +45,13 @@ pub trait TripleStore: Send + Sync {
     /// [`TripleStore::scan`] in scan order. The chunk handles are `Send`,
     /// so a morsel-driven driver can fan them out to worker threads.
     ///
+    /// Implementations must be **deterministic**: the same `pattern` and
+    /// `n` on an unchanged store must return the same chunk list. Detached
+    /// exchange workers rely on this — each worker re-derives the chunk
+    /// list from its own [`SharedStore`] handle and claims chunk *indices*
+    /// from a shared counter, so divergent lists would split the scan
+    /// inconsistently.
+    ///
     /// The default returns an empty vector, meaning "this store cannot
     /// partition the scan" — callers must fall back to [`TripleStore::scan`].
     /// [`crate::NativeStore`] splits the binary-searched index range,
@@ -64,6 +81,15 @@ pub trait TripleStore: Send + Sync {
     /// containing it yields no matches.
     fn resolve(&self, term: &Term) -> Option<Id> {
         self.dictionary().lookup(term)
+    }
+
+    /// Moves this store behind a [`SharedStore`] handle — the form the
+    /// owned `QueryEngine` and the multi-client benchmark driver consume.
+    fn into_shared(self) -> SharedStore
+    where
+        Self: Sized + 'static,
+    {
+        Arc::new(self)
     }
 }
 

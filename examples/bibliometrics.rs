@@ -11,7 +11,7 @@
 
 use sp2bench::datagen::{generate_graph, params, Config, DocClass, Generator, NullSink};
 use sp2bench::sparql::QueryEngine;
-use sp2bench::store::NativeStore;
+use sp2bench::store::{NativeStore, TripleStore};
 
 fn main() {
     // Simulate through 1985 with detailed statistics.
@@ -103,8 +103,7 @@ fn main() {
     // as a GROUP BY/COUNT aggregation, streamed through the QueryEngine
     // facade (the aggregation runs as a plan operator, not a post-pass).
     let (graph, _) = generate_graph(Config::up_to_year(1965));
-    let store = NativeStore::from_graph(&graph);
-    let qe = QueryEngine::new(&store);
+    let qe = QueryEngine::new(NativeStore::from_graph(&graph).into_shared());
     let per_year = qe
         .prepare(
             "SELECT ?yr (COUNT(*) AS ?articles) \

@@ -19,7 +19,7 @@ use sp2bench::sparql::QueryEngine;
 fn main() {
     let (graph, _) = generate_graph(Config::triples(100_000));
     let engine = Engine::load(EngineKind::NativeOpt, &graph);
-    let qe = QueryEngine::new(engine.store());
+    let qe = QueryEngine::new(engine.shared_store());
 
     // Q8: names of authors with Erdős number 1 or 2.
     let (outcome, m) = engine.run(BenchQuery::Q8, None);

@@ -54,7 +54,7 @@ fn main() {
         ORDER BY DESC(?yr) ?title
         LIMIT 5
     "#;
-    let qe = QueryEngine::new(engine.store());
+    let qe = QueryEngine::new(engine.shared_store());
     let prepared = qe.prepare(custom).expect("custom query prepares");
     println!("\nfive journals with the latest issue years:");
     for solution in qe.solutions(&prepared) {

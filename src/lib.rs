@@ -35,7 +35,7 @@
 //! // 4. Or query directly through the streaming facade: prepare once,
 //! //    then stream, materialize or count off one evaluation path.
 //! use sp2bench::sparql::QueryEngine;
-//! let qe = QueryEngine::new(engine.store());
+//! let qe = QueryEngine::new(engine.shared_store());
 //! let prepared = qe.prepare(BenchQuery::Q1.text()).unwrap();
 //! assert_eq!(qe.count(&prepared).unwrap(), 1); // decodes no terms
 //! for solution in qe.solutions(&prepared) {

@@ -1,0 +1,95 @@
+//! Multi-user concurrency acceptance: N client threads hammering one
+//! shared store must each observe *exactly* the results a single client
+//! observes — concurrency is a throughput feature, never a semantic one
+//! (the paper's Section VII multi-user scenario).
+
+use sp2bench::core::multiuser::{run_multiuser, MultiuserConfig, StopCondition, WorkItem};
+use sp2bench::core::{report, BenchQuery, Engine, EngineKind, ExtQuery};
+use sp2bench::datagen::{generate_graph, Config};
+
+const TRIPLES: u64 = 6_000;
+
+/// A cheap-to-expensive spread: point lookup, long BGP chain, unbound
+/// scan, ordered modifiers, ASK, and two aggregates.
+fn mix() -> Vec<WorkItem> {
+    vec![
+        WorkItem::bench(BenchQuery::Q1),
+        WorkItem::bench(BenchQuery::Q2),
+        WorkItem::bench(BenchQuery::Q3a),
+        WorkItem::bench(BenchQuery::Q9),
+        WorkItem::bench(BenchQuery::Q11),
+        WorkItem::bench(BenchQuery::Q12c),
+        WorkItem::ext(ExtQuery::A1),
+        WorkItem::ext(ExtQuery::A4),
+    ]
+}
+
+#[test]
+fn every_client_matches_the_single_client_run() {
+    let (graph, _) = generate_graph(Config::triples(TRIPLES));
+    let engine = Engine::load(EngineKind::NativeOpt, &graph);
+
+    // Reference: one client, one pass over the mix.
+    let mut reference_cfg = MultiuserConfig::new(1, StopCondition::Rounds(1));
+    reference_cfg.mix = mix();
+    let reference = run_multiuser(engine.shared_store(), &reference_cfg);
+    let expected = reference.clients[0].counts.clone();
+    assert_eq!(expected.len(), mix().len(), "reference covered the mix");
+
+    // Concurrent: 4 clients × 3 rounds, with intra-query parallelism 2 so
+    // the detached-worker exchange runs *under* client concurrency too.
+    let mut cfg = MultiuserConfig::new(4, StopCondition::Rounds(3));
+    cfg.mix = mix();
+    cfg.parallelism = 2;
+    let report = run_multiuser(engine.shared_store(), &cfg);
+
+    assert_eq!(report.clients.len(), 4);
+    for client in &report.clients {
+        assert_eq!(client.errors, 0, "client {}", client.client);
+        assert_eq!(client.timeouts, 0, "client {}", client.client);
+        assert!(
+            client.inconsistent.is_empty(),
+            "client {} saw shifting counts: {:?}",
+            client.client,
+            client.inconsistent
+        );
+        assert_eq!(
+            client.counts, expected,
+            "client {} disagrees with the single-client run",
+            client.client
+        );
+        assert_eq!(client.completed, 3 * mix().len() as u64);
+    }
+    assert_eq!(report.total_completed(), 4 * 3 * mix().len() as u64);
+}
+
+#[test]
+fn report_carries_latency_and_throughput() {
+    let (graph, _) = generate_graph(Config::triples(2_000));
+    let engine = Engine::load(EngineKind::NativeOpt, &graph);
+    let mut cfg = MultiuserConfig::new(2, StopCondition::Rounds(2));
+    cfg.mix = vec![
+        WorkItem::bench(BenchQuery::Q1),
+        WorkItem::bench(BenchQuery::Q3c),
+    ];
+    let multiuser = run_multiuser(engine.shared_store(), &cfg);
+    assert_eq!(
+        multiuser.aggregate_latency().count(),
+        multiuser.total_completed(),
+        "every completed query is in the merged histogram"
+    );
+    assert!(multiuser.throughput() > 0.0);
+    for client in &multiuser.clients {
+        let p50 = client.latency.quantile(0.50);
+        let p99 = client.latency.quantile(0.99);
+        assert!(p50 > std::time::Duration::ZERO);
+        assert!(p99 >= p50, "quantiles are monotone");
+    }
+    // The report section renders per-client and aggregate rows.
+    let table = report::multiuser_table(&multiuser);
+    assert!(table.contains("p99[ms]"), "{table}");
+    assert!(
+        table.lines().filter(|l| !l.trim().is_empty()).count() >= 5,
+        "header + 2 clients + aggregate:\n{table}"
+    );
+}

@@ -9,7 +9,7 @@ use proptest::prelude::*;
 
 use sp2bench::rdf::{Graph, Iri, Literal, Subject, Term};
 use sp2bench::sparql::{OptimizerConfig, QueryEngine};
-use sp2bench::store::{MemStore, NativeStore, TripleStore};
+use sp2bench::store::{MemStore, NativeStore, SharedStore, TripleStore};
 
 /// Random small graph: subjects s0..s5, predicates p0..p3, objects mix of
 /// IRIs and integers.
@@ -56,8 +56,8 @@ const QUERY_POOL: &[&str] = &[
     "SELECT ?a ?v WHERE { ?a <http://t/p1> ?v FILTER (?v >= 5) }",
 ];
 
-fn run_sorted(store: &dyn TripleStore, query: &str, cfg: &OptimizerConfig) -> Vec<String> {
-    let engine = QueryEngine::new(store).optimizer(*cfg);
+fn run_sorted(store: &SharedStore, query: &str, cfg: &OptimizerConfig) -> Vec<String> {
+    let engine = QueryEngine::new(store.clone()).optimizer(*cfg);
     let prepared = engine.prepare(query).expect("pool query parses");
     let result = engine.execute(&prepared).expect("evaluation succeeds");
     let sp2bench::sparql::QueryResult::Solutions { rows, .. } = result else {
@@ -81,7 +81,7 @@ proptest! {
 
     #[test]
     fn optimized_equals_naive_on_mem_store(g in graph_strategy(), qi in 0..QUERY_POOL.len()) {
-        let store = MemStore::from_graph(&g);
+        let store = MemStore::from_graph(&g).into_shared();
         let naive = run_sorted(&store, QUERY_POOL[qi], &OptimizerConfig::default());
         let full = run_sorted(&store, QUERY_POOL[qi], &OptimizerConfig::full());
         prop_assert_eq!(naive, full);
@@ -89,7 +89,7 @@ proptest! {
 
     #[test]
     fn optimized_equals_naive_on_native_store(g in graph_strategy(), qi in 0..QUERY_POOL.len()) {
-        let store = NativeStore::from_graph(&g);
+        let store = NativeStore::from_graph(&g).into_shared();
         let naive = run_sorted(&store, QUERY_POOL[qi], &OptimizerConfig::default());
         let full = run_sorted(&store, QUERY_POOL[qi], &OptimizerConfig::full());
         prop_assert_eq!(naive, full);
@@ -97,8 +97,8 @@ proptest! {
 
     #[test]
     fn stores_agree_under_full_optimization(g in graph_strategy(), qi in 0..QUERY_POOL.len()) {
-        let mem = MemStore::from_graph(&g);
-        let native = NativeStore::from_graph(&g);
+        let mem = MemStore::from_graph(&g).into_shared();
+        let native = NativeStore::from_graph(&g).into_shared();
         let cfg = OptimizerConfig::full();
         prop_assert_eq!(
             run_sorted(&mem, QUERY_POOL[qi], &cfg),
@@ -108,7 +108,7 @@ proptest! {
 
     #[test]
     fn heuristic_config_equivalent_too(g in graph_strategy(), qi in 0..QUERY_POOL.len()) {
-        let store = MemStore::from_graph(&g);
+        let store = MemStore::from_graph(&g).into_shared();
         let naive = run_sorted(&store, QUERY_POOL[qi], &OptimizerConfig::default());
         let heur = run_sorted(&store, QUERY_POOL[qi], &OptimizerConfig::heuristic());
         prop_assert_eq!(naive, heur);

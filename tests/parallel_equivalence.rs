@@ -3,12 +3,15 @@
 //! (Q1–Q12 and the A1–A5 aggregation extension) on a generated document,
 //! execution at parallelism 2, 4 and 8 must produce the same result
 //! multiset (and count) as strictly sequential execution — including
-//! under a pre-triggered cancellation and with a row limit applied.
+//! under a pre-triggered cancellation, with a row limit applied, and
+//! when the streaming iterator is dropped early (the detached-worker
+//! exchange must deliver identical prefixes and then tear down
+//! cleanly).
 
 use sp2bench::core::{BenchQuery, ExtQuery};
 use sp2bench::datagen::{generate_graph, Config};
 use sp2bench::sparql::{Cancellation, Error, QueryEngine, QueryOptions, QueryResult};
-use sp2bench::store::{MemStore, NativeStore, TripleStore};
+use sp2bench::store::{MemStore, NativeStore, SharedStore, TripleStore};
 
 const TRIPLES: u64 = 8_000;
 const PARALLEL_DEGREES: [usize; 3] = [2, 4, 8];
@@ -22,8 +25,8 @@ fn all_query_texts() -> Vec<(&'static str, &'static str)> {
     queries
 }
 
-fn engine(store: &dyn TripleStore, parallelism: usize) -> QueryEngine<'_> {
-    QueryEngine::with_options(store, QueryOptions::new().parallelism(parallelism))
+fn engine(store: &SharedStore, parallelism: usize) -> QueryEngine {
+    QueryEngine::with_options(store.clone(), QueryOptions::new().parallelism(parallelism))
 }
 
 /// A result as a sorted multiset of stringified rows (ASK → its answer).
@@ -49,7 +52,7 @@ fn multiset(result: &QueryResult) -> Vec<String> {
 #[test]
 fn parallel_and_sequential_agree_on_all_queries() {
     let (graph, _) = generate_graph(Config::triples(TRIPLES));
-    let store = NativeStore::from_graph(&graph);
+    let store = NativeStore::from_graph(&graph).into_shared();
     let sequential = engine(&store, 1);
 
     for (label, text) in all_query_texts() {
@@ -101,7 +104,7 @@ fn mem_store_agrees_too() {
     // The memory store partitions posting lists instead of index ranges;
     // a representative subset keeps the runtime modest.
     let (graph, _) = generate_graph(Config::triples(TRIPLES));
-    let store = MemStore::from_graph(&graph);
+    let store = MemStore::from_graph(&graph).into_shared();
     let sequential = engine(&store, 1);
     for q in [
         BenchQuery::Q2,
@@ -126,7 +129,7 @@ fn mem_store_agrees_too() {
 #[test]
 fn pre_triggered_cancellation_cancels_parallel_execution() {
     let (graph, _) = generate_graph(Config::triples(4_000));
-    let store = NativeStore::from_graph(&graph);
+    let store = NativeStore::from_graph(&graph).into_shared();
     for degree in [2, 4] {
         let parallel = engine(&store, degree);
         for (label, text) in all_query_texts() {
@@ -162,7 +165,7 @@ fn pre_triggered_cancellation_cancels_parallel_execution() {
 #[test]
 fn row_limit_respected_under_parallelism() {
     let (graph, _) = generate_graph(Config::triples(TRIPLES));
-    let store = NativeStore::from_graph(&graph);
+    let store = NativeStore::from_graph(&graph).into_shared();
     for q in [BenchQuery::Q2, BenchQuery::Q3a, BenchQuery::Q5b] {
         let full = engine(&store, 1);
         let prepared = full.prepare(q.text()).unwrap();
@@ -170,7 +173,7 @@ fn row_limit_respected_under_parallelism() {
         let limit = 5u64.min(total);
         for degree in [1, 4] {
             let limited =
-                QueryEngine::with_options(&store, QueryOptions::new().parallelism(degree))
+                QueryEngine::with_options(store.clone(), QueryOptions::new().parallelism(degree))
                     .row_limit(5);
             let prepared = limited.prepare(q.text()).unwrap();
             assert_eq!(
@@ -198,7 +201,7 @@ fn queries_with_limit_modifiers_agree_in_order() {
     // parallel and sequential rows must match *in order*, not just as
     // multisets (Q11 is ORDER BY + LIMIT + OFFSET).
     let (graph, _) = generate_graph(Config::triples(TRIPLES));
-    let store = NativeStore::from_graph(&graph);
+    let store = NativeStore::from_graph(&graph).into_shared();
     let sequential = engine(&store, 1);
     let prepared = sequential.prepare(BenchQuery::Q11.text()).unwrap();
     let QueryResult::Solutions {
@@ -215,4 +218,45 @@ fn queries_with_limit_modifiers_agree_in_order() {
         };
         assert_eq!(rows, reference, "Q11@{degree}: ordered rows must match");
     }
+}
+
+#[test]
+fn early_stream_drop_matches_sequential_prefix() {
+    // Pulling k rows and hanging up mid-stream must (a) deliver exactly
+    // the sequential prefix — the detached-worker merge preserves morsel
+    // order — and (b) tear the exchange down without wedging: every
+    // worker is joined when the `Solutions` iterator drops, so a fresh
+    // run over the same store behaves identically.
+    let (graph, _) = generate_graph(Config::triples(TRIPLES));
+    let store = NativeStore::from_graph(&graph).into_shared();
+    let sequential = engine(&store, 1);
+    for q in [BenchQuery::Q2, BenchQuery::Q3a, BenchQuery::Q5b] {
+        let prepared = sequential.prepare(q.text()).unwrap();
+        let prefix: Vec<String> = sequential
+            .solutions(&prepared)
+            .take(7)
+            .map(|s| render(&s.unwrap()))
+            .collect();
+        for degree in PARALLEL_DEGREES {
+            let parallel = engine(&store, degree);
+            let prepared = parallel.prepare(q.text()).unwrap();
+            for _ in 0..2 {
+                let mut stream = parallel.solutions(&prepared);
+                let got: Vec<String> = stream
+                    .by_ref()
+                    .take(7)
+                    .map(|s| render(&s.unwrap()))
+                    .collect();
+                assert_eq!(got, prefix, "{q}@{degree}: early-drop prefix");
+                drop(stream); // hang up with most of the result unread
+            }
+        }
+    }
+}
+
+fn render(solution: &sp2bench::sparql::Solution<'_>) -> String {
+    (0..solution.len())
+        .map(|i| solution.get(i).map_or("-".into(), |t| t.to_string()))
+        .collect::<Vec<_>>()
+        .join("\t")
 }

@@ -4,6 +4,8 @@
 
 use std::time::Duration;
 
+use std::sync::Arc;
+
 use sp2bench::core::BenchQuery;
 use sp2bench::datagen::{generate_graph, Config, UpdateStream};
 use sp2bench::rdf::Graph;
@@ -13,23 +15,31 @@ use sp2bench::store::{NativeStore, TripleStore};
 const TRIPLES: u64 = 10_000;
 const TIMEOUT: Duration = Duration::from_secs(120);
 
-fn count(store: &NativeStore, q: BenchQuery) -> u64 {
-    let engine = QueryEngine::new(store).timeout(TIMEOUT);
+/// Queries a store another handle may still mutate between calls: the
+/// engine takes an `Arc` clone for the duration of the count and releases
+/// it on return, after which `Arc::get_mut` works again.
+fn count(store: &Arc<NativeStore>, q: BenchQuery) -> u64 {
+    let engine = QueryEngine::new(store.clone()).timeout(TIMEOUT);
     let prepared = engine.prepare(q.text()).expect("query parses");
     engine
         .count(&prepared)
         .unwrap_or_else(|e| panic!("{q}: {e}"))
 }
 
+/// The writer-side handle: exclusive while no engine holds a clone.
+fn writable(store: &mut Arc<NativeStore>) -> &mut NativeStore {
+    Arc::get_mut(store).expect("no engine may hold the store across an update")
+}
+
 #[test]
 fn incremental_store_answers_like_bulk_store() {
     let cfg = Config::triples(TRIPLES);
     let (graph, _) = generate_graph(cfg);
-    let bulk = NativeStore::from_graph(&graph);
+    let bulk = Arc::new(NativeStore::from_graph(&graph));
 
-    let mut incremental = NativeStore::from_graph(&Graph::new());
+    let mut incremental = Arc::new(NativeStore::from_graph(&Graph::new()));
     for batch in UpdateStream::generate(cfg).batches() {
-        incremental.insert_batch(&batch.triples);
+        writable(&mut incremental).insert_batch(&batch.triples);
     }
     assert_eq!(incremental.len(), bulk.len());
 
@@ -44,13 +54,13 @@ fn mid_stream_store_is_consistent() {
     // document — every invariant query still holds.
     let stream = UpdateStream::generate(Config::triples(TRIPLES));
     let batches = stream.batches();
-    let mut store = NativeStore::from_graph(&Graph::new());
+    let mut store = Arc::new(NativeStore::from_graph(&Graph::new()));
     for batch in &batches[..batches.len() / 2] {
-        store.insert_batch(&batch.triples);
+        writable(&mut store).insert_batch(&batch.triples);
     }
     // Structural invariants (referential consistency) — no dangling
     // partOf targets.
-    let engine = QueryEngine::new(&store);
+    let engine = QueryEngine::new(store);
     let dangling = engine
         .prepare(
             "SELECT ?d WHERE { ?d dcterms:partOf ?venue OPTIONAL { ?venue rdf:type ?c } FILTER (!bound(?c)) }",
@@ -66,13 +76,13 @@ fn queries_evolve_monotonically_across_batches() {
     // are only added, never removed).
     let stream = UpdateStream::generate(Config::triples(TRIPLES));
     let batches = stream.batches();
-    let mut store = NativeStore::from_graph(&Graph::new());
+    let mut store = Arc::new(NativeStore::from_graph(&Graph::new()));
     let mut last = 0u64;
     let checkpoints = [batches.len() / 3, 2 * batches.len() / 3, batches.len()];
     let mut applied = 0;
     for &until in &checkpoints {
         while applied < until {
-            store.insert_batch(&batches[applied].triples);
+            writable(&mut store).insert_batch(&batches[applied].triples);
             applied += 1;
         }
         let n = count(&store, BenchQuery::Q2);
