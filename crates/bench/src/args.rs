@@ -68,6 +68,19 @@ impl Args {
         Ok(self.get_positive_opt(key)?.unwrap_or(default))
     }
 
+    /// Strictly validated socket-address option (`IP:PORT`): absent →
+    /// `default`; present but malformed → hard usage error (same
+    /// contract as [`Args::get_positive_opt`] — a server must never
+    /// silently bind somewhere the operator did not ask for).
+    pub fn get_addr(&self, key: &str, default: &str) -> Result<std::net::SocketAddr, String> {
+        let value = self.get(key).unwrap_or(default);
+        value.trim().parse().map_err(|_| {
+            format!(
+                "invalid --{key} value '{value}'\nusage: --{key} IP:PORT  (e.g. 127.0.0.1:8088)"
+            )
+        })
+    }
+
     /// Comma-separated list option.
     pub fn get_list(&self, key: &str) -> Option<Vec<String>> {
         self.get(key).map(|v| {
@@ -138,6 +151,47 @@ mod tests {
         // Negative numbers don't parse as usize either.
         let neg = args("multiuser --clients -3");
         assert!(neg.get_positive("clients", 4).is_err());
+    }
+
+    #[test]
+    fn addr_option_hard_errors_on_malformed_values() {
+        let a = args("serve --addr 0.0.0.0:9001");
+        assert_eq!(
+            a.get_addr("addr", "127.0.0.1:8088"),
+            Ok("0.0.0.0:9001".parse().unwrap())
+        );
+        // Absent: the default applies.
+        assert_eq!(
+            a.get_addr("bind", "127.0.0.1:8088"),
+            Ok("127.0.0.1:8088".parse().unwrap())
+        );
+        // Malformed values (no port, bad port, hostname) are hard errors.
+        for bad in ["127.0.0.1", "localhost:8088", "1.2.3.4:notaport", ":-1"] {
+            let a = Args::parse(["serve".into(), "--addr".into(), bad.to_owned()]);
+            let err = a.get_addr("addr", "127.0.0.1:8088").unwrap_err();
+            assert!(
+                err.contains(&format!("invalid --addr value '{bad}'")),
+                "{err}"
+            );
+            assert!(err.contains("usage:"), "{err}");
+        }
+    }
+
+    #[test]
+    fn timeout_follows_the_positive_option_contract() {
+        // `--timeout` shares get_positive: absent → default, malformed
+        // or zero → hard error (no silent 30 s fallback).
+        let a = args("bench --timeout 45");
+        assert_eq!(a.get_positive("timeout", 30), Ok(45));
+        assert_eq!(args("bench").get_positive("timeout", 30), Ok(30));
+        for bad in ["0", "soon", "-5", "1.5"] {
+            let a = Args::parse(["bench".into(), "--timeout".into(), bad.to_owned()]);
+            let err = a.get_positive("timeout", 30).unwrap_err();
+            assert!(
+                err.contains(&format!("invalid --timeout value '{bad}'")),
+                "{err}"
+            );
+        }
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! `sp2b` — the SP²Bench command-line harness.
 //!
-//! One subcommand per paper experiment (DESIGN.md §6):
+//! One subcommand per paper experiment (DESIGN.md §6), plus the server:
 //!
 //! ```text
 //! sp2b gen      --triples 50k [--seed N] --out doc.nt     generate a document
@@ -15,25 +15,36 @@
 //! sp2b ablation [--triples 50k] [--timeout 30]            optimizer/index ablation
 //! sp2b scaling  [--triples 50k] [--threads 1,2,4,8]       thread-scaling speedups
 //! sp2b smoke    [--triples 5k] [--threads 4]              generate → load → all queries
+//! sp2b serve    [--addr 127.0.0.1:8088] [--threads 4]     SPARQL protocol endpoint over
+//!               [--timeout 30] [--triples 50k|--data F]   one shared store (HTTP/1.1)
+//!               [--duration S] [--parallelism N]
 //! sp2b multiuser --clients 8 [--threads 2] [--duration 30] N concurrent clients, mixed
 //!               [--triples 50k] [--queries q1,a1,…]       workload → latency/throughput
+//!               [--endpoint http://host:port/sparql]      …over real sockets instead
 //! sp2b query    Q4 [--triples 50k] [--engine native-opt]  run one query, print rows
+//!               [--format table|json|csv|tsv]
 //! ```
 //!
 //! `run`, `query`, `smoke` and the experiments accept `--threads N` to
 //! pin the degree of morsel-driven parallelism (default: all cores;
-//! `--threads 1` is strictly single-threaded evaluation).
+//! `--threads 1` is strictly single-threaded evaluation). `--timeout`
+//! and `--addr` are strictly validated: malformed values are hard usage
+//! errors, never silent fallbacks.
 
+use std::io::Write as _;
 use std::process::ExitCode;
 use std::time::Duration;
 
 use sp2b_bench::experiments::{self, DEFAULT_SIZES};
 use sp2b_bench::Args;
-use sp2b_core::multiuser::StopCondition;
+use sp2b_core::multiuser::{MultiuserConfig, StopCondition};
 use sp2b_core::report;
-use sp2b_core::runner::{run_benchmark, MixedWorkloadConfig, RunnerConfig};
-use sp2b_core::{measure, BenchQuery, Engine, EngineKind};
+use sp2b_core::runner::{run_benchmark, run_endpoint_workload, MixedWorkloadConfig, RunnerConfig};
+use sp2b_core::{measure, BenchQuery, Endpoint, Engine, EngineKind};
 use sp2b_datagen::{generate_graph, generate_to_path, Config};
+use sp2b_rdf::Graph;
+use sp2b_server::ServerConfig;
+use sp2b_sparql::results::{self, Format, WriteError};
 use sp2b_sparql::{Error as SparqlError, Prepared, QueryEngine};
 
 fn main() -> ExitCode {
@@ -52,10 +63,7 @@ fn main() -> ExitCode {
             println!("{}", experiments::table8(&sizes(&args)));
             Ok(())
         }
-        "table5" => {
-            println!("{}", experiments::table5(&sizes(&args), timeout(&args, 60)));
-            Ok(())
-        }
+        "table5" => cmd_table5(&args),
         "bench" => cmd_bench(&args),
         "fig2a" => {
             println!("{}", experiments::fig2a(args.get_u64("triples", 250_000)));
@@ -66,15 +74,10 @@ fn main() -> ExitCode {
             Ok(())
         }
         "fig2c" => cmd_fig2c(&args),
-        "ablation" => {
-            println!(
-                "{}",
-                experiments::ablation(args.get_u64("triples", 50_000), timeout(&args, 30))
-            );
-            Ok(())
-        }
+        "ablation" => cmd_ablation(&args),
         "scaling" => cmd_scaling(&args),
         "smoke" => cmd_smoke(&args),
+        "serve" => cmd_serve(&args),
         "multiuser" => cmd_multiuser(&args),
         "query" => cmd_query(&args),
         "ext" => cmd_ext(&args),
@@ -90,9 +93,10 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: sp2b <gen|table3|table5|table8|bench|fig2a|fig2b|fig2c|ablation|scaling|smoke|multiuser|query|ext|run> [options]
-run `sp2b bench` for the full paper protocol, `sp2b multiuser --clients N --threads K --duration S`
-for the concurrent-client workload; see crate docs for options";
+const USAGE: &str = "usage: sp2b <gen|table3|table5|table8|bench|fig2a|fig2b|fig2c|ablation|scaling|smoke|serve|multiuser|query|ext|run> [options]
+run `sp2b bench` for the full paper protocol, `sp2b serve --addr 127.0.0.1:8088` for the SPARQL
+endpoint, `sp2b multiuser --clients N [--endpoint http://…]` for the concurrent-client workload;
+see crate docs for options";
 
 fn sizes(args: &Args) -> Vec<u64> {
     match args.get_list("sizes") {
@@ -104,8 +108,14 @@ fn sizes(args: &Args) -> Vec<u64> {
     }
 }
 
-fn timeout(args: &Args, default_secs: u64) -> Duration {
-    Duration::from_secs(args.get_u64("timeout", default_secs))
+/// The `--timeout` flag in seconds: absent → `default_secs`; malformed
+/// or zero → hard usage error (the `Args::get_positive` contract shared
+/// with `--clients`/`--threads` — a benchmark must never silently run
+/// under a timeout the operator did not ask for).
+fn timeout(args: &Args, default_secs: u64) -> Result<Duration, String> {
+    Ok(Duration::from_secs(
+        args.get_positive("timeout", default_secs as usize)? as u64,
+    ))
 }
 
 /// The `--threads` flag: `Ok(None)` keeps the engine default (all
@@ -113,6 +123,39 @@ fn timeout(args: &Args, default_secs: u64) -> Duration {
 /// message, never a silent fallback (see `Args::get_positive_opt`).
 fn threads(args: &Args) -> Result<Option<usize>, String> {
     args.get_positive_opt("threads")
+}
+
+/// The `--format` flag: `None` is the human table preview; `json`,
+/// `csv` and `tsv` stream the full result through the same serializers
+/// the HTTP endpoint uses.
+fn output_format(args: &Args) -> Result<Option<Format>, String> {
+    match args.get("format") {
+        None | Some("table") => Ok(None),
+        Some(s) => Format::from_media_type(s)
+            .map(Some)
+            .ok_or_else(|| format!("unknown --format '{s}'\nusage: --format table|json|csv|tsv")),
+    }
+}
+
+/// The document for `run`/`serve`: parsed from `--data FILE` or
+/// generated from `--triples N`.
+fn document(args: &Args, default_triples: u64) -> Result<Graph, String> {
+    match args.get("data") {
+        Some(path) => {
+            let file = std::fs::File::open(path).map_err(|e| e.to_string())?;
+            let reader = std::io::BufReader::with_capacity(1 << 16, file);
+            let triples: Result<Vec<_>, _> = sp2b_rdf::ntriples::Parser::new(reader).collect();
+            Ok(triples.map_err(|e| e.to_string())?.into_iter().collect())
+        }
+        None => Ok(generate_graph(Config::triples(args.get_u64("triples", default_triples))).0),
+    }
+}
+
+fn engine_kind(args: &Args) -> Result<EngineKind, String> {
+    match args.get("engine") {
+        Some(l) => EngineKind::from_label(l).ok_or_else(|| format!("unknown engine '{l}'")),
+        None => Ok(EngineKind::NativeOpt),
+    }
 }
 
 fn cmd_gen(args: &Args) -> Result<(), String> {
@@ -130,10 +173,23 @@ fn cmd_gen(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_table5(args: &Args) -> Result<(), String> {
+    println!("{}", experiments::table5(&sizes(args), timeout(args, 60)?));
+    Ok(())
+}
+
+fn cmd_ablation(args: &Args) -> Result<(), String> {
+    println!(
+        "{}",
+        experiments::ablation(args.get_u64("triples", 50_000), timeout(args, 30)?)
+    );
+    Ok(())
+}
+
 fn cmd_bench(args: &Args) -> Result<(), String> {
     let mut cfg = RunnerConfig::paper_defaults();
     cfg.scales = sizes(args);
-    cfg.timeout = timeout(args, 30);
+    cfg.timeout = timeout(args, 30)?;
     cfg.runs = args.get_u64("runs", 3) as usize;
     if let Some(labels) = args.get_list("engines") {
         cfg.engines = experiments::parse_engines(&labels)?;
@@ -161,30 +217,37 @@ fn cmd_fig2c(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-/// Streams a prepared query through `engine`, printing up to `limit` rows
-/// (indented by `indent`) while the remainder is only counted — the tail
-/// never decodes a term. Returns `(total, shown)`.
+/// Streams a prepared query through `engine`, printing up to `limit`
+/// rows (indented by `indent`) while the remainder is only counted —
+/// the shared table-preview writer in `sp2b_sparql::results`. Returns
+/// `(total, shown)`.
 fn stream_rows(
     engine: &QueryEngine,
     prepared: &Prepared,
     limit: usize,
     indent: &str,
-) -> Result<(u64, usize), SparqlError> {
-    println!("{indent}{}", prepared.variables().join("\t"));
-    let mut total: u64 = 0;
-    let mut shown = 0usize;
-    for solution in engine.solutions(prepared) {
-        let solution = solution?;
-        total += 1;
-        if shown < limit {
-            let line: Vec<String> = (0..solution.len())
-                .map(|i| solution.get(i).map_or("-".into(), |t| t.to_string()))
-                .collect();
-            println!("{indent}{}", line.join("\t"));
-            shown += 1;
-        }
-    }
-    Ok((total, shown))
+) -> Result<(u64, usize), WriteError> {
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let mut solutions = engine.solutions(prepared);
+    results::write_table_preview(&mut out, &mut solutions, limit, indent)
+}
+
+/// Streams the full result set to stdout in a wire format — the exact
+/// serializers the HTTP endpoint uses. Prints the row count to stderr.
+fn serialize_to_stdout(
+    engine: &QueryEngine,
+    prepared: &Prepared,
+    format: Format,
+) -> Result<(), String> {
+    let stdout = std::io::stdout();
+    let mut out = std::io::BufWriter::new(stdout.lock());
+    let mut solutions = engine.solutions(prepared);
+    let rows = results::write_solutions(&mut out, format, &mut solutions, prepared.is_ask())
+        .map_err(describe)?;
+    out.flush().map_err(|e| e.to_string())?;
+    eprintln!("{rows} row(s) as {}", format.label());
+    Ok(())
 }
 
 /// Thread-scaling experiment: speedup per query as `--threads` grows.
@@ -209,7 +272,7 @@ fn cmd_scaling(args: &Args) -> Result<(), String> {
     };
     println!(
         "{}",
-        experiments::thread_scaling(n, &thread_counts, timeout(args, 60), &queries)
+        experiments::thread_scaling(n, &thread_counts, timeout(args, 60)?, &queries)
     );
     Ok(())
 }
@@ -224,7 +287,7 @@ fn cmd_smoke(args: &Args) -> Result<(), String> {
     let t = threads(args)?;
     let (graph, _) = generate_graph(Config::triples(n));
     let engine = Engine::load(EngineKind::NativeOpt, &graph);
-    let qe = engine.query_engine_with(Some(timeout(args, 120)), t);
+    let qe = engine.query_engine_with(Some(timeout(args, 120)?), t);
     let mut texts: Vec<(&'static str, &'static str)> = BenchQuery::ALL
         .iter()
         .map(|q| (q.label(), q.text()))
@@ -247,38 +310,112 @@ fn cmd_smoke(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// The SPARQL Protocol endpoint: loads (or generates) one document and
+/// serves it over HTTP from a fixed worker pool sharing the store.
+/// `--threads` sizes the HTTP worker pool, `--parallelism` pins the
+/// per-query morsel parallelism (default 1 — concurrency comes from the
+/// clients), `--timeout` bounds every request, and `--duration` runs
+/// the server that long before shutting down gracefully (omit it to
+/// serve until the process is killed). `--addr`/`--timeout` are
+/// strictly validated; malformed values are hard usage errors.
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    let addr = args.get_addr("addr", "127.0.0.1:8088")?;
+    let workers = args.get_positive("threads", 4)?;
+    let per_query_timeout = timeout(args, 30)?;
+    let parallelism = args.get_positive_opt("parallelism")?.unwrap_or(1);
+    let duration = args.get_positive_opt("duration")?;
+    let kind = engine_kind(args)?;
+    let graph = document(args, 50_000)?;
+    let engine = Engine::load(kind, &graph);
+    eprintln!(
+        "loaded {} triples into {kind} ({})",
+        graph.len(),
+        engine.loading.summary()
+    );
+    let qe = engine.query_engine_with(None, Some(parallelism));
+    let cfg = ServerConfig {
+        addr,
+        workers,
+        timeout: Some(per_query_timeout),
+    };
+    let handle = sp2b_server::spawn(qe, &cfg).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    eprintln!(
+        "serving SPARQL on {} ({} worker(s), per-query parallelism {}, timeout {}s)",
+        handle.endpoint_url(),
+        workers,
+        parallelism,
+        per_query_timeout.as_secs()
+    );
+    match duration {
+        Some(secs) => std::thread::sleep(Duration::from_secs(secs as u64)),
+        None => loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        },
+    }
+    let stats = handle.shutdown();
+    eprintln!("server shut down cleanly: {stats}");
+    Ok(())
+}
+
 /// The multi-user mixed workload (paper Section VII's "multi-user
-/// scenario"): N client threads share one loaded store, each cycling a
-/// mix of Q1–Q12/A1–A5 at its own rotation offset, reporting per-client
-/// p50/p95/p99 latency and aggregate queries/sec. `--clients`,
-/// `--threads` (per-query parallelism) and `--duration`/`--rounds` are
-/// strictly validated: malformed or zero values are hard errors.
+/// scenario"): N client threads issue a mix of Q1–Q12/A1–A5, each at
+/// its own rotation offset, reporting per-client p50/p95/p99 latency
+/// and aggregate queries/sec. Without `--endpoint` the clients share
+/// one in-process store; with `--endpoint http://…` they drive a live
+/// `sp2b serve` instance over real sockets through the same
+/// histogram/report pipeline. `--clients`, `--threads` (per-query
+/// parallelism) and `--duration`/`--rounds` are strictly validated:
+/// malformed or zero values are hard errors.
 fn cmd_multiuser(args: &Args) -> Result<(), String> {
     let clients = args.get_positive("clients", 4)?;
-    let parallelism = args.get_positive("threads", 1)?;
     let stop = match args.get_positive_opt("rounds")? {
         Some(rounds) => StopCondition::Rounds(rounds as u32),
         None => StopCondition::Duration(Duration::from_secs(
             args.get_positive("duration", 30)? as u64
         )),
     };
-    let triples = args.get_u64("triples", 50_000);
-    let mut cfg = MixedWorkloadConfig::new(triples, clients, stop);
-    if let Some(label) = args.get("engine") {
-        cfg.engine =
-            EngineKind::from_label(label).ok_or_else(|| format!("unknown engine '{label}'"))?;
-    }
-    cfg.multiuser.parallelism = parallelism;
-    cfg.multiuser.timeout = timeout(args, 30);
-    if let Some(labels) = args.get_list("queries") {
-        cfg.multiuser.mix = experiments::parse_mix(&labels)?;
-    }
     let quiet = args.has("quiet");
-    let report = sp2b_core::run_mixed_workload(&cfg, |line| {
+    let mut progress = |line: &str| {
         if !quiet {
             eprintln!("{line}");
         }
-    });
+    };
+
+    if let Some(url) = args.get("endpoint") {
+        // Endpoint mode: the server owns the store, its parallelism and
+        // its engine — flags that silently would not apply are errors.
+        for flag in ["triples", "engine", "threads"] {
+            if args.has(flag) {
+                return Err(format!(
+                    "--{flag} does not apply with --endpoint (the server owns the store); \
+                     configure it on `sp2b serve` instead"
+                ));
+            }
+        }
+        let endpoint = Endpoint::parse(url)?;
+        let mut cfg = MultiuserConfig::new(clients, stop);
+        cfg.timeout = timeout(args, 30)?;
+        if let Some(labels) = args.get_list("queries") {
+            cfg.mix = experiments::parse_mix(&labels)?;
+        }
+        let report = run_endpoint_workload(&endpoint, &cfg, &mut progress);
+        println!(
+            "{}",
+            report::endpoint_workload_report(&endpoint.url(), &report)
+        );
+        return Ok(());
+    }
+
+    let parallelism = args.get_positive("threads", 1)?;
+    let triples = args.get_u64("triples", 50_000);
+    let mut cfg = MixedWorkloadConfig::new(triples, clients, stop);
+    cfg.engine = engine_kind(args)?;
+    cfg.multiuser.parallelism = parallelism;
+    cfg.multiuser.timeout = timeout(args, 30)?;
+    if let Some(labels) = args.get_list("queries") {
+        cfg.multiuser.mix = experiments::parse_mix(&labels)?;
+    }
+    let report = sp2b_core::run_mixed_workload(&cfg, progress);
     println!("{}", report::mixed_workload_report(&report));
     Ok(())
 }
@@ -290,7 +427,7 @@ fn cmd_ext(args: &Args) -> Result<(), String> {
     let limit = args.get_u64("limit", 10) as usize;
     let (graph, _) = generate_graph(Config::triples(n));
     let engine = Engine::load(EngineKind::NativeOpt, &graph);
-    let qe = engine.query_engine_with(Some(timeout(args, 300)), threads(args)?);
+    let qe = engine.query_engine_with(Some(timeout(args, 300)?), threads(args)?);
     for q in sp2b_core::ExtQuery::ALL {
         let prepared = qe.prepare(q.text()).map_err(|e| format!("{q}: {e}"))?;
         println!("\n{q}:");
@@ -302,7 +439,7 @@ fn cmd_ext(args: &Args) -> Result<(), String> {
                     println!("  … ({} more groups)", total - shown as u64);
                 }
             }
-            Err(SparqlError::Cancelled) => println!("{q}: timeout"),
+            Err(WriteError::Query(SparqlError::Cancelled)) => println!("{q}: timeout"),
             Err(e) => return Err(format!("{q}: {e}")),
         }
     }
@@ -320,23 +457,14 @@ fn cmd_run(args: &Args) -> Result<(), String> {
             return Err("provide a query: `sp2b run 'SELECT …'` or --query-file q.rq".into())
         }
     };
-    let engine_kind = match args.get("engine") {
-        Some(l) => EngineKind::from_label(l).ok_or_else(|| format!("unknown engine '{l}'"))?,
-        None => EngineKind::NativeOpt,
-    };
-    let graph = match args.get("data") {
-        Some(path) => {
-            let file = std::fs::File::open(path).map_err(|e| e.to_string())?;
-            let reader = std::io::BufReader::with_capacity(1 << 16, file);
-            let triples: Result<Vec<_>, _> = sp2b_rdf::ntriples::Parser::new(reader).collect();
-            triples.map_err(|e| e.to_string())?.into_iter().collect()
-        }
-        None => generate_graph(Config::triples(args.get_u64("triples", 50_000))).0,
-    };
-    let engine = Engine::load(engine_kind, &graph);
+    let graph = document(args, 50_000)?;
+    let engine = Engine::load(engine_kind(args)?, &graph);
     let limit = args.get_u64("limit", 50) as usize;
-    let qe = engine.query_engine_with(Some(timeout(args, 300)), threads(args)?);
+    let qe = engine.query_engine_with(Some(timeout(args, 300)?), threads(args)?);
     let prepared = qe.prepare(&text).map_err(|e| e.to_string())?;
+    if let Some(format) = output_format(args)? {
+        return serialize_to_stdout(&qe, &prepared, format);
+    }
     if prepared.is_ask() {
         let (result, m) = measure(|| qe.execute(&prepared));
         let r = result.map_err(|e| format!("{e} ({})", m.summary()))?;
@@ -362,9 +490,9 @@ fn cmd_run(args: &Args) -> Result<(), String> {
 }
 
 /// Human phrasing for streaming errors on the CLI.
-fn describe(e: SparqlError) -> String {
+fn describe(e: WriteError) -> String {
     match e {
-        SparqlError::Cancelled => "query timed out".to_owned(),
+        WriteError::Query(SparqlError::Cancelled) => "query timed out".to_owned(),
         other => other.to_string(),
     }
 }
@@ -376,21 +504,21 @@ fn cmd_query(args: &Args) -> Result<(), String> {
         .ok_or("query label required, e.g. `sp2b query Q4`")?;
     let query = BenchQuery::from_label(label).ok_or_else(|| format!("unknown query '{label}'"))?;
     let n = args.get_u64("triples", 50_000);
-    let engine_kind = match args.get("engine") {
-        Some(l) => EngineKind::from_label(l).ok_or_else(|| format!("unknown engine '{l}'"))?,
-        None => EngineKind::NativeOpt,
-    };
     let limit = args.get_u64("limit", 20);
 
     let (graph, _) = generate_graph(Config::triples(n));
-    let engine = Engine::load(engine_kind, &graph);
-    let qe = engine.query_engine_with(Some(timeout(args, 300)), threads(args)?);
+    let engine = Engine::load(engine_kind(args)?, &graph);
+    let engine_label = engine.kind();
+    let qe = engine.query_engine_with(Some(timeout(args, 300)?), threads(args)?);
     let prepared = qe.prepare(query.text()).map_err(|e| e.to_string())?;
+    if let Some(format) = output_format(args)? {
+        return serialize_to_stdout(&qe, &prepared, format);
+    }
     if prepared.is_ask() {
         let (result, m) = measure(|| qe.execute(&prepared));
         let r = result.map_err(|e| format!("{query}: {e} ({})", m.summary()))?;
         println!(
-            "{query} on {n} triples via {engine_kind}: answer {} ({})",
+            "{query} on {n} triples via {engine_label}: answer {} ({})",
             if r.as_bool() == Some(true) {
                 "yes"
             } else {
@@ -404,7 +532,7 @@ fn cmd_query(args: &Args) -> Result<(), String> {
     let (total, shown) =
         streamed.map_err(|e| format!("{query}: {} ({})", describe(e), m.summary()))?;
     println!(
-        "{query} on {n} triples via {engine_kind}: {total} solutions ({})",
+        "{query} on {n} triples via {engine_label}: {total} solutions ({})",
         m.summary()
     );
     if total > shown as u64 {

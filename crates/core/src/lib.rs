@@ -5,8 +5,10 @@
 //! systems under test ([`engines`]), the measurement metrics of Section
 //! VI-B ([`metrics`]), the benchmark protocol ([`runner`]), the
 //! multi-client mixed-workload driver of the Section VII multi-user
-//! scenario ([`multiuser`]) and formatters that print the paper's tables
-//! and figure series ([`report`]).
+//! scenario ([`multiuser`]) — with an HTTP transport ([`endpoint`]) that
+//! drives a live `sp2b serve` SPARQL endpoint over real sockets — and
+//! formatters that print the paper's tables and figure series
+//! ([`report`]).
 //!
 //! ```no_run
 //! use sp2b_core::runner::{run_benchmark, RunnerConfig};
@@ -16,6 +18,7 @@
 //! println!("{}", full_report(&report));
 //! ```
 
+pub mod endpoint;
 pub mod engines;
 pub mod ext_queries;
 pub mod metrics;
@@ -24,14 +27,16 @@ pub mod queries;
 pub mod report;
 pub mod runner;
 
+pub use endpoint::{Endpoint, HttpTransport};
 pub use engines::{Engine, EngineKind, Outcome};
 pub use ext_queries::ExtQuery;
 pub use metrics::{measure, Measurement};
 pub use multiuser::{
-    run_multiuser, LatencyHistogram, MultiuserConfig, MultiuserReport, StopCondition, WorkItem,
+    run_multiuser, run_multiuser_with, ExecOutcome, InProcessTransport, LatencyHistogram,
+    MultiuserConfig, MultiuserReport, StopCondition, WorkItem, WorkTransport,
 };
 pub use queries::BenchQuery;
 pub use runner::{
-    run_benchmark, run_mixed_workload, BenchmarkReport, MixedWorkloadConfig, MixedWorkloadReport,
-    RunnerConfig, Status,
+    run_benchmark, run_endpoint_workload, run_mixed_workload, BenchmarkReport, MixedWorkloadConfig,
+    MixedWorkloadReport, RunnerConfig, Status,
 };

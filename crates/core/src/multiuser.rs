@@ -15,6 +15,14 @@
 //! p50/p95/p99 latency and aggregate throughput
 //! ([`MultiuserReport::throughput`]).
 //!
+//! *How* a client reaches the store is abstracted behind
+//! [`WorkTransport`]: [`run_multiuser`] wires the in-process transport
+//! (direct [`QueryEngine`] calls over the shared store), while
+//! [`run_multiuser_with`] accepts any transport — in particular
+//! [`crate::endpoint::HttpTransport`], which drives a live
+//! `sp2b serve` endpoint over real sockets so the measured path includes
+//! connection handling, HTTP framing and result-set transfer.
+//!
 //! Result counts are tracked per query label and checked for stability
 //! across executions ([`ClientReport::inconsistent`]): a read-only store
 //! must answer every client identically every time, no matter how many
@@ -304,12 +312,126 @@ impl MultiuserReport {
 }
 
 // ---------------------------------------------------------------------------
+// Transports
+// ---------------------------------------------------------------------------
+
+/// Outcome of one transported query execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecOutcome {
+    /// Completed with this many result rows (ASK: 1/0).
+    Completed(u64),
+    /// Hit the per-query timeout (engine cancellation, HTTP `408`, or a
+    /// socket timeout).
+    TimedOut,
+    /// Failed for any other reason.
+    Failed,
+}
+
+/// How a benchmark client reaches the store under test. The in-process
+/// transport calls the [`QueryEngine`] directly; the HTTP transport
+/// ([`crate::endpoint::HttpTransport`]) posts to a live endpoint over
+/// real sockets. Both feed the same histogram/report pipeline.
+pub trait WorkTransport: Sync {
+    /// Per-client setup: prepare statements / open a connection for the
+    /// given mix. Entries unusable at setup are reported via
+    /// [`SessionSetup::failed`] and excluded from the rotation.
+    fn open(&self, client: usize, mix: &[WorkItem]) -> SessionSetup;
+}
+
+/// One client's executable state, produced by [`WorkTransport::open`].
+pub struct SessionSetup {
+    /// Labels of the executable mix entries, in rotation order.
+    pub labels: Vec<String>,
+    /// Mix entries that failed setup (each counts as one error).
+    pub failed: u64,
+    /// The executor for `labels` slots.
+    pub session: Box<dyn WorkSession>,
+}
+
+/// A client session: executes mix slots until the driver stops.
+pub trait WorkSession {
+    /// Runs slot `slot` (an index into [`SessionSetup::labels`]), giving
+    /// up at `stop_at`.
+    fn execute(&mut self, slot: usize, stop_at: Instant) -> ExecOutcome;
+}
+
+/// The in-process transport: each session owns a [`QueryEngine`] clone
+/// over the shared store and executes via the counting path (no term
+/// decoding), with the per-query deadline enforced through
+/// [`Cancellation`].
+pub struct InProcessTransport {
+    store: SharedStore,
+    parallelism: usize,
+}
+
+impl InProcessTransport {
+    /// A transport over `store` with the given intra-query parallelism.
+    pub fn new(store: SharedStore, parallelism: usize) -> Self {
+        InProcessTransport {
+            store,
+            parallelism: parallelism.max(1),
+        }
+    }
+}
+
+impl WorkTransport for InProcessTransport {
+    fn open(&self, _client: usize, mix: &[WorkItem]) -> SessionSetup {
+        let engine = QueryEngine::with_options(
+            self.store.clone(),
+            QueryOptions::new().parallelism(self.parallelism),
+        );
+        // Prepare the whole mix once — the long-lived-server execution
+        // model: plans are reused across every execution of this client.
+        let mut labels = Vec::with_capacity(mix.len());
+        let mut prepared = Vec::with_capacity(mix.len());
+        let mut failed = 0u64;
+        for item in mix {
+            match engine.prepare(&item.text) {
+                Ok(p) => {
+                    labels.push(item.label.clone());
+                    prepared.push(p);
+                }
+                Err(_) => failed += 1,
+            }
+        }
+        SessionSetup {
+            labels,
+            failed,
+            session: Box::new(InProcessSession { engine, prepared }),
+        }
+    }
+}
+
+struct InProcessSession {
+    engine: QueryEngine,
+    prepared: Vec<sp2b_sparql::Prepared>,
+}
+
+impl WorkSession for InProcessSession {
+    fn execute(&mut self, slot: usize, stop_at: Instant) -> ExecOutcome {
+        let cancel = Cancellation::with_deadline(stop_at);
+        match self.engine.count_with(&self.prepared[slot], &cancel) {
+            Ok(count) => ExecOutcome::Completed(count),
+            Err(SparqlError::Cancelled) => ExecOutcome::TimedOut,
+            Err(_) => ExecOutcome::Failed,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // The driver
 // ---------------------------------------------------------------------------
 
 /// Drives `cfg.clients` concurrent client threads against one shared
 /// store and collects their reports. Blocks until every client finished.
 pub fn run_multiuser(store: SharedStore, cfg: &MultiuserConfig) -> MultiuserReport {
+    run_multiuser_with(&InProcessTransport::new(store, cfg.parallelism), cfg)
+}
+
+/// Like [`run_multiuser`] over an explicit [`WorkTransport`] — this is
+/// how `sp2b multiuser --endpoint` drives a live HTTP endpoint through
+/// the same measurement pipeline.
+pub fn run_multiuser_with(transport: &dyn WorkTransport, cfg: &MultiuserConfig) -> MultiuserReport {
     assert!(!cfg.mix.is_empty(), "the query mix must not be empty");
     let clients = cfg.clients.max(1);
     let started = Instant::now();
@@ -319,13 +441,7 @@ pub fn run_multiuser(store: SharedStore, cfg: &MultiuserConfig) -> MultiuserRepo
     };
     let reports = std::thread::scope(|s| {
         let handles: Vec<_> = (0..clients)
-            .map(|client| {
-                let engine = QueryEngine::with_options(
-                    store.clone(),
-                    QueryOptions::new().parallelism(cfg.parallelism.max(1)),
-                );
-                s.spawn(move || client_loop(client, engine, cfg, deadline))
-            })
+            .map(|client| s.spawn(move || client_loop(client, transport, cfg, deadline)))
             .collect();
         handles
             .into_iter()
@@ -340,7 +456,7 @@ pub fn run_multiuser(store: SharedStore, cfg: &MultiuserConfig) -> MultiuserRepo
 
 fn client_loop(
     client: usize,
-    engine: QueryEngine,
+    transport: &dyn WorkTransport,
     cfg: &MultiuserConfig,
     deadline: Option<Instant>,
 ) -> ClientReport {
@@ -353,23 +469,20 @@ fn client_loop(
         counts: BTreeMap::new(),
         inconsistent: Vec::new(),
     };
-    // Prepare the whole mix once — the long-lived-server execution model:
-    // plans are reused across every execution of this client.
-    let mut prepared = Vec::with_capacity(cfg.mix.len());
-    for item in &cfg.mix {
-        match engine.prepare(&item.text) {
-            Ok(p) => prepared.push((item.label.as_str(), p)),
-            Err(_) => report.errors += 1,
-        }
-    }
-    if prepared.is_empty() {
+    let SessionSetup {
+        labels,
+        failed,
+        mut session,
+    } = transport.open(client, &cfg.mix);
+    report.errors += failed;
+    if labels.is_empty() {
         return report;
     }
     // Each client walks the mix at its own rotation offset, so at any
     // instant the store serves a genuine mix of query shapes.
-    let offset = (cfg.seed as usize).wrapping_add(client) % prepared.len();
+    let offset = (cfg.seed as usize).wrapping_add(client) % labels.len();
     let total: Option<u64> = match cfg.stop {
-        StopCondition::Rounds(r) => Some(r as u64 * prepared.len() as u64),
+        StopCondition::Rounds(r) => Some(r as u64 * labels.len() as u64),
         StopCondition::Duration(_) => None,
     };
     let mut executed = 0u64;
@@ -381,21 +494,20 @@ fn client_loop(
         if deadline.is_some_and(|d| now >= d) {
             break;
         }
-        let (label, p) = &prepared[(offset + executed as usize) % prepared.len()];
-        // The cancellation deadline is the earlier of the per-query
+        let slot = (offset + executed as usize) % labels.len();
+        // The execution deadline is the earlier of the per-query
         // timeout and the wall deadline, so a run overshoots its
         // configured duration by at most one cancellation latency.
         let mut stop_at = now + cfg.timeout;
         if let Some(d) = deadline {
             stop_at = stop_at.min(d);
         }
-        let cancel = Cancellation::with_deadline(stop_at);
         let t0 = Instant::now();
-        match engine.count_with(p, &cancel) {
-            Ok(count) => {
+        match session.execute(slot, stop_at) {
+            ExecOutcome::Completed(count) => {
                 report.latency.record(t0.elapsed());
                 report.completed += 1;
-                let label = (*label).to_owned();
+                let label = labels[slot].clone();
                 match report.counts.get(&label) {
                     Some(&previous) if previous != count => {
                         // Record each unstable label once, however many
@@ -410,13 +522,13 @@ fn client_loop(
                     }
                 }
             }
-            Err(SparqlError::Cancelled) => {
+            ExecOutcome::TimedOut => {
                 if deadline.is_some_and(|d| Instant::now() >= d) {
                     break; // wall deadline, not a per-query timeout
                 }
                 report.timeouts += 1;
             }
-            Err(_) => report.errors += 1,
+            ExecOutcome::Failed => report.errors += 1,
         }
         executed += 1;
     }

@@ -247,6 +247,19 @@ pub fn multiuser_table(report: &MultiuserReport) -> String {
     out
 }
 
+/// The endpoint (server) workload section: the multi-user table for a
+/// run driven over HTTP against a live SPARQL endpoint — the network
+/// counterpart of [`mixed_workload_report`]. Latencies here include
+/// connection handling, request framing and result-set transfer, not
+/// just evaluation.
+pub fn endpoint_workload_report(endpoint_url: &str, report: &MultiuserReport) -> String {
+    let mut out = format!(
+        "SPARQL ENDPOINT WORKLOAD — {endpoint_url} (latency includes the network path)\n\n"
+    );
+    out.push_str(&multiuser_table(report));
+    out
+}
+
 /// The full mixed-workload report: run header (scale, engine, load time)
 /// plus the [`multiuser_table`].
 pub fn mixed_workload_report(report: &MixedWorkloadReport) -> String {
@@ -379,6 +392,29 @@ mod tests {
         assert!(s.contains("TABLES VI/VII"));
         assert!(s.contains("LOADING"));
         assert!(s.contains("FIGURES 5-8"));
+    }
+
+    #[test]
+    fn endpoint_report_carries_the_url_and_table() {
+        use crate::multiuser::{ClientReport, LatencyHistogram, MultiuserReport};
+        let mut latency = LatencyHistogram::new();
+        latency.record(Duration::from_millis(3));
+        let report = MultiuserReport {
+            clients: vec![ClientReport {
+                client: 0,
+                completed: 1,
+                timeouts: 0,
+                errors: 0,
+                latency,
+                counts: Default::default(),
+                inconsistent: Vec::new(),
+            }],
+            wall: Duration::from_secs(1),
+        };
+        let s = endpoint_workload_report("http://127.0.0.1:8088/sparql", &report);
+        assert!(s.contains("SPARQL ENDPOINT WORKLOAD"), "{s}");
+        assert!(s.contains("http://127.0.0.1:8088/sparql"), "{s}");
+        assert!(s.contains("p99[ms]"), "{s}");
     }
 
     #[test]

@@ -13,9 +13,12 @@ use std::time::Duration;
 use sp2b_datagen::{generate_graph, Config};
 use sp2b_rdf::Graph;
 
+use crate::endpoint::{Endpoint, HttpTransport};
 use crate::engines::{Engine, EngineKind, Outcome};
 use crate::metrics::{Measurement, PENALTY_SECONDS};
-use crate::multiuser::{run_multiuser, MultiuserConfig, MultiuserReport, StopCondition};
+use crate::multiuser::{
+    run_multiuser, run_multiuser_with, MultiuserConfig, MultiuserReport, StopCondition,
+};
 use crate::queries::BenchQuery;
 
 /// Execution status of one query cell, as lettered in Table IV.
@@ -246,6 +249,32 @@ pub fn run_mixed_workload(
         load: engine.loading,
         multiuser,
     }
+}
+
+/// Drives a live SPARQL endpoint with the multi-user mixed workload over
+/// HTTP — the protocol behind `sp2b multiuser --endpoint`. Unlike
+/// [`run_mixed_workload`] nothing is generated or loaded here: the
+/// server owns the store, and every measured latency includes the full
+/// network path (connect, request framing, result-set transfer).
+pub fn run_endpoint_workload(
+    endpoint: &Endpoint,
+    cfg: &MultiuserConfig,
+    mut progress: impl FnMut(&str),
+) -> MultiuserReport {
+    progress(&format!(
+        "driving {} client(s) against {}…",
+        cfg.clients,
+        endpoint.url()
+    ));
+    let transport = HttpTransport::new(endpoint.clone());
+    let report = run_multiuser_with(&transport, cfg);
+    progress(&format!(
+        "{} queries completed in {:.2?} ({:.1} q/s)",
+        report.total_completed(),
+        report.wall,
+        report.throughput()
+    ));
+    report
 }
 
 /// Runs the benchmark. `progress` receives one line per completed cell.

@@ -1,0 +1,610 @@
+//! Minimal, std-only HTTP/1.1 plumbing for the SPARQL endpoint: request
+//! reading with hard size limits, percent/form decoding, `Accept`
+//! negotiation, and response writing (fixed `Content-Length` or chunked
+//! transfer coding).
+//!
+//! This is deliberately not a general HTTP implementation — it covers
+//! exactly what the SPARQL Protocol needs (`GET`/`POST`, a handful of
+//! headers, keep-alive) with strict error taxonomy so the server can map
+//! malformed input to the right 4xx status instead of guessing.
+
+use std::io::{self, BufRead, Write};
+
+use sp2b_sparql::results::Format;
+
+/// Cap on the request head (request line + headers). Oversized heads are
+/// rejected with `431`.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Cap on a request body. Larger bodies are rejected with `413`.
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// The HTTP versions the server speaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Version {
+    /// HTTP/1.0 — no chunked coding, close by default.
+    Http10,
+    /// HTTP/1.1 — keep-alive by default, chunked responses allowed.
+    Http11,
+}
+
+/// A parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// Upper-cased method (`GET`, `POST`, …).
+    pub method: String,
+    /// The raw request target (path plus optional `?query`).
+    pub target: String,
+    /// Protocol version.
+    pub version: Version,
+    /// Headers with lower-cased names, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header value by (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == &name.to_ascii_lowercase())
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The target's path component.
+    pub fn path(&self) -> &str {
+        self.target.split('?').next().unwrap_or(&self.target)
+    }
+
+    /// The target's raw query string, if any.
+    pub fn query_string(&self) -> Option<&str> {
+        self.target.split_once('?').map(|(_, q)| q)
+    }
+
+    /// Whether the client wants the connection kept open afterwards
+    /// (HTTP/1.1 default yes, HTTP/1.0 default no, `Connection` header
+    /// overrides either way).
+    pub fn keep_alive(&self) -> bool {
+        match self.header("connection").map(str::to_ascii_lowercase) {
+            Some(c) if c.contains("close") => false,
+            Some(c) if c.contains("keep-alive") => true,
+            _ => self.version == Version::Http11,
+        }
+    }
+}
+
+/// Why a request could not be read. Each variant maps to exactly one
+/// response status (or to silence, for a cleanly closed idle connection).
+#[derive(Debug)]
+pub enum ReadError {
+    /// EOF before the first byte of a request — the keep-alive peer hung
+    /// up; not an error.
+    Closed,
+    /// Transport failure mid-request (including read timeouts).
+    Io(io::Error),
+    /// Malformed request line or header (→ `400`).
+    Bad(&'static str),
+    /// Request head exceeded [`MAX_HEAD_BYTES`] (→ `431`).
+    HeadTooLarge,
+    /// Declared body exceeds [`MAX_BODY_BYTES`] (→ `413`).
+    BodyTooLarge,
+    /// `POST` without a `Content-Length` (→ `411`).
+    LengthRequired,
+    /// Unparseable `Content-Length` (→ `400`).
+    BadLength,
+}
+
+impl From<io::Error> for ReadError {
+    fn from(e: io::Error) -> Self {
+        ReadError::Io(e)
+    }
+}
+
+/// Reads one full request (head + body) off `reader`.
+pub fn read_request(reader: &mut impl BufRead) -> Result<Request, ReadError> {
+    let mut head_bytes = 0usize;
+    let mut line = Vec::new();
+    // Request line (tolerating stray CRLFs before it, per RFC 9112).
+    let request_line = loop {
+        line.clear();
+        let n = reader.read_until(b'\n', &mut line)?;
+        if n == 0 {
+            return Err(if head_bytes == 0 {
+                ReadError::Closed
+            } else {
+                ReadError::Bad("truncated request head")
+            });
+        }
+        head_bytes += n;
+        if head_bytes > MAX_HEAD_BYTES {
+            return Err(ReadError::HeadTooLarge);
+        }
+        let text = trim_line(&line)?;
+        if !text.is_empty() {
+            break text.to_owned();
+        }
+    };
+    let mut parts = request_line.split(' ').filter(|p| !p.is_empty());
+    let (Some(method), Some(target), Some(version), None) =
+        (parts.next(), parts.next(), parts.next(), parts.next())
+    else {
+        return Err(ReadError::Bad("malformed request line"));
+    };
+    let version = match version {
+        "HTTP/1.1" => Version::Http11,
+        "HTTP/1.0" => Version::Http10,
+        _ => return Err(ReadError::Bad("unsupported HTTP version")),
+    };
+    if target.is_empty() || !target.starts_with('/') {
+        return Err(ReadError::Bad("malformed request target"));
+    }
+    let method = method.to_ascii_uppercase();
+    let target = target.to_owned();
+
+    // Headers, until the empty line.
+    let mut headers = Vec::new();
+    loop {
+        line.clear();
+        let n = reader.read_until(b'\n', &mut line)?;
+        if n == 0 {
+            return Err(ReadError::Bad("truncated request head"));
+        }
+        head_bytes += n;
+        if head_bytes > MAX_HEAD_BYTES {
+            return Err(ReadError::HeadTooLarge);
+        }
+        let text = trim_line(&line)?;
+        if text.is_empty() {
+            break;
+        }
+        let Some((name, value)) = text.split_once(':') else {
+            return Err(ReadError::Bad("malformed header line"));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+    }
+
+    let mut request = Request {
+        method,
+        target,
+        version,
+        headers,
+        body: Vec::new(),
+    };
+
+    // Body: Content-Length only (chunked *request* bodies are out of
+    // scope for the protocol subset; SPARQL clients send sized bodies).
+    if request
+        .header("transfer-encoding")
+        .is_some_and(|t| !t.eq_ignore_ascii_case("identity"))
+    {
+        return Err(ReadError::Bad("chunked request bodies are not supported"));
+    }
+    let length = match request.header("content-length") {
+        Some(v) => match v.trim().parse::<usize>() {
+            Ok(n) => Some(n),
+            Err(_) => return Err(ReadError::BadLength),
+        },
+        None => None,
+    };
+    match (request.method.as_str(), length) {
+        ("POST", None) => return Err(ReadError::LengthRequired),
+        (_, None) | (_, Some(0)) => {}
+        (_, Some(n)) if n > MAX_BODY_BYTES => return Err(ReadError::BodyTooLarge),
+        (_, Some(n)) => {
+            let mut body = vec![0u8; n];
+            reader.read_exact(&mut body)?;
+            request.body = body;
+        }
+    }
+    Ok(request)
+}
+
+/// Strips the trailing (CR)LF and rejects non-UTF-8 head lines.
+fn trim_line(line: &[u8]) -> Result<&str, ReadError> {
+    let line = line.strip_suffix(b"\n").unwrap_or(line);
+    let line = line.strip_suffix(b"\r").unwrap_or(line);
+    std::str::from_utf8(line).map_err(|_| ReadError::Bad("non-UTF-8 request head"))
+}
+
+/// Percent-decodes a URL component (`+` means space, as in form
+/// encoding). Errors on truncated or non-hex escapes and non-UTF-8
+/// results.
+pub fn percent_decode(s: &str) -> Result<String, &'static str> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' => {
+                let (Some(&h), Some(&l)) = (bytes.get(i + 1), bytes.get(i + 2)) else {
+                    return Err("truncated percent escape");
+                };
+                let (Some(h), Some(l)) = ((h as char).to_digit(16), (l as char).to_digit(16))
+                else {
+                    return Err("invalid percent escape");
+                };
+                out.push((h * 16 + l) as u8);
+                i += 3;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).map_err(|_| "percent-decoded bytes are not UTF-8")
+}
+
+/// Finds `key` in a url-encoded pair list (query string or form body)
+/// and percent-decodes its value. `Some(Err(_))` means the key was
+/// present but undecodable.
+pub fn form_value(encoded: &str, key: &str) -> Option<Result<String, &'static str>> {
+    for pair in encoded.split('&') {
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        match percent_decode(k) {
+            Ok(decoded) if decoded == key => return Some(percent_decode(v)),
+            _ => continue,
+        }
+    }
+    None
+}
+
+/// Content negotiation over the `Accept` header: picks the supported
+/// result format with the highest quality value. At equal quality an
+/// explicitly named media type beats a wildcard match (RFC 9110's
+/// specificity rule); wildcards only expand to the formats within their
+/// range (`text/*` never yields JSON) and never resurrect a format the
+/// client explicitly refused with `;q=0`; among wildcard expansions
+/// ties break toward JSON, the SPARQL default. A missing or empty
+/// header means JSON; `None` means the client accepts none of the
+/// formats we can produce → `406`.
+pub fn negotiate_format(accept: Option<&str>) -> Option<Format> {
+    let Some(accept) = accept else {
+        return Some(Format::Json);
+    };
+    if accept.trim().is_empty() {
+        return Some(Format::Json);
+    }
+    // First pass: parse entries, collecting explicit `;q=0` exclusions.
+    let mut entries: Vec<(String, f64)> = Vec::new();
+    let mut excluded: Vec<Format> = Vec::new();
+    for entry in accept.split(',') {
+        let mut parts = entry.split(';');
+        let media = parts.next().unwrap_or("").trim().to_ascii_lowercase();
+        if media.is_empty() {
+            continue;
+        }
+        let mut q = 1.0f64;
+        for param in parts {
+            if let Some((name, value)) = param.split_once('=') {
+                if name.trim().eq_ignore_ascii_case("q") {
+                    q = value.trim().parse().unwrap_or(0.0);
+                }
+            }
+        }
+        if q <= 0.0 {
+            if let Some(format) = Format::from_media_type(&media) {
+                excluded.push(format);
+            }
+            continue;
+        }
+        entries.push((media, q));
+    }
+    // Second pass: rank candidates by (q, explicitly named?, default
+    // order), with wildcard expansions scoped to their range and
+    // filtered by the exclusions.
+    let mut best: Option<(f64, bool, u8, Format)> = None;
+    for (media, q) in entries {
+        let (explicit, candidates): (bool, &[Format]) = match media.as_str() {
+            "*/*" => (false, &[Format::Json, Format::Csv, Format::Tsv]),
+            "application/*" => (false, &[Format::Json]),
+            "text/*" => (false, &[Format::Csv, Format::Tsv]),
+            _ => match Format::from_media_type(&media) {
+                Some(Format::Json) => (true, &[Format::Json]),
+                Some(Format::Csv) => (true, &[Format::Csv]),
+                Some(Format::Tsv) => (true, &[Format::Tsv]),
+                None => continue,
+            },
+        };
+        for (rank, &format) in candidates.iter().enumerate() {
+            if !explicit && excluded.contains(&format) {
+                continue;
+            }
+            let pref = (candidates.len() - rank) as u8;
+            let better = match best {
+                None => true,
+                Some((bq, bx, bp, _)) => (q, explicit, pref) > (bq, bx, bp),
+            };
+            if better {
+                best = Some((q, explicit, pref, format));
+            }
+        }
+    }
+    best.map(|(_, _, _, f)| f)
+}
+
+/// The reason phrase for the statuses the server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        406 => "Not Acceptable",
+        408 => "Request Timeout",
+        411 => "Length Required",
+        413 => "Content Too Large",
+        415 => "Unsupported Media Type",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "",
+    }
+}
+
+/// Writes a complete fixed-length response. `extra_headers` lines must
+/// be pre-formatted (`Name: value`).
+pub fn write_response(
+    out: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+    extra_headers: &[&str],
+) -> io::Result<()> {
+    write!(out, "HTTP/1.1 {status} {}\r\n", reason(status))?;
+    write!(out, "Content-Type: {content_type}\r\n")?;
+    write!(out, "Content-Length: {}\r\n", body.len())?;
+    write!(
+        out,
+        "Connection: {}\r\n",
+        if keep_alive { "keep-alive" } else { "close" }
+    )?;
+    for h in extra_headers {
+        write!(out, "{h}\r\n")?;
+    }
+    out.write_all(b"\r\n")?;
+    out.write_all(body)?;
+    out.flush()
+}
+
+/// A `Write` adapter emitting HTTP/1.1 chunked transfer coding, with an
+/// internal buffer so each chunk amortizes syscall and framing costs.
+pub struct ChunkedWriter<W: Write> {
+    inner: W,
+    buf: Vec<u8>,
+    chunk: usize,
+}
+
+impl<W: Write> ChunkedWriter<W> {
+    /// Wraps `inner`, emitting chunks of about `chunk` bytes.
+    pub fn new(inner: W, chunk: usize) -> Self {
+        ChunkedWriter {
+            inner,
+            buf: Vec::with_capacity(chunk),
+            chunk: chunk.max(1),
+        }
+    }
+
+    fn flush_chunk(&mut self) -> io::Result<()> {
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        write!(self.inner, "{:x}\r\n", self.buf.len())?;
+        self.inner.write_all(&self.buf)?;
+        self.inner.write_all(b"\r\n")?;
+        self.buf.clear();
+        Ok(())
+    }
+
+    /// Flushes the remainder and writes the terminating zero chunk.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.flush_chunk()?;
+        self.inner.write_all(b"0\r\n\r\n")?;
+        self.inner.flush()?;
+        Ok(self.inner)
+    }
+}
+
+impl<W: Write> Write for ChunkedWriter<W> {
+    fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+        self.buf.extend_from_slice(data);
+        if self.buf.len() >= self.chunk {
+            self.flush_chunk()?;
+        }
+        Ok(data.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.flush_chunk()?;
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn parse(raw: &str) -> Result<Request, ReadError> {
+        read_request(&mut Cursor::new(raw.as_bytes().to_vec()))
+    }
+
+    #[test]
+    fn parses_get_with_query_string() {
+        let r = parse("GET /sparql?query=SELECT%20*&x=1 HTTP/1.1\r\nHost: h\r\n\r\n").unwrap();
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path(), "/sparql");
+        assert_eq!(r.query_string(), Some("query=SELECT%20*&x=1"));
+        assert_eq!(r.header("host"), Some("h"));
+        assert!(r.keep_alive(), "HTTP/1.1 defaults to keep-alive");
+    }
+
+    #[test]
+    fn parses_post_body_by_content_length() {
+        let r = parse(
+            "POST /sparql HTTP/1.1\r\nContent-Type: application/sparql-query\r\nContent-Length: 5\r\n\r\nASK{}extra",
+        )
+        .unwrap();
+        assert_eq!(r.body, b"ASK{}");
+    }
+
+    #[test]
+    fn malformed_request_lines_are_rejected() {
+        assert!(matches!(parse("GARBAGE\r\n\r\n"), Err(ReadError::Bad(_))));
+        assert!(matches!(
+            parse("GET /x HTTP/2\r\n\r\n"),
+            Err(ReadError::Bad(_))
+        ));
+        assert!(matches!(
+            parse("GET two words HTTP/1.1 extra\r\n\r\n"),
+            Err(ReadError::Bad(_))
+        ));
+        assert!(matches!(
+            parse("GET nopath HTTP/1.1\r\n\r\n"),
+            Err(ReadError::Bad(_))
+        ));
+        assert!(matches!(
+            parse("GET /x HTTP/1.1\r\nno-colon-here\r\n\r\n"),
+            Err(ReadError::Bad(_))
+        ));
+    }
+
+    #[test]
+    fn eof_before_any_byte_is_closed_not_an_error() {
+        assert!(matches!(parse(""), Err(ReadError::Closed)));
+        assert!(matches!(
+            parse("GET /x HTTP/1.1\r\n"),
+            Err(ReadError::Bad(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_heads_are_rejected() {
+        let huge = format!(
+            "GET /x HTTP/1.1\r\nBig: {}\r\n\r\n",
+            "v".repeat(MAX_HEAD_BYTES)
+        );
+        assert!(matches!(parse(&huge), Err(ReadError::HeadTooLarge)));
+    }
+
+    #[test]
+    fn content_length_errors_are_distinguished() {
+        assert!(matches!(
+            parse("POST /sparql HTTP/1.1\r\n\r\n"),
+            Err(ReadError::LengthRequired)
+        ));
+        assert!(matches!(
+            parse("POST /sparql HTTP/1.1\r\nContent-Length: NaN\r\n\r\n"),
+            Err(ReadError::BadLength)
+        ));
+        assert!(matches!(
+            parse("POST /sparql HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n"),
+            Err(ReadError::BodyTooLarge)
+        ));
+    }
+
+    #[test]
+    fn keep_alive_rules() {
+        let r = parse("GET /x HTTP/1.0\r\n\r\n").unwrap();
+        assert!(!r.keep_alive(), "HTTP/1.0 defaults to close");
+        let r = parse("GET /x HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").unwrap();
+        assert!(r.keep_alive());
+        let r = parse("GET /x HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert!(!r.keep_alive());
+    }
+
+    #[test]
+    fn percent_decoding() {
+        assert_eq!(
+            percent_decode("SELECT%20%3Fs+WHERE%7B%7D").unwrap(),
+            "SELECT ?s WHERE{}"
+        );
+        assert_eq!(percent_decode("a%2Bb").unwrap(), "a+b");
+        assert!(percent_decode("bad%2").is_err());
+        assert!(percent_decode("bad%zz").is_err());
+        assert!(percent_decode("%ff%fe").is_err(), "invalid UTF-8");
+    }
+
+    #[test]
+    fn form_values() {
+        let body = "default-graph-uri=&query=ASK%20%7B%7D&format=json";
+        assert_eq!(form_value(body, "query").unwrap().unwrap(), "ASK {}");
+        assert_eq!(form_value(body, "format").unwrap().unwrap(), "json");
+        assert!(form_value(body, "missing").is_none());
+        assert!(form_value("query=%2", "query").unwrap().is_err());
+    }
+
+    #[test]
+    fn accept_negotiation() {
+        assert_eq!(negotiate_format(None), Some(Format::Json));
+        assert_eq!(negotiate_format(Some("*/*")), Some(Format::Json));
+        assert_eq!(negotiate_format(Some("text/csv")), Some(Format::Csv));
+        assert_eq!(
+            negotiate_format(Some("text/tab-separated-values;q=0.9, text/csv;q=0.1")),
+            Some(Format::Tsv)
+        );
+        assert_eq!(
+            negotiate_format(Some("application/sparql-results+json;q=0.5, text/csv")),
+            Some(Format::Csv)
+        );
+        // q=0 removes a format from consideration — even when a later
+        // wildcard would otherwise re-admit it.
+        assert_eq!(
+            negotiate_format(Some("text/csv;q=0, */*")),
+            Some(Format::Json)
+        );
+        assert_eq!(
+            negotiate_format(Some("application/sparql-results+json;q=0, */*")),
+            Some(Format::Csv)
+        );
+        assert_eq!(
+            negotiate_format(Some(
+                "application/sparql-results+json;q=0, text/csv;q=0, text/tab-separated-values;q=0, */*"
+            )),
+            None
+        );
+        // Wildcards expand only within their range: text/* must never
+        // produce an application/* response.
+        assert_eq!(negotiate_format(Some("text/*")), Some(Format::Csv));
+        assert_eq!(negotiate_format(Some("application/*")), Some(Format::Json));
+        assert_eq!(
+            negotiate_format(Some("text/*;q=0.9, application/*;q=0.1")),
+            Some(Format::Csv)
+        );
+        // At equal quality an explicitly named type beats a wildcard
+        // (RFC 9110 specificity) — the common `X, */*` header shape.
+        assert_eq!(negotiate_format(Some("text/csv, */*")), Some(Format::Csv));
+        assert_eq!(
+            negotiate_format(Some("*/*, text/tab-separated-values")),
+            Some(Format::Tsv)
+        );
+        assert_eq!(negotiate_format(Some("application/xml")), None);
+    }
+
+    #[test]
+    fn chunked_writer_frames_and_terminates() {
+        let mut w = ChunkedWriter::new(Vec::new(), 4);
+        w.write_all(b"ab").unwrap();
+        w.write_all(b"cdef").unwrap(); // crosses the chunk size → flush
+        let out = w.finish().unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert_eq!(text, "6\r\nabcdef\r\n0\r\n\r\n");
+    }
+
+    #[test]
+    fn fixed_length_response_has_framing_headers() {
+        let mut out = Vec::new();
+        write_response(&mut out, 400, "text/plain", b"nope", true, &[]).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 400 Bad Request\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 4\r\n"), "{text}");
+        assert!(text.contains("Connection: keep-alive\r\n"), "{text}");
+        assert!(text.ends_with("\r\n\r\nnope"), "{text}");
+    }
+}

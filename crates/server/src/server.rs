@@ -1,0 +1,730 @@
+//! The endpoint server: a `TcpListener` accept loop feeding a fixed
+//! worker thread pool, every worker holding a cloned [`QueryEngine`]
+//! over the one shared store.
+//!
+//! Lifecycle: [`spawn`] binds, starts the accept thread and the workers,
+//! and returns a [`ServerHandle`]. The accept thread pushes connections
+//! into a requeue-capable [`ConnQueue`] the workers pull from; each
+//! worker runs a keep-alive loop per connection — and hands an *idle*
+//! connection back to the queue whenever other connections are waiting,
+//! so more clients than workers round-robin instead of starving —
+//! parsing requests with the strict reader in [`crate::http`] and
+//! answering them via the streaming result writers in
+//! [`sp2b_sparql::results`]. [`ServerHandle::shutdown`] (also
+//! run on drop) flips the shutdown flag, wakes the listener with a
+//! loopback connection, lets in-flight requests finish, and joins every
+//! thread — the graceful-drain contract the CI smoke job asserts.
+//!
+//! Response strategy: bodies buffer up to a spill threshold; results
+//! that fit are sent with `Content-Length` (and query timeouts can still
+//! become a clean `408`), larger results switch mid-flight to chunked
+//! transfer coding and stream straight off the [`Solutions`] iterator —
+//! SELECT results never materialize server-side. A client that
+//! disconnects mid-stream surfaces as a write error, which cancels the
+//! query and (via `Solutions` drop) joins any exchange workers it had
+//! fanned out.
+
+use std::collections::VecDeque;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use sp2b_sparql::results::{write_solutions, WriteError};
+use sp2b_sparql::{Error as SparqlError, QueryEngine, Solutions};
+
+use crate::http::{
+    form_value, negotiate_format, read_request, write_response, ChunkedWriter, ReadError, Request,
+    Version,
+};
+
+/// How often an idle keep-alive connection re-checks the shutdown flag.
+const IDLE_TICK: Duration = Duration::from_millis(250);
+
+/// Read deadline once a request has started arriving.
+const REQUEST_READ_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Per-syscall write deadline. A client that stops *reading* mid-response
+/// stalls the worker in `write` via TCP backpressure; this bounds the
+/// stall (the write errors, the query is cancelled, the connection is
+/// dropped) so a handful of zombie readers cannot wedge the pool — or
+/// make the join-everything shutdown hang forever.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Bodies up to this many bytes are sent with `Content-Length`; larger
+/// ones spill into chunked streaming.
+const SPILL_THRESHOLD: usize = 64 * 1024;
+
+/// Target chunk size of streamed bodies.
+const CHUNK_BYTES: usize = 16 * 1024;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address (port 0 for an ephemeral port — see
+    /// [`ServerHandle::addr`] for the resolved one).
+    pub addr: SocketAddr,
+    /// Worker threads (each holding its own engine clone). Connections
+    /// beyond this many queue at the accept channel.
+    pub workers: usize,
+    /// Per-request query timeout (`None`: no timeout). Applied on top of
+    /// whatever timeout the engine already carries.
+    pub timeout: Option<Duration>,
+}
+
+impl Default for ServerConfig {
+    /// Loopback on an ephemeral port, 4 workers, 30 s query timeout.
+    fn default() -> Self {
+        ServerConfig {
+            addr: SocketAddr::from(([127, 0, 0, 1], 0)),
+            workers: 4,
+            timeout: Some(Duration::from_secs(30)),
+        }
+    }
+}
+
+/// Monotonic counters the workers update; snapshot with
+/// [`ServerHandle::stats`].
+#[derive(Debug, Default)]
+struct Stats {
+    connections: AtomicU64,
+    requests: AtomicU64,
+    ok: AtomicU64,
+    client_errors: AtomicU64,
+    timeouts: AtomicU64,
+    server_errors: AtomicU64,
+    aborted: AtomicU64,
+    rows: AtomicU64,
+}
+
+/// A point-in-time copy of the server counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Accepted connections.
+    pub connections: u64,
+    /// Requests parsed far enough to be routed.
+    pub requests: u64,
+    /// `200` responses completed.
+    pub ok: u64,
+    /// `4xx` responses (excluding timeouts).
+    pub client_errors: u64,
+    /// `408` responses plus queries cancelled mid-stream by the timeout.
+    pub timeouts: u64,
+    /// `5xx` responses.
+    pub server_errors: u64,
+    /// Connections lost mid-response (client hung up; query cancelled).
+    pub aborted: u64,
+    /// Result rows delivered over the wire.
+    pub rows: u64,
+}
+
+impl std::fmt::Display for StatsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} connection(s), {} request(s): {} ok ({} rows), {} client error(s), \
+             {} timeout(s), {} server error(s), {} aborted",
+            self.connections,
+            self.requests,
+            self.ok,
+            self.rows,
+            self.client_errors,
+            self.timeouts,
+            self.server_errors,
+            self.aborted,
+        )
+    }
+}
+
+impl Stats {
+    fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            connections: self.connections.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            ok: self.ok.load(Ordering::Relaxed),
+            client_errors: self.client_errors.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            server_errors: self.server_errors.load(Ordering::Relaxed),
+            aborted: self.aborted.load(Ordering::Relaxed),
+            rows: self.rows.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A running server. Dropping the handle shuts the server down
+/// gracefully (prefer calling [`ServerHandle::shutdown`] to also get
+/// the final counters).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    stats: Arc<Stats>,
+}
+
+impl ServerHandle {
+    /// The resolved listen address (the actual port when the config
+    /// asked for port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The query endpoint URL.
+    pub fn endpoint_url(&self) -> String {
+        format!("http://{}/sparql", self.addr)
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Graceful shutdown: stop accepting, let in-flight requests finish,
+    /// join every thread, return the final counters.
+    pub fn shutdown(mut self) -> StatsSnapshot {
+        self.shutdown_inner();
+        self.stats.snapshot()
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Wake the blocking accept() with a loopback connection.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// One live connection: the socket plus its buffered reader (which may
+/// hold a pipelined next request), so a connection can move between
+/// workers without losing framing state.
+struct Conn {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> io::Result<Conn> {
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
+        let reader = BufReader::with_capacity(8 * 1024, stream.try_clone()?);
+        Ok(Conn { stream, reader })
+    }
+}
+
+/// The connection queue between the accept thread and the workers: a
+/// deque (so requeued keep-alive connections line up behind newly
+/// accepted ones) plus a closed flag for shutdown. Unlike a plain
+/// channel this supports **requeueing**, which is what keeps more
+/// clients than workers from starving: a worker whose connection has
+/// gone idle while others wait puts it back and picks up the next one,
+/// round-robining the pool across all live connections.
+#[derive(Default)]
+struct ConnQueue {
+    state: Mutex<(VecDeque<Conn>, bool)>,
+    ready: Condvar,
+}
+
+impl ConnQueue {
+    fn push(&self, conn: Conn) {
+        if let Ok(mut state) = self.state.lock() {
+            state.0.push_back(conn);
+            self.ready.notify_one();
+        }
+    }
+
+    /// Blocks for the next connection; `None` once the queue is closed
+    /// *and* drained (workers exit then).
+    fn pop(&self) -> Option<Conn> {
+        let mut state = self.state.lock().ok()?;
+        loop {
+            if let Some(conn) = state.0.pop_front() {
+                return Some(conn);
+            }
+            if state.1 {
+                return None;
+            }
+            state = self.ready.wait(state).ok()?;
+        }
+    }
+
+    /// True when another connection is waiting for a worker.
+    fn has_pending(&self) -> bool {
+        self.state.lock().map(|s| !s.0.is_empty()).unwrap_or(false)
+    }
+
+    fn close(&self) {
+        if let Ok(mut state) = self.state.lock() {
+            state.1 = true;
+            self.ready.notify_all();
+        }
+    }
+}
+
+/// Binds and starts the server: an accept thread plus
+/// [`ServerConfig::workers`] worker threads, each owning a clone of
+/// `engine` (an `Arc` bump over the one shared store).
+pub fn spawn(engine: QueryEngine, cfg: &ServerConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(cfg.addr)?;
+    let addr = listener.local_addr()?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let stats = Arc::new(Stats::default());
+    let engine = match cfg.timeout {
+        Some(t) => engine.timeout(t),
+        None => engine,
+    };
+    let queue = Arc::new(ConnQueue::default());
+    let mut workers = Vec::with_capacity(cfg.workers.max(1));
+    for i in 0..cfg.workers.max(1) {
+        let worker = Worker {
+            engine: engine.clone(),
+            shutdown: Arc::clone(&shutdown),
+            stats: Arc::clone(&stats),
+            queue: Arc::clone(&queue),
+        };
+        workers.push(
+            std::thread::Builder::new()
+                .name(format!("sp2b-http-{i}"))
+                .spawn(move || worker.run())?,
+        );
+    }
+    let accept = {
+        let shutdown = Arc::clone(&shutdown);
+        let stats = Arc::clone(&stats);
+        let queue = Arc::clone(&queue);
+        std::thread::Builder::new()
+            .name("sp2b-http-accept".into())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let Ok(conn) = Conn::new(stream) else {
+                        continue;
+                    };
+                    stats.connections.fetch_add(1, Ordering::Relaxed);
+                    queue.push(conn);
+                }
+                // Closing the queue lets idle workers drain and exit.
+                queue.close();
+            })?
+    };
+    Ok(ServerHandle {
+        addr,
+        shutdown,
+        accept: Some(accept),
+        workers,
+        stats,
+    })
+}
+
+/// Per-thread server state: an owned engine clone plus the shared flags.
+struct Worker {
+    engine: QueryEngine,
+    shutdown: Arc<AtomicBool>,
+    stats: Arc<Stats>,
+    queue: Arc<ConnQueue>,
+}
+
+impl Worker {
+    fn run(&self) {
+        while let Some(conn) = self.queue.pop() {
+            if let Some(idle) = self.serve_connection(conn) {
+                // The connection went idle while others were waiting:
+                // rotate it to the back of the queue and serve the next.
+                self.queue.push(idle);
+            }
+        }
+    }
+
+    fn stopping(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// One connection's keep-alive loop: wait (in shutdown-checkable
+    /// ticks) for the next request, serve it, repeat until the peer
+    /// closes, an error breaks framing, or the server drains. Returns
+    /// `Some(conn)` to hand an idle connection back to the queue when
+    /// other connections are waiting for a worker (fairness under more
+    /// clients than workers).
+    fn serve_connection(&self, mut conn: Conn) -> Option<Conn> {
+        loop {
+            // Idle wait at the request boundary.
+            let _ = conn.stream.set_read_timeout(Some(IDLE_TICK));
+            match conn.reader.fill_buf() {
+                Ok([]) => return None, // peer closed cleanly
+                Ok(_) => {}
+                Err(e) if would_block(&e) => {
+                    if self.stopping() {
+                        return None;
+                    }
+                    if self.queue.has_pending() {
+                        return Some(conn); // yield the worker
+                    }
+                    continue;
+                }
+                Err(_) => return None,
+            }
+            // Bytes have arrived: finish reading this request even while
+            // draining (the response still goes out), but bound the read.
+            let _ = conn.stream.set_read_timeout(Some(REQUEST_READ_TIMEOUT));
+            match read_request(&mut conn.reader) {
+                Ok(request) => {
+                    let keep = self.handle(&conn.stream, &request);
+                    if !keep || self.stopping() {
+                        return None;
+                    }
+                    // Served and still healthy: if nothing is pipelined
+                    // and others wait, rotate; otherwise keep serving.
+                    if conn.reader.buffer().is_empty() && self.queue.has_pending() {
+                        return Some(conn);
+                    }
+                }
+                Err(ReadError::Closed) | Err(ReadError::Io(_)) => return None,
+                Err(e) => {
+                    // Framing is broken (or suspect): answer and close.
+                    let (status, message) = match e {
+                        ReadError::Bad(m) => (400, m),
+                        ReadError::HeadTooLarge => (431, "request head too large"),
+                        ReadError::BodyTooLarge => (413, "request body too large"),
+                        ReadError::LengthRequired => (411, "Content-Length required"),
+                        ReadError::BadLength => (400, "invalid Content-Length"),
+                        ReadError::Closed | ReadError::Io(_) => unreachable!(),
+                    };
+                    self.stats.requests.fetch_add(1, Ordering::Relaxed);
+                    let _ = self.error(&conn.stream, status, message, false);
+                    return None;
+                }
+            }
+        }
+    }
+
+    /// Routes one request. Returns whether to keep the connection.
+    fn handle(&self, stream: &TcpStream, request: &Request) -> bool {
+        self.stats.requests.fetch_add(1, Ordering::Relaxed);
+        let keep = request.keep_alive();
+        match (request.method.as_str(), request.path()) {
+            ("GET", "/") | ("HEAD", "/") => {
+                let body = "sp2b SPARQL endpoint\n\nPOST /sparql (application/sparql-query or \
+                            form) or GET /sparql?query=...\nResult formats (Accept): \
+                            application/sparql-results+json, text/csv, \
+                            text/tab-separated-values\n";
+                self.stats.ok.fetch_add(1, Ordering::Relaxed);
+                write_response(
+                    &mut (&mut &*stream),
+                    200,
+                    "text/plain; charset=utf-8",
+                    if request.method == "HEAD" {
+                        b""
+                    } else {
+                        body.as_bytes()
+                    },
+                    keep,
+                    &[],
+                )
+                .is_ok()
+                    && keep
+            }
+            ("GET", "/sparql") => match self.query_from_get(request) {
+                Ok(text) => self.run_query(stream, request, &text, keep),
+                Err(message) => self.error(stream, 400, message, keep),
+            },
+            ("POST", "/sparql") => match self.query_from_post(request) {
+                Ok(text) => self.run_query(stream, request, &text, keep),
+                Err((status, message)) => self.error(stream, status, message, keep),
+            },
+            (_, "/sparql") | (_, "/") => {
+                self.error(stream, 405, "method not allowed; use GET or POST", keep)
+            }
+            _ => self.error(stream, 404, "unknown path; the endpoint is /sparql", keep),
+        }
+    }
+
+    fn query_from_get(&self, request: &Request) -> Result<String, &'static str> {
+        let qs = request
+            .query_string()
+            .ok_or("missing query parameter: GET /sparql?query=...")?;
+        match form_value(qs, "query") {
+            Some(Ok(text)) => Ok(text),
+            Some(Err(e)) => Err(e),
+            None => Err("missing query parameter: GET /sparql?query=..."),
+        }
+    }
+
+    fn query_from_post(&self, request: &Request) -> Result<String, (u16, &'static str)> {
+        let content_type = request
+            .header("content-type")
+            .map(|ct| {
+                ct.split(';')
+                    .next()
+                    .unwrap_or(ct)
+                    .trim()
+                    .to_ascii_lowercase()
+            })
+            .unwrap_or_default();
+        match content_type.as_str() {
+            "application/sparql-query" => String::from_utf8(request.body.clone())
+                .map_err(|_| (400, "query body is not UTF-8")),
+            "application/x-www-form-urlencoded" => {
+                let body = std::str::from_utf8(&request.body)
+                    .map_err(|_| (400, "form body is not UTF-8"))?;
+                match form_value(body, "query") {
+                    Some(Ok(text)) => Ok(text),
+                    Some(Err(e)) => Err((400, e)),
+                    None => Err((400, "missing query form field")),
+                }
+            }
+            _ => Err((
+                415,
+                "unsupported Content-Type; use application/sparql-query or \
+                 application/x-www-form-urlencoded",
+            )),
+        }
+    }
+
+    /// Prepares and streams one query. Returns whether to keep the
+    /// connection open.
+    fn run_query(&self, stream: &TcpStream, request: &Request, text: &str, keep: bool) -> bool {
+        let Some(format) = negotiate_format(request.header("accept")) else {
+            return self.error(
+                stream,
+                406,
+                "no supported result format in Accept; supported: \
+                 application/sparql-results+json, text/csv, text/tab-separated-values",
+                keep,
+            );
+        };
+        let prepared = match self.engine.prepare(text) {
+            Ok(p) => p,
+            // Parse errors, unbound variables and unsupported constructs
+            // are all the client's query, not our failure: 400.
+            Err(e) => return self.error_string(stream, 400, &e.to_string(), keep),
+        };
+        let ask = prepared.is_ask();
+        let cancel = self.engine.cancellation();
+        let mut solutions: Solutions<'_> = self.engine.solutions_with(&prepared, &cancel);
+        let content_type = if ask {
+            format.ask_content_type()
+        } else {
+            format.content_type()
+        };
+        let mut body = StreamBody::new(stream, content_type, keep, request.version);
+        match write_solutions(&mut body, format, &mut solutions, ask) {
+            Ok(rows) => match body.finish() {
+                Ok(keep_after) => {
+                    self.stats.ok.fetch_add(1, Ordering::Relaxed);
+                    self.stats.rows.fetch_add(rows, Ordering::Relaxed);
+                    keep_after
+                }
+                Err(_) => {
+                    self.stats.aborted.fetch_add(1, Ordering::Relaxed);
+                    false
+                }
+            },
+            Err(WriteError::Query(e)) => {
+                let status = match e {
+                    SparqlError::Cancelled => 408,
+                    _ => 500,
+                };
+                if body.is_buffering() {
+                    // Headers not sent yet: a clean error response.
+                    self.error_string(stream, status, &describe(&e), keep)
+                } else {
+                    // Mid-stream: the status line is gone; truncate the
+                    // chunked body (no terminating chunk) and close, so
+                    // the client sees a broken transfer, not a clean end.
+                    match status {
+                        408 => self.stats.timeouts.fetch_add(1, Ordering::Relaxed),
+                        _ => self.stats.server_errors.fetch_add(1, Ordering::Relaxed),
+                    };
+                    false
+                }
+            }
+            Err(WriteError::Io(_)) => {
+                // The client hung up mid-stream: cancel the query so the
+                // evaluator (and any exchange workers, via the Solutions
+                // drop below) stop immediately instead of computing rows
+                // nobody will read.
+                cancel.cancel();
+                self.stats.aborted.fetch_add(1, Ordering::Relaxed);
+                false
+            }
+        }
+    }
+
+    fn error(&self, stream: &TcpStream, status: u16, message: &str, keep: bool) -> bool {
+        self.error_string(stream, status, message, keep)
+    }
+
+    fn error_string(&self, stream: &TcpStream, status: u16, message: &str, keep: bool) -> bool {
+        match status {
+            408 => &self.stats.timeouts,
+            400..=499 => &self.stats.client_errors,
+            _ => &self.stats.server_errors,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+        let body = format!("{message}\n");
+        write_response(
+            &mut (&mut &*stream),
+            status,
+            "text/plain; charset=utf-8",
+            body.as_bytes(),
+            keep,
+            &[],
+        )
+        .is_ok()
+            && keep
+    }
+}
+
+/// Human phrasing of mid-query errors on the wire.
+fn describe(e: &SparqlError) -> String {
+    match e {
+        SparqlError::Cancelled => "query timed out".to_owned(),
+        other => other.to_string(),
+    }
+}
+
+fn would_block(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// The response body sink: buffers up to [`SPILL_THRESHOLD`] bytes so
+/// small results (and errors surfacing before the first flush) get a
+/// fixed `Content-Length` response, then spills into chunked streaming
+/// (HTTP/1.1) or a close-delimited raw stream (HTTP/1.0).
+struct StreamBody<'a> {
+    stream: &'a TcpStream,
+    content_type: &'a str,
+    keep: bool,
+    version: Version,
+    state: BodyState<'a>,
+}
+
+enum BodyState<'a> {
+    Buffering(Vec<u8>),
+    Chunked(ChunkedWriter<&'a TcpStream>),
+    Raw(&'a TcpStream),
+}
+
+impl<'a> StreamBody<'a> {
+    fn new(stream: &'a TcpStream, content_type: &'a str, keep: bool, version: Version) -> Self {
+        StreamBody {
+            stream,
+            content_type,
+            keep,
+            version,
+            state: BodyState::Buffering(Vec::with_capacity(4 * 1024)),
+        }
+    }
+
+    /// True while the status line has not been sent (errors can still
+    /// become clean responses).
+    fn is_buffering(&self) -> bool {
+        matches!(self.state, BodyState::Buffering(_))
+    }
+
+    /// Sends the response head and the buffered prefix, switching to the
+    /// streaming state.
+    fn spill(&mut self) -> io::Result<()> {
+        let BodyState::Buffering(buf) =
+            std::mem::replace(&mut self.state, BodyState::Raw(self.stream))
+        else {
+            return Ok(());
+        };
+        let mut out = self.stream;
+        match self.version {
+            Version::Http11 => {
+                write!(
+                    out,
+                    "HTTP/1.1 200 OK\r\nContent-Type: {}\r\nTransfer-Encoding: chunked\r\n\
+                     Connection: {}\r\n\r\n",
+                    self.content_type,
+                    if self.keep { "keep-alive" } else { "close" }
+                )?;
+                let mut chunked = ChunkedWriter::new(self.stream, CHUNK_BYTES);
+                chunked.write_all(&buf)?;
+                self.state = BodyState::Chunked(chunked);
+            }
+            Version::Http10 => {
+                // No chunked coding in 1.0: stream raw, delimit by close.
+                self.keep = false;
+                write!(
+                    out,
+                    "HTTP/1.0 200 OK\r\nContent-Type: {}\r\nConnection: close\r\n\r\n",
+                    self.content_type
+                )?;
+                out.write_all(&buf)?;
+                self.state = BodyState::Raw(self.stream);
+            }
+        }
+        Ok(())
+    }
+
+    /// Completes the response; returns whether the connection stays
+    /// usable.
+    fn finish(self) -> io::Result<bool> {
+        match self.state {
+            BodyState::Buffering(buf) => {
+                write_response(
+                    &mut (&mut &*self.stream),
+                    200,
+                    self.content_type,
+                    &buf,
+                    self.keep,
+                    &[],
+                )?;
+                Ok(self.keep)
+            }
+            BodyState::Chunked(chunked) => {
+                chunked.finish()?;
+                Ok(self.keep)
+            }
+            BodyState::Raw(mut stream) => {
+                stream.flush()?;
+                Ok(false)
+            }
+        }
+    }
+}
+
+impl Write for StreamBody<'_> {
+    fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+        if let BodyState::Buffering(buf) = &mut self.state {
+            buf.extend_from_slice(data);
+            if buf.len() > SPILL_THRESHOLD {
+                self.spill()?;
+            }
+            return Ok(data.len());
+        }
+        match &mut self.state {
+            BodyState::Chunked(chunked) => chunked.write(data),
+            BodyState::Raw(stream) => stream.write(data),
+            BodyState::Buffering(_) => unreachable!(),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match &mut self.state {
+            BodyState::Buffering(_) => Ok(()),
+            BodyState::Chunked(chunked) => chunked.flush(),
+            BodyState::Raw(stream) => stream.flush(),
+        }
+    }
+}

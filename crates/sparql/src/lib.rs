@@ -58,6 +58,7 @@ pub mod optimizer;
 pub mod par;
 pub mod parser;
 pub mod plan;
+pub mod results;
 
 pub use api::{Error, Prepared, QueryEngine, QueryOptions, QueryResult, Solution, Solutions};
 pub use ast::Query;

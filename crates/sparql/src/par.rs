@@ -19,9 +19,13 @@
 //! consumer) into [`ExchangeMerge`], a pull-based iterator that reorders
 //! batches **by morsel index**, so the output order equals sequential
 //! evaluation exactly while memory stays bounded by the channel for
-//! balanced morsels. (Morsel skew is the one escape valve: batches of a
-//! later morsel that arrive while an earlier one is still open are
-//! buffered at the merger to preserve order.)
+//! balanced morsels. Morsel *skew* is bounded too: batches of a later
+//! morsel that arrive while an earlier one is still open are buffered at
+//! the merger to preserve order, and to keep that buffer finite workers
+//! **pause before processing a morsel more than [`MAX_MERGE_AHEAD`]
+//! morsels ahead of the merge front** (the first morsel the merger has
+//! not finished). However slow the unluckiest morsel is, the merger
+//! never parks more than `MAX_MERGE_AHEAD` morsels' worth of batches.
 //!
 //! Lifecycle guarantees, enforced by [`ExchangeMerge::shutdown`] (run on
 //! exhaustion, on cancellation, and from `Drop`):
@@ -59,14 +63,25 @@ use crate::plan::{const_pattern, parallel_threshold, Plan, PlanPattern};
 
 /// Morsels per worker: enough over-partitioning that an unlucky skewed
 /// morsel cannot serialize the whole query.
-const MORSELS_PER_WORKER: usize = 4;
+pub const MORSELS_PER_WORKER: usize = 4;
 
 /// Rows per merge-channel message: batches amortize channel overhead
 /// while keeping worker-side buffering bounded.
-const BATCH_ROWS: usize = 4096;
+pub const BATCH_ROWS: usize = 4096;
 
 /// In-flight batches per worker the bounded channel admits.
 const BATCHES_IN_FLIGHT_PER_WORKER: usize = 2;
+
+/// Skew bound: how many morsels past the merge front (the first morsel
+/// the merger has not completed) workers may process. Out-of-order
+/// batches parked at the merger therefore never exceed this many
+/// morsels' output, no matter how skewed morsel runtimes are — one
+/// pathological morsel stalls *claiming*, not memory.
+pub const MAX_MERGE_AHEAD: usize = 4;
+
+/// How long a worker naps while the morsel it claimed is still outside
+/// the merge-ahead window.
+const MERGE_AHEAD_NAP: std::time::Duration = std::time::Duration::from_micros(100);
 
 /// A hash-join build side materialized once and shared read-only by
 /// every worker.
@@ -349,6 +364,7 @@ pub(crate) fn eval_exchange<'a>(
     let (tx, rx) = sync_channel::<Msg>(capacity);
     let sink_open = Arc::new(AtomicBool::new(true));
     let next = Arc::new(AtomicUsize::new(0));
+    let merge_front = Arc::new(AtomicUsize::new(0));
     let mut handles = Vec::with_capacity(workers);
     for _ in 0..workers {
         #[cfg(debug_assertions)]
@@ -359,6 +375,7 @@ pub(crate) fn eval_exchange<'a>(
             cancel: ctx.cancel.clone(),
             sink_open: Arc::clone(&sink_open),
             next: Arc::clone(&next),
+            merge_front: Arc::clone(&merge_front),
             tx: tx.clone(),
             scan_pattern,
             chunk_target,
@@ -381,6 +398,7 @@ pub(crate) fn eval_exchange<'a>(
         cancel: ctx.cancel.clone(),
         pending: BTreeMap::new(),
         next_morsel: 0,
+        merge_front,
         n_morsels,
         current: Vec::new().into_iter(),
     })
@@ -405,6 +423,10 @@ struct Worker {
     cancel: Cancellation,
     sink_open: Arc<AtomicBool>,
     next: Arc<AtomicUsize>,
+    /// The merger's progress: the first morsel index it has not finished.
+    /// Workers pause before processing a morsel ≥ `front + MAX_MERGE_AHEAD`
+    /// (the skew bound on parked batches).
+    merge_front: Arc<AtomicUsize>,
     tx: SyncSender<Msg>,
     scan_pattern: Pattern,
     chunk_target: usize,
@@ -443,6 +465,18 @@ impl Worker {
             if i >= chunks.len() {
                 return;
             }
+            // Skew bound: claimed, but outside the merge-ahead window —
+            // nap until the merger catches up (or the query stops). The
+            // morsel at the front is always inside the window, so the
+            // merger keeps making progress and every waiter wakes.
+            while i >= self.merge_front.load(Ordering::Acquire) + MAX_MERGE_AHEAD {
+                if self.stopped() {
+                    return;
+                }
+                std::thread::sleep(MERGE_AHEAD_NAP);
+            }
+            #[cfg(debug_assertions)]
+            diag::stall_if_configured(i);
             let mut batch: Vec<Bindings> = Vec::new();
             for row in morsel_rows(&ctx, &self.pipe, chunks[i]) {
                 if self.stopped() {
@@ -512,6 +546,9 @@ struct ExchangeMerge {
     cancel: Cancellation,
     pending: BTreeMap<usize, MorselBuf>,
     next_morsel: usize,
+    /// Mirror of `next_morsel` the workers read to honour the skew bound
+    /// ([`MAX_MERGE_AHEAD`]).
+    merge_front: Arc<AtomicUsize>,
     n_morsels: usize,
     current: std::vec::IntoIter<Bindings>,
 }
@@ -553,6 +590,9 @@ impl Iterator for ExchangeMerge {
                 if buf.done {
                     self.pending.remove(&self.next_morsel);
                     self.next_morsel += 1;
+                    // Publish progress: waiting workers may now process
+                    // one morsel further ahead.
+                    self.merge_front.store(self.next_morsel, Ordering::Release);
                     continue;
                 }
             }
@@ -571,6 +611,16 @@ impl Iterator for ExchangeMerge {
                         buf.batches.push_back(msg.rows);
                     }
                     buf.done |= msg.last;
+                    // Gauge the skew buffer: batches parked for morsels
+                    // *beyond* the one currently being merged.
+                    #[cfg(debug_assertions)]
+                    diag::note_parked(
+                        self.pending
+                            .iter()
+                            .filter(|(&m, _)| m > self.next_morsel)
+                            .map(|(_, b)| b.batches.len())
+                            .sum(),
+                    );
                 }
                 // All senders gone. On normal completion every completion
                 // marker was queued before the disconnect, so the loop
@@ -599,6 +649,9 @@ pub mod diag {
     static IN_FLIGHT: AtomicI64 = AtomicI64::new(0);
     static PEAK_IN_FLIGHT: AtomicI64 = AtomicI64::new(0);
     static BOUND: AtomicI64 = AtomicI64::new(0);
+    static PEAK_PARKED: AtomicUsize = AtomicUsize::new(0);
+    static STALL_MORSEL: AtomicUsize = AtomicUsize::new(usize::MAX);
+    static STALL_MILLIS: AtomicUsize = AtomicUsize::new(0);
 
     /// Decrements the live-worker gauge when a worker exits, however it
     /// exits.
@@ -623,6 +676,36 @@ pub mod diag {
         IN_FLIGHT.store(0, Ordering::SeqCst);
         PEAK_IN_FLIGHT.store(0, Ordering::SeqCst);
         BOUND.store(0, Ordering::SeqCst);
+        PEAK_PARKED.store(0, Ordering::SeqCst);
+    }
+
+    /// High-water mark of out-of-order batches parked at the merger since
+    /// the last reset. The skew bound guarantees this stays within
+    /// [`super::MAX_MERGE_AHEAD`] morsels' worth of batches.
+    pub fn peak_parked_batches() -> usize {
+        PEAK_PARKED.load(Ordering::SeqCst)
+    }
+
+    /// Fault injection for the skew regression test: workers sleep
+    /// `millis` before processing morsel `morsel`. Pass
+    /// `(usize::MAX, 0)` to clear. Debug builds only; serialize tests
+    /// that use it.
+    pub fn stall_morsel(morsel: usize, millis: u64) {
+        STALL_MILLIS.store(millis as usize, Ordering::SeqCst);
+        STALL_MORSEL.store(morsel, Ordering::SeqCst);
+    }
+
+    pub(super) fn stall_if_configured(morsel: usize) {
+        if STALL_MORSEL.load(Ordering::SeqCst) == morsel {
+            let ms = STALL_MILLIS.load(Ordering::SeqCst) as u64;
+            if ms > 0 {
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+            }
+        }
+    }
+
+    pub(super) fn note_parked(parked: usize) {
+        PEAK_PARKED.fetch_max(parked, Ordering::SeqCst);
     }
 
     /// `(peak, bound)` — the high-water mark of in-flight merge batches

@@ -84,6 +84,72 @@ fn dropping_a_stream_after_one_row_joins_every_worker() {
     );
 }
 
+/// Clears the morsel-stall fault injection even when the test panics.
+struct StallGuard;
+
+impl Drop for StallGuard {
+    fn drop(&mut self) {
+        diag::stall_morsel(usize::MAX, 0);
+    }
+}
+
+/// Skew regression: an artificially slow *first* morsel must not let the
+/// merger park the whole rest of the scan. Workers pause claiming more
+/// than `MAX_MERGE_AHEAD` morsels past the merge front, so the parked
+/// out-of-order buffer stays within that window — before the bound, this
+/// scenario parked every remaining morsel's batches at once.
+#[test]
+fn slow_first_morsel_keeps_parked_batches_bounded() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let _guard = StallGuard;
+    diag::stall_morsel(0, 150);
+    let engine = engine(4);
+    let prepared = engine.prepare(FULL_SCAN).unwrap();
+    diag::reset_channel_stats();
+    let mut rows = 0i64;
+    let mut previous = -1i64;
+    for solution in engine.solutions(&prepared) {
+        let row = solution.unwrap();
+        // Order must survive the skew: values arrive ascending.
+        let Some(sp2b_rdf::Term::Literal(lit)) = row.get(1) else {
+            panic!("?v must be an integer literal")
+        };
+        let v = lit.as_integer().unwrap();
+        assert!(
+            v > previous,
+            "out of order after skew: {v} after {previous}"
+        );
+        previous = v;
+        rows += 1;
+    }
+    assert_eq!(rows, TRIPLES);
+    let parked = diag::peak_parked_batches();
+    assert!(
+        parked > 0,
+        "the stalled first morsel must actually force parking"
+    );
+    // The skew bound is expressed in *morsels*; convert it to batches:
+    // each morsel emits ceil(rows_per_morsel / BATCH_ROWS) messages
+    // (+1 slack for uneven chunk splits). With this document every
+    // morsel fits one batch, so the bound equals MAX_MERGE_AHEAD — but
+    // deriving it keeps the test honest if TRIPLES or the tuning
+    // constants change. Without the bound, the stalled first morsel
+    // would park nearly every other morsel's batches (≈ n_morsels - 1).
+    let n_morsels = 4 * sp2b_sparql::par::MORSELS_PER_WORKER; // degree × over-partitioning
+    let batches_per_morsel = (TRIPLES as usize)
+        .div_ceil(n_morsels)
+        .div_ceil(sp2b_sparql::par::BATCH_ROWS)
+        + 1;
+    let bound = sp2b_sparql::par::MAX_MERGE_AHEAD * batches_per_morsel;
+    assert!(
+        parked <= bound,
+        "parked batches {parked} exceeded the skew bound {bound} \
+         ({} morsels × {batches_per_morsel} batch(es))",
+        sp2b_sparql::par::MAX_MERGE_AHEAD
+    );
+    assert_eq!(diag::live_workers(), 0, "exhaustion joins every worker");
+}
+
 #[test]
 fn cancellation_mid_stream_stops_and_joins_workers() {
     let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());

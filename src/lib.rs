@@ -12,7 +12,10 @@
 //!   `OPTIONAL`/`FILTER` translation), optimizer, streaming evaluator and
 //!   the [`QueryEngine`] facade with lazy result rows;
 //! * [`core`] — the 17 benchmark queries, the four engine configurations,
-//!   metrics, the benchmark runner and the table/figure formatters.
+//!   metrics, the benchmark runner, the multi-user driver (with
+//!   in-process and HTTP transports) and the table/figure formatters;
+//! * [`server`] — the SPARQL Protocol endpoint: a std-only HTTP/1.1
+//!   server streaming JSON/CSV/TSV results off one shared store.
 //!
 //! ## Quick start
 //!
@@ -50,6 +53,7 @@
 pub use sp2b_core as core;
 pub use sp2b_datagen as datagen;
 pub use sp2b_rdf as rdf;
+pub use sp2b_server as server;
 pub use sp2b_sparql as sparql;
 pub use sp2b_store as store;
 
