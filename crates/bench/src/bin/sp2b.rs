@@ -14,12 +14,16 @@
 //! sp2b fig2c    [--year 1985] [--years 1955,1965,…]       publications power law
 //! sp2b ablation [--triples 50k] [--timeout 30]            optimizer/index ablation
 //! sp2b scaling  [--triples 50k] [--threads 1,2,4,8]       thread-scaling speedups
-//! sp2b smoke    [--triples 5k] [--threads 4]              generate → load → all queries
+//! sp2b calibrate [--triples 20k] [--threads 2] [--runs 3] measure per-morsel overhead →
+//!                                                         suggested parallel_threshold base
+//! sp2b smoke    [--triples 5k] [--threads 4] [--shards N] generate → load → all queries
 //! sp2b serve    [--addr 127.0.0.1:8088] [--threads 4]     SPARQL protocol endpoint over
 //!               [--timeout 30] [--triples 50k|--data F]   one shared store (HTTP/1.1)
 //!               [--duration S] [--parallelism N]
+//!               [--queue 1024] [--shards N]               503-shedding accept bound, sharding
 //! sp2b multiuser --clients 8 [--threads 2] [--duration 30] N concurrent clients, mixed
 //!               [--triples 50k] [--queries q1,a1,…]       workload → latency/throughput
+//!               [--shards N] [--checksums]                sharded store, result checksums
 //!               [--endpoint http://host:port/sparql]      …over real sockets instead
 //! sp2b query    Q4 [--triples 50k] [--engine native-opt]  run one query, print rows
 //!               [--format table|json|csv|tsv]
@@ -27,9 +31,13 @@
 //!
 //! `run`, `query`, `smoke` and the experiments accept `--threads N` to
 //! pin the degree of morsel-driven parallelism (default: all cores;
-//! `--threads 1` is strictly single-threaded evaluation). `--timeout`
-//! and `--addr` are strictly validated: malformed values are hard usage
-//! errors, never silent fallbacks.
+//! `--threads 1` is strictly single-threaded evaluation), and `run`,
+//! `query`, `serve`, `multiuser` and `smoke` accept
+//! `--shards N [--shard-by subject|pso]` to load the document into a
+//! hash-partitioned sharded store (parallel per-shard index build,
+//! shard-parallel scans). `--timeout` and `--addr` are strictly
+//! validated: malformed values are hard usage errors, never silent
+//! fallbacks.
 
 use std::io::Write as _;
 use std::process::ExitCode;
@@ -40,12 +48,13 @@ use sp2b_bench::Args;
 use sp2b_core::multiuser::{MultiuserConfig, StopCondition};
 use sp2b_core::report;
 use sp2b_core::runner::{run_benchmark, run_endpoint_workload, MixedWorkloadConfig, RunnerConfig};
-use sp2b_core::{measure, BenchQuery, Endpoint, Engine, EngineKind};
+use sp2b_core::{measure, BenchQuery, Endpoint, Engine, EngineKind, StoreLayout};
 use sp2b_datagen::{generate_graph, generate_to_path, Config};
 use sp2b_rdf::Graph;
 use sp2b_server::ServerConfig;
 use sp2b_sparql::results::{self, Format, WriteError};
 use sp2b_sparql::{Error as SparqlError, Prepared, QueryEngine};
+use sp2b_store::ShardBy;
 
 fn main() -> ExitCode {
     let args = Args::parse(std::env::args().skip(1));
@@ -76,6 +85,7 @@ fn main() -> ExitCode {
         "fig2c" => cmd_fig2c(&args),
         "ablation" => cmd_ablation(&args),
         "scaling" => cmd_scaling(&args),
+        "calibrate" => cmd_calibrate(&args),
         "smoke" => cmd_smoke(&args),
         "serve" => cmd_serve(&args),
         "multiuser" => cmd_multiuser(&args),
@@ -93,7 +103,7 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: sp2b <gen|table3|table5|table8|bench|fig2a|fig2b|fig2c|ablation|scaling|smoke|serve|multiuser|query|ext|run> [options]
+const USAGE: &str = "usage: sp2b <gen|table3|table5|table8|bench|fig2a|fig2b|fig2c|ablation|scaling|calibrate|smoke|serve|multiuser|query|ext|run> [options]
 run `sp2b bench` for the full paper protocol, `sp2b serve --addr 127.0.0.1:8088` for the SPARQL
 endpoint, `sp2b multiuser --clients N [--endpoint http://…]` for the concurrent-client workload;
 see crate docs for options";
@@ -123,6 +133,37 @@ fn timeout(args: &Args, default_secs: u64) -> Result<Duration, String> {
 /// message, never a silent fallback (see `Args::get_positive_opt`).
 fn threads(args: &Args) -> Result<Option<usize>, String> {
     args.get_positive_opt("threads")
+}
+
+/// The `--shards N [--shard-by subject|pso]` flags: `--shards 1` (the
+/// default) keeps the classic monolithic store; `--shards N` loads into
+/// a hash-partitioned sharded store (parallel per-shard index build,
+/// shard-parallel scans, routed point lookups). Malformed values are
+/// hard usage errors.
+fn store_layout(args: &Args) -> Result<StoreLayout, String> {
+    let shards = args.get_positive("shards", 1)?;
+    let shard_by = match args.get("shard-by") {
+        None => ShardBy::Subject,
+        Some(label) => ShardBy::from_label(label).ok_or_else(|| {
+            format!("unknown --shard-by '{label}'\nusage: --shard-by subject|pso")
+        })?,
+    };
+    Ok(StoreLayout { shards, shard_by })
+}
+
+/// Loads the document into the engine under the requested layout and
+/// reports the load (plus per-shard facts when sharded) on stderr.
+fn load_engine(kind: EngineKind, graph: &Graph, layout: &StoreLayout) -> Engine {
+    let engine = Engine::load_with(kind, graph, layout);
+    eprintln!(
+        "loaded {} triples into {kind} ({})",
+        graph.len(),
+        engine.loading.summary()
+    );
+    if let Some(info) = engine.shards() {
+        eprintln!("{}", info.summary());
+    }
+    engine
 }
 
 /// The `--format` flag: `None` is the human table preview; `json`,
@@ -277,6 +318,18 @@ fn cmd_scaling(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Measured threshold calibration: times per-morsel fan-out overhead on
+/// generated data and prints a suggested `plan::parallel_threshold`
+/// base, verified by re-running with the suggestion fed through
+/// `QueryOptions::parallel_base`.
+fn cmd_calibrate(args: &Args) -> Result<(), String> {
+    let triples = args.get_u64("triples", 20_000);
+    let degree = args.get_positive("threads", 2)?;
+    let runs = args.get_positive("runs", 3)?;
+    println!("{}", experiments::calibrate(triples, degree, runs)?);
+    Ok(())
+}
+
 /// Tiny end-to-end smoke: generate → load → execute (count) every
 /// benchmark and extension query at the requested thread count. Exits
 /// nonzero on any parse error, evaluation error or timeout — the CI job
@@ -285,8 +338,9 @@ fn cmd_scaling(args: &Args) -> Result<(), String> {
 fn cmd_smoke(args: &Args) -> Result<(), String> {
     let n = args.get_u64("triples", 5_000);
     let t = threads(args)?;
+    let layout = store_layout(args)?;
     let (graph, _) = generate_graph(Config::triples(n));
-    let engine = Engine::load(EngineKind::NativeOpt, &graph);
+    let engine = load_engine(EngineKind::NativeOpt, &graph, &layout);
     let qe = engine.query_engine_with(Some(timeout(args, 120)?), t);
     let mut texts: Vec<(&'static str, &'static str)> = BenchQuery::ALL
         .iter()
@@ -298,8 +352,9 @@ fn cmd_smoke(args: &Args) -> Result<(), String> {
             .map(|q| (q.label(), q.text())),
     );
     println!(
-        "smoke: {n} triples, threads = {}",
-        t.map_or("default".to_owned(), |t| t.to_string())
+        "smoke: {n} triples, threads = {}, shards = {}",
+        t.map_or("default".to_owned(), |t| t.to_string()),
+        layout.shards
     );
     for (label, text) in texts {
         let prepared = qe.prepare(text).map_err(|e| format!("{label}: {e}"))?;
@@ -324,19 +379,17 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     let per_query_timeout = timeout(args, 30)?;
     let parallelism = args.get_positive_opt("parallelism")?.unwrap_or(1);
     let duration = args.get_positive_opt("duration")?;
+    let max_queue = args.get_positive("queue", 1024)?;
     let kind = engine_kind(args)?;
+    let layout = store_layout(args)?;
     let graph = document(args, 50_000)?;
-    let engine = Engine::load(kind, &graph);
-    eprintln!(
-        "loaded {} triples into {kind} ({})",
-        graph.len(),
-        engine.loading.summary()
-    );
+    let engine = load_engine(kind, &graph, &layout);
     let qe = engine.query_engine_with(None, Some(parallelism));
     let cfg = ServerConfig {
         addr,
         workers,
         timeout: Some(per_query_timeout),
+        max_queue,
     };
     let handle = sp2b_server::spawn(qe, &cfg).map_err(|e| format!("cannot bind {addr}: {e}"))?;
     eprintln!(
@@ -384,7 +437,7 @@ fn cmd_multiuser(args: &Args) -> Result<(), String> {
     if let Some(url) = args.get("endpoint") {
         // Endpoint mode: the server owns the store, its parallelism and
         // its engine — flags that silently would not apply are errors.
-        for flag in ["triples", "engine", "threads"] {
+        for flag in ["triples", "engine", "threads", "shards", "shard-by"] {
             if args.has(flag) {
                 return Err(format!(
                     "--{flag} does not apply with --endpoint (the server owns the store); \
@@ -410,8 +463,10 @@ fn cmd_multiuser(args: &Args) -> Result<(), String> {
     let triples = args.get_u64("triples", 50_000);
     let mut cfg = MixedWorkloadConfig::new(triples, clients, stop);
     cfg.engine = engine_kind(args)?;
+    cfg.layout = store_layout(args)?;
     cfg.multiuser.parallelism = parallelism;
     cfg.multiuser.timeout = timeout(args, 30)?;
+    cfg.multiuser.checksums = args.has("checksums");
     if let Some(labels) = args.get_list("queries") {
         cfg.multiuser.mix = experiments::parse_mix(&labels)?;
     }
@@ -457,8 +512,10 @@ fn cmd_run(args: &Args) -> Result<(), String> {
             return Err("provide a query: `sp2b run 'SELECT …'` or --query-file q.rq".into())
         }
     };
+    let kind = engine_kind(args)?;
+    let layout = store_layout(args)?;
     let graph = document(args, 50_000)?;
-    let engine = Engine::load(engine_kind(args)?, &graph);
+    let engine = load_engine(kind, &graph, &layout);
     let limit = args.get_u64("limit", 50) as usize;
     let qe = engine.query_engine_with(Some(timeout(args, 300)?), threads(args)?);
     let prepared = qe.prepare(&text).map_err(|e| e.to_string())?;
@@ -506,8 +563,10 @@ fn cmd_query(args: &Args) -> Result<(), String> {
     let n = args.get_u64("triples", 50_000);
     let limit = args.get_u64("limit", 20);
 
+    let kind = engine_kind(args)?;
+    let layout = store_layout(args)?;
     let (graph, _) = generate_graph(Config::triples(n));
-    let engine = Engine::load(engine_kind(args)?, &graph);
+    let engine = load_engine(kind, &graph, &layout);
     let engine_label = engine.kind();
     let qe = engine.query_engine_with(Some(timeout(args, 300)?), threads(args)?);
     let prepared = qe.prepare(query.text()).map_err(|e| e.to_string())?;

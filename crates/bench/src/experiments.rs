@@ -370,6 +370,154 @@ pub fn thread_scaling(
     out
 }
 
+// ---------------------------------------------------------------------------
+// Threshold calibration (`sp2b calibrate`)
+// ---------------------------------------------------------------------------
+
+/// Measured calibration of the exchange threshold base
+/// (`plan::parallel_threshold`): the static base of 512 rows encodes a
+/// *guessed* ratio between fan-out overhead (thread spawn, channel,
+/// merge) and per-row pipeline work; this experiment measures both on
+/// generated data on the actual host and prints the base those
+/// measurements imply, verified by re-running with the suggestion fed
+/// through `QueryOptions::parallel_base`.
+///
+/// Method: a full-scan, scan-and-emit count (`SELECT ?s WHERE { ?s ?p
+/// ?o }`) runs sequentially (min of `runs`, giving the per-row cost) and
+/// with a forced exchange at `degree` workers (`parallel_base(1)`; min
+/// of `runs`). The wall-clock the exchange *adds* is the fan-out
+/// overhead; dividing by the morsel count gives per-morsel overhead.
+/// The suggested base is the driving-row count at which a
+/// reference-cost pipeline (8 probes/row, the model's anchor — a plain
+/// scan row costs 0.5) does [`CALIBRATE_PAYOFF`]× the fan-out overhead
+/// of work, so fanning out is worth it from there up. On a single-core
+/// host the overhead is pure loss and the suggestion lands high; with
+/// real cores it shrinks toward the clamp floor.
+pub fn calibrate(triples: u64, degree: usize, runs: usize) -> Result<String, String> {
+    const CALIBRATE_PAYOFF: f64 = 2.0;
+    /// Model cost (in probe units) of one scan-and-emit driving row.
+    const SCAN_ROW_COST: f64 = 0.5;
+    const REFERENCE_COST: f64 = 8.0;
+    let degree = degree.max(2);
+    let runs = runs.max(1);
+    let (graph, _) = generate_graph(Config::triples(triples));
+    let store = NativeStore::from_graph(&graph).into_shared();
+    let rows = store.len() as u64;
+    if rows == 0 {
+        return Err("calibration needs a non-empty document".into());
+    }
+    let text = "SELECT ?s WHERE { ?s ?p ?o }";
+
+    let time_count = |engine: &QueryEngine| -> Result<Duration, String> {
+        let prepared = engine.prepare(text).map_err(|e| e.to_string())?;
+        let mut best: Option<Duration> = None;
+        for _ in 0..runs {
+            let t0 = Instant::now();
+            let n = engine.count(&prepared).map_err(|e| e.to_string())?;
+            let elapsed = t0.elapsed();
+            if n != rows {
+                return Err(format!("calibration scan counted {n}, expected {rows}"));
+            }
+            best = Some(best.map_or(elapsed, |b| b.min(elapsed)));
+        }
+        Ok(best.expect("runs >= 1"))
+    };
+
+    let sequential = QueryEngine::with_options(
+        store.clone(),
+        sp2b_sparql::QueryOptions::new().parallelism(1),
+    );
+    let t_seq = time_count(&sequential)?;
+    // parallel_base(1) forces the exchange however small the scan.
+    let forced = QueryEngine::with_options(
+        store.clone(),
+        sp2b_sparql::QueryOptions::new()
+            .parallelism(degree)
+            .parallel_base(1),
+    );
+    let t_par = time_count(&forced)?;
+    let morsels = store
+        .scan_chunks(
+            [None, None, None],
+            degree * sp2b_sparql::par::MORSELS_PER_WORKER,
+        )
+        .len()
+        .max(1);
+
+    let t_row = t_seq.as_secs_f64() / rows as f64;
+    let overhead = t_par.as_secs_f64() - t_seq.as_secs_f64();
+    let per_morsel = overhead.max(0.0) / morsels as f64;
+    // Per-probe time from the measured scan row, scaled to the reference
+    // pipeline; the base is where reference-pipeline work covers the
+    // payoff multiple of the whole fan-out overhead.
+    let t_ref_row = t_row * (REFERENCE_COST / SCAN_ROW_COST);
+    let suggested = ((CALIBRATE_PAYOFF * overhead.max(0.0)) / t_ref_row.max(1e-12))
+        .round()
+        .clamp(64.0, 1e7) as u64;
+
+    // Verification: the suggested base must still answer correctly.
+    let verified = QueryEngine::with_options(
+        store.clone(),
+        sp2b_sparql::QueryOptions::new()
+            .parallelism(degree)
+            .parallel_base(suggested),
+    );
+    let prepared = verified.prepare(text).map_err(|e| e.to_string())?;
+    let n = verified.count(&prepared).map_err(|e| e.to_string())?;
+    if n != rows {
+        return Err(format!("verification counted {n}, expected {rows}"));
+    }
+    let fans_out = sp2b_sparql::plan::has_exchange(prepared.plan());
+
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let mut out = format!(
+        "THRESHOLD CALIBRATION — {triples} triples, degree {degree}, min of {runs} run(s) \
+         (host reports {cores} core(s))\n\n"
+    );
+    out.push_str(&format!(
+        "{:<34} {:>14}\n",
+        "sequential full scan (count)",
+        format!("{:.4} s", t_seq.as_secs_f64())
+    ));
+    out.push_str(&format!(
+        "{:<34} {:>14}\n",
+        format!("forced exchange × {degree} ({morsels} morsels)"),
+        format!("{:.4} s", t_par.as_secs_f64())
+    ));
+    out.push_str(&format!(
+        "{:<34} {:>14}\n",
+        "fan-out overhead (total)",
+        format!("{:.2} ms", overhead.max(0.0) * 1e3)
+    ));
+    out.push_str(&format!(
+        "{:<34} {:>14}\n",
+        "per-morsel overhead",
+        format!("{:.1} µs", per_morsel * 1e6)
+    ));
+    out.push_str(&format!(
+        "{:<34} {:>14}\n",
+        "per-driving-row cost (scan)",
+        format!("{:.1} ns", t_row * 1e9)
+    ));
+    out.push_str(&format!(
+        "\nsuggested parallel_threshold base: {suggested} rows (static default: {})\n",
+        sp2b_sparql::plan::PARALLEL_BASE_THRESHOLD
+    ));
+    out.push_str(&format!(
+        "verification at the suggested base: count correct; a {rows}-row full scan {}\n",
+        if fans_out {
+            "fans out"
+        } else {
+            "stays sequential"
+        }
+    ));
+    out.push_str(
+        "feed it into an engine with QueryOptions::new().parallel_base(N) \
+         (the clamp window scales with the base: N/4 … N×8)\n",
+    );
+    Ok(out)
+}
+
 /// Parses engine labels for the CLI.
 pub fn parse_engines(labels: &[String]) -> Result<Vec<EngineKind>, String> {
     labels

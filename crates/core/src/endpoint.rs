@@ -296,6 +296,132 @@ pub fn query_once(
     )
 }
 
+/// An **order-insensitive** 64-bit result checksum: every data row
+/// hashes independently (Fx over its TSV-encoded bytes) and rows
+/// combine by wrapping addition, so any permutation of the same row
+/// multiset — parallel morsel order, shard order, network reordering —
+/// folds to the same value, while a changed, missing or duplicated row
+/// changes it. This is what lets `sp2b multiuser --endpoint` assert
+/// *correctness* (same rows), not just cardinality, against in-process
+/// runs: both sides fold the same TSV serialization
+/// ([`sp2b_sparql::results::write_tsv`]) — the server on the wire, the
+/// in-process transport through [`ChecksumWriter`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ResultChecksum {
+    fold: u64,
+}
+
+impl ResultChecksum {
+    /// An empty checksum (the value of a zero-row result).
+    pub fn new() -> Self {
+        ResultChecksum::default()
+    }
+
+    /// Folds one data row (its line bytes, without the terminator).
+    pub fn add_row(&mut self, line: &[u8]) {
+        use std::hash::Hasher as _;
+        let mut h = sp2b_store::hash::FxHasher::default();
+        h.write(line);
+        self.fold = self.fold.wrapping_add(h.finish());
+    }
+
+    /// The folded value.
+    pub fn value(&self) -> u64 {
+        self.fold
+    }
+}
+
+/// Folds a response body's checksum by media type: every TSV line after
+/// the header (CR stripped) is one row; a `text/boolean` body is its
+/// single `true`/`false` line. `None` for media types the checksum is
+/// not defined over (JSON/CSV runs still compare by count).
+pub fn body_checksum(content_type: &str, body: &[u8]) -> Option<u64> {
+    let skip_header = match content_type {
+        "text/tab-separated-values" => true,
+        "text/boolean" => false,
+        _ => return None,
+    };
+    let mut checksum = ResultChecksum::new();
+    let mut lines = body.split(|&b| b == b'\n').peekable();
+    let mut first = true;
+    while let Some(line) = lines.next() {
+        // A trailing newline leaves one empty final fragment — not a row.
+        if lines.peek().is_none() && line.is_empty() {
+            break;
+        }
+        let line = line.strip_suffix(b"\r").unwrap_or(line);
+        if first && skip_header {
+            first = false;
+            continue;
+        }
+        first = false;
+        checksum.add_row(line);
+    }
+    Some(checksum.value())
+}
+
+/// An [`io::Write`] sink folding a streamed TSV (or `text/boolean`)
+/// serialization into a [`ResultChecksum`] line by line — the
+/// in-process side of the checksum comparison, fed by
+/// [`sp2b_sparql::results::write_solutions`] so no result ever
+/// materializes.
+pub struct ChecksumWriter {
+    checksum: ResultChecksum,
+    line: Vec<u8>,
+    skip_lines: usize,
+}
+
+impl ChecksumWriter {
+    /// A sink for a SELECT TSV stream (`skip_header = true`: the `?var`
+    /// header line is not a row) or an ASK boolean line
+    /// (`skip_header = false`).
+    pub fn new(skip_header: bool) -> Self {
+        ChecksumWriter {
+            checksum: ResultChecksum::new(),
+            line: Vec::new(),
+            skip_lines: usize::from(skip_header),
+        }
+    }
+
+    fn complete_line(&mut self) {
+        if self.line.last() == Some(&b'\r') {
+            self.line.pop();
+        }
+        if self.skip_lines > 0 {
+            self.skip_lines -= 1;
+        } else {
+            self.checksum.add_row(&self.line);
+        }
+        self.line.clear();
+    }
+
+    /// Finishes the fold (flushing a final unterminated line) and
+    /// returns the checksum.
+    pub fn finish(mut self) -> u64 {
+        if !self.line.is_empty() {
+            self.complete_line();
+        }
+        self.checksum.value()
+    }
+}
+
+impl Write for ChecksumWriter {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        for &b in buf {
+            if b == b'\n' {
+                self.complete_line();
+            } else {
+                self.line.push(b);
+            }
+        }
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
 /// Counts result rows in a response body, by media type: data rows for
 /// CSV/TSV (header excluded; CSV counting is quote-aware), the
 /// `bindings` array length (or `boolean` as 1/0) for SPARQL JSON, and
@@ -524,10 +650,19 @@ impl WorkSession for HttpSession {
         }
         match self.request(slot, remaining + READ_GRACE) {
             Ok(response) => match response.status {
-                200 => match count_result_rows(&response.content_type(), &response.body) {
-                    Ok(count) => ExecOutcome::Completed(count),
-                    Err(_) => ExecOutcome::Failed,
-                },
+                200 => {
+                    let content_type = response.content_type();
+                    match count_result_rows(&content_type, &response.body) {
+                        Ok(rows) => ExecOutcome::Completed {
+                            rows,
+                            // TSV bodies carry the order-insensitive
+                            // checksum for free — count *and* content
+                            // stability get asserted.
+                            checksum: body_checksum(&content_type, &response.body),
+                        },
+                        Err(_) => ExecOutcome::Failed,
+                    }
+                }
                 408 => ExecOutcome::TimedOut,
                 _ => ExecOutcome::Failed,
             },
@@ -602,6 +737,63 @@ mod tests {
         assert_eq!(count_result_rows("text/boolean", b"true\n").unwrap(), 1);
         assert_eq!(count_result_rows("text/boolean", b"false\n").unwrap(), 0);
         assert!(count_result_rows("application/xml", b"").is_err());
+    }
+
+    #[test]
+    fn checksum_is_order_insensitive_but_content_sensitive() {
+        let a = b"?s\t?v\n<a>\t\"1\"\n<b>\t\"2\"\n";
+        let b = b"?s\t?v\n<b>\t\"2\"\n<a>\t\"1\"\n";
+        let c = b"?s\t?v\n<a>\t\"1\"\n<b>\t\"3\"\n";
+        let ct = "text/tab-separated-values";
+        assert_eq!(
+            body_checksum(ct, a),
+            body_checksum(ct, b),
+            "order must not matter"
+        );
+        assert_ne!(
+            body_checksum(ct, a),
+            body_checksum(ct, c),
+            "content must matter"
+        );
+        // A duplicated row changes the fold (multiset, not set).
+        let dup = b"?s\t?v\n<a>\t\"1\"\n<a>\t\"1\"\n<b>\t\"2\"\n";
+        assert_ne!(body_checksum(ct, a), body_checksum(ct, dup));
+        // CRLF line endings fold identically to bare LF.
+        let crlf = b"?s\t?v\r\n<a>\t\"1\"\r\n<b>\t\"2\"\r\n";
+        assert_eq!(body_checksum(ct, a), body_checksum(ct, crlf));
+        // Unsupported media types have no checksum; boolean bodies do.
+        assert_eq!(body_checksum("text/csv", a), None);
+        assert!(body_checksum("text/boolean", b"true\n").is_some());
+        assert_ne!(
+            body_checksum("text/boolean", b"true\n"),
+            body_checksum("text/boolean", b"false\n")
+        );
+    }
+
+    #[test]
+    fn checksum_writer_matches_body_checksum() {
+        let body: &[u8] = b"?s\t?v\n<a>\t\"1\"\n\n<b>\t\"2\"\n";
+        // Feed the streamed sink in awkward split writes.
+        let mut w = ChecksumWriter::new(true);
+        for chunk in [&body[..3], &body[3..10], &body[10..]] {
+            w.write_all(chunk).unwrap();
+        }
+        assert_eq!(
+            Some(w.finish()),
+            body_checksum("text/tab-separated-values", body),
+            "streamed fold must equal the whole-body fold (incl. the empty row line)"
+        );
+        // ASK: no header to skip.
+        let mut w = ChecksumWriter::new(false);
+        w.write_all(b"true\n").unwrap();
+        assert_eq!(Some(w.finish()), body_checksum("text/boolean", b"true\n"));
+        // A final unterminated line still counts as a row.
+        let mut w = ChecksumWriter::new(true);
+        w.write_all(b"?s\n<a>").unwrap();
+        assert_eq!(
+            Some(w.finish()),
+            body_checksum("text/tab-separated-values", b"?s\n<a>")
+        );
     }
 
     #[test]

@@ -16,7 +16,10 @@ use std::time::Duration;
 
 use sp2b_rdf::Graph;
 use sp2b_sparql::{Error as SparqlError, OptimizerConfig, QueryEngine, QueryResult};
-use sp2b_store::{IndexSelection, MemStore, NativeStore, SharedStore, TripleStore};
+use sp2b_store::{
+    IndexSelection, MemStore, NativeStore, ShardBackend, ShardBy, ShardedStore, SharedStore,
+    TripleStore,
+};
 
 use crate::metrics::{measure, Measurement};
 use crate::queries::BenchQuery;
@@ -89,6 +92,82 @@ impl std::fmt::Display for EngineKind {
     }
 }
 
+/// How an engine's store is laid out: one monolithic store (the
+/// default), or N hash-partitioned shards behind a shared dictionary
+/// (`sp2b … --shards N [--shard-by subject|pso]`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreLayout {
+    /// Shard count; `1` means the classic unsharded store.
+    pub shards: usize,
+    /// The partition key (only meaningful when `shards > 1`).
+    pub shard_by: ShardBy,
+}
+
+impl Default for StoreLayout {
+    /// One unsharded store, subject partitioning if sharded later.
+    fn default() -> Self {
+        StoreLayout {
+            shards: 1,
+            shard_by: ShardBy::Subject,
+        }
+    }
+}
+
+impl StoreLayout {
+    /// A sharded layout.
+    pub fn sharded(shards: usize, shard_by: ShardBy) -> Self {
+        StoreLayout { shards, shard_by }
+    }
+
+    /// True when this layout actually shards (> 1 shard).
+    pub fn is_sharded(&self) -> bool {
+        self.shards > 1
+    }
+}
+
+/// Per-shard loading facts of a sharded engine: triple counts and build
+/// wall times in shard order, for the loading report.
+#[derive(Debug, Clone)]
+pub struct ShardInfo {
+    /// The partition key.
+    pub shard_by: ShardBy,
+    /// Triples per shard.
+    pub lens: Vec<usize>,
+    /// Build wall time per shard (index sort / posting inserts).
+    pub build_times: Vec<Duration>,
+}
+
+impl ShardInfo {
+    /// Number of shards.
+    pub fn count(&self) -> usize {
+        self.lens.len()
+    }
+
+    /// One human line: shard count, key, per-shard triples and build
+    /// times — the "per-shard load" note in runner progress and reports.
+    pub fn summary(&self) -> String {
+        let lens = self
+            .lens
+            .iter()
+            .map(|l| l.to_string())
+            .collect::<Vec<_>>()
+            .join("/");
+        let times = self
+            .build_times
+            .iter()
+            .map(|t| format!("{:.1}ms", t.as_secs_f64() * 1e3))
+            .collect::<Vec<_>>()
+            .join("/");
+        format!(
+            "{} shard(s) by {}: {} triples, builds {}",
+            self.count(),
+            self.shard_by,
+            lens,
+            times
+        )
+    }
+}
+
 /// A loaded engine: a shared store handle plus its optimizer settings.
 /// The store lives behind an `Arc`, so one `Engine` can back any number
 /// of concurrent [`QueryEngine`]s and multi-user client threads.
@@ -98,6 +177,9 @@ pub struct Engine {
     /// Loading measurement (dictionary encode + index build). For
     /// in-memory engines this is also re-charged per query.
     pub loading: Measurement,
+    /// Sharding facts when the store is sharded (`None` for the classic
+    /// monolithic layout).
+    shards: Option<ShardInfo>,
 }
 
 /// Outcome of one query execution.
@@ -138,28 +220,67 @@ impl Outcome {
 
 impl Engine {
     /// Loads a document (as a parsed graph) into this engine
-    /// configuration, timing the load.
+    /// configuration as one monolithic store, timing the load.
     pub fn load(kind: EngineKind, graph: &Graph) -> Engine {
-        let (store, loading) = measure(|| -> SharedStore {
-            match kind {
-                EngineKind::MemNaive | EngineKind::MemOpt => {
-                    MemStore::from_graph(graph).into_shared()
+        Self::load_with(kind, graph, &StoreLayout::default())
+    }
+
+    /// Like [`Engine::load`] with an explicit [`StoreLayout`]: with
+    /// `shards > 1` the document loads into a [`ShardedStore`] —
+    /// per-shard index builds run in parallel, and scans/point lookups
+    /// parallelize/route across shards. Everything downstream
+    /// ([`QueryEngine`], exchange, server, multi-user driver) is
+    /// unchanged: the sharded store is just another `TripleStore` behind
+    /// the same `Arc`.
+    pub fn load_with(kind: EngineKind, graph: &Graph, layout: &StoreLayout) -> Engine {
+        if !layout.is_sharded() {
+            let (store, loading) = measure(|| -> SharedStore {
+                match kind {
+                    EngineKind::MemNaive | EngineKind::MemOpt => {
+                        MemStore::from_graph(graph).into_shared()
+                    }
+                    EngineKind::NativeBase | EngineKind::NativeOpt => {
+                        NativeStore::with_indexes(graph, IndexSelection::all()).into_shared()
+                    }
                 }
-                EngineKind::NativeBase | EngineKind::NativeOpt => {
-                    NativeStore::with_indexes(graph, IndexSelection::all()).into_shared()
-                }
-            }
+            });
+            return Engine {
+                kind,
+                store,
+                loading,
+                shards: None,
+            };
+        }
+        let backend = if kind.is_native() {
+            ShardBackend::Native(IndexSelection::all())
+        } else {
+            ShardBackend::Mem
+        };
+        let ((store, info), loading) = measure(|| {
+            let sharded = ShardedStore::from_graph(graph, layout.shards, layout.shard_by, backend);
+            let info = ShardInfo {
+                shard_by: sharded.shard_by(),
+                lens: sharded.shard_lens(),
+                build_times: sharded.shard_build_times().to_vec(),
+            };
+            (sharded.into_shared(), info)
         });
         Engine {
             kind,
             store,
             loading,
+            shards: Some(info),
         }
     }
 
     /// The configuration.
     pub fn kind(&self) -> EngineKind {
         self.kind
+    }
+
+    /// Sharding facts (`None` for a monolithic store).
+    pub fn shards(&self) -> Option<&ShardInfo> {
+        self.shards.as_ref()
     }
 
     /// The underlying store.
@@ -309,6 +430,27 @@ mod tests {
             assert_eq!(EngineKind::from_label(e.label()), Some(e));
         }
         assert_eq!(EngineKind::from_label("nope"), None);
+    }
+
+    #[test]
+    fn sharded_engines_answer_like_monolithic_ones() {
+        let g = tiny_graph();
+        for kind in [EngineKind::NativeOpt, EngineKind::MemOpt] {
+            let flat = Engine::load(kind, &g);
+            assert!(flat.shards().is_none());
+            let layout = StoreLayout::sharded(3, ShardBy::Subject);
+            let sharded = Engine::load_with(kind, &g, &layout);
+            let info = sharded.shards().expect("sharded engine reports shards");
+            assert_eq!(info.count(), 3);
+            assert_eq!(info.lens.iter().sum::<usize>(), g.len());
+            assert_eq!(info.build_times.len(), 3);
+            assert!(info.summary().contains("3 shard(s) by subject"));
+            for q in [BenchQuery::Q1, BenchQuery::Q5a, BenchQuery::Q9] {
+                let (a, _) = flat.run(q, None);
+                let (b, _) = sharded.run(q, None);
+                assert_eq!(a.count(), b.count(), "{kind} {q}");
+            }
+        }
     }
 
     #[test]

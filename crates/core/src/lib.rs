@@ -28,7 +28,7 @@ pub mod report;
 pub mod runner;
 
 pub use endpoint::{Endpoint, HttpTransport};
-pub use engines::{Engine, EngineKind, Outcome};
+pub use engines::{Engine, EngineKind, Outcome, ShardInfo, StoreLayout};
 pub use ext_queries::ExtQuery;
 pub use metrics::{measure, Measurement};
 pub use multiuser::{

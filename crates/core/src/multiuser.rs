@@ -238,6 +238,15 @@ pub struct MultiuserConfig {
     pub mix: Vec<WorkItem>,
     /// Rotation seed, so reruns are comparable.
     pub seed: u64,
+    /// Compute per-execution result checksums on the in-process
+    /// transport: solutions stream through the TSV serializer into an
+    /// order-insensitive fold ([`crate::endpoint::ChecksumWriter`])
+    /// instead of the zero-decode counting path, so checksum stability
+    /// is asserted like count stability, and values are directly
+    /// comparable with HTTP TSV bodies. Off by default (counting is the
+    /// benchmark fast path); the HTTP transport folds checksums from its
+    /// TSV bodies unconditionally — they are free there.
+    pub checksums: bool,
 }
 
 impl MultiuserConfig {
@@ -251,6 +260,7 @@ impl MultiuserConfig {
             timeout: Duration::from_secs(30),
             mix: default_mix(),
             seed: 0,
+            checksums: false,
         }
     }
 }
@@ -275,9 +285,13 @@ pub struct ClientReport {
     /// Result cardinality per query label, from the first completed
     /// execution.
     pub counts: BTreeMap<String, u64>,
-    /// Labels whose result count *changed* between two executions by this
-    /// client — always empty over a read-only store; the concurrency test
-    /// asserts it.
+    /// Order-insensitive result checksum per query label, from the first
+    /// completed execution that carried one (see
+    /// [`ExecOutcome::Completed`]).
+    pub checksums: BTreeMap<String, u64>,
+    /// Labels whose result count **or checksum** *changed* between two
+    /// executions by this client — always empty over a read-only store;
+    /// the concurrency test asserts it.
     pub inconsistent: Vec<String>,
 }
 
@@ -318,8 +332,18 @@ impl MultiuserReport {
 /// Outcome of one transported query execution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ExecOutcome {
-    /// Completed with this many result rows (ASK: 1/0).
-    Completed(u64),
+    /// Completed.
+    Completed {
+        /// Result row count (ASK: 1/0).
+        rows: u64,
+        /// Order-insensitive result checksum
+        /// ([`crate::endpoint::ResultChecksum`]) when the transport
+        /// computed one — the HTTP transport folds it from the TSV body,
+        /// the in-process transport when
+        /// [`MultiuserConfig::checksums`] is set. `None` means "count
+        /// only" (the zero-decode fast path).
+        checksum: Option<u64>,
+    },
     /// Hit the per-query timeout (engine cancellation, HTTP `408`, or a
     /// socket timeout).
     TimedOut,
@@ -357,11 +381,13 @@ pub trait WorkSession {
 
 /// The in-process transport: each session owns a [`QueryEngine`] clone
 /// over the shared store and executes via the counting path (no term
-/// decoding), with the per-query deadline enforced through
-/// [`Cancellation`].
+/// decoding) — or, with checksums enabled, streams solutions through
+/// the TSV serializer into an order-insensitive checksum fold — with
+/// the per-query deadline enforced through [`Cancellation`].
 pub struct InProcessTransport {
     store: SharedStore,
     parallelism: usize,
+    checksums: bool,
 }
 
 impl InProcessTransport {
@@ -370,7 +396,15 @@ impl InProcessTransport {
         InProcessTransport {
             store,
             parallelism: parallelism.max(1),
+            checksums: false,
         }
+    }
+
+    /// Enables per-execution result checksums (see
+    /// [`MultiuserConfig::checksums`]).
+    pub fn checksums(mut self, enabled: bool) -> Self {
+        self.checksums = enabled;
+        self
     }
 }
 
@@ -397,7 +431,11 @@ impl WorkTransport for InProcessTransport {
         SessionSetup {
             labels,
             failed,
-            session: Box::new(InProcessSession { engine, prepared }),
+            session: Box::new(InProcessSession {
+                engine,
+                prepared,
+                checksums: self.checksums,
+            }),
         }
     }
 }
@@ -405,13 +443,40 @@ impl WorkTransport for InProcessTransport {
 struct InProcessSession {
     engine: QueryEngine,
     prepared: Vec<sp2b_sparql::Prepared>,
+    checksums: bool,
 }
 
 impl WorkSession for InProcessSession {
     fn execute(&mut self, slot: usize, stop_at: Instant) -> ExecOutcome {
         let cancel = Cancellation::with_deadline(stop_at);
-        match self.engine.count_with(&self.prepared[slot], &cancel) {
-            Ok(count) => ExecOutcome::Completed(count),
+        let prepared = &self.prepared[slot];
+        if self.checksums {
+            // Stream rows through the TSV serializer into the checksum
+            // fold — byte-identical to what the HTTP endpoint puts on
+            // the wire, so in-process and endpoint checksums compare.
+            let mut sink = crate::endpoint::ChecksumWriter::new(!prepared.is_ask());
+            let mut solutions = self.engine.solutions_with(prepared, &cancel);
+            return match sp2b_sparql::results::write_solutions(
+                &mut sink,
+                sp2b_sparql::results::Format::Tsv,
+                &mut solutions,
+                prepared.is_ask(),
+            ) {
+                Ok(rows) => ExecOutcome::Completed {
+                    rows,
+                    checksum: Some(sink.finish()),
+                },
+                Err(sp2b_sparql::results::WriteError::Query(SparqlError::Cancelled)) => {
+                    ExecOutcome::TimedOut
+                }
+                Err(_) => ExecOutcome::Failed,
+            };
+        }
+        match self.engine.count_with(prepared, &cancel) {
+            Ok(count) => ExecOutcome::Completed {
+                rows: count,
+                checksum: None,
+            },
             Err(SparqlError::Cancelled) => ExecOutcome::TimedOut,
             Err(_) => ExecOutcome::Failed,
         }
@@ -425,7 +490,10 @@ impl WorkSession for InProcessSession {
 /// Drives `cfg.clients` concurrent client threads against one shared
 /// store and collects their reports. Blocks until every client finished.
 pub fn run_multiuser(store: SharedStore, cfg: &MultiuserConfig) -> MultiuserReport {
-    run_multiuser_with(&InProcessTransport::new(store, cfg.parallelism), cfg)
+    run_multiuser_with(
+        &InProcessTransport::new(store, cfg.parallelism).checksums(cfg.checksums),
+        cfg,
+    )
 }
 
 /// Like [`run_multiuser`] over an explicit [`WorkTransport`] — this is
@@ -467,6 +535,7 @@ fn client_loop(
         errors: 0,
         latency: LatencyHistogram::new(),
         counts: BTreeMap::new(),
+        checksums: BTreeMap::new(),
         inconsistent: Vec::new(),
     };
     let SessionSetup {
@@ -504,22 +573,18 @@ fn client_loop(
         }
         let t0 = Instant::now();
         match session.execute(slot, stop_at) {
-            ExecOutcome::Completed(count) => {
+            ExecOutcome::Completed { rows, checksum } => {
                 report.latency.record(t0.elapsed());
                 report.completed += 1;
-                let label = labels[slot].clone();
-                match report.counts.get(&label) {
-                    Some(&previous) if previous != count => {
-                        // Record each unstable label once, however many
-                        // times it keeps shifting.
-                        if !report.inconsistent.contains(&label) {
-                            report.inconsistent.push(label);
-                        }
-                    }
-                    Some(_) => {}
-                    None => {
-                        report.counts.insert(label, count);
-                    }
+                let label = &labels[slot];
+                // Record each unstable label once, however many times it
+                // keeps shifting — by count, and by checksum when the
+                // transport computes one.
+                let count_unstable = stability(&mut report.counts, label, rows);
+                let checksum_unstable =
+                    checksum.is_some_and(|cs| stability(&mut report.checksums, label, cs));
+                if (count_unstable || checksum_unstable) && !report.inconsistent.contains(label) {
+                    report.inconsistent.push(label.clone());
                 }
             }
             ExecOutcome::TimedOut => {
@@ -533,6 +598,18 @@ fn client_loop(
         executed += 1;
     }
     report
+}
+
+/// Records `value` for `label` on first sight; afterwards reports
+/// whether it drifted from the recorded one.
+fn stability(seen: &mut BTreeMap<String, u64>, label: &str, value: u64) -> bool {
+    match seen.get(label) {
+        Some(&previous) => previous != value,
+        None => {
+            seen.insert(label.to_owned(), value);
+            false
+        }
+    }
 }
 
 #[cfg(test)]
@@ -607,6 +684,39 @@ mod tests {
         }
         assert_eq!(report.total_completed(), 18);
         assert!(report.throughput() > 0.0);
+    }
+
+    #[test]
+    fn checksums_are_stable_and_identical_across_clients() {
+        let (graph, _) = generate_graph(Config::triples(2_000));
+        let store = NativeStore::from_graph(&graph).into_shared();
+        let mut cfg = MultiuserConfig::new(3, StopCondition::Rounds(2));
+        cfg.checksums = true;
+        cfg.mix = vec![
+            WorkItem::bench(BenchQuery::Q2),
+            WorkItem::bench(BenchQuery::Q5a),
+            WorkItem::bench(BenchQuery::Q12c), // ASK: boolean-line checksum
+            WorkItem::ext(ExtQuery::A1),
+        ];
+        let report = run_multiuser(store.clone(), &cfg);
+        for c in &report.clients {
+            assert!(c.inconsistent.is_empty(), "{:?}", c.inconsistent);
+            assert_eq!(c.checksums.len(), 4, "every label carries a checksum");
+            assert_eq!(c.completed, 8, "2 rounds × 4 queries");
+        }
+        // All clients fold identical checksums over the shared store.
+        let first = &report.clients[0].checksums;
+        for c in &report.clients[1..] {
+            assert_eq!(&c.checksums, first);
+        }
+        // The checksum path reports the same counts as the counting path.
+        cfg.checksums = false;
+        let counted = run_multiuser(store, &cfg);
+        assert_eq!(counted.clients[0].counts, report.clients[0].counts);
+        assert!(
+            counted.clients[0].checksums.is_empty(),
+            "counting path folds nothing"
+        );
     }
 
     #[test]

@@ -244,6 +244,22 @@ pub fn multiuser_table(report: &MultiuserReport) -> String {
         report.clients.iter().map(|c| c.timeouts).sum::<u64>(),
         report.clients.iter().map(|c| c.errors).sum::<u64>(),
     ));
+    // A read-only store must answer every client identically every time:
+    // any label whose count or checksum drifted is a correctness bug,
+    // not noise — surface it loudly.
+    let mut unstable: Vec<&str> = report
+        .clients
+        .iter()
+        .flat_map(|c| c.inconsistent.iter().map(String::as_str))
+        .collect();
+    unstable.sort_unstable();
+    unstable.dedup();
+    if !unstable.is_empty() {
+        out.push_str(&format!(
+            "WARNING: unstable results (count/checksum drift) for: {}\n",
+            unstable.join(", ")
+        ));
+    }
     out
 }
 
@@ -260,15 +276,19 @@ pub fn endpoint_workload_report(endpoint_url: &str, report: &MultiuserReport) ->
     out
 }
 
-/// The full mixed-workload report: run header (scale, engine, load time)
-/// plus the [`multiuser_table`].
+/// The full mixed-workload report: run header (scale, engine, load
+/// time, sharding facts when sharded) plus the [`multiuser_table`].
 pub fn mixed_workload_report(report: &MixedWorkloadReport) -> String {
     let mut out = format!(
-        "MIXED WORKLOAD — {} triples on {} (loaded in {})\n\n",
+        "MIXED WORKLOAD — {} triples on {} (loaded in {})\n",
         scale_label(report.scale),
         report.engine.label(),
         report.load.summary()
     );
+    if let Some(info) = &report.shards {
+        out.push_str(&format!("{}\n", info.summary()));
+    }
+    out.push('\n');
     out.push_str(&multiuser_table(&report.multiuser));
     out
 }
@@ -407,6 +427,7 @@ mod tests {
                 errors: 0,
                 latency,
                 counts: Default::default(),
+                checksums: Default::default(),
                 inconsistent: Vec::new(),
             }],
             wall: Duration::from_secs(1),
@@ -432,6 +453,7 @@ mod tests {
                 errors: 0,
                 latency,
                 counts: Default::default(),
+                checksums: Default::default(),
                 inconsistent: Vec::new(),
             }
         };
@@ -442,6 +464,11 @@ mod tests {
                 tme: Duration::from_millis(7),
                 ..Default::default()
             },
+            shards: Some(crate::engines::ShardInfo {
+                shard_by: sp2b_store::ShardBy::Subject,
+                lens: vec![5_100, 4_900],
+                build_times: vec![Duration::from_millis(3), Duration::from_millis(4)],
+            }),
             multiuser: MultiuserReport {
                 clients: vec![client(0, 10), client(1, 20)],
                 wall: Duration::from_secs(2),
@@ -450,6 +477,8 @@ mod tests {
         let s = mixed_workload_report(&report);
         assert!(s.contains("MIXED WORKLOAD"), "{s}");
         assert!(s.contains("10k"), "{s}");
+        assert!(s.contains("2 shard(s) by subject"), "{s}");
+        assert!(s.contains("5100/4900"), "{s}");
         assert!(s.contains("p99[ms]"), "{s}");
         assert!(
             s.lines().filter(|l| l.starts_with("all")).count() == 1,

@@ -14,7 +14,7 @@ use sp2b_datagen::{generate_graph, Config};
 use sp2b_rdf::Graph;
 
 use crate::endpoint::{Endpoint, HttpTransport};
-use crate::engines::{Engine, EngineKind, Outcome};
+use crate::engines::{Engine, EngineKind, Outcome, ShardInfo, StoreLayout};
 use crate::metrics::{Measurement, PENALTY_SECONDS};
 use crate::multiuser::{
     run_multiuser, run_multiuser_with, MultiuserConfig, MultiuserReport, StopCondition,
@@ -182,6 +182,8 @@ pub struct MixedWorkloadConfig {
     pub scale: u64,
     /// Engine configuration to load the document into.
     pub engine: EngineKind,
+    /// Store layout: monolithic (default) or hash-sharded.
+    pub layout: StoreLayout,
     /// Generator seed.
     pub seed: u64,
     /// Client count, per-query parallelism, stop condition, timeout, mix.
@@ -190,11 +192,13 @@ pub struct MixedWorkloadConfig {
 
 impl MixedWorkloadConfig {
     /// `clients` clients against a `scale`-triple document on the
-    /// optimized native engine, default mix and timeout.
+    /// optimized native engine, default (unsharded) layout, mix and
+    /// timeout.
     pub fn new(scale: u64, clients: usize, stop: StopCondition) -> Self {
         MixedWorkloadConfig {
             scale,
             engine: EngineKind::NativeOpt,
+            layout: StoreLayout::default(),
             seed: sp2b_datagen::Rng::DEFAULT_SEED,
             multiuser: MultiuserConfig::new(clients, stop),
         }
@@ -212,6 +216,9 @@ pub struct MixedWorkloadReport {
     pub engine: EngineKind,
     /// Loading measurement of the shared store.
     pub load: Measurement,
+    /// Sharding facts when the store was sharded (shard count, per-shard
+    /// triple counts and build times).
+    pub shards: Option<ShardInfo>,
     /// The multi-user driver's outcome.
     pub multiuser: MultiuserReport,
 }
@@ -225,13 +232,16 @@ pub fn run_mixed_workload(
 ) -> MixedWorkloadReport {
     progress(&format!("generating {} triples…", cfg.scale));
     let (graph, _) = generate_graph(Config::triples(cfg.scale).with_seed(cfg.seed));
-    let engine = Engine::load(cfg.engine, &graph);
+    let engine = Engine::load_with(cfg.engine, &graph, &cfg.layout);
     progress(&format!(
         "loaded {} triples into {} ({})",
         cfg.scale,
         cfg.engine,
         engine.loading.summary()
     ));
+    if let Some(info) = engine.shards() {
+        progress(&info.summary());
+    }
     progress(&format!(
         "driving {} client(s), per-query parallelism {}…",
         cfg.multiuser.clients, cfg.multiuser.parallelism
@@ -247,6 +257,7 @@ pub fn run_mixed_workload(
         scale: cfg.scale,
         engine: cfg.engine,
         load: engine.loading,
+        shards: engine.shards().cloned(),
         multiuser,
     }
 }

@@ -4,7 +4,12 @@
 //!
 //! Lifecycle: [`spawn`] binds, starts the accept thread and the workers,
 //! and returns a [`ServerHandle`]. The accept thread pushes connections
-//! into a requeue-capable [`ConnQueue`] the workers pull from; each
+//! into a requeue-capable [`ConnQueue`] the workers pull from — bounded
+//! by [`ServerConfig::max_queue`]: when every worker is busy and the
+//! backlog is full, new connections are **shed** with
+//! `503 Service Unavailable` + `Retry-After` instead of queueing
+//! unboundedly, so overload degrades into fast explicit rejections
+//! rather than creeping latency for everyone. Each
 //! worker runs a keep-alive loop per connection — and hands an *idle*
 //! connection back to the queue whenever other connections are waiting,
 //! so more clients than workers round-robin instead of starving —
@@ -72,15 +77,25 @@ pub struct ServerConfig {
     /// Per-request query timeout (`None`: no timeout). Applied on top of
     /// whatever timeout the engine already carries.
     pub timeout: Option<Duration>,
+    /// Load-shedding bound on the accept queue: when no worker is idle
+    /// and this many connections already wait for one, a newly accepted
+    /// connection is answered `503 Service Unavailable` with
+    /// `Retry-After` and closed instead of queueing unboundedly (the
+    /// shed count lands in [`StatsSnapshot::shed`]). Keep-alive
+    /// connections a worker hands back for fairness are never shed —
+    /// shedding applies to *new* arrivals only.
+    pub max_queue: usize,
 }
 
 impl Default for ServerConfig {
-    /// Loopback on an ephemeral port, 4 workers, 30 s query timeout.
+    /// Loopback on an ephemeral port, 4 workers, 30 s query timeout, a
+    /// 1024-connection accept queue.
     fn default() -> Self {
         ServerConfig {
             addr: SocketAddr::from(([127, 0, 0, 1], 0)),
             workers: 4,
             timeout: Some(Duration::from_secs(30)),
+            max_queue: 1024,
         }
     }
 }
@@ -97,6 +112,7 @@ struct Stats {
     server_errors: AtomicU64,
     aborted: AtomicU64,
     rows: AtomicU64,
+    shed: AtomicU64,
 }
 
 /// A point-in-time copy of the server counters.
@@ -118,6 +134,10 @@ pub struct StatsSnapshot {
     pub aborted: u64,
     /// Result rows delivered over the wire.
     pub rows: u64,
+    /// Connections shed with `503` because the accept queue was full
+    /// (see [`ServerConfig::max_queue`]). Shed connections are not
+    /// counted in `connections`/`requests`.
+    pub shed: u64,
 }
 
 impl std::fmt::Display for StatsSnapshot {
@@ -125,7 +145,7 @@ impl std::fmt::Display for StatsSnapshot {
         write!(
             f,
             "{} connection(s), {} request(s): {} ok ({} rows), {} client error(s), \
-             {} timeout(s), {} server error(s), {} aborted",
+             {} timeout(s), {} server error(s), {} aborted, {} shed",
             self.connections,
             self.requests,
             self.ok,
@@ -134,6 +154,7 @@ impl std::fmt::Display for StatsSnapshot {
             self.timeouts,
             self.server_errors,
             self.aborted,
+            self.shed,
         )
     }
 }
@@ -149,6 +170,7 @@ impl Stats {
             server_errors: self.server_errors.load(Ordering::Relaxed),
             aborted: self.aborted.load(Ordering::Relaxed),
             rows: self.rows.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
         }
     }
 }
@@ -230,19 +252,47 @@ impl Conn {
 /// channel this supports **requeueing**, which is what keeps more
 /// clients than workers from starving: a worker whose connection has
 /// gone idle while others wait puts it back and picks up the next one,
-/// round-robining the pool across all live connections.
+/// round-robining the pool across all live connections. It also tracks
+/// how many workers are *blocked waiting* for a connection, which is
+/// what makes [`ConnQueue::try_push`]'s load-shedding decision exact: a
+/// connection is shed only when nobody could serve it promptly.
+#[derive(Default)]
+struct QueueState {
+    conns: VecDeque<Conn>,
+    closed: bool,
+    /// Workers currently blocked in [`ConnQueue::pop`].
+    waiting: usize,
+}
+
 #[derive(Default)]
 struct ConnQueue {
-    state: Mutex<(VecDeque<Conn>, bool)>,
+    state: Mutex<QueueState>,
     ready: Condvar,
 }
 
 impl ConnQueue {
+    /// Unconditional enqueue — the worker *requeue* path (a live
+    /// keep-alive client must never be shed once accepted).
     fn push(&self, conn: Conn) {
         if let Ok(mut state) = self.state.lock() {
-            state.0.push_back(conn);
+            state.conns.push_back(conn);
             self.ready.notify_one();
         }
+    }
+
+    /// Bounded enqueue — the accept path: refuses (returning the
+    /// connection for a `503`) when no worker is waiting and `max_depth`
+    /// connections are already queued.
+    fn try_push(&self, conn: Conn, max_depth: usize) -> Result<(), Conn> {
+        let Ok(mut state) = self.state.lock() else {
+            return Err(conn);
+        };
+        if state.waiting == 0 && state.conns.len() >= max_depth {
+            return Err(conn);
+        }
+        state.conns.push_back(conn);
+        self.ready.notify_one();
+        Ok(())
     }
 
     /// Blocks for the next connection; `None` once the queue is closed
@@ -250,24 +300,34 @@ impl ConnQueue {
     fn pop(&self) -> Option<Conn> {
         let mut state = self.state.lock().ok()?;
         loop {
-            if let Some(conn) = state.0.pop_front() {
+            if let Some(conn) = state.conns.pop_front() {
                 return Some(conn);
             }
-            if state.1 {
+            if state.closed {
                 return None;
             }
-            state = self.ready.wait(state).ok()?;
+            state.waiting += 1;
+            match self.ready.wait(state) {
+                Ok(mut s) => {
+                    s.waiting -= 1;
+                    state = s;
+                }
+                Err(_) => return None,
+            }
         }
     }
 
     /// True when another connection is waiting for a worker.
     fn has_pending(&self) -> bool {
-        self.state.lock().map(|s| !s.0.is_empty()).unwrap_or(false)
+        self.state
+            .lock()
+            .map(|s| !s.conns.is_empty())
+            .unwrap_or(false)
     }
 
     fn close(&self) {
         if let Ok(mut state) = self.state.lock() {
-            state.1 = true;
+            state.closed = true;
             self.ready.notify_all();
         }
     }
@@ -304,6 +364,7 @@ pub fn spawn(engine: QueryEngine, cfg: &ServerConfig) -> io::Result<ServerHandle
         let shutdown = Arc::clone(&shutdown);
         let stats = Arc::clone(&stats);
         let queue = Arc::clone(&queue);
+        let max_queue = cfg.max_queue;
         std::thread::Builder::new()
             .name("sp2b-http-accept".into())
             .spawn(move || {
@@ -315,8 +376,17 @@ pub fn spawn(engine: QueryEngine, cfg: &ServerConfig) -> io::Result<ServerHandle
                     let Ok(conn) = Conn::new(stream) else {
                         continue;
                     };
-                    stats.connections.fetch_add(1, Ordering::Relaxed);
-                    queue.push(conn);
+                    match queue.try_push(conn, max_queue) {
+                        Ok(()) => {
+                            stats.connections.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(conn) => {
+                            // Load shedding: every worker is busy and the
+                            // backlog is full.
+                            stats.shed.fetch_add(1, Ordering::Relaxed);
+                            shed_connection(conn);
+                        }
+                    }
                 }
                 // Closing the queue lets idle workers drain and exit.
                 queue.close();
@@ -329,6 +399,45 @@ pub fn spawn(engine: QueryEngine, cfg: &ServerConfig) -> io::Result<ServerHandle
         workers,
         stats,
     })
+}
+
+/// How long a shed connection may linger while its request bytes drain
+/// (see [`shed_connection`]); also the byte cap's time bound on the
+/// accept loop per shed.
+const SHED_LINGER: Duration = Duration::from_millis(250);
+
+/// Sheds one connection with `503` + `Retry-After`, then **lingers**:
+/// the response goes out first, `shutdown(Write)` sends the FIN so the
+/// client sees a complete response, and the client's (never-read)
+/// request bytes are drained until EOF — closing a socket with unread
+/// data in its receive buffer would send an RST that can destroy the
+/// queued 503 before the client reads it. The drain is bounded in both
+/// time ([`SHED_LINGER`]) and bytes, so a shed storm stalls the accept
+/// loop by at most the linger per connection — at which point the
+/// kernel's SYN backlog sheds for us.
+fn shed_connection(conn: Conn) {
+    let _ = write_response(
+        &mut (&mut &conn.stream),
+        503,
+        "text/plain; charset=utf-8",
+        b"server overloaded; please retry\n",
+        false,
+        &["Retry-After: 1"],
+    );
+    let _ = conn.stream.shutdown(std::net::Shutdown::Write);
+    let _ = conn.stream.set_read_timeout(Some(SHED_LINGER));
+    let mut reader = conn.reader;
+    let mut discard = [0u8; 4096];
+    let mut drained = 0usize;
+    while let Ok(n) = std::io::Read::read(&mut reader, &mut discard) {
+        if n == 0 {
+            break; // client closed after reading the 503: clean FIN
+        }
+        drained += n;
+        if drained >= 64 * 1024 {
+            break;
+        }
+    }
 }
 
 /// Per-thread server state: an owned engine clone plus the shared flags.

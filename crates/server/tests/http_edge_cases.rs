@@ -291,6 +291,59 @@ fn more_connections_than_workers_round_robin() {
     assert_eq!(stats.connections, 4, "{stats:?}");
 }
 
+/// Load shedding: with a zero-depth accept queue and the only worker
+/// pinned to a live keep-alive connection, new connections must be
+/// answered `503` + `Retry-After` and closed — and never counted as
+/// accepted — instead of queueing unboundedly.
+#[test]
+fn overloaded_accept_queue_sheds_with_503_retry_after() {
+    let cfg = ServerConfig {
+        workers: 1,
+        max_queue: 0,
+        ..ServerConfig::default()
+    };
+    let handle = spawn(engine(10), &cfg).unwrap();
+    // Pin the only worker: serve one request, then hold the connection
+    // open (keep-alive) so the worker sits in its idle loop, not in the
+    // queue's waiting set.
+    let mut busy = TcpStream::connect(handle.addr()).unwrap();
+    busy.set_read_timeout(Some(Duration::from_secs(20)))
+        .unwrap();
+    busy.write_all(b"GET /sparql?query=ASK%7B%7D HTTP/1.1\r\nAccept: text/csv\r\n\r\n")
+        .unwrap();
+    let response = read_one_response(&mut busy);
+    assert_eq!(status_of(&response), 200, "{response}");
+    // A realistic client writes its request immediately; the server
+    // never reads it (shedding happens at accept), but the lingering
+    // close must still deliver the full 503 — not an RST that destroys
+    // it. Also cover a client that connects without sending anything.
+    let requests: [&str; 2] = ["GET / HTTP/1.1\r\nConnection: close\r\n\r\n", ""];
+    for request in requests {
+        let mut shed = TcpStream::connect(handle.addr()).unwrap();
+        shed.set_read_timeout(Some(Duration::from_secs(20)))
+            .unwrap();
+        if !request.is_empty() {
+            shed.write_all(request.as_bytes()).unwrap();
+        }
+        let mut resp = String::new();
+        shed.read_to_string(&mut resp).unwrap();
+        assert_eq!(status_of(&resp), 503, "{resp}");
+        assert!(resp.contains("Retry-After: 1"), "{resp}");
+        assert!(
+            resp.to_ascii_lowercase().contains("connection: close"),
+            "{resp}"
+        );
+    }
+    drop(busy);
+    let stats = handle.shutdown();
+    assert_eq!(stats.shed, 2, "{stats:?}");
+    assert_eq!(
+        stats.connections, 1,
+        "shed connections must not count as accepted: {stats:?}"
+    );
+    assert_eq!(stats.ok, 1, "{stats:?}");
+}
+
 #[test]
 fn query_errors_are_400_with_a_message() {
     let handle = server();

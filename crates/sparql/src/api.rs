@@ -40,7 +40,7 @@ use crate::ast::Query;
 use crate::eval::{AggCell, AggRow, Bindings, Cancellation, EvalContext, RowIter};
 use crate::optimizer::{optimize, OptimizerConfig};
 use crate::parser::{parse, ParseError};
-use crate::plan::{bind, parallelize, Plan};
+use crate::plan::{bind, parallelize_with, Plan};
 
 /// Everything that can go wrong preparing or running a query.
 #[derive(Debug)]
@@ -95,17 +95,19 @@ pub struct QueryOptions {
     timeout: Option<Duration>,
     row_limit: Option<u64>,
     parallelism: usize,
+    parallel_base: u64,
 }
 
 impl Default for QueryOptions {
     /// Full optimization, no timeout, no row limit, parallelism = number
-    /// of available cores.
+    /// of available cores, the static exchange-threshold base.
     fn default() -> Self {
         QueryOptions {
             optimizer: OptimizerConfig::full(),
             timeout: None,
             row_limit: None,
             parallelism: default_parallelism(),
+            parallel_base: crate::plan::PARALLEL_BASE_THRESHOLD,
         }
     }
 }
@@ -176,6 +178,22 @@ impl QueryOptions {
     /// The configured degree of parallelism (≥ 1).
     pub fn parallelism_degree(&self) -> usize {
         self.parallelism
+    }
+
+    /// Sets the exchange-threshold **base**: the driving-scan cardinality
+    /// at which a reference-cost pipeline is worth fanning out (see
+    /// [`crate::plan::parallel_threshold_with`]). The default is the
+    /// static [`crate::plan::PARALLEL_BASE_THRESHOLD`]; `sp2b calibrate`
+    /// measures a base from per-morsel fan-out overhead on the actual
+    /// host and feeds it in here. `0` is treated as `1`.
+    pub fn parallel_base(mut self, rows: u64) -> Self {
+        self.parallel_base = rows.max(1);
+        self
+    }
+
+    /// The configured exchange-threshold base (≥ 1).
+    pub fn parallel_base_rows(&self) -> u64 {
+        self.parallel_base
     }
 }
 
@@ -251,6 +269,14 @@ impl QueryEngine {
         self
     }
 
+    /// Sets the exchange-threshold base (see
+    /// [`QueryOptions::parallel_base`]). Affects subsequent `prepare`
+    /// calls.
+    pub fn parallel_base(mut self, rows: u64) -> Self {
+        self.options = self.options.parallel_base(rows);
+        self
+    }
+
     /// The store this engine queries.
     pub fn store(&self) -> &dyn TripleStore {
         &*self.store
@@ -289,7 +315,12 @@ impl QueryEngine {
             &needed,
         );
         let plan = bind(&algebra, self.store());
-        let plan = parallelize(plan, self.store(), self.options.parallelism);
+        let plan = parallelize_with(
+            plan,
+            self.store(),
+            self.options.parallelism,
+            self.options.parallel_base,
+        );
         Ok(Prepared {
             plan,
             width: translated.vars.len(),
@@ -904,6 +935,44 @@ mod tests {
             streamed,
             vec![vec![Some(Term::Literal(Literal::integer(10)))]]
         );
+    }
+
+    #[test]
+    fn parallel_base_controls_the_fanout_decision() {
+        use crate::plan::has_exchange;
+        fn exchange_base(plan: &Plan) -> Option<u64> {
+            match plan {
+                Plan::Exchange { base, .. } => Some(*base),
+                Plan::Project(_, inner)
+                | Plan::Distinct(inner)
+                | Plan::OrderBy(_, inner)
+                | Plan::Filter(_, inner) => exchange_base(inner),
+                Plan::Slice { input, .. } | Plan::GroupAggregate { input, .. } => {
+                    exchange_base(input)
+                }
+                _ => None,
+            }
+        }
+        // The 10-row store is far below the default threshold; a
+        // measured base of 1 forces the exchange anyway, and the default
+        // keeps the plan sequential.
+        let store = store().into_shared();
+        let text = "SELECT ?v WHERE { ?s <http://x/value> ?v }";
+        let eager = QueryEngine::with_options(
+            store.clone(),
+            QueryOptions::new().parallelism(4).parallel_base(1),
+        );
+        assert!(has_exchange(eager.prepare(text).unwrap().plan()));
+        assert_eq!(eager.options().parallel_base_rows(), 1);
+        // The planned Exchange carries the calibrated base, so eval-time
+        // fan-out decisions beneath it (hash-join build sides) use the
+        // same base as the plan-level decision.
+        assert_eq!(exchange_base(eager.prepare(text).unwrap().plan()), Some(1));
+        let default = QueryEngine::with_options(store.clone(), QueryOptions::new().parallelism(4));
+        assert!(!has_exchange(default.prepare(text).unwrap().plan()));
+        // The forced-parallel plan still answers correctly.
+        let p = eager.prepare(text).unwrap();
+        assert_eq!(eager.count(&p).unwrap(), 10);
     }
 
     #[test]

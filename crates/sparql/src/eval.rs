@@ -171,7 +171,11 @@ impl<'a> EvalContext<'a> {
                 key,
                 condition,
             } => self.eval_left_join(left, right, key, condition.as_ref()),
-            Plan::Exchange { degree, input } => crate::par::eval_exchange(self, *degree, input),
+            Plan::Exchange {
+                degree,
+                base,
+                input,
+            } => crate::par::eval_exchange(self, *degree, *base, input),
             Plan::Union(a, b) => {
                 let this = self.clone();
                 let left = self.eval(a);
@@ -1012,6 +1016,7 @@ mod tests {
             vars.clone(),
             Box::new(Plan::Exchange {
                 degree: 4,
+                base: crate::plan::PARALLEL_BASE_THRESHOLD,
                 input: inner.clone(),
             }),
         );
@@ -1045,6 +1050,7 @@ mod tests {
         };
         let plan = Plan::Exchange {
             degree: 4,
+            base: crate::plan::PARALLEL_BASE_THRESHOLD,
             input: inner,
         };
         let cancel = Cancellation::none();

@@ -40,7 +40,8 @@
 //!   by [`diag::live_workers`].
 //!
 //! Hash-join build sides large enough to clear their own
-//! [`crate::plan::parallel_threshold`] are themselves built from
+//! [`crate::plan::parallel_threshold_with`] threshold (under the same
+//! calibrated base the exchange was planned with) are themselves built from
 //! `scan_chunks` partitions on a scoped worker pool (the build is a
 //! blocking materialization, so scoped threads suffice there), with rows
 //! filed in chunk order to preserve bucket ordering.
@@ -59,7 +60,7 @@ use crate::eval::{
     RowIter,
 };
 use crate::expr::BoundExpr;
-use crate::plan::{const_pattern, parallel_threshold, Plan, PlanPattern};
+use crate::plan::{const_pattern, parallel_threshold_with, Plan, PlanPattern};
 
 /// Morsels per worker: enough over-partitioning that an unlucky skewed
 /// morsel cannot serialize the whole query.
@@ -116,17 +117,22 @@ enum Pipeline {
     Filter(BoundExpr, Box<Pipeline>),
 }
 
-fn compile<'a>(ctx: &EvalContext<'a>, plan: &'a Plan, degree: usize) -> Option<Pipeline> {
+fn compile<'a>(
+    ctx: &EvalContext<'a>,
+    plan: &'a Plan,
+    degree: usize,
+    base: u64,
+) -> Option<Pipeline> {
     match plan {
         Plan::Bgp { patterns, filters } if !patterns.is_empty() => Some(Pipeline::Driving {
             patterns: patterns.clone(),
             filters: filters.clone(),
         }),
         Plan::Join { left, right, key } => {
-            let probe = Box::new(compile(ctx, left, degree)?);
+            let probe = Box::new(compile(ctx, left, degree, base)?);
             Some(Pipeline::Join {
                 probe,
-                build: Arc::new(build_side(ctx, right, key, degree)),
+                build: Arc::new(build_side(ctx, right, key, degree, base)),
                 key: key.clone(),
             })
         }
@@ -136,17 +142,17 @@ fn compile<'a>(ctx: &EvalContext<'a>, plan: &'a Plan, degree: usize) -> Option<P
             key,
             condition,
         } => {
-            let probe = Box::new(compile(ctx, left, degree)?);
+            let probe = Box::new(compile(ctx, left, degree, base)?);
             Some(Pipeline::LeftJoin {
                 probe,
-                build: Arc::new(build_side(ctx, right, key, degree)),
+                build: Arc::new(build_side(ctx, right, key, degree, base)),
                 key: key.clone(),
                 condition: condition.clone(),
             })
         }
         Plan::Filter(expr, inner) => Some(Pipeline::Filter(
             expr.clone(),
-            Box::new(compile(ctx, inner, degree)?),
+            Box::new(compile(ctx, inner, degree, base)?),
         )),
         _ => None,
     }
@@ -157,10 +163,16 @@ fn compile<'a>(ctx: &EvalContext<'a>, plan: &'a Plan, degree: usize) -> Option<P
 /// negation plans carry corpus-sized build sides). Rows are filed in
 /// chunk order, so bucket insertion order — and with it probe output
 /// order — equals sequential evaluation.
-fn build_side<'a>(ctx: &EvalContext<'a>, plan: &'a Plan, key: &[usize], degree: usize) -> Build {
+fn build_side<'a>(
+    ctx: &EvalContext<'a>,
+    plan: &'a Plan,
+    key: &[usize],
+    degree: usize,
+    base: u64,
+) -> Build {
     let mut map: FxHashMap<Vec<Id>, Vec<Bindings>> = FxHashMap::default();
     let mut flat: Vec<Bindings> = Vec::new();
-    if let Some(rows) = parallel_build_rows(ctx, plan, degree) {
+    if let Some(rows) = parallel_build_rows(ctx, plan, degree, base) {
         for row in rows {
             insert_build_row(&mut map, &mut flat, key, row);
         }
@@ -178,6 +190,7 @@ fn parallel_build_rows<'a>(
     ctx: &EvalContext<'a>,
     plan: &'a Plan,
     degree: usize,
+    base: u64,
 ) -> Option<Vec<Bindings>> {
     if degree < 2 {
         return None;
@@ -190,7 +203,7 @@ fn parallel_build_rows<'a>(
         return None;
     }
     let scan_pattern = const_pattern(pattern0);
-    if ctx.store.estimate(scan_pattern) < parallel_threshold(plan, ctx.store) {
+    if ctx.store.estimate(scan_pattern) < parallel_threshold_with(plan, ctx.store, base) {
         return None;
     }
     let chunks = ctx
@@ -318,6 +331,7 @@ fn morsel_rows<'a>(ctx: &EvalContext<'a>, pipe: &'a Pipeline, chunk: ScanChunk<'
 pub(crate) fn eval_exchange<'a>(
     ctx: EvalContext<'a>,
     degree: usize,
+    base: u64,
     input: &'a Plan,
 ) -> RowIter<'a> {
     if degree <= 1 {
@@ -347,7 +361,7 @@ pub(crate) fn eval_exchange<'a>(
     }
     // Build sides materialize here, once, before any thread spawns —
     // themselves partition-parallel when large (see build_side).
-    let Some(pipe) = compile(&ctx, input, degree) else {
+    let Some(pipe) = compile(&ctx, input, degree, base) else {
         return ctx.eval(input);
     };
     if ctx.cancel.should_stop() {

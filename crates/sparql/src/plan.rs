@@ -148,6 +148,11 @@ pub enum Plan {
         /// Worker-thread count (always ≥ 2; a degree of 1 is never
         /// planned — sequential plans simply omit the operator).
         degree: usize,
+        /// The threshold base this exchange was planned under (see
+        /// [`parallel_threshold_with`]): carried so eval-time fan-out
+        /// decisions below the exchange — hash-join build sides — use
+        /// the same calibrated base as the plan-level decision.
+        base: u64,
         /// The pipeline each worker runs per morsel.
         input: Box<Plan>,
     },
@@ -300,9 +305,22 @@ pub fn pipeline_cost_per_row(plan: &Plan, store: &dyn TripleStore) -> f64 {
 /// [`PARALLEL_MAX_THRESHOLD`] driving rows before fanning out; a
 /// join-heavy pipeline (Q4-style quadratic) fans out near the minimum.
 pub fn parallel_threshold(plan: &Plan, store: &dyn TripleStore) -> u64 {
+    parallel_threshold_with(plan, store, PARALLEL_BASE_THRESHOLD)
+}
+
+/// Like [`parallel_threshold`] with a caller-supplied base — the hook
+/// for **measured** calibration: `sp2b calibrate` times per-morsel
+/// fan-out overhead on generated data and the measured base flows in
+/// through `QueryOptions::parallel_base`. The clamp window scales with
+/// the base at the same ratios as the static one (base/4 … base×8, which
+/// for the default base of 512 is exactly [128, 4096]), so a calibrated
+/// base above 4096 — or below 128 — is honoured rather than clamped back
+/// to the static window.
+pub fn parallel_threshold_with(plan: &Plan, store: &dyn TripleStore, base: u64) -> u64 {
+    let base = base.max(1);
     let cost = pipeline_cost_per_row(plan, store).max(0.25);
-    let scaled = PARALLEL_BASE_THRESHOLD as f64 * (REFERENCE_PIPELINE_COST / cost);
-    (scaled.round() as u64).clamp(PARALLEL_MIN_THRESHOLD, PARALLEL_MAX_THRESHOLD)
+    let scaled = base as f64 * (REFERENCE_PIPELINE_COST / cost);
+    (scaled.round() as u64).clamp((base / 4).max(1), base.saturating_mul(8))
 }
 
 /// Inserts [`Plan::Exchange`] operators for a target `degree` of
@@ -319,24 +337,35 @@ pub fn parallel_threshold(plan: &Plan, store: &dyn TripleStore) -> u64 {
 /// materializing sort sits directly beneath it (the `ORDER BY … LIMIT`
 /// shape, e.g. Q11), where laziness is already gone.
 pub fn parallelize(plan: Plan, store: &dyn TripleStore, degree: usize) -> Plan {
+    parallelize_with(plan, store, degree, PARALLEL_BASE_THRESHOLD)
+}
+
+/// Like [`parallelize`] with an explicit threshold base (see
+/// [`parallel_threshold_with`]) — what `QueryOptions::parallel_base`
+/// feeds through `prepare`.
+pub fn parallelize_with(plan: Plan, store: &dyn TripleStore, degree: usize, base: u64) -> Plan {
     if degree <= 1 {
         return plan;
     }
     match plan {
-        Plan::Project(vars, inner) => {
-            Plan::Project(vars, Box::new(parallelize(*inner, store, degree)))
+        Plan::Project(vars, inner) => Plan::Project(
+            vars,
+            Box::new(parallelize_with(*inner, store, degree, base)),
+        ),
+        Plan::OrderBy(keys, inner) => Plan::OrderBy(
+            keys,
+            Box::new(parallelize_with(*inner, store, degree, base)),
+        ),
+        Plan::Distinct(inner) => {
+            Plan::Distinct(Box::new(parallelize_with(*inner, store, degree, base)))
         }
-        Plan::OrderBy(keys, inner) => {
-            Plan::OrderBy(keys, Box::new(parallelize(*inner, store, degree)))
-        }
-        Plan::Distinct(inner) => Plan::Distinct(Box::new(parallelize(*inner, store, degree))),
         Plan::Slice {
             offset,
             limit,
             input,
         } => {
             let input = if materializes_anyway(&input) {
-                Box::new(parallelize(*input, store, degree))
+                Box::new(parallelize_with(*input, store, degree, base))
             } else {
                 input // keep the skip/take lazy: no exchange below
             };
@@ -348,17 +377,17 @@ pub fn parallelize(plan: Plan, store: &dyn TripleStore, degree: usize) -> Plan {
         }
         Plan::GroupAggregate { spec, input } => Plan::GroupAggregate {
             spec,
-            input: Box::new(parallelize(*input, store, degree)),
+            input: Box::new(parallelize_with(*input, store, degree, base)),
         },
         Plan::Union(a, b) => Plan::Union(
-            Box::new(parallelize(*a, store, degree)),
-            Box::new(parallelize(*b, store, degree)),
+            Box::new(parallelize_with(*a, store, degree, base)),
+            Box::new(parallelize_with(*b, store, degree, base)),
         ),
         // Pipeline segments the parallel driver can run per-morsel.
         other @ (Plan::Bgp { .. }
         | Plan::Join { .. }
         | Plan::LeftJoin { .. }
-        | Plan::Filter(..)) => maybe_exchange(other, store, degree),
+        | Plan::Filter(..)) => maybe_exchange(other, store, degree, base),
         // Already parallel (idempotence) — leave as is.
         other @ Plan::Exchange { .. } => other,
     }
@@ -378,18 +407,37 @@ fn materializes_anyway(plan: &Plan) -> bool {
 
 /// Wraps `plan` in an Exchange when its driving scan clears the
 /// pipeline's cost-scaled cardinality threshold.
-fn maybe_exchange(plan: Plan, store: &dyn TripleStore, degree: usize) -> Plan {
+fn maybe_exchange(plan: Plan, store: &dyn TripleStore, degree: usize, base: u64) -> Plan {
     let worthwhile = driving_scan(&plan).is_some_and(|p| {
         !p.is_unsatisfiable()
-            && store.estimate(const_pattern(p)) >= parallel_threshold(&plan, store)
+            && store.estimate(const_pattern(p)) >= parallel_threshold_with(&plan, store, base)
     });
     if worthwhile {
         Plan::Exchange {
             degree,
+            base,
             input: Box::new(plan),
         }
     } else {
         plan
+    }
+}
+
+/// Whether a plan tree contains an [`Plan::Exchange`] — shared by tests
+/// and the calibration report.
+pub fn has_exchange(plan: &Plan) -> bool {
+    match plan {
+        Plan::Exchange { .. } => true,
+        Plan::Bgp { .. } => false,
+        Plan::Join { left, right, .. } | Plan::LeftJoin { left, right, .. } => {
+            has_exchange(left) || has_exchange(right)
+        }
+        Plan::Union(a, b) => has_exchange(a) || has_exchange(b),
+        Plan::Filter(_, inner)
+        | Plan::Distinct(inner)
+        | Plan::Project(_, inner)
+        | Plan::OrderBy(_, inner) => has_exchange(inner),
+        Plan::Slice { input, .. } | Plan::GroupAggregate { input, .. } => has_exchange(input),
     }
 }
 
@@ -530,10 +578,16 @@ mod tests {
         let Plan::OrderBy(_, inner) = *inner else {
             panic!("{inner:?}")
         };
-        let Plan::Exchange { degree, input } = *inner else {
+        let Plan::Exchange {
+            degree,
+            base,
+            input,
+        } = *inner
+        else {
             panic!("{inner:?}")
         };
         assert_eq!(degree, 4);
+        assert_eq!(base, PARALLEL_BASE_THRESHOLD);
         assert!(matches!(*input, Plan::Bgp { .. }));
     }
 
@@ -544,14 +598,14 @@ mod tests {
         // below it would materialize the full input for a handful of rows.
         let t = translate(&parse("SELECT ?s WHERE { ?s <http://x/p> ?o } LIMIT 3").unwrap());
         let plan = parallelize(bind(&t.algebra, &big), &big, 4);
-        assert!(!plan_has_exchange(&plan), "{plan:?}");
+        assert!(!has_exchange(&plan), "{plan:?}");
         // ORDER BY + LIMIT: the sort materializes anyway, so the exchange
         // below it is fair game.
         let t = translate(
             &parse("SELECT ?s WHERE { ?s <http://x/p> ?o } ORDER BY ?s LIMIT 3").unwrap(),
         );
         let plan = parallelize(bind(&t.algebra, &big), &big, 4);
-        assert!(plan_has_exchange(&plan), "{plan:?}");
+        assert!(has_exchange(&plan), "{plan:?}");
     }
 
     #[test]
@@ -560,11 +614,11 @@ mod tests {
         // Tiny store: below the threshold, no Exchange.
         let small = store();
         let plan = parallelize(bind(&t.algebra, &small), &small, 4);
-        assert!(!plan_has_exchange(&plan), "{plan:?}");
+        assert!(!has_exchange(&plan), "{plan:?}");
         // Large store but degree 1: sequential plan unchanged.
         let big = big_store();
         let plan = parallelize(bind(&t.algebra, &big), &big, 1);
-        assert!(!plan_has_exchange(&plan), "{plan:?}");
+        assert!(!has_exchange(&plan), "{plan:?}");
     }
 
     #[test]
@@ -601,21 +655,45 @@ mod tests {
         );
     }
 
-    fn plan_has_exchange(plan: &Plan) -> bool {
-        match plan {
-            Plan::Exchange { .. } => true,
-            Plan::Bgp { .. } => false,
-            Plan::Join { left, right, .. } | Plan::LeftJoin { left, right, .. } => {
-                plan_has_exchange(left) || plan_has_exchange(right)
-            }
-            Plan::Union(a, b) => plan_has_exchange(a) || plan_has_exchange(b),
-            Plan::Filter(_, inner)
-            | Plan::Distinct(inner)
-            | Plan::Project(_, inner)
-            | Plan::OrderBy(_, inner) => plan_has_exchange(inner),
-            Plan::Slice { input, .. } | Plan::GroupAggregate { input, .. } => {
-                plan_has_exchange(input)
-            }
-        }
+    #[test]
+    fn threshold_base_overrides_scale_the_clamp_window() {
+        let big = big_store();
+        let t = translate(&parse("SELECT ?s WHERE { ?s <http://x/p> ?o }").unwrap());
+        let Plan::Project(_, scan) = bind(&t.algebra, &big) else {
+            panic!()
+        };
+        // Default base reproduces parallel_threshold exactly.
+        assert_eq!(
+            parallel_threshold_with(&scan, &big, PARALLEL_BASE_THRESHOLD),
+            parallel_threshold(&scan, &big)
+        );
+        // A measured base scales the whole window: thresholds are
+        // monotone in the base, and a base outside the static window is
+        // honoured rather than clamped back into it.
+        let low = parallel_threshold_with(&scan, &big, 8);
+        let high = parallel_threshold_with(&scan, &big, 100_000);
+        assert!(
+            low < PARALLEL_MIN_THRESHOLD,
+            "low base escapes the static clamp: {low}"
+        );
+        assert!(
+            high > PARALLEL_MAX_THRESHOLD,
+            "high base escapes the static clamp: {high}"
+        );
+        assert!(low < parallel_threshold(&scan, &big));
+        // Base 0 is treated as 1, not a division hazard.
+        assert!(parallel_threshold_with(&scan, &big, 0) >= 1);
+    }
+
+    #[test]
+    fn parallelize_with_base_flips_the_fanout_decision() {
+        let big = big_store();
+        let t = translate(&parse("SELECT ?s WHERE { ?s <http://x/p> ?o }").unwrap());
+        // A tiny base forces the exchange even for a cheap pipeline…
+        let plan = parallelize_with(bind(&t.algebra, &big), &big, 4, 1);
+        assert!(has_exchange(&plan), "{plan:?}");
+        // …and a huge base suppresses it on the same store.
+        let plan = parallelize_with(bind(&t.algebra, &big), &big, 4, u64::MAX / 16);
+        assert!(!has_exchange(&plan), "{plan:?}");
     }
 }

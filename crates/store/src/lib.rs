@@ -10,19 +10,26 @@
 //!   class: Sesame-DB, Virtuoso).
 //!
 //! Both implement [`TripleStore`], which the SPARQL engine evaluates
-//! against; [`Dictionary`] provides the term↔id mapping.
+//! against; [`Dictionary`] provides the term↔id mapping. For large
+//! documents, [`ShardedStore`] composes N of either store into one
+//! hash-partitioned logical store behind a shared dictionary, so
+//! loading, index build and scans parallelize across shards (see
+//! [`shard`]).
 
 pub mod dictionary;
 pub mod hash;
 pub mod load;
 pub mod mem;
 pub mod native;
+pub mod shard;
 pub mod traits;
 
 pub use dictionary::{Dictionary, Id, IdTriple};
 pub use load::{
     mem_store_from_path, mem_store_from_reader, native_store_from_path, native_store_from_reader,
+    sharded_store_from_path, sharded_store_from_reader,
 };
 pub use mem::MemStore;
 pub use native::{IndexOrder, IndexSelection, NativeStore};
+pub use shard::{ShardBackend, ShardBy, ShardedStore};
 pub use traits::{split_ranges, Pattern, ScanChunk, SharedStore, TripleStore};

@@ -1,14 +1,20 @@
-//! Bulk-loading helpers shared by both stores.
+//! Bulk-loading helpers shared by both stores, plus the parallel
+//! sharded loader: one parser/interner thread routing encoded triples
+//! through bounded channels to per-shard builder threads.
 
 use std::fs::File;
 use std::io::{BufRead, BufReader};
 use std::path::Path;
+use std::sync::mpsc::{sync_channel, Receiver};
+use std::time::{Duration, Instant};
 
 use sp2b_rdf::ntriples::{Error, Parser};
 
 use crate::dictionary::{Dictionary, IdTriple};
 use crate::mem::MemStore;
 use crate::native::{IndexSelection, NativeStore};
+use crate::shard::{ShardBackend, ShardBy, ShardedStore};
+use crate::traits::TripleStore;
 
 /// Streams an N-Triples source into a [`MemStore`].
 pub fn mem_store_from_reader<R: BufRead>(reader: R) -> Result<MemStore, Error> {
@@ -49,6 +55,132 @@ pub fn native_store_from_path(
     native_store_from_reader(BufReader::with_capacity(1 << 16, file), selection)
 }
 
+/// Triples per routed batch: batches amortize channel overhead while the
+/// bounded channel keeps the parser from running unboundedly ahead of a
+/// slow shard builder.
+const ROUTE_BATCH: usize = 4096;
+
+/// In-flight batches per shard channel (the backpressure bound).
+const ROUTE_CHANNEL_DEPTH: usize = 4;
+
+/// Streams an N-Triples source into a [`ShardedStore`] with **parallel
+/// load**: this thread parses and interns terms into the shared
+/// dictionary (ids in document order, identical to an unsharded load)
+/// and routes each encoded triple by its partition hash through a
+/// bounded channel to one of `shards` builder threads. Mem-backed
+/// shards insert as batches arrive; native-backed shards accumulate and
+/// then sort their permutation indexes — the index build runs
+/// concurrently across shards and overlaps the tail of parsing.
+///
+/// A parse error aborts the load: channels close, builders drain and
+/// join, and the error is returned (no partial store escapes).
+pub fn sharded_store_from_reader<R: BufRead>(
+    reader: R,
+    shards: usize,
+    shard_by: ShardBy,
+    backend: ShardBackend,
+) -> Result<ShardedStore, Error> {
+    let n = shards.max(1);
+    let mut dict = Dictionary::new();
+    let (built, parse_error) = std::thread::scope(|scope| {
+        let mut txs = Vec::with_capacity(n);
+        let mut handles = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = sync_channel::<Vec<IdTriple>>(ROUTE_CHANNEL_DEPTH);
+            txs.push(tx);
+            handles.push(scope.spawn(move || shard_builder(backend, rx)));
+        }
+        let mut bufs: Vec<Vec<IdTriple>> =
+            (0..n).map(|_| Vec::with_capacity(ROUTE_BATCH)).collect();
+        let mut parse_error = None;
+        for triple in Parser::new(reader) {
+            match triple {
+                Ok(t) => {
+                    let enc = dict.encode_triple(&t);
+                    let shard = shard_by.shard_of(&enc, n);
+                    bufs[shard].push(enc);
+                    if bufs[shard].len() >= ROUTE_BATCH
+                        && txs[shard].send(std::mem::take(&mut bufs[shard])).is_err()
+                    {
+                        break; // builder gone (it panicked); join reports it
+                    }
+                }
+                Err(e) => {
+                    parse_error = Some(e);
+                    break;
+                }
+            }
+        }
+        if parse_error.is_none() {
+            for (tx, buf) in txs.iter().zip(bufs) {
+                if !buf.is_empty() {
+                    let _ = tx.send(buf);
+                }
+            }
+        }
+        drop(txs); // closes the channels: builders finish and exit
+        let built: Vec<(Box<dyn TripleStore>, Duration)> = handles
+            .into_iter()
+            .map(|h| h.join().expect("shard builder thread panicked"))
+            .collect();
+        (built, parse_error)
+    });
+    match parse_error {
+        Some(e) => Err(e),
+        None => Ok(ShardedStore::assemble(dict, shard_by, built)),
+    }
+}
+
+/// Loads an N-Triples file into a [`ShardedStore`] (see
+/// [`sharded_store_from_reader`]).
+pub fn sharded_store_from_path(
+    path: &Path,
+    shards: usize,
+    shard_by: ShardBy,
+    backend: ShardBackend,
+) -> Result<ShardedStore, Error> {
+    let file = File::open(path)?;
+    sharded_store_from_reader(
+        BufReader::with_capacity(1 << 16, file),
+        shards,
+        shard_by,
+        backend,
+    )
+}
+
+/// One shard builder: drains its channel and builds the shard store.
+/// The reported duration is the shard's *busy* build time — batch
+/// inserts for mem shards, the index sort for native shards — not the
+/// time spent blocked on the channel.
+fn shard_builder(
+    backend: ShardBackend,
+    rx: Receiver<Vec<IdTriple>>,
+) -> (Box<dyn TripleStore>, Duration) {
+    match backend {
+        ShardBackend::Mem => {
+            let mut store = MemStore::new();
+            let mut busy = Duration::ZERO;
+            while let Ok(batch) = rx.recv() {
+                let t0 = Instant::now();
+                for t in batch {
+                    store.insert_encoded(t);
+                }
+                busy += t0.elapsed();
+            }
+            (Box::new(store), busy)
+        }
+        ShardBackend::Native(selection) => {
+            let mut triples: Vec<IdTriple> = Vec::new();
+            while let Ok(batch) = rx.recv() {
+                triples.extend(batch);
+            }
+            let t0 = Instant::now();
+            let store = NativeStore::from_encoded(Dictionary::new(), triples, selection);
+            (Box::new(store), t0.elapsed())
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -79,5 +211,64 @@ _:b1 <http://x/p> <http://x/o1> .
         let bad = "<unterminated\n";
         assert!(mem_store_from_reader(bad.as_bytes()).is_err());
         assert!(native_store_from_reader(bad.as_bytes(), IndexSelection::all()).is_err());
+        assert!(sharded_store_from_reader(
+            bad.as_bytes(),
+            2,
+            ShardBy::Subject,
+            ShardBackend::Native(IndexSelection::all())
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn sharded_load_matches_unsharded() {
+        // A document larger than one route batch, so batching and the
+        // final flush both run.
+        let mut doc = String::new();
+        for i in 0..(ROUTE_BATCH + 100) {
+            doc.push_str(&format!(
+                "<http://x/s{}> <http://x/p{}> <http://x/o{}> .\n",
+                i % 211,
+                i % 7,
+                i % 53
+            ));
+        }
+        let flat = native_store_from_reader(doc.as_bytes(), IndexSelection::all()).unwrap();
+        for shards in [1, 2, 5] {
+            let sharded = sharded_store_from_reader(
+                doc.as_bytes(),
+                shards,
+                ShardBy::Subject,
+                ShardBackend::Native(IndexSelection::all()),
+            )
+            .unwrap();
+            assert_eq!(sharded.len(), flat.len(), "{shards} shards");
+            assert_eq!(sharded.shard_count(), shards);
+            // The shared dictionary interns in document order: ids agree
+            // with the unsharded load.
+            let p = flat.resolve(&sp2b_rdf::Term::iri("http://x/p3")).unwrap();
+            assert_eq!(
+                sharded.resolve(&sp2b_rdf::Term::iri("http://x/p3")),
+                Some(p)
+            );
+            assert_eq!(
+                sharded.scan([None, Some(p), None]).count(),
+                flat.scan([None, Some(p), None]).count()
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_mem_load_works() {
+        let sharded = sharded_store_from_reader(
+            DOC.as_bytes(),
+            2,
+            ShardBy::PredicateSubject,
+            ShardBackend::Mem,
+        )
+        .unwrap();
+        assert_eq!(sharded.len(), 3);
+        let p = sharded.resolve(&sp2b_rdf::Term::iri("http://x/p")).unwrap();
+        assert_eq!(sharded.scan([None, Some(p), None]).count(), 3);
     }
 }

@@ -63,6 +63,13 @@ impl MemStore {
     /// Inserts one triple.
     pub fn insert(&mut self, triple: &Triple) {
         let t = self.dict.encode_triple(triple);
+        self.insert_encoded(t);
+    }
+
+    /// Inserts an already-encoded triple without touching this store's
+    /// dictionary — the shard-build path, where ids live in the shared
+    /// dictionary owned by the [`crate::ShardedStore`].
+    pub fn insert_encoded(&mut self, t: IdTriple) {
         let row = u32::try_from(self.triples.len()).expect("mem store row overflow");
         self.by_subject.push(t[0], row);
         self.by_predicate.push(t[1], row);

@@ -40,10 +40,15 @@ pub trait TripleStore: Send + Sync {
     /// Iterates all triples matching `pattern`, in store order.
     fn scan<'a>(&'a self, pattern: Pattern) -> Box<dyn Iterator<Item = IdTriple> + 'a>;
 
-    /// Splits the scan of `pattern` into at most `n` disjoint chunks whose
+    /// Splits the scan of `pattern` into about `n` disjoint chunks whose
     /// concatenation, in chunk order, yields exactly the triples of
-    /// [`TripleStore::scan`] in scan order. The chunk handles are `Send`,
-    /// so a morsel-driven driver can fan them out to worker threads.
+    /// [`TripleStore::scan`] in scan order — that coverage contract is
+    /// the hard one; `n` is a budget. Single stores return at most `n`
+    /// chunks; a composite store may return slightly more when disjoint
+    /// physical partitions each need at least one chunk (the sharded
+    /// store returns at most one extra chunk per shard). The chunk
+    /// handles are `Send`, so a morsel-driven driver can fan them out to
+    /// worker threads.
     ///
     /// Implementations must be **deterministic**: the same `pattern` and
     /// `n` on an unchanged store must return the same chunk list. Detached

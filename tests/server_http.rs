@@ -79,6 +79,44 @@ fn http_counts_match_in_process_for_every_benchmark_query() {
     assert_eq!(stats.client_errors, 0, "{stats:?}");
 }
 
+/// Endpoint-mode checksums: the multi-user driver over HTTP must fold
+/// exactly the checksums the in-process transport folds for the same
+/// mix over the same store — order-insensitive content equality, not
+/// just cardinality — including the ASK boolean-line form.
+#[test]
+fn endpoint_checksums_match_in_process_checksums() {
+    use sp2bench::core::multiuser::{MultiuserConfig, StopCondition, WorkItem};
+    use sp2bench::core::{run_multiuser, run_multiuser_with, HttpTransport};
+
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let (handle, qe) = boot(1, TRIPLES);
+    let mut cfg = MultiuserConfig::new(1, StopCondition::Rounds(1));
+    cfg.checksums = true;
+    cfg.timeout = Duration::from_secs(120);
+    cfg.mix = vec![
+        WorkItem::bench(BenchQuery::Q2),
+        WorkItem::bench(BenchQuery::Q5a),
+        WorkItem::bench(BenchQuery::Q8),
+        WorkItem::bench(BenchQuery::Q12c), // ASK → text/boolean checksum
+        WorkItem::ext(ExtQuery::A1),
+    ];
+    let inproc = run_multiuser(qe.shared_store(), &cfg);
+    let endpoint = Endpoint::parse(&handle.endpoint_url()).unwrap();
+    let http = run_multiuser_with(&HttpTransport::new(endpoint), &cfg);
+    handle.shutdown();
+
+    let a = &inproc.clients[0];
+    let b = &http.clients[0];
+    assert_eq!(a.errors + b.errors, 0, "{a:?} {b:?}");
+    assert!(a.inconsistent.is_empty() && b.inconsistent.is_empty());
+    assert_eq!(a.counts, b.counts, "row counts must transfer");
+    assert_eq!(a.checksums.len(), cfg.mix.len(), "{:?}", a.checksums);
+    assert_eq!(
+        a.checksums, b.checksums,
+        "HTTP TSV checksums must equal in-process folds"
+    );
+}
+
 #[test]
 fn killed_client_connection_cancels_the_query_without_leaking_workers() {
     let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
