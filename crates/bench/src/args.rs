@@ -81,6 +81,25 @@ impl Args {
         })
     }
 
+    /// Strictly validated persistent-store option: `--store disk:DIR`
+    /// names a segment directory written by `sp2b save`. Absent →
+    /// `Ok(None)` (load or generate as usual); a missing `disk:` scheme
+    /// or an empty path is a hard usage error (the shared strict-flag
+    /// contract — never silently run against a store the operator did
+    /// not name).
+    pub fn get_store_dir(&self) -> Result<Option<std::path::PathBuf>, String> {
+        match self.get("store") {
+            None => Ok(None),
+            Some(v) => match v.trim().strip_prefix("disk:") {
+                Some(path) if !path.is_empty() => Ok(Some(std::path::PathBuf::from(path))),
+                _ => Err(format!(
+                    "invalid --store value '{v}'\nusage: --store disk:DIR  \
+                     (a segment directory written by `sp2b save`)"
+                )),
+            },
+        }
+    }
+
     /// Comma-separated list option.
     pub fn get_list(&self, key: &str) -> Option<Vec<String>> {
         self.get(key).map(|v| {
@@ -191,6 +210,28 @@ mod tests {
                 err.contains(&format!("invalid --timeout value '{bad}'")),
                 "{err}"
             );
+        }
+    }
+
+    #[test]
+    fn store_option_accepts_disk_dirs_and_hard_errors_otherwise() {
+        let a = args("query Q1 --store disk:segs/50k");
+        assert_eq!(
+            a.get_store_dir(),
+            Ok(Some(std::path::PathBuf::from("segs/50k")))
+        );
+        // Absent → None: load or generate as usual.
+        assert_eq!(args("query Q1").get_store_dir(), Ok(None));
+        // Empty path, unknown scheme or a bare path: hard usage errors,
+        // never a silent in-memory fallback.
+        for bad in ["disk:", "mem:segs", "segs", "disk"] {
+            let a = Args::parse(["query".into(), "--store".into(), bad.to_owned()]);
+            let err = a.get_store_dir().unwrap_err();
+            assert!(
+                err.contains(&format!("invalid --store value '{bad}'")),
+                "{err}"
+            );
+            assert!(err.contains("usage: --store disk:DIR"), "{err}");
         }
     }
 

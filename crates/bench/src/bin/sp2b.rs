@@ -4,6 +4,8 @@
 //!
 //! ```text
 //! sp2b gen      --triples 50k [--seed N] --out doc.nt     generate a document
+//! sp2b save     --out DIR [--triples 50k|--data F]        write checksummed on-disk
+//!               [--seed N] [--shards N] [--shard-by …]    segments for --store disk:DIR
 //! sp2b table3   [--max-exp 7]                             generator scaling
 //! sp2b table8   [--sizes 10k,50k,250k,1M]                 document characteristics
 //! sp2b table5   [--sizes …] [--timeout 60]                query result sizes
@@ -35,9 +37,12 @@
 //! `query`, `serve`, `multiuser` and `smoke` accept
 //! `--shards N [--shard-by subject|pso]` to load the document into a
 //! hash-partitioned sharded store (parallel per-shard index build,
-//! shard-parallel scans). `--timeout` and `--addr` are strictly
-//! validated: malformed values are hard usage errors, never silent
-//! fallbacks.
+//! shard-parallel scans). `run`, `query`, `serve`, `multiuser` and
+//! `smoke` also accept `--store disk:DIR` to reopen a segment directory
+//! written by `sp2b save` instead of loading or generating a document —
+//! open is O(header + dictionary); sorted runs fault in lazily on first
+//! scan. `--timeout`, `--addr` and `--store` are strictly validated:
+//! malformed values are hard usage errors, never silent fallbacks.
 
 use std::io::Write as _;
 use std::process::ExitCode;
@@ -64,6 +69,7 @@ fn main() -> ExitCode {
     };
     let result = match command {
         "gen" => cmd_gen(&args),
+        "save" => cmd_save(&args),
         "table3" => {
             println!("{}", experiments::table3(args.get_u64("max-exp", 7) as u32));
             Ok(())
@@ -103,9 +109,10 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: sp2b <gen|table3|table5|table8|bench|fig2a|fig2b|fig2c|ablation|scaling|calibrate|smoke|serve|multiuser|query|ext|run> [options]
+const USAGE: &str = "usage: sp2b <gen|save|table3|table5|table8|bench|fig2a|fig2b|fig2c|ablation|scaling|calibrate|smoke|serve|multiuser|query|ext|run> [options]
 run `sp2b bench` for the full paper protocol, `sp2b serve --addr 127.0.0.1:8088` for the SPARQL
-endpoint, `sp2b multiuser --clients N [--endpoint http://…]` for the concurrent-client workload;
+endpoint, `sp2b multiuser --clients N [--endpoint http://…]` for the concurrent-client workload,
+`sp2b save --out DIR` to persist a document as checksummed segments reopened via --store disk:DIR;
 see crate docs for options";
 
 fn sizes(args: &Args) -> Vec<u64> {
@@ -212,6 +219,107 @@ fn cmd_gen(args: &Args) -> Result<(), String> {
         stats.end_year
     );
     Ok(())
+}
+
+/// `sp2b save --out DIR`: writes the document (generated from
+/// `--triples`/`--seed` or parsed from `--data FILE`) as a directory of
+/// immutable checksummed segments — shared dictionary plus per-shard
+/// sorted SPO/PSO/OSP runs — that `--store disk:DIR` reopens in
+/// O(header + dictionary) with no reparse and no index rebuild.
+/// `--shards N [--shard-by subject|pso]` fix the persisted
+/// partitioning. `--out` is strictly validated: a path whose parent
+/// does not exist, or that names a non-directory, is a one-line error.
+fn cmd_save(args: &Args) -> Result<(), String> {
+    let out = args
+        .get("out")
+        .filter(|s| !s.is_empty())
+        .ok_or("provide --out DIR  (the segment directory to write)")?;
+    let dir = std::path::Path::new(out);
+    if dir.exists() && !dir.is_dir() {
+        return Err(format!("--out '{out}' exists and is not a directory"));
+    }
+    if !dir.exists() {
+        // Create one level, like `sp2b gen` writing a file: the parent
+        // must already exist (a typo'd deep path should not silently
+        // mkdir -p its way into being).
+        match dir.parent() {
+            Some(p) if p.as_os_str().is_empty() || p.is_dir() => {
+                std::fs::create_dir(dir).map_err(|e| format!("cannot create --out '{out}': {e}"))?
+            }
+            _ => {
+                return Err(format!(
+                    "cannot create --out '{out}': its parent directory does not exist"
+                ))
+            }
+        }
+    }
+    let layout = store_layout(args)?;
+    let (saved, m) = match args.get("data") {
+        Some(path) => measure(|| {
+            sp2b_store::save_segments_from_path(
+                std::path::Path::new(path),
+                dir,
+                layout.shards,
+                layout.shard_by,
+            )
+            .map_err(|e| e.to_string())
+        }),
+        None => {
+            let n = args.get_u64("triples", 50_000);
+            let seed = args.get_u64("seed", sp2b_datagen::Rng::DEFAULT_SEED);
+            let (graph, _) = generate_graph(Config::triples(n).with_seed(seed));
+            measure(|| {
+                sp2b_store::save_graph(dir, &graph, layout.shards, layout.shard_by)
+                    .map_err(|e| e.to_string())
+            })
+        }
+    };
+    let stats = saved?;
+    eprintln!(
+        "saved {} triples ({} terms, {} shard(s) by {}, {} bytes) to {out} in {}",
+        stats.triples,
+        stats.terms,
+        stats.shard_lens.len(),
+        layout.shard_by,
+        stats.bytes,
+        m.summary()
+    );
+    Ok(())
+}
+
+/// Opens a saved segment directory (`--store disk:DIR`) as the engine.
+/// The segments fix the document and its sharding, so flags that would
+/// silently not apply — and non-native engines, which the sorted runs
+/// cannot back — are hard errors, not quiet no-ops.
+fn open_disk_engine(args: &Args, dir: &std::path::Path) -> Result<Engine, String> {
+    for flag in ["data", "triples", "seed", "shards", "shard-by"] {
+        if args.has(flag) {
+            return Err(format!(
+                "--{flag} does not apply with --store disk: the saved segments fix the \
+                 document and sharding; re-run `sp2b save` to change them"
+            ));
+        }
+    }
+    let kind = engine_kind(args)?;
+    if !kind.is_native() {
+        return Err(format!(
+            "engine '{}' does not apply with --store disk: segments open as native \
+             sorted indexes; use native-base or native-opt",
+            kind.label()
+        ));
+    }
+    let engine = Engine::open_disk(kind, dir)
+        .map_err(|e| format!("opening {out}: {e}", out = dir.display()))?;
+    eprintln!(
+        "opened {} triples from {} into {kind} ({})",
+        engine.store().len(),
+        dir.display(),
+        engine.loading.summary()
+    );
+    if let Some(info) = engine.shards() {
+        eprintln!("{}", info.summary());
+    }
+    Ok(engine)
 }
 
 fn cmd_table5(args: &Args) -> Result<(), String> {
@@ -336,11 +444,16 @@ fn cmd_calibrate(args: &Args) -> Result<(), String> {
 /// runs this at `--threads 1` and `--threads 4` so both the sequential
 /// and the morsel-parallel paths are exercised on every push.
 fn cmd_smoke(args: &Args) -> Result<(), String> {
-    let n = args.get_u64("triples", 5_000);
     let t = threads(args)?;
-    let layout = store_layout(args)?;
-    let (graph, _) = generate_graph(Config::triples(n));
-    let engine = load_engine(EngineKind::NativeOpt, &graph, &layout);
+    let engine = match args.get_store_dir()? {
+        Some(dir) => open_disk_engine(args, &dir)?,
+        None => {
+            let n = args.get_u64("triples", 5_000);
+            let layout = store_layout(args)?;
+            let (graph, _) = generate_graph(Config::triples(n));
+            load_engine(EngineKind::NativeOpt, &graph, &layout)
+        }
+    };
     let qe = engine.query_engine_with(Some(timeout(args, 120)?), t);
     let mut texts: Vec<(&'static str, &'static str)> = BenchQuery::ALL
         .iter()
@@ -352,9 +465,10 @@ fn cmd_smoke(args: &Args) -> Result<(), String> {
             .map(|q| (q.label(), q.text())),
     );
     println!(
-        "smoke: {n} triples, threads = {}, shards = {}",
+        "smoke: {} triples, threads = {}, shards = {}",
+        engine.store().len(),
         t.map_or("default".to_owned(), |t| t.to_string()),
-        layout.shards
+        engine.shards().map_or(1, |i| i.count())
     );
     for (label, text) in texts {
         let prepared = qe.prepare(text).map_err(|e| format!("{label}: {e}"))?;
@@ -380,10 +494,15 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     let parallelism = args.get_positive_opt("parallelism")?.unwrap_or(1);
     let duration = args.get_positive_opt("duration")?;
     let max_queue = args.get_positive("queue", 1024)?;
-    let kind = engine_kind(args)?;
-    let layout = store_layout(args)?;
-    let graph = document(args, 50_000)?;
-    let engine = load_engine(kind, &graph, &layout);
+    let engine = match args.get_store_dir()? {
+        Some(dir) => open_disk_engine(args, &dir)?,
+        None => {
+            let kind = engine_kind(args)?;
+            let layout = store_layout(args)?;
+            let graph = document(args, 50_000)?;
+            load_engine(kind, &graph, &layout)
+        }
+    };
     let qe = engine.query_engine_with(None, Some(parallelism));
     let cfg = ServerConfig {
         addr,
@@ -437,7 +556,9 @@ fn cmd_multiuser(args: &Args) -> Result<(), String> {
     if let Some(url) = args.get("endpoint") {
         // Endpoint mode: the server owns the store, its parallelism and
         // its engine — flags that silently would not apply are errors.
-        for flag in ["triples", "engine", "threads", "shards", "shard-by"] {
+        for flag in [
+            "triples", "engine", "threads", "shards", "shard-by", "store",
+        ] {
             if args.has(flag) {
                 return Err(format!(
                     "--{flag} does not apply with --endpoint (the server owns the store); \
@@ -460,6 +581,24 @@ fn cmd_multiuser(args: &Args) -> Result<(), String> {
     }
 
     let parallelism = args.get_positive("threads", 1)?;
+
+    if let Some(dir) = args.get_store_dir()? {
+        // Disk mode: the saved segments fix the document and sharding;
+        // the driver runs the same mixed workload against the reopened
+        // engine without ever touching an N-Triples source.
+        let engine = open_disk_engine(args, &dir)?;
+        let mut mcfg = MultiuserConfig::new(clients, stop);
+        mcfg.parallelism = parallelism;
+        mcfg.timeout = timeout(args, 30)?;
+        mcfg.checksums = args.has("checksums");
+        if let Some(labels) = args.get_list("queries") {
+            mcfg.mix = experiments::parse_mix(&labels)?;
+        }
+        let report = sp2b_core::run_mixed_workload_on(&engine, &mcfg, progress);
+        println!("{}", report::mixed_workload_report(&report));
+        return Ok(());
+    }
+
     let triples = args.get_u64("triples", 50_000);
     let mut cfg = MixedWorkloadConfig::new(triples, clients, stop);
     cfg.engine = engine_kind(args)?;
@@ -512,10 +651,15 @@ fn cmd_run(args: &Args) -> Result<(), String> {
             return Err("provide a query: `sp2b run 'SELECT …'` or --query-file q.rq".into())
         }
     };
-    let kind = engine_kind(args)?;
-    let layout = store_layout(args)?;
-    let graph = document(args, 50_000)?;
-    let engine = load_engine(kind, &graph, &layout);
+    let engine = match args.get_store_dir()? {
+        Some(dir) => open_disk_engine(args, &dir)?,
+        None => {
+            let kind = engine_kind(args)?;
+            let layout = store_layout(args)?;
+            let graph = document(args, 50_000)?;
+            load_engine(kind, &graph, &layout)
+        }
+    };
     let limit = args.get_u64("limit", 50) as usize;
     let qe = engine.query_engine_with(Some(timeout(args, 300)?), threads(args)?);
     let prepared = qe.prepare(&text).map_err(|e| e.to_string())?;
@@ -560,13 +704,19 @@ fn cmd_query(args: &Args) -> Result<(), String> {
         .get(1)
         .ok_or("query label required, e.g. `sp2b query Q4`")?;
     let query = BenchQuery::from_label(label).ok_or_else(|| format!("unknown query '{label}'"))?;
-    let n = args.get_u64("triples", 50_000);
     let limit = args.get_u64("limit", 20);
 
-    let kind = engine_kind(args)?;
-    let layout = store_layout(args)?;
-    let (graph, _) = generate_graph(Config::triples(n));
-    let engine = load_engine(kind, &graph, &layout);
+    let engine = match args.get_store_dir()? {
+        Some(dir) => open_disk_engine(args, &dir)?,
+        None => {
+            let n = args.get_u64("triples", 50_000);
+            let kind = engine_kind(args)?;
+            let layout = store_layout(args)?;
+            let (graph, _) = generate_graph(Config::triples(n));
+            load_engine(kind, &graph, &layout)
+        }
+    };
+    let n = engine.store().len();
     let engine_label = engine.kind();
     let qe = engine.query_engine_with(Some(timeout(args, 300)?), threads(args)?);
     let prepared = qe.prepare(query.text()).map_err(|e| e.to_string())?;

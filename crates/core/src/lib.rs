@@ -37,6 +37,6 @@ pub use multiuser::{
 };
 pub use queries::BenchQuery;
 pub use runner::{
-    run_benchmark, run_endpoint_workload, run_mixed_workload, BenchmarkReport, MixedWorkloadConfig,
-    MixedWorkloadReport, RunnerConfig, Status,
+    run_benchmark, run_endpoint_workload, run_mixed_workload, run_mixed_workload_on,
+    BenchmarkReport, MixedWorkloadConfig, MixedWorkloadReport, RunnerConfig, Status,
 };

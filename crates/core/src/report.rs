@@ -466,6 +466,7 @@ mod tests {
             },
             shards: Some(crate::engines::ShardInfo {
                 shard_by: sp2b_store::ShardBy::Subject,
+                backend: "native",
                 lens: vec![5_100, 4_900],
                 build_times: vec![Duration::from_millis(3), Duration::from_millis(4)],
             }),

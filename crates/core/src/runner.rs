@@ -242,11 +242,26 @@ pub fn run_mixed_workload(
     if let Some(info) = engine.shards() {
         progress(&info.summary());
     }
+    let mut report = run_mixed_workload_on(&engine, &cfg.multiuser, progress);
+    report.scale = cfg.scale;
+    report
+}
+
+/// Drives the concurrent clients against an engine that is already
+/// loaded — the shared tail of [`run_mixed_workload`], and the whole
+/// protocol for stores that need no generate/load phase (a segment
+/// directory opened with [`Engine::open_disk`]). The reported scale is
+/// the store's triple count.
+pub fn run_mixed_workload_on(
+    engine: &Engine,
+    cfg: &MultiuserConfig,
+    mut progress: impl FnMut(&str),
+) -> MixedWorkloadReport {
     progress(&format!(
         "driving {} client(s), per-query parallelism {}…",
-        cfg.multiuser.clients, cfg.multiuser.parallelism
+        cfg.clients, cfg.parallelism
     ));
-    let multiuser = run_multiuser(engine.shared_store(), &cfg.multiuser);
+    let multiuser = run_multiuser(engine.shared_store(), cfg);
     progress(&format!(
         "{} queries completed in {:.2?} ({:.1} q/s)",
         multiuser.total_completed(),
@@ -254,8 +269,8 @@ pub fn run_mixed_workload(
         multiuser.throughput()
     ));
     MixedWorkloadReport {
-        scale: cfg.scale,
-        engine: cfg.engine,
+        scale: engine.store().len() as u64,
+        engine: engine.kind(),
         load: engine.loading,
         shards: engine.shards().cloned(),
         multiuser,

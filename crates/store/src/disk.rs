@@ -1,0 +1,399 @@
+//! The out-of-core persistent store: a [`ShardedStore`] whose shards
+//! read lazily from saved segment files.
+//!
+//! [`open_store`] turns a directory written by `sp2b save` (see
+//! [`crate::segment`] for the format) back into a queryable store. The
+//! open path reads only the checksummed segment root and the shared
+//! dictionary — O(header + dictionary), never O(parse) — and validates
+//! each shard file's existence and exact size. The three sorted runs of
+//! a shard (SPO, PSO, OSP) stay on disk until a scan first needs one;
+//! [`DiskShardStore::run`] then reads, checksums and caches it, so a
+//! workload touching one access pattern pays for one run per shard and
+//! the rest never leave the disk.
+//!
+//! Because the shards sit behind the ordinary [`ShardedStore`] (same
+//! shared dictionary, same routing, same chunk concatenation), the
+//! morsel exchange, bound-key routing and every equivalence guarantee
+//! of the in-memory stores apply unchanged.
+
+use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+use sp2b_rdf::Graph;
+
+use crate::dictionary::{Dictionary, IdTriple};
+use crate::native::prefix_range;
+use crate::segment::{
+    self, read_header, read_run, shard_file_name, write_segments, SegmentError, SegmentStats,
+    ShardMeta, RUN_ORDERS,
+};
+use crate::shard::{ShardBy, ShardedStore};
+use crate::traits::{
+    debug_assert_chunks_cover, matches, split_ranges, Pattern, ScanChunk, TripleStore,
+};
+
+/// Saves a graph as a segment directory: terms are interned in document
+/// order (ids identical to an in-memory load of the same document),
+/// triples are routed by `shard_by` into `shards` buckets, and
+/// [`write_segments`] lays the runs out on disk.
+pub fn save_graph(
+    dir: &Path,
+    graph: &Graph,
+    shards: usize,
+    shard_by: ShardBy,
+) -> Result<SegmentStats, SegmentError> {
+    let n = shards.max(1);
+    let mut dict = Dictionary::new();
+    let mut buckets: Vec<Vec<IdTriple>> = (0..n).map(|_| Vec::new()).collect();
+    for t in graph.iter() {
+        let enc = dict.encode_triple(t);
+        buckets[shard_by.shard_of(&enc, n)].push(enc);
+    }
+    write_segments(dir, &dict, shard_by, buckets)
+}
+
+/// Opens a segment directory as a [`ShardedStore`] of lazy disk shards.
+///
+/// Cost: the segment root, the dictionary, and one `stat` per shard
+/// file (existence + exact expected size, so truncation surfaces here
+/// as a clean error rather than later as a failed read). No triple run
+/// is read until a query scans it.
+pub fn open_store(dir: &Path) -> Result<ShardedStore, SegmentError> {
+    let header = read_header(dir)?;
+    let dict = segment::read_dictionary(dir, &header)?;
+    let mut built: Vec<(Box<dyn TripleStore>, std::time::Duration)> =
+        Vec::with_capacity(header.shards.len());
+    for (i, meta) in header.shards.iter().enumerate() {
+        let t0 = Instant::now();
+        let shard = DiskShardStore::open(dir, i, meta)?;
+        built.push((Box::new(shard), t0.elapsed()));
+    }
+    Ok(ShardedStore::assemble(dict, header.shard_by, built))
+}
+
+/// One shard of a saved segment store: three sorted runs on disk, each
+/// read, checksum-verified and cached on first use. Like the in-memory
+/// shard stores it carries an empty dictionary — ids live in the shared
+/// dictionary the enclosing [`ShardedStore`] owns.
+pub struct DiskShardStore {
+    dict: Dictionary,
+    path: PathBuf,
+    triples: u64,
+    run_checksums: [u64; 3],
+    runs: [OnceLock<Vec<IdTriple>>; 3],
+}
+
+impl DiskShardStore {
+    /// Binds shard `index` of the segment directory, validating that its
+    /// file exists with exactly the size the root records.
+    pub fn open(dir: &Path, index: usize, meta: &ShardMeta) -> Result<Self, SegmentError> {
+        let path = dir.join(shard_file_name(index));
+        let size = match std::fs::metadata(&path) {
+            Ok(m) => m.len(),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Err(SegmentError::Invalid(format!(
+                    "missing shard file '{}'",
+                    path.display()
+                )));
+            }
+            Err(e) => return Err(e.into()),
+        };
+        if size != meta.file_bytes() {
+            return Err(SegmentError::Invalid(format!(
+                "shard file '{}' is truncated: expected {} bytes, found {size}",
+                path.display(),
+                meta.file_bytes()
+            )));
+        }
+        Ok(DiskShardStore {
+            dict: Dictionary::new(),
+            path,
+            triples: meta.triples,
+            run_checksums: meta.run_checksums,
+            runs: Default::default(),
+        })
+    }
+
+    /// The run for slot `i` of [`RUN_ORDERS`], read and verified on
+    /// first use. Post-open corruption (the file changed under us after
+    /// its size was validated) panics with the checksum message —
+    /// scans have no error channel, and serving wrong triples silently
+    /// would be worse.
+    fn run(&self, i: usize) -> &[IdTriple] {
+        self.runs[i].get_or_init(|| {
+            read_run(&self.path, i, self.triples, self.run_checksums[i]).unwrap_or_else(|e| {
+                panic!(
+                    "reading run {:?} of '{}': {e}",
+                    RUN_ORDERS[i],
+                    self.path.display()
+                )
+            })
+        })
+    }
+
+    /// True if run `i` has been read into memory (laziness tests).
+    pub fn run_loaded(&self, i: usize) -> bool {
+        self.runs[i].get().is_some()
+    }
+
+    /// The run whose key order puts the most bound positions first,
+    /// plus the usable prefix length — [`crate::NativeStore`]'s index
+    /// choice restricted to the three on-disk orderings.
+    fn best_run(pattern: &Pattern) -> (usize, usize) {
+        let bound = [
+            pattern[0].is_some(),
+            pattern[1].is_some(),
+            pattern[2].is_some(),
+        ];
+        let mut best = (0usize, 0usize);
+        for (i, order) in RUN_ORDERS.iter().enumerate() {
+            let mut prefix = 0;
+            for &pos in &order.permutation() {
+                if bound[pos] {
+                    prefix += 1;
+                } else {
+                    break;
+                }
+            }
+            if prefix > best.1 {
+                best = (i, prefix);
+            }
+            if best.1 == 3 {
+                break;
+            }
+        }
+        best
+    }
+
+    /// The contiguous slice of the best run matching the pattern's
+    /// bound prefix (loading the run if this is its first use).
+    fn range(&self, pattern: &Pattern) -> (&[IdTriple], usize) {
+        let (slot, prefix_len) = Self::best_run(pattern);
+        let run = self.run(slot);
+        let perm = RUN_ORDERS[slot].permutation();
+        (prefix_range(run, perm, prefix_len, pattern), prefix_len)
+    }
+}
+
+impl TripleStore for DiskShardStore {
+    fn dictionary(&self) -> &Dictionary {
+        &self.dict
+    }
+
+    fn len(&self) -> usize {
+        self.triples as usize
+    }
+
+    fn scan<'a>(&'a self, pattern: Pattern) -> Box<dyn Iterator<Item = IdTriple> + 'a> {
+        let (range, prefix_len) = self.range(&pattern);
+        let bound_count = pattern.iter().filter(|p| p.is_some()).count();
+        if prefix_len == bound_count {
+            Box::new(range.iter().copied())
+        } else {
+            Box::new(range.iter().filter(move |t| matches(t, &pattern)).copied())
+        }
+    }
+
+    /// Partitioned scan over the best run's prefix range, exactly like
+    /// [`crate::NativeStore`]: contiguous sub-ranges concatenating to
+    /// scan order, so the morsel exchange fans out over disk shards
+    /// unchanged.
+    fn scan_chunks(&self, pattern: Pattern, n: usize) -> Vec<ScanChunk<'_>> {
+        let (range, _) = self.range(&pattern);
+        let chunks: Vec<ScanChunk<'_>> = split_ranges(range.len(), n)
+            .into_iter()
+            .map(|r| ScanChunk::Triples(&range[r]))
+            .collect();
+        debug_assert_chunks_cover(self, pattern, &chunks);
+        chunks
+    }
+
+    /// Range width of the best run — exact for patterns whose bound
+    /// positions form a run prefix, an upper bound otherwise (three
+    /// runs cannot give every pattern a full prefix, hence
+    /// `has_exact_estimates` stays `false`).
+    fn estimate(&self, pattern: Pattern) -> u64 {
+        self.range(&pattern).0.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::native::{IndexSelection, NativeStore};
+    use crate::segment::tests::TempDir;
+    use crate::shard::ShardBackend;
+    use sp2b_rdf::{Iri, Subject, Term};
+
+    fn graph(n: usize) -> Graph {
+        let mut g = Graph::new();
+        for i in 0..n {
+            g.add(
+                Subject::iri(format!("http://x/s{}", i % 23)),
+                Iri::new(format!("http://x/p{}", i % 7)),
+                Term::iri(format!("http://x/o{}", i % 13)),
+            );
+        }
+        g
+    }
+
+    fn decoded(store: &dyn TripleStore, pattern: Pattern) -> Vec<String> {
+        let mut v: Vec<String> = store
+            .scan(pattern)
+            .map(|t| format!("{} {} {}", t[0], t[1], t[2]))
+            .collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn saved_store_reopens_and_agrees_with_native_at_all_shard_counts() {
+        let g = graph(400);
+        let flat = NativeStore::from_graph(&g);
+        for shards in [1usize, 2, 4] {
+            let tmp = TempDir::new("open-agree");
+            let stats = save_graph(tmp.path(), &g, shards, ShardBy::Subject).expect("save");
+            assert_eq!(stats.triples as usize, g.len());
+            let opened = open_store(tmp.path()).expect("open");
+            assert_eq!(opened.len(), flat.len());
+            assert_eq!(opened.shard_count(), shards);
+            assert_eq!(opened.dictionary().len(), flat.dictionary().len());
+            // Ids transfer: both stores interned in document order.
+            let s1 = opened.resolve(&Term::iri("http://x/s1"));
+            let p2 = opened.resolve(&Term::iri("http://x/p2"));
+            let o3 = opened.resolve(&Term::iri("http://x/o3"));
+            assert_eq!(s1, flat.resolve(&Term::iri("http://x/s1")));
+            for pattern in [
+                [None, None, None],
+                [s1, None, None],
+                [None, p2, None],
+                [None, None, o3],
+                [s1, p2, None],
+                [None, p2, o3],
+                [s1, p2, o3],
+            ] {
+                assert_eq!(
+                    decoded(&opened, pattern),
+                    decoded(&flat, pattern),
+                    "{shards} shards, pattern {pattern:?}"
+                );
+                assert_eq!(
+                    opened.scan(pattern).count() as u64,
+                    flat.estimate(pattern),
+                    "{shards} shards, pattern {pattern:?}: count"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn runs_load_lazily_per_access_pattern() {
+        let g = graph(200);
+        let tmp = TempDir::new("lazy");
+        save_graph(tmp.path(), &g, 1, ShardBy::Subject).expect("save");
+        let header = read_header(tmp.path()).expect("header");
+        let shard = DiskShardStore::open(tmp.path(), 0, &header.shards[0]).expect("open");
+        assert!(
+            (0..3).all(|i| !shard.run_loaded(i)),
+            "open reads no run at all"
+        );
+        let p = 1u32; // any id; the scan route matters, not the hits
+        shard.scan([None, Some(p), None]).count();
+        assert!(shard.run_loaded(1), "P-bound scan loads the PSO run");
+        assert!(
+            !shard.run_loaded(0) && !shard.run_loaded(2),
+            "only that one"
+        );
+        shard.scan([None, None, None]).count();
+        assert!(shard.run_loaded(0), "full scan loads the SPO run");
+    }
+
+    #[test]
+    fn scan_chunks_cover_like_the_other_stores() {
+        let g = graph(300);
+        let tmp = TempDir::new("chunks");
+        save_graph(tmp.path(), &g, 2, ShardBy::Subject).expect("save");
+        let opened = open_store(tmp.path()).expect("open");
+        let p1 = opened.resolve(&Term::iri("http://x/p1"));
+        let s1 = opened.resolve(&Term::iri("http://x/s1"));
+        for pattern in [[None, None, None], [None, p1, None], [s1, None, None]] {
+            let sequential: Vec<IdTriple> = opened.scan(pattern).collect();
+            for n in [1, 3, 8] {
+                let chunks = opened.scan_chunks(pattern, n);
+                let chunked: Vec<IdTriple> = chunks.iter().flat_map(|c| c.iter(pattern)).collect();
+                assert_eq!(chunked, sequential, "pattern {pattern:?} n {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn missing_and_truncated_shard_files_fail_open_cleanly() {
+        let g = graph(150);
+        let tmp = TempDir::new("shard-missing");
+        save_graph(tmp.path(), &g, 2, ShardBy::Subject).expect("save");
+        // ShardedStore carries no Debug impl, so unwrap the error by hand.
+        fn open_err(dir: &Path) -> SegmentError {
+            match open_store(dir) {
+                Err(e) => e,
+                Ok(_) => panic!("open of a damaged directory must fail"),
+            }
+        }
+        let shard1 = tmp.path().join(shard_file_name(1));
+        let bytes = std::fs::read(&shard1).unwrap();
+        std::fs::remove_file(&shard1).unwrap();
+        let err = open_err(tmp.path());
+        assert!(err.to_string().contains("missing shard file"), "{err}");
+        std::fs::write(&shard1, &bytes[..bytes.len() - 12]).unwrap();
+        let err = open_err(tmp.path());
+        assert!(err.to_string().contains("truncated"), "{err}");
+    }
+
+    #[test]
+    fn post_open_run_corruption_panics_with_the_checksum_message() {
+        let g = graph(150);
+        let tmp = TempDir::new("run-corrupt");
+        save_graph(tmp.path(), &g, 1, ShardBy::Subject).expect("save");
+        let opened = open_store(tmp.path()).expect("open validates sizes only");
+        // Corrupt a triple body *after* open: same size, wrong bytes.
+        // Offset 6 sits inside the first (SPO) run, the one a full scan
+        // reads.
+        let shard0 = tmp.path().join(shard_file_name(0));
+        let mut bytes = std::fs::read(&shard0).unwrap();
+        bytes[6] ^= 0xff;
+        std::fs::write(&shard0, &bytes).unwrap();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            opened.scan([None, None, None]).count()
+        }));
+        let msg = match caught {
+            Err(p) => p
+                .downcast_ref::<String>()
+                .cloned()
+                .unwrap_or_else(|| "non-string panic".into()),
+            Ok(_) => panic!("corrupted run must not scan"),
+        };
+        assert!(msg.contains("checksum"), "panic names the checksum: {msg}");
+    }
+
+    #[test]
+    fn disk_backend_is_never_built_from_buckets() {
+        let caught = std::panic::catch_unwind(|| {
+            ShardedStore::from_graph(&graph(10), 2, ShardBy::Subject, ShardBackend::Disk)
+        });
+        assert!(caught.is_err(), "building disk shards in memory is a bug");
+    }
+
+    #[test]
+    fn pso_partitioning_survives_the_roundtrip() {
+        let g = graph(200);
+        let tmp = TempDir::new("pso");
+        save_graph(tmp.path(), &g, 4, ShardBy::PredicateSubject).expect("save");
+        let opened = open_store(tmp.path()).expect("open");
+        assert_eq!(opened.shard_by(), ShardBy::PredicateSubject);
+        let flat = NativeStore::with_indexes(&g, IndexSelection::all());
+        assert_eq!(
+            decoded(&opened, [None, None, None]),
+            decoded(&flat, [None, None, None])
+        );
+    }
+}

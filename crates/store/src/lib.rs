@@ -14,22 +14,32 @@
 //! documents, [`ShardedStore`] composes N of either store into one
 //! hash-partitioned logical store behind a shared dictionary, so
 //! loading, index build and scans parallelize across shards (see
-//! [`shard`]).
+//! [`shard`]). A store can also be **saved** as a directory of
+//! checksummed binary segments ([`segment`]) and reopened out-of-core
+//! ([`disk`]): open reads only the header and the dictionary, and each
+//! shard's sorted runs load lazily from disk on first scan.
 
 pub mod dictionary;
+pub mod disk;
 pub mod hash;
 pub mod load;
 pub mod mem;
 pub mod native;
+pub mod segment;
 pub mod shard;
 pub mod traits;
 
 pub use dictionary::{Dictionary, Id, IdTriple};
+pub use disk::{open_store, save_graph, DiskShardStore};
 pub use load::{
-    mem_store_from_path, mem_store_from_reader, native_store_from_path, native_store_from_reader,
-    sharded_store_from_path, sharded_store_from_reader,
+    disk_store_from_dir, mem_store_from_path, mem_store_from_reader, native_store_from_path,
+    native_store_from_reader, save_segments_from_path, save_segments_from_reader,
+    sharded_store_from_path, sharded_store_from_reader, SaveError,
 };
 pub use mem::MemStore;
 pub use native::{IndexOrder, IndexSelection, NativeStore};
+pub use segment::{SegmentError, SegmentStats};
 pub use shard::{ShardBackend, ShardBy, ShardedStore};
-pub use traits::{split_ranges, Pattern, ScanChunk, SharedStore, TripleStore};
+pub use traits::{
+    debug_assert_chunks_cover, split_ranges, Pattern, ScanChunk, SharedStore, TripleStore,
+};

@@ -13,8 +13,42 @@ use sp2b_rdf::ntriples::{Error, Parser};
 use crate::dictionary::{Dictionary, IdTriple};
 use crate::mem::MemStore;
 use crate::native::{IndexSelection, NativeStore};
+use crate::segment::{write_segments, SegmentError, SegmentStats};
 use crate::shard::{ShardBackend, ShardBy, ShardedStore};
 use crate::traits::TripleStore;
+
+/// Why a `sp2b save` failed: the N-Triples source did not parse, or the
+/// segment files could not be written.
+#[derive(Debug)]
+pub enum SaveError {
+    /// The N-Triples source is malformed (or unreadable).
+    Parse(Error),
+    /// Writing the segment directory failed.
+    Segment(SegmentError),
+}
+
+impl std::fmt::Display for SaveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SaveError::Parse(e) => write!(f, "parsing N-Triples: {e}"),
+            SaveError::Segment(e) => write!(f, "writing segments: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SaveError {}
+
+impl From<Error> for SaveError {
+    fn from(e: Error) -> Self {
+        SaveError::Parse(e)
+    }
+}
+
+impl From<SegmentError> for SaveError {
+    fn from(e: SegmentError) -> Self {
+        SaveError::Segment(e)
+    }
+}
 
 /// Streams an N-Triples source into a [`MemStore`].
 pub fn mem_store_from_reader<R: BufRead>(reader: R) -> Result<MemStore, Error> {
@@ -131,6 +165,51 @@ pub fn sharded_store_from_reader<R: BufRead>(
     }
 }
 
+/// Streams an N-Triples source into a segment directory (see
+/// [`crate::segment`] for the on-disk format): terms are interned in
+/// document order, triples are routed into `shards` buckets, and the
+/// sorted runs are written with per-section checksums. The saved
+/// directory reopens via [`disk_store_from_dir`] without reparsing.
+pub fn save_segments_from_reader<R: BufRead>(
+    reader: R,
+    dir: &Path,
+    shards: usize,
+    shard_by: ShardBy,
+) -> Result<SegmentStats, SaveError> {
+    let n = shards.max(1);
+    let mut dict = Dictionary::new();
+    let mut buckets: Vec<Vec<IdTriple>> = (0..n).map(|_| Vec::new()).collect();
+    for triple in Parser::new(reader) {
+        let enc = dict.encode_triple(&triple?);
+        buckets[shard_by.shard_of(&enc, n)].push(enc);
+    }
+    Ok(write_segments(dir, &dict, shard_by, buckets)?)
+}
+
+/// Saves an N-Triples file as a segment directory (see
+/// [`save_segments_from_reader`]).
+pub fn save_segments_from_path(
+    path: &Path,
+    dir: &Path,
+    shards: usize,
+    shard_by: ShardBy,
+) -> Result<SegmentStats, SaveError> {
+    let file = File::open(path).map_err(Error::from)?;
+    save_segments_from_reader(
+        BufReader::with_capacity(1 << 16, file),
+        dir,
+        shards,
+        shard_by,
+    )
+}
+
+/// Opens a saved segment directory as a [`ShardedStore`] of lazy disk
+/// shards — O(header + dictionary), no N-Triples parsing (see
+/// [`crate::disk::open_store`]).
+pub fn disk_store_from_dir(dir: &Path) -> Result<ShardedStore, SegmentError> {
+    crate::disk::open_store(dir)
+}
+
 /// Loads an N-Triples file into a [`ShardedStore`] (see
 /// [`sharded_store_from_reader`]).
 pub fn sharded_store_from_path(
@@ -178,6 +257,10 @@ fn shard_builder(
             let store = NativeStore::from_encoded(Dictionary::new(), triples, selection);
             (Box::new(store), t0.elapsed())
         }
+        ShardBackend::Disk => unreachable!(
+            "disk shards are opened from saved segments (crate::disk::open_store), \
+             not streamed from a parser"
+        ),
     }
 }
 

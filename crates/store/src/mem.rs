@@ -14,7 +14,9 @@ use sp2b_rdf::{Graph, Triple};
 
 use crate::dictionary::{Dictionary, Id, IdTriple};
 use crate::hash::FxHashMap;
-use crate::traits::{matches, split_ranges, Pattern, ScanChunk, TripleStore};
+use crate::traits::{
+    debug_assert_chunks_cover, matches, split_ranges, Pattern, ScanChunk, TripleStore,
+};
 
 /// Posting-list walks for multi-bound estimates are capped at this many
 /// candidates; longer lists fall back to the list-length upper bound so
@@ -133,7 +135,7 @@ impl TripleStore for MemStore {
     /// triple span when nothing is bound) is split into at most `n`
     /// contiguous sub-spans, concatenating to [`MemStore::scan`]'s order.
     fn scan_chunks(&self, pattern: Pattern, n: usize) -> Vec<ScanChunk<'_>> {
-        match self.best_list(&pattern) {
+        let chunks: Vec<ScanChunk<'_>> = match self.best_list(&pattern) {
             Some(list) => split_ranges(list.len(), n)
                 .into_iter()
                 .map(|r| ScanChunk::Rows {
@@ -145,7 +147,9 @@ impl TripleStore for MemStore {
                 .into_iter()
                 .map(|r| ScanChunk::Triples(&self.triples[r]))
                 .collect(),
-        }
+        };
+        debug_assert_chunks_cover(self, pattern, &chunks);
+        chunks
     }
 
     /// Heuristic estimate: the minimum over the posting lists of *all*

@@ -13,7 +13,9 @@
 use sp2b_rdf::{Graph, Triple};
 
 use crate::dictionary::{Dictionary, Id, IdTriple};
-use crate::traits::{matches, split_ranges, Pattern, ScanChunk, TripleStore};
+use crate::traits::{
+    debug_assert_chunks_cover, matches, split_ranges, Pattern, ScanChunk, TripleStore,
+};
 
 /// One of the six orderings.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -98,8 +100,43 @@ impl Default for IndexSelection {
 }
 
 #[inline]
-fn key(t: &IdTriple, perm: [usize; 3]) -> (Id, Id, Id) {
+pub(crate) fn key(t: &IdTriple, perm: [usize; 3]) -> (Id, Id, Id) {
     (t[perm[0]], t[perm[1]], t[perm[2]])
+}
+
+/// The contiguous slice of `index` — sorted by `perm` — whose first
+/// `prefix_len` key positions equal the pattern's bound values. Shared
+/// by [`NativeStore`] and the disk segment store ([`crate::disk`]),
+/// whose on-disk runs are sorted exactly like these indexes.
+pub(crate) fn prefix_range<'a>(
+    index: &'a [IdTriple],
+    perm: [usize; 3],
+    prefix_len: usize,
+    pattern: &Pattern,
+) -> &'a [IdTriple] {
+    if prefix_len == 0 {
+        return index;
+    }
+    let mut lo_key = (0, 0, 0);
+    let mut hi_key = (Id::MAX, Id::MAX, Id::MAX);
+    let keys = [&mut lo_key.0, &mut lo_key.1, &mut lo_key.2];
+    for (slot, k) in keys.into_iter().enumerate().take(prefix_len) {
+        *k = pattern[perm[slot]].expect("prefix position is bound");
+    }
+    let keys = [&mut hi_key.0, &mut hi_key.1, &mut hi_key.2];
+    for (slot, k) in keys.into_iter().enumerate().take(prefix_len) {
+        *k = pattern[perm[slot]].expect("prefix position is bound");
+    }
+    let lo = index.partition_point(|t| key(t, perm) < lo_key);
+    let hi = index.partition_point(|t| {
+        let k = key(t, perm);
+        (
+            k.0,
+            if prefix_len > 1 { k.1 } else { hi_key.1 },
+            if prefix_len > 2 { k.2 } else { hi_key.2 },
+        ) <= hi_key
+    });
+    &index[lo..hi]
 }
 
 /// Two-pointer merge of a sorted index with a sorted batch.
@@ -243,30 +280,7 @@ impl NativeStore {
         let index = self.indexes[order.slot()]
             .as_ref()
             .expect("best_index only returns built indexes");
-        if prefix_len == 0 {
-            return index;
-        }
-        let perm = order.permutation();
-        let mut lo_key = (0, 0, 0);
-        let mut hi_key = (Id::MAX, Id::MAX, Id::MAX);
-        let keys = [&mut lo_key.0, &mut lo_key.1, &mut lo_key.2];
-        for (slot, k) in keys.into_iter().enumerate().take(prefix_len) {
-            *k = pattern[perm[slot]].expect("prefix position is bound");
-        }
-        let keys = [&mut hi_key.0, &mut hi_key.1, &mut hi_key.2];
-        for (slot, k) in keys.into_iter().enumerate().take(prefix_len) {
-            *k = pattern[perm[slot]].expect("prefix position is bound");
-        }
-        let lo = index.partition_point(|t| key(t, perm) < lo_key);
-        let hi = index.partition_point(|t| {
-            let k = key(t, perm);
-            (
-                k.0,
-                if prefix_len > 1 { k.1 } else { hi_key.1 },
-                if prefix_len > 2 { k.2 } else { hi_key.2 },
-            ) <= hi_key
-        });
-        &index[lo..hi]
+        prefix_range(index, order.permutation(), prefix_len, pattern)
     }
 }
 
@@ -297,10 +311,12 @@ impl TripleStore for NativeStore {
     fn scan_chunks(&self, pattern: Pattern, n: usize) -> Vec<ScanChunk<'_>> {
         let (order, prefix_len) = self.best_index(&pattern);
         let range = self.range(order, prefix_len, &pattern);
-        split_ranges(range.len(), n)
+        let chunks: Vec<ScanChunk<'_>> = split_ranges(range.len(), n)
             .into_iter()
             .map(|r| ScanChunk::Triples(&range[r]))
-            .collect()
+            .collect();
+        debug_assert_chunks_cover(self, pattern, &chunks);
+        chunks
     }
 
     /// Exact estimates via index-range width — the "statistics" that let

@@ -1,0 +1,817 @@
+//! The on-disk segment format behind [`crate::disk`].
+//!
+//! A saved store is a directory of immutable files:
+//!
+//! ```text
+//! root.sp2b       the segment root: magic, version, partition key,
+//!                 counts, and per-section checksums (written last via
+//!                 tmp + rename, so it doubles as the atomic root
+//!                 pointer a future hot-swap flips)
+//! dict.bin        the shared dictionary: every term serialized in id
+//!                 order, so re-interning sequentially reproduces the
+//!                 exact ids of the original load
+//! shard-NNNN.seg  one file per shard: three sorted id-triple runs
+//!                 (SPO, then PSO, then OSP) of 12 bytes per triple
+//! ```
+//!
+//! All integers are little-endian. Every section carries an FNV-1a-64
+//! checksum recorded in the root; the root itself ends with a checksum
+//! over its own preceding bytes. Opening therefore costs O(root +
+//! dictionary): triple runs are validated by size at open and by
+//! checksum on first (lazy) read.
+
+use std::fs::{self, File};
+use std::io::{self, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use sp2b_rdf::{Iri, Literal, Term};
+
+use crate::dictionary::{Dictionary, IdTriple};
+use crate::native::IndexOrder;
+use crate::shard::ShardBy;
+
+/// Magic prefix of the segment root.
+pub const MAGIC: [u8; 8] = *b"SP2BSEG1";
+
+/// Format version written into the root.
+pub const VERSION: u32 = 1;
+
+/// The segment root file name.
+pub const ROOT_FILE: &str = "root.sp2b";
+
+/// The serialized dictionary file name.
+pub const DICT_FILE: &str = "dict.bin";
+
+/// Bytes per serialized triple (three little-endian `u32` ids).
+pub const TRIPLE_BYTES: u64 = 12;
+
+/// The sorted runs each shard file holds, in file order. Three of the
+/// six [`NativeStore`](crate::NativeStore) orderings suffice on disk:
+/// every single-position pattern gets a full prefix (S via SPO, P via
+/// PSO, O via OSP), and longer prefixes reuse the same runs with
+/// residual filtering.
+pub const RUN_ORDERS: [IndexOrder; 3] = [IndexOrder::Spo, IndexOrder::Pso, IndexOrder::Osp];
+
+/// The shard file name for shard `i`.
+pub fn shard_file_name(i: usize) -> String {
+    format!("shard-{i:04}.seg")
+}
+
+/// Why a segment directory could not be written or opened. Display is a
+/// single line, suitable for the CLI's one-line hard errors.
+#[derive(Debug)]
+pub enum SegmentError {
+    /// An underlying filesystem error.
+    Io(io::Error),
+    /// The directory is not a saved segment store: missing files,
+    /// truncation, bad magic/version, or a checksum mismatch.
+    Invalid(String),
+}
+
+impl std::fmt::Display for SegmentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SegmentError::Io(e) => write!(f, "i/o error: {e}"),
+            SegmentError::Invalid(msg) => f.write_str(msg),
+        }
+    }
+}
+
+impl std::error::Error for SegmentError {}
+
+impl From<io::Error> for SegmentError {
+    fn from(e: io::Error) -> Self {
+        SegmentError::Io(e)
+    }
+}
+
+fn invalid(msg: impl Into<String>) -> SegmentError {
+    SegmentError::Invalid(msg.into())
+}
+
+/// Streaming FNV-1a-64 — the per-section checksum. Self-contained so
+/// incremental (per-triple) and whole-buffer hashing agree byte for
+/// byte, which the crate's chunking [`crate::hash::FxHasher`] does not
+/// guarantee.
+#[derive(Debug, Clone)]
+pub struct Checksum(u64);
+
+impl Checksum {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// A fresh accumulator.
+    pub fn new() -> Self {
+        Checksum(Self::OFFSET)
+    }
+
+    /// Folds in more bytes.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// The digest so far.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+
+    /// One-shot digest of a buffer.
+    pub fn of(bytes: &[u8]) -> u64 {
+        let mut c = Checksum::new();
+        c.update(bytes);
+        c.finish()
+    }
+}
+
+impl Default for Checksum {
+    fn default() -> Self {
+        Checksum::new()
+    }
+}
+
+/// Root-recorded facts about one shard file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardMeta {
+    /// Triples in this shard (every run holds exactly this many).
+    pub triples: u64,
+    /// Checksum of each run's bytes, in [`RUN_ORDERS`] order.
+    pub run_checksums: [u64; 3],
+}
+
+impl ShardMeta {
+    /// Exact byte size of the shard file these facts describe.
+    pub fn file_bytes(&self) -> u64 {
+        self.triples * TRIPLE_BYTES * RUN_ORDERS.len() as u64
+    }
+}
+
+/// The decoded segment root.
+#[derive(Debug, Clone)]
+pub struct SegmentHeader {
+    /// The partition key the triples were routed by.
+    pub shard_by: ShardBy,
+    /// Total triples across shards.
+    pub triples: u64,
+    /// Distinct terms in the dictionary.
+    pub terms: u64,
+    /// Byte length of `dict.bin`.
+    pub dict_bytes: u64,
+    /// Checksum of `dict.bin`.
+    pub dict_checksum: u64,
+    /// Per-shard facts, in shard order.
+    pub shards: Vec<ShardMeta>,
+}
+
+/// What a save wrote, for reporting.
+#[derive(Debug, Clone)]
+pub struct SegmentStats {
+    /// Total triples written.
+    pub triples: u64,
+    /// Distinct terms written.
+    pub terms: u64,
+    /// Triples per shard, in shard order.
+    pub shard_lens: Vec<usize>,
+    /// Total bytes across all files.
+    pub bytes: u64,
+}
+
+fn shard_by_code(shard_by: ShardBy) -> u32 {
+    match shard_by {
+        ShardBy::Subject => 0,
+        ShardBy::PredicateSubject => 1,
+    }
+}
+
+fn shard_by_from_code(code: u32) -> Option<ShardBy> {
+    match code {
+        0 => Some(ShardBy::Subject),
+        1 => Some(ShardBy::PredicateSubject),
+        _ => None,
+    }
+}
+
+#[inline]
+fn run_key(t: &IdTriple, perm: [usize; 3]) -> (u32, u32, u32) {
+    (t[perm[0]], t[perm[1]], t[perm[2]])
+}
+
+/// Writes a complete segment store into `dir`: dictionary, one file of
+/// three sorted runs per bucket, and — last, via tmp + rename — the
+/// checksummed root. A crash before the rename leaves no valid root, so
+/// a partially written directory never opens.
+pub fn write_segments(
+    dir: &Path,
+    dict: &Dictionary,
+    shard_by: ShardBy,
+    mut buckets: Vec<Vec<IdTriple>>,
+) -> Result<SegmentStats, SegmentError> {
+    if !dir.is_dir() {
+        return Err(invalid(format!(
+            "'{}' is not a directory (create it first)",
+            dir.display()
+        )));
+    }
+    let dict_bytes = encode_terms(dict);
+    let dict_checksum = Checksum::of(&dict_bytes);
+    let mut dict_file = File::create(dir.join(DICT_FILE))?;
+    dict_file.write_all(&dict_bytes)?;
+    dict_file.sync_all()?;
+
+    let mut metas = Vec::with_capacity(buckets.len());
+    let mut total_bytes = dict_bytes.len() as u64;
+    for (i, bucket) in buckets.iter_mut().enumerate() {
+        let file = File::create(dir.join(shard_file_name(i)))?;
+        let mut w = BufWriter::with_capacity(1 << 16, file);
+        let mut run_checksums = [0u64; 3];
+        for (slot, order) in RUN_ORDERS.iter().enumerate() {
+            let perm = order.permutation();
+            bucket.sort_unstable_by_key(|t| run_key(t, perm));
+            let mut checksum = Checksum::new();
+            for t in bucket.iter() {
+                let mut buf = [0u8; TRIPLE_BYTES as usize];
+                buf[0..4].copy_from_slice(&t[0].to_le_bytes());
+                buf[4..8].copy_from_slice(&t[1].to_le_bytes());
+                buf[8..12].copy_from_slice(&t[2].to_le_bytes());
+                checksum.update(&buf);
+                w.write_all(&buf)?;
+            }
+            run_checksums[slot] = checksum.finish();
+        }
+        w.flush()?;
+        w.get_ref().sync_all()?;
+        let meta = ShardMeta {
+            triples: bucket.len() as u64,
+            run_checksums,
+        };
+        total_bytes += meta.file_bytes();
+        metas.push(meta);
+    }
+
+    let triples: u64 = metas.iter().map(|m| m.triples).sum();
+    let mut root = Vec::with_capacity(64 + metas.len() * 32);
+    root.extend_from_slice(&MAGIC);
+    root.extend_from_slice(&VERSION.to_le_bytes());
+    root.extend_from_slice(&shard_by_code(shard_by).to_le_bytes());
+    root.extend_from_slice(&(metas.len() as u32).to_le_bytes());
+    root.extend_from_slice(&0u32.to_le_bytes()); // reserved
+    root.extend_from_slice(&triples.to_le_bytes());
+    root.extend_from_slice(&(dict.len() as u64).to_le_bytes());
+    root.extend_from_slice(&(dict_bytes.len() as u64).to_le_bytes());
+    root.extend_from_slice(&dict_checksum.to_le_bytes());
+    for meta in &metas {
+        root.extend_from_slice(&meta.triples.to_le_bytes());
+        for cks in meta.run_checksums {
+            root.extend_from_slice(&cks.to_le_bytes());
+        }
+    }
+    let trailer = Checksum::of(&root);
+    root.extend_from_slice(&trailer.to_le_bytes());
+    total_bytes += root.len() as u64;
+
+    // The atomic root flip: readers either see the previous root or the
+    // complete new one, never a torn write.
+    let tmp = dir.join(format!("{ROOT_FILE}.tmp"));
+    let mut root_file = File::create(&tmp)?;
+    root_file.write_all(&root)?;
+    root_file.sync_all()?;
+    drop(root_file);
+    fs::rename(&tmp, dir.join(ROOT_FILE))?;
+
+    Ok(SegmentStats {
+        triples,
+        terms: dict.len() as u64,
+        shard_lens: metas.iter().map(|m| m.triples as usize).collect(),
+        bytes: total_bytes,
+    })
+}
+
+/// Reads and validates the segment root of `dir`. This is the whole
+/// fixed cost of discovering a saved store: a few dozen bytes per shard.
+pub fn read_header(dir: &Path) -> Result<SegmentHeader, SegmentError> {
+    if !dir.is_dir() {
+        return Err(invalid(format!(
+            "segment directory '{}' does not exist",
+            dir.display()
+        )));
+    }
+    let path = dir.join(ROOT_FILE);
+    let bytes = match fs::read(&path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => {
+            return Err(invalid(format!(
+                "no segment root in '{}' (expected a directory written by `sp2b save`)",
+                dir.display()
+            )));
+        }
+        Err(e) => return Err(e.into()),
+    };
+    if bytes.len() < MAGIC.len() + 8 {
+        return Err(invalid("segment root is truncated"));
+    }
+    let (body, trailer) = bytes.split_at(bytes.len() - 8);
+    let recorded = u64::from_le_bytes(trailer.try_into().expect("8-byte trailer"));
+    if Checksum::of(body) != recorded {
+        return Err(invalid(
+            "segment root checksum mismatch (truncated or corrupted save)",
+        ));
+    }
+    let mut cur = Cursor::new(body, "segment root");
+    if cur.take(MAGIC.len())? != MAGIC {
+        return Err(invalid("not a segment root (bad magic)"));
+    }
+    let version = cur.u32()?;
+    if version != VERSION {
+        return Err(invalid(format!(
+            "unsupported segment version {version} (this build reads version {VERSION})"
+        )));
+    }
+    let shard_by = shard_by_from_code(cur.u32()?)
+        .ok_or_else(|| invalid("segment root names an unknown partition key"))?;
+    let shard_count = cur.u32()? as usize;
+    cur.u32()?; // reserved
+    let triples = cur.u64()?;
+    let terms = cur.u64()?;
+    let dict_bytes = cur.u64()?;
+    let dict_checksum = cur.u64()?;
+    let mut shards = Vec::with_capacity(shard_count);
+    for _ in 0..shard_count {
+        let shard_triples = cur.u64()?;
+        let run_checksums = [cur.u64()?, cur.u64()?, cur.u64()?];
+        shards.push(ShardMeta {
+            triples: shard_triples,
+            run_checksums,
+        });
+    }
+    if !cur.done() {
+        return Err(invalid("trailing bytes in segment root"));
+    }
+    let shard_sum: u64 = shards.iter().map(|m| m.triples).sum();
+    if shard_sum != triples {
+        return Err(invalid(
+            "segment root is inconsistent: shard counts do not sum to the total",
+        ));
+    }
+    Ok(SegmentHeader {
+        shard_by,
+        triples,
+        terms,
+        dict_bytes,
+        dict_checksum,
+        shards,
+    })
+}
+
+/// Reads, verifies and re-interns the shared dictionary. Sequential
+/// re-interning reproduces the exact ids the saved store was encoded
+/// with (ids are dense, first-seen ordered), so saved triple runs and
+/// fresh query plans agree without any translation.
+pub fn read_dictionary(dir: &Path, header: &SegmentHeader) -> Result<Dictionary, SegmentError> {
+    let path = dir.join(DICT_FILE);
+    let bytes = match fs::read(&path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => {
+            return Err(invalid(format!(
+                "missing dictionary file '{}'",
+                path.display()
+            )));
+        }
+        Err(e) => return Err(e.into()),
+    };
+    if bytes.len() as u64 != header.dict_bytes {
+        return Err(invalid(format!(
+            "dictionary is truncated: root records {} bytes, file holds {}",
+            header.dict_bytes,
+            bytes.len()
+        )));
+    }
+    if Checksum::of(&bytes) != header.dict_checksum {
+        return Err(invalid(
+            "dictionary checksum mismatch (corrupted save; re-run `sp2b save`)",
+        ));
+    }
+    let dict = decode_terms(&bytes)?;
+    if dict.len() as u64 != header.terms {
+        return Err(invalid(format!(
+            "dictionary is inconsistent: root records {} terms, section decodes {}",
+            header.terms,
+            dict.len()
+        )));
+    }
+    Ok(dict)
+}
+
+/// Reads one sorted run out of a shard file, verifying its checksum.
+/// `run` indexes [`RUN_ORDERS`]; `triples` is the shard's triple count
+/// from the root.
+pub fn read_run(
+    path: &Path,
+    run: usize,
+    triples: u64,
+    expect_checksum: u64,
+) -> Result<Vec<IdTriple>, SegmentError> {
+    let mut file = File::open(path)?;
+    let run_bytes = triples * TRIPLE_BYTES;
+    file.seek(SeekFrom::Start(run as u64 * run_bytes))?;
+    let mut bytes = vec![0u8; run_bytes as usize];
+    file.read_exact(&mut bytes).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            invalid(format!("shard file '{}' is truncated", path.display()))
+        } else {
+            SegmentError::Io(e)
+        }
+    })?;
+    if Checksum::of(&bytes) != expect_checksum {
+        return Err(invalid(format!(
+            "run checksum mismatch in '{}' (corrupted save)",
+            path.display()
+        )));
+    }
+    let mut out = Vec::with_capacity(triples as usize);
+    for chunk in bytes.chunks_exact(TRIPLE_BYTES as usize) {
+        out.push([
+            u32::from_le_bytes(chunk[0..4].try_into().expect("4 bytes")),
+            u32::from_le_bytes(chunk[4..8].try_into().expect("4 bytes")),
+            u32::from_le_bytes(chunk[8..12].try_into().expect("4 bytes")),
+        ]);
+    }
+    Ok(out)
+}
+
+// Term tags of the dictionary serialization.
+const TAG_IRI: u8 = 0;
+const TAG_BLANK: u8 = 1;
+const TAG_PLAIN: u8 = 2;
+const TAG_TYPED: u8 = 3;
+const TAG_LANG: u8 = 4;
+const TAG_TYPED_LANG: u8 = 5;
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    buf.extend_from_slice(s.as_bytes());
+}
+
+/// Serializes every term in id order: a one-byte tag followed by
+/// length-prefixed UTF-8 fields.
+pub fn encode_terms(dict: &Dictionary) -> Vec<u8> {
+    let mut buf = Vec::new();
+    for (_, term) in dict.iter() {
+        match term {
+            Term::Iri(iri) => {
+                buf.push(TAG_IRI);
+                put_str(&mut buf, iri.as_str());
+            }
+            Term::Blank(b) => {
+                buf.push(TAG_BLANK);
+                put_str(&mut buf, b.as_str());
+            }
+            Term::Literal(l) => match (&l.datatype, &l.language) {
+                (None, None) => {
+                    buf.push(TAG_PLAIN);
+                    put_str(&mut buf, &l.lexical);
+                }
+                (Some(dt), None) => {
+                    buf.push(TAG_TYPED);
+                    put_str(&mut buf, &l.lexical);
+                    put_str(&mut buf, dt.as_str());
+                }
+                (None, Some(lang)) => {
+                    buf.push(TAG_LANG);
+                    put_str(&mut buf, &l.lexical);
+                    put_str(&mut buf, lang);
+                }
+                (Some(dt), Some(lang)) => {
+                    buf.push(TAG_TYPED_LANG);
+                    put_str(&mut buf, &l.lexical);
+                    put_str(&mut buf, dt.as_str());
+                    put_str(&mut buf, lang);
+                }
+            },
+        }
+    }
+    buf
+}
+
+/// Deserializes a dictionary section, re-interning terms sequentially.
+pub fn decode_terms(bytes: &[u8]) -> Result<Dictionary, SegmentError> {
+    let mut cur = Cursor::new(bytes, "dictionary");
+    let mut dict = Dictionary::new();
+    let mut next = 0u64;
+    while !cur.done() {
+        let tag = cur.take(1)?[0];
+        let term = match tag {
+            TAG_IRI => Term::iri(cur.str()?),
+            TAG_BLANK => Term::blank(cur.str()?),
+            TAG_PLAIN => Term::Literal(Literal::plain(cur.str()?)),
+            TAG_TYPED => {
+                let lexical = cur.str()?;
+                Term::Literal(Literal::typed(lexical, Iri::new(cur.str()?)))
+            }
+            TAG_LANG => {
+                let lexical = cur.str()?;
+                let mut l = Literal::plain(lexical);
+                l.language = Some(cur.str()?);
+                Term::Literal(l)
+            }
+            TAG_TYPED_LANG => {
+                let lexical = cur.str()?;
+                let datatype = Iri::new(cur.str()?);
+                let mut l = Literal::typed(lexical, datatype);
+                l.language = Some(cur.str()?);
+                Term::Literal(l)
+            }
+            other => {
+                return Err(invalid(format!(
+                    "dictionary holds an unknown term tag {other}"
+                )));
+            }
+        };
+        let id = dict.encode(&term);
+        if id as u64 != next {
+            return Err(invalid("dictionary holds a duplicate term"));
+        }
+        next += 1;
+    }
+    Ok(dict)
+}
+
+/// A bounds-checked little-endian reader over a byte section.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    what: &'static str,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8], what: &'static str) -> Self {
+        Cursor {
+            bytes,
+            pos: 0,
+            what,
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SegmentError> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.bytes.len());
+        match end {
+            Some(end) => {
+                let slice = &self.bytes[self.pos..end];
+                self.pos = end;
+                Ok(slice)
+            }
+            None => Err(invalid(format!(
+                "truncated {} (needed {n} bytes at offset {})",
+                self.what, self.pos
+            ))),
+        }
+    }
+
+    fn u32(&mut self) -> Result<u32, SegmentError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64, SegmentError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn str(&mut self) -> Result<String, SegmentError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| invalid(format!("{} holds invalid UTF-8", self.what)))
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+
+    /// A self-cleaning temp directory for segment tests.
+    pub(crate) struct TempDir(pub std::path::PathBuf);
+
+    impl TempDir {
+        pub(crate) fn new(tag: &str) -> TempDir {
+            use std::sync::atomic::{AtomicU64, Ordering};
+            static SEQ: AtomicU64 = AtomicU64::new(0);
+            let path = std::env::temp_dir().join(format!(
+                "sp2b-seg-{}-{}-{}",
+                std::process::id(),
+                tag,
+                SEQ.fetch_add(1, Ordering::Relaxed)
+            ));
+            let _ = fs::remove_dir_all(&path);
+            fs::create_dir_all(&path).expect("create temp dir");
+            TempDir(path)
+        }
+
+        pub(crate) fn path(&self) -> &Path {
+            &self.0
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn corpus() -> Vec<Term> {
+        let mut lang = Literal::plain("grüße");
+        lang.language = Some("de".into());
+        let mut typed_lang = Literal::typed("両方", Iri::new("http://x/dt"));
+        typed_lang.language = Some("ja".into());
+        vec![
+            Term::iri("http://example.org/article/1"),
+            Term::blank("Jürgen_Müller"),
+            Term::Literal(Literal::plain("plain ascii")),
+            Term::Literal(Literal::plain("naïve café — 数据库 🦀")),
+            Term::Literal(Literal::string("Journal 1 (1940)")),
+            Term::Literal(Literal::integer(-42)),
+            Term::Literal(lang),
+            Term::Literal(typed_lang),
+            Term::iri("http://example.org/ölpreis"),
+        ]
+    }
+
+    #[test]
+    fn dictionary_codec_roundtrips_including_non_ascii() {
+        let mut dict = Dictionary::new();
+        for t in corpus() {
+            dict.encode(&t);
+        }
+        let bytes = encode_terms(&dict);
+        let back = decode_terms(&bytes).expect("decode");
+        assert_eq!(back.len(), dict.len());
+        for (id, term) in dict.iter() {
+            assert_eq!(back.decode(id), term, "term {id} survives the roundtrip");
+            assert_eq!(back.lookup(term), Some(id), "id {id} is reproduced");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_truncation_and_bad_tags() {
+        let mut dict = Dictionary::new();
+        for t in corpus() {
+            dict.encode(&t);
+        }
+        let bytes = encode_terms(&dict);
+        let err = decode_terms(&bytes[..bytes.len() - 3]).unwrap_err();
+        assert!(err.to_string().contains("truncated"), "{err}");
+        let mut bad = bytes.clone();
+        bad[0] = 250;
+        let err = decode_terms(&bad).unwrap_err();
+        assert!(err.to_string().contains("unknown term tag"), "{err}");
+    }
+
+    fn demo_store() -> (Dictionary, Vec<Vec<IdTriple>>) {
+        let mut dict = Dictionary::new();
+        for t in corpus() {
+            dict.encode(&t);
+        }
+        let n = dict.len() as u32;
+        let mut buckets = vec![Vec::new(), Vec::new()];
+        for i in 0..40u32 {
+            let t = [i % n, (i * 7) % n, (i * 13) % n];
+            buckets[ShardBy::Subject.shard_of(&t, 2)].push(t);
+        }
+        (dict, buckets)
+    }
+
+    #[test]
+    fn header_and_dictionary_roundtrip() {
+        let tmp = TempDir::new("roundtrip");
+        let (dict, buckets) = demo_store();
+        let total: usize = buckets.iter().map(Vec::len).sum();
+        let stats = write_segments(tmp.path(), &dict, ShardBy::Subject, buckets).expect("write");
+        assert_eq!(stats.triples as usize, total);
+        assert_eq!(stats.terms as usize, dict.len());
+
+        let header = read_header(tmp.path()).expect("header");
+        assert_eq!(header.shard_by, ShardBy::Subject);
+        assert_eq!(header.triples as usize, total);
+        assert_eq!(header.shards.len(), 2);
+        let back = read_dictionary(tmp.path(), &header).expect("dict");
+        for (id, term) in dict.iter() {
+            assert_eq!(back.decode(id), term);
+        }
+    }
+
+    #[test]
+    fn runs_are_sorted_and_checksummed() {
+        let tmp = TempDir::new("runs");
+        let (dict, buckets) = demo_store();
+        let expected = buckets.clone();
+        write_segments(tmp.path(), &dict, ShardBy::Subject, buckets).expect("write");
+        let header = read_header(tmp.path()).expect("header");
+        for (i, meta) in header.shards.iter().enumerate() {
+            let path = tmp.path().join(shard_file_name(i));
+            for (slot, order) in RUN_ORDERS.iter().enumerate() {
+                let run =
+                    read_run(&path, slot, meta.triples, meta.run_checksums[slot]).expect("run");
+                let perm = order.permutation();
+                assert!(
+                    run.windows(2)
+                        .all(|w| run_key(&w[0], perm) <= run_key(&w[1], perm)),
+                    "shard {i} run {order:?} is sorted"
+                );
+                let mut expect = expected[i].clone();
+                expect.sort_unstable_by_key(|t| run_key(t, perm));
+                assert_eq!(run, expect, "shard {i} run {order:?} holds the bucket");
+            }
+        }
+    }
+
+    #[test]
+    fn corrupted_dictionary_reports_checksum_not_garbage() {
+        let tmp = TempDir::new("dict-corrupt");
+        let (dict, buckets) = demo_store();
+        write_segments(tmp.path(), &dict, ShardBy::Subject, buckets).expect("write");
+        // Flip one byte inside a term's UTF-8 payload: without the
+        // checksum this could silently decode to a different term.
+        let path = tmp.path().join(DICT_FILE);
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x20;
+        fs::write(&path, &bytes).unwrap();
+        let header = read_header(tmp.path()).expect("root is untouched");
+        let err = read_dictionary(tmp.path(), &header).unwrap_err();
+        assert!(err.to_string().contains("checksum mismatch"), "{err}");
+    }
+
+    #[test]
+    fn corrupted_or_truncated_root_is_rejected() {
+        let tmp = TempDir::new("root-corrupt");
+        let (dict, buckets) = demo_store();
+        write_segments(tmp.path(), &dict, ShardBy::Subject, buckets).expect("write");
+        let path = tmp.path().join(ROOT_FILE);
+        let good = fs::read(&path).unwrap();
+
+        let mut flipped = good.clone();
+        flipped[12] ^= 0xff;
+        fs::write(&path, &flipped).unwrap();
+        let err = read_header(tmp.path()).unwrap_err();
+        assert!(err.to_string().contains("checksum mismatch"), "{err}");
+
+        fs::write(&path, &good[..good.len() - 5]).unwrap();
+        let err = read_header(tmp.path()).unwrap_err();
+        assert!(err.to_string().contains("checksum mismatch"), "{err}");
+
+        fs::write(&path, b"short").unwrap();
+        let err = read_header(tmp.path()).unwrap_err();
+        assert!(err.to_string().contains("truncated"), "{err}");
+
+        let mut bad_magic = good.clone();
+        bad_magic[0] = b'X';
+        // Re-stamp the trailer so only the magic is wrong.
+        let body_len = bad_magic.len() - 8;
+        let cks = Checksum::of(&bad_magic[..body_len]);
+        bad_magic[body_len..].copy_from_slice(&cks.to_le_bytes());
+        fs::write(&path, &bad_magic).unwrap();
+        let err = read_header(tmp.path()).unwrap_err();
+        assert!(err.to_string().contains("bad magic"), "{err}");
+    }
+
+    #[test]
+    fn missing_directory_and_missing_root_have_clear_errors() {
+        let err = read_header(Path::new("/nonexistent/sp2b-segments")).unwrap_err();
+        assert!(err.to_string().contains("does not exist"), "{err}");
+        let tmp = TempDir::new("empty");
+        let err = read_header(tmp.path()).unwrap_err();
+        assert!(err.to_string().contains("no segment root"), "{err}");
+        assert!(err.to_string().contains("sp2b save"), "{err}");
+    }
+
+    #[test]
+    fn truncated_shard_run_is_rejected() {
+        let tmp = TempDir::new("run-truncated");
+        let (dict, buckets) = demo_store();
+        write_segments(tmp.path(), &dict, ShardBy::Subject, buckets).expect("write");
+        let header = read_header(tmp.path()).expect("header");
+        let path = tmp.path().join(shard_file_name(0));
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() - 7]).unwrap();
+        let meta = &header.shards[0];
+        // The last run no longer has all its bytes.
+        let err = read_run(&path, 2, meta.triples, meta.run_checksums[2]).unwrap_err();
+        assert!(err.to_string().contains("truncated"), "{err}");
+    }
+
+    #[test]
+    fn checksum_is_stable_incrementally() {
+        let mut inc = Checksum::new();
+        inc.update(b"hello ");
+        inc.update(b"world");
+        assert_eq!(inc.finish(), Checksum::of(b"hello world"));
+        assert_ne!(Checksum::of(b"a"), Checksum::of(b"b"));
+    }
+}

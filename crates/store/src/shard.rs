@@ -48,7 +48,7 @@ use sp2b_rdf::Graph;
 use crate::dictionary::{Dictionary, Id, IdTriple};
 use crate::mem::MemStore;
 use crate::native::{IndexSelection, NativeStore};
-use crate::traits::{Pattern, ScanChunk, TripleStore};
+use crate::traits::{debug_assert_chunks_cover, Pattern, ScanChunk, TripleStore};
 
 /// The partition key of a [`ShardedStore`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -122,6 +122,22 @@ pub enum ShardBackend {
     /// Index-backed [`NativeStore`] shards: each shard sorts its own
     /// permutation indexes, which is the part of loading that fans out.
     Native(IndexSelection),
+    /// Lazily-read segment-file shards ([`crate::disk::DiskShardStore`]).
+    /// Disk shards are never *built* from buckets — they are written by
+    /// `sp2b save` and reopened by [`crate::disk::open_store`]; this
+    /// variant exists so layouts and reports can name the backend.
+    Disk,
+}
+
+impl ShardBackend {
+    /// Short backend name for loading reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            ShardBackend::Mem => "mem",
+            ShardBackend::Native(_) => "native",
+            ShardBackend::Disk => "disk",
+        }
+    }
 }
 
 /// One logical store over N hash-partitioned shard stores sharing one
@@ -261,6 +277,10 @@ pub(crate) fn build_shard(
             triples,
             selection,
         )),
+        ShardBackend::Disk => unreachable!(
+            "disk shards are opened from saved segments (crate::disk::open_store), \
+             not built from buckets"
+        ),
     };
     (store, t0.elapsed())
 }
@@ -290,21 +310,24 @@ impl TripleStore for ShardedStore {
     /// push the chunk count slightly past `n` (at most one extra chunk
     /// per shard).
     fn scan_chunks(&self, pattern: Pattern, n: usize) -> Vec<ScanChunk<'_>> {
-        if let Some(shard) = self.route(&pattern) {
-            return self.shards[shard].scan_chunks(pattern, n);
-        }
-        let n = n.max(1);
-        let ests: Vec<u64> = self.shards.iter().map(|s| s.estimate(pattern)).collect();
-        let total: u128 = ests.iter().map(|&e| e as u128).sum();
-        let shares: Vec<usize> = if total == 0 {
-            vec![1; self.shards.len()]
+        let out = if let Some(shard) = self.route(&pattern) {
+            self.shards[shard].scan_chunks(pattern, n)
         } else {
-            apportion(n, &ests, total)
+            let n = n.max(1);
+            let ests: Vec<u64> = self.shards.iter().map(|s| s.estimate(pattern)).collect();
+            let total: u128 = ests.iter().map(|&e| e as u128).sum();
+            let shares: Vec<usize> = if total == 0 {
+                vec![1; self.shards.len()]
+            } else {
+                apportion(n, &ests, total)
+            };
+            let mut out = Vec::new();
+            for (shard, share) in self.shards.iter().zip(shares) {
+                out.extend(shard.scan_chunks(pattern, share.max(1)));
+            }
+            out
         };
-        let mut out = Vec::new();
-        for (shard, share) in self.shards.iter().zip(shares) {
-            out.extend(shard.scan_chunks(pattern, share.max(1)));
-        }
+        debug_assert_chunks_cover(self, pattern, &out);
         out
     }
 

@@ -176,6 +176,34 @@ pub fn matches(triple: &IdTriple, pattern: &Pattern) -> bool {
         .all(|(p, v)| p.is_none_or(|id| id == *v))
 }
 
+/// Debug-build check of the [`TripleStore::scan_chunks`] contract: the
+/// chunks' concatenation, in chunk order, must equal the store's
+/// [`TripleStore::scan`] of the same pattern — full coverage, no
+/// overlap, same order. Every store implementation calls this on the
+/// chunk list it is about to return, turning the trait doc into a
+/// checked invariant; release builds (the benchmarks) pay nothing.
+#[inline]
+pub fn debug_assert_chunks_cover(
+    store: &dyn TripleStore,
+    pattern: Pattern,
+    chunks: &[ScanChunk<'_>],
+) {
+    #[cfg(debug_assertions)]
+    {
+        let sequential: Vec<IdTriple> = store.scan(pattern).collect();
+        let chunked: Vec<IdTriple> = chunks.iter().flat_map(|c| c.iter(pattern)).collect();
+        assert_eq!(
+            chunked, sequential,
+            "scan_chunks broke the coverage contract for pattern {pattern:?}: \
+             concatenated chunks must equal the scan"
+        );
+    }
+    #[cfg(not(debug_assertions))]
+    {
+        let _ = (store, pattern, chunks);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -205,6 +233,46 @@ mod tests {
         };
         let hits: Vec<IdTriple> = chunk.iter([None, None, Some(3)]).collect();
         assert_eq!(hits, vec![[4, 2, 3], [1, 2, 3]], "chunk order is row order");
+    }
+
+    #[test]
+    fn chunk_coverage_assertion_catches_gaps() {
+        struct Fixed(Vec<IdTriple>);
+        impl TripleStore for Fixed {
+            fn dictionary(&self) -> &Dictionary {
+                unimplemented!("not needed for chunk coverage")
+            }
+            fn len(&self) -> usize {
+                self.0.len()
+            }
+            fn scan<'a>(&'a self, pattern: Pattern) -> Box<dyn Iterator<Item = IdTriple> + 'a> {
+                Box::new(self.0.iter().filter(move |t| matches(t, &pattern)).copied())
+            }
+            fn estimate(&self, _: Pattern) -> u64 {
+                self.0.len() as u64
+            }
+        }
+        let store = Fixed(vec![[1, 2, 3], [4, 5, 6], [7, 8, 9]]);
+        let pattern: Pattern = [None, None, None];
+        // A correct split passes…
+        let good = [
+            ScanChunk::Triples(&store.0[..1]),
+            ScanChunk::Triples(&store.0[1..]),
+        ];
+        debug_assert_chunks_cover(&store, pattern, &good);
+        // …a gap (dropped triple) and an overlap (repeated triple) panic
+        // in debug builds.
+        let gap = [ScanChunk::Triples(&store.0[..1])];
+        let overlap = [
+            ScanChunk::Triples(&store.0[..2]),
+            ScanChunk::Triples(&store.0[1..]),
+        ];
+        for bad in [&gap[..], &overlap[..]] {
+            let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                debug_assert_chunks_cover(&store, pattern, bad);
+            }));
+            assert_eq!(caught.is_err(), cfg!(debug_assertions));
+        }
     }
 
     #[test]
