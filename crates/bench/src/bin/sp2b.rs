@@ -28,7 +28,8 @@
 //!               [--shards N] [--checksums]                sharded store, result checksums
 //!               [--endpoint http://host:port/sparql]      …over real sockets instead
 //! sp2b query    Q4 [--triples 50k] [--engine native-opt]  run one query, print rows
-//!               [--format table|json|csv|tsv]
+//!               [--format table|json|csv|tsv] [--explain] …and the join order with
+//!                                                         estimated vs actual rows
 //! ```
 //!
 //! `run`, `query`, `smoke` and the experiments accept `--threads N` to
@@ -41,8 +42,12 @@
 //! `smoke` also accept `--store disk:DIR` to reopen a segment directory
 //! written by `sp2b save` instead of loading or generating a document —
 //! open is O(header + dictionary); sorted runs fault in lazily on first
-//! scan. `--timeout`, `--addr` and `--store` are strictly validated:
-//! malformed values are hard usage errors, never silent fallbacks.
+//! scan. `run` and `query` accept `--explain` to print the chosen BGP
+//! join order with each pattern's estimated cardinality next to the
+//! rows it actually emitted (and whether store statistics or the
+//! fixed-discount heuristic ordered it). `--timeout`, `--addr` and
+//! `--store` are strictly validated: malformed values are hard usage
+//! errors, never silent fallbacks.
 
 use std::io::Write as _;
 use std::process::ExitCode;
@@ -58,8 +63,8 @@ use sp2b_datagen::{generate_graph, generate_to_path, Config};
 use sp2b_rdf::Graph;
 use sp2b_server::ServerConfig;
 use sp2b_sparql::results::{self, Format, WriteError};
-use sp2b_sparql::{Error as SparqlError, Prepared, QueryEngine};
-use sp2b_store::ShardBy;
+use sp2b_sparql::{Error as SparqlError, Prepared, QueryEngine, ScanCounters};
+use sp2b_store::{ShardBy, TripleStore};
 
 fn main() -> ExitCode {
     let args = Args::parse(std::env::args().skip(1));
@@ -169,6 +174,9 @@ fn load_engine(kind: EngineKind, graph: &Graph, layout: &StoreLayout) -> Engine 
     );
     if let Some(info) = engine.shards() {
         eprintln!("{}", info.summary());
+    }
+    if let Some(stats) = engine.stats_summary() {
+        eprintln!("{stats}");
     }
     engine
 }
@@ -318,6 +326,9 @@ fn open_disk_engine(args: &Args, dir: &std::path::Path) -> Result<Engine, String
     );
     if let Some(info) = engine.shards() {
         eprintln!("{}", info.summary());
+    }
+    if let Some(stats) = engine.stats_summary() {
+        eprintln!("{stats}");
     }
     Ok(engine)
 }
@@ -661,7 +672,12 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         }
     };
     let limit = args.get_u64("limit", 50) as usize;
-    let qe = engine.query_engine_with(Some(timeout(args, 300)?), threads(args)?);
+    let explain = args.has("explain");
+    let counters = std::sync::Arc::new(ScanCounters::default());
+    let mut qe = engine.query_engine_with(Some(timeout(args, 300)?), threads(args)?);
+    if explain {
+        qe = qe.scan_counters(counters.clone());
+    }
     let prepared = qe.prepare(&text).map_err(|e| e.to_string())?;
     if let Some(format) = output_format(args)? {
         return serialize_to_stdout(&qe, &prepared, format);
@@ -677,6 +693,9 @@ fn cmd_run(args: &Args) -> Result<(), String> {
                 "no"
             }
         );
+        if explain {
+            println!("{}", explain_report(&prepared, qe.store(), &counters));
+        }
         return Ok(());
     }
     // Stream: the first `limit` rows decode and print; the rest are only
@@ -687,7 +706,86 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     if total > shown as u64 {
         eprintln!("… ({} more rows; raise --limit)", total - shown as u64);
     }
+    if explain {
+        println!("{}", explain_report(&prepared, qe.store(), &counters));
+    }
     Ok(())
+}
+
+/// `--explain`: renders the prepared plan's BGP join order with, per
+/// pattern, the store's estimated cardinality next to the rows the step
+/// actually emitted during execution (read back from the attached
+/// [`ScanCounters`]). The first line states which statistics the planner
+/// ordered with.
+fn explain_report(prepared: &Prepared, store: &dyn TripleStore, counters: &ScanCounters) -> String {
+    use sp2b_sparql::plan::{Plan, PlanPattern, PlanSlot};
+    fn collect<'p>(plan: &'p Plan, out: &mut Vec<&'p PlanPattern>) {
+        match plan {
+            Plan::Bgp { patterns, .. } => out.extend(patterns.iter()),
+            Plan::Join { left, right, .. } | Plan::LeftJoin { left, right, .. } => {
+                collect(left, out);
+                collect(right, out);
+            }
+            Plan::Union(a, b) => {
+                collect(a, out);
+                collect(b, out);
+            }
+            Plan::Filter(_, inner)
+            | Plan::Distinct(inner)
+            | Plan::Project(_, inner)
+            | Plan::OrderBy(_, inner) => collect(inner, out),
+            Plan::Slice { input, .. }
+            | Plan::GroupAggregate { input, .. }
+            | Plan::Exchange { input, .. } => collect(input, out),
+        }
+    }
+    let dict = store.dictionary();
+    let slot = |s: &PlanSlot| match s {
+        PlanSlot::Var(v) => format!("?{v}"),
+        PlanSlot::Const(Some(id)) => dict.decode(*id).to_string(),
+        PlanSlot::Const(None) => "<absent-from-data>".to_owned(),
+    };
+    let mut patterns = Vec::new();
+    collect(prepared.plan(), &mut patterns);
+    let mut out = String::from("join order (estimated cardinality vs actual rows emitted):\n");
+    match store.stats() {
+        Some(stats) => out.push_str(&format!(
+            "  statistics: {} predicates, {} characteristic sets over {} triples\n",
+            stats.predicates.len(),
+            stats.characteristic_sets.len(),
+            stats.triples
+        )),
+        None => out.push_str("  statistics: none (fixed-discount heuristic order)\n"),
+    }
+    let mut est_total: u64 = 0;
+    let mut actual_total: u64 = 0;
+    for (i, p) in patterns.iter().enumerate() {
+        let mut store_pattern: sp2b_store::Pattern = [None, None, None];
+        for (pos, s) in p.slots.iter().enumerate() {
+            if let PlanSlot::Const(Some(id)) = s {
+                store_pattern[pos] = Some(*id);
+            }
+        }
+        let est = if p.is_unsatisfiable() {
+            0
+        } else {
+            store.estimate(store_pattern)
+        };
+        let actual = counters.rows_for(&p.slots);
+        est_total = est_total.saturating_add(est);
+        actual_total = actual_total.saturating_add(actual);
+        out.push_str(&format!(
+            "  {:>2}. {} {} {}  est {est}, rows {actual}\n",
+            i + 1,
+            slot(&p.slots[0]),
+            slot(&p.slots[1]),
+            slot(&p.slots[2]),
+        ));
+    }
+    out.push_str(&format!(
+        "  total: estimated {est_total}, emitted {actual_total} rows"
+    ));
+    out
 }
 
 /// Human phrasing for streaming errors on the CLI.
@@ -718,7 +816,12 @@ fn cmd_query(args: &Args) -> Result<(), String> {
     };
     let n = engine.store().len();
     let engine_label = engine.kind();
-    let qe = engine.query_engine_with(Some(timeout(args, 300)?), threads(args)?);
+    let explain = args.has("explain");
+    let counters = std::sync::Arc::new(ScanCounters::default());
+    let mut qe = engine.query_engine_with(Some(timeout(args, 300)?), threads(args)?);
+    if explain {
+        qe = qe.scan_counters(counters.clone());
+    }
     let prepared = qe.prepare(query.text()).map_err(|e| e.to_string())?;
     if let Some(format) = output_format(args)? {
         return serialize_to_stdout(&qe, &prepared, format);
@@ -735,6 +838,9 @@ fn cmd_query(args: &Args) -> Result<(), String> {
             },
             m.summary()
         );
+        if explain {
+            println!("{}", explain_report(&prepared, qe.store(), &counters));
+        }
         return Ok(());
     }
     let (streamed, m) = measure(|| stream_rows(&qe, &prepared, limit as usize, ""));
@@ -746,6 +852,9 @@ fn cmd_query(args: &Args) -> Result<(), String> {
     );
     if total > shown as u64 {
         println!("… ({} more rows)", total - shown as u64);
+    }
+    if explain {
+        println!("{}", explain_report(&prepared, qe.store(), &counters));
     }
     Ok(())
 }

@@ -515,6 +515,101 @@ pub fn calibrate(triples: u64, degree: usize, runs: usize) -> Result<String, Str
         "feed it into an engine with QueryOptions::new().parallel_base(N) \
          (the clamp window scales with the base: N/4 … N×8)\n",
     );
+    out.push('\n');
+    out.push_str(&calibrate_weights(&store, rows, runs, t_seq)?);
+    Ok(out)
+}
+
+/// Measured per-operator cost weights (`plan::CostWeights`): times a
+/// filtered scan, an index-probe chain and a hash self-join against the
+/// plain full scan, and expresses each operator's marginal per-row time
+/// in index-probe units (probe ≡ 1.0). The differences fold the rows the
+/// heavier shapes additionally emit into the operator's weight — a crude
+/// but *measured* replacement for the hand-tuned constants, fed back in
+/// through `QueryOptions::cost_weights`.
+fn calibrate_weights(
+    store: &SharedStore,
+    rows: u64,
+    runs: usize,
+    t_scan: Duration,
+) -> Result<String, String> {
+    use sp2b_sparql::CostWeights;
+
+    let time_query = |text: &str| -> Result<Duration, String> {
+        let engine = QueryEngine::with_options(
+            store.clone(),
+            sp2b_sparql::QueryOptions::new().parallelism(1),
+        );
+        let prepared = engine.prepare(text).map_err(|e| e.to_string())?;
+        let mut best: Option<Duration> = None;
+        for _ in 0..runs.max(1) {
+            let t0 = Instant::now();
+            engine.count(&prepared).map_err(|e| e.to_string())?;
+            let elapsed = t0.elapsed();
+            best = Some(best.map_or(elapsed, |b| b.min(elapsed)));
+        }
+        Ok(best.expect("runs >= 1"))
+    };
+
+    // Marginal per-driving-row time of each operator over the plain scan.
+    let t_filter = time_query("SELECT ?s WHERE { ?s ?p ?o FILTER (?o != ?s) }")?;
+    let t_probe = time_query("SELECT ?s WHERE { ?s ?p ?o . ?s ?q ?r }")?;
+    let t_hash = time_query("SELECT ?s WHERE { { ?s ?p ?o } { ?s ?q ?r } }")?;
+
+    let per_row = |t: Duration, baseline: Duration| -> f64 {
+        (t.as_secs_f64() - baseline.as_secs_f64()).max(0.0) / rows as f64
+    };
+    let emit_t = t_scan.as_secs_f64() / rows as f64;
+    let filter_t = per_row(t_filter, t_scan);
+    let probe_t = per_row(t_probe, t_scan);
+    // The hash join scans both sides; its marginal cost over *two* scans
+    // is the per-probe bucket work.
+    let hash_t = (t_hash.as_secs_f64() - 2.0 * t_scan.as_secs_f64()).max(0.0) / rows as f64;
+
+    let defaults = CostWeights::default();
+    // Probe is the model's unit. A degenerate measurement (probe time in
+    // the noise floor) keeps the hand-tuned defaults rather than dividing
+    // by nothing.
+    if probe_t <= 1e-12 {
+        return Ok(format!(
+            "OPERATOR WEIGHTS — probe time below the noise floor; keeping defaults \
+             (emit {:.2}, filter {:.2}, probe {:.2}, hash-probe {:.2})\n",
+            defaults.emit, defaults.filter, defaults.probe, defaults.hash_probe
+        ));
+    }
+    let clamp = |w: f64| w.clamp(0.05, 8.0);
+    let weights = CostWeights {
+        emit: clamp(emit_t / probe_t),
+        filter: clamp(filter_t / probe_t),
+        probe: 1.0,
+        hash_probe: clamp(hash_t / probe_t),
+    };
+
+    let mut out = format!("OPERATOR WEIGHTS — min of {runs} run(s), probe ≡ 1.0\n\n");
+    for (label, t) in [
+        ("scan-and-emit row", emit_t),
+        ("filter evaluation", filter_t),
+        ("index probe", probe_t),
+        ("hash-bucket probe", hash_t),
+    ] {
+        out.push_str(&format!("{:<34} {:>10.1} ns/row\n", label, t * 1e9));
+    }
+    out.push_str(&format!(
+        "\nsuggested cost weights: emit {:.2}, filter {:.2}, probe {:.2}, hash-probe {:.2} \
+         (defaults: {:.2}/{:.2}/{:.2}/{:.2})\n",
+        weights.emit,
+        weights.filter,
+        weights.probe,
+        weights.hash_probe,
+        defaults.emit,
+        defaults.filter,
+        defaults.probe,
+        defaults.hash_probe,
+    ));
+    out.push_str(
+        "feed them into an engine with QueryOptions::new().cost_weights(..) — they scale \
+         the pipeline cost model behind the parallelize threshold\n",
+    );
     Ok(out)
 }
 

@@ -317,6 +317,20 @@ impl Engine {
         &*self.store
     }
 
+    /// One human line of the store's load-time statistics — what the
+    /// cost-based planner runs on — or `None` for a store that collects
+    /// none (the planner then falls back to its fixed-discount
+    /// heuristic).
+    pub fn stats_summary(&self) -> Option<String> {
+        let stats = self.store.stats()?;
+        Some(format!(
+            "statistics: {} predicates, {} characteristic sets over {} triples",
+            stats.predicates.len(),
+            stats.characteristic_sets.len(),
+            stats.triples
+        ))
+    }
+
     /// An owning handle to the store — what the multi-user driver hands
     /// to each client thread.
     pub fn shared_store(&self) -> SharedStore {

@@ -242,6 +242,9 @@ pub fn run_mixed_workload(
     if let Some(info) = engine.shards() {
         progress(&info.summary());
     }
+    if let Some(stats) = engine.stats_summary() {
+        progress(&stats);
+    }
     let mut report = run_mixed_workload_on(&engine, &cfg.multiuser, progress);
     report.scale = cfg.scale;
     report

@@ -35,12 +35,14 @@ use std::time::{Duration, Instant};
 use sp2b_rdf::Term;
 use sp2b_store::{Dictionary, Id, SharedStore, TripleStore};
 
+use std::sync::Arc;
+
 use crate::algebra::{translate_query, GroupSpec, TranslateError};
 use crate::ast::Query;
-use crate::eval::{AggCell, AggRow, Bindings, Cancellation, EvalContext, RowIter};
+use crate::eval::{AggCell, AggRow, Bindings, Cancellation, EvalContext, RowIter, ScanCounters};
 use crate::optimizer::{optimize, OptimizerConfig};
 use crate::parser::{parse, ParseError};
-use crate::plan::{bind, parallelize_with, Plan};
+use crate::plan::{bind, parallelize_calibrated, CostWeights, Plan};
 
 /// Everything that can go wrong preparing or running a query.
 #[derive(Debug)]
@@ -96,11 +98,13 @@ pub struct QueryOptions {
     row_limit: Option<u64>,
     parallelism: usize,
     parallel_base: u64,
+    cost_weights: CostWeights,
 }
 
 impl Default for QueryOptions {
     /// Full optimization, no timeout, no row limit, parallelism = number
-    /// of available cores, the static exchange-threshold base.
+    /// of available cores, the static exchange-threshold base and the
+    /// hand-tuned operator cost weights.
     fn default() -> Self {
         QueryOptions {
             optimizer: OptimizerConfig::full(),
@@ -108,6 +112,7 @@ impl Default for QueryOptions {
             row_limit: None,
             parallelism: default_parallelism(),
             parallel_base: crate::plan::PARALLEL_BASE_THRESHOLD,
+            cost_weights: CostWeights::default(),
         }
     }
 }
@@ -195,6 +200,20 @@ impl QueryOptions {
     pub fn parallel_base_rows(&self) -> u64 {
         self.parallel_base
     }
+
+    /// Sets the per-operator cost weights the planner's pipeline cost
+    /// model uses (see [`crate::plan::CostWeights`]). The default is the
+    /// hand-tuned constants; `sp2b calibrate` measures scan-emit, filter
+    /// and hash-probe timings on the actual host and feeds them in here.
+    pub fn cost_weights(mut self, weights: CostWeights) -> Self {
+        self.cost_weights = weights;
+        self
+    }
+
+    /// The configured per-operator cost weights.
+    pub fn cost_weight_values(&self) -> &CostWeights {
+        &self.cost_weights
+    }
 }
 
 /// The query facade: an **owned** store handle plus a [`QueryOptions`]
@@ -224,6 +243,7 @@ impl QueryOptions {
 pub struct QueryEngine {
     store: SharedStore,
     options: QueryOptions,
+    counters: Option<Arc<ScanCounters>>,
 }
 
 impl QueryEngine {
@@ -234,12 +254,17 @@ impl QueryEngine {
         QueryEngine {
             store,
             options: QueryOptions::default(),
+            counters: None,
         }
     }
 
     /// An engine with an explicit policy.
     pub fn with_options(store: SharedStore, options: QueryOptions) -> Self {
-        QueryEngine { store, options }
+        QueryEngine {
+            store,
+            options,
+            counters: None,
+        }
     }
 
     /// Replaces the optimizer configuration.
@@ -274,6 +299,16 @@ impl QueryEngine {
     /// calls.
     pub fn parallel_base(mut self, rows: u64) -> Self {
         self.options = self.options.parallel_base(rows);
+        self
+    }
+
+    /// Attaches per-pattern row-count instrumentation: every execution
+    /// through this engine adds the rows each BGP pattern step emits to
+    /// `counters` (see [`ScanCounters`]) — the `--explain` flag and the
+    /// planner regression tests read them back. Instrumentation is off
+    /// (and free) unless attached.
+    pub fn scan_counters(mut self, counters: Arc<ScanCounters>) -> Self {
+        self.counters = Some(counters);
         self
     }
 
@@ -315,11 +350,12 @@ impl QueryEngine {
             &needed,
         );
         let plan = bind(&algebra, self.store());
-        let plan = parallelize_with(
+        let plan = parallelize_calibrated(
             plan,
             self.store(),
             self.options.parallelism,
             self.options.parallel_base,
+            &self.options.cost_weights,
         );
         Ok(Prepared {
             plan,
@@ -345,6 +381,7 @@ impl QueryEngine {
             shared: Some(self.store.clone()),
             cancel: cancel.clone(),
             width: prepared.width,
+            counters: self.counters.clone(),
         }
     }
 

@@ -135,6 +135,35 @@ impl Cancellation {
     }
 }
 
+/// Per-pattern row counters for plan instrumentation (the `--explain`
+/// flag and the planner regression tests): each BGP pattern step records
+/// how many rows it emitted, keyed by the pattern's slots. Shared across
+/// exchange worker threads via `Arc`; when absent
+/// ([`EvalContext::counters`] is `None`, the default) the instrumentation
+/// costs one branch per pattern-step drop.
+#[derive(Debug, Default)]
+pub struct ScanCounters {
+    rows: std::sync::Mutex<FxHashMap<[PlanSlot; 3], u64>>,
+}
+
+impl ScanCounters {
+    /// Rows emitted by the pattern step with these slots (0 if it never
+    /// ran).
+    pub fn rows_for(&self, slots: &[PlanSlot; 3]) -> u64 {
+        *self.rows.lock().unwrap().get(slots).unwrap_or(&0)
+    }
+
+    /// Total rows emitted across all pattern steps — the query's
+    /// intermediate-result volume, the planner's work metric.
+    pub fn total_rows(&self) -> u64 {
+        self.rows.lock().unwrap().values().sum()
+    }
+
+    fn add(&self, slots: [PlanSlot; 3], rows: u64) {
+        *self.rows.lock().unwrap().entry(slots).or_insert(0) += rows;
+    }
+}
+
 /// Evaluation context: store + cancellation + row width. Cloning is cheap
 /// (a reference copy plus an `Arc` bump), so the lazy iterators capture it
 /// by value.
@@ -154,6 +183,9 @@ pub struct EvalContext<'a> {
     pub cancel: Cancellation,
     /// Number of variables (row width).
     pub width: usize,
+    /// Row-count instrumentation, when the caller wants it (see
+    /// [`ScanCounters`]).
+    pub counters: Option<std::sync::Arc<ScanCounters>>,
 }
 
 /// A stream of solutions.
@@ -735,6 +767,7 @@ pub(crate) struct PatternBind<'a> {
     pattern: &'a PlanPattern,
     base: Bindings,
     dead: bool,
+    emitted: u64,
 }
 
 impl<'a> PatternBind<'a> {
@@ -759,6 +792,18 @@ impl<'a> PatternBind<'a> {
             pattern,
             base,
             dead,
+            emitted: 0,
+        }
+    }
+}
+
+impl Drop for PatternBind<'_> {
+    fn drop(&mut self) {
+        // Flush once per step: the per-row path stays a plain increment.
+        if self.emitted > 0 {
+            if let Some(counters) = &self.ctx.counters {
+                counters.add(self.pattern.slots, self.emitted);
+            }
         }
     }
 }
@@ -776,6 +821,7 @@ impl Iterator for PatternBind<'_> {
             }
             let triple = self.scan.next()?;
             if let Some(row) = extend_row(&self.base, self.pattern, &triple) {
+                self.emitted += 1;
                 return Some(row);
             }
         }
@@ -843,6 +889,7 @@ mod tests {
             shared: None,
             cancel: cancel.clone(),
             width: t.vars.len(),
+            counters: None,
         };
         ctx.eval(&plan)
             .map(|row| {
@@ -1026,6 +1073,7 @@ mod tests {
             shared: Some(store.clone()),
             cancel: Cancellation::none(),
             width: t.vars.len(),
+            counters: None,
         };
         let seq: Vec<Bindings> = ctx().eval(&sequential).collect();
         let par: Vec<Bindings> = ctx().eval(&parallel).collect();
@@ -1060,6 +1108,7 @@ mod tests {
             shared: Some(store.clone()),
             cancel: cancel.clone(),
             width: t.vars.len(),
+            counters: None,
         };
         assert_eq!(ctx.eval(&plan).count(), 0);
         assert!(cancel.was_triggered());
@@ -1102,6 +1151,7 @@ mod tests {
             shared: None,
             cancel: cancel.clone(),
             width: t.vars.len(),
+            counters: None,
         };
         assert_eq!(ctx.eval(&plan).count(), 0);
         assert!(cancel.was_triggered());

@@ -62,6 +62,7 @@ pub mod results;
 
 pub use api::{Error, Prepared, QueryEngine, QueryOptions, QueryResult, Solution, Solutions};
 pub use ast::Query;
-pub use eval::{Bindings, Cancellation, EvalContext};
+pub use eval::{Bindings, Cancellation, EvalContext, ScanCounters};
 pub use optimizer::OptimizerConfig;
 pub use parser::{parse, ParseError};
+pub use plan::CostWeights;

@@ -20,7 +20,7 @@
 //! on randomized data.
 
 use sp2b_rdf::Term;
-use sp2b_store::TripleStore;
+use sp2b_store::{Id, StoreStats, TripleStore};
 
 use crate::algebra::{Algebra, Expr, ResolvedPattern, Slot};
 use crate::ast::CmpOp;
@@ -359,30 +359,74 @@ fn as_var_eq_const(e: &Expr) -> Option<(usize, Term)> {
     None
 }
 
-/// Greedy selectivity ordering: repeatedly pick the cheapest pattern given
-/// already-bound variables; unconnected patterns pay a cartesian penalty.
+/// The cartesian penalty: a pattern sharing no variable with the bound
+/// set multiplies the intermediate result — only ever pick one when
+/// nothing connected remains.
+const CARTESIAN_PENALTY: f64 = 1e9;
+
+/// Greedy cost-based ordering: repeatedly pick the pattern whose addition
+/// is cheapest given the variables bound so far.
+///
+/// With [`TripleStore::stats`] available, "cheapest" means lowest
+/// estimated *output cardinality* of the partial join after adding the
+/// candidate — per-binding fan-outs come from characteristic sets for
+/// star steps (a bound subject variable extended by another constant
+/// predicate) and from distinct-count ratios everywhere else, plus the
+/// fetch-vs-per-binding-lookup choice from the same numbers. Without
+/// stats (a store type that collects none), the orderer falls back to
+/// the historical fixed-discount heuristic.
 fn reorder(patterns: Vec<ResolvedPattern>, store: &dyn TripleStore) -> Vec<ResolvedPattern> {
     let n = patterns.len();
     if n <= 1 {
         return patterns;
     }
-    let base_costs: Vec<f64> = patterns.iter().map(|p| base_estimate(p, store)).collect();
+    // Constant slots resolve once; `None` marks a pattern holding a term
+    // absent from the data — zero matches, so it orders first and cuts
+    // the plan immediately (the paper's "Q3c in constant time via
+    // statistics").
+    let resolved: Vec<Option<sp2b_store::Pattern>> =
+        patterns.iter().map(|p| resolve_consts(p, store)).collect();
+    let base: Vec<f64> = resolved
+        .iter()
+        .map(|r| r.map_or(0.0, |pat| store.estimate(pat) as f64))
+        .collect();
+    let order = match store.stats() {
+        Some(stats) if stats.triples > 0 => stats_order(&patterns, &resolved, &base, stats),
+        _ => heuristic_order(&patterns, &base),
+    };
+    order.into_iter().map(|i| patterns[i].clone()).collect()
+}
 
-    let mut remaining: Vec<usize> = (0..n).collect();
-    let mut ordered: Vec<ResolvedPattern> = Vec::with_capacity(n);
-    let mut bound: Vec<usize> = Vec::new();
+/// The pattern's constant slots as store ids; `None` when a constant
+/// does not occur in the data at all.
+fn resolve_consts(p: &ResolvedPattern, store: &dyn TripleStore) -> Option<sp2b_store::Pattern> {
+    let mut pattern: sp2b_store::Pattern = [None, None, None];
+    for (i, slot) in p.slots().into_iter().enumerate() {
+        if let Slot::Const(t) = slot {
+            pattern[i] = Some(store.resolve(t)?);
+        }
+    }
+    Some(pattern)
+}
 
+/// The historical fixed-discount greedy: each already-bound variable
+/// earns a blind 8× discount on the pattern's base estimate.
+fn heuristic_order(patterns: &[ResolvedPattern], base: &[f64]) -> Vec<usize> {
+    let mut remaining: Vec<usize> = (0..patterns.len()).collect();
+    let mut order = Vec::with_capacity(patterns.len());
+    let mut bound = VarSet::default();
     while !remaining.is_empty() {
         let mut best_pos = 0;
         let mut best_score = f64::INFINITY;
         for (pos, &idx) in remaining.iter().enumerate() {
-            let p = &patterns[idx];
-            let vars: Vec<usize> = p.variables().collect();
-            let bound_vars = vars.iter().filter(|v| bound.contains(v)).count();
+            let bound_vars = patterns[idx]
+                .variables()
+                .filter(|&v| bound.contains(v))
+                .count();
             let connected = bound.is_empty() || bound_vars > 0;
-            let mut score = base_costs[idx] / 8f64.powi(bound_vars as i32);
+            let mut score = base[idx] / 8f64.powi(bound_vars as i32);
             if !connected {
-                score *= 1e9; // cartesian product: only as a last resort
+                score *= CARTESIAN_PENALTY;
             }
             if score < best_score {
                 best_score = score;
@@ -390,26 +434,217 @@ fn reorder(patterns: Vec<ResolvedPattern>, store: &dyn TripleStore) -> Vec<Resol
             }
         }
         let idx = remaining.remove(best_pos);
-        bound.extend(patterns[idx].variables());
-        ordered.push(patterns[idx].clone());
+        for v in patterns[idx].variables() {
+            bound.insert(v);
+        }
+        order.push(idx);
     }
-    ordered
+    order
 }
 
-/// Store estimate for the pattern's constant positions. An unresolvable
-/// constant means zero matches — such patterns order first and cut the
-/// plan immediately (the paper's "Q3c in constant time via statistics").
-fn base_estimate(p: &ResolvedPattern, store: &dyn TripleStore) -> f64 {
-    let mut pattern: sp2b_store::Pattern = [None, None, None];
-    for (i, slot) in p.slots().into_iter().enumerate() {
-        if let Slot::Const(t) = slot {
-            match store.resolve(t) {
-                Some(id) => pattern[i] = Some(id),
-                None => return 0.0,
+/// The statistics-driven greedy: tracks the partial join's estimated
+/// cardinality and, per candidate, the per-binding fan-out of adding it.
+fn stats_order(
+    patterns: &[ResolvedPattern],
+    resolved: &[Option<sp2b_store::Pattern>],
+    base: &[f64],
+    stats: &StoreStats,
+) -> Vec<usize> {
+    let mut remaining: Vec<usize> = (0..patterns.len()).collect();
+    let mut order = Vec::with_capacity(patterns.len());
+    let mut bound = VarSet::default();
+    // Per subject *variable*: the sorted constant-predicate ids of the
+    // star placed on it so far — the characteristic-set context.
+    let mut stars: Vec<(usize, Vec<Id>)> = Vec::new();
+    let mut rows = 1.0f64;
+
+    while !remaining.is_empty() {
+        let mut best_pos = 0;
+        let mut best_score = f64::INFINITY;
+        let mut best_rows = 0.0;
+        for (pos, &idx) in remaining.iter().enumerate() {
+            let (out, cost) = candidate_cost(
+                &patterns[idx],
+                &resolved[idx],
+                base[idx],
+                stats,
+                &bound,
+                &stars,
+                rows,
+            );
+            if cost < best_score {
+                best_score = cost;
+                best_pos = pos;
+                best_rows = out;
             }
         }
+        let idx = remaining.remove(best_pos);
+        rows = best_rows.max(0.0);
+        // Extend the star context: a constant predicate on a variable
+        // subject contributes to that variable's characteristic set.
+        if let (Slot::Var(sv), Some(pat)) = (&patterns[idx].s, &resolved[idx]) {
+            if let Some(pid) = pat[1] {
+                match stars.iter_mut().find(|(v, _)| v == sv) {
+                    Some((_, preds)) => {
+                        if let Err(at) = preds.binary_search(&pid) {
+                            preds.insert(at, pid);
+                        }
+                    }
+                    None => stars.push((*sv, vec![pid])),
+                }
+            }
+        }
+        for v in patterns[idx].variables() {
+            bound.insert(v);
+        }
+        order.push(idx);
     }
-    store.estimate(pattern) as f64
+    order
+}
+
+/// Estimated `(output_rows, cost)` of adding one candidate to a partial
+/// join of `rows` estimated rows. The cost charges the cheaper of a
+/// per-binding index lookup (one probe per current row) and fetching the
+/// whole pattern once (a scan-then-hash-join shape), plus the rows the
+/// step emits.
+fn candidate_cost(
+    pattern: &ResolvedPattern,
+    resolved: &Option<sp2b_store::Pattern>,
+    base: f64,
+    stats: &StoreStats,
+    bound: &VarSet,
+    stars: &[(usize, Vec<Id>)],
+    rows: f64,
+) -> (f64, f64) {
+    if resolved.is_none() || base == 0.0 {
+        return (0.0, 0.0); // matches nothing: cut the plan right here
+    }
+    let pat = resolved.as_ref().expect("checked above");
+    let s_bound = pattern.s.as_var().is_some_and(|v| bound.contains(v));
+    let p_bound = pattern.p.as_var().is_some_and(|v| bound.contains(v));
+    let o_bound = pattern.o.as_var().is_some_and(|v| bound.contains(v));
+    let connected = bound.is_empty() || s_bound || p_bound || o_bound;
+
+    // Per-binding fan-out of the candidate. A driving scan (nothing
+    // bound yet) and a cartesian step (bound, but disjoint) both fan
+    // out by the full pattern; the latter is penalized below.
+    let fanout = if bound.is_empty() || !connected {
+        base
+    } else if s_bound && pat[1].is_some() {
+        star_fanout(pattern, pat, base, stats, stars)
+    } else {
+        ratio_fanout(pat, base, stats, s_bound, p_bound, o_bound)
+    };
+    let out = rows * fanout;
+    // Fetch + hash-join pays the whole pattern once; per-binding lookup
+    // pays one probe per current row — take whichever is cheaper.
+    let mut cost = out + rows.min(base);
+    if !connected {
+        cost *= CARTESIAN_PENALTY;
+    }
+    (out, cost)
+}
+
+/// Characteristic-set fan-out for a star step: the subject variable is
+/// bound and the candidate adds constant predicate `p_new` to it. Among
+/// subjects carrying the star's predicates so far, how many `p_new`
+/// triples does each contribute on average?
+fn star_fanout(
+    pattern: &ResolvedPattern,
+    pat: &sp2b_store::Pattern,
+    base: f64,
+    stats: &StoreStats,
+    stars: &[(usize, Vec<Id>)],
+) -> f64 {
+    let p_new = pat[1].expect("caller checked the predicate is const");
+    let star = pattern
+        .s
+        .as_var()
+        .and_then(|sv| stars.iter().find(|(v, _)| *v == sv))
+        .map(|(_, preds)| preds.as_slice())
+        .filter(|preds| !preds.is_empty());
+    if let (Some(preds), true) = (star, stats.has_characteristic_sets()) {
+        let subjects = stats.subjects_with_predicates(preds);
+        if subjects > 0 {
+            let matched = stats.star_triples(preds, p_new) as f64;
+            let mut fanout = matched / subjects as f64;
+            // A bound or constant object filters further by its
+            // distinct-count ratio.
+            if pat[2].is_some() || pattern.o.as_var().is_none() {
+                // Constant object: `base` already accounts for it — scale
+                // the CS number by the same selectivity base implies.
+                if let Some(ps) = stats.predicate(p_new) {
+                    if ps.triples > 0 {
+                        fanout *= base / ps.triples as f64;
+                    }
+                }
+            }
+            return fanout;
+        }
+    }
+    // No star context (or CS overflowed): distinct-subject ratio.
+    match stats.predicate(p_new) {
+        Some(ps) => base / ps.distinct_subjects.max(1) as f64,
+        None => 0.0,
+    }
+}
+
+/// Distinct-count-ratio fan-out: the candidate's base estimate divided
+/// by the distinct count of every position joining on a bound variable.
+fn ratio_fanout(
+    pat: &sp2b_store::Pattern,
+    base: f64,
+    stats: &StoreStats,
+    s_bound: bool,
+    p_bound: bool,
+    o_bound: bool,
+) -> f64 {
+    let pred = pat[1].and_then(|p| stats.predicate(p));
+    let mut fanout = base;
+    if s_bound {
+        let distinct = pred.map_or(stats.distinct_subjects, |ps| ps.distinct_subjects);
+        fanout /= distinct.max(1) as f64;
+    }
+    if o_bound {
+        let distinct = pred.map_or(stats.distinct_objects, |ps| ps.distinct_objects);
+        fanout /= distinct.max(1) as f64;
+    }
+    if p_bound {
+        fanout /= (stats.predicates.len() as u64).max(1) as f64;
+    }
+    fanout
+}
+
+/// A dense variable-index set backed by bit words — the bound-variable
+/// tracker (replacing the old O(n²) `Vec::contains` scan).
+#[derive(Default)]
+struct VarSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl VarSet {
+    fn insert(&mut self, v: usize) {
+        let word = v / 64;
+        if word >= self.words.len() {
+            self.words.resize(word + 1, 0);
+        }
+        let mask = 1u64 << (v % 64);
+        if self.words[word] & mask == 0 {
+            self.words[word] |= mask;
+            self.len += 1;
+        }
+    }
+
+    fn contains(&self, v: usize) -> bool {
+        self.words
+            .get(v / 64)
+            .is_some_and(|w| w & (1u64 << (v % 64)) != 0)
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len == 0
+    }
 }
 
 #[cfg(test)]

@@ -395,6 +395,7 @@ pub(crate) fn eval_exchange<'a>(
             chunk_target,
             n_morsels,
             width: ctx.width,
+            counters: ctx.counters.clone(),
         };
         handles.push(
             std::thread::Builder::new()
@@ -446,6 +447,7 @@ struct Worker {
     chunk_target: usize,
     n_morsels: usize,
     width: usize,
+    counters: Option<Arc<crate::eval::ScanCounters>>,
 }
 
 impl Worker {
@@ -461,6 +463,7 @@ impl Worker {
             shared: None,
             cancel: self.cancel.clone(),
             width: self.width,
+            counters: self.counters.clone(),
         };
         let chunks = store.scan_chunks(self.scan_pattern, self.chunk_target);
         debug_assert_eq!(

@@ -19,7 +19,7 @@ use crate::algebra::{Algebra, GroupSpec, ResolvedPattern, Slot};
 use crate::expr::BoundExpr;
 
 /// A pattern slot bound to the store.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PlanSlot {
     /// Constant term: its id, or `None` if absent from the data.
     Const(Option<Id>),
@@ -257,6 +257,36 @@ pub const PARALLEL_MAX_THRESHOLD: u64 = 4096;
 /// threshold: a moderate BGP chain of half a dozen index probes.
 const REFERENCE_PIPELINE_COST: f64 = 8.0;
 
+/// Per-operator cost weights for [`pipeline_cost_per_row`], in "index
+/// probe" units. The defaults are the historical hand-tuned constants;
+/// `sp2b calibrate` *measures* them (scan-emit, filter, hash-probe
+/// micro-timings on generated data) and feeds the result through
+/// [`crate::QueryOptions::cost_weights`], so the parallelize threshold
+/// reflects the machine it runs on rather than the one the constants
+/// were tuned on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostWeights {
+    /// Emitting a driving row (the scan-and-emit floor).
+    pub emit: f64,
+    /// Evaluating one pushed-down or standalone filter.
+    pub filter: f64,
+    /// One binary-searched index probe (each subsequent BGP pattern).
+    pub probe: f64,
+    /// One hash-table bucket lookup (join probe, before fan-out).
+    pub hash_probe: f64,
+}
+
+impl Default for CostWeights {
+    fn default() -> Self {
+        CostWeights {
+            emit: 0.5,
+            filter: 0.25,
+            probe: 1.0,
+            hash_probe: 1.0,
+        }
+    }
+}
+
 /// Heuristic cost of running one driving row through the rest of the
 /// pipeline, in "index probe" units (the morsel driver's unit of work):
 ///
@@ -273,12 +303,21 @@ const REFERENCE_PIPELINE_COST: f64 = 8.0;
 /// cost (their threshold is the base — moot, since [`maybe_exchange`]
 /// only wraps runnable segments).
 pub fn pipeline_cost_per_row(plan: &Plan, store: &dyn TripleStore) -> f64 {
+    pipeline_cost_per_row_with(plan, store, &CostWeights::default())
+}
+
+/// Like [`pipeline_cost_per_row`] with calibrated operator weights.
+pub fn pipeline_cost_per_row_with(
+    plan: &Plan,
+    store: &dyn TripleStore,
+    weights: &CostWeights,
+) -> f64 {
     match plan {
         Plan::Bgp { patterns, filters } => {
-            let mut cost = 0.5 + 0.25 * filters.len() as f64;
+            let mut cost = weights.emit + weights.filter * filters.len() as f64;
             for p in patterns.iter().skip(1) {
                 let est = store.estimate(const_pattern(p)).max(2) as f64;
-                cost += 1.0 + est.log2() / 16.0;
+                cost += weights.probe + est.log2() / 16.0;
             }
             cost
         }
@@ -290,9 +329,11 @@ pub fn pipeline_cost_per_row(plan: &Plan, store: &dyn TripleStore) -> f64 {
                 .filter(|p| !p.is_unsatisfiable())
                 .map_or(64.0, |p| store.estimate(const_pattern(p)).max(2) as f64);
             let fanout = (build / 256.0).clamp(1.0, 64.0);
-            pipeline_cost_per_row(left, store) + 1.0 + fanout
+            pipeline_cost_per_row_with(left, store, weights) + weights.hash_probe + fanout
         }
-        Plan::Filter(_, inner) => 0.25 + pipeline_cost_per_row(inner, store),
+        Plan::Filter(_, inner) => {
+            weights.filter + pipeline_cost_per_row_with(inner, store, weights)
+        }
         _ => REFERENCE_PIPELINE_COST,
     }
 }
@@ -317,8 +358,18 @@ pub fn parallel_threshold(plan: &Plan, store: &dyn TripleStore) -> u64 {
 /// base above 4096 — or below 128 — is honoured rather than clamped back
 /// to the static window.
 pub fn parallel_threshold_with(plan: &Plan, store: &dyn TripleStore, base: u64) -> u64 {
+    parallel_threshold_calibrated(plan, store, base, &CostWeights::default())
+}
+
+/// Like [`parallel_threshold_with`] with calibrated operator weights.
+pub fn parallel_threshold_calibrated(
+    plan: &Plan,
+    store: &dyn TripleStore,
+    base: u64,
+    weights: &CostWeights,
+) -> u64 {
     let base = base.max(1);
-    let cost = pipeline_cost_per_row(plan, store).max(0.25);
+    let cost = pipeline_cost_per_row_with(plan, store, weights).max(0.25);
     let scaled = base as f64 * (REFERENCE_PIPELINE_COST / cost);
     (scaled.round() as u64).clamp((base / 4).max(1), base.saturating_mul(8))
 }
@@ -344,28 +395,41 @@ pub fn parallelize(plan: Plan, store: &dyn TripleStore, degree: usize) -> Plan {
 /// [`parallel_threshold_with`]) — what `QueryOptions::parallel_base`
 /// feeds through `prepare`.
 pub fn parallelize_with(plan: Plan, store: &dyn TripleStore, degree: usize, base: u64) -> Plan {
+    parallelize_calibrated(plan, store, degree, base, &CostWeights::default())
+}
+
+/// Like [`parallelize_with`] with calibrated operator weights (see
+/// [`CostWeights`]) — what `QueryOptions::cost_weights` feeds through
+/// `prepare`.
+pub fn parallelize_calibrated(
+    plan: Plan,
+    store: &dyn TripleStore,
+    degree: usize,
+    base: u64,
+    weights: &CostWeights,
+) -> Plan {
     if degree <= 1 {
         return plan;
     }
     match plan {
         Plan::Project(vars, inner) => Plan::Project(
             vars,
-            Box::new(parallelize_with(*inner, store, degree, base)),
+            Box::new(parallelize_calibrated(*inner, store, degree, base, weights)),
         ),
         Plan::OrderBy(keys, inner) => Plan::OrderBy(
             keys,
-            Box::new(parallelize_with(*inner, store, degree, base)),
+            Box::new(parallelize_calibrated(*inner, store, degree, base, weights)),
         ),
-        Plan::Distinct(inner) => {
-            Plan::Distinct(Box::new(parallelize_with(*inner, store, degree, base)))
-        }
+        Plan::Distinct(inner) => Plan::Distinct(Box::new(parallelize_calibrated(
+            *inner, store, degree, base, weights,
+        ))),
         Plan::Slice {
             offset,
             limit,
             input,
         } => {
             let input = if materializes_anyway(&input) {
-                Box::new(parallelize_with(*input, store, degree, base))
+                Box::new(parallelize_calibrated(*input, store, degree, base, weights))
             } else {
                 input // keep the skip/take lazy: no exchange below
             };
@@ -377,17 +441,17 @@ pub fn parallelize_with(plan: Plan, store: &dyn TripleStore, degree: usize, base
         }
         Plan::GroupAggregate { spec, input } => Plan::GroupAggregate {
             spec,
-            input: Box::new(parallelize_with(*input, store, degree, base)),
+            input: Box::new(parallelize_calibrated(*input, store, degree, base, weights)),
         },
         Plan::Union(a, b) => Plan::Union(
-            Box::new(parallelize_with(*a, store, degree, base)),
-            Box::new(parallelize_with(*b, store, degree, base)),
+            Box::new(parallelize_calibrated(*a, store, degree, base, weights)),
+            Box::new(parallelize_calibrated(*b, store, degree, base, weights)),
         ),
         // Pipeline segments the parallel driver can run per-morsel.
         other @ (Plan::Bgp { .. }
         | Plan::Join { .. }
         | Plan::LeftJoin { .. }
-        | Plan::Filter(..)) => maybe_exchange(other, store, degree, base),
+        | Plan::Filter(..)) => maybe_exchange(other, store, degree, base, weights),
         // Already parallel (idempotence) — leave as is.
         other @ Plan::Exchange { .. } => other,
     }
@@ -407,10 +471,17 @@ fn materializes_anyway(plan: &Plan) -> bool {
 
 /// Wraps `plan` in an Exchange when its driving scan clears the
 /// pipeline's cost-scaled cardinality threshold.
-fn maybe_exchange(plan: Plan, store: &dyn TripleStore, degree: usize, base: u64) -> Plan {
+fn maybe_exchange(
+    plan: Plan,
+    store: &dyn TripleStore,
+    degree: usize,
+    base: u64,
+    weights: &CostWeights,
+) -> Plan {
     let worthwhile = driving_scan(&plan).is_some_and(|p| {
         !p.is_unsatisfiable()
-            && store.estimate(const_pattern(p)) >= parallel_threshold_with(&plan, store, base)
+            && store.estimate(const_pattern(p))
+                >= parallel_threshold_calibrated(&plan, store, base, weights)
     });
     if worthwhile {
         Plan::Exchange {

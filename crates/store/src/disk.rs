@@ -25,10 +25,11 @@ use sp2b_rdf::Graph;
 use crate::dictionary::{Dictionary, IdTriple};
 use crate::native::prefix_range;
 use crate::segment::{
-    self, read_header, read_run, shard_file_name, write_segments, SegmentError, SegmentStats,
-    ShardMeta, RUN_ORDERS,
+    self, read_header, read_run, read_stats, shard_file_name, write_segments, SegmentError,
+    SegmentStats, ShardMeta, RUN_ORDERS,
 };
 use crate::shard::{ShardBy, ShardedStore};
+use crate::stats::StoreStats;
 use crate::traits::{
     debug_assert_chunks_cover, matches, split_ranges, Pattern, ScanChunk, TripleStore,
 };
@@ -62,11 +63,12 @@ pub fn save_graph(
 pub fn open_store(dir: &Path) -> Result<ShardedStore, SegmentError> {
     let header = read_header(dir)?;
     let dict = segment::read_dictionary(dir, &header)?;
+    let stats = read_stats(dir, &header)?;
     let mut built: Vec<(Box<dyn TripleStore>, std::time::Duration)> =
         Vec::with_capacity(header.shards.len());
-    for (i, meta) in header.shards.iter().enumerate() {
+    for ((i, meta), shard_stats) in header.shards.iter().enumerate().zip(stats) {
         let t0 = Instant::now();
-        let shard = DiskShardStore::open(dir, i, meta)?;
+        let shard = DiskShardStore::open(dir, i, meta, shard_stats)?;
         built.push((Box::new(shard), t0.elapsed()));
     }
     Ok(ShardedStore::assemble(dict, header.shard_by, built))
@@ -82,12 +84,27 @@ pub struct DiskShardStore {
     triples: u64,
     run_checksums: [u64; 3],
     runs: [OnceLock<Vec<IdTriple>>; 3],
+    /// The persisted statistics summary of this shard, decoded from the
+    /// segment's stats section at open — what lets
+    /// [`DiskShardStore::estimate`] answer the planner without faulting
+    /// a run into memory.
+    stats: StoreStats,
+    /// Debug-build gauge of runs faulted in from disk by this shard,
+    /// behind the cold-path-free estimation test.
+    #[cfg(debug_assertions)]
+    run_faults: std::sync::atomic::AtomicU64,
 }
 
 impl DiskShardStore {
     /// Binds shard `index` of the segment directory, validating that its
-    /// file exists with exactly the size the root records.
-    pub fn open(dir: &Path, index: usize, meta: &ShardMeta) -> Result<Self, SegmentError> {
+    /// file exists with exactly the size the root records. `stats` is
+    /// the shard's summary from [`read_stats`].
+    pub fn open(
+        dir: &Path,
+        index: usize,
+        meta: &ShardMeta,
+        stats: StoreStats,
+    ) -> Result<Self, SegmentError> {
         let path = dir.join(shard_file_name(index));
         let size = match std::fs::metadata(&path) {
             Ok(m) => m.len(),
@@ -112,6 +129,9 @@ impl DiskShardStore {
             triples: meta.triples,
             run_checksums: meta.run_checksums,
             runs: Default::default(),
+            stats,
+            #[cfg(debug_assertions)]
+            run_faults: std::sync::atomic::AtomicU64::new(0),
         })
     }
 
@@ -122,6 +142,9 @@ impl DiskShardStore {
     /// would be worse.
     fn run(&self, i: usize) -> &[IdTriple] {
         self.runs[i].get_or_init(|| {
+            #[cfg(debug_assertions)]
+            self.run_faults
+                .fetch_add(1, std::sync::atomic::Ordering::SeqCst);
             read_run(&self.path, i, self.triples, self.run_checksums[i]).unwrap_or_else(|e| {
                 panic!(
                     "reading run {:?} of '{}': {e}",
@@ -135,6 +158,13 @@ impl DiskShardStore {
     /// True if run `i` has been read into memory (laziness tests).
     pub fn run_loaded(&self, i: usize) -> bool {
         self.runs[i].get().is_some()
+    }
+
+    /// How many runs this shard has faulted in from disk (debug builds
+    /// only; the cold-path-free estimation test diffs it).
+    #[cfg(debug_assertions)]
+    pub fn run_faults(&self) -> u64 {
+        self.run_faults.load(std::sync::atomic::Ordering::SeqCst)
     }
 
     /// The run whose key order puts the most bound positions first,
@@ -209,12 +239,17 @@ impl TripleStore for DiskShardStore {
         chunks
     }
 
-    /// Range width of the best run — exact for patterns whose bound
-    /// positions form a run prefix, an upper bound otherwise (three
-    /// runs cannot give every pattern a full prefix, hence
-    /// `has_exact_estimates` stays `false`).
+    /// Answered entirely from the persisted statistics summary — the
+    /// cold path: estimating never reads a run off disk, so a freshly
+    /// opened store plans a whole workload at O(header) memory.
+    /// (The old implementation measured the best run's range width,
+    /// faulting an entire sorted run into memory per estimate.)
     fn estimate(&self, pattern: Pattern) -> u64 {
-        self.range(&pattern).0.len() as u64
+        self.stats.estimate_pattern(pattern)
+    }
+
+    fn stats(&self) -> Option<&StoreStats> {
+        Some(&self.stats)
     }
 }
 
@@ -293,7 +328,9 @@ mod tests {
         let tmp = TempDir::new("lazy");
         save_graph(tmp.path(), &g, 1, ShardBy::Subject).expect("save");
         let header = read_header(tmp.path()).expect("header");
-        let shard = DiskShardStore::open(tmp.path(), 0, &header.shards[0]).expect("open");
+        let stats = read_stats(tmp.path(), &header).expect("stats");
+        let shard =
+            DiskShardStore::open(tmp.path(), 0, &header.shards[0], stats[0].clone()).expect("open");
         assert!(
             (0..3).all(|i| !shard.run_loaded(i)),
             "open reads no run at all"
@@ -307,6 +344,60 @@ mod tests {
         );
         shard.scan([None, None, None]).count();
         assert!(shard.run_loaded(0), "full scan loads the SPO run");
+    }
+
+    #[test]
+    fn estimates_fault_no_runs_on_a_cold_store() {
+        let g = graph(300);
+        let tmp = TempDir::new("cold-estimate");
+        save_graph(tmp.path(), &g, 2, ShardBy::Subject).expect("save");
+        let header = read_header(tmp.path()).expect("header");
+        let stats = read_stats(tmp.path(), &header).expect("stats");
+        let mut shards = Vec::new();
+        for ((i, meta), s) in header.shards.iter().enumerate().zip(stats) {
+            shards.push(DiskShardStore::open(tmp.path(), i, meta, s).expect("open"));
+        }
+        let opened = open_store(tmp.path()).expect("open");
+        let s1 = opened.resolve(&Term::iri("http://x/s1"));
+        let p1 = opened.resolve(&Term::iri("http://x/p1"));
+        let o1 = opened.resolve(&Term::iri("http://x/o1"));
+        // Every bound-position combination, on the sharded store and on
+        // the bare shards: none may read a run.
+        for pattern in [
+            [None, None, None],
+            [s1, None, None],
+            [None, p1, None],
+            [None, None, o1],
+            [s1, p1, None],
+            [s1, None, o1],
+            [None, p1, o1],
+            [s1, p1, o1],
+        ] {
+            opened.estimate(pattern);
+            opened.stats().expect("disk store carries stats");
+            for shard in &shards {
+                shard.estimate(pattern);
+            }
+        }
+        for shard in &shards {
+            #[cfg(debug_assertions)]
+            assert_eq!(
+                shard.run_faults(),
+                0,
+                "estimation faulted a sorted run into memory"
+            );
+            assert!(
+                (0..3).all(|i| !shard.run_loaded(i)),
+                "estimation loaded a run"
+            );
+        }
+        // Estimates stay sane: the full pattern matches everything.
+        assert_eq!(opened.estimate([None, None, None]), g.len() as u64);
+        assert_eq!(
+            opened.estimate([None, p1, None]),
+            opened.scan([None, p1, None]).count() as u64,
+            "single-predicate estimates are exact from per-predicate stats"
+        );
     }
 
     #[test]

@@ -27,6 +27,7 @@ pub mod mem;
 pub mod native;
 pub mod segment;
 pub mod shard;
+pub mod stats;
 pub mod traits;
 
 pub use dictionary::{Dictionary, Id, IdTriple};
@@ -40,6 +41,7 @@ pub use mem::MemStore;
 pub use native::{IndexOrder, IndexSelection, NativeStore};
 pub use segment::{SegmentError, SegmentStats};
 pub use shard::{ShardBackend, ShardBy, ShardedStore};
+pub use stats::{CharacteristicSet, PredicateStats, StoreStats};
 pub use traits::{
     debug_assert_chunks_cover, split_ranges, Pattern, ScanChunk, SharedStore, TripleStore,
 };

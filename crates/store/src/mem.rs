@@ -12,8 +12,11 @@
 
 use sp2b_rdf::{Graph, Triple};
 
+use std::sync::OnceLock;
+
 use crate::dictionary::{Dictionary, Id, IdTriple};
 use crate::hash::FxHashMap;
+use crate::stats::StoreStats;
 use crate::traits::{
     debug_assert_chunks_cover, matches, split_ranges, Pattern, ScanChunk, TripleStore,
 };
@@ -47,6 +50,7 @@ pub struct MemStore {
     by_subject: PositionIndex,
     by_predicate: PositionIndex,
     by_object: PositionIndex,
+    stats: OnceLock<StoreStats>,
 }
 
 impl MemStore {
@@ -72,6 +76,7 @@ impl MemStore {
     /// dictionary — the shard-build path, where ids live in the shared
     /// dictionary owned by the [`crate::ShardedStore`].
     pub fn insert_encoded(&mut self, t: IdTriple) {
+        self.stats = OnceLock::new(); // summary is stale once data changes
         let row = u32::try_from(self.triples.len()).expect("mem store row overflow");
         self.by_subject.push(t[0], row);
         self.by_predicate.push(t[1], row);
@@ -170,6 +175,15 @@ impl TripleStore for MemStore {
             Some(list) => list.len() as u64,
             None => self.triples.len() as u64,
         }
+    }
+
+    /// Lazily computed (and cached) on first request; inserts reset the
+    /// cache, so incremental shard builds pay nothing until asked.
+    fn stats(&self) -> Option<&StoreStats> {
+        Some(
+            self.stats
+                .get_or_init(|| StoreStats::from_triples(&self.triples)),
+        )
     }
 }
 

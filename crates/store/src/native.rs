@@ -10,9 +10,12 @@
 //! cardinality estimates are exact and cheap, which is what enables the
 //! `native-opt` configuration's cost-based join reordering.
 
+use std::sync::OnceLock;
+
 use sp2b_rdf::{Graph, Triple};
 
 use crate::dictionary::{Dictionary, Id, IdTriple};
+use crate::stats::StoreStats;
 use crate::traits::{
     debug_assert_chunks_cover, matches, split_ranges, Pattern, ScanChunk, TripleStore,
 };
@@ -163,6 +166,7 @@ pub struct NativeStore {
     dict: Dictionary,
     indexes: [Option<Vec<IdTriple>>; 6],
     len: usize,
+    stats: OnceLock<StoreStats>,
 }
 
 impl NativeStore {
@@ -202,7 +206,12 @@ impl NativeStore {
             v.sort_unstable_by_key(|t| key(t, perm));
             indexes[order.slot()] = Some(v);
         }
-        NativeStore { dict, indexes, len }
+        NativeStore {
+            dict,
+            indexes,
+            len,
+            stats: OnceLock::new(),
+        }
     }
 
     /// Incrementally loads triples, then (re)builds the indexes. For bulk
@@ -230,6 +239,7 @@ impl NativeStore {
         if encoded.is_empty() {
             return;
         }
+        self.stats = OnceLock::new(); // summary is stale once data changes
         self.len += encoded.len();
         for order in IndexOrder::ALL {
             let Some(index) = self.indexes[order.slot()].take() else {
@@ -332,6 +342,21 @@ impl TripleStore for NativeStore {
         // Exact whenever all six indexes exist (every pattern gets a full
         // prefix); conservative otherwise.
         self.indexes.iter().all(|i| i.is_some())
+    }
+
+    /// Lazily computed from any present index's triples and cached;
+    /// [`NativeStore::insert_batch`] resets the cache.
+    fn stats(&self) -> Option<&StoreStats> {
+        Some(self.stats.get_or_init(|| {
+            let triples = self
+                .indexes
+                .iter()
+                .flatten()
+                .next()
+                .map(Vec::as_slice)
+                .unwrap_or(&[]);
+            StoreStats::from_triples(triples)
+        }))
     }
 }
 

@@ -10,6 +10,10 @@
 //! dict.bin        the shared dictionary: every term serialized in id
 //!                 order, so re-interning sequentially reproduces the
 //!                 exact ids of the original load
+//! stats.bin       one serialized [`StoreStats`] summary per shard
+//!                 (length-prefixed, in shard order), so a reopened
+//!                 store plans with full statistics without touching
+//!                 any triple run
 //! shard-NNNN.seg  one file per shard: three sorted id-triple runs
 //!                 (SPO, then PSO, then OSP) of 12 bytes per triple
 //! ```
@@ -29,18 +33,23 @@ use sp2b_rdf::{Iri, Literal, Term};
 use crate::dictionary::{Dictionary, IdTriple};
 use crate::native::IndexOrder;
 use crate::shard::ShardBy;
+use crate::stats::StoreStats;
 
 /// Magic prefix of the segment root.
 pub const MAGIC: [u8; 8] = *b"SP2BSEG1";
 
-/// Format version written into the root.
-pub const VERSION: u32 = 1;
+/// Format version written into the root. Version 2 added the per-shard
+/// statistics section (`stats.bin`) and its root fields.
+pub const VERSION: u32 = 2;
 
 /// The segment root file name.
 pub const ROOT_FILE: &str = "root.sp2b";
 
 /// The serialized dictionary file name.
 pub const DICT_FILE: &str = "dict.bin";
+
+/// The serialized per-shard statistics file name.
+pub const STATS_FILE: &str = "stats.bin";
 
 /// Bytes per serialized triple (three little-endian `u32` ids).
 pub const TRIPLE_BYTES: u64 = 12;
@@ -161,6 +170,10 @@ pub struct SegmentHeader {
     pub dict_bytes: u64,
     /// Checksum of `dict.bin`.
     pub dict_checksum: u64,
+    /// Byte length of `stats.bin`.
+    pub stats_bytes: u64,
+    /// Checksum of `stats.bin`.
+    pub stats_checksum: u64,
     /// Per-shard facts, in shard order.
     pub shards: Vec<ShardMeta>,
 }
@@ -220,8 +233,22 @@ pub fn write_segments(
     dict_file.write_all(&dict_bytes)?;
     dict_file.sync_all()?;
 
+    // The statistics section: one summary per shard, length-prefixed in
+    // shard order. Collected here, at save time, so a reopened store
+    // plans with full statistics for the cost of reading this file.
+    let mut stats_bytes = Vec::new();
+    for bucket in &buckets {
+        let blob = StoreStats::from_triples(bucket).encode();
+        stats_bytes.extend_from_slice(&(blob.len() as u32).to_le_bytes());
+        stats_bytes.extend_from_slice(&blob);
+    }
+    let stats_checksum = Checksum::of(&stats_bytes);
+    let mut stats_file = File::create(dir.join(STATS_FILE))?;
+    stats_file.write_all(&stats_bytes)?;
+    stats_file.sync_all()?;
+
     let mut metas = Vec::with_capacity(buckets.len());
-    let mut total_bytes = dict_bytes.len() as u64;
+    let mut total_bytes = dict_bytes.len() as u64 + stats_bytes.len() as u64;
     for (i, bucket) in buckets.iter_mut().enumerate() {
         let file = File::create(dir.join(shard_file_name(i)))?;
         let mut w = BufWriter::with_capacity(1 << 16, file);
@@ -261,6 +288,8 @@ pub fn write_segments(
     root.extend_from_slice(&(dict.len() as u64).to_le_bytes());
     root.extend_from_slice(&(dict_bytes.len() as u64).to_le_bytes());
     root.extend_from_slice(&dict_checksum.to_le_bytes());
+    root.extend_from_slice(&(stats_bytes.len() as u64).to_le_bytes());
+    root.extend_from_slice(&stats_checksum.to_le_bytes());
     for meta in &metas {
         root.extend_from_slice(&meta.triples.to_le_bytes());
         for cks in meta.run_checksums {
@@ -336,6 +365,8 @@ pub fn read_header(dir: &Path) -> Result<SegmentHeader, SegmentError> {
     let terms = cur.u64()?;
     let dict_bytes = cur.u64()?;
     let dict_checksum = cur.u64()?;
+    let stats_bytes = cur.u64()?;
+    let stats_checksum = cur.u64()?;
     let mut shards = Vec::with_capacity(shard_count);
     for _ in 0..shard_count {
         let shard_triples = cur.u64()?;
@@ -360,8 +391,63 @@ pub fn read_header(dir: &Path) -> Result<SegmentHeader, SegmentError> {
         terms,
         dict_bytes,
         dict_checksum,
+        stats_bytes,
+        stats_checksum,
         shards,
     })
+}
+
+/// Reads and verifies the per-shard statistics section, in shard order.
+/// O(stats bytes) — no triple run is touched, which is what keeps
+/// planning against a freshly opened store cold-path-free.
+pub fn read_stats(dir: &Path, header: &SegmentHeader) -> Result<Vec<StoreStats>, SegmentError> {
+    let path = dir.join(STATS_FILE);
+    let bytes = match fs::read(&path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => {
+            return Err(invalid(format!(
+                "missing statistics file '{}'",
+                path.display()
+            )));
+        }
+        Err(e) => return Err(e.into()),
+    };
+    if bytes.len() as u64 != header.stats_bytes {
+        return Err(invalid(format!(
+            "statistics section is truncated: root records {} bytes, file holds {}",
+            header.stats_bytes,
+            bytes.len()
+        )));
+    }
+    if Checksum::of(&bytes) != header.stats_checksum {
+        return Err(invalid(
+            "statistics checksum mismatch (corrupted save; re-run `sp2b save`)",
+        ));
+    }
+    let mut cur = Cursor::new(&bytes, "statistics section");
+    let mut out = Vec::with_capacity(header.shards.len());
+    for (i, meta) in header.shards.iter().enumerate() {
+        let len = cur.u32()? as usize;
+        let blob = cur.take(len)?;
+        let (stats, rest) = StoreStats::decode(blob)
+            .map_err(|e| invalid(format!("statistics of shard {i} are corrupt: {e}")))?;
+        if !rest.is_empty() {
+            return Err(invalid(format!(
+                "statistics of shard {i} hold trailing bytes"
+            )));
+        }
+        if stats.triples != meta.triples {
+            return Err(invalid(format!(
+                "statistics of shard {i} are inconsistent: root records {} triples, summary {}",
+                meta.triples, stats.triples
+            )));
+        }
+        out.push(stats);
+    }
+    if !cur.done() {
+        return Err(invalid("trailing bytes in statistics section"));
+    }
+    Ok(out)
 }
 
 /// Reads, verifies and re-interns the shared dictionary. Sequential
@@ -729,6 +815,45 @@ pub(crate) mod tests {
                 assert_eq!(run, expect, "shard {i} run {order:?} holds the bucket");
             }
         }
+    }
+
+    #[test]
+    fn stats_section_roundtrips_per_shard() {
+        let tmp = TempDir::new("stats");
+        let (dict, buckets) = demo_store();
+        let expected: Vec<StoreStats> = buckets
+            .iter()
+            .map(|b| StoreStats::from_triples(b))
+            .collect();
+        write_segments(tmp.path(), &dict, ShardBy::Subject, buckets).expect("write");
+        let header = read_header(tmp.path()).expect("header");
+        let stats = read_stats(tmp.path(), &header).expect("stats");
+        assert_eq!(stats, expected);
+    }
+
+    #[test]
+    fn corrupted_stats_section_is_rejected() {
+        let tmp = TempDir::new("stats-corrupt");
+        let (dict, buckets) = demo_store();
+        write_segments(tmp.path(), &dict, ShardBy::Subject, buckets).expect("write");
+        let header = read_header(tmp.path()).expect("header");
+        let path = tmp.path().join(STATS_FILE);
+        let good = fs::read(&path).unwrap();
+
+        let mut flipped = good.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0xff;
+        fs::write(&path, &flipped).unwrap();
+        let err = read_stats(tmp.path(), &header).unwrap_err();
+        assert!(err.to_string().contains("checksum mismatch"), "{err}");
+
+        fs::write(&path, &good[..good.len() - 3]).unwrap();
+        let err = read_stats(tmp.path(), &header).unwrap_err();
+        assert!(err.to_string().contains("truncated"), "{err}");
+
+        fs::remove_file(&path).unwrap();
+        let err = read_stats(tmp.path(), &header).unwrap_err();
+        assert!(err.to_string().contains("missing statistics"), "{err}");
     }
 
     #[test]

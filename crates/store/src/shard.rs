@@ -41,6 +41,7 @@
 //! `scan_chunks` concatenates to exactly this order — the contract the
 //! exchange merge relies on.
 
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 use sp2b_rdf::Graph;
@@ -48,6 +49,7 @@ use sp2b_rdf::Graph;
 use crate::dictionary::{Dictionary, Id, IdTriple};
 use crate::mem::MemStore;
 use crate::native::{IndexSelection, NativeStore};
+use crate::stats::StoreStats;
 use crate::traits::{debug_assert_chunks_cover, Pattern, ScanChunk, TripleStore};
 
 /// The partition key of a [`ShardedStore`].
@@ -152,6 +154,9 @@ pub struct ShardedStore {
     /// inserts), for the per-shard loading report.
     build_times: Vec<Duration>,
     len: usize,
+    /// Lazily merged per-shard statistics — `None` inside once computed
+    /// means some shard holds no summary.
+    stats: OnceLock<Option<StoreStats>>,
 }
 
 impl ShardedStore {
@@ -217,6 +222,7 @@ impl ShardedStore {
             shards,
             build_times,
             len,
+            stats: OnceLock::new(),
         }
     }
 
@@ -344,6 +350,21 @@ impl TripleStore for ShardedStore {
 
     fn has_exact_estimates(&self) -> bool {
         self.shards.iter().all(|s| s.has_exact_estimates())
+    }
+
+    /// Per-shard summaries merged once, lazily — stats sum across shards
+    /// exactly like estimates do (see [`StoreStats::merge`] for which
+    /// merged counts stay exact under which partition key).
+    fn stats(&self) -> Option<&StoreStats> {
+        self.stats
+            .get_or_init(|| {
+                let mut merged = StoreStats::default();
+                for shard in &self.shards {
+                    merged.merge(shard.stats()?);
+                }
+                Some(merged)
+            })
+            .as_ref()
     }
 
     fn contains(&self, pattern: Pattern) -> bool {

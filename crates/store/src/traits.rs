@@ -5,6 +5,7 @@ use std::sync::Arc;
 use sp2b_rdf::Term;
 
 use crate::dictionary::{Dictionary, Id, IdTriple};
+use crate::stats::StoreStats;
 
 /// A shared, owning store handle: what a long-lived query engine holds.
 ///
@@ -74,6 +75,14 @@ pub trait TripleStore: Send + Sync {
     /// Whether [`TripleStore::estimate`] is exact.
     fn has_exact_estimates(&self) -> bool {
         false
+    }
+
+    /// The load-time statistics summary ([`StoreStats`]), if this store
+    /// collected one — the cost-based planner's input. The default
+    /// (`None`) keeps bare stores working; the planner then falls back
+    /// to per-pattern [`TripleStore::estimate`] heuristics.
+    fn stats(&self) -> Option<&StoreStats> {
+        None
     }
 
     /// True if at least one triple matches.

@@ -1,0 +1,264 @@
+//! The statistics-driven cost-based planner is a performance feature,
+//! never a semantic one — and it must actually pay.
+//!
+//! * Equivalence: for every benchmark query (Q1–Q12 and the A1–A5
+//!   aggregation extension), the stats-planned join order must produce
+//!   the same result multiset and count as the heuristic-planned order
+//!   (the fixed-discount fallback, forced here by hiding the store's
+//!   statistics behind a forwarding wrapper) — on the in-memory, native,
+//!   sharded and reopened-disk stores.
+//! * Regression: on the join-heavy queries the paper calls out (Q4,
+//!   Q5a, Q8, Q9), the stats-planned order must emit *fewer*
+//!   intermediate rows (instrumented per-pattern counters) than the
+//!   syntactic pattern order.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use sp2bench::core::{BenchQuery, ExtQuery};
+use sp2bench::datagen::{generate_graph, Config};
+use sp2bench::rdf::Term;
+use sp2bench::sparql::{OptimizerConfig, QueryEngine, QueryOptions, QueryResult, ScanCounters};
+use sp2bench::store::{
+    open_store, save_graph, Dictionary, Id, IdTriple, IndexSelection, MemStore, NativeStore,
+    Pattern, ScanChunk, ShardBackend, ShardBy, ShardedStore, SharedStore, StoreStats, TripleStore,
+};
+
+const TRIPLES: u64 = 6_000;
+
+/// A scratch directory under the system temp dir, removed on drop.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        let path = std::env::temp_dir().join(format!("sp2b-planner-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&path);
+        std::fs::create_dir(&path).expect("create scratch dir");
+        TempDir(path)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// A forwarding store that hides its inner store's statistics — the
+/// lever that forces the optimizer onto its fixed-discount heuristic
+/// path on the *same* data.
+struct NoStats(SharedStore);
+
+impl TripleStore for NoStats {
+    fn dictionary(&self) -> &Dictionary {
+        self.0.dictionary()
+    }
+
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    fn scan<'a>(&'a self, pattern: Pattern) -> Box<dyn Iterator<Item = IdTriple> + 'a> {
+        self.0.scan(pattern)
+    }
+
+    fn scan_chunks(&self, pattern: Pattern, n: usize) -> Vec<ScanChunk<'_>> {
+        self.0.scan_chunks(pattern, n)
+    }
+
+    fn estimate(&self, pattern: Pattern) -> u64 {
+        self.0.estimate(pattern)
+    }
+
+    fn has_exact_estimates(&self) -> bool {
+        self.0.has_exact_estimates()
+    }
+
+    fn stats(&self) -> Option<&StoreStats> {
+        None // the whole point: same data, no statistics
+    }
+
+    fn contains(&self, pattern: Pattern) -> bool {
+        self.0.contains(pattern)
+    }
+
+    fn resolve(&self, term: &Term) -> Option<Id> {
+        self.0.resolve(term)
+    }
+}
+
+fn all_query_texts() -> Vec<(&'static str, &'static str)> {
+    let mut queries: Vec<(&'static str, &'static str)> = BenchQuery::ALL
+        .iter()
+        .map(|q| (q.label(), q.text()))
+        .collect();
+    queries.extend(ExtQuery::ALL.iter().map(|q| (q.label(), q.text())));
+    queries
+}
+
+/// A result as a sorted multiset of stringified rows (ASK → its answer).
+fn multiset(result: &QueryResult) -> Vec<String> {
+    match result {
+        QueryResult::Solutions { rows, .. } => {
+            let mut out: Vec<String> = rows
+                .iter()
+                .map(|row| {
+                    row.iter()
+                        .map(|t| t.as_ref().map_or("-".to_owned(), |t| t.to_string()))
+                        .collect::<Vec<_>>()
+                        .join("\t")
+                })
+                .collect();
+            out.sort();
+            out
+        }
+        QueryResult::Boolean(b) => vec![format!("ask:{b}")],
+    }
+}
+
+fn run_all(store: &SharedStore) -> Vec<(String, Vec<String>, u64)> {
+    let qe = QueryEngine::with_options(store.clone(), QueryOptions::new().parallelism(1));
+    all_query_texts()
+        .into_iter()
+        .map(|(label, text)| {
+            let prepared = qe.prepare(text).unwrap_or_else(|e| panic!("{label}: {e}"));
+            let result = qe
+                .execute(&prepared)
+                .unwrap_or_else(|e| panic!("{label}: {e}"));
+            let count = qe
+                .count(&prepared)
+                .unwrap_or_else(|e| panic!("{label}: {e}"));
+            (label.to_owned(), multiset(&result), count)
+        })
+        .collect()
+}
+
+/// Stats-planned vs heuristic-planned on one store: identical multisets
+/// and counts for every query.
+fn assert_planner_equivalence(tag: &str, store: SharedStore) {
+    assert!(
+        store.stats().is_some(),
+        "{tag}: the store under test must carry statistics"
+    );
+    let stats_planned = run_all(&store);
+    let hidden = NoStats(store).into_shared();
+    assert!(hidden.stats().is_none());
+    let heuristic_planned = run_all(&hidden);
+    for ((label, rows_s, count_s), (_, rows_h, count_h)) in
+        stats_planned.into_iter().zip(heuristic_planned)
+    {
+        assert_eq!(
+            count_s, count_h,
+            "{tag}/{label}: stats-planned count diverged from heuristic-planned"
+        );
+        assert_eq!(
+            rows_s, rows_h,
+            "{tag}/{label}: stats-planned multiset diverged from heuristic-planned"
+        );
+    }
+}
+
+#[test]
+fn stats_planner_matches_heuristic_on_mem_store() {
+    let (graph, _) = generate_graph(Config::triples(TRIPLES));
+    assert_planner_equivalence("mem", MemStore::from_graph(&graph).into_shared());
+}
+
+#[test]
+fn stats_planner_matches_heuristic_on_native_store() {
+    let (graph, _) = generate_graph(Config::triples(TRIPLES));
+    assert_planner_equivalence("native", NativeStore::from_graph(&graph).into_shared());
+}
+
+#[test]
+fn stats_planner_matches_heuristic_on_sharded_store() {
+    let (graph, _) = generate_graph(Config::triples(TRIPLES));
+    let store = ShardedStore::from_graph(
+        &graph,
+        3,
+        ShardBy::Subject,
+        ShardBackend::Native(IndexSelection::all()),
+    );
+    assert_planner_equivalence("sharded", store.into_shared());
+}
+
+#[test]
+fn stats_planner_matches_heuristic_on_disk_store() {
+    let (graph, _) = generate_graph(Config::triples(TRIPLES));
+    let dir = TempDir::new("equiv");
+    save_graph(dir.path(), &graph, 2, ShardBy::Subject).expect("save");
+    let disk = open_store(dir.path()).expect("open").into_shared();
+    assert_planner_equivalence("disk", disk);
+}
+
+/// Total intermediate rows the BGP pattern steps emit for one query
+/// under one optimizer configuration (sequential, so counts are exact).
+fn emitted_rows(store: &SharedStore, text: &str, cfg: OptimizerConfig) -> u64 {
+    let counters = Arc::new(ScanCounters::default());
+    let qe = QueryEngine::with_options(
+        store.clone(),
+        QueryOptions::new().optimizer(cfg).parallelism(1),
+    )
+    .scan_counters(counters.clone());
+    let prepared = qe.prepare(text).expect("query parses");
+    qe.count(&prepared).expect("query evaluates");
+    counters.total_rows()
+}
+
+/// The paper's join-heavy queries: the stats-driven order must beat the
+/// syntactic pattern order on intermediate-result volume, not just tie
+/// it. (Reordering off keeps filter pushing and substitution on, so the
+/// comparison isolates the join order itself.)
+#[test]
+fn stats_order_emits_fewer_rows_than_syntactic_order() {
+    let (graph, _) = generate_graph(Config::triples(TRIPLES));
+    let store = NativeStore::from_graph(&graph).into_shared();
+    let syntactic = OptimizerConfig {
+        reorder_patterns: false,
+        push_filters: true,
+        substitute_filters: true,
+    };
+    // Q9's syntactic order already leads each UNION branch with the
+    // selective rdf:type pattern, so the planner can only tie it there;
+    // everywhere else it must strictly reduce the intermediate volume.
+    for (label, strict) in [("Q4", true), ("Q5a", true), ("Q8", true), ("Q9", false)] {
+        let query = BenchQuery::from_label(label).expect("known label");
+        let planned = emitted_rows(&store, query.text(), OptimizerConfig::full());
+        let unplanned = emitted_rows(&store, query.text(), syntactic);
+        assert!(
+            if strict {
+                planned < unplanned
+            } else {
+                planned <= unplanned
+            },
+            "{label}: stats-planned order emitted {planned} rows, \
+             syntactic order {unplanned} — the planner must win"
+        );
+    }
+}
+
+/// The instrumentation itself: counters see exactly the rows a trivial
+/// single-pattern scan emits, and detach cleanly (a fresh engine without
+/// counters adds nothing).
+#[test]
+fn scan_counters_record_emitted_rows() {
+    let (graph, _) = generate_graph(Config::triples(500));
+    let store = NativeStore::from_graph(&graph).into_shared();
+    let counters = Arc::new(ScanCounters::default());
+    let qe = QueryEngine::with_options(store.clone(), QueryOptions::new().parallelism(1))
+        .scan_counters(counters.clone());
+    let prepared = qe.prepare("SELECT ?s WHERE { ?s ?p ?o }").expect("parses");
+    let n = qe.count(&prepared).expect("evaluates");
+    assert_eq!(counters.total_rows(), n, "one emitted row per solution");
+    // An engine without attached counters must not touch them.
+    let plain = QueryEngine::with_options(store, QueryOptions::new().parallelism(1));
+    let prepared = plain
+        .prepare("SELECT ?s WHERE { ?s ?p ?o }")
+        .expect("parses");
+    plain.count(&prepared).expect("evaluates");
+    assert_eq!(counters.total_rows(), n, "detached engines add nothing");
+}
