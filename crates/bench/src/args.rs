@@ -100,6 +100,24 @@ impl Args {
         }
     }
 
+    /// Strictly validated byte-size option (`--cache-bytes 64k`):
+    /// absent → `Ok(None)`; present but malformed **or zero** → `Err`
+    /// with a usage message (the shared strict-flag contract — a cache
+    /// budget of zero or a typo'd size must never silently fall back to
+    /// the default). Accepts the same `k`/`M` suffixes as `--sizes`.
+    pub fn get_bytes_opt(&self, key: &str) -> Result<Option<u64>, String> {
+        match self.get(key) {
+            None => Ok(None),
+            Some(v) => match parse_scaled(v) {
+                Some(n) if n > 0 => Ok(Some(n)),
+                _ => Err(format!(
+                    "invalid --{key} value '{v}'\nusage: --{key} BYTES  \
+                     (a positive byte count; k/M suffixes allowed, e.g. 64k)"
+                )),
+            },
+        }
+    }
+
     /// Comma-separated list option.
     pub fn get_list(&self, key: &str) -> Option<Vec<String>> {
         self.get(key).map(|v| {
@@ -232,6 +250,32 @@ mod tests {
                 "{err}"
             );
             assert!(err.contains("usage: --store disk:DIR"), "{err}");
+        }
+    }
+
+    #[test]
+    fn bytes_option_scales_and_hard_errors_on_zero_or_garbage() {
+        let a = args("smoke --store disk:segs --cache-bytes 64k");
+        assert_eq!(a.get_bytes_opt("cache-bytes"), Ok(Some(64_000)));
+        assert_eq!(
+            args("smoke --cache-bytes 2M").get_bytes_opt("cache-bytes"),
+            Ok(Some(2_000_000))
+        );
+        assert_eq!(
+            args("smoke --cache-bytes 4096").get_bytes_opt("cache-bytes"),
+            Ok(Some(4096))
+        );
+        // Absent: None — the store picks its size-proportional default.
+        assert_eq!(args("smoke").get_bytes_opt("cache-bytes"), Ok(None));
+        // Zero and garbage are hard errors, never a silent default.
+        for bad in ["0", "lots", "-1", "1.5M"] {
+            let a = Args::parse(["smoke".into(), "--cache-bytes".into(), bad.to_owned()]);
+            let err = a.get_bytes_opt("cache-bytes").unwrap_err();
+            assert!(
+                err.contains(&format!("invalid --cache-bytes value '{bad}'")),
+                "{err}"
+            );
+            assert!(err.contains("usage:"), "{err}");
         }
     }
 

@@ -19,6 +19,8 @@
 //! sp2b calibrate [--triples 20k] [--threads 2] [--runs 3] measure per-morsel overhead →
 //!                                                         suggested parallel_threshold base
 //! sp2b smoke    [--triples 5k] [--threads 4] [--shards N] generate → load → all queries
+//!               [--store disk:DIR [--cache-bytes 64k]]    …or against saved segments with
+//!                                                         a pinned block-cache budget
 //! sp2b serve    [--addr 127.0.0.1:8088] [--threads 4]     SPARQL protocol endpoint over
 //!               [--timeout 30] [--triples 50k|--data F]   one shared store (HTTP/1.1)
 //!               [--duration S] [--parallelism N]
@@ -41,8 +43,11 @@
 //! shard-parallel scans). `run`, `query`, `serve`, `multiuser` and
 //! `smoke` also accept `--store disk:DIR` to reopen a segment directory
 //! written by `sp2b save` instead of loading or generating a document —
-//! open is O(header + dictionary); sorted runs fault in lazily on first
-//! scan. `run` and `query` accept `--explain` to print the chosen BGP
+//! open is O(header + dictionary + block index); scans pull fixed-size
+//! blocks of the sorted runs through a shared LRU cache whose byte
+//! budget `--cache-bytes BYTES` pins (default: a quarter of the run
+//! payload), so a document larger than RAM serves at bounded resident
+//! memory. `run` and `query` accept `--explain` to print the chosen BGP
 //! join order with each pattern's estimated cardinality next to the
 //! rows it actually emitted (and whether store statistics or the
 //! fixed-discount heuristic ordered it). `--timeout`, `--addr` and
@@ -153,6 +158,16 @@ fn threads(args: &Args) -> Result<Option<usize>, String> {
 /// shard-parallel scans, routed point lookups). Malformed values are
 /// hard usage errors.
 fn store_layout(args: &Args) -> Result<StoreLayout, String> {
+    // Every command that builds a store in memory comes through here;
+    // the block cache only exists behind `--store disk:DIR`, so a
+    // `--cache-bytes` that would silently do nothing is a hard error.
+    if args.has("cache-bytes") {
+        return Err(
+            "--cache-bytes only applies with --store disk:DIR (the block cache serves \
+             saved segments; in-memory stores are fully resident)"
+                .into(),
+        );
+    }
     let shards = args.get_positive("shards", 1)?;
     let shard_by = match args.get("shard-by") {
         None => ShardBy::Subject,
@@ -316,7 +331,8 @@ fn open_disk_engine(args: &Args, dir: &std::path::Path) -> Result<Engine, String
             kind.label()
         ));
     }
-    let engine = Engine::open_disk(kind, dir)
+    let cache_bytes = args.get_bytes_opt("cache-bytes")?;
+    let engine = Engine::open_disk_with(kind, dir, cache_bytes)
         .map_err(|e| format!("opening {out}: {e}", out = dir.display()))?;
     eprintln!(
         "opened {} triples from {} into {kind} ({})",
@@ -487,6 +503,11 @@ fn cmd_smoke(args: &Args) -> Result<(), String> {
         let count = counted.map_err(|e| format!("{label}: {e}"))?;
         println!("  {label:<5} {count:>10} solutions ({})", m.summary());
     }
+    // After the workload, not at open: a cold cache reports nothing but
+    // zeros. The CI out-of-core job greps this line for evictions.
+    if let Some(line) = engine.cache_summary() {
+        println!("  {line}");
+    }
     Ok(())
 }
 
@@ -568,7 +589,13 @@ fn cmd_multiuser(args: &Args) -> Result<(), String> {
         // Endpoint mode: the server owns the store, its parallelism and
         // its engine — flags that silently would not apply are errors.
         for flag in [
-            "triples", "engine", "threads", "shards", "shard-by", "store",
+            "triples",
+            "engine",
+            "threads",
+            "shards",
+            "shard-by",
+            "store",
+            "cache-bytes",
         ] {
             if args.has(flag) {
                 return Err(format!(
@@ -785,6 +812,9 @@ fn explain_report(prepared: &Prepared, store: &dyn TripleStore, counters: &ScanC
     out.push_str(&format!(
         "  total: estimated {est_total}, emitted {actual_total} rows"
     ));
+    if let Some(cache) = store.cache_stats() {
+        out.push_str(&format!("\n  cache: {}", cache.summary()));
+    }
     out
 }
 

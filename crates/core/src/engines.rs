@@ -280,13 +280,27 @@ impl Engine {
     }
 
     /// Opens a saved segment directory (written by `sp2b save`) as an
-    /// engine, timing the open. The open reads only the segment root and
-    /// the shared dictionary — no N-Triples parsing, no index sort; each
-    /// shard's sorted runs stream in lazily on first scan. Only the
-    /// native configurations apply: segments hold index-ordered runs,
-    /// which is the native engines' storage model.
+    /// engine with the default block-cache budget. See
+    /// [`Engine::open_disk_with`].
     pub fn open_disk(kind: EngineKind, dir: &Path) -> Result<Engine, String> {
-        let (opened, loading) = measure(|| sp2b_store::disk_store_from_dir(dir));
+        Self::open_disk_with(kind, dir, None)
+    }
+
+    /// Opens a saved segment directory (written by `sp2b save`) as an
+    /// engine, timing the open. The open reads only the segment root,
+    /// the shared dictionary and the per-shard block indexes — no
+    /// N-Triples parsing, no index sort; scans stream fixed-size blocks
+    /// of the sorted runs through a shared LRU cache of `cache_bytes`
+    /// (`None` = a fraction of the document size), so resident memory
+    /// stays bounded however large the document is. Only the native
+    /// configurations apply: segments hold index-ordered runs, which is
+    /// the native engines' storage model.
+    pub fn open_disk_with(
+        kind: EngineKind,
+        dir: &Path,
+        cache_bytes: Option<u64>,
+    ) -> Result<Engine, String> {
+        let (opened, loading) = measure(|| sp2b_store::disk_store_from_dir_with(dir, cache_bytes));
         let store = opened.map_err(|e| e.to_string())?;
         let info = ShardInfo {
             shard_by: store.shard_by(),
@@ -323,12 +337,25 @@ impl Engine {
     /// heuristic).
     pub fn stats_summary(&self) -> Option<String> {
         let stats = self.store.stats()?;
-        Some(format!(
+        let mut line = format!(
             "statistics: {} predicates, {} characteristic sets over {} triples",
             stats.predicates.len(),
             stats.characteristic_sets.len(),
             stats.triples
-        ))
+        );
+        if let Some(cache) = self.cache_summary() {
+            line.push('\n');
+            line.push_str(&cache);
+        }
+        Some(line)
+    }
+
+    /// One human line of the out-of-core block cache's counters, or
+    /// `None` for fully in-memory stores. Counters are cumulative over
+    /// the engine's lifetime, so printing this after a workload shows
+    /// how the bounded cache behaved under it.
+    pub fn cache_summary(&self) -> Option<String> {
+        Some(format!("cache: {}", self.store.cache_stats()?.summary()))
     }
 
     /// An owning handle to the store — what the multi-user driver hands
@@ -513,6 +540,21 @@ mod tests {
             let (b, _) = disk.run(q, None);
             assert_eq!(a.count(), b.count(), "{q}");
         }
+        // Disk engines surface their block-cache counters; in-memory
+        // engines don't have any.
+        assert!(flat.cache_summary().is_none());
+        let cache = disk.cache_summary().expect("disk engine has a cache");
+        assert!(cache.contains("misses"), "{cache}");
+        let summary = disk.stats_summary().expect("stats");
+        assert!(summary.contains("\ncache: "), "{summary}");
+        // An explicit budget is honored verbatim.
+        let tiny = Engine::open_disk_with(EngineKind::NativeOpt, &dir, Some(4096)).expect("open");
+        let (_, _) = tiny.run(BenchQuery::Q1, None);
+        assert!(
+            tiny.cache_summary().unwrap().contains("of 4096 B budget"),
+            "{}",
+            tiny.cache_summary().unwrap()
+        );
         let err = Engine::open_disk(EngineKind::NativeOpt, Path::new("/nonexistent/segs"))
             .err()
             .expect("missing directory must fail");

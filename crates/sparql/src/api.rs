@@ -99,6 +99,7 @@ pub struct QueryOptions {
     parallelism: usize,
     parallel_base: u64,
     cost_weights: CostWeights,
+    cache_bytes: Option<u64>,
 }
 
 impl Default for QueryOptions {
@@ -113,6 +114,7 @@ impl Default for QueryOptions {
             parallelism: default_parallelism(),
             parallel_base: crate::plan::PARALLEL_BASE_THRESHOLD,
             cost_weights: CostWeights::default(),
+            cache_bytes: None,
         }
     }
 }
@@ -213,6 +215,22 @@ impl QueryOptions {
     /// The configured per-operator cost weights.
     pub fn cost_weight_values(&self) -> &CostWeights {
         &self.cost_weights
+    }
+
+    /// Sets the block-cache byte budget for out-of-core segment stores
+    /// (CLI `--cache-bytes`). Query execution never reopens a store, so
+    /// this is consumed by the store-opening front ends — they forward
+    /// it into `sp2b_store::open_store_with` — and carried here so one
+    /// options value describes the whole session policy. The default
+    /// (`None`) lets the open pick a fraction of the document size.
+    pub fn cache_bytes(mut self, bytes: u64) -> Self {
+        self.cache_bytes = Some(bytes);
+        self
+    }
+
+    /// The configured block-cache byte budget, if any.
+    pub fn cache_byte_budget(&self) -> Option<u64> {
+        self.cache_bytes
     }
 }
 
@@ -326,6 +344,14 @@ impl QueryEngine {
     /// The active policy.
     pub fn options(&self) -> &QueryOptions {
         &self.options
+    }
+
+    /// Counters of the store's block cache — `Some` only for
+    /// out-of-core stores (see `TripleStore::cache_stats`), where they
+    /// show how the bounded-memory budget is behaving under the
+    /// workload this engine has run.
+    pub fn cache_stats(&self) -> Option<sp2b_store::CacheStats> {
+        self.store.cache_stats()
     }
 
     /// Parses and prepares a query. Preparation resolves constants against

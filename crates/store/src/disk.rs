@@ -1,48 +1,83 @@
 //! The out-of-core persistent store: a [`ShardedStore`] whose shards
-//! read lazily from saved segment files.
+//! window block-sized reads through a shared, byte-budgeted LRU cache.
 //!
 //! [`open_store`] turns a directory written by `sp2b save` (see
 //! [`crate::segment`] for the format) back into a queryable store. The
-//! open path reads only the checksummed segment root and the shared
-//! dictionary — O(header + dictionary), never O(parse) — and validates
-//! each shard file's existence and exact size. The three sorted runs of
-//! a shard (SPO, PSO, OSP) stay on disk until a scan first needs one;
-//! [`DiskShardStore::run`] then reads, checksums and caches it, so a
-//! workload touching one access pattern pays for one run per shard and
-//! the rest never leave the disk.
+//! open path reads the checksummed segment root, the shared dictionary
+//! and each shard's block index — O(header + dictionary + index), never
+//! O(parse) — and validates each shard file's existence and exact size.
+//! Triple payload stays on disk: a scan binary-searches the block
+//! index's first keys to the blocks its key range covers, then pulls
+//! those blocks one at a time through the [`BlockCache`] every shard of
+//! one store shares. Each block is checksum-verified as it is read and
+//! decoded once while cached, so resident memory is O(cache budget +
+//! blocks currently being iterated) — a document larger than RAM serves
+//! fine, and a skewed workload's hot blocks stay resident while cold
+//! ones never displace them for long.
 //!
 //! Because the shards sit behind the ordinary [`ShardedStore`] (same
 //! shared dictionary, same routing, same chunk concatenation), the
 //! morsel exchange, bound-key routing and every equivalence guarantee
-//! of the in-memory stores apply unchanged.
+//! of the in-memory stores apply unchanged; [`ScanChunk::Blocks`]
+//! handles carry block ranges instead of borrowed slices, so an
+//! eviction can never invalidate a worker's chunk.
 
+use std::collections::HashMap;
+use std::fs::File;
 use std::path::{Path, PathBuf};
-use std::sync::OnceLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use sp2b_rdf::Graph;
 
-use crate::dictionary::{Dictionary, IdTriple};
-use crate::native::prefix_range;
+use crate::dictionary::{Dictionary, Id, IdTriple};
 use crate::segment::{
-    self, read_header, read_run, read_stats, shard_file_name, write_segments, SegmentError,
-    SegmentStats, ShardMeta, RUN_ORDERS,
+    self, read_block_index, read_header, read_stats, run_key, shard_file_name, write_segments_with,
+    BlockIndex, Checksum, SegmentError, SegmentStats, ShardMeta, DEFAULT_BLOCK_TRIPLES, RUN_ORDERS,
+    TRIPLE_BYTES,
 };
 use crate::shard::{ShardBy, ShardedStore};
 use crate::stats::StoreStats;
 use crate::traits::{
-    debug_assert_chunks_cover, matches, split_ranges, Pattern, ScanChunk, TripleStore,
+    debug_assert_chunks_cover, matches, split_ranges, BlockSource, CacheStats, Pattern, ScanChunk,
+    TripleStore,
 };
+
+/// The default cache budget is this fraction of the document's total
+/// run payload (all shards, all three runs), floored at
+/// [`MIN_CACHE_BYTES`] — enough to keep a skewed workload's hot blocks
+/// resident without approaching a whole-document footprint.
+pub const DEFAULT_CACHE_FRACTION: u64 = 4;
+
+/// Floor of the default cache budget: small documents cache whole.
+pub const MIN_CACHE_BYTES: u64 = 1 << 20;
+
+/// Fixed per-entry bookkeeping charged against the budget on top of a
+/// block's decoded payload bytes.
+const SLOT_OVERHEAD: u64 = 64;
 
 /// Saves a graph as a segment directory: terms are interned in document
 /// order (ids identical to an in-memory load of the same document),
 /// triples are routed by `shard_by` into `shards` buckets, and
-/// [`write_segments`] lays the runs out on disk.
+/// [`write_segments_with`] lays the block-cut runs out on disk.
 pub fn save_graph(
     dir: &Path,
     graph: &Graph,
     shards: usize,
     shard_by: ShardBy,
+) -> Result<SegmentStats, SegmentError> {
+    save_graph_with(dir, graph, shards, shard_by, DEFAULT_BLOCK_TRIPLES)
+}
+
+/// [`save_graph`] with an explicit block size (tests use tiny blocks to
+/// exercise boundary handling; real saves keep the default).
+pub fn save_graph_with(
+    dir: &Path,
+    graph: &Graph,
+    shards: usize,
+    shard_by: ShardBy,
+    block_triples: u32,
 ) -> Result<SegmentStats, SegmentError> {
     let n = shards.max(1);
     let mut dict = Dictionary::new();
@@ -51,59 +86,296 @@ pub fn save_graph(
         let enc = dict.encode_triple(t);
         buckets[shard_by.shard_of(&enc, n)].push(enc);
     }
-    write_segments(dir, &dict, shard_by, buckets)
+    write_segments_with(dir, &dict, shard_by, buckets, block_triples)
 }
 
-/// Opens a segment directory as a [`ShardedStore`] of lazy disk shards.
-///
-/// Cost: the segment root, the dictionary, and one `stat` per shard
-/// file (existence + exact expected size, so truncation surfaces here
-/// as a clean error rather than later as a failed read). No triple run
-/// is read until a query scans it.
+/// Opens a segment directory as a [`ShardedStore`] of block-windowed
+/// disk shards with the default cache budget. See [`open_store_with`].
 pub fn open_store(dir: &Path) -> Result<ShardedStore, SegmentError> {
+    open_store_with(dir, None)
+}
+
+/// Opens a segment directory as a [`ShardedStore`] of block-windowed
+/// disk shards sharing one [`BlockCache`] of `cache_bytes` (default: a
+/// quarter of the document's run payload, at least 1 MiB).
+///
+/// Cost: the segment root, the dictionary, each shard's block index,
+/// and one `stat` per shard file (existence + exact expected size, so
+/// truncation surfaces here as a clean error rather than later as a
+/// failed read). No triple payload is read until a query scans it.
+pub fn open_store_with(dir: &Path, cache_bytes: Option<u64>) -> Result<ShardedStore, SegmentError> {
     let header = read_header(dir)?;
     let dict = segment::read_dictionary(dir, &header)?;
     let stats = read_stats(dir, &header)?;
+    let payload = header.triples * TRIPLE_BYTES * RUN_ORDERS.len() as u64;
+    let budget =
+        cache_bytes.unwrap_or_else(|| (payload / DEFAULT_CACHE_FRACTION).max(MIN_CACHE_BYTES));
+    let cache = Arc::new(BlockCache::new(budget));
     let mut built: Vec<(Box<dyn TripleStore>, std::time::Duration)> =
         Vec::with_capacity(header.shards.len());
     for ((i, meta), shard_stats) in header.shards.iter().enumerate().zip(stats) {
         let t0 = Instant::now();
-        let shard = DiskShardStore::open(dir, i, meta, shard_stats)?;
+        let shard = DiskShardStore::open(
+            dir,
+            i,
+            meta,
+            header.block_triples,
+            shard_stats,
+            Arc::clone(&cache),
+        )?;
         built.push((Box::new(shard), t0.elapsed()));
     }
     Ok(ShardedStore::assemble(dict, header.shard_by, built))
 }
 
-/// One shard of a saved segment store: three sorted runs on disk, each
-/// read, checksum-verified and cached on first use. Like the in-memory
-/// shard stores it carries an empty dictionary — ids live in the shared
-/// dictionary the enclosing [`ShardedStore`] owns.
+const NIL: usize = usize::MAX;
+
+/// One cached decoded block, threaded into the LRU list by slot index.
+struct Slot {
+    key: u64,
+    block: Option<Arc<Vec<IdTriple>>>,
+    bytes: u64,
+    prev: usize,
+    next: usize,
+}
+
+/// The LRU bookkeeping behind one mutex: a key → slot map plus an
+/// intrusive recency list over a slot arena (no per-access allocation).
+struct Lru {
+    map: HashMap<u64, usize>,
+    slots: Vec<Slot>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+    resident_bytes: u64,
+}
+
+impl Lru {
+    fn new() -> Self {
+        Lru {
+            map: HashMap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            resident_bytes: 0,
+        }
+    }
+
+    fn detach(&mut self, i: usize) {
+        let (prev, next) = (self.slots[i].prev, self.slots[i].next);
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.slots[prev].next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.slots[next].prev = prev;
+        }
+    }
+
+    fn push_front(&mut self, i: usize) {
+        self.slots[i].prev = NIL;
+        self.slots[i].next = self.head;
+        if self.head == NIL {
+            self.tail = i;
+        } else {
+            self.slots[self.head].prev = i;
+        }
+        self.head = i;
+    }
+
+    fn touch(&mut self, i: usize) {
+        if self.head != i {
+            self.detach(i);
+            self.push_front(i);
+        }
+    }
+
+    fn insert(&mut self, key: u64, block: Arc<Vec<IdTriple>>, bytes: u64) {
+        let slot = Slot {
+            key,
+            block: Some(block),
+            bytes,
+            prev: NIL,
+            next: NIL,
+        };
+        let i = match self.free.pop() {
+            Some(i) => {
+                self.slots[i] = slot;
+                i
+            }
+            None => {
+                self.slots.push(slot);
+                self.slots.len() - 1
+            }
+        };
+        self.map.insert(key, i);
+        self.resident_bytes += bytes;
+        self.push_front(i);
+    }
+
+    fn evict_tail(&mut self) {
+        let i = self.tail;
+        debug_assert_ne!(i, NIL, "eviction from an empty cache");
+        self.detach(i);
+        let slot = &mut self.slots[i];
+        self.map.remove(&slot.key);
+        self.resident_bytes -= slot.bytes;
+        slot.block = None;
+        self.free.push(i);
+    }
+}
+
+/// A thread-safe LRU cache of decoded segment blocks, capped by a byte
+/// budget and shared by every shard of one opened store. Lookups and
+/// recency updates hold one short mutex; disk reads happen outside it,
+/// so concurrent workers never serialize on I/O (two threads missing
+/// the same block may both read it — the first insert wins, the other
+/// copy is transient working memory).
+///
+/// The budget is a hard bound on *cached* residency: a block larger
+/// than the whole budget is served uncached to its caller, and an
+/// insert evicts from the cold tail until the total fits again, so
+/// `resident_bytes <= budget_bytes` holds at every instant (asserted in
+/// debug builds, witnessed by the monotone peak gauge in release).
+pub struct BlockCache {
+    budget_bytes: u64,
+    lru: Mutex<Lru>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    peak_resident_bytes: AtomicU64,
+}
+
+impl BlockCache {
+    /// An empty cache with a `budget_bytes` cap.
+    pub fn new(budget_bytes: u64) -> Self {
+        BlockCache {
+            budget_bytes,
+            lru: Mutex::new(Lru::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            peak_resident_bytes: AtomicU64::new(0),
+        }
+    }
+
+    fn pack(shard: usize, run: usize, block: usize) -> u64 {
+        debug_assert!(shard < (1 << 24) && run < RUN_ORDERS.len() && block < (1 << 32));
+        (shard as u64) << 40 | (run as u64) << 32 | block as u64
+    }
+
+    /// The block `(shard, run, block)`, from cache or — on a miss — via
+    /// `read` (called without the cache lock held).
+    pub fn get_or_read(
+        &self,
+        shard: usize,
+        run: usize,
+        block: usize,
+        read: impl FnOnce() -> Vec<IdTriple>,
+    ) -> Arc<Vec<IdTriple>> {
+        let key = Self::pack(shard, run, block);
+        {
+            let mut lru = self.lru.lock().expect("block cache lock");
+            if let Some(&i) = lru.map.get(&key) {
+                lru.touch(i);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Arc::clone(lru.slots[i].block.as_ref().expect("mapped slot is filled"));
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let block_arc = Arc::new(read());
+        let bytes = block_arc.len() as u64 * TRIPLE_BYTES + SLOT_OVERHEAD;
+        if bytes > self.budget_bytes {
+            // Larger than the whole budget: serve uncached. The
+            // caller's Arc is working memory, not residency.
+            return block_arc;
+        }
+        let mut lru = self.lru.lock().expect("block cache lock");
+        if let Some(&i) = lru.map.get(&key) {
+            // Another thread read the same block meanwhile; keep the
+            // incumbent so concurrent holders share one copy.
+            lru.touch(i);
+            return Arc::clone(lru.slots[i].block.as_ref().expect("mapped slot is filled"));
+        }
+        lru.insert(key, Arc::clone(&block_arc), bytes);
+        while lru.resident_bytes > self.budget_bytes {
+            lru.evict_tail();
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        debug_assert!(
+            lru.resident_bytes <= self.budget_bytes,
+            "resident block bytes exceed the cache budget"
+        );
+        self.peak_resident_bytes
+            .fetch_max(lru.resident_bytes, Ordering::Relaxed);
+        block_arc
+    }
+
+    /// A snapshot of the counters.
+    pub fn stats(&self) -> CacheStats {
+        let lru = self.lru.lock().expect("block cache lock");
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            resident_blocks: lru.map.len() as u64,
+            resident_bytes: lru.resident_bytes,
+            peak_resident_bytes: self.peak_resident_bytes.load(Ordering::Relaxed),
+            budget_bytes: self.budget_bytes,
+        }
+    }
+}
+
+/// One shard of a saved segment store: three sorted block-cut runs on
+/// disk, scanned through the store-wide [`BlockCache`]. Like the
+/// in-memory shard stores it carries an empty dictionary — ids live in
+/// the shared dictionary the enclosing [`ShardedStore`] owns.
 pub struct DiskShardStore {
     dict: Dictionary,
     path: PathBuf,
-    triples: u64,
-    run_checksums: [u64; 3],
-    runs: [OnceLock<Vec<IdTriple>>; 3],
+    file: File,
+    shard: usize,
+    index: BlockIndex,
+    cache: Arc<BlockCache>,
     /// The persisted statistics summary of this shard, decoded from the
     /// segment's stats section at open — what lets
-    /// [`DiskShardStore::estimate`] answer the planner without faulting
-    /// a run into memory.
+    /// [`DiskShardStore::estimate`] answer the planner without reading
+    /// a single block.
     stats: StoreStats,
-    /// Debug-build gauge of runs faulted in from disk by this shard,
-    /// behind the cold-path-free estimation test.
-    #[cfg(debug_assertions)]
-    run_faults: std::sync::atomic::AtomicU64,
+    /// Blocks actually read off disk per run (cache misses through this
+    /// shard) — the laziness tests' gauge.
+    blocks_read: [AtomicU64; 3],
+}
+
+/// A resolved scan: which run, which candidate blocks, and the key
+/// bounds that trim the range's boundary blocks.
+struct BlockPlan {
+    run: usize,
+    perm: [usize; 3],
+    blocks: std::ops::Range<usize>,
+    lo: [Id; 3],
+    hi: [Id; 3],
+    /// The original pattern, kept only when bound positions remain
+    /// outside the run's usable prefix and need residual filtering.
+    residual: Option<Pattern>,
 }
 
 impl DiskShardStore {
-    /// Binds shard `index` of the segment directory, validating that its
-    /// file exists with exactly the size the root records. `stats` is
-    /// the shard's summary from [`read_stats`].
+    /// Binds shard `index` of the segment directory, validating that
+    /// its file exists with exactly the size the root records and
+    /// reading its checksummed block index. `stats` is the shard's
+    /// summary from [`read_stats`]; `cache` the store-wide block cache.
     pub fn open(
         dir: &Path,
         index: usize,
         meta: &ShardMeta,
+        block_triples: u32,
         stats: StoreStats,
+        cache: Arc<BlockCache>,
     ) -> Result<Self, SegmentError> {
         let path = dir.join(shard_file_name(index));
         let size = match std::fs::metadata(&path) {
@@ -116,55 +388,82 @@ impl DiskShardStore {
             }
             Err(e) => return Err(e.into()),
         };
-        if size != meta.file_bytes() {
+        if size != meta.file_bytes(block_triples) {
             return Err(SegmentError::Invalid(format!(
                 "shard file '{}' is truncated: expected {} bytes, found {size}",
                 path.display(),
-                meta.file_bytes()
+                meta.file_bytes(block_triples)
             )));
         }
+        let block_index = read_block_index(&path, meta, block_triples)?;
+        let file = File::open(&path)?;
         Ok(DiskShardStore {
             dict: Dictionary::new(),
             path,
-            triples: meta.triples,
-            run_checksums: meta.run_checksums,
-            runs: Default::default(),
+            file,
+            shard: index,
+            index: block_index,
+            cache,
             stats,
-            #[cfg(debug_assertions)]
-            run_faults: std::sync::atomic::AtomicU64::new(0),
+            blocks_read: [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)],
         })
     }
 
-    /// The run for slot `i` of [`RUN_ORDERS`], read and verified on
-    /// first use. Post-open corruption (the file changed under us after
-    /// its size was validated) panics with the checksum message —
-    /// scans have no error channel, and serving wrong triples silently
-    /// would be worse.
-    fn run(&self, i: usize) -> &[IdTriple] {
-        self.runs[i].get_or_init(|| {
-            #[cfg(debug_assertions)]
-            self.run_faults
-                .fetch_add(1, std::sync::atomic::Ordering::SeqCst);
-            read_run(&self.path, i, self.triples, self.run_checksums[i]).unwrap_or_else(|e| {
+    /// How many blocks of run `i` this shard has read off disk (cache
+    /// misses; hits and untouched blocks don't count).
+    pub fn blocks_read(&self, i: usize) -> u64 {
+        self.blocks_read[i].load(Ordering::Relaxed)
+    }
+
+    /// This shard's block cache counters (shared store-wide).
+    pub fn block_cache(&self) -> &BlockCache {
+        &self.cache
+    }
+
+    /// One block's raw payload bytes, positioned-read so concurrent
+    /// workers never contend on a shared seek offset.
+    fn read_block_bytes(&self, run: usize, block: usize) -> std::io::Result<Vec<u8>> {
+        let offset = self.index.block_offset(run, block);
+        let mut buf = vec![0u8; self.index.block_len(block) * TRIPLE_BYTES as usize];
+        #[cfg(unix)]
+        {
+            use std::os::unix::fs::FileExt;
+            self.file.read_exact_at(&mut buf, offset)?;
+        }
+        #[cfg(not(unix))]
+        {
+            use std::io::{Read, Seek, SeekFrom};
+            let mut file = File::open(&self.path)?;
+            file.seek(SeekFrom::Start(offset))?;
+            file.read_exact(&mut buf)?;
+        }
+        Ok(buf)
+    }
+
+    /// Block `block` of run `run`, from the shared cache or freshly
+    /// read, verified and decoded. Post-open corruption (the file
+    /// changed under us after its size and index were validated) panics
+    /// with the checksum message — scans have no error channel, and
+    /// serving wrong triples silently would be worse.
+    fn block(&self, run: usize, block: usize) -> Arc<Vec<IdTriple>> {
+        self.cache.get_or_read(self.shard, run, block, || {
+            self.blocks_read[run].fetch_add(1, Ordering::Relaxed);
+            let bytes = self.read_block_bytes(run, block).unwrap_or_else(|e| {
                 panic!(
-                    "reading run {:?} of '{}': {e}",
-                    RUN_ORDERS[i],
+                    "reading block {block} of run {:?} in '{}': {e}",
+                    RUN_ORDERS[run],
                     self.path.display()
                 )
-            })
+            });
+            if Checksum::of(&bytes) != self.index.runs[run].checksums[block] {
+                panic!(
+                    "block checksum mismatch in '{}' (run {:?}, block {block}): corrupted after open",
+                    self.path.display(),
+                    RUN_ORDERS[run]
+                );
+            }
+            segment::decode_triples(&bytes)
         })
-    }
-
-    /// True if run `i` has been read into memory (laziness tests).
-    pub fn run_loaded(&self, i: usize) -> bool {
-        self.runs[i].get().is_some()
-    }
-
-    /// How many runs this shard has faulted in from disk (debug builds
-    /// only; the cold-path-free estimation test diffs it).
-    #[cfg(debug_assertions)]
-    pub fn run_faults(&self) -> u64 {
-        self.run_faults.load(std::sync::atomic::Ordering::SeqCst)
     }
 
     /// The run whose key order puts the most bound positions first,
@@ -196,13 +495,115 @@ impl DiskShardStore {
         best
     }
 
-    /// The contiguous slice of the best run matching the pattern's
-    /// bound prefix (loading the run if this is its first use).
-    fn range(&self, pattern: &Pattern) -> (&[IdTriple], usize) {
-        let (slot, prefix_len) = Self::best_run(pattern);
-        let run = self.run(slot);
-        let perm = RUN_ORDERS[slot].permutation();
-        (prefix_range(run, perm, prefix_len, pattern), prefix_len)
+    /// Resolves a pattern to its candidate block range: pick the best
+    /// run, turn the bound prefix into inclusive key bounds, and binary
+    /// search the block index's first keys. Touches no payload.
+    fn block_plan(&self, pattern: &Pattern) -> BlockPlan {
+        let (run, prefix_len) = Self::best_run(pattern);
+        let perm = RUN_ORDERS[run].permutation();
+        let mut lo = [0 as Id; 3];
+        let mut hi = [Id::MAX; 3];
+        for slot in 0..prefix_len {
+            let v = pattern[perm[slot]].expect("prefix position is bound");
+            lo[slot] = v;
+            hi[slot] = v;
+        }
+        let blocks = self.index.candidate_blocks(run, lo, hi);
+        let bound = pattern.iter().filter(|p| p.is_some()).count();
+        BlockPlan {
+            run,
+            perm,
+            blocks,
+            lo,
+            hi,
+            residual: (bound > prefix_len).then_some(*pattern),
+        }
+    }
+
+    fn block_scan(&self, plan: BlockPlan) -> BlockScan<'_> {
+        BlockScan {
+            shard: self,
+            run: plan.run,
+            blocks: plan.blocks,
+            perm: plan.perm,
+            lo: plan.lo,
+            hi: plan.hi,
+            residual: plan.residual,
+            cur: None,
+            done: false,
+        }
+    }
+}
+
+/// Streams the matching triples of a candidate block range, pulling one
+/// block at a time through the cache: within each block, skip below the
+/// lower key bound (a no-op except in the range's first block), stop
+/// for good past the upper bound (only the range's last block can hold
+/// such keys — any earlier block would have pushed its successor's
+/// first key past the bound), and residually filter positions the
+/// prefix doesn't pin.
+struct BlockScan<'a> {
+    shard: &'a DiskShardStore,
+    run: usize,
+    blocks: std::ops::Range<usize>,
+    perm: [usize; 3],
+    lo: [Id; 3],
+    hi: [Id; 3],
+    residual: Option<Pattern>,
+    cur: Option<(Arc<Vec<IdTriple>>, usize)>,
+    done: bool,
+}
+
+impl Iterator for BlockScan<'_> {
+    type Item = IdTriple;
+
+    fn next(&mut self) -> Option<IdTriple> {
+        loop {
+            if self.done {
+                return None;
+            }
+            if let Some((block, pos)) = &mut self.cur {
+                while *pos < block.len() {
+                    let t = block[*pos];
+                    *pos += 1;
+                    if run_key(&t, self.perm) > self.hi {
+                        self.done = true;
+                        return None;
+                    }
+                    match &self.residual {
+                        Some(p) if !matches(&t, p) => continue,
+                        _ => return Some(t),
+                    }
+                }
+                self.cur = None;
+            }
+            let Some(b) = self.blocks.next() else {
+                self.done = true;
+                return None;
+            };
+            let block = self.shard.block(self.run, b);
+            let start = block.partition_point(|t| run_key(t, self.perm) < self.lo);
+            self.cur = Some((block, start));
+        }
+    }
+}
+
+impl BlockSource for DiskShardStore {
+    fn iter_blocks<'a>(
+        &'a self,
+        run: usize,
+        blocks: std::ops::Range<usize>,
+        pattern: Pattern,
+    ) -> Box<dyn Iterator<Item = IdTriple> + 'a> {
+        // Re-derive the key bounds from the pattern (deterministic, so
+        // they equal the ones the chunk list was built from) and walk
+        // just the chunk's sub-range.
+        let mut plan = self.block_plan(&pattern);
+        debug_assert_eq!(plan.run, run, "chunk run disagrees with the pattern's plan");
+        debug_assert!(plan.blocks.start <= blocks.start && blocks.end <= plan.blocks.end);
+        plan.run = run;
+        plan.blocks = blocks;
+        Box::new(self.block_scan(plan))
     }
 }
 
@@ -212,44 +613,52 @@ impl TripleStore for DiskShardStore {
     }
 
     fn len(&self) -> usize {
-        self.triples as usize
+        self.index.triples as usize
     }
 
     fn scan<'a>(&'a self, pattern: Pattern) -> Box<dyn Iterator<Item = IdTriple> + 'a> {
-        let (range, prefix_len) = self.range(&pattern);
-        let bound_count = pattern.iter().filter(|p| p.is_some()).count();
-        if prefix_len == bound_count {
-            Box::new(range.iter().copied())
-        } else {
-            Box::new(range.iter().filter(move |t| matches(t, &pattern)).copied())
-        }
+        Box::new(self.block_scan(self.block_plan(&pattern)))
     }
 
-    /// Partitioned scan over the best run's prefix range, exactly like
-    /// [`crate::NativeStore`]: contiguous sub-ranges concatenating to
-    /// scan order, so the morsel exchange fans out over disk shards
-    /// unchanged.
+    /// Partitioned scan over the best run's candidate blocks, exactly
+    /// like [`crate::NativeStore`] over its index range: contiguous
+    /// block sub-ranges concatenating to scan order, so the morsel
+    /// exchange fans out over disk shards unchanged. Chunks carry block
+    /// numbers, not borrowed triples — a worker materializes each block
+    /// through the cache when it gets there.
     fn scan_chunks(&self, pattern: Pattern, n: usize) -> Vec<ScanChunk<'_>> {
-        let (range, _) = self.range(&pattern);
-        let chunks: Vec<ScanChunk<'_>> = split_ranges(range.len(), n)
+        let plan = self.block_plan(&pattern);
+        let first = plan.blocks.start;
+        let chunks: Vec<ScanChunk<'_>> = split_ranges(plan.blocks.len(), n)
             .into_iter()
-            .map(|r| ScanChunk::Triples(&range[r]))
+            .map(|r| {
+                let (start, end) = (first + r.start, first + r.end);
+                ScanChunk::Blocks {
+                    source: self,
+                    run: plan.run,
+                    start,
+                    end,
+                    len: (start..end).map(|b| self.index.block_len(b)).sum(),
+                }
+            })
             .collect();
         debug_assert_chunks_cover(self, pattern, &chunks);
         chunks
     }
 
     /// Answered entirely from the persisted statistics summary — the
-    /// cold path: estimating never reads a run off disk, so a freshly
+    /// cold path: estimating never reads a block off disk, so a freshly
     /// opened store plans a whole workload at O(header) memory.
-    /// (The old implementation measured the best run's range width,
-    /// faulting an entire sorted run into memory per estimate.)
     fn estimate(&self, pattern: Pattern) -> u64 {
         self.stats.estimate_pattern(pattern)
     }
 
     fn stats(&self) -> Option<&StoreStats> {
         Some(&self.stats)
+    }
+
+    fn cache_stats(&self) -> Option<CacheStats> {
+        Some(self.cache.stats())
     }
 }
 
@@ -282,13 +691,31 @@ mod tests {
         v
     }
 
+    /// Opens shard 0 of a saved single-shard directory with its own
+    /// cache of `budget` bytes.
+    fn open_shard0(dir: &Path, budget: u64) -> DiskShardStore {
+        let header = read_header(dir).expect("header");
+        let stats = read_stats(dir, &header).expect("stats");
+        DiskShardStore::open(
+            dir,
+            0,
+            &header.shards[0],
+            header.block_triples,
+            stats[0].clone(),
+            Arc::new(BlockCache::new(budget)),
+        )
+        .expect("open")
+    }
+
     #[test]
     fn saved_store_reopens_and_agrees_with_native_at_all_shard_counts() {
         let g = graph(400);
         let flat = NativeStore::from_graph(&g);
         for shards in [1usize, 2, 4] {
             let tmp = TempDir::new("open-agree");
-            let stats = save_graph(tmp.path(), &g, shards, ShardBy::Subject).expect("save");
+            // Tiny blocks: every run spans many blocks, so boundary
+            // handling is exercised at every pattern shape.
+            let stats = save_graph_with(tmp.path(), &g, shards, ShardBy::Subject, 7).expect("save");
             assert_eq!(stats.triples as usize, g.len());
             let opened = open_store(tmp.path()).expect("open");
             assert_eq!(opened.len(), flat.len());
@@ -318,51 +745,92 @@ mod tests {
                     flat.estimate(pattern),
                     "{shards} shards, pattern {pattern:?}: count"
                 );
+                assert_eq!(
+                    opened.contains(pattern),
+                    flat.scan(pattern).next().is_some(),
+                    "{shards} shards, pattern {pattern:?}: contains"
+                );
             }
         }
     }
 
     #[test]
-    fn runs_load_lazily_per_access_pattern() {
+    fn blocks_load_lazily_per_access_pattern() {
         let g = graph(200);
         let tmp = TempDir::new("lazy");
         save_graph(tmp.path(), &g, 1, ShardBy::Subject).expect("save");
-        let header = read_header(tmp.path()).expect("header");
-        let stats = read_stats(tmp.path(), &header).expect("stats");
-        let shard =
-            DiskShardStore::open(tmp.path(), 0, &header.shards[0], stats[0].clone()).expect("open");
+        let shard = open_shard0(tmp.path(), 1 << 20);
         assert!(
-            (0..3).all(|i| !shard.run_loaded(i)),
-            "open reads no run at all"
+            (0..3).all(|i| shard.blocks_read(i) == 0),
+            "open reads no payload at all"
         );
         let p = 1u32; // any id; the scan route matters, not the hits
         shard.scan([None, Some(p), None]).count();
-        assert!(shard.run_loaded(1), "P-bound scan loads the PSO run");
+        assert!(shard.blocks_read(1) > 0, "P-bound scan reads the PSO run");
         assert!(
-            !shard.run_loaded(0) && !shard.run_loaded(2),
+            shard.blocks_read(0) == 0 && shard.blocks_read(2) == 0,
             "only that one"
         );
         shard.scan([None, None, None]).count();
-        assert!(shard.run_loaded(0), "full scan loads the SPO run");
+        assert!(shard.blocks_read(0) > 0, "full scan reads the SPO run");
+        // A repeat of the same scans is all cache hits: no new reads.
+        let before: Vec<u64> = (0..3).map(|i| shard.blocks_read(i)).collect();
+        shard.scan([None, Some(p), None]).count();
+        shard.scan([None, None, None]).count();
+        let after: Vec<u64> = (0..3).map(|i| shard.blocks_read(i)).collect();
+        assert_eq!(before, after, "warm scans hit the cache");
+        assert!(shard.block_cache().stats().hits > 0);
     }
 
     #[test]
-    fn estimates_fault_no_runs_on_a_cold_store() {
+    fn bound_scans_touch_only_candidate_blocks() {
+        let g = graph(400);
+        let tmp = TempDir::new("window");
+        // 7-triple blocks: a subject-bound scan covers a small slice of
+        // the many SPO blocks.
+        save_graph_with(tmp.path(), &g, 1, ShardBy::Subject, 7).expect("save");
+        let shard = open_shard0(tmp.path(), 1 << 20);
+        let total_blocks = shard.index.blocks() as u64;
+        assert!(total_blocks > 10, "test premise: many blocks per run");
+        let flat = NativeStore::from_graph(&g);
+        let s1 = flat.resolve(&Term::iri("http://x/s1"));
+        shard.scan([s1, None, None]).count();
+        let read = shard.blocks_read(0);
+        assert!(read > 0, "the scan read something");
+        assert!(
+            read < total_blocks / 2,
+            "a one-subject scan read {read} of {total_blocks} SPO blocks"
+        );
+    }
+
+    #[test]
+    fn estimates_read_no_blocks_on_a_cold_store() {
         let g = graph(300);
         let tmp = TempDir::new("cold-estimate");
         save_graph(tmp.path(), &g, 2, ShardBy::Subject).expect("save");
         let header = read_header(tmp.path()).expect("header");
         let stats = read_stats(tmp.path(), &header).expect("stats");
+        let cache = Arc::new(BlockCache::new(1 << 20));
         let mut shards = Vec::new();
         for ((i, meta), s) in header.shards.iter().enumerate().zip(stats) {
-            shards.push(DiskShardStore::open(tmp.path(), i, meta, s).expect("open"));
+            shards.push(
+                DiskShardStore::open(
+                    tmp.path(),
+                    i,
+                    meta,
+                    header.block_triples,
+                    s,
+                    Arc::clone(&cache),
+                )
+                .expect("open"),
+            );
         }
         let opened = open_store(tmp.path()).expect("open");
         let s1 = opened.resolve(&Term::iri("http://x/s1"));
         let p1 = opened.resolve(&Term::iri("http://x/p1"));
         let o1 = opened.resolve(&Term::iri("http://x/o1"));
         // Every bound-position combination, on the sharded store and on
-        // the bare shards: none may read a run.
+        // the bare shards: none may read a block.
         for pattern in [
             [None, None, None],
             [s1, None, None],
@@ -377,20 +845,17 @@ mod tests {
             opened.stats().expect("disk store carries stats");
             for shard in &shards {
                 shard.estimate(pattern);
+                // Block-range resolution itself is also I/O-free.
+                shard.block_plan(&pattern);
             }
         }
         for shard in &shards {
-            #[cfg(debug_assertions)]
-            assert_eq!(
-                shard.run_faults(),
-                0,
-                "estimation faulted a sorted run into memory"
-            );
             assert!(
-                (0..3).all(|i| !shard.run_loaded(i)),
-                "estimation loaded a run"
+                (0..3).all(|i| shard.blocks_read(i) == 0),
+                "estimation or range planning read a block"
             );
         }
+        assert_eq!(cache.stats().misses, 0, "the cache never saw a read");
         // Estimates stay sane: the full pattern matches everything.
         assert_eq!(opened.estimate([None, None, None]), g.len() as u64);
         assert_eq!(
@@ -404,7 +869,7 @@ mod tests {
     fn scan_chunks_cover_like_the_other_stores() {
         let g = graph(300);
         let tmp = TempDir::new("chunks");
-        save_graph(tmp.path(), &g, 2, ShardBy::Subject).expect("save");
+        save_graph_with(tmp.path(), &g, 2, ShardBy::Subject, 7).expect("save");
         let opened = open_store(tmp.path()).expect("open");
         let p1 = opened.resolve(&Term::iri("http://x/p1"));
         let s1 = opened.resolve(&Term::iri("http://x/s1"));
@@ -416,6 +881,69 @@ mod tests {
                 assert_eq!(chunked, sequential, "pattern {pattern:?} n {n}");
             }
         }
+    }
+
+    #[test]
+    fn lru_cache_evicts_cold_blocks_within_its_budget() {
+        let g = graph(400);
+        let tmp = TempDir::new("lru");
+        save_graph_with(tmp.path(), &g, 1, ShardBy::Subject, 16).expect("save");
+        // Room for a handful of 16-triple (192 B + overhead) blocks,
+        // far fewer than one run holds.
+        let budget = 4 * (16 * TRIPLE_BYTES + SLOT_OVERHEAD);
+        let shard = open_shard0(tmp.path(), budget);
+        let run_blocks = shard.index.blocks() as u64;
+        assert!(run_blocks > 8, "test premise: more blocks than fit");
+        shard.scan([None, None, None]).count();
+        let stats = shard.block_cache().stats();
+        assert_eq!(stats.misses, run_blocks, "every SPO block read once");
+        assert!(stats.evictions > 0, "the full scan overflowed the budget");
+        assert!(stats.resident_bytes <= budget);
+        assert!(stats.peak_resident_bytes <= budget, "budget is a hard cap");
+        assert!(stats.resident_blocks <= 4);
+        // A second full scan re-reads what was evicted (sequential
+        // flooding is LRU's worst case) but never exceeds the budget.
+        shard.scan([None, None, None]).count();
+        let stats = shard.block_cache().stats();
+        assert!(stats.peak_resident_bytes <= budget);
+        // Hammering one hot block is all hits once resident.
+        let hits_before = shard.block_cache().stats().hits;
+        for _ in 0..10 {
+            shard.block(0, 0);
+        }
+        assert!(shard.block_cache().stats().hits >= hits_before + 9);
+    }
+
+    #[test]
+    fn oversized_blocks_bypass_the_cache_entirely() {
+        let g = graph(200);
+        let tmp = TempDir::new("bypass");
+        save_graph(tmp.path(), &g, 1, ShardBy::Subject).expect("save");
+        // Budget smaller than any single block: nothing is ever cached,
+        // but scans still answer correctly.
+        let shard = open_shard0(tmp.path(), 16);
+        let flat = NativeStore::from_graph(&g);
+        assert_eq!(
+            decoded(&shard, [None, None, None]),
+            decoded(&flat, [None, None, None])
+        );
+        let stats = shard.block_cache().stats();
+        assert!(stats.misses > 0);
+        assert_eq!(stats.resident_blocks, 0, "nothing fits, nothing resides");
+        assert_eq!(stats.peak_resident_bytes, 0);
+    }
+
+    #[test]
+    fn shards_of_one_store_share_one_cache() {
+        let g = graph(300);
+        let tmp = TempDir::new("shared");
+        save_graph(tmp.path(), &g, 3, ShardBy::Subject).expect("save");
+        let opened = open_store_with(tmp.path(), Some(1 << 20)).expect("open");
+        opened.scan([None, None, None]).count();
+        let stats = opened.cache_stats().expect("disk store exposes its cache");
+        assert_eq!(stats.budget_bytes, 1 << 20);
+        // All three shards' SPO reads landed in the same cache.
+        assert_eq!(stats.misses, 3, "one default-size block per shard");
     }
 
     #[test]
@@ -438,17 +966,25 @@ mod tests {
         std::fs::write(&shard1, &bytes[..bytes.len() - 12]).unwrap();
         let err = open_err(tmp.path());
         assert!(err.to_string().contains("truncated"), "{err}");
+        // An index flipped in place (size intact) fails open by its
+        // checksum.
+        let mut corrupt = bytes.clone();
+        let last = corrupt.len() - 1;
+        corrupt[last] ^= 0xff;
+        std::fs::write(&shard1, &corrupt).unwrap();
+        let err = open_err(tmp.path());
+        assert!(err.to_string().contains("block index checksum"), "{err}");
     }
 
     #[test]
-    fn post_open_run_corruption_panics_with_the_checksum_message() {
+    fn post_open_block_corruption_panics_with_the_checksum_message() {
         let g = graph(150);
-        let tmp = TempDir::new("run-corrupt");
+        let tmp = TempDir::new("block-corrupt");
         save_graph(tmp.path(), &g, 1, ShardBy::Subject).expect("save");
-        let opened = open_store(tmp.path()).expect("open validates sizes only");
+        let opened = open_store(tmp.path()).expect("open validates sizes and index only");
         // Corrupt a triple body *after* open: same size, wrong bytes.
-        // Offset 6 sits inside the first (SPO) run, the one a full scan
-        // reads.
+        // Offset 6 sits inside the first (SPO) block, the one a full
+        // scan reads.
         let shard0 = tmp.path().join(shard_file_name(0));
         let mut bytes = std::fs::read(&shard0).unwrap();
         bytes[6] ^= 0xff;
@@ -461,7 +997,7 @@ mod tests {
                 .downcast_ref::<String>()
                 .cloned()
                 .unwrap_or_else(|| "non-string panic".into()),
-            Ok(_) => panic!("corrupted run must not scan"),
+            Ok(_) => panic!("corrupted block must not scan"),
         };
         assert!(msg.contains("checksum"), "panic names the checksum: {msg}");
     }

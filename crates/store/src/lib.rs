@@ -16,8 +16,10 @@
 //! loading, index build and scans parallelize across shards (see
 //! [`shard`]). A store can also be **saved** as a directory of
 //! checksummed binary segments ([`segment`]) and reopened out-of-core
-//! ([`disk`]): open reads only the header and the dictionary, and each
-//! shard's sorted runs load lazily from disk on first scan.
+//! ([`disk`]): open reads only the header, the dictionary and the
+//! per-shard block indexes, and scans pull fixed-size blocks of the
+//! sorted runs through a byte-budgeted shared LRU [`BlockCache`] — so a
+//! document larger than RAM serves at O(cache budget) resident memory.
 
 pub mod dictionary;
 pub mod disk;
@@ -31,11 +33,13 @@ pub mod stats;
 pub mod traits;
 
 pub use dictionary::{Dictionary, Id, IdTriple};
-pub use disk::{open_store, save_graph, DiskShardStore};
+pub use disk::{
+    open_store, open_store_with, save_graph, save_graph_with, BlockCache, DiskShardStore,
+};
 pub use load::{
-    disk_store_from_dir, mem_store_from_path, mem_store_from_reader, native_store_from_path,
-    native_store_from_reader, save_segments_from_path, save_segments_from_reader,
-    sharded_store_from_path, sharded_store_from_reader, SaveError,
+    disk_store_from_dir, disk_store_from_dir_with, mem_store_from_path, mem_store_from_reader,
+    native_store_from_path, native_store_from_reader, save_segments_from_path,
+    save_segments_from_reader, sharded_store_from_path, sharded_store_from_reader, SaveError,
 };
 pub use mem::MemStore;
 pub use native::{IndexOrder, IndexSelection, NativeStore};
@@ -43,5 +47,6 @@ pub use segment::{SegmentError, SegmentStats};
 pub use shard::{ShardBackend, ShardBy, ShardedStore};
 pub use stats::{CharacteristicSet, PredicateStats, StoreStats};
 pub use traits::{
-    debug_assert_chunks_cover, split_ranges, Pattern, ScanChunk, SharedStore, TripleStore,
+    debug_assert_chunks_cover, split_ranges, BlockSource, CacheStats, Pattern, ScanChunk,
+    SharedStore, TripleStore,
 };

@@ -167,9 +167,12 @@ pub fn sharded_store_from_reader<R: BufRead>(
 
 /// Streams an N-Triples source into a segment directory (see
 /// [`crate::segment`] for the on-disk format): terms are interned in
-/// document order, triples are routed into `shards` buckets, and the
-/// sorted runs are written with per-section checksums. The saved
-/// directory reopens via [`disk_store_from_dir`] without reparsing.
+/// document order, triples are routed into `shards` buckets, and each
+/// bucket's three sorted runs — sorted in parallel on scoped threads —
+/// are written as fixed-size checksummed blocks under a per-run
+/// first-key index. The saved directory reopens via
+/// [`disk_store_from_dir`] without reparsing, and serves scans through
+/// a byte-budgeted block cache.
 pub fn save_segments_from_reader<R: BufRead>(
     reader: R,
     dir: &Path,
@@ -203,11 +206,21 @@ pub fn save_segments_from_path(
     )
 }
 
-/// Opens a saved segment directory as a [`ShardedStore`] of lazy disk
-/// shards — O(header + dictionary), no N-Triples parsing (see
-/// [`crate::disk::open_store`]).
+/// Opens a saved segment directory as a [`ShardedStore`] of
+/// block-windowed disk shards — O(header + dictionary + block index),
+/// no N-Triples parsing (see [`crate::disk::open_store`]).
 pub fn disk_store_from_dir(dir: &Path) -> Result<ShardedStore, SegmentError> {
     crate::disk::open_store(dir)
+}
+
+/// [`disk_store_from_dir`] with an explicit block-cache byte budget
+/// (`None` = the default fraction of the document size; see
+/// [`crate::disk::open_store_with`]).
+pub fn disk_store_from_dir_with(
+    dir: &Path,
+    cache_bytes: Option<u64>,
+) -> Result<ShardedStore, SegmentError> {
+    crate::disk::open_store_with(dir, cache_bytes)
 }
 
 /// Loads an N-Triples file into a [`ShardedStore`] (see

@@ -108,9 +108,9 @@ pub(crate) fn key(t: &IdTriple, perm: [usize; 3]) -> (Id, Id, Id) {
 }
 
 /// The contiguous slice of `index` — sorted by `perm` — whose first
-/// `prefix_len` key positions equal the pattern's bound values. Shared
-/// by [`NativeStore`] and the disk segment store ([`crate::disk`]),
-/// whose on-disk runs are sorted exactly like these indexes.
+/// `prefix_len` key positions equal the pattern's bound values. The
+/// disk segment store ([`crate::disk`]) runs the same binary search,
+/// but over its block index's first keys instead of whole triples.
 pub(crate) fn prefix_range<'a>(
     index: &'a [IdTriple],
     perm: [usize; 3],

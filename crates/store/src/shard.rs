@@ -50,7 +50,7 @@ use crate::dictionary::{Dictionary, Id, IdTriple};
 use crate::mem::MemStore;
 use crate::native::{IndexSelection, NativeStore};
 use crate::stats::StoreStats;
-use crate::traits::{debug_assert_chunks_cover, Pattern, ScanChunk, TripleStore};
+use crate::traits::{debug_assert_chunks_cover, CacheStats, Pattern, ScanChunk, TripleStore};
 
 /// The partition key of a [`ShardedStore`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -365,6 +365,13 @@ impl TripleStore for ShardedStore {
                 Some(merged)
             })
             .as_ref()
+    }
+
+    /// Disk shards share one store-wide block cache, so the first
+    /// shard that has one answers for all of them (summing would count
+    /// the same cache once per shard).
+    fn cache_stats(&self) -> Option<CacheStats> {
+        self.shards.iter().find_map(|s| s.cache_stats())
     }
 
     fn contains(&self, pattern: Pattern) -> bool {

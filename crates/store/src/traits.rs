@@ -97,6 +97,15 @@ pub trait TripleStore: Send + Sync {
         self.dictionary().lookup(term)
     }
 
+    /// Counters of the block cache this store serves scans through, for
+    /// stores that read decoded disk blocks out of a bounded shared
+    /// cache (the out-of-core segment store, [`crate::disk`]). `None`
+    /// for fully in-memory stores. A composite store returns its
+    /// shards' shared cache once, not a per-shard sum.
+    fn cache_stats(&self) -> Option<CacheStats> {
+        None
+    }
+
     /// Moves this store behind a [`SharedStore`] handle — the form the
     /// owned `QueryEngine` and the multi-client benchmark driver consume.
     fn into_shared(self) -> SharedStore
@@ -107,13 +116,77 @@ pub trait TripleStore: Send + Sync {
     }
 }
 
+/// A snapshot of a block cache's counters (see
+/// [`TripleStore::cache_stats`]): how an out-of-core store's bounded
+/// memory is behaving under the current workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Block lookups served from the cache.
+    pub hits: u64,
+    /// Block lookups that had to read and decode from disk.
+    pub misses: u64,
+    /// Blocks evicted to stay within the byte budget.
+    pub evictions: u64,
+    /// Decoded blocks currently resident.
+    pub resident_blocks: u64,
+    /// Bytes currently charged against the budget.
+    pub resident_bytes: u64,
+    /// The high-water mark of `resident_bytes` — never exceeds
+    /// `budget_bytes` (cached residency is bounded; blocks being
+    /// actively iterated are working memory, not residency).
+    pub peak_resident_bytes: u64,
+    /// The configured byte budget.
+    pub budget_bytes: u64,
+}
+
+impl CacheStats {
+    /// One human line of the counters, shared by the engine boot
+    /// summary and the `--explain` `Cache:` line.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} hits, {} misses, {} evictions, {} block(s) resident \
+             ({} B, peak {} B) of {} B budget",
+            self.hits,
+            self.misses,
+            self.evictions,
+            self.resident_blocks,
+            self.resident_bytes,
+            self.peak_resident_bytes,
+            self.budget_bytes
+        )
+    }
+}
+
+/// A store that can iterate ranges of fixed-size decoded blocks — what
+/// a [`ScanChunk::Blocks`] handle dereferences through. Implemented by
+/// the out-of-core `DiskShardStore`, whose blocks live behind a shared
+/// LRU cache rather than borrowed slices, so a chunk cannot hand out a
+/// `&[IdTriple]` that an eviction would invalidate; instead the chunk
+/// carries a block range and pulls each block through the cache as it
+/// is reached.
+pub trait BlockSource: Send + Sync {
+    /// Iterates the triples of blocks `blocks` of sorted run `run` that
+    /// match `pattern`, in run order. `run` and the block range must
+    /// come from this source's own `scan_chunks` answer for the same
+    /// `pattern` — the source re-derives the key bounds from `pattern`
+    /// and applies the same lower-bound skip / upper-bound stop /
+    /// residual filtering as its full scan, so concatenating the chunks
+    /// of one answer reproduces the scan exactly.
+    fn iter_blocks<'a>(
+        &'a self,
+        run: usize,
+        blocks: std::ops::Range<usize>,
+        pattern: Pattern,
+    ) -> Box<dyn Iterator<Item = IdTriple> + 'a>;
+}
+
 /// One disjoint portion of a partitioned scan (see
 /// [`TripleStore::scan_chunks`]): a cheap `Copy` handle over borrowed
 /// store data that each worker thread turns into triples with
-/// [`ScanChunk::iter`]. Both variants still apply residual pattern
+/// [`ScanChunk::iter`]. All variants still apply residual pattern
 /// filtering, so chunks are safe for partial-prefix index ranges and
 /// posting lists alike.
-#[derive(Debug, Clone, Copy)]
+#[derive(Clone, Copy)]
 pub enum ScanChunk<'a> {
     /// A contiguous run of candidate triples (an index-range or
     /// triple-table span).
@@ -125,6 +198,43 @@ pub enum ScanChunk<'a> {
         /// The full triple table the rows point into.
         table: &'a [IdTriple],
     },
+    /// A range of on-disk blocks of one sorted run, materialized
+    /// through the source's block cache only when iterated.
+    Blocks {
+        /// The store that owns the blocks.
+        source: &'a dyn BlockSource,
+        /// Which sorted run (SPO/PSO/OSP slot) the blocks belong to.
+        run: usize,
+        /// First candidate block (inclusive).
+        start: usize,
+        /// Last candidate block (exclusive).
+        end: usize,
+        /// Total triples in the candidate blocks (before filtering).
+        len: usize,
+    },
+}
+
+impl std::fmt::Debug for ScanChunk<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScanChunk::Triples(t) => f.debug_tuple("Triples").field(&t.len()).finish(),
+            ScanChunk::Rows { rows, .. } => {
+                f.debug_struct("Rows").field("rows", &rows.len()).finish()
+            }
+            ScanChunk::Blocks {
+                run,
+                start,
+                end,
+                len,
+                ..
+            } => f
+                .debug_struct("Blocks")
+                .field("run", run)
+                .field("blocks", &(start..end))
+                .field("len", len)
+                .finish(),
+        }
+    }
 }
 
 impl<'a> ScanChunk<'a> {
@@ -133,6 +243,7 @@ impl<'a> ScanChunk<'a> {
         match self {
             ScanChunk::Triples(t) => t.len(),
             ScanChunk::Rows { rows, .. } => rows.len(),
+            ScanChunk::Blocks { len, .. } => *len,
         }
     }
 
@@ -155,6 +266,13 @@ impl<'a> ScanChunk<'a> {
                     .map(move |&r| table[r as usize])
                     .filter(move |t| matches(t, &pattern)),
             ),
+            ScanChunk::Blocks {
+                source,
+                run,
+                start,
+                end,
+                ..
+            } => source.iter_blocks(run, start..end, pattern),
         }
     }
 }

@@ -6,14 +6,17 @@
 //! produce the same result multiset (and count) as the in-memory native
 //! store built from the same graph. And reopening must be genuinely
 //! out-of-core: a saved document answers queries after its N-Triples
-//! source is deleted.
+//! source is deleted, and keeps answering them identically when the
+//! block cache's byte budget is smaller than any single sorted run.
 
 use std::path::{Path, PathBuf};
 
 use sp2bench::core::{BenchQuery, ExtQuery};
 use sp2bench::datagen::{generate_graph, Config};
 use sp2bench::sparql::{QueryEngine, QueryOptions, QueryResult};
-use sp2bench::store::{open_store, save_graph, NativeStore, ShardBy, SharedStore, TripleStore};
+use sp2bench::store::{
+    open_store, open_store_with, save_graph, NativeStore, ShardBy, SharedStore, TripleStore,
+};
 
 const TRIPLES: u64 = 6_000;
 const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
@@ -129,6 +132,67 @@ fn reopened_disk_store_agrees_with_memory_on_all_queries() {
             }
         }
     }
+}
+
+/// The out-of-core tentpole: a cache budget smaller than any single
+/// sorted run forces every query to stream blocks through eviction —
+/// and the answers must not change. Opens the saved segments with a
+/// 32 KiB budget (each 2-shard run here is ~36 KB) threaded through
+/// `QueryOptions::cache_bytes` the way a store-opening front end would,
+/// runs Q1–Q12/A1–A5 sequentially and morsel-parallel against the
+/// in-memory reference, then reads the cache gauges back: evictions
+/// actually happened and peak resident block bytes never exceeded the
+/// budget (the cache itself debug-asserts the same invariant on every
+/// insert, so a debug-build test run proves it block by block).
+#[test]
+fn tiny_cache_budget_streams_blocks_without_changing_results() {
+    const BUDGET: u64 = 32 * 1024;
+    let (graph, _) = generate_graph(Config::triples(TRIPLES));
+    let flat = NativeStore::from_graph(&graph).into_shared();
+    let reference = run_all(&flat, 1);
+
+    let dir = TempDir::new("tiny-cache");
+    let stats = save_graph(dir.path(), &graph, 2, ShardBy::Subject).expect("save");
+    // Premise: the budget is smaller than any one run, so no shard can
+    // simply hold a whole permutation resident.
+    assert!(
+        stats.shard_lens.iter().all(|&l| (l as u64) * 12 > BUDGET),
+        "premise: every run ({:?} triples at 12 B) must exceed the {BUDGET} B budget",
+        stats.shard_lens
+    );
+
+    let options = QueryOptions::new().cache_bytes(BUDGET);
+    let disk = open_store_with(dir.path(), options.cache_byte_budget())
+        .expect("open with tiny cache")
+        .into_shared();
+
+    for parallelism in [1usize, 4] {
+        let got = run_all(&disk, parallelism);
+        for ((label, rows, count), (rlabel, rrows, rcount)) in got.iter().zip(&reference) {
+            assert_eq!(label, rlabel);
+            assert_eq!(
+                rows, rrows,
+                "{label}: tiny cache @ parallelism {parallelism} changed the result multiset"
+            );
+            assert_eq!(
+                count, rcount,
+                "{label}: tiny cache @ parallelism {parallelism} changed the count"
+            );
+        }
+    }
+
+    let cache = disk.cache_stats().expect("disk store exposes cache stats");
+    assert_eq!(cache.budget_bytes, BUDGET);
+    assert!(
+        cache.evictions > 0,
+        "a budget below any run must evict: {cache:?}"
+    );
+    assert!(
+        cache.peak_resident_bytes <= BUDGET,
+        "peak resident {} B exceeded the {BUDGET} B budget",
+        cache.peak_resident_bytes
+    );
+    assert!(cache.resident_bytes <= BUDGET, "{cache:?}");
 }
 
 /// PSO-partitioned segments agree too — the saved partition key round-
