@@ -23,15 +23,17 @@
 //!                                                         a pinned block-cache budget
 //! sp2b serve    [--addr 127.0.0.1:8088] [--threads 4]     SPARQL protocol endpoint over
 //!               [--timeout 30] [--triples 50k|--data F]   one shared store (HTTP/1.1)
-//!               [--duration S] [--parallelism N]
+//!               [--duration S] [--parallelism N]          …plus GET /metrics (Prometheus)
 //!               [--queue 1024] [--shards N]               503-shedding accept bound, sharding
+//!               [--slow-ms N]                             log queries slower than N ms
 //! sp2b multiuser --clients 8 [--threads 2] [--duration 30] N concurrent clients, mixed
 //!               [--triples 50k] [--queries q1,a1,…]       workload → latency/throughput
 //!               [--shards N] [--checksums]                sharded store, result checksums
 //!               [--endpoint http://host:port/sparql]      …over real sockets instead
 //! sp2b query    Q4 [--triples 50k] [--engine native-opt]  run one query, print rows
 //!               [--format table|json|csv|tsv] [--explain] …and the join order with
-//!                                                         estimated vs actual rows
+//!               [--trace]                                 estimated vs actual rows, or the
+//!                                                         full per-operator time breakdown
 //! ```
 //!
 //! `run`, `query`, `smoke` and the experiments accept `--threads N` to
@@ -50,9 +52,14 @@
 //! memory. `run` and `query` accept `--explain` to print the chosen BGP
 //! join order with each pattern's estimated cardinality next to the
 //! rows it actually emitted (and whether store statistics or the
-//! fixed-discount heuristic ordered it). `--timeout`, `--addr` and
-//! `--store` are strictly validated: malformed values are hard usage
-//! errors, never silent fallbacks.
+//! fixed-discount heuristic ordered it), and `--trace` for the fuller
+//! per-query breakdown: phase timings (prepare/execute) plus each
+//! operator's estimate, actual rows *and wall time*. `serve` exposes
+//! `GET /metrics` (Prometheus text) and `GET /stats` (JSON) from the
+//! process metrics registry, and `--slow-ms N` logs one `slow-query:`
+//! line to stderr for every query at or over N milliseconds.
+//! `--timeout`, `--addr` and `--store` are strictly validated:
+//! malformed values are hard usage errors, never silent fallbacks.
 
 use std::io::Write as _;
 use std::process::ExitCode;
@@ -526,6 +533,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     let parallelism = args.get_positive_opt("parallelism")?.unwrap_or(1);
     let duration = args.get_positive_opt("duration")?;
     let max_queue = args.get_positive("queue", 1024)?;
+    let slow_ms = args.get_positive_opt("slow-ms")?;
     let engine = match args.get_store_dir()? {
         Some(dir) => open_disk_engine(args, &dir)?,
         None => {
@@ -541,6 +549,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         workers,
         timeout: Some(per_query_timeout),
         max_queue,
+        slow_log: slow_ms.map(|ms| sp2b_server::SlowLog::stderr(Duration::from_millis(ms as u64))),
     };
     let handle = sp2b_server::spawn(qe, &cfg).map_err(|e| format!("cannot bind {addr}: {e}"))?;
     eprintln!(
@@ -550,6 +559,10 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         parallelism,
         per_query_timeout.as_secs()
     );
+    eprintln!("telemetry: GET /metrics (Prometheus text), GET /stats (JSON)");
+    if let Some(ms) = slow_ms {
+        eprintln!("slow-query log: queries at or over {ms} ms go to stderr");
+    }
     match duration {
         Some(secs) => std::thread::sleep(Duration::from_secs(secs as u64)),
         None => loop {
@@ -700,12 +713,15 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     };
     let limit = args.get_u64("limit", 50) as usize;
     let explain = args.has("explain");
+    let trace = args.has("trace");
     let counters = std::sync::Arc::new(ScanCounters::default());
     let mut qe = engine.query_engine_with(Some(timeout(args, 300)?), threads(args)?);
-    if explain {
+    if explain || trace {
         qe = qe.scan_counters(counters.clone());
     }
+    let prep_started = std::time::Instant::now();
     let prepared = qe.prepare(&text).map_err(|e| e.to_string())?;
+    let prepare_time = prep_started.elapsed();
     if let Some(format) = output_format(args)? {
         return serialize_to_stdout(&qe, &prepared, format);
     }
@@ -723,6 +739,12 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         if explain {
             println!("{}", explain_report(&prepared, qe.store(), &counters));
         }
+        if trace {
+            println!(
+                "{}",
+                trace_report(&prepared, &qe, &counters, prepare_time, m.tme)
+            );
+        }
         return Ok(());
     }
     // Stream: the first `limit` rows decode and print; the rest are only
@@ -735,6 +757,12 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     }
     if explain {
         println!("{}", explain_report(&prepared, qe.store(), &counters));
+    }
+    if trace {
+        println!(
+            "{}",
+            trace_report(&prepared, &qe, &counters, prepare_time, m.tme)
+        );
     }
     Ok(())
 }
@@ -818,6 +846,29 @@ fn explain_report(prepared: &Prepared, store: &dyn TripleStore, counters: &ScanC
     out
 }
 
+/// `--trace`: the fuller per-query breakdown — phase timings
+/// (prepare/execute) plus, per operator, the planner's estimate against
+/// the rows it actually emitted *and the wall time it consumed*, read
+/// back from the same [`ScanCounters`] `--explain` uses.
+fn trace_report(
+    prepared: &Prepared,
+    qe: &QueryEngine,
+    counters: &ScanCounters,
+    prepare: Duration,
+    execute: Duration,
+) -> String {
+    let mut trace = sp2b_obs::QueryTrace::new();
+    trace.phase("prepare", prepare);
+    trace.phase("execute", execute);
+    trace.operators = sp2b_sparql::operator_spans(prepared, qe.store(), counters);
+    let mut out = trace.render();
+    if let Some(cache) = qe.cache_stats() {
+        out.push_str(&format!("cache: {}\n", cache.summary()));
+    }
+    out.truncate(out.trim_end().len());
+    out
+}
+
 /// Human phrasing for streaming errors on the CLI.
 fn describe(e: WriteError) -> String {
     match e {
@@ -847,12 +898,15 @@ fn cmd_query(args: &Args) -> Result<(), String> {
     let n = engine.store().len();
     let engine_label = engine.kind();
     let explain = args.has("explain");
+    let trace = args.has("trace");
     let counters = std::sync::Arc::new(ScanCounters::default());
     let mut qe = engine.query_engine_with(Some(timeout(args, 300)?), threads(args)?);
-    if explain {
+    if explain || trace {
         qe = qe.scan_counters(counters.clone());
     }
+    let prep_started = std::time::Instant::now();
     let prepared = qe.prepare(query.text()).map_err(|e| e.to_string())?;
+    let prepare_time = prep_started.elapsed();
     if let Some(format) = output_format(args)? {
         return serialize_to_stdout(&qe, &prepared, format);
     }
@@ -871,6 +925,12 @@ fn cmd_query(args: &Args) -> Result<(), String> {
         if explain {
             println!("{}", explain_report(&prepared, qe.store(), &counters));
         }
+        if trace {
+            println!(
+                "{}",
+                trace_report(&prepared, &qe, &counters, prepare_time, m.tme)
+            );
+        }
         return Ok(());
     }
     let (streamed, m) = measure(|| stream_rows(&qe, &prepared, limit as usize, ""));
@@ -885,6 +945,12 @@ fn cmd_query(args: &Args) -> Result<(), String> {
     }
     if explain {
         println!("{}", explain_report(&prepared, qe.store(), &counters));
+    }
+    if trace {
+        println!(
+            "{}",
+            trace_report(&prepared, &qe, &counters, prepare_time, m.tme)
+        );
     }
     Ok(())
 }

@@ -42,132 +42,10 @@ use crate::queries::BenchQuery;
 // Latency histogram
 // ---------------------------------------------------------------------------
 
-/// Histogram resolution: buckets per factor-of-ten of latency. Eight per
-/// decade puts neighbouring bucket edges ~33 % apart — coarse enough to
-/// stay tiny, fine enough for meaningful p95/p99.
-const BUCKETS_PER_DECADE: usize = 8;
-/// Bucketed range: 1 µs (index 0) to 1000 s; anything above clamps into
-/// the last bucket (exact min/max are tracked separately).
-const DECADES: usize = 9;
-const NUM_BUCKETS: usize = BUCKETS_PER_DECADE * DECADES;
-
-/// A fixed-size, log-bucketed latency histogram (1 µs … 1000 s range,
-/// ~33 % bucket width). Recording is O(1) and allocation-free after
-/// construction; quantiles resolve to the upper edge of the covering
-/// bucket, clamped to the exact observed min/max.
-#[derive(Debug, Clone)]
-pub struct LatencyHistogram {
-    buckets: Vec<u64>,
-    count: u64,
-    sum: Duration,
-    min: Option<Duration>,
-    max: Duration,
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        LatencyHistogram::new()
-    }
-}
-
-impl LatencyHistogram {
-    /// An empty histogram.
-    pub fn new() -> Self {
-        LatencyHistogram {
-            buckets: vec![0; NUM_BUCKETS],
-            count: 0,
-            sum: Duration::ZERO,
-            min: None,
-            max: Duration::ZERO,
-        }
-    }
-
-    fn bucket_index(latency: Duration) -> usize {
-        let micros = latency.as_secs_f64() * 1e6;
-        if micros < 1.0 {
-            return 0;
-        }
-        let index = (micros.log10() * BUCKETS_PER_DECADE as f64).floor() as usize;
-        index.min(NUM_BUCKETS - 1)
-    }
-
-    /// Upper latency edge of bucket `index`.
-    fn bucket_edge(index: usize) -> Duration {
-        let micros = 10f64.powf((index + 1) as f64 / BUCKETS_PER_DECADE as f64);
-        Duration::from_secs_f64(micros / 1e6)
-    }
-
-    /// Records one observation.
-    pub fn record(&mut self, latency: Duration) {
-        self.buckets[Self::bucket_index(latency)] += 1;
-        self.count += 1;
-        self.sum += latency;
-        self.min = Some(self.min.map_or(latency, |m| m.min(latency)));
-        self.max = self.max.max(latency);
-    }
-
-    /// Folds another histogram into this one (the aggregate row).
-    pub fn merge(&mut self, other: &LatencyHistogram) {
-        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
-            *mine += theirs;
-        }
-        self.count += other.count;
-        self.sum += other.sum;
-        self.min = match (self.min, other.min) {
-            (Some(a), Some(b)) => Some(a.min(b)),
-            (a, b) => a.or(b),
-        };
-        self.max = self.max.max(other.max);
-    }
-
-    /// Number of observations.
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// Mean latency (zero when empty).
-    pub fn mean(&self) -> Duration {
-        if self.count == 0 {
-            Duration::ZERO
-        } else {
-            self.sum / self.count as u32
-        }
-    }
-
-    /// Exact fastest observation.
-    pub fn min(&self) -> Duration {
-        self.min.unwrap_or(Duration::ZERO)
-    }
-
-    /// Exact slowest observation.
-    pub fn max(&self) -> Duration {
-        self.max
-    }
-
-    /// The `q`-quantile (`0.0 ..= 1.0`), resolved to bucket precision and
-    /// clamped to the exact observed range. Zero when empty.
-    pub fn quantile(&self, q: f64) -> Duration {
-        if self.count == 0 {
-            return Duration::ZERO;
-        }
-        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
-        let mut seen = 0u64;
-        for (i, n) in self.buckets.iter().enumerate() {
-            seen += n;
-            if seen >= target {
-                // The last bucket collects every overflow observation;
-                // its edge under-reports, so answer with the exact max.
-                let edge = if i == NUM_BUCKETS - 1 {
-                    self.max
-                } else {
-                    Self::bucket_edge(i)
-                };
-                return edge.clamp(self.min(), self.max);
-            }
-        }
-        self.max
-    }
-}
+// The log-bucketed histogram was born here; it now lives in `sp2b-obs`
+// (where the server's shared-writer sibling reuses its bucket math) and
+// is re-exported so `core::multiuser::LatencyHistogram` keeps resolving.
+pub use sp2b_obs::LatencyHistogram;
 
 // ---------------------------------------------------------------------------
 // Workload configuration
@@ -617,46 +495,6 @@ mod tests {
     use super::*;
     use sp2b_datagen::{generate_graph, Config};
     use sp2b_store::{NativeStore, TripleStore};
-
-    #[test]
-    fn histogram_quantiles_bracket_observations() {
-        let mut h = LatencyHistogram::new();
-        for ms in [1u64, 2, 3, 4, 5, 6, 7, 8, 9, 100] {
-            h.record(Duration::from_millis(ms));
-        }
-        assert_eq!(h.count(), 10);
-        assert_eq!(h.max(), Duration::from_millis(100));
-        assert_eq!(h.min(), Duration::from_millis(1));
-        let p50 = h.quantile(0.5);
-        assert!(
-            p50 >= Duration::from_millis(4) && p50 <= Duration::from_millis(8),
-            "p50 {p50:?}"
-        );
-        assert_eq!(h.quantile(1.0), Duration::from_millis(100));
-        // Bucket precision: the p99 lands in the top observation's bucket.
-        assert!(h.quantile(0.99) > Duration::from_millis(50));
-    }
-
-    #[test]
-    fn histogram_merge_accumulates() {
-        let mut a = LatencyHistogram::new();
-        a.record(Duration::from_millis(1));
-        let mut b = LatencyHistogram::new();
-        b.record(Duration::from_millis(10));
-        a.merge(&b);
-        assert_eq!(a.count(), 2);
-        assert_eq!(a.min(), Duration::from_millis(1));
-        assert_eq!(a.max(), Duration::from_millis(10));
-    }
-
-    #[test]
-    fn extreme_latencies_clamp_into_range() {
-        let mut h = LatencyHistogram::new();
-        h.record(Duration::ZERO);
-        h.record(Duration::from_secs(10_000)); // beyond the last bucket
-        assert_eq!(h.count(), 2);
-        assert_eq!(h.quantile(1.0), Duration::from_secs(10_000));
-    }
 
     #[test]
     fn rounds_mode_is_deterministic_and_consistent() {

@@ -1,0 +1,317 @@
+//! Log-bucketed latency histograms.
+//!
+//! [`LatencyHistogram`] is the single-writer form the multi-user driver
+//! records into (it lived in `core::multiuser` before this crate
+//! existed; `core` re-exports it from here). [`AtomicHistogram`] is the
+//! shared-writer sibling for process-global series — identical bucket
+//! math, relaxed-atomic recording, and a lossless snapshot back into the
+//! plain form for quantile readout.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::time::Duration;
+
+/// Histogram resolution: buckets per factor-of-ten of latency. Eight per
+/// decade puts neighbouring bucket edges ~33 % apart — coarse enough to
+/// stay tiny, fine enough for meaningful p95/p99.
+const BUCKETS_PER_DECADE: usize = 8;
+/// Bucketed range: 1 µs (index 0) to 1000 s; anything above clamps into
+/// the last bucket (exact min/max are tracked separately).
+const DECADES: usize = 9;
+pub(crate) const NUM_BUCKETS: usize = BUCKETS_PER_DECADE * DECADES;
+
+/// A fixed-size, log-bucketed latency histogram (1 µs … 1000 s range,
+/// ~33 % bucket width). Recording is O(1) and allocation-free after
+/// construction; quantiles resolve to the upper edge of the covering
+/// bucket, clamped to the exact observed min/max.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: Duration,
+    min: Option<Duration>,
+    max: Duration,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: vec![0; NUM_BUCKETS],
+            count: 0,
+            sum: Duration::ZERO,
+            min: None,
+            max: Duration::ZERO,
+        }
+    }
+
+    fn bucket_index(latency: Duration) -> usize {
+        let micros = latency.as_secs_f64() * 1e6;
+        if micros < 1.0 {
+            return 0;
+        }
+        let index = (micros.log10() * BUCKETS_PER_DECADE as f64).floor() as usize;
+        index.min(NUM_BUCKETS - 1)
+    }
+
+    /// Upper latency edge of bucket `index`.
+    pub(crate) fn bucket_edge(index: usize) -> Duration {
+        let micros = 10f64.powf((index + 1) as f64 / BUCKETS_PER_DECADE as f64);
+        Duration::from_secs_f64(micros / 1e6)
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, latency: Duration) {
+        self.buckets[Self::bucket_index(latency)] += 1;
+        self.count += 1;
+        self.sum += latency;
+        self.min = Some(self.min.map_or(latency, |m| m.min(latency)));
+        self.max = self.max.max(latency);
+    }
+
+    /// Folds another histogram into this one (the aggregate row).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = match (self.min, other.min) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> Duration {
+        self.sum
+    }
+
+    /// Mean latency (zero when empty).
+    pub fn mean(&self) -> Duration {
+        if self.count == 0 {
+            Duration::ZERO
+        } else {
+            self.sum / self.count as u32
+        }
+    }
+
+    /// Exact fastest observation.
+    pub fn min(&self) -> Duration {
+        self.min.unwrap_or(Duration::ZERO)
+    }
+
+    /// Exact slowest observation.
+    pub fn max(&self) -> Duration {
+        self.max
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`), resolved to bucket precision and
+    /// clamped to the exact observed range. Zero when empty.
+    pub fn quantile(&self, q: f64) -> Duration {
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                // The last bucket collects every overflow observation;
+                // its edge under-reports, so answer with the exact max.
+                let edge = if i == NUM_BUCKETS - 1 {
+                    self.max
+                } else {
+                    Self::bucket_edge(i)
+                };
+                return edge.clamp(self.min(), self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Cumulative bucket counts with their upper edges, for exposition
+    /// formats that want explicit `le` boundaries.
+    pub(crate) fn cumulative_buckets(&self) -> impl Iterator<Item = (Duration, u64)> + '_ {
+        let mut running = 0u64;
+        self.buckets.iter().enumerate().map(move |(i, n)| {
+            running += n;
+            (Self::bucket_edge(i), running)
+        })
+    }
+}
+
+/// The shared-writer sibling of [`LatencyHistogram`]: identical bucket
+/// math over relaxed atomics, so many threads can record concurrently
+/// through a shared reference (the server's per-request series). Reads
+/// go through [`AtomicHistogram::snapshot`], which rebuilds a plain
+/// histogram for quantile math.
+///
+/// The sum is kept in whole microseconds (the bucket floor is 1 µs, so
+/// nothing meaningful is lost) and min/max as microsecond extremes.
+#[derive(Debug)]
+pub struct AtomicHistogram {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    count: AtomicU64,
+    sum_micros: AtomicU64,
+    min_micros: AtomicU64,
+    max_micros: AtomicU64,
+}
+
+impl Default for AtomicHistogram {
+    fn default() -> Self {
+        AtomicHistogram::new()
+    }
+}
+
+impl AtomicHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        AtomicHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_micros: AtomicU64::new(0),
+            min_micros: AtomicU64::new(u64::MAX),
+            max_micros: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation. Lock-free; all orderings relaxed — the
+    /// series is statistical, not a synchronization edge.
+    pub fn record(&self, latency: Duration) {
+        let micros = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        self.buckets[LatencyHistogram::bucket_index(latency)].fetch_add(1, Relaxed);
+        self.count.fetch_add(1, Relaxed);
+        self.sum_micros.fetch_add(micros, Relaxed);
+        self.min_micros.fetch_min(micros, Relaxed);
+        self.max_micros.fetch_max(micros, Relaxed);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Relaxed)
+    }
+
+    /// A point-in-time copy as a plain [`LatencyHistogram`] (quantiles,
+    /// merge, exposition). Concurrent recording may tear between fields
+    /// by a few observations; each field is individually consistent.
+    pub fn snapshot(&self) -> LatencyHistogram {
+        let count = self.count.load(Relaxed);
+        let min = self.min_micros.load(Relaxed);
+        LatencyHistogram {
+            buckets: self.buckets.iter().map(|b| b.load(Relaxed)).collect(),
+            count,
+            sum: Duration::from_micros(self.sum_micros.load(Relaxed)),
+            min: (min != u64::MAX).then(|| Duration::from_micros(min)),
+            max: Duration::from_micros(self.max_micros.load(Relaxed)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bracket_observations() {
+        let mut h = LatencyHistogram::new();
+        for ms in [1u64, 2, 3, 4, 5, 6, 7, 8, 9, 100] {
+            h.record(Duration::from_millis(ms));
+        }
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.max(), Duration::from_millis(100));
+        assert_eq!(h.min(), Duration::from_millis(1));
+        let p50 = h.quantile(0.5);
+        assert!(
+            p50 >= Duration::from_millis(4) && p50 <= Duration::from_millis(8),
+            "p50 {p50:?}"
+        );
+        assert_eq!(h.quantile(1.0), Duration::from_millis(100));
+        // Bucket precision: the p99 lands in the top observation's bucket.
+        assert!(h.quantile(0.99) > Duration::from_millis(50));
+    }
+
+    #[test]
+    fn histogram_merge_accumulates() {
+        let mut a = LatencyHistogram::new();
+        a.record(Duration::from_millis(1));
+        let mut b = LatencyHistogram::new();
+        b.record(Duration::from_millis(10));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), Duration::from_millis(1));
+        assert_eq!(a.max(), Duration::from_millis(10));
+    }
+
+    #[test]
+    fn extreme_latencies_clamp_into_range() {
+        let mut h = LatencyHistogram::new();
+        h.record(Duration::ZERO);
+        h.record(Duration::from_secs(10_000)); // beyond the last bucket
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.quantile(1.0), Duration::from_secs(10_000));
+    }
+
+    #[test]
+    fn atomic_histogram_snapshot_matches_plain_recording() {
+        let atomic = AtomicHistogram::new();
+        let mut plain = LatencyHistogram::new();
+        for ms in [1u64, 3, 7, 20, 450] {
+            let d = Duration::from_millis(ms);
+            atomic.record(d);
+            plain.record(d);
+        }
+        let snap = atomic.snapshot();
+        assert_eq!(snap.count(), plain.count());
+        assert_eq!(snap.min(), plain.min());
+        assert_eq!(snap.max(), plain.max());
+        for q in [0.5, 0.95, 0.99] {
+            assert_eq!(snap.quantile(q), plain.quantile(q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn atomic_histogram_accepts_concurrent_writers() {
+        let h = std::sync::Arc::new(AtomicHistogram::new());
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let h = h.clone();
+                scope.spawn(move || {
+                    for i in 0..1_000 {
+                        h.record(Duration::from_micros(t * 1_000 + i));
+                    }
+                });
+            }
+        });
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 4_000);
+        assert_eq!(snap.max(), Duration::from_micros(3_999));
+    }
+
+    #[test]
+    fn cumulative_buckets_are_monotone_and_end_at_count() {
+        let mut h = LatencyHistogram::new();
+        for us in [5u64, 80, 900, 15_000] {
+            h.record(Duration::from_micros(us));
+        }
+        let mut previous = 0;
+        let mut last = 0;
+        for (edge, cumulative) in h.cumulative_buckets() {
+            assert!(cumulative >= previous, "cumulative dips at {edge:?}");
+            previous = cumulative;
+            last = cumulative;
+        }
+        assert_eq!(last, h.count());
+    }
+}

@@ -1,0 +1,34 @@
+//! Zero-dependency observability for SP²Bench.
+//!
+//! SP²Bench is a *measurement* tool, yet most of the engine's runtime
+//! signals historically lived in scattered islands: debug-only exchange
+//! gauges, per-scan row counters, block-cache statistics, server
+//! counters, and the multi-user driver's latency histogram. This crate
+//! unifies them behind three small pieces:
+//!
+//! - [`LatencyHistogram`]: the log-bucketed single-writer histogram the
+//!   multi-user driver records into (moved here from `core::multiuser`,
+//!   which re-exports it), plus [`AtomicHistogram`], its lock-free
+//!   shared-writer sibling with identical bucket math.
+//! - [`MetricsRegistry`]: a process-global, `std`-only registry of
+//!   atomic counters, gauges, histograms and callback-backed series,
+//!   rendered on demand as Prometheus text exposition
+//!   ([`MetricsRegistry::render_prometheus`]) or JSON
+//!   ([`MetricsRegistry::render_json`]). Recording is a relaxed atomic
+//!   op; nothing allocates on the hot path.
+//! - [`QueryTrace`]: a per-query span record — timed phases
+//!   (parse → plan → execute) plus per-operator estimated/actual rows
+//!   and wall time — shared by `sp2b query --trace` and the server's
+//!   slow-query log.
+//!
+//! Everything here is dependency-free so every other crate in the
+//! workspace (store, sparql, server, core, CLI) can depend on it without
+//! cycles.
+
+mod hist;
+mod registry;
+mod trace;
+
+pub use hist::{AtomicHistogram, LatencyHistogram};
+pub use registry::{global, Counter, Gauge, Histogram, MetricsRegistry};
+pub use trace::{OpSpan, QueryTrace};

@@ -1,0 +1,410 @@
+//! The process-global metrics registry.
+//!
+//! Instrumented code registers a series once (by name) and receives a
+//! cheap cloneable handle — [`Counter`], [`Gauge`], or [`Histogram`] —
+//! whose updates are single relaxed atomic operations. Values that
+//! already live elsewhere (cache statistics, queue depths, the exchange
+//! gauges) register as callbacks instead and are sampled at render
+//! time. Rendering walks the registry and produces either Prometheus
+//! text exposition or a JSON object; neither touches the hot path.
+//!
+//! Registration is idempotent: asking for an existing name of the same
+//! kind returns a handle to the same underlying series, so re-spawning
+//! a server in one process keeps its counters monotone. Callback
+//! registrations *replace* a previous callback of the same name — the
+//! latest owner of the name wins, which is what a re-spawned server
+//! wants for gauges like queue depth.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crate::hist::AtomicHistogram;
+
+/// A monotonically increasing counter. Cloning shares the series.
+#[derive(Clone, Debug)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Relaxed);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Relaxed)
+    }
+}
+
+/// An instantaneous value that can move both ways. Cloning shares the
+/// series.
+#[derive(Clone, Debug)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Sets the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Relaxed);
+    }
+
+    /// Adds `n` (may be negative).
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Relaxed)
+    }
+}
+
+/// A registered latency histogram. Cloning shares the series.
+#[derive(Clone, Debug)]
+pub struct Histogram(Arc<AtomicHistogram>);
+
+impl Histogram {
+    /// Records one observation.
+    pub fn record(&self, latency: Duration) {
+        self.0.record(latency);
+    }
+
+    /// Observations so far.
+    pub fn count(&self) -> u64 {
+        self.0.count()
+    }
+
+    /// Point-in-time copy for quantile readout.
+    pub fn snapshot(&self) -> crate::LatencyHistogram {
+        self.0.snapshot()
+    }
+}
+
+enum Source {
+    Counter(Arc<AtomicU64>),
+    Gauge(Arc<AtomicI64>),
+    Histogram(Arc<AtomicHistogram>),
+    CounterFn(Box<dyn Fn() -> u64 + Send + Sync>),
+    GaugeFn(Box<dyn Fn() -> i64 + Send + Sync>),
+}
+
+struct Entry {
+    name: &'static str,
+    help: &'static str,
+    source: Source,
+}
+
+/// A named collection of metric series. Most code uses the process
+/// [`global`] registry; tests can build private ones.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    entries: Mutex<Vec<Entry>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub const fn new() -> Self {
+        MetricsRegistry {
+            entries: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<Entry>> {
+        self.entries.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Registers (or retrieves) the counter `name`.
+    pub fn counter(&self, name: &'static str, help: &'static str) -> Counter {
+        let mut entries = self.lock();
+        if let Some(e) = entries.iter().find(|e| e.name == name) {
+            if let Source::Counter(cell) = &e.source {
+                return Counter(cell.clone());
+            }
+        }
+        let cell = Arc::new(AtomicU64::new(0));
+        Self::put(&mut entries, name, help, Source::Counter(cell.clone()));
+        Counter(cell)
+    }
+
+    /// Registers (or retrieves) the gauge `name`.
+    pub fn gauge(&self, name: &'static str, help: &'static str) -> Gauge {
+        let mut entries = self.lock();
+        if let Some(e) = entries.iter().find(|e| e.name == name) {
+            if let Source::Gauge(cell) = &e.source {
+                return Gauge(cell.clone());
+            }
+        }
+        let cell = Arc::new(AtomicI64::new(0));
+        Self::put(&mut entries, name, help, Source::Gauge(cell.clone()));
+        Gauge(cell)
+    }
+
+    /// Registers (or retrieves) the histogram `name`.
+    pub fn histogram(&self, name: &'static str, help: &'static str) -> Histogram {
+        let mut entries = self.lock();
+        if let Some(e) = entries.iter().find(|e| e.name == name) {
+            if let Source::Histogram(cell) = &e.source {
+                return Histogram(cell.clone());
+            }
+        }
+        let cell = Arc::new(AtomicHistogram::new());
+        Self::put(&mut entries, name, help, Source::Histogram(cell.clone()));
+        Histogram(cell)
+    }
+
+    /// Registers the counter `name` as a callback sampled at render time
+    /// (for monotone values that already live elsewhere, like cache hit
+    /// totals). Replaces any previous registration of the name.
+    pub fn counter_fn(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        f: impl Fn() -> u64 + Send + Sync + 'static,
+    ) {
+        Self::put(&mut self.lock(), name, help, Source::CounterFn(Box::new(f)));
+    }
+
+    /// Registers the gauge `name` as a callback sampled at render time.
+    /// Replaces any previous registration of the name.
+    pub fn gauge_fn(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        f: impl Fn() -> i64 + Send + Sync + 'static,
+    ) {
+        Self::put(&mut self.lock(), name, help, Source::GaugeFn(Box::new(f)));
+    }
+
+    fn put(entries: &mut Vec<Entry>, name: &'static str, help: &'static str, source: Source) {
+        let entry = Entry { name, help, source };
+        match entries.iter_mut().find(|e| e.name == name) {
+            Some(existing) => *existing = entry,
+            None => entries.push(entry),
+        }
+    }
+
+    /// Renders every series in Prometheus text exposition format
+    /// (`# HELP` / `# TYPE` preamble per series; histograms as
+    /// cumulative `_bucket{le="…"}` plus `_sum`/`_count`, in seconds).
+    pub fn render_prometheus(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::with_capacity(4096);
+        for e in self.lock().iter() {
+            let kind = match e.source {
+                Source::Counter(_) | Source::CounterFn(_) => "counter",
+                Source::Gauge(_) | Source::GaugeFn(_) => "gauge",
+                Source::Histogram(_) => "histogram",
+            };
+            let _ = writeln!(out, "# HELP {} {}", e.name, e.help);
+            let _ = writeln!(out, "# TYPE {} {}", e.name, kind);
+            match &e.source {
+                Source::Counter(c) => {
+                    let _ = writeln!(out, "{} {}", e.name, c.load(Relaxed));
+                }
+                Source::CounterFn(f) => {
+                    let _ = writeln!(out, "{} {}", e.name, f());
+                }
+                Source::Gauge(g) => {
+                    let _ = writeln!(out, "{} {}", e.name, g.load(Relaxed));
+                }
+                Source::GaugeFn(f) => {
+                    let _ = writeln!(out, "{} {}", e.name, f());
+                }
+                Source::Histogram(h) => {
+                    let snap = h.snapshot();
+                    for (edge, cumulative) in snap.cumulative_buckets() {
+                        let _ = writeln!(
+                            out,
+                            "{}_bucket{{le=\"{}\"}} {}",
+                            e.name,
+                            finite(edge.as_secs_f64()),
+                            cumulative
+                        );
+                    }
+                    let _ = writeln!(out, "{}_bucket{{le=\"+Inf\"}} {}", e.name, snap.count());
+                    let _ = writeln!(out, "{}_sum {}", e.name, finite(snap.sum().as_secs_f64()));
+                    let _ = writeln!(out, "{}_count {}", e.name, snap.count());
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders every series as one JSON object: scalar series as
+    /// numbers, histograms as `{count, sum_seconds, mean_seconds,
+    /// p50_seconds, p95_seconds, p99_seconds, max_seconds}`.
+    pub fn render_json(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::with_capacity(1024);
+        out.push('{');
+        for (i, e) in self.lock().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":", e.name);
+            match &e.source {
+                Source::Counter(c) => {
+                    let _ = write!(out, "{}", c.load(Relaxed));
+                }
+                Source::CounterFn(f) => {
+                    let _ = write!(out, "{}", f());
+                }
+                Source::Gauge(g) => {
+                    let _ = write!(out, "{}", g.load(Relaxed));
+                }
+                Source::GaugeFn(f) => {
+                    let _ = write!(out, "{}", f());
+                }
+                Source::Histogram(h) => {
+                    let snap = h.snapshot();
+                    let _ = write!(
+                        out,
+                        "{{\"count\":{},\"sum_seconds\":{},\"mean_seconds\":{},\
+                         \"p50_seconds\":{},\"p95_seconds\":{},\"p99_seconds\":{},\
+                         \"max_seconds\":{}}}",
+                        snap.count(),
+                        finite(snap.sum().as_secs_f64()),
+                        finite(snap.mean().as_secs_f64()),
+                        finite(snap.quantile(0.50).as_secs_f64()),
+                        finite(snap.quantile(0.95).as_secs_f64()),
+                        finite(snap.quantile(0.99).as_secs_f64()),
+                        finite(snap.max().as_secs_f64()),
+                    );
+                }
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Guards against `inf`/`NaN` leaking into exposition output (neither
+/// is valid JSON; Prometheus would accept them but never wants them
+/// from us).
+fn finite(v: f64) -> f64 {
+    if v.is_finite() {
+        v
+    } else {
+        0.0
+    }
+}
+
+static GLOBAL: MetricsRegistry = MetricsRegistry::new();
+
+/// The process-global registry every subsystem registers into and the
+/// server's `/metrics` + `/stats` endpoints render from.
+pub fn global() -> &'static MetricsRegistry {
+    &GLOBAL
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_idempotent_and_shares_the_series() {
+        let r = MetricsRegistry::new();
+        let a = r.counter("t_requests_total", "requests");
+        let b = r.counter("t_requests_total", "requests");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        assert_eq!(b.get(), 3);
+        let g1 = r.gauge("t_depth", "queue depth");
+        let g2 = r.gauge("t_depth", "queue depth");
+        g1.set(7);
+        assert_eq!(g2.get(), 7);
+    }
+
+    #[test]
+    fn prometheus_rendering_has_preambles_and_histogram_series() {
+        let r = MetricsRegistry::new();
+        let c = r.counter("t_total", "a counter");
+        c.add(5);
+        let g = r.gauge("t_gauge", "a gauge");
+        g.set(-3);
+        let h = r.histogram("t_seconds", "a histogram");
+        h.record(Duration::from_millis(5));
+        h.record(Duration::from_millis(50));
+        r.counter_fn("t_fn_total", "a sampled counter", || 11);
+        r.gauge_fn("t_fn_gauge", "a sampled gauge", || 13);
+
+        let text = r.render_prometheus();
+        assert!(text.contains("# HELP t_total a counter"), "{text}");
+        assert!(text.contains("# TYPE t_total counter"), "{text}");
+        assert!(text.contains("\nt_total 5\n"), "{text}");
+        assert!(text.contains("\nt_gauge -3\n"), "{text}");
+        assert!(text.contains("# TYPE t_seconds histogram"), "{text}");
+        assert!(text.contains("t_seconds_bucket{le=\"+Inf\"} 2"), "{text}");
+        assert!(text.contains("t_seconds_count 2"), "{text}");
+        assert!(text.contains("\nt_fn_total 11\n"), "{text}");
+        assert!(text.contains("\nt_fn_gauge 13\n"), "{text}");
+        // Every non-comment line is `name[{labels}] value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let mut parts = line.split_whitespace();
+            assert!(parts.next().is_some_and(|n| n.starts_with("t_")), "{line}");
+            let value = parts.next().expect("value column");
+            assert!(value.parse::<f64>().is_ok(), "unparsable value: {line}");
+            assert_eq!(parts.next(), None, "trailing columns: {line}");
+        }
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_in_exposition() {
+        let r = MetricsRegistry::new();
+        let h = r.histogram("t_lat_seconds", "latency");
+        for us in [2u64, 20, 200, 2_000, 20_000] {
+            h.record(Duration::from_micros(us));
+        }
+        let text = r.render_prometheus();
+        let mut previous = 0u64;
+        let mut buckets = 0;
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("t_lat_seconds_bucket{le=") {
+                let value: u64 = rest.split_whitespace().nth(1).unwrap().parse().unwrap();
+                assert!(value >= previous, "{line}");
+                previous = value;
+                buckets += 1;
+            }
+        }
+        assert!(
+            buckets > 10,
+            "expected the full bucket ladder, got {buckets}"
+        );
+        assert_eq!(previous, 5, "+Inf bucket must equal the count");
+    }
+
+    #[test]
+    fn json_rendering_is_balanced_and_carries_quantiles() {
+        let r = MetricsRegistry::new();
+        r.counter("t_a_total", "a").add(1);
+        let h = r.histogram("t_b_seconds", "b");
+        h.record(Duration::from_millis(3));
+        let json = r.render_json();
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+        assert!(json.contains("\"t_a_total\":1"), "{json}");
+        assert!(json.contains("\"count\":1"), "{json}");
+        assert!(json.contains("\"p99_seconds\":"), "{json}");
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn callback_registration_replaces_the_previous_owner() {
+        let r = MetricsRegistry::new();
+        r.gauge_fn("t_replace", "first", || 1);
+        r.gauge_fn("t_replace", "second", || 2);
+        let text = r.render_prometheus();
+        assert!(text.contains("\nt_replace 2\n"), "{text}");
+        let value_lines = text.lines().filter(|l| l.starts_with("t_replace ")).count();
+        assert_eq!(value_lines, 1, "{text}");
+    }
+}

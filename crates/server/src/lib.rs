@@ -22,7 +22,12 @@
 //! * keep-alive connection reuse, and **graceful shutdown** that drains
 //!   in-flight requests and joins every thread;
 //! * a fixed worker pool, each worker owning a cloned
-//!   [`sp2b_sparql::QueryEngine`] over the same `Arc`'d store.
+//!   [`sp2b_sparql::QueryEngine`] over the same `Arc`'d store;
+//! * live telemetry: `GET /metrics` (Prometheus text exposition) and
+//!   `GET /stats` (JSON) serve the process metrics registry
+//!   ([`sp2b_obs`]), and [`ServerConfig::slow_log`] ([`SlowLog`]) logs
+//!   one line per query slower than a threshold, with per-operator
+//!   rows/time read back from the query's scan counters.
 //!
 //! ```no_run
 //! use sp2b_sparql::QueryEngine;
@@ -40,4 +45,4 @@
 pub mod http;
 pub mod server;
 
-pub use server::{spawn, ServerConfig, ServerHandle, StatsSnapshot};
+pub use server::{spawn, ServerConfig, ServerHandle, SlowLog, StatsSnapshot};

@@ -28,6 +28,15 @@
 //! disconnects mid-stream surfaces as a write error, which cancels the
 //! query and (via `Solutions` drop) joins any exchange workers it had
 //! fanned out.
+//!
+//! Observability: [`spawn`] registers the server's counters, queue
+//! gauges and the engine's store/cache/exchange sources with the
+//! process-global metrics registry ([`sp2b_obs::global`]), and two extra
+//! routes surface them live — `GET /metrics` (Prometheus text
+//! exposition) and `GET /stats` (JSON). Configure
+//! [`ServerConfig::slow_log`] to additionally log one parseable line per
+//! query whose handling time meets a threshold, with a per-operator
+//! rows/time breakdown read back from the query's [`ScanCounters`].
 
 use std::collections::VecDeque;
 use std::io::{self, BufRead, BufReader, Write};
@@ -35,10 +44,11 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
+use sp2b_obs::{Counter, Histogram, QueryTrace};
 use sp2b_sparql::results::{write_solutions, WriteError};
-use sp2b_sparql::{Error as SparqlError, QueryEngine, Solutions};
+use sp2b_sparql::{Error as SparqlError, QueryEngine, ScanCounters, Solutions};
 
 use crate::http::{
     form_value, negotiate_format, read_request, write_response, ChunkedWriter, ReadError, Request,
@@ -85,18 +95,88 @@ pub struct ServerConfig {
     /// connections a worker hands back for fairness are never shed —
     /// shedding applies to *new* arrivals only.
     pub max_queue: usize,
+    /// Slow-query logging (`None`: off). When set, every query whose
+    /// end-to-end handling time meets the threshold emits one line to
+    /// the sink, and per-operator scan counters are attached to each
+    /// query so the line carries an operator breakdown.
+    pub slow_log: Option<SlowLog>,
 }
 
 impl Default for ServerConfig {
     /// Loopback on an ephemeral port, 4 workers, 30 s query timeout, a
-    /// 1024-connection accept queue.
+    /// 1024-connection accept queue, no slow-query log.
     fn default() -> Self {
         ServerConfig {
             addr: SocketAddr::from(([127, 0, 0, 1], 0)),
             workers: 4,
             timeout: Some(Duration::from_secs(30)),
             max_queue: 1024,
+            slow_log: None,
         }
+    }
+}
+
+/// Slow-query logging policy: a threshold plus a shared line sink. The
+/// sink is behind a mutex so worker threads never interleave bytes —
+/// every slow query is exactly one `slow-query: …` line (the CI smoke
+/// job greps for the prefix).
+#[derive(Clone)]
+pub struct SlowLog {
+    threshold: Duration,
+    sink: Arc<Mutex<Box<dyn Write + Send>>>,
+}
+
+impl SlowLog {
+    /// Log queries at or above `threshold` to stderr (the `sp2b serve
+    /// --slow-ms` sink).
+    pub fn stderr(threshold: Duration) -> SlowLog {
+        SlowLog {
+            threshold,
+            sink: Arc::new(Mutex::new(Box::new(io::stderr()))),
+        }
+    }
+
+    /// Log into an in-memory buffer the caller can inspect — the test
+    /// sink (count lines, assert content).
+    pub fn to_buffer(threshold: Duration) -> (SlowLog, Arc<Mutex<Vec<u8>>>) {
+        let buffer = Arc::new(Mutex::new(Vec::new()));
+        let log = SlowLog {
+            threshold,
+            sink: Arc::new(Mutex::new(Box::new(SharedBuffer(Arc::clone(&buffer))))),
+        };
+        (log, buffer)
+    }
+
+    fn note(&self, line: &str) {
+        if let Ok(mut sink) = self.sink.lock() {
+            let _ = writeln!(sink, "{line}");
+            let _ = sink.flush();
+        }
+    }
+}
+
+impl std::fmt::Debug for SlowLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SlowLog")
+            .field("threshold", &self.threshold)
+            .finish_non_exhaustive()
+    }
+}
+
+/// [`Write`] adapter over the shared buffer [`SlowLog::to_buffer`] hands
+/// back.
+struct SharedBuffer(Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedBuffer {
+    fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+        if let Ok(mut buf) = self.0.lock() {
+            buf.extend_from_slice(data);
+        }
+        Ok(data.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
     }
 }
 
@@ -111,6 +191,7 @@ struct Stats {
     timeouts: AtomicU64,
     server_errors: AtomicU64,
     aborted: AtomicU64,
+    write_timeouts: AtomicU64,
     rows: AtomicU64,
     shed: AtomicU64,
 }
@@ -132,6 +213,12 @@ pub struct StatsSnapshot {
     pub server_errors: u64,
     /// Connections lost mid-response (client hung up; query cancelled).
     pub aborted: u64,
+    /// Responses killed by the per-write deadline — the client held the
+    /// connection open but stopped *reading*, so a `write` stalled past
+    /// [`WRITE_TIMEOUT`]. Distinct from `aborted` (an outright
+    /// disconnect): a rising `write_timeouts` means slow or stalled
+    /// consumers, not flaky ones.
+    pub write_timeouts: u64,
     /// Result rows delivered over the wire.
     pub rows: u64,
     /// Connections shed with `503` because the accept queue was full
@@ -145,7 +232,7 @@ impl std::fmt::Display for StatsSnapshot {
         write!(
             f,
             "{} connection(s), {} request(s): {} ok ({} rows), {} client error(s), \
-             {} timeout(s), {} server error(s), {} aborted, {} shed",
+             {} timeout(s), {} server error(s), {} aborted, {} write-timeout(s), {} shed",
             self.connections,
             self.requests,
             self.ok,
@@ -154,6 +241,7 @@ impl std::fmt::Display for StatsSnapshot {
             self.timeouts,
             self.server_errors,
             self.aborted,
+            self.write_timeouts,
             self.shed,
         )
     }
@@ -169,6 +257,7 @@ impl Stats {
             timeouts: self.timeouts.load(Ordering::Relaxed),
             server_errors: self.server_errors.load(Ordering::Relaxed),
             aborted: self.aborted.load(Ordering::Relaxed),
+            write_timeouts: self.write_timeouts.load(Ordering::Relaxed),
             rows: self.rows.load(Ordering::Relaxed),
             shed: self.shed.load(Ordering::Relaxed),
         }
@@ -317,6 +406,18 @@ impl ConnQueue {
         }
     }
 
+    /// Connections currently queued for a worker (the `sp2b_queue_depth`
+    /// gauge).
+    fn depth(&self) -> usize {
+        self.state.lock().map(|s| s.conns.len()).unwrap_or(0)
+    }
+
+    /// Workers currently blocked waiting for a connection (the
+    /// `sp2b_workers_waiting` gauge).
+    fn waiting(&self) -> usize {
+        self.state.lock().map(|s| s.waiting).unwrap_or(0)
+    }
+
     /// True when another connection is waiting for a worker.
     fn has_pending(&self) -> bool {
         self.state
@@ -346,6 +447,7 @@ pub fn spawn(engine: QueryEngine, cfg: &ServerConfig) -> io::Result<ServerHandle
         None => engine,
     };
     let queue = Arc::new(ConnQueue::default());
+    let (latency, slow) = register_metrics(&stats, &queue, &engine);
     let mut workers = Vec::with_capacity(cfg.workers.max(1));
     for i in 0..cfg.workers.max(1) {
         let worker = Worker {
@@ -353,6 +455,9 @@ pub fn spawn(engine: QueryEngine, cfg: &ServerConfig) -> io::Result<ServerHandle
             shutdown: Arc::clone(&shutdown),
             stats: Arc::clone(&stats),
             queue: Arc::clone(&queue),
+            latency: latency.clone(),
+            slow: slow.clone(),
+            slow_log: cfg.slow_log.clone(),
         };
         workers.push(
             std::thread::Builder::new()
@@ -401,6 +506,159 @@ pub fn spawn(engine: QueryEngine, cfg: &ServerConfig) -> io::Result<ServerHandle
     })
 }
 
+/// Registers the server's metric sources with the process-global
+/// registry and returns the two series the workers record into directly
+/// (the request-latency histogram and the slow-query counter).
+///
+/// The counters are *callbacks* reading the same [`Stats`] the request
+/// paths already increment — `/metrics` scrapes and
+/// [`ServerHandle::stats`] can never disagree — and re-registering on
+/// every spawn hands the series to the newest server. Queue gauges hold
+/// only a [`Weak`] so a dead server reads as zero instead of keeping its
+/// queue alive; cache and store sources read through an engine clone
+/// (an `Arc` bump over the shared store).
+fn register_metrics(
+    stats: &Arc<Stats>,
+    queue: &Arc<ConnQueue>,
+    engine: &QueryEngine,
+) -> (Histogram, Counter) {
+    let reg = sp2b_obs::global();
+    macro_rules! stat_counter {
+        ($name:literal, $help:literal, $field:ident) => {{
+            let s = Arc::clone(stats);
+            reg.counter_fn($name, $help, move || s.$field.load(Ordering::Relaxed));
+        }};
+    }
+    stat_counter!(
+        "sp2b_connections_total",
+        "Connections accepted by the SPARQL endpoint",
+        connections
+    );
+    stat_counter!(
+        "sp2b_requests_total",
+        "Requests parsed far enough to be routed",
+        requests
+    );
+    stat_counter!("sp2b_responses_ok_total", "200 responses completed", ok);
+    stat_counter!(
+        "sp2b_client_errors_total",
+        "4xx responses (excluding timeouts)",
+        client_errors
+    );
+    stat_counter!(
+        "sp2b_timeouts_total",
+        "408 responses plus queries cancelled mid-stream by the timeout",
+        timeouts
+    );
+    stat_counter!("sp2b_server_errors_total", "5xx responses", server_errors);
+    stat_counter!(
+        "sp2b_aborted_total",
+        "Connections lost mid-response (client hung up; query cancelled)",
+        aborted
+    );
+    stat_counter!(
+        "sp2b_write_timeouts_total",
+        "Responses killed by the per-write deadline (client stopped reading)",
+        write_timeouts
+    );
+    stat_counter!(
+        "sp2b_rows_total",
+        "Result rows delivered over the wire",
+        rows
+    );
+    stat_counter!(
+        "sp2b_shed_total",
+        "Connections shed with 503 because the accept queue was full",
+        shed
+    );
+    let q = Arc::downgrade(queue);
+    reg.gauge_fn(
+        "sp2b_queue_depth",
+        "Connections queued for a worker",
+        move || q.upgrade().map_or(0, |q| q.depth() as i64),
+    );
+    let q = Arc::downgrade(queue);
+    reg.gauge_fn(
+        "sp2b_workers_waiting",
+        "Worker threads blocked waiting for a connection",
+        move || q.upgrade().map_or(0, |q| q.waiting() as i64),
+    );
+    let e = engine.clone();
+    reg.counter_fn(
+        "sp2b_cache_hits_total",
+        "Block lookups served from the store's block cache",
+        move || e.cache_stats().map_or(0, |c| c.hits),
+    );
+    let e = engine.clone();
+    reg.counter_fn(
+        "sp2b_cache_misses_total",
+        "Block lookups that read and decoded from disk",
+        move || e.cache_stats().map_or(0, |c| c.misses),
+    );
+    let e = engine.clone();
+    reg.counter_fn(
+        "sp2b_cache_evictions_total",
+        "Blocks evicted to stay within the cache byte budget",
+        move || e.cache_stats().map_or(0, |c| c.evictions),
+    );
+    let e = engine.clone();
+    reg.gauge_fn(
+        "sp2b_cache_resident_bytes",
+        "Bytes currently charged against the cache budget",
+        move || e.cache_stats().map_or(0, |c| c.resident_bytes as i64),
+    );
+    let e = engine.clone();
+    reg.gauge_fn(
+        "sp2b_cache_resident_blocks",
+        "Decoded blocks currently resident in the cache",
+        move || e.cache_stats().map_or(0, |c| c.resident_blocks as i64),
+    );
+    let e = engine.clone();
+    reg.gauge_fn(
+        "sp2b_cache_peak_resident_bytes",
+        "High-water mark of cache residency since open",
+        move || e.cache_stats().map_or(0, |c| c.peak_resident_bytes as i64),
+    );
+    let e = engine.clone();
+    reg.gauge_fn(
+        "sp2b_cache_budget_bytes",
+        "The configured cache byte budget",
+        move || e.cache_stats().map_or(0, |c| c.budget_bytes as i64),
+    );
+    let e = engine.clone();
+    reg.gauge_fn(
+        "sp2b_store_triples",
+        "Triples in the served store",
+        move || e.store().len() as i64,
+    );
+    let e = engine.clone();
+    reg.gauge_fn(
+        "sp2b_store_predicates",
+        "Distinct predicates in the served store's statistics (0 when none)",
+        move || e.store().stats().map_or(0, |s| s.predicates.len() as i64),
+    );
+    let e = engine.clone();
+    reg.gauge_fn(
+        "sp2b_store_characteristic_sets",
+        "Characteristic sets in the served store's statistics (0 when none)",
+        move || {
+            e.store()
+                .stats()
+                .map_or(0, |s| s.characteristic_sets.len() as i64)
+        },
+    );
+    sp2b_sparql::par::diag::register_metrics();
+    let latency = reg.histogram(
+        "sp2b_request_seconds",
+        "End-to-end request handling time (routing through response)",
+    );
+    let slow = reg.counter(
+        "sp2b_slow_queries_total",
+        "Queries at or above the configured slow-log threshold",
+    );
+    (latency, slow)
+}
+
 /// How long a shed connection may linger while its request bytes drain
 /// (see [`shed_connection`]); also the byte cap's time bound on the
 /// accept loop per shed.
@@ -446,6 +704,11 @@ struct Worker {
     shutdown: Arc<AtomicBool>,
     stats: Arc<Stats>,
     queue: Arc<ConnQueue>,
+    /// The `sp2b_request_seconds` series — every routed request records.
+    latency: Histogram,
+    /// The `sp2b_slow_queries_total` series.
+    slow: Counter,
+    slow_log: Option<SlowLog>,
 }
 
 impl Worker {
@@ -521,16 +784,26 @@ impl Worker {
         }
     }
 
-    /// Routes one request. Returns whether to keep the connection.
+    /// Routes one request, recording its end-to-end handling time into
+    /// the request-latency histogram. Returns whether to keep the
+    /// connection.
     fn handle(&self, stream: &TcpStream, request: &Request) -> bool {
         self.stats.requests.fetch_add(1, Ordering::Relaxed);
+        let started = Instant::now();
+        let keep = self.route(stream, request);
+        self.latency.record(started.elapsed());
+        keep
+    }
+
+    fn route(&self, stream: &TcpStream, request: &Request) -> bool {
         let keep = request.keep_alive();
         match (request.method.as_str(), request.path()) {
             ("GET", "/") | ("HEAD", "/") => {
                 let body = "sp2b SPARQL endpoint\n\nPOST /sparql (application/sparql-query or \
                             form) or GET /sparql?query=...\nResult formats (Accept): \
                             application/sparql-results+json, text/csv, \
-                            text/tab-separated-values\n";
+                            text/tab-separated-values\nTelemetry: GET /metrics (Prometheus \
+                            text), GET /stats (JSON)\n";
                 self.stats.ok.fetch_add(1, Ordering::Relaxed);
                 write_response(
                     &mut (&mut &*stream),
@@ -546,6 +819,46 @@ impl Worker {
                 )
                 .is_ok()
                     && keep
+            }
+            ("GET", "/metrics") | ("HEAD", "/metrics") => {
+                let body = sp2b_obs::global().render_prometheus();
+                self.stats.ok.fetch_add(1, Ordering::Relaxed);
+                write_response(
+                    &mut (&mut &*stream),
+                    200,
+                    // The Prometheus text exposition format version.
+                    "text/plain; version=0.0.4; charset=utf-8",
+                    if request.method == "HEAD" {
+                        b""
+                    } else {
+                        body.as_bytes()
+                    },
+                    keep,
+                    &[],
+                )
+                .is_ok()
+                    && keep
+            }
+            ("GET", "/stats") | ("HEAD", "/stats") => {
+                let body = self.stats_json();
+                self.stats.ok.fetch_add(1, Ordering::Relaxed);
+                write_response(
+                    &mut (&mut &*stream),
+                    200,
+                    "application/json",
+                    if request.method == "HEAD" {
+                        b""
+                    } else {
+                        body.as_bytes()
+                    },
+                    keep,
+                    &[],
+                )
+                .is_ok()
+                    && keep
+            }
+            (_, "/metrics") | (_, "/stats") => {
+                self.error(stream, 405, "method not allowed; use GET", keep)
             }
             ("GET", "/sparql") => match self.query_from_get(request) {
                 Ok(text) => self.run_query(stream, request, &text, keep),
@@ -616,30 +929,49 @@ impl Worker {
                 keep,
             );
         };
-        let prepared = match self.engine.prepare(text) {
+        let started = Instant::now();
+        // Scan counters are attached per query only when the slow log is
+        // on — they buy the per-operator breakdown at the cost of two
+        // clock reads per scanned row.
+        let counters = self
+            .slow_log
+            .as_ref()
+            .map(|_| Arc::new(ScanCounters::default()));
+        let traced;
+        let engine = match &counters {
+            Some(c) => {
+                traced = self.engine.clone().scan_counters(Arc::clone(c));
+                &traced
+            }
+            None => &self.engine,
+        };
+        let prepared = match engine.prepare(text) {
             Ok(p) => p,
             // Parse errors, unbound variables and unsupported constructs
             // are all the client's query, not our failure: 400.
             Err(e) => return self.error_string(stream, 400, &e.to_string(), keep),
         };
+        let prepare_time = started.elapsed();
         let ask = prepared.is_ask();
-        let cancel = self.engine.cancellation();
-        let mut solutions: Solutions<'_> = self.engine.solutions_with(&prepared, &cancel);
+        let cancel = engine.cancellation();
+        let mut solutions: Solutions<'_> = engine.solutions_with(&prepared, &cancel);
         let content_type = if ask {
             format.ask_content_type()
         } else {
             format.content_type()
         };
         let mut body = StreamBody::new(stream, content_type, keep, request.version);
-        match write_solutions(&mut body, format, &mut solutions, ask) {
+        let mut rows_sent = 0u64;
+        let keep_after = match write_solutions(&mut body, format, &mut solutions, ask) {
             Ok(rows) => match body.finish() {
                 Ok(keep_after) => {
                     self.stats.ok.fetch_add(1, Ordering::Relaxed);
                     self.stats.rows.fetch_add(rows, Ordering::Relaxed);
+                    rows_sent = rows;
                     keep_after
                 }
-                Err(_) => {
-                    self.stats.aborted.fetch_add(1, Ordering::Relaxed);
+                Err(e) => {
+                    self.note_disconnect(&e);
                     false
                 }
             },
@@ -662,16 +994,71 @@ impl Worker {
                     false
                 }
             }
-            Err(WriteError::Io(_)) => {
-                // The client hung up mid-stream: cancel the query so the
-                // evaluator (and any exchange workers, via the Solutions
-                // drop below) stop immediately instead of computing rows
-                // nobody will read.
+            Err(WriteError::Io(e)) => {
+                // The client hung up (or stopped reading) mid-stream:
+                // cancel the query so the evaluator (and any exchange
+                // workers, via the Solutions drop below) stop immediately
+                // instead of computing rows nobody will read.
                 cancel.cancel();
-                self.stats.aborted.fetch_add(1, Ordering::Relaxed);
+                self.note_disconnect(&e);
                 false
             }
+        };
+        // Joins any exchange workers, so the scan counters are complete.
+        drop(solutions);
+        if let Some(log) = &self.slow_log {
+            let total = started.elapsed();
+            if total >= log.threshold {
+                self.slow.inc();
+                let mut trace = QueryTrace::new();
+                trace.phase("prepare", prepare_time);
+                trace.phase("execute", total - prepare_time);
+                if let Some(c) = &counters {
+                    trace.operators = sp2b_sparql::operator_spans(&prepared, engine.store(), c);
+                }
+                log.note(&format!(
+                    "slow-query: total={:.1} ms {} rows={rows_sent} query={:?}",
+                    total.as_secs_f64() * 1e3,
+                    trace.summary(),
+                    truncated(text, 200),
+                ));
+            }
         }
+        keep_after
+    }
+
+    /// Books a mid-response connection loss under the counter that
+    /// explains it: a stalled `write` hitting the per-syscall deadline
+    /// (`write_timeouts` — the client stopped reading) vs an outright
+    /// disconnect (`aborted`).
+    fn note_disconnect(&self, e: &io::Error) {
+        if would_block(e) {
+            self.stats.write_timeouts.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.stats.aborted.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// The `/stats` body: this server's counters plus every registered
+    /// metric series, as one JSON object.
+    fn stats_json(&self) -> String {
+        let s = self.stats.snapshot();
+        format!(
+            "{{\"server\":{{\"connections\":{},\"requests\":{},\"ok\":{},\"client_errors\":{},\
+             \"timeouts\":{},\"server_errors\":{},\"aborted\":{},\"write_timeouts\":{},\
+             \"rows\":{},\"shed\":{}}},\"metrics\":{}}}",
+            s.connections,
+            s.requests,
+            s.ok,
+            s.client_errors,
+            s.timeouts,
+            s.server_errors,
+            s.aborted,
+            s.write_timeouts,
+            s.rows,
+            s.shed,
+            sp2b_obs::global().render_json(),
+        )
     }
 
     fn error(&self, stream: &TcpStream, status: u16, message: &str, keep: bool) -> bool {
@@ -697,6 +1084,21 @@ impl Worker {
         .is_ok()
             && keep
     }
+}
+
+/// The slow-log rendering of a query text: newlines collapsed so the
+/// line stays a line, capped at `max` characters.
+fn truncated(text: &str, max: usize) -> String {
+    let flat: String = text
+        .chars()
+        .map(|c| if c == '\n' || c == '\r' { ' ' } else { c })
+        .collect();
+    if flat.chars().count() <= max {
+        return flat;
+    }
+    let mut out: String = flat.chars().take(max).collect();
+    out.push('…');
+    out
 }
 
 /// Human phrasing of mid-query errors on the wire.

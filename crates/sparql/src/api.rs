@@ -586,6 +586,53 @@ impl Prepared {
     }
 }
 
+/// One [`sp2b_obs::OpSpan`] per BGP pattern of `prepared`'s plan, in join
+/// order: the label renders the pattern's slots against the store
+/// dictionary, `est_rows` is the store's cardinality estimate (0 for
+/// unsatisfiable patterns), and `rows`/`time` are read back from the
+/// [`ScanCounters`] the execution ran with. Shared by the CLI's `--trace`
+/// report and the server's slow-query log.
+pub fn operator_spans(
+    prepared: &Prepared,
+    store: &dyn TripleStore,
+    counters: &ScanCounters,
+) -> Vec<sp2b_obs::OpSpan> {
+    use crate::plan::{collect_patterns, PlanSlot};
+    let dict = store.dictionary();
+    let slot = |s: &PlanSlot| match s {
+        PlanSlot::Var(v) => format!("?{v}"),
+        PlanSlot::Const(Some(id)) => dict.decode(*id).to_string(),
+        PlanSlot::Const(None) => "<absent-from-data>".to_owned(),
+    };
+    collect_patterns(prepared.plan())
+        .into_iter()
+        .map(|p| {
+            let mut store_pattern: sp2b_store::Pattern = [None, None, None];
+            for (pos, s) in p.slots.iter().enumerate() {
+                if let PlanSlot::Const(Some(id)) = s {
+                    store_pattern[pos] = Some(*id);
+                }
+            }
+            let est = if p.is_unsatisfiable() {
+                0
+            } else {
+                store.estimate(store_pattern)
+            };
+            sp2b_obs::OpSpan {
+                label: format!(
+                    "{} {} {}",
+                    slot(&p.slots[0]),
+                    slot(&p.slots[1]),
+                    slot(&p.slots[2])
+                ),
+                est_rows: est,
+                rows: counters.rows_for(&p.slots),
+                time: counters.time_for(&p.slots),
+            }
+        })
+        .collect()
+}
+
 /// Result of a materializing execution.
 #[derive(Debug, Clone, PartialEq)]
 pub enum QueryResult {

@@ -135,32 +135,60 @@ impl Cancellation {
     }
 }
 
-/// Per-pattern row counters for plan instrumentation (the `--explain`
-/// flag and the planner regression tests): each BGP pattern step records
-/// how many rows it emitted, keyed by the pattern's slots. Shared across
-/// exchange worker threads via `Arc`; when absent
-/// ([`EvalContext::counters`] is `None`, the default) the instrumentation
-/// costs one branch per pattern-step drop.
+/// Per-pattern tallies for plan instrumentation (the `--explain` and
+/// `--trace` flags and the planner regression tests): each BGP pattern
+/// step records how many rows it emitted and the wall time spent
+/// producing them, keyed by the pattern's slots. Shared across exchange
+/// worker threads via `Arc` (worker time accumulates, so a pattern's
+/// time can exceed the query's wall clock under parallelism); when
+/// absent ([`EvalContext::counters`] is `None`, the default) the
+/// instrumentation costs one branch per pattern-step drop and no clock
+/// reads.
 #[derive(Debug, Default)]
 pub struct ScanCounters {
-    rows: std::sync::Mutex<FxHashMap<[PlanSlot; 3], u64>>,
+    tallies: std::sync::Mutex<FxHashMap<[PlanSlot; 3], PatternTally>>,
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct PatternTally {
+    rows: u64,
+    nanos: u64,
 }
 
 impl ScanCounters {
     /// Rows emitted by the pattern step with these slots (0 if it never
     /// ran).
     pub fn rows_for(&self, slots: &[PlanSlot; 3]) -> u64 {
-        *self.rows.lock().unwrap().get(slots).unwrap_or(&0)
+        self.tallies
+            .lock()
+            .unwrap()
+            .get(slots)
+            .map_or(0, |t| t.rows)
+    }
+
+    /// Wall time spent inside the pattern step with these slots (zero if
+    /// it never ran). Under an exchange this sums across workers.
+    pub fn time_for(&self, slots: &[PlanSlot; 3]) -> std::time::Duration {
+        std::time::Duration::from_nanos(
+            self.tallies
+                .lock()
+                .unwrap()
+                .get(slots)
+                .map_or(0, |t| t.nanos),
+        )
     }
 
     /// Total rows emitted across all pattern steps — the query's
     /// intermediate-result volume, the planner's work metric.
     pub fn total_rows(&self) -> u64 {
-        self.rows.lock().unwrap().values().sum()
+        self.tallies.lock().unwrap().values().map(|t| t.rows).sum()
     }
 
-    fn add(&self, slots: [PlanSlot; 3], rows: u64) {
-        *self.rows.lock().unwrap().entry(slots).or_insert(0) += rows;
+    fn add(&self, slots: [PlanSlot; 3], rows: u64, nanos: u64) {
+        let mut tallies = self.tallies.lock().unwrap();
+        let tally = tallies.entry(slots).or_default();
+        tally.rows += rows;
+        tally.nanos += nanos;
     }
 }
 
@@ -767,7 +795,11 @@ pub(crate) struct PatternBind<'a> {
     pattern: &'a PlanPattern,
     base: Bindings,
     dead: bool,
+    /// Clock reads only happen when counters are attached (`--explain`
+    /// / `--trace`); plain evaluation never touches the clock.
+    timed: bool,
     emitted: u64,
+    nanos: u64,
 }
 
 impl<'a> PatternBind<'a> {
@@ -786,13 +818,16 @@ impl<'a> PatternBind<'a> {
         } else {
             ctx.store.scan(store_pattern)
         };
+        let timed = ctx.counters.is_some();
         PatternBind {
             ctx,
             scan,
             pattern,
             base,
             dead,
+            timed,
             emitted: 0,
+            nanos: 0,
         }
     }
 }
@@ -800,9 +835,9 @@ impl<'a> PatternBind<'a> {
 impl Drop for PatternBind<'_> {
     fn drop(&mut self) {
         // Flush once per step: the per-row path stays a plain increment.
-        if self.emitted > 0 {
+        if self.emitted > 0 || self.nanos > 0 {
             if let Some(counters) = &self.ctx.counters {
-                counters.add(self.pattern.slots, self.emitted);
+                counters.add(self.pattern.slots, self.emitted, self.nanos);
             }
         }
     }
@@ -815,16 +850,23 @@ impl Iterator for PatternBind<'_> {
         if self.dead {
             return None;
         }
-        loop {
+        let started = self.timed.then(std::time::Instant::now);
+        let result = loop {
             if self.ctx.cancel.should_stop() {
-                return None;
+                break None;
             }
-            let triple = self.scan.next()?;
+            let Some(triple) = self.scan.next() else {
+                break None;
+            };
             if let Some(row) = extend_row(&self.base, self.pattern, &triple) {
                 self.emitted += 1;
-                return Some(row);
+                break Some(row);
             }
+        };
+        if let Some(t0) = started {
+            self.nanos += t0.elapsed().as_nanos() as u64;
         }
+        result
     }
 }
 

@@ -60,7 +60,9 @@ pub mod parser;
 pub mod plan;
 pub mod results;
 
-pub use api::{Error, Prepared, QueryEngine, QueryOptions, QueryResult, Solution, Solutions};
+pub use api::{
+    operator_spans, Error, Prepared, QueryEngine, QueryOptions, QueryResult, Solution, Solutions,
+};
 pub use ast::Query;
 pub use eval::{Bindings, Cancellation, EvalContext, ScanCounters};
 pub use optimizer::OptimizerConfig;

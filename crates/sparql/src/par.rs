@@ -36,8 +36,8 @@
 //! * dropping the iterator early (a `LIMIT`-style consumer hanging up)
 //!   closes the sink flag and disconnects the channel, which wakes
 //!   workers blocked on `send`; the drop then **joins** every worker, so
-//!   no detached thread outlives its stream — verified in debug builds
-//!   by [`diag::live_workers`].
+//!   no detached thread outlives its stream — observable through the
+//!   always-on [`diag::live_workers`] gauge.
 //!
 //! Hash-join build sides large enough to clear their own
 //! [`crate::plan::parallel_threshold_with`] threshold (under the same
@@ -373,7 +373,6 @@ pub(crate) fn eval_exchange<'a>(
     let pipe = Arc::new(pipe);
     let workers = degree.min(n_morsels);
     let capacity = workers * BATCHES_IN_FLIGHT_PER_WORKER;
-    #[cfg(debug_assertions)]
     diag::note_capacity(capacity);
     let (tx, rx) = sync_channel::<Msg>(capacity);
     let sink_open = Arc::new(AtomicBool::new(true));
@@ -381,8 +380,7 @@ pub(crate) fn eval_exchange<'a>(
     let merge_front = Arc::new(AtomicUsize::new(0));
     let mut handles = Vec::with_capacity(workers);
     for _ in 0..workers {
-        #[cfg(debug_assertions)]
-        diag::LIVE_WORKERS.fetch_add(1, Ordering::SeqCst);
+        diag::LIVE_WORKERS.fetch_add(1, Ordering::Relaxed);
         let worker = Worker {
             store: store.clone(),
             pipe: Arc::clone(&pipe),
@@ -452,7 +450,6 @@ struct Worker {
 
 impl Worker {
     fn run(self) {
-        #[cfg(debug_assertions)]
         let _live = diag::WorkerGuard;
         let store: &dyn TripleStore = &*self.store;
         let ctx = EvalContext {
@@ -534,7 +531,6 @@ impl Worker {
     fn send(&self, msg: Msg) -> bool {
         match self.tx.send(msg) {
             Ok(()) => {
-                #[cfg(debug_assertions)]
                 diag::note_send();
                 true
             }
@@ -621,7 +617,6 @@ impl Iterator for ExchangeMerge {
             };
             match rx.recv() {
                 Ok(msg) => {
-                    #[cfg(debug_assertions)]
                     diag::note_recv();
                     let buf = self.pending.entry(msg.morsel).or_default();
                     if !msg.rows.is_empty() {
@@ -630,7 +625,6 @@ impl Iterator for ExchangeMerge {
                     buf.done |= msg.last;
                     // Gauge the skew buffer: batches parked for morsels
                     // *beyond* the one currently being merged.
-                    #[cfg(debug_assertions)]
                     diag::note_parked(
                         self.pending
                             .iter()
@@ -655,10 +649,13 @@ impl Drop for ExchangeMerge {
     }
 }
 
-/// Debug-only exchange observability (compiled out in release builds):
-/// the live-worker gauge behind the no-thread-leak test and the
-/// in-flight-batch high-water mark behind the flat-memory test.
-#[cfg(debug_assertions)]
+/// Exchange observability: always-on relaxed-atomic gauges — the
+/// live-worker gauge behind the no-thread-leak test, the in-flight and
+/// parked batch high-water marks behind the flat-memory tests — plus
+/// debug-only fault injection for the skew regression test. The gauges
+/// cost one relaxed atomic op per event on paths that already cross a
+/// channel, so they stay on in release builds and feed the process
+/// metrics registry (see [`diag::register_metrics`]).
 pub mod diag {
     use std::sync::atomic::{AtomicI64, AtomicUsize, Ordering};
 
@@ -667,7 +664,9 @@ pub mod diag {
     static PEAK_IN_FLIGHT: AtomicI64 = AtomicI64::new(0);
     static BOUND: AtomicI64 = AtomicI64::new(0);
     static PEAK_PARKED: AtomicUsize = AtomicUsize::new(0);
+    #[cfg(debug_assertions)]
     static STALL_MORSEL: AtomicUsize = AtomicUsize::new(usize::MAX);
+    #[cfg(debug_assertions)]
     static STALL_MILLIS: AtomicUsize = AtomicUsize::new(0);
 
     /// Decrements the live-worker gauge when a worker exits, however it
@@ -676,42 +675,50 @@ pub mod diag {
 
     impl Drop for WorkerGuard {
         fn drop(&mut self) {
-            LIVE_WORKERS.fetch_sub(1, Ordering::SeqCst);
+            LIVE_WORKERS.fetch_sub(1, Ordering::Relaxed);
         }
     }
 
     /// Number of exchange workers currently alive (spawned, not yet
     /// joined). Zero once every solution stream has been dropped —
-    /// [`super::ExchangeMerge`] joins its workers on drop.
+    /// [`super::ExchangeMerge`] joins its workers on drop (the join is
+    /// the happens-before edge that makes the relaxed load exact).
     pub fn live_workers() -> usize {
-        LIVE_WORKERS.load(Ordering::SeqCst)
+        LIVE_WORKERS.load(Ordering::Relaxed)
+    }
+
+    /// Merge batches currently in flight (sent, not yet received).
+    pub fn in_flight_batches() -> i64 {
+        IN_FLIGHT.load(Ordering::Relaxed)
     }
 
     /// Clears the channel counters. Call before the query under test;
     /// meaningless while exchanges run concurrently.
     pub fn reset_channel_stats() {
-        IN_FLIGHT.store(0, Ordering::SeqCst);
-        PEAK_IN_FLIGHT.store(0, Ordering::SeqCst);
-        BOUND.store(0, Ordering::SeqCst);
-        PEAK_PARKED.store(0, Ordering::SeqCst);
+        IN_FLIGHT.store(0, Ordering::Relaxed);
+        PEAK_IN_FLIGHT.store(0, Ordering::Relaxed);
+        BOUND.store(0, Ordering::Relaxed);
+        PEAK_PARKED.store(0, Ordering::Relaxed);
     }
 
     /// High-water mark of out-of-order batches parked at the merger since
     /// the last reset. The skew bound guarantees this stays within
     /// [`super::MAX_MERGE_AHEAD`] morsels' worth of batches.
     pub fn peak_parked_batches() -> usize {
-        PEAK_PARKED.load(Ordering::SeqCst)
+        PEAK_PARKED.load(Ordering::Relaxed)
     }
 
     /// Fault injection for the skew regression test: workers sleep
     /// `millis` before processing morsel `morsel`. Pass
     /// `(usize::MAX, 0)` to clear. Debug builds only; serialize tests
     /// that use it.
+    #[cfg(debug_assertions)]
     pub fn stall_morsel(morsel: usize, millis: u64) {
         STALL_MILLIS.store(millis as usize, Ordering::SeqCst);
         STALL_MORSEL.store(morsel, Ordering::SeqCst);
     }
 
+    #[cfg(debug_assertions)]
     pub(super) fn stall_if_configured(morsel: usize) {
         if STALL_MORSEL.load(Ordering::SeqCst) == morsel {
             let ms = STALL_MILLIS.load(Ordering::SeqCst) as u64;
@@ -722,7 +729,7 @@ pub mod diag {
     }
 
     pub(super) fn note_parked(parked: usize) {
-        PEAK_PARKED.fetch_max(parked, Ordering::SeqCst);
+        PEAK_PARKED.fetch_max(parked, Ordering::Relaxed);
     }
 
     /// `(peak, bound)` — the high-water mark of in-flight merge batches
@@ -731,21 +738,47 @@ pub mod diag {
     /// between receiving and accounting.
     pub fn channel_stats() -> (i64, i64) {
         (
-            PEAK_IN_FLIGHT.load(Ordering::SeqCst),
-            BOUND.load(Ordering::SeqCst),
+            PEAK_IN_FLIGHT.load(Ordering::Relaxed),
+            BOUND.load(Ordering::Relaxed),
         )
     }
 
     pub(super) fn note_capacity(capacity: usize) {
-        BOUND.fetch_max(capacity as i64 + 1, Ordering::SeqCst);
+        BOUND.fetch_max(capacity as i64 + 1, Ordering::Relaxed);
     }
 
     pub(super) fn note_send() {
-        let now = IN_FLIGHT.fetch_add(1, Ordering::SeqCst) + 1;
-        PEAK_IN_FLIGHT.fetch_max(now, Ordering::SeqCst);
+        let now = IN_FLIGHT.fetch_add(1, Ordering::Relaxed) + 1;
+        PEAK_IN_FLIGHT.fetch_max(now, Ordering::Relaxed);
     }
 
     pub(super) fn note_recv() {
-        IN_FLIGHT.fetch_sub(1, Ordering::SeqCst);
+        IN_FLIGHT.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Registers the exchange gauges with the process metrics registry
+    /// (idempotent; the server calls this on spawn).
+    pub fn register_metrics() {
+        let reg = sp2b_obs::global();
+        reg.gauge_fn(
+            "sp2b_exchange_live_workers",
+            "Exchange worker threads currently alive (spawned, not yet joined)",
+            || live_workers() as i64,
+        );
+        reg.gauge_fn(
+            "sp2b_exchange_in_flight_batches",
+            "Merge batches sent to the exchange channel but not yet received",
+            in_flight_batches,
+        );
+        reg.gauge_fn(
+            "sp2b_exchange_peak_in_flight_batches",
+            "High-water mark of in-flight merge batches since the last reset",
+            || channel_stats().0,
+        );
+        reg.gauge_fn(
+            "sp2b_exchange_peak_parked_batches",
+            "High-water mark of out-of-order batches parked at the merger",
+            || peak_parked_batches() as i64,
+        );
     }
 }

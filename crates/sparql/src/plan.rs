@@ -512,6 +512,35 @@ pub fn has_exchange(plan: &Plan) -> bool {
     }
 }
 
+/// Every basic graph pattern in the plan, in join order (probe side
+/// before build side) — the order `--explain`/`--trace` and the server's
+/// slow-query log display operators in.
+pub fn collect_patterns(plan: &Plan) -> Vec<&PlanPattern> {
+    fn walk<'p>(plan: &'p Plan, out: &mut Vec<&'p PlanPattern>) {
+        match plan {
+            Plan::Bgp { patterns, .. } => out.extend(patterns.iter()),
+            Plan::Join { left, right, .. } | Plan::LeftJoin { left, right, .. } => {
+                walk(left, out);
+                walk(right, out);
+            }
+            Plan::Union(a, b) => {
+                walk(a, out);
+                walk(b, out);
+            }
+            Plan::Filter(_, inner)
+            | Plan::Distinct(inner)
+            | Plan::Project(_, inner)
+            | Plan::OrderBy(_, inner) => walk(inner, out),
+            Plan::Slice { input, .. }
+            | Plan::GroupAggregate { input, .. }
+            | Plan::Exchange { input, .. } => walk(input, out),
+        }
+    }
+    let mut out = Vec::new();
+    walk(plan, &mut out);
+    out
+}
+
 /// The driving scan of a pipeline: the first pattern of the leftmost BGP,
 /// reached through join probe (streamed) sides and filters. `None` when
 /// the pipeline has no partitionable driving scan (e.g. a union).
