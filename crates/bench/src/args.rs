@@ -118,6 +118,38 @@ impl Args {
         }
     }
 
+    /// Strictly validated positive-float option (`--zipf 1.5`): absent
+    /// → `Ok(None)`; present but malformed, non-finite **or
+    /// non-positive** → `Err` with a usage message (the shared
+    /// strict-flag contract).
+    pub fn get_f64_opt(&self, key: &str) -> Result<Option<f64>, String> {
+        match self.get(key) {
+            None => Ok(None),
+            Some(v) => match v.trim().parse::<f64>() {
+                Ok(x) if x.is_finite() && x > 0.0 => Ok(Some(x)),
+                _ => Err(format!(
+                    "invalid --{key} value '{v}'\nusage: --{key} X  (a positive number)"
+                )),
+            },
+        }
+    }
+
+    /// Strictly validated u64 option (`--seed 42`): absent → `Ok(None)`;
+    /// present but malformed → `Err` with a usage message. Unlike
+    /// [`Args::get_u64`] there is no silent default — a seed typo must
+    /// never quietly run an unintended replay.
+    pub fn get_u64_opt(&self, key: &str) -> Result<Option<u64>, String> {
+        match self.get(key) {
+            None => Ok(None),
+            Some(v) => match v.trim().parse::<u64>() {
+                Ok(n) => Ok(Some(n)),
+                _ => Err(format!(
+                    "invalid --{key} value '{v}'\nusage: --{key} N  (a non-negative integer)"
+                )),
+            },
+        }
+    }
+
     /// Comma-separated list option.
     pub fn get_list(&self, key: &str) -> Option<Vec<String>> {
         self.get(key).map(|v| {
@@ -276,6 +308,42 @@ mod tests {
                 "{err}"
             );
             assert!(err.contains("usage:"), "{err}");
+        }
+    }
+
+    #[test]
+    fn float_option_hard_errors_on_garbage_zero_and_negative() {
+        assert_eq!(
+            args("multiuser --zipf 1.5").get_f64_opt("zipf"),
+            Ok(Some(1.5))
+        );
+        assert_eq!(args("multiuser").get_f64_opt("zipf"), Ok(None));
+        for bad in ["0", "-1", "steep", "inf", "nan"] {
+            let a = Args::parse(["multiuser".into(), "--zipf".into(), bad.to_owned()]);
+            let err = a.get_f64_opt("zipf").unwrap_err();
+            assert!(
+                err.contains(&format!("invalid --zipf value '{bad}'")),
+                "{err}"
+            );
+            assert!(err.contains("usage:"), "{err}");
+        }
+    }
+
+    #[test]
+    fn u64_option_hard_errors_on_malformed_values() {
+        assert_eq!(
+            args("multiuser --seed 42").get_u64_opt("seed"),
+            Ok(Some(42))
+        );
+        assert_eq!(args("multiuser --seed 0").get_u64_opt("seed"), Ok(Some(0)));
+        assert_eq!(args("multiuser").get_u64_opt("seed"), Ok(None));
+        for bad in ["-1", "1.5", "abc"] {
+            let a = Args::parse(["multiuser".into(), "--seed".into(), bad.to_owned()]);
+            let err = a.get_u64_opt("seed").unwrap_err();
+            assert!(
+                err.contains(&format!("invalid --seed value '{bad}'")),
+                "{err}"
+            );
         }
     }
 

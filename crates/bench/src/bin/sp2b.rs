@@ -28,7 +28,11 @@
 //!               [--slow-ms N]                             log queries slower than N ms
 //! sp2b multiuser --clients 8 [--threads 2] [--duration 30] N concurrent clients, mixed
 //!               [--triples 50k] [--queries q1,a1,…]       workload → latency/throughput
-//!               [--shards N] [--checksums]                sharded store, result checksums
+//!               [--mix q1:80,q8:20 | --zipf S] [--seed N] weighted/Zipfian template mix,
+//!               [--arrival closed|constant:R/s|           deterministic replay; open-loop
+//!                poisson:R/s|burst:R,P,D]                 arrivals with intended-send-time
+//!               [--warmup SECS] [--report json:FILE]      (CO-safe) latency, warmup cutoff,
+//!               [--shards N] [--checksums]                machine-readable report dump,
 //!               [--endpoint http://host:port/sparql]      …over real sockets instead
 //! sp2b query    Q4 [--triples 50k] [--engine native-opt]  run one query, print rows
 //!               [--format table|json|csv|tsv] [--explain] …and the join order with
@@ -128,7 +132,8 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage: sp2b <gen|save|table3|table5|table8|bench|fig2a|fig2b|fig2c|ablation|scaling|calibrate|smoke|serve|multiuser|query|ext|run> [options]
 run `sp2b bench` for the full paper protocol, `sp2b serve --addr 127.0.0.1:8088` for the SPARQL
-endpoint, `sp2b multiuser --clients N [--endpoint http://…]` for the concurrent-client workload,
+endpoint, `sp2b multiuser --clients N [--arrival poisson:R/s] [--mix q1:80,q8:20] [--endpoint http://…]`
+for the concurrent-client workload (closed or open loop),
 `sp2b save --out DIR` to persist a document as checksummed segments reopened via --store disk:DIR;
 see crate docs for options";
 
@@ -322,7 +327,23 @@ fn cmd_save(args: &Args) -> Result<(), String> {
 /// silently not apply — and non-native engines, which the sorted runs
 /// cannot back — are hard errors, not quiet no-ops.
 fn open_disk_engine(args: &Args, dir: &std::path::Path) -> Result<Engine, String> {
-    for flag in ["data", "triples", "seed", "shards", "shard-by"] {
+    open_disk_engine_rejecting(
+        args,
+        dir,
+        &["data", "triples", "seed", "shards", "shard-by"],
+    )
+}
+
+/// [`open_disk_engine`] with the rejected-flag list explicit: `sp2b
+/// multiuser` drops `"seed"` from it because there `--seed` is the
+/// workload sampler/arrival seed, not the generator seed the segments
+/// already fixed.
+fn open_disk_engine_rejecting(
+    args: &Args,
+    dir: &std::path::Path,
+    fixed_flags: &[&str],
+) -> Result<Engine, String> {
+    for &flag in fixed_flags {
         if args.has(flag) {
             return Err(format!(
                 "--{flag} does not apply with --store disk: the saved segments fix the \
@@ -574,15 +595,58 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Applies the shared workload-model flags (`--arrival`, `--mix` /
+/// `--zipf`, `--warmup`, `--seed`) onto a [`MultiuserConfig`]. The
+/// `--queries` rotation (if any) was applied by the caller; the
+/// weighted mix replaces it outright and `workload_flags` already
+/// rejected the contradictory combination.
+fn apply_workload_flags(cfg: &mut MultiuserConfig, wl: &experiments::WorkloadFlags) {
+    cfg.arrival = wl.arrival;
+    cfg.warmup = wl.warmup;
+    if let Some(seed) = wl.seed {
+        cfg.seed = seed;
+    }
+    if let Some((items, weights)) = &wl.mix {
+        cfg.mix = items.clone();
+        cfg.weights = weights.clone();
+    }
+}
+
+/// Writes the open-loop report to the `--report json:FILE` sink.
+/// `workload_flags` guarantees the sink only exists alongside an open
+/// arrival, and every open-arrival run produces an [`OpenLoopReport`] —
+/// a missing one here is a driver bug, not an operator error.
+fn write_workload_json(
+    wl: &experiments::WorkloadFlags,
+    open: Option<&sp2b_core::OpenLoopReport>,
+    progress: &mut impl FnMut(&str),
+) -> Result<(), String> {
+    let Some(path) = &wl.report_path else {
+        return Ok(());
+    };
+    let open = open.expect("--report requires an open arrival, which yields an open report");
+    std::fs::write(path, report::open_loop_json(open))
+        .map_err(|e| format!("cannot write --report {}: {e}", path.display()))?;
+    progress(&format!("wrote workload report to {}", path.display()));
+    Ok(())
+}
+
 /// The multi-user mixed workload (paper Section VII's "multi-user
-/// scenario"): N client threads issue a mix of Q1–Q12/A1–A5, each at
-/// its own rotation offset, reporting per-client p50/p95/p99 latency
-/// and aggregate queries/sec. Without `--endpoint` the clients share
-/// one in-process store; with `--endpoint http://…` they drive a live
-/// `sp2b serve` instance over real sockets through the same
-/// histogram/report pipeline. `--clients`, `--threads` (per-query
-/// parallelism) and `--duration`/`--rounds` are strictly validated:
-/// malformed or zero values are hard errors.
+/// scenario"): N client threads issue a mix of Q1–Q12/A1–A5, reporting
+/// per-client p50/p95/p99 latency and aggregate queries/sec. The
+/// default `--arrival closed` is the classic closed loop (each client
+/// issues the next query when the previous answer returns, rotation
+/// offset per client); `--arrival constant:R/s|poisson:R/s|burst:…`
+/// switches to the open-loop workload model — a schedule thread stamps
+/// intended send times, latency is measured from those stamps
+/// (coordinated-omission-safe), and the report splits queue-delay from
+/// service time. `--mix q1:80,q8:20` / `--zipf S` weight the template
+/// mix, `--warmup SECS` excludes the cold start and `--seed N` replays
+/// the exact sample/arrival sequence. Without `--endpoint` the clients
+/// share one in-process store; with `--endpoint http://…` they drive a
+/// live `sp2b serve` instance over real sockets through the same
+/// histogram/report pipeline. All flags are strictly validated:
+/// malformed or contradictory values are hard errors.
 fn cmd_multiuser(args: &Args) -> Result<(), String> {
     let clients = args.get_positive("clients", 4)?;
     let stop = match args.get_positive_opt("rounds")? {
@@ -592,6 +656,7 @@ fn cmd_multiuser(args: &Args) -> Result<(), String> {
         )),
     };
     let quiet = args.has("quiet");
+    let wl = experiments::workload_flags(args)?;
     let mut progress = |line: &str| {
         if !quiet {
             eprintln!("{line}");
@@ -623,6 +688,15 @@ fn cmd_multiuser(args: &Args) -> Result<(), String> {
         if let Some(labels) = args.get_list("queries") {
             cfg.mix = experiments::parse_mix(&labels)?;
         }
+        apply_workload_flags(&mut cfg, &wl);
+        if cfg.arrival.is_open() {
+            let open = sp2b_core::run_endpoint_workload_open(&endpoint, &cfg, &mut progress);
+            println!(
+                "{}",
+                report::endpoint_open_workload_report(&endpoint.url(), &open)
+            );
+            return write_workload_json(&wl, Some(&open), &mut progress);
+        }
         let report = run_endpoint_workload(&endpoint, &cfg, &mut progress);
         println!(
             "{}",
@@ -637,7 +711,8 @@ fn cmd_multiuser(args: &Args) -> Result<(), String> {
         // Disk mode: the saved segments fix the document and sharding;
         // the driver runs the same mixed workload against the reopened
         // engine without ever touching an N-Triples source.
-        let engine = open_disk_engine(args, &dir)?;
+        let engine =
+            open_disk_engine_rejecting(args, &dir, &["data", "triples", "shards", "shard-by"])?;
         let mut mcfg = MultiuserConfig::new(clients, stop);
         mcfg.parallelism = parallelism;
         mcfg.timeout = timeout(args, 30)?;
@@ -645,9 +720,10 @@ fn cmd_multiuser(args: &Args) -> Result<(), String> {
         if let Some(labels) = args.get_list("queries") {
             mcfg.mix = experiments::parse_mix(&labels)?;
         }
-        let report = sp2b_core::run_mixed_workload_on(&engine, &mcfg, progress);
+        apply_workload_flags(&mut mcfg, &wl);
+        let report = sp2b_core::run_mixed_workload_on(&engine, &mcfg, &mut progress);
         println!("{}", report::mixed_workload_report(&report));
-        return Ok(());
+        return write_workload_json(&wl, report.open.as_ref(), &mut progress);
     }
 
     let triples = args.get_u64("triples", 50_000);
@@ -660,9 +736,10 @@ fn cmd_multiuser(args: &Args) -> Result<(), String> {
     if let Some(labels) = args.get_list("queries") {
         cfg.multiuser.mix = experiments::parse_mix(&labels)?;
     }
-    let report = sp2b_core::run_mixed_workload(&cfg, progress);
+    apply_workload_flags(&mut cfg.multiuser, &wl);
+    let report = sp2b_core::run_mixed_workload(&cfg, &mut progress);
     println!("{}", report::mixed_workload_report(&report));
-    Ok(())
+    write_workload_json(&wl, report.open.as_ref(), &mut progress)
 }
 
 /// Runs the A1–A5 aggregate extension queries (Section VII's

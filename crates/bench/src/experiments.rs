@@ -5,7 +5,7 @@ use std::io;
 use std::time::{Duration, Instant};
 
 use sp2b_core::multiuser::WorkItem;
-use sp2b_core::{BenchQuery, EngineKind, ExtQuery};
+use sp2b_core::{Arrival, BenchQuery, EngineKind, ExtQuery, WeightedMix};
 use sp2b_datagen::{
     generate_graph, params, Config, Generator, GeneratorStats, NtriplesSink, NullSink,
 };
@@ -647,6 +647,90 @@ pub fn parse_mix(labels: &[String]) -> Result<Vec<WorkItem>, String> {
         .collect()
 }
 
+/// The workload-model flags shared by every `sp2b multiuser` mode
+/// (in-memory, `--store disk:DIR` and `--endpoint`): the template mix,
+/// the arrival process, the warmup cutoff, the sampler seed and the
+/// machine-readable report sink.
+#[derive(Debug)]
+pub struct WorkloadFlags {
+    /// `--arrival closed|constant:R/s|poisson:R/s|burst:R,P,D` (default closed).
+    pub arrival: Arrival,
+    /// `--mix q1:80,q8:20` or `--zipf S`: templates plus weights. `None`
+    /// keeps the legacy uniform rotation over `--queries`/the default mix.
+    pub mix: Option<(Vec<WorkItem>, Vec<f64>)>,
+    /// `--warmup SECS`: queries before the cutoff are excluded from every
+    /// histogram and from count-stability tracking.
+    pub warmup: Duration,
+    /// `--seed N`: deterministic replay of mix sampling and arrivals.
+    pub seed: Option<u64>,
+    /// `--report json:FILE`: dump the open-loop report as JSON.
+    pub report_path: Option<std::path::PathBuf>,
+}
+
+/// Parses and cross-validates the workload-model flags. Every
+/// malformed or contradictory combination is a one-line hard error
+/// (the CLI's shared strict-flag contract): `--mix` with `--zipf`,
+/// either with `--queries`, a zero arrival rate, or a `--report` sink
+/// without an open-loop arrival to fill it.
+pub fn workload_flags(args: &crate::args::Args) -> Result<WorkloadFlags, String> {
+    let arrival = match args.get("arrival") {
+        None => Arrival::Closed,
+        Some(spec) => {
+            Arrival::parse(spec).map_err(|e| format!("invalid --arrival value '{spec}': {e}"))?
+        }
+    };
+    if args.has("mix") && args.has("zipf") {
+        return Err("--mix and --zipf both rank the template mix; pass one or the other".into());
+    }
+    if (args.has("mix") || args.has("zipf")) && args.has("queries") {
+        return Err(
+            "--queries names an unweighted rotation and cannot combine with --mix/--zipf; \
+             fold the templates into the weighted mix instead"
+                .into(),
+        );
+    }
+    let mix = if let Some(spec) = args.get("mix") {
+        let parsed =
+            WeightedMix::parse(spec).map_err(|e| format!("invalid --mix value '{spec}': {e}"))?;
+        Some((parsed.items, parsed.weights))
+    } else if let Some(s) = args.get_f64_opt("zipf")? {
+        let parsed =
+            WeightedMix::zipf(s).map_err(|e| format!("invalid --zipf value '{s}': {e}"))?;
+        Some((parsed.items, parsed.weights))
+    } else {
+        None
+    };
+    let warmup = Duration::from_secs(args.get_positive_opt("warmup")?.unwrap_or(0) as u64);
+    let seed = args.get_u64_opt("seed")?;
+    let report_path = match args.get("report") {
+        None => None,
+        Some(v) => match v.trim().strip_prefix("json:") {
+            Some(path) if !path.is_empty() => {
+                if !arrival.is_open() {
+                    return Err("--report json:FILE dumps the open-loop workload report; \
+                         pass an open arrival process (--arrival constant:R/s, \
+                         poisson:R/s or burst:R,P,D) alongside it"
+                        .into());
+                }
+                Some(std::path::PathBuf::from(path))
+            }
+            _ => {
+                return Err(format!(
+                    "invalid --report value '{v}'\nusage: --report json:FILE  \
+                     (write the workload report as JSON to FILE)"
+                ))
+            }
+        },
+    };
+    Ok(WorkloadFlags {
+        arrival,
+        mix,
+        warmup,
+        seed,
+        report_path,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -721,5 +805,81 @@ mod tests {
         assert_eq!(mix.len(), 3);
         assert_eq!(mix[1].label, "A3");
         assert!(parse_mix(&["a9".into()]).is_err());
+    }
+
+    fn flags(s: &str) -> Result<WorkloadFlags, String> {
+        workload_flags(&crate::args::Args::parse(
+            s.split_whitespace().map(String::from),
+        ))
+    }
+
+    #[test]
+    fn workload_flags_defaults_to_the_closed_loop() {
+        let f = flags("multiuser --clients 4").unwrap();
+        assert_eq!(f.arrival, Arrival::Closed);
+        assert!(f.mix.is_none());
+        assert_eq!(f.warmup, Duration::ZERO);
+        assert_eq!(f.seed, None);
+        assert!(f.report_path.is_none());
+    }
+
+    #[test]
+    fn workload_flags_parses_the_full_open_loop_spelling() {
+        let f = flags(
+            "multiuser --arrival poisson:200/s --mix q1:90,q8:10 \
+             --warmup 5 --seed 42 --report json:out.json",
+        )
+        .unwrap();
+        assert_eq!(f.arrival, Arrival::Poisson { rate: 200.0 });
+        let (items, weights) = f.mix.unwrap();
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[0].label, "Q1");
+        assert_eq!(weights, [90.0, 10.0]);
+        assert_eq!(f.warmup, Duration::from_secs(5));
+        assert_eq!(f.seed, Some(42));
+        assert_eq!(f.report_path.unwrap(), std::path::PathBuf::from("out.json"));
+    }
+
+    #[test]
+    fn workload_flags_zipf_ranks_the_default_mix() {
+        let f = flags("multiuser --arrival constant:50/s --zipf 1.0").unwrap();
+        let (items, weights) = f.mix.unwrap();
+        assert_eq!(items.len(), weights.len());
+        assert!(weights.windows(2).all(|w| w[0] >= w[1]), "{weights:?}");
+    }
+
+    #[test]
+    fn workload_flags_rejects_contradictions_and_garbage() {
+        // --mix + --zipf pick the mix twice.
+        let err = flags("multiuser --mix q1:1 --zipf 1.0").unwrap_err();
+        assert!(err.contains("--mix and --zipf"), "{err}");
+        // --queries is the unweighted rotation; it cannot co-exist.
+        let err = flags("multiuser --mix q1:1 --queries q1,q2").unwrap_err();
+        assert!(err.contains("--queries"), "{err}");
+        assert!(flags("multiuser --zipf 1.0 --queries q1").is_err());
+        // Malformed mixes: zero weight, unknown template, duplicates.
+        for bad in ["q1:0", "q99:5", "q1:5,q1:5", "q1", "q1:three", ""] {
+            let err = flags(&format!("multiuser --mix {bad} --x")).unwrap_err();
+            assert!(err.contains("invalid --mix"), "{bad}: {err}");
+        }
+        // Zero arrival rate and unknown processes are hard errors.
+        for bad in [
+            "constant:0/s",
+            "poisson:-5/s",
+            "uniform:10/s",
+            "burst:10,0,0.5",
+        ] {
+            let err = flags(&format!("multiuser --arrival {bad}")).unwrap_err();
+            assert!(err.contains("invalid --arrival"), "{bad}: {err}");
+        }
+        // --report needs an open arrival and the json:FILE spelling.
+        let err = flags("multiuser --report json:out.json").unwrap_err();
+        assert!(err.contains("open-loop"), "{err}");
+        let err = flags("multiuser --arrival poisson:10/s --report out.json").unwrap_err();
+        assert!(err.contains("invalid --report value 'out.json'"), "{err}");
+        assert!(flags("multiuser --arrival poisson:10/s --report json:").is_err());
+        // Warmup and zipf share the strict numeric contracts.
+        assert!(flags("multiuser --warmup 0").is_err());
+        assert!(flags("multiuser --zipf -1").is_err());
     }
 }

@@ -6,8 +6,10 @@
 //! VI-B ([`metrics`]), the benchmark protocol ([`runner`]), the
 //! multi-client mixed-workload driver of the Section VII multi-user
 //! scenario ([`multiuser`]) — with an HTTP transport ([`endpoint`]) that
-//! drives a live `sp2b serve` SPARQL endpoint over real sockets — and
-//! formatters that print the paper's tables and figure series
+//! drives a live `sp2b serve` SPARQL endpoint over real sockets, and an
+//! open-loop workload model ([`workload`]) with weighted template mixes,
+//! arrival processes and a coordinated-omission-safe latency recorder —
+//! and formatters that print the paper's tables and figure series
 //! ([`report`]).
 //!
 //! ```no_run
@@ -26,6 +28,7 @@ pub mod multiuser;
 pub mod queries;
 pub mod report;
 pub mod runner;
+pub mod workload;
 
 pub use endpoint::{Endpoint, HttpTransport};
 pub use engines::{Engine, EngineKind, Outcome, ShardInfo, StoreLayout};
@@ -37,6 +40,11 @@ pub use multiuser::{
 };
 pub use queries::BenchQuery;
 pub use runner::{
-    run_benchmark, run_endpoint_workload, run_mixed_workload, run_mixed_workload_on,
-    BenchmarkReport, MixedWorkloadConfig, MixedWorkloadReport, RunnerConfig, Status,
+    run_benchmark, run_endpoint_workload, run_endpoint_workload_open, run_mixed_workload,
+    run_mixed_workload_on, BenchmarkReport, MixedWorkloadConfig, MixedWorkloadReport, RunnerConfig,
+    Status,
+};
+pub use workload::{
+    run_open_loop, run_open_loop_with, Arrival, ArrivalSchedule, MixSampler, OpenLoopReport,
+    SplitMix64, TemplateReport, WeightedMix,
 };

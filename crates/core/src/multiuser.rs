@@ -37,6 +37,7 @@ use sp2b_store::SharedStore;
 
 use crate::ext_queries::ExtQuery;
 use crate::queries::BenchQuery;
+use crate::workload::{template_latency_series, Arrival, MixSampler};
 
 // ---------------------------------------------------------------------------
 // Latency histogram
@@ -125,6 +126,23 @@ pub struct MultiuserConfig {
     /// benchmark fast path); the HTTP transport folds checksums from its
     /// TSV bodies unconditionally — they are free there.
     pub checksums: bool,
+    /// The arrival process. [`Arrival::Closed`] (the default) is the
+    /// legacy closed loop driven by [`run_multiuser`]; open-loop
+    /// processes are driven by [`crate::workload::run_open_loop`], where
+    /// a schedule thread stamps intended send times (see
+    /// [`crate::workload`]).
+    pub arrival: Arrival,
+    /// Warmup period measured from the run start: outcomes that start
+    /// (closed loop) or were intended (open loop) inside it execute
+    /// normally but are excluded from every histogram and from
+    /// count/checksum-stability tracking, tallied separately
+    /// ([`ClientReport::warmup_excluded`]).
+    pub warmup: Duration,
+    /// Per-template popularity weights paralleling `mix`, from the mix
+    /// DSL or `--zipf` ([`crate::workload::WeightedMix`]). Empty (the
+    /// default) means the closed loop keeps its legacy uniform rotation;
+    /// non-empty switches slot choice to seeded weighted sampling.
+    pub weights: Vec<f64>,
 }
 
 impl MultiuserConfig {
@@ -139,6 +157,9 @@ impl MultiuserConfig {
             mix: default_mix(),
             seed: 0,
             checksums: false,
+            arrival: Arrival::Closed,
+            warmup: Duration::ZERO,
+            weights: Vec::new(),
         }
     }
 }
@@ -171,6 +192,10 @@ pub struct ClientReport {
     /// executions by this client — always empty over a read-only store;
     /// the concurrency test asserts it.
     pub inconsistent: Vec<String>,
+    /// Executions excluded because they started inside the configured
+    /// warmup period ([`MultiuserConfig::warmup`]); they appear in no
+    /// other tally.
+    pub warmup_excluded: u64,
 }
 
 /// A completed multi-user run.
@@ -379,6 +404,10 @@ pub fn run_multiuser(store: SharedStore, cfg: &MultiuserConfig) -> MultiuserRepo
 /// the same measurement pipeline.
 pub fn run_multiuser_with(transport: &dyn WorkTransport, cfg: &MultiuserConfig) -> MultiuserReport {
     assert!(!cfg.mix.is_empty(), "the query mix must not be empty");
+    assert!(
+        cfg.weights.is_empty() || cfg.weights.len() == cfg.mix.len(),
+        "weights must parallel the mix"
+    );
     let clients = cfg.clients.max(1);
     let started = Instant::now();
     let deadline = match cfg.stop {
@@ -387,7 +416,7 @@ pub fn run_multiuser_with(transport: &dyn WorkTransport, cfg: &MultiuserConfig) 
     };
     let reports = std::thread::scope(|s| {
         let handles: Vec<_> = (0..clients)
-            .map(|client| s.spawn(move || client_loop(client, transport, cfg, deadline)))
+            .map(|client| s.spawn(move || client_loop(client, transport, cfg, started, deadline)))
             .collect();
         handles
             .into_iter()
@@ -404,6 +433,7 @@ fn client_loop(
     client: usize,
     transport: &dyn WorkTransport,
     cfg: &MultiuserConfig,
+    started: Instant,
     deadline: Option<Instant>,
 ) -> ClientReport {
     let mut report = ClientReport {
@@ -415,6 +445,7 @@ fn client_loop(
         counts: BTreeMap::new(),
         checksums: BTreeMap::new(),
         inconsistent: Vec::new(),
+        warmup_excluded: 0,
     };
     let SessionSetup {
         labels,
@@ -425,9 +456,15 @@ fn client_loop(
     if labels.is_empty() {
         return report;
     }
+    let series: Vec<sp2b_obs::Histogram> =
+        labels.iter().map(|l| template_latency_series(l)).collect();
+    let warmup_until = (cfg.warmup > Duration::ZERO).then(|| started + cfg.warmup);
     // Each client walks the mix at its own rotation offset, so at any
-    // instant the store serves a genuine mix of query shapes.
+    // instant the store serves a genuine mix of query shapes — unless a
+    // weighted mix is configured, in which case slots are drawn by a
+    // per-client seeded sampler instead.
     let offset = (cfg.seed as usize).wrapping_add(client) % labels.len();
+    let mut sampler = weighted_sampler(cfg, &labels, client);
     let total: Option<u64> = match cfg.stop {
         StopCondition::Rounds(r) => Some(r as u64 * labels.len() as u64),
         StopCondition::Duration(_) => None,
@@ -441,7 +478,10 @@ fn client_loop(
         if deadline.is_some_and(|d| now >= d) {
             break;
         }
-        let slot = (offset + executed as usize) % labels.len();
+        let slot = match &mut sampler {
+            Some(sampler) => sampler.sample(),
+            None => (offset + executed as usize) % labels.len(),
+        };
         // The execution deadline is the earlier of the per-query
         // timeout and the wall deadline, so a run overshoots its
         // configured duration by at most one cancellation latency.
@@ -450,9 +490,17 @@ fn client_loop(
             stop_at = stop_at.min(d);
         }
         let t0 = Instant::now();
+        let in_warmup = warmup_until.is_some_and(|w| t0 < w);
         match session.execute(slot, stop_at) {
+            _ if in_warmup => {
+                // Warmup executions prime caches and plans but pollute
+                // neither histograms nor stability tracking.
+                report.warmup_excluded += 1;
+            }
             ExecOutcome::Completed { rows, checksum } => {
-                report.latency.record(t0.elapsed());
+                let latency = t0.elapsed();
+                report.latency.record(latency);
+                series[slot].record(latency);
                 report.completed += 1;
                 let label = &labels[slot];
                 // Record each unstable label once, however many times it
@@ -478,9 +526,30 @@ fn client_loop(
     report
 }
 
+/// A per-client seeded sampler over the *prepared* labels when a
+/// weighted mix is configured; `None` keeps the legacy rotation.
+fn weighted_sampler(cfg: &MultiuserConfig, labels: &[String], client: usize) -> Option<MixSampler> {
+    if cfg.weights.is_empty() {
+        return None;
+    }
+    let slot_weights: Vec<f64> = labels
+        .iter()
+        .map(|label| {
+            cfg.mix
+                .iter()
+                .position(|item| item.label == *label)
+                .map_or(1.0, |i| cfg.weights[i])
+        })
+        .collect();
+    Some(MixSampler::new(
+        &slot_weights,
+        cfg.seed ^ (client as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+    ))
+}
+
 /// Records `value` for `label` on first sight; afterwards reports
 /// whether it drifted from the recorded one.
-fn stability(seen: &mut BTreeMap<String, u64>, label: &str, value: u64) -> bool {
+pub(crate) fn stability(seen: &mut BTreeMap<String, u64>, label: &str, value: u64) -> bool {
     match seen.get(label) {
         Some(&previous) => previous != value,
         None => {

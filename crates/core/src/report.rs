@@ -1,10 +1,15 @@
 //! Formatters that print the paper's tables and figure data series from a
 //! [`BenchmarkReport`], plus the multi-user workload section from a
-//! [`MixedWorkloadReport`].
+//! [`MixedWorkloadReport`] — closed-loop per-client tables, the
+//! open-loop workload table ([`open_loop_table`]) with its per-template
+//! percentile rows and intended-vs-actual rate line, and the
+//! machine-readable JSON dump ([`open_loop_json`]) behind
+//! `--report json:FILE`.
 
 use crate::metrics::{arithmetic_mean, geometric_mean};
 use crate::multiuser::MultiuserReport;
 use crate::runner::{BenchmarkReport, MixedWorkloadReport};
+use crate::workload::OpenLoopReport;
 
 /// Human-readable scale label (10000 → "10k", 1000000 → "1M").
 pub fn scale_label(n: u64) -> String {
@@ -244,6 +249,12 @@ pub fn multiuser_table(report: &MultiuserReport) -> String {
         report.clients.iter().map(|c| c.timeouts).sum::<u64>(),
         report.clients.iter().map(|c| c.errors).sum::<u64>(),
     ));
+    let warmed: u64 = report.clients.iter().map(|c| c.warmup_excluded).sum();
+    if warmed > 0 {
+        out.push_str(&format!(
+            "warmup: {warmed} queries executed before the cutoff and excluded above\n"
+        ));
+    }
     // A read-only store must answer every client identically every time:
     // any label whose count or checksum drifted is a correctness bug,
     // not noise — surface it loudly.
@@ -276,8 +287,221 @@ pub fn endpoint_workload_report(endpoint_url: &str, report: &MultiuserReport) ->
     out
 }
 
+/// The open-loop workload table: the run header (arrival process,
+/// workers, wall), the intended-vs-actual rate line, the
+/// latency/queue-delay/service decomposition, one percentile row per
+/// template, and the windowed throughput/p99 time series.
+pub fn open_loop_table(report: &OpenLoopReport) -> String {
+    let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
+    let mut out = format!(
+        "OPEN-LOOP WORKLOAD — arrival {}, {} worker(s), seed {}, wall {:.2} s\n",
+        report.arrival,
+        report.clients,
+        report.seed,
+        report.wall.as_secs_f64()
+    );
+    let intended = report.intended_rate();
+    let drift = if intended > 0.0 {
+        (report.completed_rate() - intended) / intended * 100.0
+    } else {
+        0.0
+    };
+    out.push_str(&format!(
+        "rate: intended {:.1} q/s ({} issued over {:.2} s), \
+         completed {:.1} q/s ({} done, {} timeouts, {} errors) — drift {:+.1}%\n",
+        intended,
+        report.issued,
+        report.schedule_span.as_secs_f64(),
+        report.completed_rate(),
+        report.completed,
+        report.timeouts,
+        report.errors,
+        drift,
+    ));
+    if report.warmup > std::time::Duration::ZERO {
+        out.push_str(&format!(
+            "warmup: {:.1} s ({} queries excluded)\n",
+            report.warmup.as_secs_f64(),
+            report.warmup_excluded
+        ));
+    }
+    out.push('\n');
+    out.push_str(&format!(
+        "{:<12} {:>10} {:>10} {:>10} {:>10}\n",
+        "phase", "p50[ms]", "p95[ms]", "p99[ms]", "max[ms]"
+    ));
+    for (name, h) in [
+        ("latency", &report.latency),
+        ("queue-delay", &report.queue_delay),
+        ("service", &report.service),
+    ] {
+        out.push_str(&format!(
+            "{:<12} {:>10.3} {:>10.3} {:>10.3} {:>10.3}\n",
+            name,
+            ms(h.quantile(0.50)),
+            ms(h.quantile(0.95)),
+            ms(h.quantile(0.99)),
+            ms(h.max()),
+        ));
+    }
+    out.push('\n');
+    out.push_str(&format!(
+        "{:<8} {:>8} {:>9} {:>9} {:>10} {:>10} {:>10} {:>10} {:>9} {:>7}\n",
+        "template",
+        "weight%",
+        "queries",
+        "q/s",
+        "p50[ms]",
+        "p95[ms]",
+        "p99[ms]",
+        "max[ms]",
+        "timeouts",
+        "errors"
+    ));
+    let wall = report.wall.as_secs_f64().max(1e-9);
+    let total_weight: f64 = report.templates.iter().map(|t| t.weight).sum();
+    for t in &report.templates {
+        out.push_str(&format!(
+            "{:<8} {:>8.1} {:>9} {:>9.1} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>9} {:>7}\n",
+            t.label,
+            t.weight / total_weight.max(1e-9) * 100.0,
+            t.completed,
+            t.completed as f64 / wall,
+            ms(t.latency.quantile(0.50)),
+            ms(t.latency.quantile(0.95)),
+            ms(t.latency.quantile(0.99)),
+            ms(t.latency.max()),
+            t.timeouts,
+            t.errors,
+        ));
+    }
+    out.push_str(&format!(
+        "{:<8} {:>8} {:>9} {:>9.1} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>9} {:>7}\n",
+        "all",
+        "",
+        report.completed,
+        report.completed_rate(),
+        ms(report.latency.quantile(0.50)),
+        ms(report.latency.quantile(0.95)),
+        ms(report.latency.quantile(0.99)),
+        ms(report.latency.max()),
+        report.timeouts,
+        report.errors,
+    ));
+    if report.windows.len() > 1 {
+        let width = report
+            .windows
+            .get(1)
+            .map(|w| w.start.as_secs_f64())
+            .unwrap_or(1.0)
+            .max(1e-9);
+        out.push_str(&format!(
+            "\nthroughput/p99 by {:.0} s window:\n{:<7} {:>9} {:>9} {:>10} {:>10} {:>10}\n",
+            width, "t[s]", "queries", "q/s", "p50[ms]", "p99[ms]", "max[ms]"
+        ));
+        for w in &report.windows {
+            out.push_str(&format!(
+                "{:<7.0} {:>9} {:>9.1} {:>10.3} {:>10.3} {:>10.3}\n",
+                w.start.as_secs_f64(),
+                w.completed,
+                w.completed as f64 / width,
+                ms(w.p50),
+                ms(w.p99),
+                ms(w.max),
+            ));
+        }
+    }
+    if !report.inconsistent.is_empty() {
+        out.push_str(&format!(
+            "WARNING: unstable results (count/checksum drift) for: {}\n",
+            report.inconsistent.join(", ")
+        ));
+    }
+    out
+}
+
+/// The endpoint counterpart of [`open_loop_table`], with the endpoint
+/// URL in the header.
+pub fn endpoint_open_workload_report(endpoint_url: &str, report: &OpenLoopReport) -> String {
+    let mut out = format!(
+        "SPARQL ENDPOINT WORKLOAD — {endpoint_url} (latency includes the network path)\n\n"
+    );
+    out.push_str(&open_loop_table(report));
+    out
+}
+
+/// The machine-readable open-loop report behind `--report json:FILE` —
+/// every histogram rendered through [`sp2b_obs::histogram_json`], the
+/// same shape the server's `/stats` endpoint uses.
+pub fn open_loop_json(report: &OpenLoopReport) -> String {
+    use std::fmt::Write;
+    let mut out = String::with_capacity(4096);
+    let _ = write!(
+        out,
+        "{{\"schema\":\"sp2b-workload/1\",\"arrival\":\"{}\",\"clients\":{},\"seed\":{},\
+         \"wall_seconds\":{},\"warmup_seconds\":{},\"warmup_excluded\":{},\
+         \"issued\":{},\"completed\":{},\"timeouts\":{},\"errors\":{},\
+         \"intended_rate\":{},\"completed_rate\":{}",
+        report.arrival,
+        report.clients,
+        report.seed,
+        report.wall.as_secs_f64(),
+        report.warmup.as_secs_f64(),
+        report.warmup_excluded,
+        report.issued,
+        report.completed,
+        report.timeouts,
+        report.errors,
+        report.intended_rate(),
+        report.completed_rate(),
+    );
+    let _ = write!(
+        out,
+        ",\"latency\":{},\"queue_delay\":{},\"service\":{}",
+        sp2b_obs::histogram_json(&report.latency),
+        sp2b_obs::histogram_json(&report.queue_delay),
+        sp2b_obs::histogram_json(&report.service),
+    );
+    out.push_str(",\"templates\":[");
+    for (i, t) in report.templates.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"template\":\"{}\",\"weight\":{},\"completed\":{},\"timeouts\":{},\
+             \"errors\":{},\"latency\":{}}}",
+            t.label,
+            t.weight,
+            t.completed,
+            t.timeouts,
+            t.errors,
+            sp2b_obs::histogram_json(&t.latency),
+        );
+    }
+    out.push_str("],\"windows\":[");
+    for (i, w) in report.windows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"start_seconds\":{},\"completed\":{},\"p50_seconds\":{},\
+             \"p99_seconds\":{},\"max_seconds\":{}}}",
+            w.start.as_secs_f64(),
+            w.completed,
+            w.p50.as_secs_f64(),
+            w.p99.as_secs_f64(),
+            w.max.as_secs_f64(),
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
 /// The full mixed-workload report: run header (scale, engine, load
-/// time, sharding facts when sharded) plus the [`multiuser_table`].
+/// time, sharding facts when sharded) plus the [`multiuser_table`] —
+/// or, for an open-loop run, the [`open_loop_table`].
 pub fn mixed_workload_report(report: &MixedWorkloadReport) -> String {
     let mut out = format!(
         "MIXED WORKLOAD — {} triples on {} (loaded in {})\n",
@@ -289,7 +513,10 @@ pub fn mixed_workload_report(report: &MixedWorkloadReport) -> String {
         out.push_str(&format!("{}\n", info.summary()));
     }
     out.push('\n');
-    out.push_str(&multiuser_table(&report.multiuser));
+    match &report.open {
+        Some(open) => out.push_str(&open_loop_table(open)),
+        None => out.push_str(&multiuser_table(&report.multiuser)),
+    }
     out
 }
 
@@ -429,6 +656,7 @@ mod tests {
                 counts: Default::default(),
                 checksums: Default::default(),
                 inconsistent: Vec::new(),
+                warmup_excluded: 0,
             }],
             wall: Duration::from_secs(1),
         };
@@ -455,6 +683,7 @@ mod tests {
                 counts: Default::default(),
                 checksums: Default::default(),
                 inconsistent: Vec::new(),
+                warmup_excluded: 0,
             }
         };
         let report = MixedWorkloadReport {
@@ -474,6 +703,7 @@ mod tests {
                 clients: vec![client(0, 10), client(1, 20)],
                 wall: Duration::from_secs(2),
             },
+            open: None,
         };
         let s = mixed_workload_report(&report);
         assert!(s.contains("MIXED WORKLOAD"), "{s}");
@@ -486,5 +716,110 @@ mod tests {
             "{s}"
         );
         assert!(s.contains("15.0"), "aggregate throughput 30/2s:\n{s}");
+    }
+
+    #[test]
+    fn open_loop_report_renders_rate_line_template_rows_and_json() {
+        use crate::multiuser::LatencyHistogram;
+        use crate::workload::{Arrival, OpenLoopReport, TemplateReport};
+        use sp2b_obs::WindowSnapshot;
+
+        let hist = |millis: &[u64]| {
+            let mut h = LatencyHistogram::new();
+            for &m in millis {
+                h.record(Duration::from_millis(m));
+            }
+            h
+        };
+        let report = OpenLoopReport {
+            arrival: Arrival::Poisson { rate: 200.0 },
+            clients: 2,
+            seed: 42,
+            warmup: Duration::from_secs(1),
+            wall: Duration::from_secs(10),
+            issued: 2_000,
+            schedule_span: Duration::from_secs(10),
+            warmup_excluded: 180,
+            completed: 1_815,
+            timeouts: 3,
+            errors: 2,
+            latency: hist(&[2, 5, 9]),
+            queue_delay: hist(&[1, 1, 2]),
+            service: hist(&[1, 4, 7]),
+            templates: vec![
+                TemplateReport {
+                    label: "Q1".into(),
+                    weight: 90.0,
+                    completed: 1_640,
+                    timeouts: 2,
+                    errors: 1,
+                    latency: hist(&[2, 5]),
+                },
+                TemplateReport {
+                    label: "Q8".into(),
+                    weight: 10.0,
+                    completed: 175,
+                    timeouts: 1,
+                    errors: 1,
+                    latency: hist(&[9]),
+                },
+            ],
+            windows: vec![
+                WindowSnapshot {
+                    start: Duration::ZERO,
+                    completed: 900,
+                    p50: Duration::from_millis(3),
+                    p99: Duration::from_millis(8),
+                    max: Duration::from_millis(9),
+                },
+                WindowSnapshot {
+                    start: Duration::from_secs(1),
+                    completed: 915,
+                    p50: Duration::from_millis(3),
+                    p99: Duration::from_millis(9),
+                    max: Duration::from_millis(9),
+                },
+            ],
+            counts: Default::default(),
+            inconsistent: Vec::new(),
+        };
+
+        let s = open_loop_table(&report);
+        assert!(
+            s.contains("OPEN-LOOP WORKLOAD — arrival poisson:200/s"),
+            "{s}"
+        );
+        assert!(s.contains("rate: intended 200.0 q/s"), "{s}");
+        assert!(s.contains("drift "), "{s}");
+        assert!(s.contains("warmup: 1.0 s (180 queries excluded)"), "{s}");
+        assert!(s.contains("queue-delay"), "{s}");
+        assert!(s.lines().any(|l| l.starts_with("Q1 ")), "{s}");
+        assert!(s.lines().any(|l| l.starts_with("Q8 ")), "{s}");
+        assert!(
+            s.lines().filter(|l| l.starts_with("all")).count() == 1,
+            "{s}"
+        );
+        assert!(s.contains("throughput/p99 by 1 s window"), "{s}");
+
+        let url = endpoint_open_workload_report("http://127.0.0.1:8088/sparql", &report);
+        assert!(url.contains("SPARQL ENDPOINT WORKLOAD"), "{url}");
+        assert!(url.contains("OPEN-LOOP WORKLOAD"), "{url}");
+
+        let json = open_loop_json(&report);
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "{json}"
+        );
+        assert!(json.contains("\"schema\":\"sp2b-workload/1\""), "{json}");
+        assert!(json.contains("\"arrival\":\"poisson:200/s\""), "{json}");
+        assert!(json.contains("\"template\":\"Q1\""), "{json}");
+        assert!(json.contains("\"intended_rate\":200"), "{json}");
+        assert!(json.contains("\"queue_delay\":{\"count\":3"), "{json}");
+        assert!(
+            json.contains("\"windows\":[{\"start_seconds\":0,"),
+            "{json}"
+        );
     }
 }

@@ -20,6 +20,7 @@ use crate::multiuser::{
     run_multiuser, run_multiuser_with, MultiuserConfig, MultiuserReport, StopCondition,
 };
 use crate::queries::BenchQuery;
+use crate::workload::{run_open_loop, run_open_loop_with, OpenLoopReport};
 
 /// Execution status of one query cell, as lettered in Table IV.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -219,8 +220,13 @@ pub struct MixedWorkloadReport {
     /// Sharding facts when the store was sharded (shard count, per-shard
     /// triple counts and build times).
     pub shards: Option<ShardInfo>,
-    /// The multi-user driver's outcome.
+    /// The multi-user driver's outcome. In an open-loop run this carries
+    /// only the wall clock (per-client reports don't exist there — any
+    /// worker runs any request); the real outcome is in `open`.
     pub multiuser: MultiuserReport,
+    /// The open-loop driver's outcome when the configured arrival
+    /// process was open-loop; `None` for closed-loop runs.
+    pub open: Option<OpenLoopReport>,
 }
 
 /// Runs the mixed workload: generate the document once, load it into the
@@ -260,6 +266,32 @@ pub fn run_mixed_workload_on(
     cfg: &MultiuserConfig,
     mut progress: impl FnMut(&str),
 ) -> MixedWorkloadReport {
+    if cfg.arrival.is_open() {
+        progress(&format!(
+            "driving {} worker(s), arrival {}…",
+            cfg.clients, cfg.arrival
+        ));
+        let open = run_open_loop(engine.shared_store(), cfg);
+        progress(&format!(
+            "{} of {} scheduled queries completed in {:.2?} ({:.1} q/s, intended {:.1} q/s)",
+            open.completed,
+            open.issued,
+            open.wall,
+            open.completed_rate(),
+            open.intended_rate()
+        ));
+        return MixedWorkloadReport {
+            scale: engine.store().len() as u64,
+            engine: engine.kind(),
+            load: engine.loading,
+            shards: engine.shards().cloned(),
+            multiuser: MultiuserReport {
+                clients: Vec::new(),
+                wall: open.wall,
+            },
+            open: Some(open),
+        };
+    }
     progress(&format!(
         "driving {} client(s), per-query parallelism {}…",
         cfg.clients, cfg.parallelism
@@ -277,6 +309,7 @@ pub fn run_mixed_workload_on(
         load: engine.loading,
         shards: engine.shards().cloned(),
         multiuser,
+        open: None,
     }
 }
 
@@ -302,6 +335,34 @@ pub fn run_endpoint_workload(
         report.total_completed(),
         report.wall,
         report.throughput()
+    ));
+    report
+}
+
+/// The open-loop counterpart of [`run_endpoint_workload`]: the schedule
+/// thread stamps intended send times and HTTP workers pull from the
+/// bounded queue, so the measured percentiles include queueing at the
+/// endpoint — `sp2b multiuser --endpoint … --arrival poisson:…`.
+pub fn run_endpoint_workload_open(
+    endpoint: &Endpoint,
+    cfg: &MultiuserConfig,
+    mut progress: impl FnMut(&str),
+) -> OpenLoopReport {
+    progress(&format!(
+        "driving {} worker(s) against {}, arrival {}…",
+        cfg.clients,
+        endpoint.url(),
+        cfg.arrival
+    ));
+    let transport = HttpTransport::new(endpoint.clone());
+    let report = run_open_loop_with(&transport, cfg);
+    progress(&format!(
+        "{} of {} scheduled queries completed in {:.2?} ({:.1} q/s, intended {:.1} q/s)",
+        report.completed,
+        report.issued,
+        report.wall,
+        report.completed_rate(),
+        report.intended_rate()
     ));
     report
 }

@@ -1,0 +1,1139 @@
+//! The open-loop workload model: weighted template mixes, arrival
+//! processes, and the coordinated-omission-safe driver.
+//!
+//! The closed-loop driver in [`crate::multiuser`] issues the next query
+//! the moment the previous one returns, so when the store stalls the
+//! driver stalls with it: load drops exactly when the system is
+//! struggling, and the stall never reaches the percentiles. That defect
+//! has a name — *coordinated omission* — and the query-log studies the
+//! multi-user scenario is modeled on (skewed template popularity, bursty
+//! arrivals) are precisely the traffic shapes it hides.
+//!
+//! This module keeps the schedule independent of the system under test:
+//!
+//! - [`WeightedMix`] — template popularity, from the
+//!   `--mix q1:80,q5a:15,q8:5` DSL ([`WeightedMix::parse`]) or a
+//!   Zipfian ranking of the full benchmark mix ([`WeightedMix::zipf`]),
+//!   sampled by a seeded [`MixSampler`] (SplitMix64, deterministic
+//!   replay);
+//! - [`Arrival`] — when requests are *supposed* to go out: constant
+//!   spacing, Poisson (exponential gaps), or an on/off burst train,
+//!   realized as intended-send offsets by [`ArrivalSchedule`];
+//! - [`run_open_loop_with`] — a schedule thread stamps each request with
+//!   its intended send time and pushes into a bounded queue; worker
+//!   clients pull and execute. Latency is recorded **from the intended
+//!   send time** into an [`sp2b_obs::WorkloadRecorder`], with queue
+//!   delay and service time kept as separate histograms — so if workers
+//!   can't keep up, the numbers say so instead of quietly thinning the
+//!   load.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use sp2b_obs::{LatencyHistogram, WindowSnapshot, WorkloadRecorder};
+use sp2b_store::SharedStore;
+
+use crate::ext_queries::ExtQuery;
+use crate::multiuser::{
+    default_mix, stability, ExecOutcome, InProcessTransport, MultiuserConfig, SessionSetup,
+    StopCondition, WorkItem, WorkTransport,
+};
+use crate::queries::BenchQuery;
+
+/// Registry metric name for the driver's per-template latency series
+/// (label `template`): the client-side mirror of the server's
+/// `sp2b_request_seconds`.
+pub const MULTIUSER_LATENCY_METRIC: &str = "sp2b_multiuser_latency_seconds";
+const MULTIUSER_LATENCY_HELP: &str =
+    "Client-observed multiuser query latency in seconds, per template \
+     (closed loop: from actual send; open loop: from intended send).";
+
+/// Width of the throughput/p99 time-series windows in workload reports.
+pub const WINDOW_WIDTH: Duration = Duration::from_secs(1);
+
+/// Registers (or retrieves) the global per-template latency series for
+/// `label` — shared by the closed- and open-loop drivers.
+pub fn template_latency_series(label: &str) -> sp2b_obs::Histogram {
+    sp2b_obs::global().histogram_labeled(
+        MULTIUSER_LATENCY_METRIC,
+        MULTIUSER_LATENCY_HELP,
+        "template",
+        label,
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic sampling
+// ---------------------------------------------------------------------------
+
+/// SplitMix64 — the standard 64-bit mixing generator. Tiny state, solid
+/// output, and fully deterministic from the seed, which is all the
+/// workload model needs: same `--seed` ⇒ same template sequence and the
+/// same Poisson gaps, so a run can be replayed exactly.
+#[derive(Debug, Clone)]
+pub struct SplitMix64(u64);
+
+impl SplitMix64 {
+    /// A generator seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64(seed)
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The mix DSL
+// ---------------------------------------------------------------------------
+
+/// A query mix with per-template popularity weights (`items[i]` is drawn
+/// with probability `weights[i] / Σ weights`).
+#[derive(Debug, Clone)]
+pub struct WeightedMix {
+    /// The templates, in DSL (or benchmark) order.
+    pub items: Vec<WorkItem>,
+    /// Parallel positive weights.
+    pub weights: Vec<f64>,
+}
+
+/// Resolves a mix-DSL template label: a benchmark query (Q1…Q12c) or an
+/// aggregation extension query (A1…A5), case-insensitive.
+fn resolve_template(label: &str) -> Option<WorkItem> {
+    if let Some(q) = BenchQuery::from_label(label) {
+        return Some(WorkItem::bench(q));
+    }
+    ExtQuery::ALL
+        .iter()
+        .find(|q| q.label().eq_ignore_ascii_case(label))
+        .map(|&q| WorkItem::ext(q))
+}
+
+impl WeightedMix {
+    /// Parses the mix DSL: comma-separated `LABEL:WEIGHT` entries, e.g.
+    /// `q1:80,q5a:15,q8:5`. Weights are positive integers (relative
+    /// popularity, not percentages). Zero weights, unknown templates,
+    /// duplicates and malformed entries are hard errors.
+    pub fn parse(spec: &str) -> Result<WeightedMix, String> {
+        let mut items = Vec::new();
+        let mut weights = Vec::new();
+        for entry in spec.split(',') {
+            let entry = entry.trim();
+            let Some((label, weight)) = entry.split_once(':') else {
+                return Err(format!("mix entry '{entry}' must be LABEL:WEIGHT"));
+            };
+            let (label, weight) = (label.trim(), weight.trim());
+            let item = resolve_template(label)
+                .ok_or_else(|| format!("unknown query template '{label}'"))?;
+            if items
+                .iter()
+                .any(|existing: &WorkItem| existing.label == item.label)
+            {
+                return Err(format!("duplicate template '{label}' in mix"));
+            }
+            let w: u64 = weight
+                .parse()
+                .map_err(|_| format!("weight '{weight}' for '{label}' is not an integer"))?;
+            if w == 0 {
+                return Err(format!("weight for '{label}' must be positive"));
+            }
+            items.push(item);
+            weights.push(w as f64);
+        }
+        if items.is_empty() {
+            return Err("the mix must name at least one template".to_string());
+        }
+        Ok(WeightedMix { items, weights })
+    }
+
+    /// The full benchmark mix (Q1…Q12c then A1…A5) with Zipfian
+    /// popularity: the template at rank *r* (1-based, benchmark order)
+    /// gets weight *r*⁻ˢ. `s` must be a positive finite exponent;
+    /// larger `s` skews harder toward the head.
+    pub fn zipf(s: f64) -> Result<WeightedMix, String> {
+        if !s.is_finite() || s <= 0.0 {
+            return Err(format!(
+                "zipf exponent must be positive and finite, got '{s}'"
+            ));
+        }
+        let items = default_mix();
+        let weights = (1..=items.len()).map(|r| (r as f64).powf(-s)).collect();
+        Ok(WeightedMix { items, weights })
+    }
+}
+
+/// Draws template slots from a [`WeightedMix`]'s weights — seeded, so a
+/// replay with the same seed draws the same sequence.
+#[derive(Debug, Clone)]
+pub struct MixSampler {
+    cumulative: Vec<f64>,
+    rng: SplitMix64,
+}
+
+impl MixSampler {
+    /// A sampler over `weights` (must be non-empty, all positive).
+    pub fn new(weights: &[f64], seed: u64) -> Self {
+        assert!(!weights.is_empty(), "sampler needs at least one weight");
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut total = 0.0;
+        for &w in weights {
+            assert!(w > 0.0 && w.is_finite(), "weights must be positive");
+            total += w;
+            cumulative.push(total);
+        }
+        MixSampler {
+            cumulative,
+            rng: SplitMix64::new(seed),
+        }
+    }
+
+    /// The next slot index (into the weight vector).
+    pub fn sample(&mut self) -> usize {
+        let total = *self.cumulative.last().expect("non-empty");
+        let u = self.rng.next_f64() * total;
+        self.cumulative
+            .partition_point(|&c| c <= u)
+            .min(self.cumulative.len() - 1)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Arrival processes
+// ---------------------------------------------------------------------------
+
+/// When requests are *supposed* to be sent.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Arrival {
+    /// The legacy closed loop: each client issues the next query when
+    /// the previous returns. No schedule, no queueing visibility.
+    Closed,
+    /// Open loop, evenly spaced at `rate` requests/second.
+    Constant {
+        /// Requests per second.
+        rate: f64,
+    },
+    /// Open loop, exponentially distributed inter-arrivals with mean
+    /// `1/rate` — the memoryless traffic most queueing results assume.
+    Poisson {
+        /// Mean requests per second.
+        rate: f64,
+    },
+    /// Open loop, an on/off train: within each `period`, requests arrive
+    /// at `rate` during the first `duty` fraction and then stop.
+    Burst {
+        /// In-burst requests per second.
+        rate: f64,
+        /// Cycle length.
+        period: Duration,
+        /// Fraction of the period that is on, in `(0, 1]`.
+        duty: f64,
+    },
+}
+
+/// Parses a rate like `5000/s`, `5000`, or `12.5/s`.
+fn parse_rate(s: &str) -> Result<f64, String> {
+    let digits = s.strip_suffix("/s").unwrap_or(s).trim();
+    let rate: f64 = digits
+        .parse()
+        .map_err(|_| format!("rate '{s}' is not a number"))?;
+    if !rate.is_finite() || rate <= 0.0 {
+        return Err(format!("arrival rate must be positive, got '{s}'"));
+    }
+    Ok(rate)
+}
+
+impl Arrival {
+    /// Parses an `--arrival` spec: `closed`, `constant:RATE[/s]`,
+    /// `poisson:RATE[/s]`, or `burst:RATE[/s],PERIOD[s],DUTY`.
+    pub fn parse(spec: &str) -> Result<Arrival, String> {
+        let spec = spec.trim();
+        if spec == "closed" {
+            return Ok(Arrival::Closed);
+        }
+        if let Some(rate) = spec.strip_prefix("constant:") {
+            return Ok(Arrival::Constant {
+                rate: parse_rate(rate)?,
+            });
+        }
+        if let Some(rate) = spec.strip_prefix("poisson:") {
+            return Ok(Arrival::Poisson {
+                rate: parse_rate(rate)?,
+            });
+        }
+        if let Some(rest) = spec.strip_prefix("burst:") {
+            let parts: Vec<&str> = rest.split(',').collect();
+            if parts.len() != 3 {
+                return Err(format!("burst spec '{rest}' must be RATE,PERIOD,DUTY"));
+            }
+            let rate = parse_rate(parts[0])?;
+            let period_str = parts[1].trim();
+            let period: f64 = period_str
+                .strip_suffix('s')
+                .unwrap_or(period_str)
+                .parse()
+                .map_err(|_| format!("burst period '{period_str}' is not a number"))?;
+            if !period.is_finite() || period <= 0.0 {
+                return Err(format!("burst period must be positive, got '{period_str}'"));
+            }
+            let duty_str = parts[2].trim();
+            let duty: f64 = duty_str
+                .parse()
+                .map_err(|_| format!("burst duty '{duty_str}' is not a number"))?;
+            if !duty.is_finite() || duty <= 0.0 || duty > 1.0 {
+                return Err(format!("burst duty must be in (0, 1], got '{duty_str}'"));
+            }
+            return Ok(Arrival::Burst {
+                rate,
+                period: Duration::from_secs_f64(period),
+                duty,
+            });
+        }
+        Err(format!(
+            "unknown arrival process '{spec}' \
+             (expected closed, constant:RATE/s, poisson:RATE/s, or burst:RATE,PERIOD,DUTY)"
+        ))
+    }
+
+    /// True for every open-loop process (everything but
+    /// [`Arrival::Closed`]).
+    pub fn is_open(&self) -> bool {
+        !matches!(self, Arrival::Closed)
+    }
+}
+
+impl fmt::Display for Arrival {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Arrival::Closed => write!(f, "closed"),
+            Arrival::Constant { rate } => write!(f, "constant:{rate}/s"),
+            Arrival::Poisson { rate } => write!(f, "poisson:{rate}/s"),
+            Arrival::Burst { rate, period, duty } => {
+                write!(f, "burst:{rate}/s,{}s,{duty}", period.as_secs_f64())
+            }
+        }
+    }
+}
+
+/// The realized schedule of an open-loop [`Arrival`]: an infinite
+/// iterator of intended-send offsets from the run start, computed purely
+/// from the process parameters and the seed — never from the clock — so
+/// a slow system cannot bend the schedule (that is the whole point).
+pub struct ArrivalSchedule {
+    arrival: Arrival,
+    rng: SplitMix64,
+    /// Next intended offset, in seconds from the run start.
+    t: f64,
+}
+
+impl ArrivalSchedule {
+    /// The schedule of `arrival` (must be open-loop).
+    pub fn new(arrival: Arrival, seed: u64) -> Self {
+        assert!(arrival.is_open(), "closed loop has no arrival schedule");
+        ArrivalSchedule {
+            arrival,
+            rng: SplitMix64::new(seed),
+            t: 0.0,
+        }
+    }
+}
+
+impl Iterator for ArrivalSchedule {
+    type Item = Duration;
+
+    fn next(&mut self) -> Option<Duration> {
+        match self.arrival {
+            Arrival::Closed => unreachable!("checked in new()"),
+            Arrival::Constant { rate } => self.t += 1.0 / rate,
+            Arrival::Poisson { rate } => {
+                // Exponential inter-arrival via inverse transform;
+                // 1 - u is in (0, 1], so ln() is finite.
+                let u = self.rng.next_f64();
+                self.t += -(1.0 - u).ln() / rate;
+            }
+            Arrival::Burst { rate, period, duty } => {
+                let period = period.as_secs_f64();
+                self.t += 1.0 / rate;
+                // Landed in the off-phase: snap to the next period start.
+                // The epsilon guards float modulo at period boundaries
+                // (a snapped `t` is an exact multiple of `period` only
+                // up to rounding, so `pos` may read ≈`period`, not 0).
+                let pos = self.t % period;
+                if pos > period * duty + 1e-9 && pos < period - 1e-9 {
+                    self.t = (self.t / period).floor() * period + period;
+                }
+            }
+        }
+        Some(Duration::from_secs_f64(self.t))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The bounded request queue
+// ---------------------------------------------------------------------------
+
+/// One scheduled request: the mix slot to run and its intended send
+/// offset from the run start.
+#[derive(Debug, Clone, Copy)]
+struct Request {
+    slot: usize,
+    offset: Duration,
+}
+
+/// A minimal bounded MPMC queue (mutex + condvars). `push` blocks when
+/// full — backpressure on the schedule thread is safe because intended
+/// send times are computed from the schedule, not from when the push
+/// happens; the delay shows up where it belongs, in the queue-delay and
+/// latency histograms.
+struct BoundedQueue<T> {
+    state: Mutex<QueueState<T>>,
+    not_full: Condvar,
+    not_empty: Condvar,
+}
+
+struct QueueState<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+    closed: bool,
+}
+
+impl<T> BoundedQueue<T> {
+    fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            state: Mutex::new(QueueState {
+                items: VecDeque::with_capacity(capacity),
+                capacity: capacity.max(1),
+                closed: false,
+            }),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+        }
+    }
+
+    /// Blocks while full; returns `false` if the queue was closed.
+    fn push(&self, item: T) -> bool {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if state.closed {
+                return false;
+            }
+            if state.items.len() < state.capacity {
+                state.items.push_back(item);
+                self.not_empty.notify_one();
+                return true;
+            }
+            state = self.not_full.wait(state).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Blocks while empty; returns `None` once closed **and** drained.
+    fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self
+                .not_empty
+                .wait(state)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn close(&self) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reports
+// ---------------------------------------------------------------------------
+
+/// One template's outcomes in an open-loop run.
+#[derive(Debug, Clone)]
+pub struct TemplateReport {
+    /// Template label.
+    pub label: String,
+    /// Its mix weight (as configured, not normalized).
+    pub weight: f64,
+    /// Recorded completions (excludes warmup).
+    pub completed: u64,
+    /// Recorded per-query timeouts.
+    pub timeouts: u64,
+    /// Recorded errors.
+    pub errors: u64,
+    /// Latency from intended send time.
+    pub latency: LatencyHistogram,
+}
+
+/// A completed open-loop run.
+#[derive(Debug, Clone)]
+pub struct OpenLoopReport {
+    /// The arrival process that generated the schedule.
+    pub arrival: Arrival,
+    /// Worker clients that pulled from the queue.
+    pub clients: usize,
+    /// The sampler/schedule seed (same seed ⇒ same schedule).
+    pub seed: u64,
+    /// Configured warmup.
+    pub warmup: Duration,
+    /// Wall clock from schedule start to last completion.
+    pub wall: Duration,
+    /// Requests the schedule issued.
+    pub issued: u64,
+    /// Intended offset of the last issued request — the schedule's own
+    /// span, which [`OpenLoopReport::intended_rate`] divides by.
+    pub schedule_span: Duration,
+    /// Observations excluded because they were intended during warmup.
+    pub warmup_excluded: u64,
+    /// Recorded completions.
+    pub completed: u64,
+    /// Recorded per-query timeouts.
+    pub timeouts: u64,
+    /// Recorded errors.
+    pub errors: u64,
+    /// Latency from *intended* send time — queueing included.
+    pub latency: LatencyHistogram,
+    /// Intended send → actual send.
+    pub queue_delay: LatencyHistogram,
+    /// Actual send → completion.
+    pub service: LatencyHistogram,
+    /// Per-template breakdown, in mix order.
+    pub templates: Vec<TemplateReport>,
+    /// Throughput/p99 time series ([`WINDOW_WIDTH`] wide windows).
+    pub windows: Vec<WindowSnapshot>,
+    /// Result cardinality per template, from the first recorded
+    /// completion.
+    pub counts: BTreeMap<String, u64>,
+    /// Templates whose result count or checksum drifted between
+    /// executions — always empty over a read-only store.
+    pub inconsistent: Vec<String>,
+}
+
+impl OpenLoopReport {
+    /// The rate the schedule asked for, realized: issued requests over
+    /// the schedule's own span.
+    pub fn intended_rate(&self) -> f64 {
+        self.issued as f64 / self.schedule_span.as_secs_f64().max(1e-9)
+    }
+
+    /// Recorded completions per wall-clock second.
+    pub fn completed_rate(&self) -> f64 {
+        self.completed as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The open-loop driver
+// ---------------------------------------------------------------------------
+
+/// Cross-worker count/checksum stability state (the open-loop analogue
+/// of [`crate::multiuser::ClientReport::counts`], shared because any
+/// worker may run any template).
+#[derive(Default)]
+struct StabilityState {
+    counts: BTreeMap<String, u64>,
+    checksums: BTreeMap<String, u64>,
+    inconsistent: Vec<String>,
+}
+
+/// Runs the open-loop workload in-process over `store` (the analogue of
+/// [`crate::multiuser::run_multiuser`]).
+pub fn run_open_loop(store: SharedStore, cfg: &MultiuserConfig) -> OpenLoopReport {
+    run_open_loop_with(
+        &InProcessTransport::new(store, cfg.parallelism).checksums(cfg.checksums),
+        cfg,
+    )
+}
+
+/// Drives an open-loop workload over any [`WorkTransport`]: a schedule
+/// thread realizes `cfg.arrival` (which must be open-loop), stamping
+/// each request with its intended send offset and pushing into a
+/// bounded queue; `cfg.clients` workers pull and execute. With
+/// [`StopCondition::Rounds`]`(r)` the schedule issues exactly
+/// `r × clients × mix.len()` requests (the closed loop's volume);
+/// with [`StopCondition::Duration`] it issues until the schedule offset
+/// passes the duration, then the queue drains.
+pub fn run_open_loop_with(transport: &dyn WorkTransport, cfg: &MultiuserConfig) -> OpenLoopReport {
+    assert!(cfg.arrival.is_open(), "use run_multiuser for closed loop");
+    assert!(!cfg.mix.is_empty(), "the query mix must not be empty");
+    let weights: Vec<f64> = if cfg.weights.is_empty() {
+        vec![1.0; cfg.mix.len()]
+    } else {
+        assert_eq!(
+            cfg.weights.len(),
+            cfg.mix.len(),
+            "weights must parallel the mix"
+        );
+        cfg.weights.clone()
+    };
+    let clients = cfg.clients.max(1);
+    let labels: Vec<String> = cfg.mix.iter().map(|i| i.label.clone()).collect();
+    let recorder = WorkloadRecorder::new(&labels, cfg.warmup, WINDOW_WIDTH);
+    let series: Vec<sp2b_obs::Histogram> =
+        labels.iter().map(|l| template_latency_series(l)).collect();
+    let stability_state = Mutex::new(StabilityState::default());
+    let queue = BoundedQueue::new((clients * 2).max(8));
+    let bound = match cfg.stop {
+        StopCondition::Rounds(r) => {
+            ScheduleBound::Count(r as u64 * clients as u64 * cfg.mix.len() as u64)
+        }
+        StopCondition::Duration(d) => ScheduleBound::Until(d),
+    };
+    let start = Instant::now();
+
+    let (issued, schedule_span) = std::thread::scope(|s| {
+        let workers: Vec<_> = (0..clients)
+            .map(|client| {
+                let (recorder, series, stability_state, queue) =
+                    (&recorder, &series, &stability_state, &queue);
+                s.spawn(move || {
+                    worker_loop(
+                        client,
+                        transport,
+                        cfg,
+                        start,
+                        queue,
+                        recorder,
+                        series,
+                        stability_state,
+                    )
+                })
+            })
+            .collect();
+        let scheduled = schedule_loop(cfg, &weights, bound, start, &queue);
+        queue.close();
+        for w in workers {
+            w.join().expect("worker thread panicked");
+        }
+        scheduled
+    });
+    let wall = start.elapsed();
+
+    let templates: Vec<TemplateReport> = recorder
+        .templates()
+        .into_iter()
+        .zip(&weights)
+        .map(|(t, &weight)| TemplateReport {
+            label: t.label,
+            weight,
+            completed: t.completed,
+            timeouts: t.timeouts,
+            errors: t.errors,
+            latency: t.latency,
+        })
+        .collect();
+    let stability_state = stability_state
+        .into_inner()
+        .unwrap_or_else(|e| e.into_inner());
+    OpenLoopReport {
+        arrival: cfg.arrival,
+        clients,
+        seed: cfg.seed,
+        warmup: cfg.warmup,
+        wall,
+        issued,
+        schedule_span,
+        warmup_excluded: recorder.warmup_excluded(),
+        completed: templates.iter().map(|t| t.completed).sum(),
+        timeouts: templates.iter().map(|t| t.timeouts).sum(),
+        errors: templates.iter().map(|t| t.errors).sum(),
+        latency: recorder.latency(),
+        queue_delay: recorder.queue_delay(),
+        service: recorder.service(),
+        templates,
+        windows: recorder.windows(),
+        counts: stability_state.counts,
+        inconsistent: stability_state.inconsistent,
+    }
+}
+
+#[derive(Clone, Copy)]
+enum ScheduleBound {
+    Count(u64),
+    Until(Duration),
+}
+
+/// The schedule thread body: realizes the arrival process, sleeping
+/// until each intended send time and pushing the stamped request.
+/// Returns `(issued, span of the schedule)`.
+fn schedule_loop(
+    cfg: &MultiuserConfig,
+    weights: &[f64],
+    bound: ScheduleBound,
+    start: Instant,
+    queue: &BoundedQueue<Request>,
+) -> (u64, Duration) {
+    let mut sampler = MixSampler::new(weights, cfg.seed);
+    // A separate stream for the arrival gaps, so mix sampling and
+    // schedule jitter don't entangle across replays.
+    let schedule = ArrivalSchedule::new(cfg.arrival, cfg.seed.wrapping_add(0xD1B5_4A32_D192_ED03));
+    let mut issued = 0u64;
+    let mut span = Duration::ZERO;
+    for offset in schedule {
+        match bound {
+            ScheduleBound::Count(n) if issued >= n => break,
+            ScheduleBound::Until(d) if offset >= d => break,
+            _ => {}
+        }
+        let slot = sampler.sample();
+        // Sleep to the intended time, then push. The timestamp is the
+        // *intended* offset either way — a backed-up queue delays the
+        // push, not the clock the latency is measured from.
+        if let Some(wait) = (start + offset).checked_duration_since(Instant::now()) {
+            std::thread::sleep(wait);
+        }
+        if !queue.push(Request { slot, offset }) {
+            break;
+        }
+        issued += 1;
+        span = offset;
+    }
+    (issued, span)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn worker_loop(
+    client: usize,
+    transport: &dyn WorkTransport,
+    cfg: &MultiuserConfig,
+    start: Instant,
+    queue: &BoundedQueue<Request>,
+    recorder: &WorkloadRecorder,
+    series: &[sp2b_obs::Histogram],
+    stability_state: &Mutex<StabilityState>,
+) {
+    let SessionSetup {
+        labels,
+        failed: _,
+        mut session,
+    } = transport.open(client, &cfg.mix);
+    // Mix slot → session slot; a template that failed setup maps to
+    // `None` and every request drawn for it is recorded as an error.
+    let slot_map: Vec<Option<usize>> = cfg
+        .mix
+        .iter()
+        .map(|item| labels.iter().position(|l| *l == item.label))
+        .collect();
+    while let Some(req) = queue.pop() {
+        let dequeued = Instant::now();
+        let intended = start + req.offset;
+        let Some(slot) = slot_map[req.slot] else {
+            recorder.record_error(req.slot, req.offset);
+            continue;
+        };
+        match session.execute(slot, dequeued + cfg.timeout) {
+            ExecOutcome::Completed { rows, checksum } => {
+                let end = Instant::now();
+                let latency = end.saturating_duration_since(intended);
+                let recorded = recorder.record_completed(
+                    req.slot,
+                    req.offset,
+                    end.saturating_duration_since(start),
+                    latency,
+                    dequeued.saturating_duration_since(intended),
+                    end.saturating_duration_since(dequeued),
+                );
+                if recorded {
+                    series[req.slot].record(latency);
+                    let label = &cfg.mix[req.slot].label;
+                    let mut st = stability_state.lock().unwrap_or_else(|e| e.into_inner());
+                    let count_unstable = stability(&mut st.counts, label, rows);
+                    let checksum_unstable =
+                        checksum.is_some_and(|cs| stability(&mut st.checksums, label, cs));
+                    if (count_unstable || checksum_unstable) && !st.inconsistent.contains(label) {
+                        st.inconsistent.push(label.clone());
+                    }
+                }
+            }
+            ExecOutcome::TimedOut => {
+                recorder.record_timeout(req.slot, req.offset);
+            }
+            ExecOutcome::Failed => {
+                recorder.record_error(req.slot, req.offset);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multiuser::WorkSession;
+
+    // -- the mix DSL --------------------------------------------------------
+
+    #[test]
+    fn mix_dsl_parses_labels_and_weights() {
+        let mix = WeightedMix::parse("q1:80,q5a:15,A1:5").unwrap();
+        let labels: Vec<&str> = mix.items.iter().map(|i| i.label.as_str()).collect();
+        assert_eq!(labels, ["Q1", "Q5a", "A1"]);
+        assert_eq!(mix.weights, [80.0, 15.0, 5.0]);
+    }
+
+    #[test]
+    fn mix_dsl_rejects_malformed_entries() {
+        let zero = WeightedMix::parse("q1:0").unwrap_err();
+        assert!(zero.contains("must be positive"), "{zero}");
+        let unknown = WeightedMix::parse("q99:5").unwrap_err();
+        assert!(
+            unknown.contains("unknown query template 'q99'"),
+            "{unknown}"
+        );
+        let duplicate = WeightedMix::parse("q1:5,Q1:3").unwrap_err();
+        assert!(duplicate.contains("duplicate template"), "{duplicate}");
+        let missing = WeightedMix::parse("q1").unwrap_err();
+        assert!(missing.contains("LABEL:WEIGHT"), "{missing}");
+        let garbage = WeightedMix::parse("q1:eighty").unwrap_err();
+        assert!(garbage.contains("not an integer"), "{garbage}");
+        assert!(WeightedMix::parse("").is_err());
+    }
+
+    #[test]
+    fn zipf_ranks_the_benchmark_mix_head_heavy() {
+        let mix = WeightedMix::zipf(1.0).unwrap();
+        assert_eq!(mix.items.len(), default_mix().len());
+        assert_eq!(mix.items[0].label, "Q1");
+        for pair in mix.weights.windows(2) {
+            assert!(pair[0] > pair[1], "weights must strictly decrease");
+        }
+        assert!(WeightedMix::zipf(0.0).is_err());
+        assert!(WeightedMix::zipf(f64::NAN).is_err());
+    }
+
+    // -- the sampler --------------------------------------------------------
+
+    #[test]
+    fn same_seed_draws_the_same_template_sequence() {
+        let mix = WeightedMix::parse("q1:80,q5a:15,q8:5").unwrap();
+        let mut a = MixSampler::new(&mix.weights, 42);
+        let mut b = MixSampler::new(&mix.weights, 42);
+        let seq_a: Vec<usize> = (0..100).map(|_| a.sample()).collect();
+        let seq_b: Vec<usize> = (0..100).map(|_| b.sample()).collect();
+        assert_eq!(seq_a, seq_b, "deterministic replay");
+        let mut c = MixSampler::new(&mix.weights, 43);
+        let seq_c: Vec<usize> = (0..100).map(|_| c.sample()).collect();
+        assert_ne!(seq_a, seq_c, "a different seed draws differently");
+    }
+
+    #[test]
+    fn sampler_respects_the_weights() {
+        let mut sampler = MixSampler::new(&[8.0, 1.0, 1.0], 7);
+        let mut hits = [0u32; 3];
+        for _ in 0..4_000 {
+            hits[sampler.sample()] += 1;
+        }
+        let head = hits[0] as f64 / 4_000.0;
+        assert!((0.72..0.88).contains(&head), "80% weight drew {head}");
+        assert!(hits[1] > 0 && hits[2] > 0, "{hits:?}");
+    }
+
+    // -- arrival processes --------------------------------------------------
+
+    #[test]
+    fn arrival_specs_parse_and_render() {
+        assert_eq!(Arrival::parse("closed").unwrap(), Arrival::Closed);
+        assert_eq!(
+            Arrival::parse("constant:5000/s").unwrap(),
+            Arrival::Constant { rate: 5000.0 }
+        );
+        assert_eq!(
+            Arrival::parse("poisson:12.5").unwrap(),
+            Arrival::Poisson { rate: 12.5 }
+        );
+        let burst = Arrival::parse("burst:1000/s,2s,0.25").unwrap();
+        assert_eq!(
+            burst,
+            Arrival::Burst {
+                rate: 1000.0,
+                period: Duration::from_secs(2),
+                duty: 0.25
+            }
+        );
+        assert_eq!(burst.to_string(), "burst:1000/s,2s,0.25");
+        assert_eq!(
+            Arrival::parse("poisson:200/s").unwrap().to_string(),
+            "poisson:200/s"
+        );
+    }
+
+    #[test]
+    fn arrival_specs_reject_nonsense() {
+        for bad in [
+            "constant:0/s",
+            "constant:-5",
+            "poisson:0",
+            "poisson:wat",
+            "burst:100,0,0.5",
+            "burst:100,1s,0",
+            "burst:100,1s,1.5",
+            "burst:100,1s",
+            "uniform:5",
+        ] {
+            let err = Arrival::parse(bad).unwrap_err();
+            assert!(!err.is_empty(), "{bad} must be rejected");
+        }
+        assert!(Arrival::parse("constant:0/s")
+            .unwrap_err()
+            .contains("must be positive"));
+    }
+
+    #[test]
+    fn poisson_inter_arrival_mean_is_one_over_rate() {
+        let rate = 1000.0;
+        let offsets: Vec<Duration> = ArrivalSchedule::new(Arrival::Poisson { rate }, 11)
+            .take(20_000)
+            .collect();
+        let mut sum = 0.0;
+        for pair in offsets.windows(2) {
+            sum += (pair[1] - pair[0]).as_secs_f64();
+        }
+        let mean = sum / (offsets.len() - 1) as f64;
+        let expected = 1.0 / rate;
+        assert!(
+            (mean - expected).abs() / expected < 0.05,
+            "mean gap {mean}, expected {expected}"
+        );
+    }
+
+    #[test]
+    fn poisson_schedule_is_deterministic_per_seed() {
+        let a: Vec<Duration> = ArrivalSchedule::new(Arrival::Poisson { rate: 500.0 }, 3)
+            .take(50)
+            .collect();
+        let b: Vec<Duration> = ArrivalSchedule::new(Arrival::Poisson { rate: 500.0 }, 3)
+            .take(50)
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn burst_schedule_stays_inside_the_duty_window() {
+        let period = 0.05;
+        let duty = 0.4;
+        let schedule = ArrivalSchedule::new(
+            Arrival::Burst {
+                rate: 1000.0,
+                period: Duration::from_secs_f64(period),
+                duty,
+            },
+            0,
+        );
+        let mut in_first_window = 0;
+        for offset in schedule.take(300) {
+            let pos = offset.as_secs_f64() % period;
+            // A period boundary may read as ≈`period` under float modulo.
+            let pos = if pos >= period - 1e-6 { 0.0 } else { pos };
+            assert!(
+                pos <= period * duty + 1e-6,
+                "offset {offset:?} lands in the off-phase"
+            );
+            if offset.as_secs_f64() < period {
+                in_first_window += 1;
+            }
+        }
+        // 1000/s over a 20 ms on-phase ⇒ ~20 requests per period.
+        assert!((15..=25).contains(&in_first_window), "{in_first_window}");
+    }
+
+    // -- the open-loop driver ----------------------------------------------
+
+    /// A transport whose sessions answer instantly with a per-slot row
+    /// count — for determinism and accounting tests.
+    struct InstantTransport;
+
+    struct InstantSession;
+
+    impl WorkTransport for InstantTransport {
+        fn open(&self, _client: usize, mix: &[WorkItem]) -> SessionSetup {
+            SessionSetup {
+                labels: mix.iter().map(|i| i.label.clone()).collect(),
+                failed: 0,
+                session: Box::new(InstantSession),
+            }
+        }
+    }
+
+    impl WorkSession for InstantSession {
+        fn execute(&mut self, slot: usize, _stop_at: Instant) -> ExecOutcome {
+            ExecOutcome::Completed {
+                rows: slot as u64 + 1,
+                checksum: None,
+            }
+        }
+    }
+
+    /// A transport that stalls a fixed 100 ms per query — the
+    /// coordinated-omission regression fixture.
+    struct StalledTransport {
+        delay: Duration,
+    }
+
+    struct StalledSession {
+        delay: Duration,
+    }
+
+    impl WorkTransport for StalledTransport {
+        fn open(&self, _client: usize, mix: &[WorkItem]) -> SessionSetup {
+            SessionSetup {
+                labels: mix.iter().map(|i| i.label.clone()).collect(),
+                failed: 0,
+                session: Box::new(StalledSession { delay: self.delay }),
+            }
+        }
+    }
+
+    impl WorkSession for StalledSession {
+        fn execute(&mut self, _slot: usize, _stop_at: Instant) -> ExecOutcome {
+            std::thread::sleep(self.delay);
+            ExecOutcome::Completed {
+                rows: 1,
+                checksum: None,
+            }
+        }
+    }
+
+    fn open_cfg(clients: usize, stop: StopCondition) -> MultiuserConfig {
+        let mut cfg = MultiuserConfig::new(clients, stop);
+        cfg.mix = vec![
+            WorkItem::bench(BenchQuery::Q1),
+            WorkItem::bench(BenchQuery::Q8),
+        ];
+        cfg.weights = vec![9.0, 1.0];
+        cfg.arrival = Arrival::Constant { rate: 2_000.0 };
+        cfg.seed = 42;
+        cfg
+    }
+
+    #[test]
+    fn open_loop_accounting_adds_up_and_replays_deterministically() {
+        let cfg = open_cfg(2, StopCondition::Rounds(25));
+        let a = run_open_loop_with(&InstantTransport, &cfg);
+        // Rounds ⇒ exactly rounds × clients × mix.len() scheduled.
+        assert_eq!(a.issued, 25 * 2 * 2);
+        assert_eq!(
+            a.issued,
+            a.completed + a.timeouts + a.errors + a.warmup_excluded
+        );
+        assert_eq!(a.errors, 0);
+        assert_eq!(a.templates.len(), 2);
+        assert!(
+            a.templates[0].completed > a.templates[1].completed,
+            "9:1 mix"
+        );
+        // Per-slot row counts are constant, so stability must hold.
+        assert!(a.inconsistent.is_empty());
+        assert_eq!(a.counts["Q1"], 1);
+        assert_eq!(a.counts["Q8"], 2);
+        assert!(a.intended_rate() > 0.0);
+        assert!(!a.windows.is_empty());
+
+        let b = run_open_loop_with(&InstantTransport, &cfg);
+        assert_eq!(a.issued, b.issued);
+        for (ta, tb) in a.templates.iter().zip(&b.templates) {
+            assert_eq!(ta.completed, tb.completed, "same seed, same draws");
+        }
+    }
+
+    #[test]
+    fn warmup_is_excluded_but_tallied() {
+        let mut cfg = open_cfg(1, StopCondition::Rounds(10));
+        cfg.mix.truncate(1);
+        cfg.weights.truncate(1);
+        cfg.arrival = Arrival::Constant { rate: 100.0 };
+        cfg.warmup = Duration::from_millis(100);
+        let report = run_open_loop_with(&InstantTransport, &cfg);
+        assert_eq!(report.issued, 10);
+        assert!(report.warmup_excluded > 0, "the first ~10 are warmup");
+        assert!(report.completed > 0, "later requests are recorded");
+        assert_eq!(report.completed + report.warmup_excluded, report.issued);
+        assert_eq!(report.latency.count(), report.completed);
+    }
+
+    /// The coordinated-omission regression: a transport that stalls
+    /// 100 ms per query is driven at 100/s by a single worker, so the
+    /// queue backs up and the *observed* latency must include that
+    /// queueing — a closed-loop measurement would report ~100 ms flat
+    /// (and a naive "measure from actual send" open loop even less).
+    #[test]
+    fn stalled_transport_latency_includes_queue_delay() {
+        let mut cfg = open_cfg(1, StopCondition::Rounds(8));
+        cfg.mix.truncate(1);
+        cfg.weights.truncate(1);
+        cfg.arrival = Arrival::Constant { rate: 100.0 }; // 10 ms spacing
+        let transport = StalledTransport {
+            delay: Duration::from_millis(100),
+        };
+        let report = run_open_loop_with(&transport, &cfg);
+        assert_eq!(report.issued, 8);
+        assert_eq!(report.completed, 8);
+        // Intended sends are 10 ms apart but service is 100 ms, so the
+        // backlog grows ~90 ms per request; the p99 must reflect the
+        // worst queueing, not the 100 ms service time — and certainly
+        // not sub-millisecond.
+        assert!(
+            report.latency.quantile(0.99) >= Duration::from_millis(250),
+            "p99 {:?} hides the queue",
+            report.latency.quantile(0.99)
+        );
+        assert!(
+            report.latency.quantile(0.50) >= Duration::from_millis(100),
+            "p50 {:?}",
+            report.latency.quantile(0.50)
+        );
+        // The decomposition shows where the time went.
+        assert!(
+            report.queue_delay.max() >= Duration::from_millis(200),
+            "queue delay max {:?}",
+            report.queue_delay.max()
+        );
+        let p50_service = report.service.quantile(0.50);
+        assert!(
+            (Duration::from_millis(50)..Duration::from_secs(2)).contains(&p50_service),
+            "service p50 {p50_service:?}"
+        );
+    }
+
+    #[test]
+    fn failed_setup_slots_surface_as_errors() {
+        /// Prepares only the first template; the rest fail setup.
+        struct HalfTransport;
+        impl WorkTransport for HalfTransport {
+            fn open(&self, _client: usize, mix: &[WorkItem]) -> SessionSetup {
+                SessionSetup {
+                    labels: vec![mix[0].label.clone()],
+                    failed: (mix.len() - 1) as u64,
+                    session: Box::new(InstantSession),
+                }
+            }
+        }
+        let cfg = open_cfg(1, StopCondition::Rounds(20));
+        let report = run_open_loop_with(&HalfTransport, &cfg);
+        assert_eq!(report.issued, 40);
+        assert!(report.errors > 0, "Q8 draws must error");
+        assert_eq!(report.templates[1].errors, report.errors);
+        assert_eq!(
+            report.issued,
+            report.completed + report.timeouts + report.errors + report.warmup_excluded
+        );
+    }
+}

@@ -20,15 +20,21 @@
 //!   (parse → plan → execute) plus per-operator estimated/actual rows
 //!   and wall time — shared by `sp2b query --trace` and the server's
 //!   slow-query log.
+//! - [`WorkloadRecorder`]: the coordinated-omission-safe recorder behind
+//!   the open-loop workload driver — latency measured from *intended*
+//!   send time, queue delay and service time as separate histograms, and
+//!   a [`WindowedSeries`] throughput/p99 time series.
 //!
 //! Everything here is dependency-free so every other crate in the
 //! workspace (store, sparql, server, core, CLI) can depend on it without
 //! cycles.
 
 mod hist;
+mod recorder;
 mod registry;
 mod trace;
 
 pub use hist::{AtomicHistogram, LatencyHistogram};
-pub use registry::{global, Counter, Gauge, Histogram, MetricsRegistry};
+pub use recorder::{TemplateSnapshot, WindowSnapshot, WindowedSeries, WorkloadRecorder};
+pub use registry::{global, histogram_json, Counter, Gauge, Histogram, MetricsRegistry};
 pub use trace::{OpSpan, QueryTrace};

@@ -1,0 +1,355 @@
+//! The coordinated-omission-safe workload recorder.
+//!
+//! A closed-loop driver measures latency from the moment it *actually*
+//! sent a request — so when the system under test stalls, the driver
+//! stalls with it and simply sends fewer requests, and the stall never
+//! shows up in the percentiles (coordinated omission). The open-loop
+//! workload model fixes the schedule first: every request carries the
+//! *intended* send time its arrival process assigned, and
+//! [`WorkloadRecorder`] measures latency from that intended time, so
+//! queueing delay is part of the number a user would actually observe.
+//!
+//! Three surfaces per run, all shared-writer safe:
+//!
+//! - total **latency** (intended send → completion), **queue delay**
+//!   (intended send → actual send) and **service time** (actual send →
+//!   completion) as separate [`AtomicHistogram`]s — queue delay is
+//!   exactly the component coordinated omission hides;
+//! - a per-template histogram + outcome tally ([`TemplateSnapshot`]),
+//!   because a mixed workload's aggregate percentiles say nothing about
+//!   which template is slow;
+//! - a [`WindowedSeries`] throughput/p99 time series, so bursts are
+//!   visible rather than averaged away over the whole run.
+//!
+//! Observations whose *intended* time falls inside the warmup period
+//! are counted ([`WorkloadRecorder::warmup_excluded`]) but recorded
+//! nowhere else.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use crate::hist::{AtomicHistogram, LatencyHistogram};
+
+/// Hard cap on time-series cells (with the driver's 1 s windows: ~2.8 h
+/// of run); later observations clamp into the last window rather than
+/// growing without bound.
+const MAX_WINDOWS: usize = 10_000;
+
+/// A fixed-width time-bucketed latency series: each window holds its own
+/// [`LatencyHistogram`], so the snapshot reports per-window throughput
+/// *and* percentiles. Recording takes a mutex — cheap next to executing
+/// a query, and windows stay exact under concurrent writers.
+pub struct WindowedSeries {
+    width: Duration,
+    cells: Mutex<Vec<LatencyHistogram>>,
+}
+
+impl WindowedSeries {
+    /// An empty series of `width`-wide windows.
+    pub fn new(width: Duration) -> Self {
+        assert!(width > Duration::ZERO, "window width must be positive");
+        WindowedSeries {
+            width,
+            cells: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The window width.
+    pub fn width(&self) -> Duration {
+        self.width
+    }
+
+    /// Records one completion at `offset` from the run start.
+    pub fn record(&self, offset: Duration, latency: Duration) {
+        let index =
+            ((offset.as_nanos() / self.width.as_nanos().max(1)) as usize).min(MAX_WINDOWS - 1);
+        let mut cells = self.cells.lock().unwrap_or_else(|e| e.into_inner());
+        if cells.len() <= index {
+            cells.resize_with(index + 1, LatencyHistogram::new);
+        }
+        cells[index].record(latency);
+    }
+
+    /// Point-in-time copy of every window, in time order. Empty windows
+    /// between active ones are included (zero completions), so gaps —
+    /// the quiet phase of a burst schedule — stay visible.
+    pub fn snapshot(&self) -> Vec<WindowSnapshot> {
+        let cells = self.cells.lock().unwrap_or_else(|e| e.into_inner());
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, h)| WindowSnapshot {
+                start: self.width * i as u32,
+                completed: h.count(),
+                p50: h.quantile(0.50),
+                p99: h.quantile(0.99),
+                max: h.max(),
+            })
+            .collect()
+    }
+}
+
+/// One window of a [`WindowedSeries`] snapshot.
+#[derive(Debug, Clone)]
+pub struct WindowSnapshot {
+    /// Window start, as an offset from the run start.
+    pub start: Duration,
+    /// Completions inside the window.
+    pub completed: u64,
+    /// Median latency of those completions.
+    pub p50: Duration,
+    /// 99th-percentile latency of those completions.
+    pub p99: Duration,
+    /// Slowest completion in the window.
+    pub max: Duration,
+}
+
+struct TemplateCell {
+    label: String,
+    latency: AtomicHistogram,
+    completed: AtomicU64,
+    timeouts: AtomicU64,
+    errors: AtomicU64,
+}
+
+/// Per-template outcome tally from a [`WorkloadRecorder`] snapshot.
+#[derive(Debug, Clone)]
+pub struct TemplateSnapshot {
+    /// The template's display label (Q1…Q12c, A1…A5, or caller-chosen).
+    pub label: String,
+    /// Completions recorded (excludes warmup).
+    pub completed: u64,
+    /// Per-query timeouts recorded (excludes warmup).
+    pub timeouts: u64,
+    /// Errors recorded (excludes warmup).
+    pub errors: u64,
+    /// Latency from intended send time, completions only.
+    pub latency: LatencyHistogram,
+}
+
+/// The shared recorder behind the open-loop workload driver: every
+/// worker thread records outcomes against the intended-send timestamps
+/// the schedule thread stamped. See the module docs for what it tracks
+/// and why latency is measured from *intended* send time.
+pub struct WorkloadRecorder {
+    warmup: Duration,
+    latency: AtomicHistogram,
+    queue_delay: AtomicHistogram,
+    service: AtomicHistogram,
+    windows: WindowedSeries,
+    warmup_excluded: AtomicU64,
+    templates: Vec<TemplateCell>,
+}
+
+impl WorkloadRecorder {
+    /// A recorder for the template `labels` (slot indices follow their
+    /// order). Observations intended before `warmup` has elapsed are
+    /// excluded; completions land in `window`-wide time-series buckets.
+    pub fn new(labels: &[String], warmup: Duration, window: Duration) -> Self {
+        WorkloadRecorder {
+            warmup,
+            latency: AtomicHistogram::new(),
+            queue_delay: AtomicHistogram::new(),
+            service: AtomicHistogram::new(),
+            windows: WindowedSeries::new(window),
+            warmup_excluded: AtomicU64::new(0),
+            templates: labels
+                .iter()
+                .map(|l| TemplateCell {
+                    label: l.clone(),
+                    latency: AtomicHistogram::new(),
+                    completed: AtomicU64::new(0),
+                    timeouts: AtomicU64::new(0),
+                    errors: AtomicU64::new(0),
+                })
+                .collect(),
+        }
+    }
+
+    /// True (and tallied) when an observation intended at
+    /// `intended_offset` falls inside the warmup period and must not be
+    /// recorded.
+    fn excluded(&self, intended_offset: Duration) -> bool {
+        if intended_offset < self.warmup {
+            self.warmup_excluded.fetch_add(1, Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Records one completion: `latency` from *intended* send,
+    /// `queue_delay` (intended → actual send) and `service` (actual
+    /// send → done) separately, windowed at `completed_offset` from the
+    /// run start. Returns `false` when the observation fell inside
+    /// warmup and was excluded.
+    pub fn record_completed(
+        &self,
+        slot: usize,
+        intended_offset: Duration,
+        completed_offset: Duration,
+        latency: Duration,
+        queue_delay: Duration,
+        service: Duration,
+    ) -> bool {
+        if self.excluded(intended_offset) {
+            return false;
+        }
+        self.latency.record(latency);
+        self.queue_delay.record(queue_delay);
+        self.service.record(service);
+        self.windows.record(completed_offset, latency);
+        let cell = &self.templates[slot];
+        cell.latency.record(latency);
+        cell.completed.fetch_add(1, Relaxed);
+        true
+    }
+
+    /// Records one per-query timeout. Returns `false` when excluded as
+    /// warmup.
+    pub fn record_timeout(&self, slot: usize, intended_offset: Duration) -> bool {
+        if self.excluded(intended_offset) {
+            return false;
+        }
+        self.templates[slot].timeouts.fetch_add(1, Relaxed);
+        true
+    }
+
+    /// Records one error. Returns `false` when excluded as warmup.
+    pub fn record_error(&self, slot: usize, intended_offset: Duration) -> bool {
+        if self.excluded(intended_offset) {
+            return false;
+        }
+        self.templates[slot].errors.fetch_add(1, Relaxed);
+        true
+    }
+
+    /// Observations excluded because they were intended during warmup.
+    pub fn warmup_excluded(&self) -> u64 {
+        self.warmup_excluded.load(Relaxed)
+    }
+
+    /// The configured warmup period.
+    pub fn warmup(&self) -> Duration {
+        self.warmup
+    }
+
+    /// Latency from intended send time (completions only).
+    pub fn latency(&self) -> LatencyHistogram {
+        self.latency.snapshot()
+    }
+
+    /// Intended send → actual send delay.
+    pub fn queue_delay(&self) -> LatencyHistogram {
+        self.queue_delay.snapshot()
+    }
+
+    /// Actual send → completion time.
+    pub fn service(&self) -> LatencyHistogram {
+        self.service.snapshot()
+    }
+
+    /// Per-template tallies, in slot order.
+    pub fn templates(&self) -> Vec<TemplateSnapshot> {
+        self.templates
+            .iter()
+            .map(|c| TemplateSnapshot {
+                label: c.label.clone(),
+                completed: c.completed.load(Relaxed),
+                timeouts: c.timeouts.load(Relaxed),
+                errors: c.errors.load(Relaxed),
+                latency: c.latency.snapshot(),
+            })
+            .collect()
+    }
+
+    /// The throughput/p99 time series.
+    pub fn windows(&self) -> Vec<WindowSnapshot> {
+        self.windows.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labels(names: &[&str]) -> Vec<String> {
+        names.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn latency_queue_delay_and_service_are_separate_histograms() {
+        let r = WorkloadRecorder::new(&labels(&["q1"]), Duration::ZERO, Duration::from_secs(1));
+        // 100 ms of queueing before 10 ms of service: the latency a user
+        // sees is 110 ms, and the split is preserved.
+        assert!(r.record_completed(
+            0,
+            Duration::from_millis(50),
+            Duration::from_millis(160),
+            Duration::from_millis(110),
+            Duration::from_millis(100),
+            Duration::from_millis(10),
+        ));
+        assert_eq!(r.latency().max(), Duration::from_millis(110));
+        assert_eq!(r.queue_delay().max(), Duration::from_millis(100));
+        assert_eq!(r.service().max(), Duration::from_millis(10));
+        let t = r.templates();
+        assert_eq!(t[0].completed, 1);
+        assert_eq!(t[0].latency.count(), 1);
+    }
+
+    #[test]
+    fn warmup_excludes_everything_but_counts() {
+        let warmup = Duration::from_secs(2);
+        let r = WorkloadRecorder::new(&labels(&["q1"]), warmup, Duration::from_secs(1));
+        let d = Duration::from_millis(5);
+        assert!(!r.record_completed(0, Duration::from_secs(1), Duration::from_secs(1), d, d, d));
+        assert!(!r.record_timeout(0, Duration::from_millis(1999)));
+        assert!(!r.record_error(0, Duration::ZERO));
+        assert_eq!(r.warmup_excluded(), 3);
+        assert_eq!(r.latency().count(), 0);
+        assert_eq!(r.windows().len(), 0);
+        let t = r.templates();
+        assert_eq!((t[0].completed, t[0].timeouts, t[0].errors), (0, 0, 0));
+        // At the warmup boundary, recording resumes.
+        assert!(r.record_completed(0, warmup, warmup, d, d, d));
+        assert_eq!(r.latency().count(), 1);
+    }
+
+    #[test]
+    fn windows_bucket_by_completion_offset_and_keep_gaps() {
+        let s = WindowedSeries::new(Duration::from_secs(1));
+        s.record(Duration::from_millis(100), Duration::from_millis(3));
+        s.record(Duration::from_millis(900), Duration::from_millis(5));
+        // Nothing in [1 s, 2 s) — the quiet phase of a burst.
+        s.record(Duration::from_millis(2500), Duration::from_millis(7));
+        let snap = s.snapshot();
+        assert_eq!(snap.len(), 3);
+        assert_eq!(snap[0].completed, 2);
+        assert_eq!(snap[1].completed, 0);
+        assert_eq!(snap[2].completed, 1);
+        assert_eq!(snap[2].start, Duration::from_secs(2));
+        assert_eq!(snap[0].max, Duration::from_millis(5));
+    }
+
+    #[test]
+    fn windows_accept_concurrent_writers() {
+        let s = WindowedSeries::new(Duration::from_millis(10));
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let s = &s;
+                scope.spawn(move || {
+                    for i in 0..250u64 {
+                        s.record(
+                            Duration::from_millis(t * 25 + i / 10),
+                            Duration::from_micros(100 + i),
+                        );
+                    }
+                });
+            }
+        });
+        let total: u64 = s.snapshot().iter().map(|w| w.completed).sum();
+        assert_eq!(total, 1_000);
+    }
+}

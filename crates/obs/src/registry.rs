@@ -14,12 +14,18 @@
 //! registrations *replace* a previous callback of the same name — the
 //! latest owner of the name wins, which is what a re-spawned server
 //! wants for gauges like queue depth.
+//!
+//! A metric name may also fan out into labeled series
+//! ([`MetricsRegistry::histogram_labeled`]): the workload driver keeps
+//! one latency histogram per query template under a single metric name,
+//! and the Prometheus renderer groups them under one `# HELP`/`# TYPE`
+//! preamble exactly like the server's own request histogram.
 
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering::Relaxed};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-use crate::hist::AtomicHistogram;
+use crate::hist::{AtomicHistogram, LatencyHistogram};
 
 /// A monotonically increasing counter. Cloning shares the series.
 #[derive(Clone, Debug)]
@@ -95,8 +101,51 @@ enum Source {
 
 struct Entry {
     name: &'static str,
+    /// `Some((key, value))` for one labeled series of the metric `name`;
+    /// `None` for the plain unlabeled series.
+    label: Option<(String, String)>,
     help: &'static str,
     source: Source,
+}
+
+impl Entry {
+    /// `{key="value"}` (Prometheus) for labeled series, empty otherwise.
+    fn prometheus_labels(&self) -> String {
+        match &self.label {
+            Some((k, v)) => format!("{{{}=\"{}\"}}", k, v),
+            None => String::new(),
+        }
+    }
+
+    /// The labels of a `_bucket` line, which must also carry `le`.
+    fn bucket_labels(&self, le: impl std::fmt::Display) -> String {
+        match &self.label {
+            Some((k, v)) => format!("{{{}=\"{}\",le=\"{}\"}}", k, v, le),
+            None => format!("{{le=\"{}\"}}", le),
+        }
+    }
+
+    /// The JSON object key: `name` or `name{key=value}` (no inner
+    /// quotes, so consumers can match it without unescaping).
+    fn json_key(&self) -> String {
+        match &self.label {
+            Some((k, v)) => format!("{}{{{}={}}}", self.name, k, v),
+            None => self.name.to_string(),
+        }
+    }
+}
+
+/// Keeps user-supplied label values inert in both exposition formats:
+/// anything that could terminate the quoted Prometheus label value or
+/// the JSON string is replaced with `_`.
+fn sanitize_label(value: &str) -> String {
+    value
+        .chars()
+        .map(|c| match c {
+            '"' | '\\' | '\n' | '{' | '}' => '_',
+            c => c,
+        })
+        .collect()
 }
 
 /// A named collection of metric series. Most code uses the process
@@ -121,39 +170,81 @@ impl MetricsRegistry {
     /// Registers (or retrieves) the counter `name`.
     pub fn counter(&self, name: &'static str, help: &'static str) -> Counter {
         let mut entries = self.lock();
-        if let Some(e) = entries.iter().find(|e| e.name == name) {
+        if let Some(e) = entries.iter().find(|e| e.name == name && e.label.is_none()) {
             if let Source::Counter(cell) = &e.source {
                 return Counter(cell.clone());
             }
         }
         let cell = Arc::new(AtomicU64::new(0));
-        Self::put(&mut entries, name, help, Source::Counter(cell.clone()));
+        Self::put(
+            &mut entries,
+            name,
+            None,
+            help,
+            Source::Counter(cell.clone()),
+        );
         Counter(cell)
     }
 
     /// Registers (or retrieves) the gauge `name`.
     pub fn gauge(&self, name: &'static str, help: &'static str) -> Gauge {
         let mut entries = self.lock();
-        if let Some(e) = entries.iter().find(|e| e.name == name) {
+        if let Some(e) = entries.iter().find(|e| e.name == name && e.label.is_none()) {
             if let Source::Gauge(cell) = &e.source {
                 return Gauge(cell.clone());
             }
         }
         let cell = Arc::new(AtomicI64::new(0));
-        Self::put(&mut entries, name, help, Source::Gauge(cell.clone()));
+        Self::put(&mut entries, name, None, help, Source::Gauge(cell.clone()));
         Gauge(cell)
     }
 
     /// Registers (or retrieves) the histogram `name`.
     pub fn histogram(&self, name: &'static str, help: &'static str) -> Histogram {
         let mut entries = self.lock();
-        if let Some(e) = entries.iter().find(|e| e.name == name) {
+        if let Some(e) = entries.iter().find(|e| e.name == name && e.label.is_none()) {
             if let Source::Histogram(cell) = &e.source {
                 return Histogram(cell.clone());
             }
         }
         let cell = Arc::new(AtomicHistogram::new());
-        Self::put(&mut entries, name, help, Source::Histogram(cell.clone()));
+        Self::put(
+            &mut entries,
+            name,
+            None,
+            help,
+            Source::Histogram(cell.clone()),
+        );
+        Histogram(cell)
+    }
+
+    /// Registers (or retrieves) one labeled series of the histogram
+    /// `name` — e.g. `histogram_labeled("sp2b_multiuser_latency_seconds",
+    /// …, "template", "Q1")`. All series of a name share one
+    /// `# HELP`/`# TYPE` preamble in the Prometheus rendering;
+    /// registration is idempotent per `(name, key, value)`.
+    pub fn histogram_labeled(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        label_key: &'static str,
+        label_value: &str,
+    ) -> Histogram {
+        let label = Some((label_key.to_string(), sanitize_label(label_value)));
+        let mut entries = self.lock();
+        if let Some(e) = entries.iter().find(|e| e.name == name && e.label == label) {
+            if let Source::Histogram(cell) = &e.source {
+                return Histogram(cell.clone());
+            }
+        }
+        let cell = Arc::new(AtomicHistogram::new());
+        Self::put(
+            &mut entries,
+            name,
+            label,
+            help,
+            Source::Histogram(cell.clone()),
+        );
         Histogram(cell)
     }
 
@@ -166,7 +257,13 @@ impl MetricsRegistry {
         help: &'static str,
         f: impl Fn() -> u64 + Send + Sync + 'static,
     ) {
-        Self::put(&mut self.lock(), name, help, Source::CounterFn(Box::new(f)));
+        Self::put(
+            &mut self.lock(),
+            name,
+            None,
+            help,
+            Source::CounterFn(Box::new(f)),
+        );
     }
 
     /// Registers the gauge `name` as a callback sampled at render time.
@@ -177,58 +274,103 @@ impl MetricsRegistry {
         help: &'static str,
         f: impl Fn() -> i64 + Send + Sync + 'static,
     ) {
-        Self::put(&mut self.lock(), name, help, Source::GaugeFn(Box::new(f)));
+        Self::put(
+            &mut self.lock(),
+            name,
+            None,
+            help,
+            Source::GaugeFn(Box::new(f)),
+        );
     }
 
-    fn put(entries: &mut Vec<Entry>, name: &'static str, help: &'static str, source: Source) {
-        let entry = Entry { name, help, source };
-        match entries.iter_mut().find(|e| e.name == name) {
+    fn put(
+        entries: &mut Vec<Entry>,
+        name: &'static str,
+        label: Option<(String, String)>,
+        help: &'static str,
+        source: Source,
+    ) {
+        let entry = Entry {
+            name,
+            label,
+            help,
+            source,
+        };
+        match entries
+            .iter_mut()
+            .find(|e| e.name == name && e.label == entry.label)
+        {
             Some(existing) => *existing = entry,
             None => entries.push(entry),
         }
     }
 
     /// Renders every series in Prometheus text exposition format
-    /// (`# HELP` / `# TYPE` preamble per series; histograms as
+    /// (`# HELP` / `# TYPE` preamble per metric name; histograms as
     /// cumulative `_bucket{le="…"}` plus `_sum`/`_count`, in seconds).
+    /// Labeled series of one name render grouped under one preamble.
     pub fn render_prometheus(&self) -> String {
         use std::fmt::Write;
         let mut out = String::with_capacity(4096);
-        for e in self.lock().iter() {
-            let kind = match e.source {
+        let entries = self.lock();
+        let mut rendered = vec![false; entries.len()];
+        for i in 0..entries.len() {
+            if rendered[i] {
+                continue;
+            }
+            let kind = match entries[i].source {
                 Source::Counter(_) | Source::CounterFn(_) => "counter",
                 Source::Gauge(_) | Source::GaugeFn(_) => "gauge",
                 Source::Histogram(_) => "histogram",
             };
-            let _ = writeln!(out, "# HELP {} {}", e.name, e.help);
-            let _ = writeln!(out, "# TYPE {} {}", e.name, kind);
-            match &e.source {
-                Source::Counter(c) => {
-                    let _ = writeln!(out, "{} {}", e.name, c.load(Relaxed));
+            let _ = writeln!(out, "# HELP {} {}", entries[i].name, entries[i].help);
+            let _ = writeln!(out, "# TYPE {} {}", entries[i].name, kind);
+            for (j, e) in entries.iter().enumerate().skip(i) {
+                if rendered[j] || e.name != entries[i].name {
+                    continue;
                 }
-                Source::CounterFn(f) => {
-                    let _ = writeln!(out, "{} {}", e.name, f());
-                }
-                Source::Gauge(g) => {
-                    let _ = writeln!(out, "{} {}", e.name, g.load(Relaxed));
-                }
-                Source::GaugeFn(f) => {
-                    let _ = writeln!(out, "{} {}", e.name, f());
-                }
-                Source::Histogram(h) => {
-                    let snap = h.snapshot();
-                    for (edge, cumulative) in snap.cumulative_buckets() {
+                rendered[j] = true;
+                let labels = e.prometheus_labels();
+                match &e.source {
+                    Source::Counter(c) => {
+                        let _ = writeln!(out, "{}{} {}", e.name, labels, c.load(Relaxed));
+                    }
+                    Source::CounterFn(f) => {
+                        let _ = writeln!(out, "{}{} {}", e.name, labels, f());
+                    }
+                    Source::Gauge(g) => {
+                        let _ = writeln!(out, "{}{} {}", e.name, labels, g.load(Relaxed));
+                    }
+                    Source::GaugeFn(f) => {
+                        let _ = writeln!(out, "{}{} {}", e.name, labels, f());
+                    }
+                    Source::Histogram(h) => {
+                        let snap = h.snapshot();
+                        for (edge, cumulative) in snap.cumulative_buckets() {
+                            let _ = writeln!(
+                                out,
+                                "{}_bucket{} {}",
+                                e.name,
+                                e.bucket_labels(finite(edge.as_secs_f64())),
+                                cumulative
+                            );
+                        }
                         let _ = writeln!(
                             out,
-                            "{}_bucket{{le=\"{}\"}} {}",
+                            "{}_bucket{} {}",
                             e.name,
-                            finite(edge.as_secs_f64()),
-                            cumulative
+                            e.bucket_labels("+Inf"),
+                            snap.count()
                         );
+                        let _ = writeln!(
+                            out,
+                            "{}_sum{} {}",
+                            e.name,
+                            labels,
+                            finite(snap.sum().as_secs_f64())
+                        );
+                        let _ = writeln!(out, "{}_count{} {}", e.name, labels, snap.count());
                     }
-                    let _ = writeln!(out, "{}_bucket{{le=\"+Inf\"}} {}", e.name, snap.count());
-                    let _ = writeln!(out, "{}_sum {}", e.name, finite(snap.sum().as_secs_f64()));
-                    let _ = writeln!(out, "{}_count {}", e.name, snap.count());
                 }
             }
         }
@@ -236,8 +378,8 @@ impl MetricsRegistry {
     }
 
     /// Renders every series as one JSON object: scalar series as
-    /// numbers, histograms as `{count, sum_seconds, mean_seconds,
-    /// p50_seconds, p95_seconds, p99_seconds, max_seconds}`.
+    /// numbers, histograms as the [`histogram_json`] summary object.
+    /// Labeled series render under the key `name{key=value}`.
     pub fn render_json(&self) -> String {
         use std::fmt::Write;
         let mut out = String::with_capacity(1024);
@@ -246,7 +388,7 @@ impl MetricsRegistry {
             if i > 0 {
                 out.push(',');
             }
-            let _ = write!(out, "\"{}\":", e.name);
+            let _ = write!(out, "\"{}\":", e.json_key());
             match &e.source {
                 Source::Counter(c) => {
                     let _ = write!(out, "{}", c.load(Relaxed));
@@ -261,26 +403,32 @@ impl MetricsRegistry {
                     let _ = write!(out, "{}", f());
                 }
                 Source::Histogram(h) => {
-                    let snap = h.snapshot();
-                    let _ = write!(
-                        out,
-                        "{{\"count\":{},\"sum_seconds\":{},\"mean_seconds\":{},\
-                         \"p50_seconds\":{},\"p95_seconds\":{},\"p99_seconds\":{},\
-                         \"max_seconds\":{}}}",
-                        snap.count(),
-                        finite(snap.sum().as_secs_f64()),
-                        finite(snap.mean().as_secs_f64()),
-                        finite(snap.quantile(0.50).as_secs_f64()),
-                        finite(snap.quantile(0.95).as_secs_f64()),
-                        finite(snap.quantile(0.99).as_secs_f64()),
-                        finite(snap.max().as_secs_f64()),
-                    );
+                    out.push_str(&histogram_json(&h.snapshot()));
                 }
             }
         }
         out.push('}');
         out
     }
+}
+
+/// Renders one histogram as the JSON summary object used everywhere a
+/// histogram appears in machine-readable output (the server's `/stats`,
+/// the workload driver's `--report json:FILE`): `{count, sum_seconds,
+/// mean_seconds, p50_seconds, p95_seconds, p99_seconds, max_seconds}`.
+pub fn histogram_json(snap: &LatencyHistogram) -> String {
+    format!(
+        "{{\"count\":{},\"sum_seconds\":{},\"mean_seconds\":{},\
+         \"p50_seconds\":{},\"p95_seconds\":{},\"p99_seconds\":{},\
+         \"max_seconds\":{}}}",
+        snap.count(),
+        finite(snap.sum().as_secs_f64()),
+        finite(snap.mean().as_secs_f64()),
+        finite(snap.quantile(0.50).as_secs_f64()),
+        finite(snap.quantile(0.95).as_secs_f64()),
+        finite(snap.quantile(0.99).as_secs_f64()),
+        finite(snap.max().as_secs_f64()),
+    )
 }
 
 /// Guards against `inf`/`NaN` leaking into exposition output (neither
@@ -406,5 +554,70 @@ mod tests {
         assert!(text.contains("\nt_replace 2\n"), "{text}");
         let value_lines = text.lines().filter(|l| l.starts_with("t_replace ")).count();
         assert_eq!(value_lines, 1, "{text}");
+    }
+
+    #[test]
+    fn labeled_histograms_share_one_preamble_and_are_idempotent() {
+        let r = MetricsRegistry::new();
+        let q1 = r.histogram_labeled("t_mix_seconds", "per-template latency", "template", "Q1");
+        let q8 = r.histogram_labeled("t_mix_seconds", "per-template latency", "template", "Q8");
+        let q1_again =
+            r.histogram_labeled("t_mix_seconds", "per-template latency", "template", "Q1");
+        q1.record(Duration::from_millis(2));
+        q1_again.record(Duration::from_millis(4));
+        q8.record(Duration::from_millis(8));
+        assert_eq!(q1.count(), 2, "same (name, label) shares the series");
+
+        let text = r.render_prometheus();
+        assert_eq!(text.matches("# HELP t_mix_seconds ").count(), 1, "{text}");
+        assert_eq!(text.matches("# TYPE t_mix_seconds ").count(), 1, "{text}");
+        assert!(
+            text.contains("t_mix_seconds_bucket{template=\"Q1\",le=\"+Inf\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("t_mix_seconds_bucket{template=\"Q8\",le=\"+Inf\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("t_mix_seconds_count{template=\"Q1\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("t_mix_seconds_sum{template=\"Q8\"}"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn labeled_series_render_in_json_under_bracketed_keys() {
+        let r = MetricsRegistry::new();
+        let h = r.histogram_labeled("t_mix_seconds", "per-template latency", "template", "Q5a");
+        h.record(Duration::from_millis(3));
+        let json = r.render_json();
+        assert!(json.contains("\"t_mix_seconds{template=Q5a}\":{"), "{json}");
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn label_values_are_sanitized() {
+        let r = MetricsRegistry::new();
+        r.histogram_labeled("t_mix_seconds", "h", "template", "a\"b\\c{d}");
+        let text = r.render_prometheus();
+        assert!(text.contains("{template=\"a_b_c_d_\"}"), "{text}");
+    }
+
+    #[test]
+    fn histogram_json_matches_the_registry_rendering() {
+        let r = MetricsRegistry::new();
+        let h = r.histogram("t_one_seconds", "h");
+        h.record(Duration::from_millis(7));
+        let standalone = histogram_json(&h.snapshot());
+        assert!(r.render_json().contains(&standalone));
+        assert!(standalone.contains("\"count\":1"), "{standalone}");
     }
 }
